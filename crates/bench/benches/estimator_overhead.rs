@@ -1,0 +1,171 @@
+//! Criterion micro-benchmarks: the cost of the progress-estimation
+//! machinery itself — per-estimate cost of each estimator, per-refresh
+//! cost of the bounds tracker, and the end-to-end monitor snapshot.
+//!
+//! A progress estimator is only practical if its per-snapshot cost is
+//! negligible next to a getnext call; these benches quantify that.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qp_datagen::{RowOrder, SyntheticConfig, SyntheticDb};
+use qp_exec::plan::{JoinType, Plan, PlanBuilder};
+use qp_progress::bounds::BoundsTracker;
+use qp_progress::estimators::{
+    standard_suite, Dne, EstimatorContext, Pmax, ProgressEstimator, Safe,
+};
+use qp_progress::PlanMeta;
+use qp_stats::DbStats;
+use std::hint::black_box;
+
+fn synth() -> SyntheticDb {
+    SyntheticDb::generate(SyntheticConfig {
+        r1_rows: 2_000,
+        r2_rows: 20_000,
+        z: 2.0,
+        r1_order: RowOrder::AsGenerated,
+        seed: 1,
+    })
+}
+
+fn inl_plan(s: &SyntheticDb) -> Plan {
+    PlanBuilder::scan(&s.db, "r1")
+        .unwrap()
+        .inl_join(&s.db, "r2", "r2_b", vec![0], JoinType::Inner, true, None)
+        .unwrap()
+        .build()
+}
+
+/// A mid-execution state for estimate benchmarking.
+struct MidState {
+    meta: PlanMeta,
+    produced: Vec<u64>,
+    exhausted: Vec<bool>,
+    lb: u64,
+    ub: u64,
+}
+
+fn mid_state(plan: &Plan) -> MidState {
+    let meta = PlanMeta::from_plan(plan);
+    let produced: Vec<u64> = (0..plan.len() as u64).map(|i| 500 + i * 7).collect();
+    let exhausted = vec![false; plan.len()];
+    let mut bounds = BoundsTracker::new(plan, None);
+    bounds.recompute(&produced, &exhausted);
+    MidState {
+        meta,
+        produced,
+        exhausted,
+        lb: bounds.total_lb(),
+        ub: bounds.total_ub(),
+    }
+}
+
+fn bench_estimates(c: &mut Criterion) {
+    let s = synth();
+    let plan = inl_plan(&s);
+    let st = mid_state(&plan);
+    let cx = EstimatorContext {
+        produced: &st.produced,
+        exhausted: &st.exhausted,
+        curr: st.produced.iter().sum(),
+        lb_total: st.lb,
+        ub_total: st.ub,
+        meta: &st.meta,
+        node_bounds: &[],
+    };
+    let mut group = c.benchmark_group("estimate");
+    let mut dne = Dne;
+    group.bench_function("dne", |b| b.iter(|| black_box(dne.estimate(&cx))));
+    let mut pmax = Pmax;
+    group.bench_function("pmax", |b| b.iter(|| black_box(pmax.estimate(&cx))));
+    let mut safe = Safe;
+    group.bench_function("safe", |b| b.iter(|| black_box(safe.estimate(&cx))));
+    let mut suite = standard_suite();
+    group.bench_function("full-suite", |b| {
+        b.iter(|| {
+            for e in &mut suite {
+                black_box(e.estimate(&cx));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_bounds_refresh(c: &mut Criterion) {
+    let s = synth();
+    let plan = inl_plan(&s);
+    let produced: Vec<u64> = (0..plan.len() as u64).map(|i| 500 + i * 7).collect();
+    let exhausted = vec![false; plan.len()];
+    let mut tracker = BoundsTracker::new(&plan, None);
+    c.bench_function("bounds/recompute-2node-plan", |b| {
+        b.iter(|| {
+            tracker.recompute(black_box(&produced), black_box(&exhausted));
+            black_box(tracker.total_lb());
+        })
+    });
+
+    // A wider plan: TPC-H-like bushy join tree (12 nodes).
+    let stats = DbStats::build(&s.db);
+    let _ = &stats;
+    let wide = {
+        let a = PlanBuilder::scan(&s.db, "r1").unwrap();
+        let b = PlanBuilder::scan(&s.db, "r2").unwrap();
+        let j = a.hash_join(b, vec![0], vec![0], JoinType::Inner, true);
+        let c2 = PlanBuilder::scan(&s.db, "r2").unwrap();
+        j.hash_join(c2, vec![0], vec![0], JoinType::Inner, true)
+            .sort(vec![(0, true)])
+            .limit(100)
+            .build()
+    };
+    let producedw: Vec<u64> = (0..wide.len() as u64).map(|i| 100 + i).collect();
+    let exhaustedw = vec![false; wide.len()];
+    let mut trackerw = BoundsTracker::new(&wide, None);
+    c.bench_function("bounds/recompute-7node-plan", |b| {
+        b.iter(|| {
+            trackerw.recompute(black_box(&producedw), black_box(&exhaustedw));
+            black_box(trackerw.total_ub());
+        })
+    });
+}
+
+fn bench_monitoring_overhead(c: &mut Criterion) {
+    // End-to-end: run the same query bare vs with the full monitor at
+    // different strides — the instrumentation tax.
+    let s = synth();
+    let plan = inl_plan(&s);
+    let stats = DbStats::build(&s.db);
+    let mut group = c.benchmark_group("monitoring");
+    group.sample_size(20);
+    group.bench_function("bare-run", |b| {
+        b.iter(|| {
+            let (out, _) = qp_exec::run_query(&plan, &s.db, None).unwrap();
+            black_box(out.total_getnext)
+        })
+    });
+    for stride in [1u64, 64, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("monitored", stride),
+            &stride,
+            |b, &stride| {
+                b.iter(|| {
+                    let (out, trace) = qp_progress::monitor::run_with_progress(
+                        &plan,
+                        &s.db,
+                        Some(&stats),
+                        standard_suite(),
+                        Some(stride),
+                    )
+                    .unwrap();
+                    black_box((out.total_getnext, trace.snapshots().len()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_estimates,
+    bench_bounds_refresh,
+    bench_monitoring_overhead
+);
+criterion_main!(benches);

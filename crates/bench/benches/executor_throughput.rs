@@ -1,0 +1,95 @@
+//! Criterion benchmarks of the execution substrate: operator throughput
+//! in getnext calls per second, with and without progress instrumentation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qp_datagen::{RowOrder, SyntheticConfig, SyntheticDb};
+use qp_exec::expr::{CmpOp, Expr};
+use qp_exec::plan::{JoinType, Plan, PlanBuilder};
+use qp_storage::Value;
+use std::hint::black_box;
+
+fn synth() -> SyntheticDb {
+    SyntheticDb::generate(SyntheticConfig {
+        r1_rows: 10_000,
+        r2_rows: 100_000,
+        z: 1.0,
+        r1_order: RowOrder::AsGenerated,
+        seed: 2,
+    })
+}
+
+fn total(plan: &Plan, s: &SyntheticDb) -> u64 {
+    qp_exec::run_query(plan, &s.db, None).unwrap().0.total_getnext
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let s = synth();
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(20);
+
+    let scan = PlanBuilder::scan(&s.db, "r2").unwrap().build();
+    group.throughput(Throughput::Elements(total(&scan, &s)));
+    group.bench_function("seq-scan-100k", |b| {
+        b.iter(|| black_box(total(&scan, &s)))
+    });
+
+    let filter = PlanBuilder::scan(&s.db, "r2")
+        .unwrap()
+        .filter(Expr::cmp(
+            CmpOp::Lt,
+            Expr::Col(0),
+            Expr::Lit(Value::Int(5_000)),
+        ))
+        .build();
+    group.throughput(Throughput::Elements(total(&filter, &s)));
+    group.bench_function("filter-100k", |b| {
+        b.iter(|| black_box(total(&filter, &s)))
+    });
+
+    let hash = PlanBuilder::scan(&s.db, "r1")
+        .unwrap()
+        .hash_join(
+            PlanBuilder::scan(&s.db, "r2").unwrap(),
+            vec![0],
+            vec![0],
+            JoinType::Inner,
+            true,
+        )
+        .build();
+    group.throughput(Throughput::Elements(total(&hash, &s)));
+    group.bench_function("hash-join-10k-100k", |b| {
+        b.iter(|| black_box(total(&hash, &s)))
+    });
+
+    let inl = PlanBuilder::scan(&s.db, "r1")
+        .unwrap()
+        .inl_join(&s.db, "r2", "r2_b", vec![0], JoinType::Inner, true, None)
+        .unwrap()
+        .build();
+    group.throughput(Throughput::Elements(total(&inl, &s)));
+    group.bench_function("inl-join-10k-outer", |b| {
+        b.iter(|| black_box(total(&inl, &s)))
+    });
+
+    let sort = PlanBuilder::scan(&s.db, "r2")
+        .unwrap()
+        .sort(vec![(0, true)])
+        .build();
+    group.throughput(Throughput::Elements(total(&sort, &s)));
+    group.bench_function("sort-100k", |b| b.iter(|| black_box(total(&sort, &s))));
+
+    let merge = {
+        let l = PlanBuilder::scan(&s.db, "r1").unwrap().sort(vec![(0, true)]);
+        let r = PlanBuilder::scan(&s.db, "r2").unwrap().sort(vec![(0, true)]);
+        l.merge_join(r, vec![0], vec![0], JoinType::Inner, true).build()
+    };
+    group.throughput(Throughput::Elements(total(&merge, &s)));
+    group.bench_function("merge-join-10k-100k", |b| {
+        b.iter(|| black_box(total(&merge, &s)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

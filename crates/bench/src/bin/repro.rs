@@ -1,0 +1,119 @@
+//! The reproduction driver: regenerates every table and figure of the
+//! paper.
+//!
+//! ```text
+//! cargo run --release -p qp-bench --bin repro -- all
+//! cargo run --release -p qp-bench --bin repro -- fig4 table2
+//! cargo run --release -p qp-bench --bin repro -- --small all
+//! cargo run --release -p qp-bench --bin repro -- --csv /tmp/traces fig5
+//! ```
+//!
+//! `--csv <dir>` additionally writes each figure's raw trace as CSV
+//! (`curr,progress,lb,ub,<estimators…>`) for external plotting.
+
+use qp_bench::experiments::{ablations, extensions, figures, tables, theory};
+use qp_bench::Scale;
+
+const EXPERIMENTS: [&str; 19] = [
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table1",
+    "table2",
+    "table3",
+    "lowerbound",
+    "thm3",
+    "thm4",
+    "scanbased",
+    "invariants",
+    "ablation-stride",
+    "ablation-safe-mean",
+    "ablation-hybrid",
+    "feedback",
+    "threshold",
+    "orders",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let scale = if small { Scale::small() } else { Scale::default() };
+    let csv_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("csv dir is creatable");
+    }
+    let csv_flag_value: Option<&String> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1));
+    let mut selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && Some(*a) != csv_flag_value)
+        .map(String::as_str)
+        .collect();
+    if selected.is_empty() || selected.contains(&"all") {
+        selected = EXPERIMENTS.to_vec();
+    }
+    for exp in selected {
+        let start = std::time::Instant::now();
+        match exp {
+            "fig3" => emit_figure(figures::fig3(&scale), "fig3", &csv_dir),
+            "fig4" => emit_figure(figures::fig4(&scale), "fig4", &csv_dir),
+            "fig5" => emit_figure(figures::fig5(&scale), "fig5", &csv_dir),
+            "fig6" => print!("{}", figures::fig6(&scale).render()),
+            "fig7" => emit_figure(figures::fig7(&scale), "fig7", &csv_dir),
+            "table1" => print!("{}", tables::table1(&scale).render()),
+            "table2" => print!("{}", tables::table2(&scale).render()),
+            "table3" => print!("{}", tables::table3(&scale).render()),
+            "lowerbound" => print!("{}", theory::lower_bound(4_000).render()),
+            "thm3" => print!("{}", theory::theorem3(&scale).render()),
+            "thm4" => print!("{}", theory::theorem4(&scale).render()),
+            "scanbased" => print!("{}", theory::scan_based(&scale).render()),
+            "invariants" => print!("{}", theory::invariants(&scale).render()),
+            "ablation-stride" => print!("{}", ablations::stride(&scale).render()),
+            "ablation-safe-mean" => print!("{}", ablations::safe_mean(&scale).render()),
+            "ablation-hybrid" => print!("{}", ablations::hybrid_threshold(&scale).render()),
+            "feedback" => print!("{}", extensions::feedback(&scale).render()),
+            "threshold" => print!("{}", extensions::threshold(&scale).render()),
+            "orders" => print!("{}", extensions::order_analysis(&scale).render()),
+            other => {
+                eprintln!("unknown experiment {other:?}; known: {EXPERIMENTS:?}");
+                std::process::exit(2);
+            }
+        }
+        println!("[{exp} took {:.2?}]\n", start.elapsed());
+    }
+}
+
+/// Prints a figure and optionally dumps its series as CSV.
+fn emit_figure(
+    fig: qp_bench::experiments::figures::FigureResult,
+    name: &str,
+    csv_dir: &Option<std::path::PathBuf>,
+) {
+    print!("{}", fig.render());
+    if let Some(dir) = csv_dir {
+        let mut csv = String::from("progress");
+        for n in &fig.series.estimator_names {
+            csv.push(',');
+            csv.push_str(n);
+        }
+        csv.push('\n');
+        for (p, ests) in &fig.series.series {
+            csv.push_str(&format!("{p:.6}"));
+            for e in ests {
+                csv.push_str(&format!(",{e:.6}"));
+            }
+            csv.push('\n');
+        }
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, csv).expect("csv is writable");
+        println!("[wrote {}]", path.display());
+    }
+}

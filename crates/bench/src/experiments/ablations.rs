@@ -1,0 +1,186 @@
+//! Ablations of the design choices called out in DESIGN.md §6:
+//! snapshot stride, safe's geometric vs arithmetic mean, and the hybrid
+//! switching threshold.
+
+use super::figures::{synthetic, synthetic_inl_plan};
+use super::traced_run;
+use crate::Scale;
+use qp_datagen::RowOrder;
+use qp_exec::estimate::annotate;
+use qp_progress::estimators::{Hybrid, Safe, SafeArithmetic};
+use qp_progress::metrics::error_stats;
+use qp_progress::monitor::run_with_progress;
+use qp_stats::DbStats;
+
+/// Snapshot-stride ablation: how does the granularity at which the
+/// monitor refreshes bounds and estimates affect accuracy and cost?
+#[derive(Debug, Clone)]
+pub struct StrideAblation {
+    /// `(stride, snapshots, safe_avg_abs_err, wall_seconds)`.
+    pub rows: Vec<(u64, usize, f64, f64)>,
+}
+
+impl StrideAblation {
+    pub fn render(&self) -> String {
+        crate::render::render_table(
+            "Ablation: snapshot stride (worst-case INL join, safe estimator)",
+            &["stride", "snapshots", "avg abs err", "wall (s)"],
+            &self
+                .rows
+                .iter()
+                .map(|(s, n, e, w)| {
+                    vec![
+                        s.to_string(),
+                        n.to_string(),
+                        format!("{:.2}%", e * 100.0),
+                        format!("{w:.3}"),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+pub fn stride(scale: &Scale) -> StrideAblation {
+    let s = synthetic(scale, RowOrder::SkewLast);
+    let stats = DbStats::build(&s.db);
+    let mut plan = synthetic_inl_plan(&s);
+    annotate(&mut plan, &stats);
+    let mut rows = Vec::new();
+    for stride in [1u64, 16, 256, 4096] {
+        let t0 = std::time::Instant::now();
+        let (_, trace) = run_with_progress(
+            &plan,
+            &s.db,
+            Some(&stats),
+            vec![Box::new(Safe)],
+            Some(stride),
+        )
+        .expect("runs");
+        let wall = t0.elapsed().as_secs_f64();
+        let e = error_stats(&trace, "safe").expect("traced");
+        rows.push((stride, trace.snapshots().len(), e.avg_abs, wall));
+    }
+    StrideAblation { rows }
+}
+
+/// Geometric vs arithmetic mean in the `safe` denominator, on the worst
+/// case (Figure 5 setup) and the benign case (a plain TPC-H query).
+#[derive(Debug, Clone)]
+pub struct SafeMeanAblation {
+    /// `(scenario, estimator, max_ratio, avg_abs)`.
+    pub rows: Vec<(String, &'static str, f64, f64)>,
+}
+
+impl SafeMeanAblation {
+    pub fn render(&self) -> String {
+        crate::render::render_table(
+            "Ablation: safe denominator — geometric vs arithmetic mean",
+            &["scenario", "estimator", "max ratio", "avg abs err"],
+            &self
+                .rows
+                .iter()
+                .map(|(s, n, r, a)| {
+                    vec![
+                        s.clone(),
+                        n.to_string(),
+                        format!("{r:.2}"),
+                        format!("{:.2}%", a * 100.0),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Worst-case max ratio of the geometric variant, for assertions.
+    pub fn worst_ratio(&self, estimator: &str) -> f64 {
+        self.rows
+            .iter()
+            .filter(|(_, n, ..)| *n == estimator)
+            .map(|&(_, _, r, _)| r)
+            .fold(1.0, f64::max)
+    }
+}
+
+pub fn safe_mean(scale: &Scale) -> SafeMeanAblation {
+    let mut rows = Vec::new();
+    // Worst case: skew-last INL join.
+    let s = synthetic(scale, RowOrder::SkewLast);
+    let stats = DbStats::build(&s.db);
+    let (_, trace) = traced_run(
+        synthetic_inl_plan(&s),
+        &s.db,
+        &stats,
+        vec![Box::new(Safe), Box::new(SafeArithmetic)],
+    );
+    for name in ["safe", "safe-arith"] {
+        let e = error_stats(&trace, name).expect("traced");
+        rows.push(("worst-case INL".to_string(), name, e.max_ratio, e.avg_abs));
+    }
+    // Benign case: TPC-H Q6.
+    let t = scale.tpch();
+    let tstats = DbStats::build(&t.db);
+    let (_, trace) = traced_run(
+        qp_workloads::tpch_query(6, &t),
+        &t.db,
+        &tstats,
+        vec![Box::new(Safe), Box::new(SafeArithmetic)],
+    );
+    for name in ["safe", "safe-arith"] {
+        let e = error_stats(&trace, name).expect("traced");
+        rows.push(("TPC-H Q6".to_string(), name, e.max_ratio, e.avg_abs));
+    }
+    SafeMeanAblation { rows }
+}
+
+/// The hybrid's μ̂ switching threshold, swept over the worst case and the
+/// TPC-H suite.
+#[derive(Debug, Clone)]
+pub struct HybridAblation {
+    /// `(threshold, avg_abs_worst_case, avg_abs_tpch_mean)`.
+    pub rows: Vec<(f64, f64, f64)>,
+}
+
+impl HybridAblation {
+    pub fn render(&self) -> String {
+        crate::render::render_table(
+            "Ablation: hybrid switching threshold (observed mu-hat)",
+            &["threshold", "avg err (worst case)", "avg err (TPC-H mean)"],
+            &self
+                .rows
+                .iter()
+                .map(|(t, w, m)| {
+                    vec![
+                        format!("{t:.1}"),
+                        format!("{:.2}%", w * 100.0),
+                        format!("{:.2}%", m * 100.0),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+pub fn hybrid_threshold(scale: &Scale) -> HybridAblation {
+    let s = synthetic(scale, RowOrder::SkewLast);
+    let sstats = DbStats::build(&s.db);
+    let t = scale.tpch();
+    let tstats = DbStats::build(&t.db);
+    // A representative slice of the suite keeps the sweep fast.
+    let tpch_qs = [1usize, 4, 6, 10, 13, 21];
+    let mut rows = Vec::new();
+    for threshold in [1.2f64, 2.0, 4.0, 16.0] {
+        let mk = || -> Vec<Box<dyn qp_progress::ProgressEstimator>> {
+            vec![Box::new(Hybrid::with_threshold(threshold))]
+        };
+        let (_, trace) = traced_run(synthetic_inl_plan(&s), &s.db, &sstats, mk());
+        let worst = error_stats(&trace, "hybrid").expect("traced").avg_abs;
+        let mut acc = 0.0;
+        for &q in &tpch_qs {
+            let (_, trace) = traced_run(qp_workloads::tpch_query(q, &t), &t.db, &tstats, mk());
+            acc += error_stats(&trace, "hybrid").expect("traced").avg_abs;
+        }
+        rows.push((threshold, worst, acc / tpch_qs.len() as f64));
+    }
+    HybridAblation { rows }
+}

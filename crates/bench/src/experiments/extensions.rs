@@ -1,0 +1,195 @@
+//! Experiments for the extensions beyond the paper's evaluation: the
+//! Section 6.4 inter-query feedback proposal, and a systematic sweep of
+//! the Section 2.5 threshold requirement across the suite.
+
+use super::figures::{synthetic, synthetic_inl_plan};
+use super::traced_run;
+use crate::Scale;
+use qp_datagen::RowOrder;
+use qp_exec::estimate::annotate;
+use qp_progress::estimators::{Dne, Pmax, Safe};
+use qp_progress::feedback::{FeedbackEstimator, FeedbackStore};
+use qp_progress::metrics::{error_stats, threshold_requirement_holds};
+use qp_progress::monitor::run_with_progress;
+use qp_progress::PlanMeta;
+use qp_stats::DbStats;
+
+/// Inter-query feedback (Section 6.4): run the same worst-case query
+/// repeatedly; after the first run the feedback estimator knows μ and its
+/// error collapses, while the memoryless estimators repeat their mistakes.
+#[derive(Debug, Clone)]
+pub struct FeedbackResult {
+    /// `(run, feedback_avg_err, safe_avg_err, dne_avg_err)`.
+    pub rows: Vec<(usize, f64, f64, f64)>,
+}
+
+impl FeedbackResult {
+    pub fn render(&self) -> String {
+        crate::render::render_table(
+            "Extension: inter-query feedback (Section 6.4) on the worst-case join",
+            &["run", "feedback avg err", "safe avg err", "dne avg err"],
+            &self
+                .rows
+                .iter()
+                .map(|(r, f, s, d)| {
+                    vec![
+                        r.to_string(),
+                        format!("{:.2}%", f * 100.0),
+                        format!("{:.2}%", s * 100.0),
+                        format!("{:.2}%", d * 100.0),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+pub fn feedback(scale: &Scale) -> FeedbackResult {
+    let s = synthetic(scale, RowOrder::SkewLast);
+    let stats = DbStats::build(&s.db);
+    let mut plan = synthetic_inl_plan(&s);
+    annotate(&mut plan, &stats);
+    let meta = PlanMeta::from_plan(&plan);
+    let store = FeedbackStore::new();
+    let mut rows = Vec::new();
+    for run in 1..=3 {
+        let estimators: Vec<Box<dyn qp_progress::ProgressEstimator>> = vec![
+            Box::new(FeedbackEstimator::for_plan(&store, &plan)),
+            Box::new(Safe),
+            Box::new(Dne),
+        ];
+        let (out, trace) =
+            run_with_progress(&plan, &s.db, Some(&stats), estimators, None).expect("runs");
+        let f = error_stats(&trace, "feedback").expect("traced").avg_abs;
+        let sa = error_stats(&trace, "safe").expect("traced").avg_abs;
+        let d = error_stats(&trace, "dne").expect("traced").avg_abs;
+        rows.push((run, f, sa, d));
+        store.record_run(&plan, &meta, &out.node_counts);
+    }
+    FeedbackResult { rows }
+}
+
+/// Section 4.2 operationalized on real executions: profile the realized
+/// per-driver-tuple work vector of the synthetic INL join under each input
+/// order and report μ, variance, 2-predictiveness, and the dne ratio
+/// error after half the driver (Property 2's quantity).
+#[derive(Debug, Clone)]
+pub struct OrderAnalysisResult {
+    /// `(order, mu, variance, is_2_predictive, dne_ratio_after_half)`.
+    pub rows: Vec<(String, f64, f64, bool, f64)>,
+}
+
+impl OrderAnalysisResult {
+    pub fn render(&self) -> String {
+        crate::render::render_table(
+            "Section 4.2: realized work vectors by input order",
+            &["order", "mu", "variance", "2-predictive", "dne ratio @50%"],
+            &self
+                .rows
+                .iter()
+                .map(|(o, mu, var, p, r)| {
+                    vec![
+                        o.clone(),
+                        format!("{mu:.3}"),
+                        format!("{var:.1}"),
+                        p.to_string(),
+                        format!("{r:.3}"),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+pub fn order_analysis(scale: &Scale) -> OrderAnalysisResult {
+    use qp_progress::analysis::{dne_ratio_error_after_half, is_c_predictive, profile_work};
+    let mut rows = Vec::new();
+    for (order, label) in [
+        (RowOrder::Random, "random"),
+        (RowOrder::SkewFirst, "skew-first"),
+        (RowOrder::SkewLast, "skew-last"),
+    ] {
+        let s = synthetic(scale, order);
+        let plan = synthetic_inl_plan(&s);
+        let wv = profile_work(&plan, &s.db).expect("single pipeline");
+        rows.push((
+            label.to_string(),
+            wv.mu(),
+            wv.variance(),
+            is_c_predictive(&wv, 2.0),
+            dne_ratio_error_after_half(&wv),
+        ));
+    }
+    OrderAnalysisResult { rows }
+}
+
+/// The threshold requirement (Section 2.5): for each estimator, the
+/// fraction of workload queries on which the `(τ, δ)` requirement holds
+/// over the *entire* execution, at the paper's illustrative τ = 0.5,
+/// δ = 0.05, and at the very lax τ = 0.5, δ = 0.4 from the Theorem 1
+/// discussion.
+#[derive(Debug, Clone)]
+pub struct ThresholdResult {
+    /// `(estimator, frac_holding_strict, frac_holding_lax)` over TPC-H.
+    pub rows: Vec<(&'static str, f64, f64)>,
+    pub queries: usize,
+}
+
+impl ThresholdResult {
+    pub fn render(&self) -> String {
+        crate::render::render_table(
+            &format!(
+                "Threshold requirement over {} TPC-H queries (fraction satisfied)",
+                self.queries
+            ),
+            &["estimator", "tau=.5 delta=.05", "tau=.5 delta=.40"],
+            &self
+                .rows
+                .iter()
+                .map(|(n, s, l)| {
+                    vec![n.to_string(), format!("{s:.2}"), format!("{l:.2}")]
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+pub fn threshold(scale: &Scale) -> ThresholdResult {
+    let t = scale.tpch();
+    let stats = DbStats::build(&t.db);
+    let names = ["dne", "pmax", "safe"];
+    let mut strict = [0usize; 3];
+    let mut lax = [0usize; 3];
+    let mut queries = 0usize;
+    for (_q, plan) in qp_workloads::tpch_queries(&t) {
+        let (_, trace) = traced_run(
+            plan,
+            &t.db,
+            &stats,
+            vec![Box::new(Dne), Box::new(Pmax), Box::new(Safe)],
+        );
+        queries += 1;
+        for (i, n) in names.iter().enumerate() {
+            if threshold_requirement_holds(&trace, n, 0.5, 0.05) {
+                strict[i] += 1;
+            }
+            if threshold_requirement_holds(&trace, n, 0.5, 0.40) {
+                lax[i] += 1;
+            }
+        }
+    }
+    ThresholdResult {
+        rows: names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                (
+                    *n,
+                    strict[i] as f64 / queries as f64,
+                    lax[i] as f64 / queries as f64,
+                )
+            })
+            .collect(),
+        queries,
+    }
+}

@@ -1,0 +1,196 @@
+//! Figure regenerators (Figures 3–7 of the paper).
+
+use super::{traced_run, SeriesResult};
+use crate::Scale;
+use qp_datagen::{RowOrder, SyntheticConfig, SyntheticDb};
+use qp_exec::plan::{JoinType, Plan, PlanBuilder};
+use qp_exec::Expr;
+use qp_progress::estimators::{Dne, Pmax, Safe};
+use qp_progress::metrics::{error_stats, ratio_error, ErrorStats};
+use qp_stats::DbStats;
+use qp_storage::Value;
+
+/// A figure's data: the plotted series plus error summaries per estimator.
+#[derive(Debug, Clone)]
+pub struct FigureResult {
+    pub series: SeriesResult,
+    pub errors: Vec<(&'static str, ErrorStats)>,
+}
+
+impl FigureResult {
+    fn new(series: SeriesResult, trace: &qp_progress::ProgressTrace) -> FigureResult {
+        let errors = trace
+            .names()
+            .iter()
+            .map(|n| (*n, error_stats(trace, n).expect("series present")))
+            .collect();
+        FigureResult { series, errors }
+    }
+
+    /// Renders the series and the error summary.
+    pub fn render(&self) -> String {
+        let mut s = self.series.render();
+        for (name, e) in &self.errors {
+            s.push_str(&format!(
+                "{name}: max abs {:.2}%, avg abs {:.2}%, max ratio {:.2}\n",
+                e.max_abs * 100.0,
+                e.avg_abs * 100.0,
+                e.max_ratio
+            ));
+        }
+        s
+    }
+}
+
+/// Figure 3 — the dne estimator on TPC-H Q1 over the z=2 skewed database:
+/// dne tracks the true progress almost exactly (per-tuple work variance is
+/// tiny), despite the skew wrecking cardinality estimates.
+pub fn fig3(scale: &Scale) -> FigureResult {
+    let t = scale.tpch();
+    let stats = DbStats::build(&t.db);
+    let plan = qp_workloads::tpch_query(1, &t);
+    let (_, trace) = traced_run(plan, &t.db, &stats, vec![Box::new(Dne)]);
+    let series = SeriesResult::from_trace("Figure 3: dne on TPC-H Q1 (z=2)", &trace);
+    FigureResult::new(series, &trace)
+}
+
+/// The Section 5.2/5.3 synthetic INL-join plan: `r1 ⋈INL r2` over the
+/// zipfian index. The join is **linear** — `r1.a` is unique, so each `r2`
+/// row matches at most one outer row and the output is bounded by `|r2|`
+/// (this is the paper's "linear joins" class from Section 3; the system
+/// would know it from the uniqueness of `r1.a`).
+pub fn synthetic_inl_plan(s: &SyntheticDb) -> Plan {
+    PlanBuilder::scan(&s.db, "r1")
+        .expect("r1")
+        .inl_join(&s.db, "r2", "r2_b", vec![0], JoinType::Inner, true, None)
+        .expect("r2_b")
+        .build()
+}
+
+/// The scan-based variant of the same join (Example 3 / Table 1): hash
+/// join with `r1` as build side — both relations scanned, output linear
+/// (`|output| = |r2|` since `r1.a` is unique).
+pub fn synthetic_hash_plan(s: &SyntheticDb) -> Plan {
+    let probe = PlanBuilder::scan(&s.db, "r2").expect("r2");
+    PlanBuilder::scan(&s.db, "r1")
+        .expect("r1")
+        .hash_join(probe, vec![0], vec![0], JoinType::Inner, true)
+        .build()
+}
+
+/// Builds the synthetic database with the requested `r1` order.
+pub fn synthetic(scale: &Scale, order: RowOrder) -> SyntheticDb {
+    SyntheticDb::generate(SyntheticConfig {
+        r1_rows: scale.synth_r1,
+        r2_rows: scale.synth_r2,
+        z: 2.0,
+        r1_order: order,
+        seed: scale.seed,
+    })
+}
+
+/// Figure 4 — pmax vs dne with the high-skew keys at the *front* of `r1`:
+/// dne massively underestimates (the early tuples carry most of the
+/// work); pmax stays within its μ-factor guarantee.
+pub fn fig4(scale: &Scale) -> FigureResult {
+    let s = synthetic(scale, RowOrder::SkewFirst);
+    let stats = DbStats::build(&s.db);
+    let plan = synthetic_inl_plan(&s);
+    let (_, trace) = traced_run(plan, &s.db, &stats, vec![Box::new(Dne), Box::new(Pmax)]);
+    let series =
+        SeriesResult::from_trace("Figure 4: pmax vs dne (INL join, skew-first order)", &trace);
+    FigureResult::new(series, &trace)
+}
+
+/// Figure 5 — safe vs dne with the high-skew keys at the *end* of `r1`
+/// (the worst case): dne believes the query is nearly done right before
+/// the skewed tuple detonates; safe hedges and suffers far less.
+pub fn fig5(scale: &Scale) -> FigureResult {
+    let s = synthetic(scale, RowOrder::SkewLast);
+    let stats = DbStats::build(&s.db);
+    let plan = synthetic_inl_plan(&s);
+    let (_, trace) = traced_run(plan, &s.db, &stats, vec![Box::new(Dne), Box::new(Safe)]);
+    let series = SeriesResult::from_trace(
+        "Figure 5: safe vs dne (INL join, worst-case skew-last order)",
+        &trace,
+    );
+    FigureResult::new(series, &trace)
+}
+
+/// Figure 6 — the ratio error of pmax over the execution of TPC-H Q21:
+/// high early (μ = 2.8 territory), dropping as bound refinement catches
+/// up, converging to 1.
+pub struct Fig6Result {
+    /// `(true_progress, ratio_error_of_pmax)`.
+    pub ratio_series: Vec<(f64, f64)>,
+    pub mu: f64,
+}
+
+impl Fig6Result {
+    pub fn render(&self) -> String {
+        let mut out = String::from("== Figure 6: ratio error of pmax over TPC-H Q21 ==\n");
+        out.push_str(&format!("μ(Q21) = {:.3}\n", self.mu));
+        out.push_str(&format!("{:>10}{:>12}\n", "progress", "ratio err"));
+        let step = (self.ratio_series.len() / 25).max(1);
+        for (i, (p, r)) in self.ratio_series.iter().enumerate() {
+            if i % step == 0 || i + 1 == self.ratio_series.len() {
+                out.push_str(&format!("{:>9.1}%{r:>12.3}\n", p * 100.0));
+            }
+        }
+        out
+    }
+}
+
+pub fn fig6(scale: &Scale) -> Fig6Result {
+    let t = scale.tpch();
+    let stats = DbStats::build(&t.db);
+    let plan = qp_workloads::tpch_query(21, &t);
+    let meta = qp_progress::PlanMeta::from_plan(&plan);
+    let (out, trace) = traced_run(plan, &t.db, &stats, vec![Box::new(Pmax)]);
+    let mu = qp_progress::mu_from_counts(&meta, &out.node_counts);
+    let ratio_series = trace
+        .series("pmax")
+        .expect("pmax traced")
+        .into_iter()
+        .filter(|(p, _)| *p > 0.0)
+        .map(|(p, e)| (p, ratio_error(e, p)))
+        .collect();
+    Fig6Result { ratio_series, mu }
+}
+
+/// Figure 7 — the same worst-case data as Figure 5 but with an extra
+/// predicate on `r1` that filters out the high-skew keys: the variance in
+/// per-tuple work collapses, dne becomes nearly exact, and safe's hedging
+/// costs it a persistent underestimate.
+pub fn fig7(scale: &Scale) -> FigureResult {
+    let s = synthetic(scale, RowOrder::SkewLast);
+    let stats = DbStats::build(&s.db);
+    // Filter out every key that joins with more than one row — "very few
+    // tuples will actually join; thus the variance in the per-tuple work
+    // is negligible" (Section 6.2). Keep the hottest keys in the list
+    // first in case the cap bites.
+    let mut hot: Vec<(Value, u64)> = s
+        .fanout
+        .iter()
+        .filter(|(_, &f)| f > 1)
+        .map(|(k, &f)| (k.clone(), f))
+        .collect();
+    hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    hot.truncate(1024);
+    let hot: Vec<Value> = hot.into_iter().map(|(k, _)| k).collect();
+    let plan = PlanBuilder::scan(&s.db, "r1")
+        .expect("r1")
+        .filter(Expr::Not(Box::new(Expr::InList(
+            Box::new(Expr::Col(0)),
+            hot,
+        ))))
+        .inl_join(&s.db, "r2", "r2_b", vec![0], JoinType::Inner, true, None)
+        .expect("r2_b")
+        .build();
+    let (_, trace) = traced_run(plan, &s.db, &stats, vec![Box::new(Dne), Box::new(Safe)]);
+    let series = SeriesResult::from_trace(
+        "Figure 7: safe vs dne with the skewed keys filtered out",
+        &trace,
+    );
+    FigureResult::new(series, &trace)
+}

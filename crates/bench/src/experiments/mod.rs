@@ -1,0 +1,59 @@
+//! Experiment implementations, grouped as in the paper's evaluation.
+
+pub mod ablations;
+pub mod extensions;
+pub mod figures;
+pub mod tables;
+pub mod theory;
+
+use qp_exec::estimate::annotate;
+use qp_exec::plan::Plan;
+use qp_progress::estimators::ProgressEstimator;
+use qp_progress::monitor::{run_with_progress, ProgressTrace};
+use qp_stats::DbStats;
+use qp_storage::Database;
+
+/// Runs `plan` over `db` with the given estimators, annotating optimizer
+/// estimates first and returning the trace plus the completed totals.
+pub fn traced_run(
+    mut plan: Plan,
+    db: &Database,
+    stats: &DbStats,
+    estimators: Vec<Box<dyn ProgressEstimator>>,
+) -> (qp_exec::executor::QueryOutput, ProgressTrace) {
+    annotate(&mut plan, stats);
+    run_with_progress(&plan, db, Some(stats), estimators, None)
+        .expect("experiment query runs to completion")
+}
+
+/// A named series experiment result: `(actual_progress, estimates...)`.
+#[derive(Debug, Clone)]
+pub struct SeriesResult {
+    pub title: String,
+    pub estimator_names: Vec<&'static str>,
+    pub series: Vec<(f64, Vec<f64>)>,
+}
+
+impl SeriesResult {
+    /// Builds from a trace.
+    pub fn from_trace(title: impl Into<String>, trace: &ProgressTrace) -> SeriesResult {
+        let names = trace.names().to_vec();
+        let prog = trace.true_progress();
+        let series = trace
+            .snapshots()
+            .iter()
+            .zip(prog)
+            .map(|(s, p)| (p, s.estimates.clone()))
+            .collect();
+        SeriesResult {
+            title: title.into(),
+            estimator_names: names,
+            series,
+        }
+    }
+
+    /// Renders as text (≈25 sample points, like the paper's plots).
+    pub fn render(&self) -> String {
+        crate::render::render_series(&self.title, &self.estimator_names, &self.series, 25)
+    }
+}

@@ -1,0 +1,133 @@
+//! Table regenerators (Tables 1–3 of the paper).
+
+use super::figures::{synthetic, synthetic_hash_plan, synthetic_inl_plan};
+use super::traced_run;
+use crate::Scale;
+use qp_datagen::RowOrder;
+use qp_progress::estimators::{Dne, Pmax, Safe};
+use qp_progress::metrics::error_stats;
+use qp_progress::PlanMeta;
+use qp_stats::DbStats;
+
+/// Table 1 — impact of a scan-based plan: max/avg absolute error of each
+/// estimator under the worst-case (skew-last) order, INL join vs hash
+/// join.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Rows: `(estimator, max_inl, max_hash, avg_inl, avg_hash)` — all in
+    /// progress units (fractions).
+    pub rows: Vec<(&'static str, f64, f64, f64, f64)>,
+}
+
+impl Table1 {
+    pub fn render(&self) -> String {
+        crate::render::render_table(
+            "Table 1: impact of scan-based plan (worst-case order)",
+            &["estimator", "MaxErr(INL)", "MaxErr(Hash)", "AvgErr(INL)", "AvgErr(Hash)"],
+            &self
+                .rows
+                .iter()
+                .map(|(n, mi, mh, ai, ah)| {
+                    vec![
+                        n.to_string(),
+                        format!("{:.2}%", mi * 100.0),
+                        format!("{:.2}%", mh * 100.0),
+                        format!("{:.2}%", ai * 100.0),
+                        format!("{:.2}%", ah * 100.0),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+pub fn table1(scale: &Scale) -> Table1 {
+    let s = synthetic(scale, RowOrder::SkewLast);
+    let stats = DbStats::build(&s.db);
+    let suite = || -> Vec<Box<dyn qp_progress::ProgressEstimator>> {
+        vec![Box::new(Dne), Box::new(Pmax), Box::new(Safe)]
+    };
+    let (_, inl_trace) = traced_run(synthetic_inl_plan(&s), &s.db, &stats, suite());
+    let (_, hash_trace) = traced_run(synthetic_hash_plan(&s), &s.db, &stats, suite());
+    let rows = ["dne", "pmax", "safe"]
+        .iter()
+        .map(|name| {
+            let i = error_stats(&inl_trace, name).expect("traced");
+            let h = error_stats(&hash_trace, name).expect("traced");
+            (*name, i.max_abs, h.max_abs, i.avg_abs, h.avg_abs)
+        })
+        .collect();
+    Table1 { rows }
+}
+
+/// Table 2 — μ values for the TPC-H queries (the paper reports Q1–Q21; we
+/// include Q22 as well).
+#[derive(Debug, Clone)]
+pub struct MuTable {
+    pub title: &'static str,
+    /// `(query, μ, scan_based, internal_nodes)`.
+    pub rows: Vec<(usize, f64, bool, usize)>,
+}
+
+impl MuTable {
+    pub fn render(&self) -> String {
+        crate::render::render_table(
+            self.title,
+            &["query", "mu", "scan-based", "m"],
+            &self
+                .rows
+                .iter()
+                .map(|(q, mu, sb, m)| {
+                    vec![
+                        q.to_string(),
+                        format!("{mu:.3}"),
+                        sb.to_string(),
+                        m.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// μ for one query number, if present.
+    pub fn mu(&self, q: usize) -> Option<f64> {
+        self.rows.iter().find(|(n, ..)| *n == q).map(|&(_, mu, ..)| mu)
+    }
+}
+
+pub fn table2(scale: &Scale) -> MuTable {
+    let t = scale.tpch();
+    let stats = DbStats::build(&t.db);
+    let mut rows = Vec::new();
+    for (q, plan) in qp_workloads::tpch_queries(&t) {
+        let meta = PlanMeta::from_plan(&plan);
+        let scan_based = meta.scan_based;
+        let m = meta.internal_nodes;
+        let (out, _) = traced_run(plan, &t.db, &stats, vec![Box::new(Pmax)]);
+        let mu = qp_progress::mu_from_counts(&meta, &out.node_counts);
+        rows.push((q, mu, scan_based, m));
+    }
+    MuTable {
+        title: "Table 2: mu values for TPC-H (z=2)",
+        rows,
+    }
+}
+
+/// Table 3 — μ values for the SkyServer suite.
+pub fn table3(scale: &Scale) -> MuTable {
+    let s = scale.sky();
+    let stats = DbStats::build(&s.db);
+    let mut rows = Vec::new();
+    for (q, plan) in qp_workloads::sky_queries(&s) {
+        let meta = PlanMeta::from_plan(&plan);
+        let scan_based = meta.scan_based;
+        let m = meta.internal_nodes;
+        let (out, _) = traced_run(plan, &s.db, &stats, vec![Box::new(Pmax)]);
+        let mu = qp_progress::mu_from_counts(&meta, &out.node_counts);
+        rows.push((q, mu, scan_based, m));
+    }
+    MuTable {
+        title: "Table 3: mu values for the synthetic SkyServer suite",
+        rows,
+    }
+}

@@ -1,0 +1,90 @@
+//! # qp-bench — the reproduction harness
+//!
+//! One regenerator per table and figure of the paper's evaluation, plus
+//! the theorem-validation experiments. The `repro` binary
+//! (`cargo run -p qp-bench --bin repro -- <experiment>`) prints the same
+//! rows/series the paper reports; the structured results are also
+//! returned as values so the integration tests can assert the paper's
+//! *qualitative* claims (who wins, by roughly what factor, where the
+//! crossovers fall) at laptop scale.
+//!
+//! | id | paper artifact | function |
+//! |----|----------------|----------|
+//! | `fig3` | Figure 3 — dne on TPC-H Q1 (z=2) | [`experiments::figures::fig3`] |
+//! | `fig4` | Figure 4 — pmax vs dne, zipf inner, skew-first order | [`experiments::figures::fig4`] |
+//! | `fig5` | Figure 5 — safe vs dne, worst-case (skew-last) order | [`experiments::figures::fig5`] |
+//! | `fig6` | Figure 6 — pmax ratio error over Q21 | [`experiments::figures::fig6`] |
+//! | `fig7` | Figure 7 — safe vs dne on a dne-favourable query | [`experiments::figures::fig7`] |
+//! | `table1` | Table 1 — INL vs Hash, max/avg errors | [`experiments::tables::table1`] |
+//! | `table2` | Table 2 — μ for TPC-H Q1–Q22 | [`experiments::tables::table2`] |
+//! | `table3` | Table 3 — μ for the SkyServer suite | [`experiments::tables::table3`] |
+//! | `lowerbound` | Example 1 / Theorem 1 twin instances | [`experiments::theory::lower_bound`] |
+//! | `thm3` | Theorem 3 — E\[err\]=0 under random order | [`experiments::theory::theorem3`] |
+//! | `thm4` | Theorem 4 — ≥½ of orders 2-predictive | [`experiments::theory::theorem4`] |
+//! | `scanbased` | Property 6 — scan-based guarantees | [`experiments::theory::scan_based`] |
+//! | `invariants` | Properties 4 & Theorem 5 along whole suite | [`experiments::theory::invariants`] |
+
+pub mod experiments;
+pub mod render;
+
+use qp_datagen::{SkyConfig, SkyDb, TpchConfig, TpchDb};
+
+/// Standard experiment scale. The paper uses 1 GB databases; all shapes
+/// here are scale-free (see DESIGN.md §5), and these sizes keep the whole
+/// suite under a minute in release mode.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    pub tpch_scale: f64,
+    pub tpch_z: f64,
+    pub synth_r1: usize,
+    pub synth_r2: usize,
+    pub sky_rows: usize,
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Scale {
+        Scale {
+            tpch_scale: 0.01,
+            tpch_z: 2.0,
+            synth_r1: 20_000,
+            synth_r2: 200_000,
+            sky_rows: 60_000,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+impl Scale {
+    /// A reduced scale for tests (whole suite in a few seconds, debug
+    /// mode included).
+    pub fn small() -> Scale {
+        Scale {
+            tpch_scale: 0.002,
+            tpch_z: 2.0,
+            synth_r1: 2_000,
+            synth_r2: 20_000,
+            sky_rows: 8_000,
+            seed: 0xBEEF,
+        }
+    }
+
+    /// Generates the TPC-H database at this scale.
+    pub fn tpch(&self) -> TpchDb {
+        TpchDb::generate(TpchConfig {
+            scale: self.tpch_scale,
+            z: self.tpch_z,
+            seed: self.seed,
+        })
+    }
+
+    /// Generates the SkyServer database at this scale.
+    pub fn sky(&self) -> SkyDb {
+        SkyDb::generate(SkyConfig {
+            photoobj_rows: self.sky_rows,
+            spec_fraction: 0.04,
+            neighbors_per_obj: 3.0,
+            seed: self.seed,
+        })
+    }
+}

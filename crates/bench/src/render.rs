@@ -1,0 +1,84 @@
+//! Plain-text rendering of experiment results (series and tables).
+
+/// Renders an estimated-vs-actual progress series as a fixed-width table,
+/// downsampled to roughly `points` rows.
+pub fn render_series(
+    title: &str,
+    columns: &[&str],
+    series: &[(f64, Vec<f64>)],
+    points: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!("{:>10}", "actual"));
+    for c in columns {
+        out.push_str(&format!("{c:>12}"));
+    }
+    out.push('\n');
+    let step = (series.len() / points.max(1)).max(1);
+    for (i, (actual, ests)) in series.iter().enumerate() {
+        if i % step != 0 && i + 1 != series.len() {
+            continue;
+        }
+        out.push_str(&format!("{:>9.1}%", actual * 100.0));
+        for e in ests {
+            out.push_str(&format!("{:>11.1}%", e * 100.0));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a generic table with a header row.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    for (h, w) in header.iter().zip(&widths) {
+        out.push_str(&format!("{h:>w$}  ", w = w));
+    }
+    out.push('\n');
+    for row in rows {
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!("{cell:>w$}  ", w = w));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_renders_downsampled() {
+        let series: Vec<(f64, Vec<f64>)> =
+            (0..100).map(|i| (i as f64 / 100.0, vec![0.5])).collect();
+        let s = render_series("t", &["dne"], &series, 10);
+        let lines = s.lines().count();
+        assert!((10..=14).contains(&lines), "{lines} lines");
+        assert!(s.contains("dne"));
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let s = render_table(
+            "t",
+            &["q", "mu"],
+            &[
+                vec!["1".into(), "1.989".into()],
+                vec!["21".into(), "2.782".into()],
+            ],
+        );
+        assert!(s.contains("1.989"));
+        assert!(s.contains("21"));
+    }
+}

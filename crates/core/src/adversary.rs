@@ -1,0 +1,222 @@
+//! The lower-bound construction (Section 3, Example 1, Theorem 1).
+//!
+//! Two *twin* instances of `R1` that differ in a single tuple `t` placed
+//! after 90% of the relation:
+//!
+//! * in the **X twin**, `t.A = x` — a value matching *nothing* in `R2`;
+//! * in the **Y twin**, `t.A = y` — a value matching a huge block of `R2`.
+//!
+//! Both values live inside the same histogram bucket, so every lossy
+//! single-relation statistic is identical across the twins; and the first
+//! 90% of the execution trace is byte-for-byte identical. Any progress
+//! estimator therefore returns the *same* estimate at the decision
+//! instant on both twins — yet the true progress is ≈0.9 on one and ≈0.09
+//! on the other. Whatever it answers, on one twin its ratio error is at
+//! least `√(progress_x / progress_y)`, and the threshold requirement
+//! fails for every `(τ, δ)` with `0 < τ−δ` and `τ+δ < 1` (Theorem 1).
+
+use qp_exec::plan::{JoinType, Plan, PlanBuilder};
+use qp_exec::{CmpOp, Expr};
+use qp_stats::TableStats;
+use qp_storage::{ColumnType, Database, Schema, Value};
+
+/// The twin construction. `n` is `|R1|`; `R2` holds `9n` rows of the `y`
+/// value (so `|R2| ≈ 9|R1|`, within the paper's `|R2| = 10|R1|` regime).
+pub struct AdversarialPair {
+    /// Database holding the X twin of `r1` (victim does not join).
+    pub db_x: Database,
+    /// Database holding the Y twin of `r1` (victim joins all of `r2`).
+    pub db_y: Database,
+    /// `|R1|`.
+    pub n: usize,
+    /// Position (0-based) of the victim tuple in `r1`'s heap order.
+    pub victim_pos: usize,
+    /// The two twin values.
+    pub x: i64,
+    pub y: i64,
+}
+
+/// Number of `R2` rows per `R1` row in the construction.
+const FANOUT_FACTOR: usize = 9;
+
+impl AdversarialPair {
+    /// Builds the twins. `n` must be at least 10.
+    pub fn construct(n: usize) -> AdversarialPair {
+        assert!(n >= 10, "need at least 10 rows");
+        // Keep the victim strictly inside a histogram bucket (never the
+        // bucket's lo/hi element) so twin histograms match exactly: offset
+        // it off the round 90% position, which equi-depth bucketing tends
+        // to use as a boundary.
+        let victim_pos = (n * 9 / 10 + 3).min(n - 1);
+        // R1 values are multiples of 10 (in heap order); the twins differ
+        // only in the victim's value: x = its natural value, y = x + 1
+        // (inside the same equi-depth bucket, absent elsewhere).
+        let x = (victim_pos as i64) * 10;
+        let y = x + 1;
+        let r1_schema = Schema::of(&[("a", ColumnType::Int)]);
+        let mk_r1 = |victim_value: i64| {
+            (0..n).map(move |i| {
+                let v = if i == victim_pos {
+                    victim_value
+                } else {
+                    (i as i64) * 10
+                };
+                vec![Value::Int(v)]
+            })
+        };
+        let r2_rows = (0..FANOUT_FACTOR * n).map(|_| vec![Value::Int(y)]);
+
+        let mut db_x = Database::new();
+        db_x.create_table_with_rows("r1", r1_schema.clone(), mk_r1(x))
+            .expect("fresh db");
+        db_x.create_table_with_rows("r2", Schema::of(&[("b", ColumnType::Int)]), r2_rows.clone())
+            .expect("fresh db");
+        db_x.create_index("r2_b", "r2", &["b"], false).expect("index");
+
+        let mut db_y = Database::new();
+        db_y.create_table_with_rows("r1", r1_schema, mk_r1(y))
+            .expect("fresh db");
+        db_y.create_table_with_rows("r2", Schema::of(&[("b", ColumnType::Int)]), r2_rows)
+            .expect("fresh db");
+        db_y.create_index("r2_b", "r2", &["b"], false).expect("index");
+
+        AdversarialPair {
+            db_x,
+            db_y,
+            n,
+            victim_pos,
+            x,
+            y,
+        }
+    }
+
+    /// The Figure 2 plan over one of the twins: `σ(A = x ∨ A = y)` over a
+    /// scan of `r1`, index-nested-loops joined with `r2`.
+    pub fn plan(&self, db: &Database) -> Plan {
+        PlanBuilder::scan(db, "r1")
+            .expect("r1 exists")
+            .filter(Expr::Or(vec![
+                Expr::cmp(CmpOp::Eq, Expr::Col(0), Expr::Lit(Value::Int(self.x))),
+                Expr::cmp(CmpOp::Eq, Expr::Col(0), Expr::Lit(Value::Int(self.y))),
+            ]))
+            // Linear: r1.a is unique, so the output is bounded by |r2| —
+            // Example 1 is explicitly carried out within the class of
+            // linear joins.
+            .inl_join(db, "r2", "r2_b", vec![0], JoinType::Inner, true, None)
+            .expect("index exists")
+            .build()
+    }
+
+    /// Verifies the lossiness premise: the per-column equi-depth
+    /// histograms of the two `r1` twins are identical.
+    pub fn stats_identical(&self, buckets: usize) -> bool {
+        let tx = self.db_x.table("r1").expect("r1");
+        let ty = self.db_y.table("r1").expect("r1");
+        let sx = TableStats::build(&tx, buckets);
+        let sy = TableStats::build(&ty, buckets);
+        sx.column(0).histogram == sy.column(0).histogram
+    }
+
+    /// `Curr` at the decision instant: the victim is the next tuple to be
+    /// retrieved, i.e. `victim_pos` scan getnexts have happened and the
+    /// filter has passed nothing yet.
+    pub fn decision_curr(&self) -> u64 {
+        self.victim_pos as u64
+    }
+
+    /// True progress at the decision instant on each twin, computed from
+    /// actual runs: `(progress_on_x, progress_on_y)`.
+    pub fn decision_progress(&self) -> (f64, f64) {
+        let plan_x = self.plan(&self.db_x);
+        let plan_y = self.plan(&self.db_y);
+        let (out_x, _) = qp_exec::run_query(&plan_x, &self.db_x, None).expect("x runs");
+        let (out_y, _) = qp_exec::run_query(&plan_y, &self.db_y, None).expect("y runs");
+        let curr = self.decision_curr() as f64;
+        (
+            curr / out_x.total_getnext as f64,
+            curr / out_y.total_getnext as f64,
+        )
+    }
+
+    /// Given the (necessarily identical) estimate an estimator returns at
+    /// the decision instant, the ratio error it is forced to suffer on
+    /// the worse twin.
+    pub fn forced_ratio_error(&self, estimate: f64) -> f64 {
+        let (px, py) = self.decision_progress();
+        crate::metrics::ratio_error(estimate, px).max(crate::metrics::ratio_error(estimate, py))
+    }
+
+    /// The best ratio error *any* estimator can guarantee on this pair:
+    /// `√(px / py)`, achieved by answering the geometric mean — exactly
+    /// the `safe` strategy (Theorem 6's optimality).
+    pub fn best_achievable_ratio(&self) -> f64 {
+        let (px, py) = self.decision_progress();
+        (px.max(py) / px.min(py)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twins_have_identical_histograms() {
+        let pair = AdversarialPair::construct(1_000);
+        assert!(pair.stats_identical(100));
+        assert!(pair.stats_identical(10));
+    }
+
+    #[test]
+    fn twins_diverge_enormously_in_total_work() {
+        let pair = AdversarialPair::construct(1_000);
+        let plan_x = pair.plan(&pair.db_x);
+        let plan_y = pair.plan(&pair.db_y);
+        let (out_x, _) = qp_exec::run_query(&plan_x, &pair.db_x, None).unwrap();
+        let (out_y, _) = qp_exec::run_query(&plan_y, &pair.db_y, None).unwrap();
+        // X: scan 1000 + σ 1 + join 0; Y: scan 1000 + σ 1 + join 9000.
+        assert_eq!(out_x.total_getnext, 1_001);
+        assert_eq!(out_y.total_getnext, 10_001);
+    }
+
+    #[test]
+    fn decision_point_progress_gap_matches_paper() {
+        let pair = AdversarialPair::construct(1_000);
+        let (px, py) = pair.decision_progress();
+        assert!((px - 0.9).abs() < 0.01, "px = {px}");
+        assert!((py - 0.09).abs() < 0.01, "py = {py}");
+    }
+
+    #[test]
+    fn every_answer_is_forced_into_large_error() {
+        let pair = AdversarialPair::construct(1_000);
+        let best = pair.best_achievable_ratio();
+        assert!(best > 3.0, "gap too small: {best}");
+        // No answer does better than the geometric mean...
+        for &e in &[0.05, 0.09, 0.2, 0.5, 0.9, 0.99] {
+            assert!(
+                pair.forced_ratio_error(e) >= best - 1e-6,
+                "estimate {e} beat the bound"
+            );
+        }
+        // ...and the geometric mean achieves it.
+        let (px, py) = pair.decision_progress();
+        let geo = (px * py).sqrt();
+        assert!((pair.forced_ratio_error(geo) - best).abs() < 1e-6);
+    }
+
+    #[test]
+    fn execution_prefixes_are_identical_before_victim() {
+        // The first victim_pos getnext events are the same on both twins
+        // (scan rows only; the filter passes nothing).
+        let pair = AdversarialPair::construct(500);
+        let plan_x = pair.plan(&pair.db_x);
+        let plan_y = pair.plan(&pair.db_y);
+        let (out_x, _) = qp_exec::run_query(&plan_x, &pair.db_x, None).unwrap();
+        let (out_y, _) = qp_exec::run_query(&plan_y, &pair.db_y, None).unwrap();
+        // Scan node produced the full relation on both; filter output
+        // differs only in rows at/after the victim.
+        assert_eq!(out_x.node_counts[0], out_y.node_counts[0]);
+        assert_eq!(out_x.node_counts[1], 1);
+        assert_eq!(out_y.node_counts[1], 1);
+    }
+}

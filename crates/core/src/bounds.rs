@@ -1,0 +1,585 @@
+//! Run-time cardinality bounds (Section 5.1).
+//!
+//! For every plan node the tracker maintains a hard interval
+//! `[lb, ub]` on the number of getnext calls that node will have issued by
+//! the end of the execution (= rows it will produce, under the model). The
+//! estimators use the *sums* `LB = Σ lb` and `UB = Σ ub`:
+//!
+//! * `pmax = Curr / LB` (Definition 3) — since `LB ≤ total(Q)`, pmax never
+//!   underestimates progress (Property 4);
+//! * `safe = Curr / √(LB·UB)` (Definition 5) — worst-case-optimal ratio
+//!   error `√(UB/LB)` (Theorem 6).
+//!
+//! Rules (refined as execution proceeds, per the paper):
+//!
+//! * scan leaf: `lb = ub = |R|` — exact from the catalog;
+//! * clustered/index range scan: histogram bucket boundaries give hard
+//!   `[lb, ub]` (footnote 2), refined by rows seen;
+//! * σ, π, sort, γ (linear operators): `ub ≤ child.ub`; `lb` = rows
+//!   produced so far, or the child's bound for row-preserving operators;
+//! * **linear joins** (output ≤ larger input, e.g. key–FK): `ub =
+//!   max(children ub)`;
+//! * non-linear joins: `ub = product of children ub` (saturating);
+//! * any node whose parent chain has exhausted, or that has itself
+//!   exhausted, is final: `lb = ub = produced`.
+//!
+//! `Limit` needs care: descendants of a limit may stop early, so their
+//! a-priori lower bounds are **not** valid for "rows produced during this
+//! execution"; for such nodes only `produced` is a safe lower bound.
+
+use qp_exec::plan::{JoinType, Plan, PlanNode};
+use qp_exec::{Counters, NodeId};
+use qp_stats::DbStats;
+use std::ops::Bound;
+
+/// Per-node bound pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeBounds {
+    pub lb: u64,
+    pub ub: u64,
+}
+
+/// Static per-node facts the rules need (extracted from the plan once).
+#[derive(Debug, Clone)]
+enum NodeRule {
+    ScanExact {
+        card: u64,
+    },
+    RangeScan {
+        hist_lb: u64,
+        hist_ub: u64,
+    },
+    /// σ: output ≤ child output.
+    Filter,
+    /// Row-preserving unary operators (π, sort).
+    RowPreserving,
+    Limit {
+        n: u64,
+    },
+    Join {
+        join_type: JoinType,
+        linear: bool,
+        /// For INLJ: the inner table's cardinality (the "virtual" second
+        /// input); `None` for two-child joins.
+        inner_card: Option<u64>,
+        /// INLJ over a unique index: at most one match per outer row.
+        inner_unique: bool,
+    },
+    Aggregate {
+        scalar: bool,
+    },
+}
+
+/// Tracks `[lb, ub]` per node and the totals `LB`, `UB`.
+#[derive(Debug)]
+pub struct BoundsTracker {
+    rules: Vec<NodeRule>,
+    children: Vec<Vec<NodeId>>,
+    parent: Vec<Option<NodeId>>,
+    /// Nodes with a `Limit` strictly above them.
+    under_limit: Vec<bool>,
+    bounds: Vec<NodeBounds>,
+}
+
+impl BoundsTracker {
+    /// Builds the tracker from a plan, optionally using statistics to
+    /// tighten range-scan bounds via histogram bucket boundaries.
+    pub fn new(plan: &Plan, stats: Option<&DbStats>) -> BoundsTracker {
+        let n = plan.len();
+        let mut rules = Vec::with_capacity(n);
+        let mut children = Vec::with_capacity(n);
+        let mut parent = vec![None; n];
+        for (id, node) in plan.nodes().iter().enumerate() {
+            children.push(node.children.clone());
+            for &c in &node.children {
+                parent[c] = Some(id);
+            }
+            rules.push(match &node.kind {
+                PlanNode::SeqScan { card, .. } => NodeRule::ScanExact { card: *card },
+                PlanNode::IndexRangeScan {
+                    table,
+                    lo,
+                    hi,
+                    table_card,
+                    key_columns,
+                    ..
+                } => {
+                    let (hist_lb, hist_ub) =
+                        range_bounds_from_stats(stats, table, key_columns, lo, hi)
+                            .unwrap_or((0, *table_card));
+                    NodeRule::RangeScan { hist_lb, hist_ub }
+                }
+                PlanNode::Filter { .. } => NodeRule::Filter,
+                PlanNode::Project { .. } | PlanNode::Sort { .. } => NodeRule::RowPreserving,
+                PlanNode::Limit { n } => NodeRule::Limit { n: *n },
+                PlanNode::HashJoin {
+                    join_type, linear, ..
+                }
+                | PlanNode::MergeJoin {
+                    join_type, linear, ..
+                }
+                | PlanNode::NestedLoopsJoin {
+                    join_type, linear, ..
+                } => NodeRule::Join {
+                    join_type: *join_type,
+                    linear: *linear,
+                    inner_card: None,
+                    inner_unique: false,
+                },
+                PlanNode::IndexNestedLoopsJoin {
+                    join_type,
+                    linear,
+                    inner_card,
+                    inner_unique,
+                    ..
+                } => NodeRule::Join {
+                    join_type: *join_type,
+                    linear: *linear,
+                    inner_card: Some(*inner_card),
+                    inner_unique: *inner_unique,
+                },
+                PlanNode::HashAggregate { group_by, .. }
+                | PlanNode::StreamAggregate { group_by, .. } => NodeRule::Aggregate {
+                    scalar: group_by.is_empty(),
+                },
+            });
+        }
+        // Mark nodes that can stop early because of a Limit above them.
+        // Early termination does NOT propagate through blocking inputs: a
+        // sort / hash aggregate consumes its entire input at open no
+        // matter how few rows its parent pulls, and likewise a hash
+        // join's build side and a nested-loops join's materialized inner
+        // side run to completion. Only streaming paths under a Limit can
+        // be cut short.
+        let mut under_limit = vec![false; n];
+        let root = (0..n).find(|&i| parent[i].is_none()).unwrap_or(0);
+        let mut stack = vec![(root, false)];
+        while let Some((id, flag)) = stack.pop() {
+            under_limit[id] = flag;
+            let kids = &children[id];
+            match &plan.node(id).kind {
+                PlanNode::Limit { .. } => {
+                    for &c in kids {
+                        stack.push((c, true));
+                    }
+                }
+                PlanNode::Sort { .. }
+                | PlanNode::HashAggregate { .. } => {
+                    for &c in kids {
+                        stack.push((c, false));
+                    }
+                }
+                PlanNode::HashJoin { .. } => {
+                    // child 0 = build (blocking), child 1 = probe (streams).
+                    stack.push((kids[0], false));
+                    stack.push((kids[1], flag));
+                }
+                PlanNode::NestedLoopsJoin { .. } => {
+                    // child 1 = inner (materialized at open).
+                    stack.push((kids[0], flag));
+                    stack.push((kids[1], false));
+                }
+                _ => {
+                    for &c in kids {
+                        stack.push((c, flag));
+                    }
+                }
+            }
+        }
+        let mut tracker = BoundsTracker {
+            rules,
+            children,
+            parent,
+            under_limit,
+            bounds: vec![NodeBounds { lb: 0, ub: u64::MAX }; n],
+        };
+        // Initial bounds with zero production.
+        let zeros = vec![0u64; n];
+        let not_done = vec![false; n];
+        tracker.recompute(&zeros, &not_done);
+        tracker
+    }
+
+    /// Convenience: recompute from executor counters.
+    pub fn update_from_counters(&mut self, counters: &Counters) {
+        let produced: Vec<u64> = (0..self.rules.len()).map(|i| counters.node(i)).collect();
+        let exhausted: Vec<bool> = (0..self.rules.len())
+            .map(|i| counters.is_exhausted(i))
+            .collect();
+        self.recompute(&produced, &exhausted);
+    }
+
+    /// Recomputes all bounds bottom-up from production counts and
+    /// exhaustion flags.
+    pub fn recompute(&mut self, produced: &[u64], exhausted: &[bool]) {
+        let n = self.rules.len();
+        // A node is *final* when it or any ancestor has exhausted — it
+        // will never be pulled again.
+        let mut finalized = vec![false; n];
+        #[allow(clippy::needless_range_loop)] // id is also the walk start
+        for id in 0..n {
+            let mut cur = Some(id);
+            while let Some(c) = cur {
+                if exhausted[c] {
+                    finalized[id] = true;
+                    break;
+                }
+                cur = self.parent[c];
+            }
+        }
+        // Node ids are topological (children before parents), so a single
+        // forward pass suffices.
+        for id in 0..n {
+            self.bounds[id] = if finalized[id] {
+                NodeBounds {
+                    lb: produced[id],
+                    ub: produced[id],
+                }
+            } else {
+                self.node_bounds(id, produced)
+            };
+        }
+    }
+
+    fn child_bounds(&self, id: NodeId, idx: usize) -> NodeBounds {
+        self.bounds[self.children[id][idx]]
+    }
+
+    fn node_bounds(&self, id: NodeId, produced: &[u64]) -> NodeBounds {
+        let p = produced[id];
+        let raw = match &self.rules[id] {
+            NodeRule::ScanExact { card } => NodeBounds {
+                lb: *card,
+                ub: *card,
+            },
+            NodeRule::RangeScan { hist_lb, hist_ub } => NodeBounds {
+                lb: (*hist_lb).max(p),
+                ub: (*hist_ub).max(p),
+            },
+            NodeRule::Filter => NodeBounds {
+                lb: p,
+                ub: self.child_bounds(id, 0).ub,
+            },
+            NodeRule::RowPreserving => {
+                let c = self.child_bounds(id, 0);
+                NodeBounds {
+                    lb: c.lb.max(p),
+                    ub: c.ub,
+                }
+            }
+            NodeRule::Limit { n } => {
+                let c = self.child_bounds(id, 0);
+                NodeBounds {
+                    lb: c.lb.min(*n).max(p),
+                    ub: c.ub.min(*n),
+                }
+            }
+            NodeRule::Join {
+                join_type,
+                linear,
+                inner_card,
+                inner_unique,
+            } => {
+                let outer = self.child_bounds(id, 0);
+                let inner_ub = match inner_card {
+                    Some(card) => *card,
+                    None => self.child_bounds(id, 1).ub,
+                };
+                let ub = match join_type {
+                    JoinType::LeftSemi | JoinType::LeftAnti => outer.ub,
+                    JoinType::Inner | JoinType::LeftOuter => {
+                        let matched = if *inner_unique {
+                            outer.ub
+                        } else if *linear {
+                            outer.ub.max(inner_ub)
+                        } else {
+                            outer.ub.saturating_mul(inner_ub)
+                        };
+                        if matches!(join_type, JoinType::LeftOuter) {
+                            matched.saturating_add(outer.ub)
+                        } else {
+                            matched
+                        }
+                    }
+                };
+                let lb = match join_type {
+                    // Every preserved-side row appears at least once.
+                    JoinType::LeftOuter => outer.lb.max(p),
+                    _ => p,
+                };
+                NodeBounds { lb, ub: ub.max(p) }
+            }
+            NodeRule::Aggregate { scalar } => {
+                if *scalar {
+                    NodeBounds { lb: 1, ub: 1 }
+                } else {
+                    let c = self.child_bounds(id, 0);
+                    NodeBounds {
+                        lb: p.max(u64::from(c.lb > 0)),
+                        ub: c.ub.max(p),
+                    }
+                }
+            }
+        };
+        // Under a Limit, only rows already produced are guaranteed.
+        if self.under_limit[id] {
+            NodeBounds {
+                lb: p,
+                ub: raw.ub,
+            }
+        } else {
+            raw
+        }
+    }
+
+    /// Per-node bounds.
+    pub fn node(&self, id: NodeId) -> NodeBounds {
+        self.bounds[id]
+    }
+
+    /// All per-node bounds (index = node id).
+    pub fn all(&self) -> &[NodeBounds] {
+        &self.bounds
+    }
+
+    /// `LB` — the lower bound on `total(Q)` (Σ per-node lower bounds),
+    /// never less than 1 so quotients are defined.
+    pub fn total_lb(&self) -> u64 {
+        self.bounds.iter().map(|b| b.lb).sum::<u64>().max(1)
+    }
+
+    /// `UB` — the upper bound on `total(Q)` (saturating sum).
+    pub fn total_ub(&self) -> u64 {
+        let mut acc: u64 = 0;
+        for b in &self.bounds {
+            acc = acc.saturating_add(b.ub);
+        }
+        acc.max(self.total_lb())
+    }
+
+    /// Validates the invariant `lb ≤ ub` on every node (used in tests).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        for (i, b) in self.bounds.iter().enumerate() {
+            assert!(b.lb <= b.ub, "node {i}: lb {} > ub {}", b.lb, b.ub);
+        }
+    }
+
+    /// Checks that bounds bracket the known-final counts — call after a
+    /// completed run (used in tests and as a runtime self-check).
+    #[doc(hidden)]
+    pub fn check_final(&self, final_counts: &[u64]) {
+        for (i, b) in self.bounds.iter().enumerate() {
+            assert!(
+                b.lb <= final_counts[i] && final_counts[i] <= b.ub,
+                "node {i}: final count {} outside [{}, {}]",
+                final_counts[i],
+                b.lb,
+                b.ub
+            );
+        }
+    }
+}
+
+/// Histogram-based `[lb, ub]` for a range scan (footnote 2 of the paper).
+fn range_bounds_from_stats(
+    stats: Option<&DbStats>,
+    table: &str,
+    key_columns: &[usize],
+    lo: &Bound<Vec<qp_storage::Value>>,
+    hi: &Bound<Vec<qp_storage::Value>>,
+) -> Option<(u64, u64)> {
+    let ts = stats?.table(table)?;
+    let &col = key_columns.first()?;
+    let hist = &ts.column(col).histogram;
+    let lo1 = first_bound(lo);
+    let hi1 = first_bound(hi);
+    // With a composite key, the first-column range over-covers the true
+    // range: its count upper-bounds the result, but rows matching on the
+    // first column may still fall outside the full composite range — so
+    // the histogram lower bound is only safe for single-column keys.
+    let lb = if key_columns.len() == 1 {
+        hist.lower_bound_range(lo1.as_ref(), hi1.as_ref())
+    } else {
+        0
+    };
+    let ub = hist.upper_bound_range(lo1.as_ref(), hi1.as_ref());
+    Some((lb, ub))
+}
+
+fn first_bound(b: &Bound<Vec<qp_storage::Value>>) -> Bound<qp_storage::Value> {
+    match b {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(k) => k
+            .first()
+            .cloned()
+            .map(Bound::Included)
+            .unwrap_or(Bound::Unbounded),
+        Bound::Excluded(k) => k
+            .first()
+            .cloned()
+            .map(Bound::Excluded)
+            .unwrap_or(Bound::Unbounded),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_exec::plan::{JoinType, PlanBuilder};
+    use qp_exec::Expr;
+    use qp_storage::{ColumnType, Database, Schema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table_with_rows(
+            "t",
+            Schema::of(&[("a", ColumnType::Int)]),
+            (0..100).map(|i| vec![Value::Int(i)]),
+        )
+        .unwrap();
+        db.create_table_with_rows(
+            "u",
+            Schema::of(&[("x", ColumnType::Int)]),
+            (0..50).map(|i| vec![Value::Int(i % 10)]),
+        )
+        .unwrap();
+        db.create_index("u_x", "u", &["x"], false).unwrap();
+        db
+    }
+
+    #[test]
+    fn scan_bounds_are_exact_from_catalog() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t").unwrap().build();
+        let tracker = BoundsTracker::new(&plan, None);
+        assert_eq!(tracker.node(0), NodeBounds { lb: 100, ub: 100 });
+        assert_eq!(tracker.total_lb(), 100);
+        assert_eq!(tracker.total_ub(), 100);
+    }
+
+    #[test]
+    fn filter_bounds_refine_with_production() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .filter(Expr::col_eq(0, 1i64))
+            .build();
+        let mut tracker = BoundsTracker::new(&plan, None);
+        // Before execution: filter in [0, 100].
+        assert_eq!(tracker.node(1), NodeBounds { lb: 0, ub: 100 });
+        // Mid-execution: 40 scanned, 7 passed.
+        tracker.recompute(&[40, 7], &[false, false]);
+        assert_eq!(tracker.node(1), NodeBounds { lb: 7, ub: 100 });
+        // Finished: exact.
+        tracker.recompute(&[100, 12], &[true, true]);
+        assert_eq!(tracker.node(1), NodeBounds { lb: 12, ub: 12 });
+        tracker.check_invariants();
+    }
+
+    #[test]
+    fn linear_join_ub_is_max_of_children() {
+        let db = db();
+        let probe = PlanBuilder::scan(&db, "u").unwrap();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .hash_join(probe, vec![0], vec![0], JoinType::Inner, true)
+            .build();
+        let tracker = BoundsTracker::new(&plan, None);
+        // Join ub = max(100, 50) = 100; total UB = 100 + 50 + 100.
+        assert_eq!(tracker.node(2).ub, 100);
+        assert_eq!(tracker.total_ub(), 250);
+        assert_eq!(tracker.total_lb(), 150);
+    }
+
+    #[test]
+    fn nonlinear_inl_join_ub_is_product() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .inl_join(&db, "u", "u_x", vec![0], JoinType::Inner, false, None)
+            .unwrap()
+            .build();
+        let tracker = BoundsTracker::new(&plan, None);
+        assert_eq!(tracker.node(1).ub, 100 * 50);
+    }
+
+    #[test]
+    fn semi_join_ub_is_outer() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .inl_join(&db, "u", "u_x", vec![0], JoinType::LeftSemi, false, None)
+            .unwrap()
+            .build();
+        let tracker = BoundsTracker::new(&plan, None);
+        assert_eq!(tracker.node(1).ub, 100);
+    }
+
+    #[test]
+    fn scalar_aggregate_is_exactly_one() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .hash_aggregate(vec![], vec![])
+            .build();
+        let tracker = BoundsTracker::new(&plan, None);
+        assert_eq!(tracker.node(1), NodeBounds { lb: 1, ub: 1 });
+    }
+
+    #[test]
+    fn limit_caps_descendant_lower_bounds() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t").unwrap().limit(5).build();
+        let mut tracker = BoundsTracker::new(&plan, None);
+        // The scan under the limit cannot promise its full 100 rows.
+        assert_eq!(tracker.node(0).lb, 0);
+        assert_eq!(tracker.node(0).ub, 100);
+        assert_eq!(tracker.node(1), NodeBounds { lb: 0, ub: 5 });
+        // After the limit exhausts, everything freezes at produced.
+        tracker.recompute(&[5, 5], &[false, true]);
+        assert_eq!(tracker.node(0), NodeBounds { lb: 5, ub: 5 });
+        assert_eq!(tracker.node(1), NodeBounds { lb: 5, ub: 5 });
+    }
+
+    #[test]
+    fn exhausted_parent_finalizes_subtree() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .filter(Expr::col_eq(0, 1i64))
+            .build();
+        let mut tracker = BoundsTracker::new(&plan, None);
+        // Filter exhausted implies the scan is final even if its own
+        // exhausted flag lagged.
+        tracker.recompute(&[100, 1], &[false, true]);
+        assert_eq!(tracker.node(0), NodeBounds { lb: 100, ub: 100 });
+        assert_eq!(tracker.node(1), NodeBounds { lb: 1, ub: 1 });
+    }
+
+    #[test]
+    fn totals_bracket_true_total() {
+        // Run a real query and verify LB ≤ total ≤ UB at every refinement.
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .filter(Expr::cmp(
+                qp_exec::CmpOp::Lt,
+                Expr::Col(0),
+                Expr::Lit(Value::Int(10)),
+            ))
+            .inl_join(&db, "u", "u_x", vec![0], JoinType::Inner, false, None)
+            .unwrap()
+            .build();
+        let (out, _) = qp_exec::run_query(&plan, &db, None).unwrap();
+        let mut tracker = BoundsTracker::new(&plan, None);
+        assert!(tracker.total_lb() <= out.total_getnext);
+        assert!(tracker.total_ub() >= out.total_getnext);
+        // Final state.
+        let done = vec![true; plan.len()];
+        tracker.recompute(&out.node_counts, &done);
+        assert_eq!(tracker.total_lb(), out.total_getnext);
+        assert_eq!(tracker.total_ub(), out.total_getnext);
+        tracker.check_final(&out.node_counts);
+    }
+}

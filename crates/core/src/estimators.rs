@@ -1,0 +1,608 @@
+//! The progress estimator tool-kit (Sections 4–6 of the paper).
+
+use crate::model::{mu_observed, PlanMeta};
+use qp_exec::pipeline::Source;
+
+/// Everything an estimator may consult at a snapshot instant — the
+/// estimator-visible state of Figure 1: execution feedback (counts,
+/// exhaustion), the plan (via [`PlanMeta`]), and statistics-derived bounds.
+/// Notably absent: the data itself.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimatorContext<'a> {
+    /// Rows produced (getnext calls) per node so far.
+    pub produced: &'a [u64],
+    /// Per-node exhaustion flags.
+    pub exhausted: &'a [bool],
+    /// `Curr` — total getnext calls so far.
+    pub curr: u64,
+    /// `LB` — current lower bound on `total(Q)` (Section 5.1).
+    pub lb_total: u64,
+    /// `UB` — current upper bound on `total(Q)`.
+    pub ub_total: u64,
+    /// Plan metadata (pipelines, estimates, scanned leaves).
+    pub meta: &'a PlanMeta,
+    /// Per-node `[lb, ub]` bounds (Section 5.1), for estimators that need
+    /// finer granularity than the totals (e.g. the bytes-model variants).
+    pub node_bounds: &'a [crate::bounds::NodeBounds],
+}
+
+/// A progress estimator: maps the visible state to an estimate in `[0,1]`.
+pub trait ProgressEstimator {
+    /// Display name (used in trace outputs and experiment tables).
+    fn name(&self) -> &'static str;
+    /// The estimate at this instant.
+    fn estimate(&mut self, cx: &EstimatorContext<'_>) -> f64;
+}
+
+/// The trivial estimator: the midpoint of the trivial interval `(0, 1)`.
+/// Exists as the floor every estimator must beat (Section 2.5).
+#[derive(Debug, Default, Clone)]
+pub struct Trivial;
+
+impl ProgressEstimator for Trivial {
+    fn name(&self) -> &'static str {
+        "trivial"
+    }
+    fn estimate(&mut self, _cx: &EstimatorContext<'_>) -> f64 {
+        0.5
+    }
+}
+
+/// The driver-node estimator of prior work ([5, 13]), Section 4.
+///
+/// Within a pipeline, progress is the fraction of the driver (input) node
+/// consumed. Across pipelines, fractions are combined weighted by each
+/// pipeline's estimated share of `total(Q)` (the sum of its nodes'
+/// optimizer estimates, refined to actual counts once nodes finish). A
+/// pipeline with several sources (merge join) weights the sources by
+/// their estimated sizes.
+#[derive(Debug, Default, Clone)]
+pub struct Dne;
+
+impl Dne {
+    /// Estimated total rows a source node will produce: exact once
+    /// exhausted, otherwise `max(optimizer estimate, produced + 1)` (the
+    /// `+1` mirrors the refinement in [5]: a running node will produce at
+    /// least one more row than observed — without it, a source that
+    /// overruns its estimate would report progress 1 while still running).
+    fn source_total(cx: &EstimatorContext<'_>, node: usize) -> f64 {
+        if cx.exhausted[node] {
+            cx.produced[node] as f64
+        } else {
+            cx.meta.est_rows[node].max(cx.produced[node] as f64 + 1.0)
+        }
+    }
+
+    /// Fraction of a pipeline's input consumed.
+    fn pipeline_fraction(cx: &EstimatorContext<'_>, sources: &[Source]) -> f64 {
+        if sources.is_empty() {
+            return 0.0;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for s in sources {
+            let node = s.node();
+            let total = Self::source_total(cx, node).max(1.0);
+            num += cx.produced[node] as f64;
+            den += total;
+        }
+        (num / den).clamp(0.0, 1.0)
+    }
+}
+
+/// Per-pipeline progress, for UIs that show phase-level detail (the
+/// paper's estimators roll pipelines into one number; the decomposition
+/// itself is exposed here because real progress bars display it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineProgress {
+    /// Pipeline id (from [`qp_exec::pipeline::decompose`]; 0 holds the
+    /// plan root).
+    pub pipeline: usize,
+    /// Fraction of the pipeline's driver input consumed, in `[0, 1]`.
+    pub fraction: f64,
+    /// Whether every node of the pipeline has exhausted.
+    pub done: bool,
+    /// The driver (source) nodes of the pipeline.
+    pub drivers: Vec<usize>,
+}
+
+impl Dne {
+    /// Phase-level progress report: one entry per pipeline, with the
+    /// driver fraction dne uses internally.
+    pub fn pipeline_report(cx: &EstimatorContext<'_>) -> Vec<PipelineProgress> {
+        cx.meta
+            .pipelines
+            .iter()
+            .map(|p| {
+                let done = p.nodes.iter().all(|&n| cx.exhausted[n]);
+                let fraction = if done {
+                    1.0
+                } else {
+                    Self::pipeline_fraction(cx, &p.sources)
+                };
+                PipelineProgress {
+                    pipeline: p.id,
+                    fraction,
+                    done,
+                    drivers: p.sources.iter().map(|s| s.node()).collect(),
+                }
+            })
+            .collect()
+    }
+}
+
+impl ProgressEstimator for Dne {
+    fn name(&self) -> &'static str {
+        "dne"
+    }
+
+    fn estimate(&mut self, cx: &EstimatorContext<'_>) -> f64 {
+        let mut weighted = 0.0;
+        let mut total_weight = 0.0;
+        for p in &cx.meta.pipelines {
+            // Weight: the pipeline's estimated contribution to total(Q) —
+            // actual counts for finished nodes, optimizer estimates for
+            // the rest.
+            let mut w = 0.0;
+            let mut all_done = true;
+            for &n in &p.nodes {
+                if cx.exhausted[n] {
+                    w += cx.produced[n] as f64;
+                } else {
+                    all_done = false;
+                    w += cx.meta.est_rows[n].max(cx.produced[n] as f64);
+                }
+            }
+            let frac = if all_done {
+                1.0
+            } else {
+                Self::pipeline_fraction(cx, &p.sources)
+            };
+            weighted += w.max(1.0) * frac;
+            total_weight += w.max(1.0);
+        }
+        if total_weight == 0.0 {
+            return 0.0;
+        }
+        (weighted / total_weight).clamp(0.0, 1.0)
+    }
+}
+
+/// `pmax = Curr / LB` (Definition 3, Section 5.2). Assumes the minimum
+/// possible future work; never underestimates progress (Property 4) and
+/// is within a factor μ of the truth (Theorem 5).
+#[derive(Debug, Default, Clone)]
+pub struct Pmax;
+
+impl ProgressEstimator for Pmax {
+    fn name(&self) -> &'static str {
+        "pmax"
+    }
+    fn estimate(&mut self, cx: &EstimatorContext<'_>) -> f64 {
+        (cx.curr as f64 / cx.lb_total.max(1) as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// `safe = Curr / √(LB·UB)` (Definition 5, Section 5.3). Worst-case
+/// optimal: ratio error at most `√(UB/LB)`, and no estimator can do
+/// better on every instance (Theorem 6).
+#[derive(Debug, Default, Clone)]
+pub struct Safe;
+
+impl ProgressEstimator for Safe {
+    fn name(&self) -> &'static str {
+        "safe"
+    }
+    fn estimate(&mut self, cx: &EstimatorContext<'_>) -> f64 {
+        let denom = (cx.lb_total.max(1) as f64 * cx.ub_total.max(1) as f64).sqrt();
+        (cx.curr as f64 / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// The refined driver-node estimator of Chaudhuri–Narasayya–Ramamurthy
+/// 2004 (the paper's reference \[5\]): like [`Dne`], but optimizer
+/// estimates for *running* nodes are rescaled by the observed
+/// actual/estimated ratio of their finished inputs, so estimation errors
+/// stop propagating once upstream cardinalities become known. This is the
+/// "continuous refinement of the estimates" the paper credits for pmax
+/// catching up in Figure 6, applied to dne's weights.
+#[derive(Debug, Default, Clone)]
+pub struct DneRefined;
+
+impl DneRefined {
+    /// Refined per-node totals: exact for exhausted nodes; for running
+    /// nodes, the optimizer estimate scaled by the correction ratio of
+    /// the node's exhausted children (errors downstream of known
+    /// cardinalities are corrected one step at a time).
+    fn refined_totals(cx: &EstimatorContext<'_>) -> Vec<f64> {
+        let n = cx.meta.n_nodes;
+        let mut refined = vec![0.0f64; n];
+        // Children precede parents in id order (builder invariant).
+        #[allow(clippy::needless_range_loop)] // id doubles as the node id
+        for id in 0..n {
+            if cx.exhausted[id] {
+                refined[id] = cx.produced[id] as f64;
+                continue;
+            }
+            let est = cx.meta.est_rows[id].max(1.0);
+            let mut correction = 1.0;
+            for &c in &cx.meta.children[id] {
+                if cx.exhausted[c] {
+                    let child_est = cx.meta.est_rows[c].max(1.0);
+                    correction *= (cx.produced[c] as f64).max(1.0) / child_est;
+                }
+            }
+            refined[id] = (est * correction).max(cx.produced[id] as f64 + 1.0);
+        }
+        refined
+    }
+}
+
+impl ProgressEstimator for DneRefined {
+    fn name(&self) -> &'static str {
+        "dne-refined"
+    }
+
+    fn estimate(&mut self, cx: &EstimatorContext<'_>) -> f64 {
+        let refined = Self::refined_totals(cx);
+        let mut weighted = 0.0;
+        let mut total_weight = 0.0;
+        for p in &cx.meta.pipelines {
+            let w: f64 = p.nodes.iter().map(|&n| refined[n]).sum::<f64>().max(1.0);
+            let all_done = p.nodes.iter().all(|&n| cx.exhausted[n]);
+            let frac = if all_done {
+                1.0
+            } else {
+                // Driver fraction against the refined source totals.
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for s in &p.sources {
+                    let node = s.node();
+                    num += cx.produced[node] as f64;
+                    den += refined[node].max(1.0);
+                }
+                if den > 0.0 {
+                    (num / den).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                }
+            };
+            weighted += w * frac;
+            total_weight += w;
+        }
+        if total_weight == 0.0 {
+            return 0.0;
+        }
+        (weighted / total_weight).clamp(0.0, 1.0)
+    }
+}
+
+/// Ablation variant of [`Safe`]: `Curr / ((LB + UB) / 2)` — the
+/// *arithmetic* mean of the bounds instead of the geometric mean. The
+/// geometric mean is what makes `safe` worst-case optimal in *ratio*
+/// error (the worst case is symmetric in log-space); the arithmetic mean
+/// minimizes worst-case *absolute* error instead and suffers a larger
+/// worst-case ratio. The `safe_mean` ablation experiment quantifies this.
+#[derive(Debug, Default, Clone)]
+pub struct SafeArithmetic;
+
+impl ProgressEstimator for SafeArithmetic {
+    fn name(&self) -> &'static str {
+        "safe-arith"
+    }
+    fn estimate(&mut self, cx: &EstimatorContext<'_>) -> f64 {
+        let denom = (cx.lb_total.max(1) as f64 + cx.ub_total.max(1) as f64) / 2.0;
+        (cx.curr as f64 / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// The "just trust the optimizer" baseline: `Curr / Σ estimated rows`.
+/// Comes with no guarantee — estimate errors compound through joins
+/// (Sections 2.5 and 7) — and exists to be compared against.
+#[derive(Debug, Default, Clone)]
+pub struct EstTotal;
+
+impl ProgressEstimator for EstTotal {
+    fn name(&self) -> &'static str {
+        "esttotal"
+    }
+    fn estimate(&mut self, cx: &EstimatorContext<'_>) -> f64 {
+        let est = cx.meta.est_total().max(cx.curr as f64).max(1.0);
+        (cx.curr as f64 / est).clamp(0.0, 1.0)
+    }
+}
+
+/// `dne` constrained to the feasible interval `[Curr/UB, Curr/LB]` — the
+/// variant the paper mentions when deriving Property 6 ("by constraining
+/// dne to be within the upper and lower bounds on the progress").
+#[derive(Debug, Default, Clone)]
+pub struct DneClamped {
+    inner: Dne,
+}
+
+impl ProgressEstimator for DneClamped {
+    fn name(&self) -> &'static str {
+        "dne-clamped"
+    }
+    fn estimate(&mut self, cx: &EstimatorContext<'_>) -> f64 {
+        let raw = self.inner.estimate(cx);
+        let lo = cx.curr as f64 / cx.ub_total.max(1) as f64;
+        let hi = (cx.curr as f64 / cx.lb_total.max(1) as f64).min(1.0);
+        raw.clamp(lo.min(hi), hi)
+    }
+}
+
+/// The Section 6.4 hybrid heuristic: play `safe` by default, but switch to
+/// `pmax` when the *observed* per-input-tuple work μ̂ is small (pmax's
+/// favourable regime, Theorem 5). Theorems 7 and 8 prove no such switch
+/// can be provably correct — μ̂ can change arbitrarily at the next tuple —
+/// so this is exactly the kind of heuristic the paper proposes to study.
+#[derive(Debug, Clone)]
+pub struct Hybrid {
+    /// Switch to pmax when μ̂ ≤ this (paper's small-μ regime; Table 2
+    /// suggests most of TPC-H sits below 2).
+    pub mu_threshold: f64,
+    pmax: Pmax,
+    safe: Safe,
+}
+
+impl Hybrid {
+    /// A hybrid with a custom switching threshold.
+    pub fn with_threshold(mu_threshold: f64) -> Hybrid {
+        Hybrid {
+            mu_threshold,
+            pmax: Pmax,
+            safe: Safe,
+        }
+    }
+}
+
+impl Default for Hybrid {
+    fn default() -> Hybrid {
+        Hybrid::with_threshold(2.0)
+    }
+}
+
+impl ProgressEstimator for Hybrid {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+    fn estimate(&mut self, cx: &EstimatorContext<'_>) -> f64 {
+        let mu_hat = mu_observed(cx.meta, cx.produced, cx.curr);
+        if mu_hat <= self.mu_threshold {
+            self.pmax.estimate(cx)
+        } else {
+            self.safe.estimate(cx)
+        }
+    }
+}
+
+/// The default estimator suite used by the experiment harness, in the
+/// order the paper discusses them.
+pub fn standard_suite() -> Vec<Box<dyn ProgressEstimator>> {
+    vec![
+        Box::new(Dne),
+        Box::new(DneRefined),
+        Box::new(Pmax),
+        Box::new(Safe),
+        Box::new(EstTotal),
+        Box::new(DneClamped::default()),
+        Box::new(Hybrid::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PlanMeta;
+    use qp_exec::plan::PlanBuilder;
+    use qp_storage::{ColumnType, Database, Schema, Value};
+
+    fn single_scan_meta() -> PlanMeta {
+        let mut db = Database::new();
+        db.create_table_with_rows(
+            "t",
+            Schema::of(&[("a", ColumnType::Int)]),
+            (0..100).map(|i| vec![Value::Int(i)]),
+        )
+        .unwrap();
+        let plan = PlanBuilder::scan(&db, "t").unwrap().build();
+        PlanMeta::from_plan(&plan)
+    }
+
+    fn cx<'a>(
+        meta: &'a PlanMeta,
+        produced: &'a [u64],
+        exhausted: &'a [bool],
+        lb: u64,
+        ub: u64,
+    ) -> EstimatorContext<'a> {
+        EstimatorContext {
+            produced,
+            exhausted,
+            curr: produced.iter().sum(),
+            lb_total: lb,
+            ub_total: ub,
+            meta,
+            node_bounds: &[],
+        }
+    }
+
+    #[test]
+    fn pmax_is_curr_over_lb() {
+        let meta = single_scan_meta();
+        let produced = [40u64];
+        let cx = cx(&meta, &produced, &[false], 100, 100);
+        assert!((Pmax.estimate(&cx) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn safe_uses_geometric_mean() {
+        let meta = single_scan_meta();
+        let produced = [30u64];
+        let cx = cx(&meta, &produced, &[false], 100, 400);
+        // √(100·400) = 200 → 30/200.
+        assert!((Safe.estimate(&cx) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dne_single_pipeline_is_driver_fraction() {
+        let meta = single_scan_meta();
+        let produced = [25u64];
+        let cx = cx(&meta, &produced, &[false], 100, 100);
+        assert!((Dne.estimate(&cx) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dne_reports_done_when_all_exhausted() {
+        let meta = single_scan_meta();
+        let produced = [100u64];
+        let cx = cx(&meta, &produced, &[true], 100, 100);
+        assert!((Dne.estimate(&cx) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamped_dne_respects_bounds() {
+        let meta = single_scan_meta();
+        let produced = [10u64];
+        // Artificially tight bounds: progress must lie in [10/50, 10/20].
+        let cx = cx(&meta, &produced, &[false], 20, 50);
+        let est = DneClamped::default().estimate(&cx);
+        assert!((0.2..=0.5).contains(&est), "est={est}");
+    }
+
+    #[test]
+    fn trivial_is_half() {
+        let meta = single_scan_meta();
+        let produced = [0u64];
+        let cx = cx(&meta, &produced, &[false], 1, 1);
+        assert_eq!(Trivial.estimate(&cx), 0.5);
+    }
+
+    #[test]
+    fn hybrid_switches_on_observed_mu() {
+        let meta = single_scan_meta();
+        // μ̂ = curr / leaf rows = 1.0 (≤ 2.0) → pmax behaviour.
+        let produced = [40u64];
+        let cx1 = cx(&meta, &produced, &[false], 100, 10_000);
+        let mut h = Hybrid::default();
+        let est = h.estimate(&cx1);
+        assert!((est - 0.4).abs() < 1e-12, "should act like pmax: {est}");
+        // Forcing a tiny threshold makes it act like safe.
+        let mut h2 = Hybrid {
+            mu_threshold: 0.5,
+            ..Hybrid::default()
+        };
+        let est2 = h2.estimate(&cx1);
+        assert!(est2 < est, "safe yields a smaller estimate here");
+    }
+
+    #[test]
+    fn refined_dne_corrects_downstream_estimates() {
+        // Pipeline: scan(100) → filter(est 50, actually produced 10 and
+        // exhausted) feeding a sort (blocking) whose output pipeline is
+        // running. The refined total for the sort should scale by 10/50.
+        let mut db = Database::new();
+        db.create_table_with_rows(
+            "t",
+            Schema::of(&[("a", ColumnType::Int)]),
+            (0..100).map(|i| vec![Value::Int(i)]),
+        )
+        .unwrap();
+        let mut plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .filter(qp_exec::Expr::col_eq(0, 1i64))
+            .sort(vec![(0, true)])
+            .build();
+        // Hand-plant optimizer estimates: scan 100, filter 50, sort 50.
+        qp_exec::estimate::annotate(&mut plan, &qp_stats::DbStats::default());
+        let mut meta = PlanMeta::from_plan(&plan);
+        meta.est_rows = vec![100.0, 50.0, 50.0];
+        // State: scan+filter exhausted with 10 rows out; sort emitted 2.
+        let produced = vec![100u64, 10, 2];
+        let exhausted = vec![true, true, false];
+        let cx = EstimatorContext {
+            produced: &produced,
+            exhausted: &exhausted,
+            curr: 112,
+            lb_total: 120,
+            ub_total: 120,
+            meta: &meta,
+            node_bounds: &[],
+        };
+        let refined = DneRefined::refined_totals(&cx);
+        assert_eq!(refined[0], 100.0);
+        assert_eq!(refined[1], 10.0);
+        // Sort: est 50 × (10/50) = 10.
+        assert!((refined[2] - 10.0).abs() < 1e-9, "sort refined {}", refined[2]);
+        // The refined dne beats the static one, whose sort total stays 50.
+        let refined_est = DneRefined.estimate(&cx);
+        let static_est = Dne.estimate(&cx);
+        let truth = 112.0 / 120.0;
+        assert!(
+            (refined_est - truth).abs() < (static_est - truth).abs(),
+            "refined {refined_est} vs static {static_est} (truth {truth})"
+        );
+    }
+
+    #[test]
+    fn pipeline_report_tracks_phases() {
+        // Two-pipeline plan: scan → sort → limit.
+        let mut db = Database::new();
+        db.create_table_with_rows(
+            "t",
+            Schema::of(&[("a", ColumnType::Int)]),
+            (0..50).map(|i| vec![Value::Int(i)]),
+        )
+        .unwrap();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .sort(vec![(0, true)])
+            .limit(10)
+            .build();
+        let meta = PlanMeta::from_plan(&plan);
+        assert_eq!(meta.pipelines.len(), 2);
+        // Mid-sort: scan half done, sort not yet emitting.
+        let produced = vec![25u64, 0, 0];
+        let exhausted = vec![false, false, false];
+        let cx = EstimatorContext {
+            produced: &produced,
+            exhausted: &exhausted,
+            curr: 25,
+            lb_total: 110,
+            ub_total: 110,
+            meta: &meta,
+            node_bounds: &[],
+        };
+        let report = Dne::pipeline_report(&cx);
+        assert_eq!(report.len(), 2);
+        let scan_pipe = report.iter().find(|p| p.drivers == vec![0]).unwrap();
+        assert!((scan_pipe.fraction - 0.5).abs() < 1e-9);
+        assert!(!scan_pipe.done);
+        // After everything finishes, both pipelines read 1.0 / done.
+        let produced = vec![50u64, 10, 10];
+        let exhausted = vec![true, true, true];
+        let cx = EstimatorContext {
+            produced: &produced,
+            exhausted: &exhausted,
+            curr: 70,
+            lb_total: 70,
+            ub_total: 70,
+            meta: &meta,
+            node_bounds: &[],
+        };
+        for p in Dne::pipeline_report(&cx) {
+            assert!(p.done);
+            assert_eq!(p.fraction, 1.0);
+        }
+    }
+
+    #[test]
+    fn suite_has_unique_names() {
+        let mut names: Vec<&str> = standard_suite().iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+}

@@ -1,0 +1,365 @@
+//! Inter-query feedback (the paper's Section 6.4, final direction):
+//! "use inter-query feedback, either across different runs of the same
+//! query, or across runs of similar looking physical plans. This could be
+//! used to bound the values of μ, the values of the variance, or even to
+//! detect whether the tuple arrival order is predictive."
+//!
+//! This module implements that proposal:
+//!
+//! * [`PlanSignature`] — a structural fingerprint of a physical plan
+//!   (operator kinds, shape, scanned tables) that matches across runs of
+//!   the same or similar plans;
+//! * [`FeedbackStore`] — a store of per-signature observations: μ, the
+//!   per-driver-tuple work variance, and whether the realized order was
+//!   2-predictive;
+//! * [`FeedbackEstimator`] — a progress estimator that, when a prior for
+//!   the plan's signature exists, predicts
+//!   `total(Q) ≈ μ_prior · Σ scanned-leaf cardinalities` and divides
+//!   `Curr` by it, clamped into the certain interval `[Curr/UB, Curr/LB]`
+//!   so the feedback can never push it outside what the bounds prove.
+//!   With no prior it falls back to `safe`.
+//!
+//! Theorem 7 still applies — no *guarantee* is possible, a prior can be
+//! arbitrarily wrong for the next run — but when workloads repeat (the
+//! common case the paper gestures at), the estimator converges to the
+//! truth after a single observation. The `feedback` experiment in
+//! `qp-bench` measures exactly that.
+
+use crate::estimators::{EstimatorContext, ProgressEstimator, Safe};
+use crate::model::PlanMeta;
+use qp_exec::plan::{Plan, PlanNode};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A structural fingerprint of a plan: stable across runs, insensitive to
+/// literal values (so "similar looking physical plans" — same shape,
+/// different constants — share feedback, as the paper suggests).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanSignature(String);
+
+impl PlanSignature {
+    /// Computes the signature of a plan.
+    pub fn of(plan: &Plan) -> PlanSignature {
+        fn rec(plan: &Plan, id: usize, out: &mut String) {
+            let n = plan.node(id);
+            out.push('(');
+            out.push_str(n.kind.op_name());
+            match &n.kind {
+                PlanNode::SeqScan { table, .. }
+                | PlanNode::IndexRangeScan { table, .. } => {
+                    out.push(':');
+                    out.push_str(table);
+                }
+                PlanNode::IndexNestedLoopsJoin {
+                    inner_table,
+                    inner_index,
+                    ..
+                } => {
+                    out.push(':');
+                    out.push_str(inner_table);
+                    out.push('/');
+                    out.push_str(inner_index);
+                }
+                _ => {}
+            }
+            for &c in &n.children {
+                rec(plan, c, out);
+            }
+            out.push(')');
+        }
+        let mut s = String::new();
+        rec(plan, plan.root(), &mut s);
+        PlanSignature(s)
+    }
+}
+
+/// One run's recorded observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// μ = total(Q) / Σ scanned-leaf rows, from the completed run.
+    pub mu: f64,
+    /// `total(Q)` of the run (context for weighting).
+    pub total: u64,
+}
+
+/// Aggregated prior for one plan signature: an exponentially-weighted
+/// mean of observed μ (recent runs dominate, so the prior adapts if the
+/// data shifts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prior {
+    pub mu: f64,
+    pub runs: u64,
+}
+
+/// A concurrent store of feedback observations keyed by plan signature.
+#[derive(Debug, Clone, Default)]
+pub struct FeedbackStore {
+    inner: Arc<Mutex<HashMap<PlanSignature, Prior>>>,
+}
+
+/// Weight of the newest observation in the exponentially-weighted mean.
+const EWMA_ALPHA: f64 = 0.5;
+
+impl FeedbackStore {
+    /// Creates an empty store.
+    pub fn new() -> FeedbackStore {
+        FeedbackStore::default()
+    }
+
+    /// Records a completed run's observation for `plan`.
+    pub fn record(&self, plan: &Plan, obs: Observation) {
+        let sig = PlanSignature::of(plan);
+        let mut map = self.inner.lock().expect("store poisoned");
+        let entry = map.entry(sig).or_insert(Prior { mu: obs.mu, runs: 0 });
+        if entry.runs > 0 {
+            entry.mu = EWMA_ALPHA * obs.mu + (1.0 - EWMA_ALPHA) * entry.mu;
+        } else {
+            entry.mu = obs.mu;
+        }
+        entry.runs += 1;
+    }
+
+    /// Convenience: record from a completed run's counters.
+    pub fn record_run(&self, plan: &Plan, meta: &PlanMeta, node_counts: &[u64]) {
+        let mu = crate::model::mu_from_counts(meta, node_counts);
+        if mu.is_finite() {
+            self.record(
+                plan,
+                Observation {
+                    mu,
+                    total: node_counts.iter().sum(),
+                },
+            );
+        }
+    }
+
+    /// The current prior for `plan`, if any run has been recorded.
+    pub fn prior(&self, plan: &Plan) -> Option<Prior> {
+        self.inner
+            .lock()
+            .expect("store poisoned")
+            .get(&PlanSignature::of(plan))
+            .copied()
+    }
+
+    /// Prior by precomputed signature.
+    pub fn prior_for(&self, sig: &PlanSignature) -> Option<Prior> {
+        self.inner
+            .lock()
+            .expect("store poisoned")
+            .get(sig)
+            .copied()
+    }
+
+    /// Number of distinct signatures with feedback.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("store poisoned").len()
+    }
+
+    /// True when no feedback has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A progress estimator driven by inter-query feedback (Section 6.4).
+#[derive(Debug, Clone)]
+pub struct FeedbackEstimator {
+    prior: Option<Prior>,
+    fallback: Safe,
+}
+
+impl FeedbackEstimator {
+    /// Builds the estimator for a specific plan against a store. The
+    /// prior is looked up once (the plan doesn't change mid-run).
+    pub fn for_plan(store: &FeedbackStore, plan: &Plan) -> FeedbackEstimator {
+        FeedbackEstimator {
+            prior: store.prior(plan),
+            fallback: Safe,
+        }
+    }
+
+    /// An estimator with an explicit prior (for tests).
+    pub fn with_prior(mu: f64) -> FeedbackEstimator {
+        FeedbackEstimator {
+            prior: Some(Prior { mu, runs: 1 }),
+            fallback: Safe,
+        }
+    }
+
+    /// Whether a prior is loaded.
+    pub fn has_prior(&self) -> bool {
+        self.prior.is_some()
+    }
+}
+
+impl ProgressEstimator for FeedbackEstimator {
+    fn name(&self) -> &'static str {
+        "feedback"
+    }
+
+    fn estimate(&mut self, cx: &EstimatorContext<'_>) -> f64 {
+        let Some(prior) = self.prior else {
+            return self.fallback.estimate(cx);
+        };
+        // Predicted total: μ_prior × Σ scanned-leaf cardinalities, where
+        // unknown (range-scan) leaves contribute their rows-so-far.
+        let leaf_sum: f64 = cx
+            .meta
+            .scanned_leaves
+            .iter()
+            .map(|&(id, card)| card.unwrap_or(cx.produced[id]) as f64)
+            .sum();
+        if leaf_sum <= 0.0 {
+            return self.fallback.estimate(cx);
+        }
+        let predicted_total = (prior.mu * leaf_sum).max(1.0);
+        let raw = cx.curr as f64 / predicted_total;
+        // Clamp into the interval the bounds *prove* — feedback can focus
+        // the estimate inside it but never contradict it.
+        let lo = cx.curr as f64 / cx.ub_total.max(1) as f64;
+        let hi = (cx.curr as f64 / cx.lb_total.max(1) as f64).min(1.0);
+        raw.clamp(lo.min(hi), hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_exec::plan::{JoinType, PlanBuilder};
+    use qp_exec::Expr;
+    use qp_storage::{ColumnType, Database, Schema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table_with_rows(
+            "t",
+            Schema::of(&[("a", ColumnType::Int)]),
+            (0..500).map(|i| vec![Value::Int(i)]),
+        )
+        .unwrap();
+        db.create_table_with_rows(
+            "u",
+            Schema::of(&[("x", ColumnType::Int)]),
+            (0..100).map(|i| vec![Value::Int(i % 10)]),
+        )
+        .unwrap();
+        db.create_index("u_x", "u", &["x"], false).unwrap();
+        db
+    }
+
+    fn join_plan(db: &Database) -> qp_exec::Plan {
+        PlanBuilder::scan(db, "t")
+            .unwrap()
+            .inl_join(db, "u", "u_x", vec![0], JoinType::Inner, false, None)
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn signature_is_stable_and_literal_insensitive() {
+        let db = db();
+        let p1 = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .filter(Expr::col_eq(0, 5i64))
+            .build();
+        let p2 = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .filter(Expr::col_eq(0, 400i64))
+            .build();
+        assert_eq!(PlanSignature::of(&p1), PlanSignature::of(&p2));
+        let p3 = join_plan(&db);
+        assert_ne!(PlanSignature::of(&p1), PlanSignature::of(&p3));
+    }
+
+    #[test]
+    fn store_records_and_averages() {
+        let db = db();
+        let plan = join_plan(&db);
+        let store = FeedbackStore::new();
+        assert!(store.prior(&plan).is_none());
+        store.record(&plan, Observation { mu: 2.0, total: 1000 });
+        assert_eq!(store.prior(&plan).unwrap().mu, 2.0);
+        store.record(&plan, Observation { mu: 4.0, total: 1000 });
+        let p = store.prior(&plan).unwrap();
+        assert_eq!(p.runs, 2);
+        assert!((p.mu - 3.0).abs() < 1e-12, "ewma mu {}", p.mu);
+    }
+
+    #[test]
+    fn second_run_with_feedback_is_nearly_exact() {
+        let db = db();
+        let plan = join_plan(&db);
+        let store = FeedbackStore::new();
+
+        // First run: no prior — record the observation.
+        let meta = crate::model::PlanMeta::from_plan(&plan);
+        let (out, _) = qp_exec::run_query(&plan, &db, None).unwrap();
+        store.record_run(&plan, &meta, &out.node_counts);
+        assert_eq!(store.len(), 1);
+
+        // Second run: the estimator knows μ and should track progress.
+        let est = FeedbackEstimator::for_plan(&store, &plan);
+        assert!(est.has_prior());
+        let (_, trace) = crate::monitor::run_with_progress(
+            &plan,
+            &db,
+            None,
+            vec![Box::new(est)],
+            Some(5),
+        )
+        .unwrap();
+        let stats = crate::metrics::error_stats(&trace, "feedback").unwrap();
+        assert!(
+            stats.max_abs < 0.02,
+            "feedback should be near-exact on a repeated run: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn no_prior_falls_back_to_safe() {
+        let db = db();
+        let plan = join_plan(&db);
+        let store = FeedbackStore::new();
+        let mut est = FeedbackEstimator::for_plan(&store, &plan);
+        assert!(!est.has_prior());
+        let meta = crate::model::PlanMeta::from_plan(&plan);
+        let produced = vec![100u64, 50];
+        let cx = EstimatorContext {
+            produced: &produced,
+            exhausted: &[false, false],
+            curr: 150,
+            lb_total: 650,
+            ub_total: 50_500,
+            meta: &meta,
+            node_bounds: &[],
+        };
+        let mut safe = Safe;
+        assert_eq!(est.estimate(&cx), safe.estimate(&cx));
+    }
+
+    #[test]
+    fn feedback_never_escapes_the_proven_interval() {
+        // A wildly wrong prior is clamped into [Curr/UB, Curr/LB].
+        let db = db();
+        let plan = join_plan(&db);
+        let meta = crate::model::PlanMeta::from_plan(&plan);
+        let produced = vec![250u64, 100];
+        let cx = EstimatorContext {
+            produced: &produced,
+            exhausted: &[false, false],
+            curr: 350,
+            lb_total: 600,
+            ub_total: 1_000,
+            meta: &meta,
+            node_bounds: &[],
+        };
+        for wild_mu in [1e-6, 1e6] {
+            let mut est = FeedbackEstimator::with_prior(wild_mu);
+            let e = est.estimate(&cx);
+            let lo = 350.0 / 1_000.0;
+            let hi = 350.0 / 600.0;
+            assert!(e >= lo - 1e-9 && e <= hi + 1e-9, "mu={wild_mu}: {e}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Error metrics over progress traces.
+//!
+//! The paper scores estimators two ways:
+//!
+//! * **absolute error** `|estimate − progress|` (the percentages of
+//!   Table 1: "Max Err" / "Avg Err"), and
+//! * **ratio error** `max(estimate/progress, progress/estimate)` (the
+//!   guarantee currency of Sections 2.5 and 5, e.g. Figure 6's ratio
+//!   error of pmax over execution).
+//!
+//! It also defines the **threshold requirement** `(τ, δ)` (Section 2.5):
+//! whenever the true progress is below `τ − δ` the estimate must lie in
+//! `(0, τ)`, and whenever it is above `τ + δ` the estimate must lie in
+//! `(τ, 1)`. Theorem 1 shows no estimator can always satisfy it; the
+//! checker here is what the lower-bound experiments use to demonstrate
+//! that concretely.
+
+use crate::monitor::ProgressTrace;
+
+/// Summary statistics of one estimator's error over a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Maximum absolute error, in progress units (0..1).
+    pub max_abs: f64,
+    /// Average absolute error.
+    pub avg_abs: f64,
+    /// Maximum ratio error (≥ 1).
+    pub max_ratio: f64,
+    /// Average ratio error.
+    pub avg_ratio: f64,
+    /// Absolute error at the final snapshot.
+    pub final_abs: f64,
+    /// Number of snapshots scored.
+    pub n: usize,
+}
+
+/// Ratio error between an estimate and the true progress, both in (0, 1].
+/// Zero values are floored at a tiny epsilon so the ratio stays finite
+/// (an estimator reporting 0 at nonzero progress deserves a huge but
+/// finite penalty).
+pub fn ratio_error(estimate: f64, progress: f64) -> f64 {
+    let e = estimate.max(1e-9);
+    let p = progress.max(1e-9);
+    (e / p).max(p / e)
+}
+
+/// Scores one estimator over a trace. Snapshots at progress 0 are skipped
+/// (ratio error is undefined there, and the paper's plots start after the
+/// first tuples flow).
+pub fn error_stats(trace: &ProgressTrace, estimator: &str) -> Option<ErrorStats> {
+    let series = trace.series(estimator)?;
+    let scored: Vec<(f64, f64)> = series.into_iter().filter(|(p, _)| *p > 0.0).collect();
+    if scored.is_empty() {
+        return None;
+    }
+    let mut max_abs = 0.0f64;
+    let mut sum_abs = 0.0f64;
+    let mut max_ratio = 1.0f64;
+    let mut sum_ratio = 0.0f64;
+    for &(p, e) in &scored {
+        let abs = (e - p).abs();
+        max_abs = max_abs.max(abs);
+        sum_abs += abs;
+        let r = ratio_error(e, p);
+        max_ratio = max_ratio.max(r);
+        sum_ratio += r;
+    }
+    let n = scored.len();
+    let (p_last, e_last) = *scored.last().expect("nonempty");
+    Some(ErrorStats {
+        max_abs,
+        avg_abs: sum_abs / n as f64,
+        max_ratio,
+        avg_ratio: sum_ratio / n as f64,
+        final_abs: (e_last - p_last).abs(),
+        n,
+    })
+}
+
+/// Checks the threshold requirement `(τ, δ)` of Section 2.5 over a trace:
+/// returns `true` iff every snapshot obeys it.
+pub fn threshold_requirement_holds(
+    trace: &ProgressTrace,
+    estimator: &str,
+    tau: f64,
+    delta: f64,
+) -> bool {
+    let Some(series) = trace.series(estimator) else {
+        return false;
+    };
+    series.iter().all(|&(prog, est)| {
+        if prog < tau - delta {
+            est < tau
+        } else if prog > tau + delta {
+            est > tau
+        } else {
+            true // grey area: anything goes
+        }
+    })
+}
+
+/// The worst-case ratio-error guarantee the `safe` estimator carries at an
+/// instant with bounds `LB`, `UB` (Section 5.3): `√(UB/LB)`.
+pub fn safe_guarantee(lb: u64, ub: u64) -> f64 {
+    (ub.max(1) as f64 / lb.max(1) as f64).sqrt()
+}
+
+/// Renders error stats as the percentage strings the paper's Table 1 uses.
+pub fn percent(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimators::{Pmax, Trivial};
+    use crate::monitor::run_with_progress;
+    use qp_exec::plan::PlanBuilder;
+    use qp_storage::{ColumnType, Database, Schema, Value};
+
+    fn trace() -> ProgressTrace {
+        let mut db = Database::new();
+        db.create_table_with_rows(
+            "t",
+            Schema::of(&[("a", ColumnType::Int)]),
+            (0..500).map(|i| vec![Value::Int(i)]),
+        )
+        .unwrap();
+        let plan = PlanBuilder::scan(&db, "t").unwrap().build();
+        run_with_progress(
+            &plan,
+            &db,
+            None,
+            vec![Box::new(Pmax), Box::new(Trivial)],
+            Some(5),
+        )
+        .unwrap()
+        .1
+    }
+
+    #[test]
+    fn ratio_error_is_symmetric_and_at_least_one() {
+        assert!((ratio_error(0.5, 0.25) - 2.0).abs() < 1e-9);
+        assert!((ratio_error(0.25, 0.5) - 2.0).abs() < 1e-9);
+        assert_eq!(ratio_error(0.3, 0.3), 1.0);
+        assert!(ratio_error(0.0, 0.5).is_finite());
+    }
+
+    #[test]
+    fn pmax_on_pure_scan_is_exact() {
+        let t = trace();
+        let stats = error_stats(&t, "pmax").unwrap();
+        assert!(stats.max_abs < 1e-9, "{stats:?}");
+        assert!((stats.max_ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trivial_has_half_max_error() {
+        let t = trace();
+        let stats = error_stats(&t, "trivial").unwrap();
+        // At progress 1.0 the trivial estimator is off by 0.5.
+        assert!((stats.max_abs - 0.5).abs() < 0.02, "{stats:?}");
+    }
+
+    #[test]
+    fn threshold_requirement_on_exact_estimator() {
+        let t = trace();
+        assert!(threshold_requirement_holds(&t, "pmax", 0.5, 0.05));
+        // The trivial estimator (always 0.5) violates τ=0.5, δ=0.05: when
+        // progress > 0.55 it reports 0.5, not in (0.5, 1).
+        assert!(!threshold_requirement_holds(&t, "trivial", 0.5, 0.05));
+    }
+
+    #[test]
+    fn unknown_estimator_yields_none() {
+        let t = trace();
+        assert!(error_stats(&t, "nope").is_none());
+    }
+
+    #[test]
+    fn safe_guarantee_formula() {
+        assert!((safe_guarantee(100, 400) - 2.0).abs() < 1e-12);
+        assert_eq!(safe_guarantee(0, 0), 1.0);
+    }
+
+    #[test]
+    fn percent_formats() {
+        assert_eq!(percent(0.2474), "24.74%");
+    }
+}

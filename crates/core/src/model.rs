@@ -1,0 +1,201 @@
+//! The GetNext model of work: progress, μ, and plan metadata shared by the
+//! estimators.
+
+use qp_exec::pipeline::{self, Pipeline};
+use qp_exec::plan::{Plan, PlanNode};
+use qp_exec::NodeId;
+
+/// Static, estimator-visible metadata about a plan, precomputed once per
+/// query (everything here is derivable from the plan and the catalog —
+/// nothing peeks at the data).
+#[derive(Debug, Clone)]
+pub struct PlanMeta {
+    /// Number of plan nodes.
+    pub n_nodes: usize,
+    /// Root node id.
+    pub root: NodeId,
+    /// Optimizer estimate per node (NaN-free; missing estimates become the
+    /// scan cardinality at leaves or 0 elsewhere).
+    pub est_rows: Vec<f64>,
+    /// Scanned leaves (`L_s` of Section 5.2) with their catalog
+    /// cardinalities (`None` for range scans whose size is a-priori
+    /// unknown).
+    pub scanned_leaves: Vec<(NodeId, Option<u64>)>,
+    /// Pipeline decomposition with sources (driver nodes).
+    pub pipelines: Vec<Pipeline>,
+    /// `m` of Property 6 — internal node count.
+    pub internal_nodes: usize,
+    /// Whether the plan is scan-based (no nested iteration; Section 5.4).
+    pub scan_based: bool,
+    /// Children per node.
+    pub children: Vec<Vec<NodeId>>,
+    /// Parent per node (root has none).
+    pub parent: Vec<Option<NodeId>>,
+}
+
+impl PlanMeta {
+    /// Extracts metadata from a plan (ideally one annotated with
+    /// [`qp_exec::estimate::annotate`] so `est_rows` is meaningful).
+    pub fn from_plan(plan: &Plan) -> PlanMeta {
+        let n = plan.len();
+        let mut est_rows = Vec::with_capacity(n);
+        let mut children = Vec::with_capacity(n);
+        let mut parent = vec![None; n];
+        for (id, node) in plan.nodes().iter().enumerate() {
+            let fallback = match &node.kind {
+                PlanNode::SeqScan { card, .. } => *card as f64,
+                _ => 0.0,
+            };
+            let est = node.est_rows.unwrap_or(fallback);
+            est_rows.push(if est.is_finite() { est } else { fallback });
+            children.push(node.children.clone());
+            for &c in &node.children {
+                parent[c] = Some(id);
+            }
+        }
+        let scanned_leaves = plan
+            .scanned_leaves()
+            .into_iter()
+            .map(|id| {
+                let card = match &plan.node(id).kind {
+                    PlanNode::SeqScan { card, .. } => Some(*card),
+                    _ => None,
+                };
+                (id, card)
+            })
+            .collect();
+        PlanMeta {
+            n_nodes: n,
+            root: plan.root(),
+            est_rows,
+            scanned_leaves,
+            pipelines: pipeline::decompose(plan),
+            internal_nodes: plan.internal_node_count(),
+            scan_based: plan.is_scan_based(),
+            children,
+            parent,
+        }
+    }
+
+    /// Sum of optimizer estimates across all nodes — the naive estimate of
+    /// `total(Q)`.
+    pub fn est_total(&self) -> f64 {
+        self.est_rows.iter().sum()
+    }
+}
+
+/// The progress of a prefix: `curr / total`, clamped into `[0, 1]`.
+#[inline]
+pub fn progress(curr: u64, total: u64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    (curr as f64 / total as f64).clamp(0.0, 1.0)
+}
+
+/// μ from a completed run: `total(Q) / Σ_{i ∈ L_s} L_i` (Section 5.2),
+/// using the *actual* rows produced at scanned leaves (exact for full
+/// scans; for range scans this is the realized range size). Returns
+/// `f64::INFINITY` when the plan scans no leaves.
+pub fn mu_from_counts(meta: &PlanMeta, node_counts: &[u64]) -> f64 {
+    let total: u64 = node_counts.iter().sum();
+    let leaf_sum: u64 = meta
+        .scanned_leaves
+        .iter()
+        .map(|&(id, card)| card.unwrap_or(node_counts[id]))
+        .sum();
+    if leaf_sum == 0 {
+        return f64::INFINITY;
+    }
+    total as f64 / leaf_sum as f64
+}
+
+/// Observed μ̂ during execution: getnext calls so far divided by rows read
+/// so far at the scanned leaves. This is the quantity the Section 6.4
+/// hybrid heuristic thresholds on — and the quantity Theorem 7 proves
+/// cannot be *guaranteed* accurate.
+pub fn mu_observed(meta: &PlanMeta, produced: &[u64], curr: u64) -> f64 {
+    let leaf_rows: u64 = meta
+        .scanned_leaves
+        .iter()
+        .map(|&(id, _)| produced[id])
+        .sum();
+    if leaf_rows == 0 {
+        return f64::INFINITY;
+    }
+    curr as f64 / leaf_rows as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_exec::plan::{JoinType, PlanBuilder};
+    use qp_storage::{ColumnType, Database, Schema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table_with_rows(
+            "t",
+            Schema::of(&[("a", ColumnType::Int)]),
+            (0..100).map(|i| vec![Value::Int(i)]),
+        )
+        .unwrap();
+        db.create_table_with_rows(
+            "u",
+            Schema::of(&[("x", ColumnType::Int)]),
+            (0..50).map(|i| vec![Value::Int(i)]),
+        )
+        .unwrap();
+        db.create_index("u_x", "u", &["x"], true).unwrap();
+        db
+    }
+
+    #[test]
+    fn progress_clamps() {
+        assert_eq!(progress(0, 100), 0.0);
+        assert_eq!(progress(50, 100), 0.5);
+        assert_eq!(progress(200, 100), 1.0);
+        assert_eq!(progress(5, 0), 0.0);
+    }
+
+    #[test]
+    fn meta_captures_structure() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .inl_join(&db, "u", "u_x", vec![0], JoinType::Inner, true, None)
+            .unwrap()
+            .build();
+        let meta = PlanMeta::from_plan(&plan);
+        assert_eq!(meta.n_nodes, 2);
+        assert_eq!(meta.scanned_leaves, vec![(0, Some(100))]);
+        assert!(!meta.scan_based);
+        assert_eq!(meta.parent[0], Some(1));
+        assert_eq!(meta.parent[1], None);
+    }
+
+    #[test]
+    fn mu_matches_paper_example() {
+        // Example-2 shape: scan(100) → σ(30) → INLJ(30): total 160, leaf
+        // sum 100 → μ = 1.6.
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .filter(qp_exec::Expr::col_eq(0, 1i64))
+            .inl_join(&db, "u", "u_x", vec![0], JoinType::Inner, true, None)
+            .unwrap()
+            .build();
+        let meta = PlanMeta::from_plan(&plan);
+        let mu = mu_from_counts(&meta, &[100, 30, 30]);
+        assert!((mu - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mu_observed_tracks_partial_execution() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t").unwrap().build();
+        let meta = PlanMeta::from_plan(&plan);
+        assert_eq!(mu_observed(&meta, &[50], 50), 1.0);
+        assert!(mu_observed(&meta, &[0], 0).is_infinite());
+    }
+}

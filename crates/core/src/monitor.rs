@@ -1,0 +1,379 @@
+//! The progress monitor: an executor [`Observer`] that maintains bounds
+//! and snapshots every estimator at a fixed getnext stride.
+//!
+//! This is the complete "Progress Estimator" box of the paper's Figure 1:
+//! it receives the execution feedback (getnext events), holds the plan
+//! and the statistics-derived state, and produces estimates. After the
+//! run completes, [`ProgressMonitor::into_trace`] pairs every snapshot
+//! with the now-known true progress, yielding the series plotted in the
+//! paper's figures.
+
+use crate::bounds::BoundsTracker;
+use crate::estimators::{EstimatorContext, ProgressEstimator};
+use crate::model::PlanMeta;
+use qp_exec::{Counters, ExecEvent, Observer};
+
+/// One recorded instant.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// `Curr` at the instant.
+    pub curr: u64,
+    /// `LB` at the instant.
+    pub lb: u64,
+    /// `UB` at the instant.
+    pub ub: u64,
+    /// One estimate per registered estimator, in registration order.
+    pub estimates: Vec<f64>,
+}
+
+/// Observer that drives the estimator suite during execution.
+pub struct ProgressMonitor {
+    meta: PlanMeta,
+    bounds: BoundsTracker,
+    estimators: Vec<Box<dyn ProgressEstimator>>,
+    names: Vec<&'static str>,
+    stride: u64,
+    produced: Vec<u64>,
+    exhausted: Vec<bool>,
+    curr: u64,
+    snapshots: Vec<Snapshot>,
+}
+
+impl ProgressMonitor {
+    /// Creates a monitor snapshotting every `stride` getnext calls.
+    ///
+    /// `meta` should come from a plan annotated with optimizer estimates;
+    /// `bounds` from the same plan (with or without statistics).
+    pub fn new(
+        meta: PlanMeta,
+        bounds: BoundsTracker,
+        estimators: Vec<Box<dyn ProgressEstimator>>,
+        stride: u64,
+    ) -> ProgressMonitor {
+        assert!(stride > 0, "stride must be positive");
+        let names = estimators.iter().map(|e| e.name()).collect();
+        let n = meta.n_nodes;
+        ProgressMonitor {
+            meta,
+            bounds,
+            estimators,
+            names,
+            stride,
+            produced: vec![0; n],
+            exhausted: vec![false; n],
+            curr: 0,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Estimator names, in snapshot order.
+    pub fn names(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    fn snapshot(&mut self) {
+        self.bounds.recompute(&self.produced, &self.exhausted);
+        let cx = EstimatorContext {
+            produced: &self.produced,
+            exhausted: &self.exhausted,
+            curr: self.curr,
+            lb_total: self.bounds.total_lb(),
+            ub_total: self.bounds.total_ub(),
+            meta: &self.meta,
+            node_bounds: self.bounds.all(),
+        };
+        let estimates = self
+            .estimators
+            .iter_mut()
+            .map(|e| e.estimate(&cx))
+            .collect();
+        self.snapshots.push(Snapshot {
+            curr: self.curr,
+            lb: cx.lb_total,
+            ub: cx.ub_total,
+            estimates,
+        });
+    }
+
+    /// Finalizes into a trace once `total(Q)` is known (from the completed
+    /// run's counters).
+    pub fn into_trace(self, total: u64) -> ProgressTrace {
+        ProgressTrace {
+            names: self.names,
+            snapshots: self.snapshots,
+            total,
+        }
+    }
+}
+
+impl Observer for ProgressMonitor {
+    fn on_event(&mut self, event: ExecEvent, _counters: &Counters) {
+        match event {
+            ExecEvent::Open(_) => {}
+            ExecEvent::RowProduced(node) => {
+                self.produced[node] += 1;
+                self.curr += 1;
+                if self.curr.is_multiple_of(self.stride) {
+                    self.snapshot();
+                }
+            }
+            ExecEvent::Exhausted(node) => {
+                self.exhausted[node] = true;
+                // Exhaustion is a phase transition (a pipeline boundary
+                // draining): snapshot immediately so traces capture the
+                // bound refinements these events trigger, regardless of
+                // where the stride falls.
+                self.snapshot();
+            }
+        }
+    }
+}
+
+/// A completed run's estimate series, paired with true progress.
+#[derive(Debug, Clone)]
+pub struct ProgressTrace {
+    names: Vec<&'static str>,
+    snapshots: Vec<Snapshot>,
+    total: u64,
+}
+
+impl ProgressTrace {
+    /// Estimator names (column order of [`Snapshot::estimates`]).
+    pub fn names(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    /// All snapshots.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// `total(Q)` of the completed run.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Index of an estimator by name.
+    pub fn estimator_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| *n == name)
+    }
+
+    /// True progress at each snapshot.
+    pub fn true_progress(&self) -> Vec<f64> {
+        self.snapshots
+            .iter()
+            .map(|s| crate::model::progress(s.curr, self.total))
+            .collect()
+    }
+
+    /// Renders the whole trace as CSV (`curr,progress,lb,ub,<estimators…>`)
+    /// for external plotting — the paper's figures are exactly these
+    /// columns.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("curr,progress,lb,ub");
+        for n in &self.names {
+            out.push(',');
+            out.push_str(n);
+        }
+        out.push('\n');
+        for s in &self.snapshots {
+            out.push_str(&format!(
+                "{},{:.6},{},{}",
+                s.curr,
+                crate::model::progress(s.curr, self.total),
+                s.lb,
+                s.ub
+            ));
+            for e in &s.estimates {
+                out.push_str(&format!(",{e:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// `(true_progress, estimate)` series for one estimator.
+    pub fn series(&self, name: &str) -> Option<Vec<(f64, f64)>> {
+        let idx = self.estimator_index(name)?;
+        Some(
+            self.snapshots
+                .iter()
+                .map(|s| {
+                    (
+                        crate::model::progress(s.curr, self.total),
+                        s.estimates[idx],
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Convenience wrapper: run `plan` with the given estimators, returning
+/// the query output and the finished trace. Snapshot stride defaults to
+/// `total_rows_hint / 200` capped to at least 1 — roughly 200 points per
+/// run, like the paper's plots.
+pub fn run_with_progress(
+    plan: &qp_exec::Plan,
+    db: &qp_storage::Database,
+    stats: Option<&qp_stats::DbStats>,
+    estimators: Vec<Box<dyn ProgressEstimator>>,
+    stride: Option<u64>,
+) -> qp_exec::ExecResult<(qp_exec::executor::QueryOutput, ProgressTrace)> {
+    let meta = PlanMeta::from_plan(plan);
+    let bounds = BoundsTracker::new(plan, stats);
+    let stride = stride.unwrap_or_else(|| {
+        let hint: u64 = meta
+            .scanned_leaves
+            .iter()
+            .filter_map(|&(_, c)| c)
+            .sum::<u64>()
+            .max(200);
+        (hint / 200).max(1)
+    });
+    let monitor = std::rc::Rc::new(std::cell::RefCell::new(ProgressMonitor::new(
+        meta, bounds, estimators, stride,
+    )));
+
+    /// Observer shim sharing the monitor with the caller.
+    struct Shared(std::rc::Rc<std::cell::RefCell<ProgressMonitor>>);
+    impl Observer for Shared {
+        fn on_event(&mut self, event: ExecEvent, counters: &Counters) {
+            self.0.borrow_mut().on_event(event, counters);
+        }
+    }
+
+    let (out, _) = qp_exec::run_query(
+        plan,
+        db,
+        Some(Box::new(Shared(std::rc::Rc::clone(&monitor)))),
+    )?;
+    let monitor = std::rc::Rc::try_unwrap(monitor)
+        .ok()
+        .expect("executor dropped its observer handle")
+        .into_inner();
+    Ok((out, monitor.into_trace_with_final()))
+}
+
+impl ProgressMonitor {
+    /// Takes one final snapshot (so the trace always ends at 100%) and
+    /// finalizes using the monitor's own `curr` as `total(Q)`.
+    fn into_trace_with_final(mut self) -> ProgressTrace {
+        self.snapshot();
+        let total = self.curr;
+        self.into_trace(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimators::{Dne, Pmax, Safe};
+    use qp_exec::plan::PlanBuilder;
+    use qp_exec::Expr;
+    use qp_storage::{ColumnType, Database, Schema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table_with_rows(
+            "t",
+            Schema::of(&[("a", ColumnType::Int)]),
+            (0..1000).map(|i| vec![Value::Int(i)]),
+        )
+        .unwrap();
+        db
+    }
+
+    fn scan_filter_plan(db: &Database) -> qp_exec::Plan {
+        PlanBuilder::scan(db, "t")
+            .unwrap()
+            .filter(Expr::cmp(
+                qp_exec::CmpOp::Lt,
+                Expr::Col(0),
+                Expr::Lit(Value::Int(500)),
+            ))
+            .build()
+    }
+
+    #[test]
+    fn monitor_produces_monotone_trace() {
+        let db = db();
+        let plan = scan_filter_plan(&db);
+        let (out, trace) = run_with_progress(
+            &plan,
+            &db,
+            None,
+            vec![Box::new(Dne), Box::new(Pmax), Box::new(Safe)],
+            Some(10),
+        )
+        .unwrap();
+        assert_eq!(out.total_getnext, 1500);
+        assert_eq!(trace.total(), 1500);
+        assert!(trace.snapshots().len() > 100);
+        let prog = trace.true_progress();
+        assert!(prog.windows(2).all(|w| w[0] <= w[1]));
+        // The final snapshot is at 100%.
+        assert!((prog.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmax_never_underestimates_along_whole_trace() {
+        let db = db();
+        let plan = scan_filter_plan(&db);
+        let (_, trace) =
+            run_with_progress(&plan, &db, None, vec![Box::new(Pmax)], Some(7)).unwrap();
+        for (prog, est) in trace.series("pmax").unwrap() {
+            assert!(
+                est >= prog - 1e-9,
+                "pmax {est} underestimates progress {prog}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_stay_in_unit_interval() {
+        let db = db();
+        let plan = scan_filter_plan(&db);
+        let (_, trace) = run_with_progress(
+            &plan,
+            &db,
+            None,
+            crate::estimators::standard_suite(),
+            Some(13),
+        )
+        .unwrap();
+        for s in trace.snapshots() {
+            for &e in &s.estimates {
+                assert!((0.0..=1.0).contains(&e), "estimate {e} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn csv_export_is_well_formed() {
+        let db = db();
+        let plan = scan_filter_plan(&db);
+        let (_, trace) =
+            run_with_progress(&plan, &db, None, vec![Box::new(Pmax)], Some(100)).unwrap();
+        let csv = trace.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "curr,progress,lb,ub,pmax");
+        let n_rows = lines.clone().count();
+        assert_eq!(n_rows, trace.snapshots().len());
+        for line in lines {
+            assert_eq!(line.split(',').count(), 5, "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn dne_is_exact_for_uniform_single_pipeline() {
+        // A pure scan: per-tuple work is constant, dne should be exact.
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t").unwrap().build();
+        let (_, trace) =
+            run_with_progress(&plan, &db, None, vec![Box::new(Dne)], Some(10)).unwrap();
+        for (prog, est) in trace.series("dne").unwrap() {
+            assert!((est - prog).abs() < 0.01, "dne {est} vs progress {prog}");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Controlled row orders.
+//!
+//! The paper's central empirical variable (after skew itself) is the
+//! **order in which tuples are retrieved from the driver node** (Section
+//! 4.2): `dne` is exact in expectation under random order (Theorem 3),
+//! bounded under "predictive" orders, and arbitrarily wrong under
+//! adversarial orders — the skew-first order of Figure 4 and the skew-last
+//! ("worst-case") order of Figure 5. This module realizes those orders as
+//! permutations applied to a generated table.
+
+use qp_storage::{Table, Value};
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+use crate::dist::permutation;
+
+/// A named row-order policy for a generated table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOrder {
+    /// Keep generation order (arbitrary but fixed).
+    AsGenerated,
+    /// Uniformly random permutation — the Theorem 3 setting.
+    Random,
+    /// Ascending by a column.
+    SortedAsc,
+    /// Descending by a column.
+    SortedDesc,
+    /// Rows whose key has the highest *fan-out* into a partner table come
+    /// first (Figure 4's setting: dne underestimates).
+    SkewFirst,
+    /// Rows with the highest fan-out come last (Figure 5's worst case:
+    /// dne/pmax overestimate right until the end).
+    SkewLast,
+}
+
+/// Computes the fan-out of each value in `keys` into the multiset of
+/// `partner_keys` (how many partner rows each key joins with).
+pub fn fanout_map(partner_keys: impl IntoIterator<Item = Value>) -> HashMap<Value, u64> {
+    let mut m = HashMap::new();
+    for k in partner_keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Produces the permutation realizing `order` for `table`.
+///
+/// * For `SortedAsc`/`SortedDesc`, rows are ordered by `col`.
+/// * For `SkewFirst`/`SkewLast`, rows are ordered by the fan-out of their
+///   `col` value per `fanout` (missing keys have fan-out 0); ties broken by
+///   original position so the permutation is deterministic.
+/// * `Random` uses the supplied RNG; `AsGenerated` is the identity.
+pub fn order_permutation(
+    table: &Table,
+    order: RowOrder,
+    col: usize,
+    fanout: Option<&HashMap<Value, u64>>,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let n = table.len();
+    match order {
+        RowOrder::AsGenerated => (0..n).collect(),
+        RowOrder::Random => permutation(rng, n),
+        RowOrder::SortedAsc | RowOrder::SortedDesc => {
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by(|&a, &b| {
+                let va = table.row(a as u64).get(col);
+                let vb = table.row(b as u64).get(col);
+                va.cmp(vb).then(a.cmp(&b))
+            });
+            if order == RowOrder::SortedDesc {
+                idx.reverse();
+            }
+            idx
+        }
+        RowOrder::SkewFirst | RowOrder::SkewLast => {
+            let fan = fanout.expect("skew orders need a fan-out map");
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by(|&a, &b| {
+                let fa = fan.get(table.row(a as u64).get(col)).copied().unwrap_or(0);
+                let fb = fan.get(table.row(b as u64).get(col)).copied().unwrap_or(0);
+                // Descending fan-out for SkewFirst.
+                fb.cmp(&fa).then(a.cmp(&b))
+            });
+            if order == RowOrder::SkewLast {
+                idx.reverse();
+            }
+            idx
+        }
+    }
+}
+
+/// Applies `order` to `table` in place (see [`order_permutation`]).
+pub fn apply_order(
+    table: &mut Table,
+    order: RowOrder,
+    col: usize,
+    fanout: Option<&HashMap<Value, u64>>,
+    rng: &mut StdRng,
+) {
+    let perm = order_permutation(table, order, col, fanout, rng);
+    table.reorder(&perm);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::seeded;
+    use qp_storage::{ColumnType, Row, Schema};
+
+    fn table_with(vals: &[i64]) -> Table {
+        let mut t = Table::new("t", Schema::of(&[("a", ColumnType::Int)]));
+        for &v in vals {
+            t.insert(Row::new(vec![Value::Int(v)])).unwrap();
+        }
+        t
+    }
+
+    fn col_values(t: &Table) -> Vec<i64> {
+        t.rows().iter().map(|r| r.get(0).as_i64().unwrap()).collect()
+    }
+
+    #[test]
+    fn sorted_orders() {
+        let mut t = table_with(&[3, 1, 2]);
+        let mut rng = seeded(1);
+        apply_order(&mut t, RowOrder::SortedAsc, 0, None, &mut rng);
+        assert_eq!(col_values(&t), vec![1, 2, 3]);
+        apply_order(&mut t, RowOrder::SortedDesc, 0, None, &mut rng);
+        assert_eq!(col_values(&t), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn skew_first_puts_high_fanout_rows_first() {
+        let mut t = table_with(&[1, 2, 3, 4]);
+        // Key 3 joins with 100 partner rows, key 1 with 5, others none.
+        let fan = fanout_map(
+            std::iter::repeat_with(|| Value::Int(3))
+                .take(100)
+                .chain(std::iter::repeat_with(|| Value::Int(1)).take(5)),
+        );
+        let mut rng = seeded(1);
+        apply_order(&mut t, RowOrder::SkewFirst, 0, Some(&fan), &mut rng);
+        assert_eq!(col_values(&t)[0], 3);
+        assert_eq!(col_values(&t)[1], 1);
+    }
+
+    #[test]
+    fn skew_last_is_reverse_of_skew_first() {
+        let fan = fanout_map((0..50).map(|i| Value::Int(i % 5)));
+        let mut t1 = table_with(&[0, 1, 2, 3, 4, 5, 6]);
+        let mut t2 = table_with(&[0, 1, 2, 3, 4, 5, 6]);
+        let mut rng = seeded(1);
+        apply_order(&mut t1, RowOrder::SkewFirst, 0, Some(&fan), &mut rng);
+        apply_order(&mut t2, RowOrder::SkewLast, 0, Some(&fan), &mut rng);
+        let mut rev = col_values(&t2);
+        rev.reverse();
+        assert_eq!(col_values(&t1), rev);
+    }
+
+    #[test]
+    fn random_is_a_permutation() {
+        let mut t = table_with(&(0..100).collect::<Vec<_>>());
+        let mut rng = seeded(9);
+        apply_order(&mut t, RowOrder::Random, 0, None, &mut rng);
+        let mut vals = col_values(&t);
+        vals.sort_unstable();
+        assert_eq!(vals, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fanout_map_counts_occurrences() {
+        let fan = fanout_map([Value::Int(1), Value::Int(1), Value::Int(2)]);
+        assert_eq!(fan[&Value::Int(1)], 2);
+        assert_eq!(fan[&Value::Int(2)], 1);
+        assert_eq!(fan.get(&Value::Int(3)), None);
+    }
+}

@@ -1,0 +1,260 @@
+//! Synthetic SkyServer-style astronomy database.
+//!
+//! The paper's Table 3 reports μ values for the long-running queries of the
+//! Sloan Digital Sky Survey "personal edition" SkyServer database \[4\]. The
+//! real data is not redistributable here, so this module generates a
+//! synthetic schema with the same *plan-relevant* structure (DESIGN.md §5):
+//!
+//! * `photoobj` — the large photometric fact table: one row per detected
+//!   object with position (`ra`, `dec`), five magnitudes (`mag_u` …
+//!   `mag_z`), an object `objtype` (star / galaxy / …), and quality
+//!   `flags`. SkyServer's long-running queries are dominated by scans and
+//!   selective filters over this table.
+//! * `specobj` — spectroscopic measurements for a small subset of objects,
+//!   FK `bestobjid → photoobj.objid` (lookup joins).
+//! * `neighbors` — precomputed object-proximity pairs (`objid`,
+//!   `neighborobjid`, `distance`), the substrate for the self-join style
+//!   queries in the suite.
+//!
+//! Magnitudes follow shifted exponential-ish tails built from zipf ranks so
+//! that magnitude cuts (e.g. `mag_r < 17`) are selective, as in the real
+//! survey.
+
+use crate::dist::{seeded, Zipf};
+use qp_storage::{ColumnType, Database, Row, Schema, Table, Value};
+use rand::RngExt;
+
+/// Configuration for the synthetic SkyServer database.
+#[derive(Debug, Clone)]
+pub struct SkyConfig {
+    /// Rows in `photoobj`. The paper's 1 GB personal edition holds a few
+    /// million; we default to 60k (ratios, not absolute sizes, drive μ).
+    pub photoobj_rows: usize,
+    /// Fraction of objects with spectra (real SkyServer: ~1%–5%).
+    pub spec_fraction: f64,
+    /// Average neighbors per object.
+    pub neighbors_per_obj: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SkyConfig {
+    fn default() -> SkyConfig {
+        SkyConfig {
+            photoobj_rows: 60_000,
+            spec_fraction: 0.04,
+            neighbors_per_obj: 3.0,
+            seed: 0x5111,
+        }
+    }
+}
+
+/// The generated database.
+pub struct SkyDb {
+    pub db: Database,
+    pub config: SkyConfig,
+}
+
+/// Object types (photoobj.objtype): 3 = galaxy, 6 = star dominate real data.
+const OBJTYPES: [(i64, f64); 4] = [(3, 0.55), (6, 0.40), (0, 0.03), (5, 0.02)];
+
+impl SkyDb {
+    /// Generates the database with indexes `photoobj_pk(objid)`,
+    /// `specobj_bestobjid`, and `neighbors_objid`.
+    pub fn generate(config: SkyConfig) -> SkyDb {
+        let mut rng = seeded(config.seed);
+        let n = config.photoobj_rows;
+
+        let mut photoobj = Table::new(
+            "photoobj",
+            Schema::of(&[
+                ("objid", ColumnType::Int),
+                ("ra", ColumnType::Float),
+                ("dec", ColumnType::Float),
+                ("objtype", ColumnType::Int),
+                ("mag_u", ColumnType::Float),
+                ("mag_g", ColumnType::Float),
+                ("mag_r", ColumnType::Float),
+                ("mag_i", ColumnType::Float),
+                ("mag_z", ColumnType::Float),
+                ("flags", ColumnType::Int),
+            ]),
+        );
+        let mag_zipf = Zipf::new(600, 1.2);
+        for objid in 0..n as i64 {
+            let u: f64 = rng.random();
+            let mut objtype = OBJTYPES[0].0;
+            let mut acc = 0.0;
+            for &(ty, p) in &OBJTYPES {
+                acc += p;
+                if u < acc {
+                    objtype = ty;
+                    break;
+                }
+            }
+            // Magnitudes: bright objects (low mag) are rare — map zipf rank
+            // to magnitude so the tail below 16 is thin.
+            let base_mag = 14.0 + (600 - mag_zipf.sample(&mut rng)) as f64 / 60.0;
+            let mag = |rng: &mut rand::rngs::StdRng, off: f64| {
+                Value::Float(base_mag + off + rng.random_range(-0.3..0.3))
+            };
+            let row = Row::new(vec![
+                Value::Int(objid),
+                Value::Float(rng.random_range(0.0..360.0)),
+                Value::Float(rng.random_range(-90.0..90.0)),
+                Value::Int(objtype),
+                mag(&mut rng, 1.8),
+                mag(&mut rng, 0.6),
+                mag(&mut rng, 0.0),
+                mag(&mut rng, -0.2),
+                mag(&mut rng, -0.4),
+                Value::Int(rng.random_range(0..1 << 16)),
+            ]);
+            photoobj.insert_unchecked(row);
+        }
+
+        let mut specobj = Table::new(
+            "specobj",
+            Schema::of(&[
+                ("specobjid", ColumnType::Int),
+                ("bestobjid", ColumnType::Int),
+                ("class", ColumnType::Str),
+                ("redshift", ColumnType::Float),
+            ]),
+        );
+        let mut spec_id = 0i64;
+        for objid in 0..n as i64 {
+            if rng.random_bool(config.spec_fraction) {
+                let class = ["GALAXY", "STAR", "QSO"][rng.random_range(0..3)];
+                specobj.insert_unchecked(Row::new(vec![
+                    Value::Int(spec_id),
+                    Value::Int(objid),
+                    Value::str(class),
+                    Value::Float(rng.random_range(0.0..3.0f64).powi(2) / 3.0),
+                ]));
+                spec_id += 1;
+            }
+        }
+
+        let mut neighbors = Table::new(
+            "neighbors",
+            Schema::of(&[
+                ("objid", ColumnType::Int),
+                ("neighborobjid", ColumnType::Int),
+                ("distance", ColumnType::Float),
+            ]),
+        );
+        // Pareto-ish neighbor counts: most objects few, some crowded fields
+        // many (zipf over 50 "field density" classes).
+        let density = Zipf::new(50, 1.0);
+        for objid in 0..n as i64 {
+            let k = ((density.sample(&mut rng) as f64 / 50.0)
+                * 2.0
+                * config.neighbors_per_obj)
+                .round() as usize;
+            for _ in 0..k {
+                let other = rng.random_range(0..n as i64);
+                if other != objid {
+                    neighbors.insert_unchecked(Row::new(vec![
+                        Value::Int(objid),
+                        Value::Int(other),
+                        Value::Float(rng.random_range(0.0..0.5)),
+                    ]));
+                }
+            }
+        }
+
+        let mut db = Database::new();
+        db.add_table(photoobj).expect("fresh db");
+        db.add_table(specobj).expect("fresh db");
+        db.add_table(neighbors).expect("fresh db");
+        db.create_index("photoobj_pk", "photoobj", &["objid"], true)
+            .expect("pk");
+        db.create_index("specobj_bestobjid", "specobj", &["bestobjid"], false)
+            .expect("fk");
+        db.create_index("neighbors_objid", "neighbors", &["objid"], false)
+            .expect("fk");
+
+        SkyDb { db, config }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SkyDb {
+        SkyDb::generate(SkyConfig {
+            photoobj_rows: 5_000,
+            spec_fraction: 0.05,
+            neighbors_per_obj: 2.0,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn photoobj_has_requested_rows() {
+        let s = tiny();
+        assert_eq!(s.db.cardinality("photoobj").unwrap(), 5_000);
+    }
+
+    #[test]
+    fn spec_fraction_is_respected() {
+        let s = tiny();
+        let n_spec = s.db.cardinality("specobj").unwrap();
+        assert!(
+            n_spec > 150 && n_spec < 400,
+            "spec rows {n_spec} far from 5% of 5000"
+        );
+    }
+
+    #[test]
+    fn spec_fks_resolve() {
+        let s = tiny();
+        let photo_pk = s.db.index("photoobj_pk").unwrap();
+        for row in s.db.table("specobj").unwrap().rows() {
+            let best = row.get(1);
+            assert_eq!(
+                photo_pk.tree.lookup(std::slice::from_ref(best)).count(),
+                1,
+                "dangling bestobjid {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn magnitude_cut_is_selective() {
+        let s = tiny();
+        let photo = s.db.table("photoobj").unwrap();
+        let mag_r = photo.schema().index_of("mag_r").unwrap();
+        let bright = photo
+            .rows()
+            .iter()
+            .filter(|r| *r.get(mag_r) < Value::Float(17.0))
+            .count();
+        let frac = bright as f64 / photo.len() as f64;
+        assert!(frac > 0.0 && frac < 0.35, "bright fraction {frac}");
+    }
+
+    #[test]
+    fn neighbors_reference_valid_objects() {
+        let s = tiny();
+        for row in s.db.table("neighbors").unwrap().rows().iter().take(200) {
+            let a = row.get(0).as_i64().unwrap();
+            let b = row.get(1).as_i64().unwrap();
+            assert!((0..5_000).contains(&a));
+            assert!((0..5_000).contains(&b));
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(
+            a.db.cardinality("neighbors").unwrap(),
+            b.db.cardinality("neighbors").unwrap()
+        );
+    }
+}

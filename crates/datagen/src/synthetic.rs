@@ -1,0 +1,200 @@
+//! The paper's synthetic join-skew dataset (Sections 5.2 and 5.3).
+//!
+//! Two relations:
+//! * `r1(a)` — `n1` rows with **unique** values `0..n1` in column `a`;
+//! * `r2(b)` — `n2` rows whose `b` values are drawn zipfian (parameter `z`)
+//!   from the domain `0..n1`, so some `r1` keys join with an enormous
+//!   number of `r2` rows and most join with none.
+//!
+//! The paper uses `n1 = n2 = 10,000,000` and `z = 2`; the experiments here
+//! default to 100k/1M-row scale (the estimator error behaviour depends only
+//! on ratios, not absolute sizes — DESIGN.md §5).
+//!
+//! An index on `r2(b)` supports the index-nested-loops plan of Figure 2;
+//! hash/merge variants of the same join exercise the scan-based analysis
+//! of Section 5.4.
+
+use crate::dist::{seeded, Zipf};
+use crate::order::{apply_order, fanout_map, RowOrder};
+use qp_storage::{ColumnType, Database, Row, Schema, Table, Value};
+use std::collections::HashMap;
+
+/// Configuration for the synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Rows in the outer relation `r1` (unique join keys `0..r1_rows`).
+    pub r1_rows: usize,
+    /// Rows in the inner relation `r2`.
+    pub r2_rows: usize,
+    /// Zipf parameter for `r2.b` (the paper uses 2.0).
+    pub z: f64,
+    /// Row order for `r1` — the variable under study.
+    pub r1_order: RowOrder,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> SyntheticConfig {
+        SyntheticConfig {
+            r1_rows: 20_000,
+            r2_rows: 200_000,
+            z: 2.0,
+            r1_order: RowOrder::AsGenerated,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// The generated database plus the fan-out bookkeeping used to realize the
+/// skew orders and to compute ground-truth work vectors in tests.
+pub struct SyntheticDb {
+    pub db: Database,
+    pub config: SyntheticConfig,
+    /// For each `r1` key value, how many `r2` rows it joins with.
+    pub fanout: HashMap<Value, u64>,
+}
+
+impl SyntheticDb {
+    /// Generates the dataset. Creates tables `r1(a)`, `r2(b)` and the index
+    /// `r2_b` on `r2(b)` (non-unique).
+    pub fn generate(config: SyntheticConfig) -> SyntheticDb {
+        let mut rng = seeded(config.seed);
+        let zipf = Zipf::new(config.r1_rows, config.z);
+
+        // r2 first, so the fan-out map exists before ordering r1.
+        let mut r2 = Table::new("r2", Schema::of(&[("b", ColumnType::Int)]));
+        let mut r2_keys = Vec::with_capacity(config.r2_rows);
+        for _ in 0..config.r2_rows {
+            // Map zipf rank -> key value. Rank 0 (most frequent) maps to a
+            // mid-domain key so sorted orders of r1 don't accidentally
+            // correlate with skew.
+            let rank = zipf.sample(&mut rng);
+            let key = rank_to_key(rank, config.r1_rows);
+            r2_keys.push(Value::Int(key));
+            r2.insert_unchecked(Row::new(vec![Value::Int(key)]));
+        }
+        let fanout = fanout_map(r2_keys);
+
+        let mut r1 = Table::new("r1", Schema::of(&[("a", ColumnType::Int)]));
+        for a in 0..config.r1_rows {
+            r1.insert_unchecked(Row::new(vec![Value::Int(a as i64)]));
+        }
+        apply_order(&mut r1, config.r1_order, 0, Some(&fanout), &mut rng);
+
+        let mut db = Database::new();
+        db.add_table(r1).expect("fresh database");
+        db.add_table(r2).expect("fresh database");
+        db.create_index("r2_b", "r2", &["b"], false)
+            .expect("index builds");
+
+        SyntheticDb { db, config, fanout }
+    }
+
+    /// Ground-truth per-`r1`-row work vector for the INL join
+    /// `r1 ⋈ r2`: each outer row costs `1 (scan)` plus its fan-out
+    /// (join output rows). This is the "work done for that tuple" of
+    /// Section 4.2 under the getnext model.
+    pub fn work_vector(&self) -> Vec<u64> {
+        let r1 = self.db.table("r1").expect("r1 exists");
+        r1.rows()
+            .iter()
+            .map(|r| 1 + self.fanout.get(r.get(0)).copied().unwrap_or(0))
+            .collect()
+    }
+}
+
+/// Spreads zipf ranks over the key domain deterministically but
+/// non-monotonically (multiplicative hashing), so "sorted by key" is not
+/// secretly "sorted by frequency".
+fn rank_to_key(rank: usize, domain: usize) -> i64 {
+    ((rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % domain as u64) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SyntheticConfig {
+        SyntheticConfig {
+            r1_rows: 1_000,
+            r2_rows: 10_000,
+            z: 2.0,
+            r1_order: RowOrder::AsGenerated,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn tables_have_requested_sizes() {
+        let s = SyntheticDb::generate(small());
+        assert_eq!(s.db.cardinality("r1").unwrap(), 1_000);
+        assert_eq!(s.db.cardinality("r2").unwrap(), 10_000);
+        assert_eq!(s.db.index("r2_b").unwrap().tree.len(), 10_000);
+    }
+
+    #[test]
+    fn r1_keys_are_unique_and_cover_domain() {
+        let s = SyntheticDb::generate(small());
+        let r1 = s.db.table("r1").unwrap();
+        let mut keys: Vec<i64> = r1
+            .rows()
+            .iter()
+            .map(|r| r.get(0).as_i64().unwrap())
+            .collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fanout_totals_r2_rows() {
+        let s = SyntheticDb::generate(small());
+        let total: u64 = s.fanout.values().sum();
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn z2_creates_heavy_skew() {
+        let s = SyntheticDb::generate(small());
+        let max_fan = *s.fanout.values().max().unwrap();
+        // With z=2, the top key absorbs ~61% of all rows.
+        assert!(max_fan > 4_000, "max fan-out only {max_fan}");
+    }
+
+    #[test]
+    fn skew_first_order_front_loads_work() {
+        let mut cfg = small();
+        cfg.r1_order = RowOrder::SkewFirst;
+        let s = SyntheticDb::generate(cfg);
+        let w = s.work_vector();
+        assert!(w[0] >= w[w.len() - 1]);
+        assert!(w[0] > 1_000, "first row should carry the skew: {}", w[0]);
+    }
+
+    #[test]
+    fn skew_last_order_back_loads_work() {
+        let mut cfg = small();
+        cfg.r1_order = RowOrder::SkewLast;
+        let s = SyntheticDb::generate(cfg);
+        let w = s.work_vector();
+        assert!(w[w.len() - 1] > 1_000, "last row should carry the skew");
+    }
+
+    #[test]
+    fn work_vector_matches_index() {
+        let s = SyntheticDb::generate(small());
+        let ix = s.db.index("r2_b").unwrap();
+        let r1 = s.db.table("r1").unwrap();
+        for (i, row) in r1.rows().iter().enumerate().take(50) {
+            let matches = ix.tree.lookup(std::slice::from_ref(row.get(0))).count() as u64;
+            assert_eq!(s.work_vector()[i], 1 + matches);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticDb::generate(small());
+        let b = SyntheticDb::generate(small());
+        assert_eq!(a.work_vector(), b.work_vector());
+    }
+}

@@ -1,0 +1,557 @@
+//! Skewed TPC-H data generation.
+//!
+//! The paper's benchmark experiments (Figure 3, Figure 6, Table 2) run over
+//! a 1 GB TPC-H database generated with Microsoft's skewed generator
+//! (`tpcdskew`, reference \[18\]) at skew factor `z = 2`. This module
+//! generates the full eight-table TPC-H schema at a configurable scale
+//! factor with zipfian skew `z` applied to the foreign-key columns (the
+//! columns whose skew drives join fan-out, the paper's variable of
+//! interest). `z = 0` reduces to the uniform distributions of standard
+//! `dbgen`.
+//!
+//! Row counts at scale factor `sf` follow the TPC-H specification:
+//! `region` 5, `nation` 25, `supplier` 10k·sf, `part` 200k·sf, `partsupp`
+//! 4/part, `customer` 150k·sf, `orders` 1.5M·sf, `lineitem` 1–7 lines per
+//! order (≈4·orders).
+
+use crate::dist::{seeded, Zipf};
+use qp_storage::value::days_from_civil;
+use qp_storage::{ColumnType, Database, Row, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Configuration for TPC-H generation.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// TPC-H scale factor. The paper uses 1.0 (1 GB); the reproduction
+    /// defaults to 0.01 (≈60k lineitems) so the full suite runs in seconds.
+    pub scale: f64,
+    /// Zipf skew applied to foreign-key columns. The paper uses 2.0.
+    pub z: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> TpchConfig {
+        TpchConfig {
+            scale: 0.01,
+            z: 2.0,
+            seed: 0x7c9,
+        }
+    }
+}
+
+impl TpchConfig {
+    pub fn suppliers(&self) -> usize {
+        ((10_000.0 * self.scale) as usize).max(10)
+    }
+    pub fn parts(&self) -> usize {
+        ((200_000.0 * self.scale) as usize).max(40)
+    }
+    pub fn customers(&self) -> usize {
+        ((150_000.0 * self.scale) as usize).max(30)
+    }
+    pub fn orders(&self) -> usize {
+        ((1_500_000.0 * self.scale) as usize).max(100)
+    }
+}
+
+/// The generated TPC-H database (tables + primary/foreign-key indexes).
+pub struct TpchDb {
+    pub db: Database,
+    pub config: TpchConfig,
+}
+
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIP_MODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+const SHIP_INSTRUCT: [&str; 4] = [
+    "COLLECT COD",
+    "DELIVER IN PERSON",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+const TYPE_SYLL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_SYLL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_SYLL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const CONTAINERS1: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
+const CONTAINERS2: [&str; 8] = ["BAG", "BOX", "CAN", "CASE", "DRUM", "JAR", "PACK", "PKG"];
+const COLORS: [&str; 12] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood",
+];
+const NATION_NAMES: [&str; 25] = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+];
+const REGION_NAMES: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Start of the order-date range (1992-01-01).
+pub fn date_lo() -> i32 {
+    days_from_civil(1992, 1, 1)
+}
+/// End of the order-date range (1998-08-02).
+pub fn date_hi() -> i32 {
+    days_from_civil(1998, 8, 2)
+}
+
+/// Draws foreign keys in `1..=domain` with zipfian frequency, spreading
+/// ranks over the domain by a fixed random permutation so that key order
+/// does not correlate with frequency (as in `tpcdskew`, where the skewed
+/// value is re-mapped).
+struct SkewedFk {
+    zipf: Zipf,
+    /// `rank_to_key[rank]` is the key (1-based) that rank maps to.
+    rank_to_key: Vec<i64>,
+}
+
+impl SkewedFk {
+    fn new(domain: usize, z: f64) -> SkewedFk {
+        // The permutation is derived from the domain size only, so the same
+        // domain always gets the same rank→key map (reproducibility).
+        let mut perm_rng = seeded(0xFACADE ^ domain as u64);
+        let perm = crate::dist::permutation(&mut perm_rng, domain);
+        SkewedFk {
+            zipf: Zipf::new(domain, z),
+            rank_to_key: perm.into_iter().map(|k| k as i64 + 1).collect(),
+        }
+    }
+
+    fn draw(&self, rng: &mut StdRng) -> i64 {
+        self.rank_to_key[self.zipf.sample(rng)]
+    }
+}
+
+impl TpchDb {
+    /// Generates the database.
+    pub fn generate(config: TpchConfig) -> TpchDb {
+        let mut rng = seeded(config.seed);
+        let mut db = Database::new();
+
+        // --- region / nation (fixed contents) ---
+        let mut region = Table::new(
+            "region",
+            Schema::of(&[("r_regionkey", ColumnType::Int), ("r_name", ColumnType::Str)]),
+        );
+        for (i, name) in REGION_NAMES.iter().enumerate() {
+            region.insert_unchecked(Row::new(vec![Value::Int(i as i64), Value::str(*name)]));
+        }
+        db.add_table(region).expect("fresh db");
+
+        let mut nation = Table::new(
+            "nation",
+            Schema::of(&[
+                ("n_nationkey", ColumnType::Int),
+                ("n_name", ColumnType::Str),
+                ("n_regionkey", ColumnType::Int),
+            ]),
+        );
+        for (i, name) in NATION_NAMES.iter().enumerate() {
+            nation.insert_unchecked(Row::new(vec![
+                Value::Int(i as i64),
+                Value::str(*name),
+                Value::Int((i % 5) as i64),
+            ]));
+        }
+        db.add_table(nation).expect("fresh db");
+
+        // --- supplier ---
+        let n_supp = config.suppliers();
+        let nation_zipf = Zipf::new(25, config.z);
+        let mut supplier = Table::new(
+            "supplier",
+            Schema::of(&[
+                ("s_suppkey", ColumnType::Int),
+                ("s_name", ColumnType::Str),
+                ("s_nationkey", ColumnType::Int),
+                ("s_acctbal", ColumnType::Float),
+                ("s_comment", ColumnType::Str),
+            ]),
+        );
+        for k in 1..=n_supp {
+            // Per the TPC-H spec, ~5 suppliers per 10,000 carry the
+            // "Customer Complaints" marker that Q16 excludes.
+            let comment = if rng.random_bool(0.0005_f64.max(5.0 / n_supp as f64)) {
+                "wake ironic Customer forges. slyly Complaints cajole"
+            } else {
+                "furiously regular requests sleep"
+            };
+            supplier.insert_unchecked(Row::new(vec![
+                Value::Int(k as i64),
+                Value::str(format!("Supplier#{k:09}")),
+                Value::Int(nation_zipf.sample(&mut rng) as i64),
+                Value::Float(rng.random_range(-999.99..9999.99)),
+                Value::str(comment),
+            ]));
+        }
+        db.add_table(supplier).expect("fresh db");
+
+        // --- part ---
+        let n_part = config.parts();
+        let mut part = Table::new(
+            "part",
+            Schema::of(&[
+                ("p_partkey", ColumnType::Int),
+                ("p_name", ColumnType::Str),
+                ("p_mfgr", ColumnType::Str),
+                ("p_brand", ColumnType::Str),
+                ("p_type", ColumnType::Str),
+                ("p_size", ColumnType::Int),
+                ("p_container", ColumnType::Str),
+                ("p_retailprice", ColumnType::Float),
+            ]),
+        );
+        for k in 1..=n_part {
+            let m = rng.random_range(1..=5u32);
+            let b = rng.random_range(1..=5u32);
+            let ty = format!(
+                "{} {} {}",
+                TYPE_SYLL1[rng.random_range(0..6)],
+                TYPE_SYLL2[rng.random_range(0..5)],
+                TYPE_SYLL3[rng.random_range(0..5)]
+            );
+            let name = format!(
+                "{} {}",
+                COLORS[rng.random_range(0..COLORS.len())],
+                COLORS[rng.random_range(0..COLORS.len())]
+            );
+            let container = format!(
+                "{} {}",
+                CONTAINERS1[rng.random_range(0..5)],
+                CONTAINERS2[rng.random_range(0..8)]
+            );
+            part.insert_unchecked(Row::new(vec![
+                Value::Int(k as i64),
+                Value::str(name),
+                Value::str(format!("Manufacturer#{m}")),
+                Value::str(format!("Brand#{m}{b}")),
+                Value::str(ty),
+                Value::Int(rng.random_range(1..=50)),
+                Value::str(container),
+                Value::Float(900.0 + (k % 1000) as f64 / 10.0),
+            ]));
+        }
+        db.add_table(part).expect("fresh db");
+
+        // --- partsupp: 4 suppliers per part ---
+        let supp_zipf = SkewedFk::new(n_supp, config.z);
+        let mut partsupp = Table::new(
+            "partsupp",
+            Schema::of(&[
+                ("ps_partkey", ColumnType::Int),
+                ("ps_suppkey", ColumnType::Int),
+                ("ps_availqty", ColumnType::Int),
+                ("ps_supplycost", ColumnType::Float),
+            ]),
+        );
+        for pk in 1..=n_part {
+            let mut used = [0i64; 4];
+            for s in 0..4 {
+                // Guarantee distinct suppliers per part (spec behaviour) by
+                // offsetting collisions deterministically.
+                let mut sk = supp_zipf.draw(&mut rng);
+                while used[..s].contains(&sk) {
+                    sk = sk % n_supp as i64 + 1;
+                }
+                used[s] = sk;
+                partsupp.insert_unchecked(Row::new(vec![
+                    Value::Int(pk as i64),
+                    Value::Int(sk),
+                    Value::Int(rng.random_range(1..=9999)),
+                    Value::Float(rng.random_range(1.0..1000.0)),
+                ]));
+            }
+        }
+        db.add_table(partsupp).expect("fresh db");
+
+        // --- customer ---
+        let n_cust = config.customers();
+        let mut customer = Table::new(
+            "customer",
+            Schema::of(&[
+                ("c_custkey", ColumnType::Int),
+                ("c_name", ColumnType::Str),
+                ("c_nationkey", ColumnType::Int),
+                ("c_mktsegment", ColumnType::Str),
+                ("c_acctbal", ColumnType::Float),
+                ("c_phone", ColumnType::Str),
+            ]),
+        );
+        for k in 1..=n_cust {
+            let nk = nation_zipf.sample(&mut rng) as i64;
+            customer.insert_unchecked(Row::new(vec![
+                Value::Int(k as i64),
+                Value::str(format!("Customer#{k:09}")),
+                Value::Int(nk),
+                Value::str(SEGMENTS[rng.random_range(0..5)]),
+                Value::Float(rng.random_range(-999.99..9999.99)),
+                Value::str(format!("{:02}-{:03}-{:03}-{:04}", nk + 10,
+                    rng.random_range(100..999u32),
+                    rng.random_range(100..999u32),
+                    rng.random_range(1000..9999u32))),
+            ]));
+        }
+        db.add_table(customer).expect("fresh db");
+
+        // --- orders ---
+        let n_ord = config.orders();
+        let cust_zipf = SkewedFk::new(n_cust, config.z);
+        let (dlo, dhi) = (date_lo(), date_hi());
+        let mut orders = Table::new(
+            "orders",
+            Schema::of(&[
+                ("o_orderkey", ColumnType::Int),
+                ("o_custkey", ColumnType::Int),
+                ("o_orderstatus", ColumnType::Str),
+                ("o_totalprice", ColumnType::Float),
+                ("o_orderdate", ColumnType::Date),
+                ("o_orderpriority", ColumnType::Str),
+                ("o_shippriority", ColumnType::Int),
+            ]),
+        );
+        let mut order_dates = Vec::with_capacity(n_ord);
+        for k in 1..=n_ord {
+            let date = rng.random_range(dlo..=dhi - 151);
+            order_dates.push(date);
+            orders.insert_unchecked(Row::new(vec![
+                Value::Int(k as i64),
+                Value::Int(cust_zipf.draw(&mut rng)),
+                Value::str(["F", "O", "P"][rng.random_range(0..3)]),
+                Value::Float(rng.random_range(850.0..555_000.0)),
+                Value::Date(date),
+                Value::str(PRIORITIES[rng.random_range(0..5)]),
+                Value::Int(0),
+            ]));
+        }
+        db.add_table(orders).expect("fresh db");
+
+        // --- lineitem: 1..=7 lines per order ---
+        let part_zipf = SkewedFk::new(n_part, config.z);
+        let mut lineitem = Table::new(
+            "lineitem",
+            Schema::of(&[
+                ("l_orderkey", ColumnType::Int),
+                ("l_partkey", ColumnType::Int),
+                ("l_suppkey", ColumnType::Int),
+                ("l_linenumber", ColumnType::Int),
+                ("l_quantity", ColumnType::Float),
+                ("l_extendedprice", ColumnType::Float),
+                ("l_discount", ColumnType::Float),
+                ("l_tax", ColumnType::Float),
+                ("l_returnflag", ColumnType::Str),
+                ("l_linestatus", ColumnType::Str),
+                ("l_shipdate", ColumnType::Date),
+                ("l_commitdate", ColumnType::Date),
+                ("l_receiptdate", ColumnType::Date),
+                ("l_shipinstruct", ColumnType::Str),
+                ("l_shipmode", ColumnType::Str),
+            ]),
+        );
+        let cutoff = days_from_civil(1995, 6, 17);
+        for (oi, &odate) in order_dates.iter().enumerate() {
+            let ok = (oi + 1) as i64;
+            let lines = rng.random_range(1..=7u32);
+            for ln in 1..=lines {
+                let pk = part_zipf.draw(&mut rng);
+                let sk = supp_zipf.draw(&mut rng);
+                let qty = rng.random_range(1..=50u32) as f64;
+                let price = qty * (900.0 + (pk % 1000) as f64 / 10.0);
+                let ship = odate + rng.random_range(1..=121);
+                let commit = odate + rng.random_range(30..=90);
+                let receipt = ship + rng.random_range(1..=30);
+                let returnflag = if receipt < cutoff {
+                    ["R", "A"][rng.random_range(0..2)]
+                } else {
+                    "N"
+                };
+                let linestatus = if ship > cutoff { "O" } else { "F" };
+                lineitem.insert_unchecked(Row::new(vec![
+                    Value::Int(ok),
+                    Value::Int(pk),
+                    Value::Int(sk),
+                    Value::Int(ln as i64),
+                    Value::Float(qty),
+                    Value::Float(price),
+                    Value::Float((rng.random_range(0..=10u32) as f64) / 100.0),
+                    Value::Float((rng.random_range(0..=8u32) as f64) / 100.0),
+                    Value::str(returnflag),
+                    Value::str(linestatus),
+                    Value::Date(ship),
+                    Value::Date(commit),
+                    Value::Date(receipt),
+                    Value::str(SHIP_INSTRUCT[rng.random_range(0..4)]),
+                    Value::str(SHIP_MODES[rng.random_range(0..7)]),
+                ]));
+            }
+        }
+        db.add_table(lineitem).expect("fresh db");
+
+        // --- indexes: primary keys + the FK paths used by INLJ plans ---
+        db.create_index("region_pk", "region", &["r_regionkey"], true)
+            .expect("pk");
+        db.create_index("nation_pk", "nation", &["n_nationkey"], true)
+            .expect("pk");
+        db.create_index("supplier_pk", "supplier", &["s_suppkey"], true)
+            .expect("pk");
+        db.create_index("part_pk", "part", &["p_partkey"], true)
+            .expect("pk");
+        db.create_index("customer_pk", "customer", &["c_custkey"], true)
+            .expect("pk");
+        db.create_index("orders_pk", "orders", &["o_orderkey"], true)
+            .expect("pk");
+        db.create_index("orders_custkey", "orders", &["o_custkey"], false)
+            .expect("fk");
+        db.create_index("lineitem_orderkey", "lineitem", &["l_orderkey"], false)
+            .expect("fk");
+        db.create_index("lineitem_partkey", "lineitem", &["l_partkey"], false)
+            .expect("fk");
+        db.create_index("partsupp_pk", "partsupp", &["ps_partkey", "ps_suppkey"], true)
+            .expect("pk");
+        db.create_index("partsupp_partkey", "partsupp", &["ps_partkey"], false)
+            .expect("fk");
+        db.create_index("partsupp_suppkey", "partsupp", &["ps_suppkey"], false)
+            .expect("fk");
+
+        TpchDb { db, config }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TpchDb {
+        TpchDb::generate(TpchConfig {
+            scale: 0.001,
+            z: 2.0,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn row_counts_follow_spec_ratios() {
+        let t = tiny();
+        assert_eq!(t.db.cardinality("region").unwrap(), 5);
+        assert_eq!(t.db.cardinality("nation").unwrap(), 25);
+        let parts = t.db.cardinality("part").unwrap();
+        assert_eq!(t.db.cardinality("partsupp").unwrap(), 4 * parts);
+        let orders = t.db.cardinality("orders").unwrap();
+        let lines = t.db.cardinality("lineitem").unwrap();
+        assert!(lines >= orders && lines <= 7 * orders);
+    }
+
+    #[test]
+    fn primary_keys_are_unique_and_dense() {
+        let t = tiny();
+        let orders = t.db.table("orders").unwrap();
+        let mut keys: Vec<i64> = orders
+            .rows()
+            .iter()
+            .map(|r| r.get(0).as_i64().unwrap())
+            .collect();
+        keys.sort_unstable();
+        let n = keys.len() as i64;
+        assert_eq!(keys, (1..=n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn foreign_keys_reference_valid_rows() {
+        let t = tiny();
+        let n_cust = t.db.cardinality("customer").unwrap() as i64;
+        for row in t.db.table("orders").unwrap().rows() {
+            let ck = row.get(1).as_i64().unwrap();
+            assert!(ck >= 1 && ck <= n_cust, "custkey {ck} out of range");
+        }
+        let n_part = t.db.cardinality("part").unwrap() as i64;
+        for row in t.db.table("lineitem").unwrap().rows().iter().take(500) {
+            let pk = row.get(1).as_i64().unwrap();
+            assert!(pk >= 1 && pk <= n_part);
+        }
+    }
+
+    #[test]
+    fn skew_z2_concentrates_lineitem_partkeys() {
+        let t = tiny();
+        let mut counts = std::collections::HashMap::new();
+        for row in t.db.table("lineitem").unwrap().rows() {
+            *counts.entry(row.get(1).as_i64().unwrap()).or_insert(0u64) += 1;
+        }
+        let total: u64 = counts.values().sum();
+        let max = *counts.values().max().unwrap();
+        // Zipf z=2: the hottest part should absorb a large share.
+        assert!(
+            max as f64 > total as f64 * 0.2,
+            "max {max} of {total} not skewed"
+        );
+    }
+
+    #[test]
+    fn zero_skew_is_roughly_uniform() {
+        let t = TpchDb::generate(TpchConfig {
+            scale: 0.001,
+            z: 0.0,
+            seed: 1,
+        });
+        let mut counts = std::collections::HashMap::new();
+        for row in t.db.table("lineitem").unwrap().rows() {
+            *counts.entry(row.get(1).as_i64().unwrap()).or_insert(0u64) += 1;
+        }
+        let total: u64 = counts.values().sum();
+        let max = *counts.values().max().unwrap();
+        assert!(
+            (max as f64) < total as f64 * 0.05,
+            "max {max} of {total} too skewed for z=0"
+        );
+    }
+
+    #[test]
+    fn dates_are_in_range_and_consistent() {
+        let t = tiny();
+        let li = t.db.table("lineitem").unwrap();
+        let s = li.schema();
+        let (ship_i, commit_i, receipt_i) = (
+            s.index_of("l_shipdate").unwrap(),
+            s.index_of("l_commitdate").unwrap(),
+            s.index_of("l_receiptdate").unwrap(),
+        );
+        for row in li.rows().iter().take(500) {
+            let (Value::Date(ship), Value::Date(_commit), Value::Date(receipt)) =
+                (row.get(ship_i), row.get(commit_i), row.get(receipt_i))
+            else {
+                panic!("date columns must hold dates");
+            };
+            assert!(*receipt > *ship);
+            assert!(*ship >= date_lo() && *receipt <= date_hi() + 160);
+        }
+    }
+
+    #[test]
+    fn partsupp_has_distinct_suppliers_per_part() {
+        let t = tiny();
+        let ps = t.db.table("partsupp").unwrap();
+        let mut per_part: std::collections::HashMap<i64, Vec<i64>> = Default::default();
+        for row in ps.rows() {
+            per_part
+                .entry(row.get(0).as_i64().unwrap())
+                .or_default()
+                .push(row.get(1).as_i64().unwrap());
+        }
+        for (pk, mut sks) in per_part {
+            sks.sort_unstable();
+            let len = sks.len();
+            sks.dedup();
+            assert_eq!(sks.len(), len, "part {pk} has duplicate suppliers");
+        }
+    }
+
+    #[test]
+    fn indexes_exist_and_are_complete() {
+        let t = tiny();
+        let li_rows = t.db.cardinality("lineitem").unwrap();
+        assert_eq!(t.db.index("lineitem_orderkey").unwrap().tree.len(), li_rows);
+        assert!(t.db.index("orders_pk").unwrap().unique);
+    }
+}

@@ -1,0 +1,297 @@
+//! Execution context: per-node getnext counters and the observer hook.
+//!
+//! This is the paper's Figure 1 made concrete. The executor drives the
+//! operator tree; every operator is wrapped in a [`Counted`] adapter that
+//! increments a per-node counter on each row produced (one *getnext* call
+//! under the model of Section 2.2) and reports [`ExecEvent`]s to an
+//! [`Observer`]. A progress estimator is exactly such an observer: it sees
+//! the plan (ahead of time), the stream of getnext events, and the database
+//! statistics — and nothing else. In particular it cannot peek at
+//! un-retrieved base data, which is what makes the lower bound of Section 3
+//! bite.
+
+use crate::error::ExecResult;
+use qp_storage::{Row, Schema};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Identifier of a plan node (index into the plan's node table).
+pub type NodeId = usize;
+
+/// Events surfaced to observers, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecEvent {
+    /// `open()` was called on the node (pipelines: marks phase starts).
+    Open(NodeId),
+    /// The node produced one row — one getnext call under the model.
+    RowProduced(NodeId),
+    /// The node returned `None` for the first time (its output is final).
+    Exhausted(NodeId),
+}
+
+/// A consumer of execution feedback. Implemented by the progress monitor
+/// in `qp-progress`; also by test probes.
+pub trait Observer {
+    /// Called after the context state reflects the event (i.e. counters are
+    /// already incremented for a `RowProduced`).
+    fn on_event(&mut self, event: ExecEvent, counters: &Counters);
+}
+
+/// Per-node and total getnext counters, readable at any instant.
+#[derive(Debug)]
+pub struct Counters {
+    per_node: Vec<Cell<u64>>,
+    total: Cell<u64>,
+    exhausted: Vec<Cell<bool>>,
+    opened: Vec<Cell<bool>>,
+}
+
+impl Counters {
+    fn new(n_nodes: usize) -> Counters {
+        Counters {
+            per_node: (0..n_nodes).map(|_| Cell::new(0)).collect(),
+            total: Cell::new(0),
+            exhausted: (0..n_nodes).map(|_| Cell::new(false)).collect(),
+            opened: (0..n_nodes).map(|_| Cell::new(false)).collect(),
+        }
+    }
+
+    /// getnext calls (rows produced) by `node` so far.
+    #[inline]
+    pub fn node(&self, node: NodeId) -> u64 {
+        self.per_node[node].get()
+    }
+
+    /// Total getnext calls across all nodes — `Curr` in the paper's
+    /// estimator definitions.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total.get()
+    }
+
+    /// Whether `node` has produced its final row.
+    #[inline]
+    pub fn is_exhausted(&self, node: NodeId) -> bool {
+        self.exhausted[node].get()
+    }
+
+    /// Whether `node` has been opened.
+    #[inline]
+    pub fn is_opened(&self, node: NodeId) -> bool {
+        self.opened[node].get()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// True when the plan has no nodes (degenerate).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.per_node.is_empty()
+    }
+
+    /// Snapshot of all per-node counts.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.per_node.iter().map(Cell::get).collect()
+    }
+}
+
+/// Shared execution state: counters plus the registered observer.
+pub struct ExecContext {
+    counters: Counters,
+    observer: RefCell<Option<Box<dyn Observer>>>,
+}
+
+impl ExecContext {
+    /// Creates a context for a plan with `n_nodes` nodes.
+    pub fn new(n_nodes: usize) -> Rc<ExecContext> {
+        Rc::new(ExecContext {
+            counters: Counters::new(n_nodes),
+            observer: RefCell::new(None),
+        })
+    }
+
+    /// Registers the observer (at most one; the progress monitor multiplexes
+    /// multiple estimators internally).
+    pub fn set_observer(&self, obs: Box<dyn Observer>) {
+        *self.observer.borrow_mut() = Some(obs);
+    }
+
+    /// Removes and returns the observer (to inspect its findings after the
+    /// run).
+    pub fn take_observer(&self) -> Option<Box<dyn Observer>> {
+        self.observer.borrow_mut().take()
+    }
+
+    /// Counter access.
+    #[inline]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    #[inline]
+    fn emit(&self, ev: ExecEvent) {
+        if let Some(obs) = self.observer.borrow_mut().as_mut() {
+            obs.on_event(ev, &self.counters);
+        }
+    }
+
+    fn record_open(&self, node: NodeId) {
+        self.counters.opened[node].set(true);
+        self.emit(ExecEvent::Open(node));
+    }
+
+    fn record_row(&self, node: NodeId) {
+        self.counters.per_node[node].set(self.counters.per_node[node].get() + 1);
+        self.counters.total.set(self.counters.total.get() + 1);
+        self.emit(ExecEvent::RowProduced(node));
+    }
+
+    fn record_exhausted(&self, node: NodeId) {
+        if !self.counters.exhausted[node].get() {
+            self.counters.exhausted[node].set(true);
+            self.emit(ExecEvent::Exhausted(node));
+        }
+    }
+}
+
+/// The iterator-model operator interface (`open` / `next` / `close`).
+pub trait Operator {
+    /// Prepares the operator. Blocking operators (sort, hash-join build,
+    /// hash aggregation) consume their inputs here.
+    fn open(&mut self) -> ExecResult<()>;
+    /// Produces the next row, or `None` when exhausted.
+    fn next(&mut self) -> ExecResult<Option<Row>>;
+    /// Releases resources.
+    fn close(&mut self);
+    /// Output schema.
+    fn schema(&self) -> &Schema;
+}
+
+/// A boxed, counted operator — the only kind that appears in a runtime
+/// tree. Parent operators hold `Counted` children, so *every* row crossing
+/// an operator boundary is counted exactly once at the producing node.
+pub struct Counted {
+    inner: Box<dyn Operator>,
+    node: NodeId,
+    ctx: Rc<ExecContext>,
+}
+
+impl Counted {
+    pub fn new(inner: Box<dyn Operator>, node: NodeId, ctx: Rc<ExecContext>) -> Counted {
+        Counted { inner, node, ctx }
+    }
+
+    /// The plan node this operator instantiates.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+}
+
+impl Operator for Counted {
+    fn open(&mut self) -> ExecResult<()> {
+        self.ctx.record_open(self.node);
+        self.inner.open()
+    }
+
+    fn next(&mut self) -> ExecResult<Option<Row>> {
+        match self.inner.next()? {
+            Some(row) => {
+                self.ctx.record_row(self.node);
+                Ok(Some(row))
+            }
+            None => {
+                self.ctx.record_exhausted(self.node);
+                Ok(None)
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.inner.close();
+    }
+
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_storage::{ColumnType, Value};
+
+    /// A source producing `n` constant rows.
+    struct Emit {
+        n: u64,
+        produced: u64,
+        schema: Schema,
+    }
+
+    impl Operator for Emit {
+        fn open(&mut self) -> ExecResult<()> {
+            self.produced = 0;
+            Ok(())
+        }
+        fn next(&mut self) -> ExecResult<Option<Row>> {
+            if self.produced < self.n {
+                self.produced += 1;
+                Ok(Some(Row::new(vec![Value::Int(self.produced as i64)])))
+            } else {
+                Ok(None)
+            }
+        }
+        fn close(&mut self) {}
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+    }
+
+    struct Probe {
+        events: Rc<RefCell<Vec<ExecEvent>>>,
+    }
+
+    impl Observer for Probe {
+        fn on_event(&mut self, event: ExecEvent, _counters: &Counters) {
+            self.events.borrow_mut().push(event);
+        }
+    }
+
+    #[test]
+    fn counted_counts_rows_and_reports_events() {
+        let ctx = ExecContext::new(1);
+        let events = Rc::new(RefCell::new(Vec::new()));
+        ctx.set_observer(Box::new(Probe {
+            events: Rc::clone(&events),
+        }));
+        let mut op = Counted::new(
+            Box::new(Emit {
+                n: 3,
+                produced: 0,
+                schema: Schema::of(&[("x", ColumnType::Int)]),
+            }),
+            0,
+            Rc::clone(&ctx),
+        );
+        op.open().unwrap();
+        while op.next().unwrap().is_some() {}
+        // One extra next to check Exhausted fires once.
+        assert!(op.next().unwrap().is_none());
+        assert_eq!(ctx.counters().node(0), 3);
+        assert_eq!(ctx.counters().total(), 3);
+        assert!(ctx.counters().is_exhausted(0));
+        assert_eq!(
+            *events.borrow(),
+            vec![
+                ExecEvent::Open(0),
+                ExecEvent::RowProduced(0),
+                ExecEvent::RowProduced(0),
+                ExecEvent::RowProduced(0),
+                ExecEvent::Exhausted(0),
+            ]
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Executor errors.
+
+use qp_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while building or running a physical plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Underlying storage failure (unknown table/index/column, …).
+    Storage(StorageError),
+    /// A scalar expression could not be evaluated (type error, bad arity).
+    Eval(String),
+    /// The plan is malformed (e.g. merge join over unsorted input column
+    /// counts, key arity mismatch).
+    BadPlan(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Storage(e) => write!(f, "storage error: {e}"),
+            ExecError::Eval(m) => write!(f, "evaluation error: {m}"),
+            ExecError::BadPlan(m) => write!(f, "bad plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> ExecError {
+        ExecError::Storage(e)
+    }
+}
+
+/// Convenient result alias for executor operations.
+pub type ExecResult<T> = Result<T, ExecError>;

@@ -1,0 +1,306 @@
+//! Optimizer-style cardinality annotation of plans.
+//!
+//! [`annotate`] fills each plan node's `est_rows` with a classic
+//! System-R-style estimate derived from single-relation statistics:
+//! histogram selectivities combined under independence, containment for
+//! equi-joins, Cardenas' formula for group counts. Per the paper (Sections
+//! 2.5 and 7) these estimates carry **no guarantees** — they exist here
+//! because the `dne` estimator needs per-pipeline work estimates, and
+//! because "divide by the optimizer's estimated total" is the natural
+//! baseline estimator (`EstTotal` in `qp-progress`) that the paper's
+//! bounded estimators improve upon.
+
+use crate::expr::{CmpOp, Expr};
+use crate::plan::{JoinType, Plan, PlanNode};
+use qp_stats::cardest::OPAQUE_SELECTIVITY;
+use qp_stats::DbStats;
+use qp_storage::Value;
+use std::ops::Bound;
+
+/// Fallback selectivity for LIKE patterns (SQL Server's classic guess is
+/// in the same ballpark).
+const LIKE_SELECTIVITY: f64 = 0.15;
+
+/// Per-column origin: `(table, column)` in base-table coordinates.
+type Origins = [Option<(String, usize)>];
+
+/// Annotates every node of `plan` with an estimated output cardinality.
+pub fn annotate(plan: &mut Plan, stats: &DbStats) {
+    // Builder ids are topological (children precede parents), so a single
+    // forward pass sees child estimates before parents need them.
+    for id in 0..plan.len() {
+        let est = estimate_node(plan, id, stats);
+        plan.nodes_mut()[id].est_rows = Some(est.max(0.0));
+    }
+}
+
+/// Estimated distinct count of the column behind output position `col`,
+/// with a documented fallback when the origin is unknown: assume the
+/// column is unique over its input (which makes joins on it conservative —
+/// fan-out 1).
+fn ndv(origins: &Origins, col: usize, input_est: f64, stats: &DbStats) -> u64 {
+    if let Some(Some((table, base_col))) = origins.get(col) {
+        if let Some(ts) = stats.table(table) {
+            return ts.column(*base_col).distinct.max(1);
+        }
+    }
+    (input_est.max(1.0)) as u64
+}
+
+fn child_est(plan: &Plan, id: usize, idx: usize) -> f64 {
+    let c = plan.node(id).children[idx];
+    plan.node(c).est_rows.unwrap_or(0.0)
+}
+
+fn estimate_node(plan: &Plan, id: usize, stats: &DbStats) -> f64 {
+    let data = plan.node(id);
+    match &data.kind {
+        PlanNode::SeqScan { card, .. } => *card as f64,
+        PlanNode::IndexRangeScan {
+            table,
+            lo,
+            hi,
+            table_card,
+            key_columns,
+            ..
+        } => {
+            // Estimate via the histogram on the first key column.
+            if let (Some(ts), Some(&col)) = (stats.table(table), key_columns.first()) {
+                let lo_b = first_component(lo);
+                let hi_b = first_component(hi);
+                ts.column(col)
+                    .histogram
+                    .estimate_range(lo_b.as_ref(), hi_b.as_ref())
+            } else {
+                *table_card as f64 * OPAQUE_SELECTIVITY
+            }
+        }
+        PlanNode::Filter { predicate } => {
+            let input = child_est(plan, id, 0);
+            let child = plan.node(data.children[0]);
+            input * selectivity(predicate, &child.origins, stats)
+        }
+        PlanNode::Project { .. } | PlanNode::Sort { .. } => child_est(plan, id, 0),
+        PlanNode::Limit { n } => child_est(plan, id, 0).min(*n as f64),
+        PlanNode::HashJoin {
+            join_type,
+            left_keys,
+            right_keys,
+            ..
+        }
+        | PlanNode::MergeJoin {
+            join_type,
+            left_keys,
+            right_keys,
+            ..
+        } => {
+            let l = child_est(plan, id, 0);
+            let r = child_est(plan, id, 1);
+            let lo = &plan.node(data.children[0]).origins;
+            let ro = &plan.node(data.children[1]).origins;
+            equi_join_estimate(l, r, left_keys, right_keys, lo, ro, *join_type, stats)
+        }
+        PlanNode::NestedLoopsJoin {
+            join_type,
+            predicate,
+            ..
+        } => {
+            let l = child_est(plan, id, 0);
+            let r = child_est(plan, id, 1);
+            // Predicate selectivity over the cross product, using the
+            // concatenated origin map.
+            let mut origins = plan.node(data.children[0]).origins.clone();
+            origins.extend_from_slice(&plan.node(data.children[1]).origins);
+            let cross = l * r;
+            let matched = cross * selectivity(predicate, &origins, stats);
+            apply_join_type(*join_type, l, matched)
+        }
+        PlanNode::IndexNestedLoopsJoin {
+            join_type,
+            outer_keys,
+            inner_card,
+            inner_table,
+            inner_key_columns,
+            residual,
+            ..
+        } => {
+            let l = child_est(plan, id, 0);
+            let outer_origins = &plan.node(data.children[0]).origins;
+            let ndv_outer = ndv(outer_origins, outer_keys[0], l, stats);
+            let ndv_inner = inner_key_columns
+                .first()
+                .and_then(|&c| stats.table(inner_table).map(|ts| ts.column(c).distinct))
+                .unwrap_or(*inner_card)
+                .max(1);
+            let mut matched =
+                qp_stats::cardest::join_cardinality(l, *inner_card as f64, ndv_outer, ndv_inner);
+            if let Some(resid) = residual {
+                // Residual evaluated on the concatenated schema; treat as
+                // opaque unless analyzable through the joined origins.
+                matched *= selectivity(resid, &data.origins, stats);
+            }
+            apply_join_type(*join_type, l, matched)
+        }
+        PlanNode::HashAggregate { group_by, aggs: _ }
+        | PlanNode::StreamAggregate { group_by, aggs: _ } => {
+            let input = child_est(plan, id, 0);
+            if group_by.is_empty() {
+                return 1.0;
+            }
+            let child = plan.node(data.children[0]);
+            // Independence across group columns: product of per-column
+            // ndvs, then Cardenas' cap against the input size.
+            let mut d = 1.0f64;
+            for &g in group_by {
+                d *= ndv(&child.origins, g, input, stats) as f64;
+            }
+            qp_stats::cardest::group_cardinality(input, d.min(u64::MAX as f64) as u64)
+        }
+    }
+}
+
+fn apply_join_type(jt: JoinType, left: f64, matched: f64) -> f64 {
+    match jt {
+        JoinType::Inner => matched,
+        JoinType::LeftOuter => matched.max(left),
+        // Semi: each left row emitted at most once.
+        JoinType::LeftSemi => matched.min(left).max(0.0),
+        JoinType::LeftAnti => (left - matched.min(left)).max(0.0),
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the join node's fields
+fn equi_join_estimate(
+    l: f64,
+    r: f64,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    lo: &Origins,
+    ro: &Origins,
+    jt: JoinType,
+    stats: &DbStats,
+) -> f64 {
+    let mut matched = l * r;
+    for (lk, rk) in left_keys.iter().zip(right_keys) {
+        let dl = ndv(lo, *lk, l, stats);
+        let dr = ndv(ro, *rk, r, stats);
+        matched /= dl.max(dr).max(1) as f64;
+    }
+    apply_join_type(jt, l, matched)
+}
+
+fn first_component(b: &Bound<Vec<Value>>) -> Bound<Value> {
+    match b {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(k) => k
+            .first()
+            .map(|v| Bound::Included(v.clone()))
+            .unwrap_or(Bound::Unbounded),
+        Bound::Excluded(k) => k
+            .first()
+            .map(|v| Bound::Excluded(v.clone()))
+            .unwrap_or(Bound::Unbounded),
+    }
+}
+
+/// Selectivity of a predicate over a schema with the given column origins.
+pub fn selectivity(expr: &Expr, origins: &Origins, stats: &DbStats) -> f64 {
+    let s = match expr {
+        Expr::And(parts) => parts
+            .iter()
+            .map(|p| selectivity(p, origins, stats))
+            .product(),
+        Expr::Or(parts) => {
+            1.0 - parts
+                .iter()
+                .map(|p| 1.0 - selectivity(p, origins, stats))
+                .product::<f64>()
+        }
+        Expr::Not(p) => 1.0 - selectivity(p, origins, stats),
+        Expr::Cmp(op, l, r) => cmp_selectivity(*op, l, r, origins, stats),
+        Expr::Between(e, lo, hi) => match column_stats(e, origins, stats) {
+            Some((hist, rows)) => {
+                hist.estimate_range(Bound::Included(lo), Bound::Included(hi)) / rows
+            }
+            None => OPAQUE_SELECTIVITY,
+        },
+        Expr::InList(e, vals) => match column_stats(e, origins, stats) {
+            Some((hist, rows)) => vals.iter().map(|v| hist.estimate_eq(v)).sum::<f64>() / rows,
+            None => (vals.len() as f64 * 0.05).min(1.0),
+        },
+        Expr::IsNull { expr, negated } => {
+            let frac = match column_stats(expr, origins, stats) {
+                Some((hist, rows)) => hist.null_count() as f64 / rows,
+                None => 0.05,
+            };
+            if *negated {
+                1.0 - frac
+            } else {
+                frac
+            }
+        }
+        Expr::Like(..) => LIKE_SELECTIVITY,
+        Expr::Lit(Value::Bool(b)) => {
+            if *b {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        _ => OPAQUE_SELECTIVITY,
+    };
+    s.clamp(0.0, 1.0)
+}
+
+/// If `e` is a bare column with a known origin and statistics exist,
+/// returns its histogram and (non-zero) row count.
+fn column_stats<'a>(
+    e: &Expr,
+    origins: &Origins,
+    stats: &'a DbStats,
+) -> Option<(&'a qp_stats::Histogram, f64)> {
+    let Expr::Col(i) = e else { return None };
+    let (table, col) = origins.get(*i)?.as_ref()?;
+    let ts = stats.table(table)?;
+    let rows = ts.row_count as f64;
+    if rows == 0.0 {
+        return None;
+    }
+    Some((&ts.column(*col).histogram, rows))
+}
+
+fn cmp_selectivity(
+    op: CmpOp,
+    l: &Expr,
+    r: &Expr,
+    origins: &Origins,
+    stats: &DbStats,
+) -> f64 {
+    // Normalize to (column op literal).
+    let (col_expr, lit, op) = match (l, r) {
+        (Expr::Col(_), Expr::Lit(v)) => (l, v, op),
+        (Expr::Lit(v), Expr::Col(_)) => (r, v, flip(op)),
+        _ => return OPAQUE_SELECTIVITY,
+    };
+    let Some((hist, rows)) = column_stats(col_expr, origins, stats) else {
+        return OPAQUE_SELECTIVITY;
+    };
+    match op {
+        CmpOp::Eq => hist.estimate_eq(lit) / rows,
+        CmpOp::Ne => 1.0 - hist.estimate_eq(lit) / rows,
+        CmpOp::Lt => hist.estimate_range(Bound::Unbounded, Bound::Excluded(lit)) / rows,
+        CmpOp::Le => hist.estimate_range(Bound::Unbounded, Bound::Included(lit)) / rows,
+        CmpOp::Gt => hist.estimate_range(Bound::Excluded(lit), Bound::Unbounded) / rows,
+        CmpOp::Ge => hist.estimate_range(Bound::Included(lit), Bound::Unbounded) / rows,
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq | CmpOp::Ne => op,
+    }
+}

@@ -1,0 +1,192 @@
+//! Plan instantiation and the query driver.
+
+use crate::context::{Counted, ExecContext, Observer, Operator};
+use crate::error::{ExecError, ExecResult};
+use crate::ops::{
+    FilterOp, HashAggregateOp, HashJoinOp, IndexNestedLoopsOp, IndexRangeScanOp, LimitOp,
+    MergeJoinOp, NestedLoopsOp, ProjectOp, SeqScanOp, SortOp, StreamAggregateOp,
+};
+use crate::plan::{NodeId, Plan, PlanNode};
+use qp_storage::{Database, Row};
+use std::rc::Rc;
+
+/// A fully-instantiated query ready to run, with its execution context.
+pub struct QueryRun {
+    ctx: Rc<ExecContext>,
+    root: Counted,
+}
+
+impl QueryRun {
+    /// Instantiates the runtime operator tree for `plan` over `db`.
+    pub fn new(plan: &Plan, db: &Database) -> ExecResult<QueryRun> {
+        let ctx = ExecContext::new(plan.len());
+        let root = build_node(plan, plan.root(), db, &ctx)?;
+        Ok(QueryRun { ctx, root })
+    }
+
+    /// Registers an observer (e.g. a progress monitor) before running.
+    pub fn set_observer(&self, obs: Box<dyn Observer>) {
+        self.ctx.set_observer(obs);
+    }
+
+    /// Removes and returns the observer.
+    pub fn take_observer(&self) -> Option<Box<dyn Observer>> {
+        self.ctx.take_observer()
+    }
+
+    /// The shared execution context (counters are readable at any time).
+    pub fn context(&self) -> &Rc<ExecContext> {
+        &self.ctx
+    }
+
+    /// Runs the query to completion, returning all result rows.
+    pub fn run(&mut self) -> ExecResult<Vec<Row>> {
+        self.root.open()?;
+        let mut rows = Vec::new();
+        while let Some(row) = self.root.next()? {
+            rows.push(row);
+        }
+        self.root.close();
+        Ok(rows)
+    }
+}
+
+/// Result of a completed query: rows plus the final getnext accounting.
+#[derive(Debug)]
+pub struct QueryOutput {
+    pub rows: Vec<Row>,
+    /// Final per-node getnext counts: `counts[i]` is the number of rows
+    /// node `i` produced.
+    pub node_counts: Vec<u64>,
+    /// `total(Q)` under the paper's model of work.
+    pub total_getnext: u64,
+}
+
+/// Convenience: run `plan` over `db` (optionally with an observer) and
+/// collect everything.
+pub fn run_query(
+    plan: &Plan,
+    db: &Database,
+    observer: Option<Box<dyn Observer>>,
+) -> ExecResult<(QueryOutput, Option<Box<dyn Observer>>)> {
+    let mut run = QueryRun::new(plan, db)?;
+    if let Some(obs) = observer {
+        run.set_observer(obs);
+    }
+    let rows = run.run()?;
+    let out = QueryOutput {
+        node_counts: run.context().counters().snapshot(),
+        total_getnext: run.context().counters().total(),
+        rows,
+    };
+    let obs = run.take_observer();
+    Ok((out, obs))
+}
+
+fn build_node(
+    plan: &Plan,
+    id: NodeId,
+    db: &Database,
+    ctx: &Rc<ExecContext>,
+) -> ExecResult<Counted> {
+    let data = plan.node(id);
+    let child = |i: usize| -> ExecResult<Counted> { build_node(plan, data.children[i], db, ctx) };
+    let op: Box<dyn Operator> = match &data.kind {
+        PlanNode::SeqScan { table, .. } => Box::new(SeqScanOp::new(db.table(table)?)),
+        PlanNode::IndexRangeScan {
+            table,
+            index,
+            lo,
+            hi,
+            ..
+        } => Box::new(IndexRangeScanOp::new(
+            db.table(table)?,
+            db.index(index)?,
+            lo.clone(),
+            hi.clone(),
+        )),
+        PlanNode::Filter { predicate } => Box::new(FilterOp::new(child(0)?, predicate.clone())),
+        PlanNode::Project { exprs } => Box::new(ProjectOp::new(
+            child(0)?,
+            exprs.iter().map(|(e, _)| e.clone()).collect(),
+            data.schema.clone(),
+        )),
+        PlanNode::Sort { keys } => Box::new(SortOp::new(child(0)?, keys.clone())),
+        PlanNode::Limit { n } => Box::new(LimitOp::new(child(0)?, *n)),
+        PlanNode::HashJoin {
+            join_type,
+            left_keys,
+            right_keys,
+            ..
+        } => Box::new(HashJoinOp::new(
+            child(0)?,
+            child(1)?,
+            left_keys.clone(),
+            right_keys.clone(),
+            *join_type,
+            data.schema.clone(),
+        )),
+        PlanNode::MergeJoin {
+            join_type,
+            left_keys,
+            right_keys,
+            ..
+        } => Box::new(MergeJoinOp::new(
+            child(0)?,
+            child(1)?,
+            left_keys.clone(),
+            right_keys.clone(),
+            *join_type,
+            data.schema.clone(),
+        )),
+        PlanNode::NestedLoopsJoin {
+            join_type,
+            predicate,
+            ..
+        } => Box::new(NestedLoopsOp::new(
+            child(0)?,
+            child(1)?,
+            predicate.clone(),
+            *join_type,
+            data.schema.clone(),
+        )),
+        PlanNode::IndexNestedLoopsJoin {
+            join_type,
+            inner_table,
+            inner_index,
+            outer_keys,
+            residual,
+            ..
+        } => {
+            let t = db.table(inner_table)?;
+            let ix = db.index(inner_index)?;
+            if ix.table != *inner_table {
+                return Err(ExecError::BadPlan(format!(
+                    "index {inner_index} not on table {inner_table}"
+                )));
+            }
+            Box::new(IndexNestedLoopsOp::new(
+                child(0)?,
+                t,
+                ix,
+                outer_keys.clone(),
+                residual.clone(),
+                *join_type,
+                data.schema.clone(),
+            ))
+        }
+        PlanNode::HashAggregate { group_by, aggs } => Box::new(HashAggregateOp::new(
+            child(0)?,
+            group_by.clone(),
+            aggs.iter().map(|(a, _)| a.clone()).collect(),
+            data.schema.clone(),
+        )),
+        PlanNode::StreamAggregate { group_by, aggs } => Box::new(StreamAggregateOp::new(
+            child(0)?,
+            group_by.clone(),
+            aggs.iter().map(|(a, _)| a.clone()).collect(),
+            data.schema.clone(),
+        )),
+    };
+    Ok(Counted::new(op, id, Rc::clone(ctx)))
+}

@@ -1,0 +1,865 @@
+//! Scalar expressions, predicates, and aggregate specifications.
+//!
+//! Expressions are evaluated row-at-a-time over the operator's input
+//! schema, with SQL semantics for NULL: comparisons involving NULL are
+//! *unknown*, and a WHERE-style predicate treats unknown as false
+//! ([`Expr::eval_bool`]).
+
+use crate::error::{ExecError, ExecResult};
+use qp_storage::{ColumnType, Row, Schema, Value};
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn test(&self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less)
+                | (CmpOp::Ne, Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less)
+                | (CmpOp::Le, Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater)
+                | (CmpOp::Ge, Equal)
+        )
+    }
+}
+
+/// Arithmetic operators (numeric only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// String-pattern shapes supported by [`Expr::Like`]. A tiny subset of SQL
+/// LIKE sufficient for the TPC-H predicates used in the workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LikePattern {
+    /// `'prefix%'`
+    StartsWith(String),
+    /// `'%suffix'`
+    EndsWith(String),
+    /// `'%infix%'`
+    Contains(String),
+}
+
+/// A scalar expression over a row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference by position in the input schema.
+    Col(usize),
+    /// Literal value.
+    Lit(Value),
+    /// Comparison; NULL operands make the result unknown.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Conjunction (empty = true).
+    And(Vec<Expr>),
+    /// Disjunction (empty = false).
+    Or(Vec<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Arithmetic over numerics; NULL propagates.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// `IS NULL` (`negated = true` for `IS NOT NULL`).
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// `expr IN (list)` over literals.
+    InList(Box<Expr>, Vec<Value>),
+    /// `expr BETWEEN lo AND hi` (inclusive).
+    Between(Box<Expr>, Value, Value),
+    /// Simple LIKE patterns.
+    Like(Box<Expr>, LikePattern),
+    /// Searched CASE: the first branch whose condition is true yields its
+    /// result; otherwise the ELSE expression (or NULL if absent).
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// `left op right` convenience constructor.
+    pub fn cmp(op: CmpOp, l: Expr, r: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(l), Box::new(r))
+    }
+
+    /// `col = lit` convenience constructor.
+    pub fn col_eq(col: usize, v: impl Into<Value>) -> Expr {
+        Expr::cmp(CmpOp::Eq, Expr::Col(col), Expr::Lit(v.into()))
+    }
+
+    /// `l arith r` convenience constructor.
+    pub fn arith(op: ArithOp, l: Expr, r: Expr) -> Expr {
+        Expr::Arith(op, Box::new(l), Box::new(r))
+    }
+
+    /// `CASE WHEN cond THEN then ELSE els END` convenience constructor.
+    pub fn case_when(cond: Expr, then: Expr, els: Expr) -> Expr {
+        Expr::Case {
+            branches: vec![(cond, then)],
+            else_expr: Some(Box::new(els)),
+        }
+    }
+
+    /// Evaluates to a [`Value`]. Boolean-valued expressions yield
+    /// `Value::Bool` or `Value::Null` (unknown).
+    pub fn eval(&self, row: &Row) -> ExecResult<Value> {
+        match self {
+            Expr::Col(i) => {
+                if *i >= row.arity() {
+                    return Err(ExecError::Eval(format!(
+                        "column {i} out of range for arity {}",
+                        row.arity()
+                    )));
+                }
+                Ok(row.get(*i).clone())
+            }
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Cmp(op, l, r) => {
+                let lv = l.eval(row)?;
+                let rv = r.eval(row)?;
+                Ok(match lv.sql_cmp(&rv) {
+                    None => Value::Null,
+                    Some(ord) => Value::Bool(op.test(ord)),
+                })
+            }
+            Expr::And(parts) => {
+                // SQL three-valued AND: false dominates, then unknown.
+                let mut saw_null = false;
+                for p in parts {
+                    match p.eval(row)? {
+                        Value::Bool(false) => return Ok(Value::Bool(false)),
+                        Value::Bool(true) => {}
+                        Value::Null => saw_null = true,
+                        v => return Err(ExecError::Eval(format!("AND over non-bool {v:?}"))),
+                    }
+                }
+                Ok(if saw_null { Value::Null } else { Value::Bool(true) })
+            }
+            Expr::Or(parts) => {
+                let mut saw_null = false;
+                for p in parts {
+                    match p.eval(row)? {
+                        Value::Bool(true) => return Ok(Value::Bool(true)),
+                        Value::Bool(false) => {}
+                        Value::Null => saw_null = true,
+                        v => return Err(ExecError::Eval(format!("OR over non-bool {v:?}"))),
+                    }
+                }
+                Ok(if saw_null { Value::Null } else { Value::Bool(false) })
+            }
+            Expr::Not(e) => Ok(match e.eval(row)? {
+                Value::Bool(b) => Value::Bool(!b),
+                Value::Null => Value::Null,
+                v => return Err(ExecError::Eval(format!("NOT over non-bool {v:?}"))),
+            }),
+            Expr::Arith(op, l, r) => {
+                let lv = l.eval(row)?;
+                let rv = r.eval(row)?;
+                if lv.is_null() || rv.is_null() {
+                    return Ok(Value::Null);
+                }
+                // Integer arithmetic stays integral except division.
+                if let (Value::Int(a), Value::Int(b)) = (&lv, &rv) {
+                    if !matches!(op, ArithOp::Div) {
+                        let out = match op {
+                            ArithOp::Add => a.checked_add(*b),
+                            ArithOp::Sub => a.checked_sub(*b),
+                            ArithOp::Mul => a.checked_mul(*b),
+                            ArithOp::Div => unreachable!(),
+                        };
+                        return out.map(Value::Int).ok_or_else(|| {
+                            ExecError::Eval("integer overflow".to_string())
+                        });
+                    }
+                }
+                let (Some(a), Some(b)) = (lv.as_f64(), rv.as_f64()) else {
+                    return Err(ExecError::Eval(format!(
+                        "arithmetic over non-numeric {lv:?}, {rv:?}"
+                    )));
+                };
+                Ok(Value::Float(match op {
+                    ArithOp::Add => a + b,
+                    ArithOp::Sub => a - b,
+                    ArithOp::Mul => a * b,
+                    ArithOp::Div => a / b,
+                }))
+            }
+            Expr::IsNull { expr, negated } => {
+                let v = expr.eval(row)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::InList(e, list) => {
+                let v = e.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Bool(list.contains(&v)))
+            }
+            Expr::Between(e, lo, hi) => {
+                let v = e.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Bool(v >= *lo && v <= *hi))
+            }
+            Expr::Like(e, pat) => {
+                let v = e.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let Some(s) = v.as_str() else {
+                    return Err(ExecError::Eval(format!("LIKE over non-string {v:?}")));
+                };
+                Ok(Value::Bool(match pat {
+                    LikePattern::StartsWith(p) => s.starts_with(p.as_str()),
+                    LikePattern::EndsWith(p) => s.ends_with(p.as_str()),
+                    LikePattern::Contains(p) => s.contains(p.as_str()),
+                }))
+            }
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (cond, result) in branches {
+                    if matches!(cond.eval(row)?, Value::Bool(true)) {
+                        return result.eval(row);
+                    }
+                }
+                match else_expr {
+                    Some(e) => e.eval(row),
+                    None => Ok(Value::Null),
+                }
+            }
+        }
+    }
+
+    /// Evaluates as a WHERE-clause predicate: unknown (NULL) is false.
+    #[inline]
+    pub fn eval_bool(&self, row: &Row) -> ExecResult<bool> {
+        Ok(matches!(self.eval(row)?, Value::Bool(true)))
+    }
+
+    /// Infers the output type of the expression over `input`, for plan
+    /// schema derivation. Conservative: arithmetic yields `Float` unless
+    /// both sides are integer columns/literals with a non-division op.
+    pub fn infer_type(&self, input: &Schema) -> ColumnType {
+        match self {
+            Expr::Col(i) => input.column(*i).ty,
+            Expr::Lit(v) => match v {
+                Value::Bool(_) => ColumnType::Bool,
+                Value::Int(_) => ColumnType::Int,
+                Value::Float(_) => ColumnType::Float,
+                Value::Str(_) => ColumnType::Str,
+                Value::Date(_) => ColumnType::Date,
+                Value::Null => ColumnType::Int,
+            },
+            Expr::Cmp(..)
+            | Expr::And(_)
+            | Expr::Or(_)
+            | Expr::Not(_)
+            | Expr::IsNull { .. }
+            | Expr::InList(..)
+            | Expr::Between(..)
+            | Expr::Like(..) => ColumnType::Bool,
+            Expr::Arith(op, l, r) => {
+                let lt = l.infer_type(input);
+                let rt = r.infer_type(input);
+                if lt == ColumnType::Int && rt == ColumnType::Int && !matches!(op, ArithOp::Div) {
+                    ColumnType::Int
+                } else {
+                    ColumnType::Float
+                }
+            }
+            Expr::Case {
+                branches,
+                else_expr,
+            } => branches
+                .first()
+                .map(|(_, r)| r.infer_type(input))
+                .or_else(|| else_expr.as_ref().map(|e| e.infer_type(input)))
+                .unwrap_or(ColumnType::Int),
+        }
+    }
+
+    /// All column positions referenced by this expression.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.collect_columns(&mut cols);
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Col(i) => out.push(*i),
+            Expr::Lit(_) => {}
+            Expr::Cmp(_, l, r) | Expr::Arith(_, l, r) => {
+                l.collect_columns(out);
+                r.collect_columns(out);
+            }
+            Expr::And(ps) | Expr::Or(ps) => {
+                for p in ps {
+                    p.collect_columns(out);
+                }
+            }
+            Expr::Not(e) | Expr::IsNull { expr: e, .. } => e.collect_columns(out),
+            Expr::InList(e, _) | Expr::Between(e, _, _) | Expr::Like(e, _) => {
+                e.collect_columns(out)
+            }
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, r) in branches {
+                    c.collect_columns(out);
+                    r.collect_columns(out);
+                }
+                if let Some(e) = else_expr {
+                    e.collect_columns(out);
+                }
+            }
+        }
+    }
+
+    /// Rewrites column references through an offset, for pushing a
+    /// predicate over the right side of a join (whose columns sit at
+    /// `offset..` in the joined schema).
+    pub fn shift_columns(&self, offset: usize) -> Expr {
+        match self {
+            Expr::Col(i) => Expr::Col(i + offset),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Cmp(op, l, r) => Expr::cmp(*op, l.shift_columns(offset), r.shift_columns(offset)),
+            Expr::Arith(op, l, r) => {
+                Expr::arith(*op, l.shift_columns(offset), r.shift_columns(offset))
+            }
+            Expr::And(ps) => Expr::And(ps.iter().map(|p| p.shift_columns(offset)).collect()),
+            Expr::Or(ps) => Expr::Or(ps.iter().map(|p| p.shift_columns(offset)).collect()),
+            Expr::Not(e) => Expr::Not(Box::new(e.shift_columns(offset))),
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(expr.shift_columns(offset)),
+                negated: *negated,
+            },
+            Expr::InList(e, l) => Expr::InList(Box::new(e.shift_columns(offset)), l.clone()),
+            Expr::Between(e, lo, hi) => {
+                Expr::Between(Box::new(e.shift_columns(offset)), lo.clone(), hi.clone())
+            }
+            Expr::Like(e, p) => Expr::Like(Box::new(e.shift_columns(offset)), p.clone()),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => Expr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, r)| (c.shift_columns(offset), r.shift_columns(offset)))
+                    .collect(),
+                else_expr: else_expr
+                    .as_ref()
+                    .map(|e| Box::new(e.shift_columns(offset))),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(i) => write!(f, "${i}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Cmp(op, l, r) => {
+                let s = match op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "<>",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                write!(f, "({l} {s} {r})")
+            }
+            Expr::And(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Or(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Not(e) => write!(f, "NOT {e}"),
+            Expr::Arith(op, l, r) => {
+                let s = match op {
+                    ArithOp::Add => "+",
+                    ArithOp::Sub => "-",
+                    ArithOp::Mul => "*",
+                    ArithOp::Div => "/",
+                };
+                write!(f, "({l} {s} {r})")
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList(e, list) => write!(f, "{e} IN ({} values)", list.len()),
+            Expr::Between(e, lo, hi) => write!(f, "{e} BETWEEN {lo} AND {hi}"),
+            Expr::Like(e, p) => write!(f, "{e} LIKE {p:?}"),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                write!(f, "CASE")?;
+                for (c, r) in branches {
+                    write!(f, " WHEN {c} THEN {r}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)`
+    CountStar,
+    /// `COUNT(expr)` (non-null values)
+    Count,
+    /// `SUM(expr)`
+    Sum,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+    /// `AVG(expr)`
+    Avg,
+    /// `COUNT(DISTINCT expr)`
+    CountDistinct,
+}
+
+/// One aggregate in a group-by: function plus (optional) argument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    /// `None` only for `CountStar`.
+    pub arg: Option<Expr>,
+}
+
+impl AggExpr {
+    pub fn count_star() -> AggExpr {
+        AggExpr {
+            func: AggFunc::CountStar,
+            arg: None,
+        }
+    }
+    pub fn sum(e: Expr) -> AggExpr {
+        AggExpr {
+            func: AggFunc::Sum,
+            arg: Some(e),
+        }
+    }
+    pub fn avg(e: Expr) -> AggExpr {
+        AggExpr {
+            func: AggFunc::Avg,
+            arg: Some(e),
+        }
+    }
+    pub fn min(e: Expr) -> AggExpr {
+        AggExpr {
+            func: AggFunc::Min,
+            arg: Some(e),
+        }
+    }
+    pub fn max(e: Expr) -> AggExpr {
+        AggExpr {
+            func: AggFunc::Max,
+            arg: Some(e),
+        }
+    }
+    pub fn count(e: Expr) -> AggExpr {
+        AggExpr {
+            func: AggFunc::Count,
+            arg: Some(e),
+        }
+    }
+    pub fn count_distinct(e: Expr) -> AggExpr {
+        AggExpr {
+            func: AggFunc::CountDistinct,
+            arg: Some(e),
+        }
+    }
+
+    /// Output type of the aggregate.
+    pub fn output_type(&self, input: &Schema) -> ColumnType {
+        match self.func {
+            AggFunc::CountStar | AggFunc::Count | AggFunc::CountDistinct => ColumnType::Int,
+            AggFunc::Avg => ColumnType::Float,
+            AggFunc::Sum => match self.arg.as_ref().map(|e| e.infer_type(input)) {
+                Some(ColumnType::Int) => ColumnType::Int,
+                _ => ColumnType::Float,
+            },
+            AggFunc::Min | AggFunc::Max => self
+                .arg
+                .as_ref()
+                .map(|e| e.infer_type(input))
+                .unwrap_or(ColumnType::Int),
+        }
+    }
+}
+
+/// A running accumulator for one aggregate. Used by both hash and stream
+/// aggregation operators.
+#[derive(Debug, Clone)]
+pub enum AggState {
+    Count(i64),
+    Sum { total: f64, int: bool, any: bool },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { total: f64, n: i64 },
+    Distinct(std::collections::HashSet<Value>),
+}
+
+impl AggState {
+    /// Fresh state for an aggregate.
+    pub fn new(agg: &AggExpr, input: &Schema) -> AggState {
+        match agg.func {
+            AggFunc::CountStar | AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum {
+                total: 0.0,
+                int: agg
+                    .arg
+                    .as_ref()
+                    .map(|e| e.infer_type(input) == ColumnType::Int)
+                    .unwrap_or(false),
+                any: false,
+            },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Avg => AggState::Avg { total: 0.0, n: 0 },
+            AggFunc::CountDistinct => AggState::Distinct(Default::default()),
+        }
+    }
+
+    /// Folds one input row into the accumulator.
+    pub fn update(&mut self, agg: &AggExpr, row: &Row) -> ExecResult<()> {
+        let arg_val = match &agg.arg {
+            Some(e) => Some(e.eval(row)?),
+            None => None,
+        };
+        match self {
+            AggState::Count(n) => {
+                let counts = match (&agg.func, &arg_val) {
+                    (AggFunc::CountStar, _) => true,
+                    (_, Some(v)) => !v.is_null(),
+                    _ => false,
+                };
+                if counts {
+                    *n += 1;
+                }
+            }
+            AggState::Sum { total, any, .. } => {
+                if let Some(v) = arg_val {
+                    if let Some(x) = v.as_f64() {
+                        *total += x;
+                        *any = true;
+                    }
+                }
+            }
+            AggState::Min(cur) => {
+                if let Some(v) = arg_val {
+                    if !v.is_null() && cur.as_ref().is_none_or(|c| v < *c) {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(v) = arg_val {
+                    if !v.is_null() && cur.as_ref().is_none_or(|c| v > *c) {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            AggState::Avg { total, n } => {
+                if let Some(v) = arg_val {
+                    if let Some(x) = v.as_f64() {
+                        *total += x;
+                        *n += 1;
+                    }
+                }
+            }
+            AggState::Distinct(set) => {
+                if let Some(v) = arg_val {
+                    if !v.is_null() {
+                        set.insert(v);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Final value of the accumulator.
+    pub fn finish(&self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(*n),
+            AggState::Sum { total, int, any } => {
+                if !any {
+                    Value::Null
+                } else if *int && total.fract() == 0.0 {
+                    Value::Int(*total as i64)
+                } else {
+                    Value::Float(*total)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Null),
+            AggState::Avg { total, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(total / *n as f64)
+                }
+            }
+            AggState::Distinct(set) => Value::Int(set.len() as i64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: Vec<Value>) -> Row {
+        Row::new(vals)
+    }
+
+    #[test]
+    fn comparisons_follow_sql_semantics() {
+        let r = row(vec![Value::Int(5), Value::Null]);
+        let lt = Expr::cmp(CmpOp::Lt, Expr::Col(0), Expr::Lit(Value::Int(10)));
+        assert_eq!(lt.eval(&r).unwrap(), Value::Bool(true));
+        let vs_null = Expr::cmp(CmpOp::Eq, Expr::Col(1), Expr::Lit(Value::Int(10)));
+        assert_eq!(vs_null.eval(&r).unwrap(), Value::Null);
+        assert!(!vs_null.eval_bool(&r).unwrap());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let r = row(vec![Value::Null]);
+        let unknown = Expr::cmp(CmpOp::Eq, Expr::Col(0), Expr::Lit(Value::Int(1)));
+        // unknown AND false = false; unknown OR true = true.
+        let and = Expr::And(vec![
+            unknown.clone(),
+            Expr::cmp(CmpOp::Eq, Expr::Lit(Value::Int(1)), Expr::Lit(Value::Int(2))),
+        ]);
+        assert_eq!(and.eval(&r).unwrap(), Value::Bool(false));
+        let or = Expr::Or(vec![
+            unknown.clone(),
+            Expr::cmp(CmpOp::Eq, Expr::Lit(Value::Int(1)), Expr::Lit(Value::Int(1))),
+        ]);
+        assert_eq!(or.eval(&r).unwrap(), Value::Bool(true));
+        // unknown AND true = unknown.
+        let and2 = Expr::And(vec![
+            unknown,
+            Expr::cmp(CmpOp::Eq, Expr::Lit(Value::Int(1)), Expr::Lit(Value::Int(1))),
+        ]);
+        assert_eq!(and2.eval(&r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn arithmetic_mixed_types() {
+        let r = row(vec![Value::Int(7), Value::Float(0.5)]);
+        let e = Expr::arith(ArithOp::Mul, Expr::Col(0), Expr::Col(1));
+        assert_eq!(e.eval(&r).unwrap(), Value::Float(3.5));
+        let int_add = Expr::arith(ArithOp::Add, Expr::Col(0), Expr::Lit(Value::Int(1)));
+        assert_eq!(int_add.eval(&r).unwrap(), Value::Int(8));
+        let div = Expr::arith(ArithOp::Div, Expr::Col(0), Expr::Lit(Value::Int(2)));
+        assert_eq!(div.eval(&r).unwrap(), Value::Float(3.5));
+    }
+
+    #[test]
+    fn between_in_like() {
+        let r = row(vec![Value::Int(15), Value::str("PROMO BRUSHED TIN")]);
+        assert!(Expr::Between(
+            Box::new(Expr::Col(0)),
+            Value::Int(10),
+            Value::Int(20)
+        )
+        .eval_bool(&r)
+        .unwrap());
+        assert!(Expr::InList(
+            Box::new(Expr::Col(0)),
+            vec![Value::Int(1), Value::Int(15)]
+        )
+        .eval_bool(&r)
+        .unwrap());
+        assert!(Expr::Like(
+            Box::new(Expr::Col(1)),
+            LikePattern::StartsWith("PROMO".into())
+        )
+        .eval_bool(&r)
+        .unwrap());
+        assert!(Expr::Like(
+            Box::new(Expr::Col(1)),
+            LikePattern::EndsWith("TIN".into())
+        )
+        .eval_bool(&r)
+        .unwrap());
+        assert!(!Expr::Like(
+            Box::new(Expr::Col(1)),
+            LikePattern::Contains("COPPER".into())
+        )
+        .eval_bool(&r)
+        .unwrap());
+    }
+
+    #[test]
+    fn columns_and_shift() {
+        let e = Expr::And(vec![
+            Expr::col_eq(2, 5i64),
+            Expr::cmp(CmpOp::Lt, Expr::Col(0), Expr::Col(4)),
+        ]);
+        assert_eq!(e.columns(), vec![0, 2, 4]);
+        assert_eq!(e.shift_columns(3).columns(), vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn case_when_selects_branches() {
+        let r = row(vec![Value::Int(15)]);
+        let e = Expr::case_when(
+            Expr::cmp(CmpOp::Lt, Expr::Col(0), Expr::Lit(Value::Int(10))),
+            Expr::Lit(Value::str("small")),
+            Expr::Lit(Value::str("big")),
+        );
+        assert_eq!(e.eval(&r).unwrap(), Value::str("big"));
+        let r2 = row(vec![Value::Int(5)]);
+        assert_eq!(e.eval(&r2).unwrap(), Value::str("small"));
+    }
+
+    #[test]
+    fn case_without_else_yields_null() {
+        let r = row(vec![Value::Int(15)]);
+        let e = Expr::Case {
+            branches: vec![(
+                Expr::cmp(CmpOp::Lt, Expr::Col(0), Expr::Lit(Value::Int(10))),
+                Expr::Lit(Value::Int(1)),
+            )],
+            else_expr: None,
+        };
+        assert!(e.eval(&r).unwrap().is_null());
+    }
+
+    #[test]
+    fn case_first_matching_branch_wins() {
+        let r = row(vec![Value::Int(3)]);
+        let e = Expr::Case {
+            branches: vec![
+                (
+                    Expr::cmp(CmpOp::Lt, Expr::Col(0), Expr::Lit(Value::Int(10))),
+                    Expr::Lit(Value::Int(1)),
+                ),
+                (
+                    Expr::cmp(CmpOp::Lt, Expr::Col(0), Expr::Lit(Value::Int(100))),
+                    Expr::Lit(Value::Int(2)),
+                ),
+            ],
+            else_expr: Some(Box::new(Expr::Lit(Value::Int(3)))),
+        };
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn case_infers_branch_type_and_tracks_columns() {
+        let s = Schema::of(&[("a", ColumnType::Int), ("b", ColumnType::Float)]);
+        let e = Expr::case_when(
+            Expr::col_eq(0, 1i64),
+            Expr::Col(1),
+            Expr::Lit(Value::Float(0.0)),
+        );
+        assert_eq!(e.infer_type(&s), ColumnType::Float);
+        assert_eq!(e.columns(), vec![0, 1]);
+        assert_eq!(e.shift_columns(2).columns(), vec![2, 3]);
+    }
+
+    #[test]
+    fn agg_states_accumulate() {
+        let schema = Schema::of(&[("x", ColumnType::Int)]);
+        let sum = AggExpr::sum(Expr::Col(0));
+        let mut st = AggState::new(&sum, &schema);
+        for i in 1..=4 {
+            st.update(&sum, &row(vec![Value::Int(i)])).unwrap();
+        }
+        assert_eq!(st.finish(), Value::Int(10));
+
+        let avg = AggExpr::avg(Expr::Col(0));
+        let mut st = AggState::new(&avg, &schema);
+        for i in 1..=4 {
+            st.update(&avg, &row(vec![Value::Int(i)])).unwrap();
+        }
+        assert_eq!(st.finish(), Value::Float(2.5));
+
+        let cd = AggExpr::count_distinct(Expr::Col(0));
+        let mut st = AggState::new(&cd, &schema);
+        for i in [1, 1, 2, 2, 3] {
+            st.update(&cd, &row(vec![Value::Int(i)])).unwrap();
+        }
+        assert_eq!(st.finish(), Value::Int(3));
+    }
+
+    #[test]
+    fn aggregates_ignore_nulls() {
+        let schema = Schema::of(&[("x", ColumnType::Int)]);
+        let cnt = AggExpr::count(Expr::Col(0));
+        let mut st = AggState::new(&cnt, &schema);
+        st.update(&cnt, &row(vec![Value::Null])).unwrap();
+        st.update(&cnt, &row(vec![Value::Int(1)])).unwrap();
+        assert_eq!(st.finish(), Value::Int(1));
+
+        let mn = AggExpr::min(Expr::Col(0));
+        let mut st = AggState::new(&mn, &schema);
+        st.update(&mn, &row(vec![Value::Null])).unwrap();
+        assert_eq!(st.finish(), Value::Null);
+    }
+
+    #[test]
+    fn infer_types() {
+        let s = Schema::of(&[("a", ColumnType::Int), ("b", ColumnType::Float)]);
+        assert_eq!(Expr::Col(0).infer_type(&s), ColumnType::Int);
+        assert_eq!(
+            Expr::arith(ArithOp::Add, Expr::Col(0), Expr::Col(0)).infer_type(&s),
+            ColumnType::Int
+        );
+        assert_eq!(
+            Expr::arith(ArithOp::Add, Expr::Col(0), Expr::Col(1)).infer_type(&s),
+            ColumnType::Float
+        );
+        assert_eq!(Expr::col_eq(0, 1i64).infer_type(&s), ColumnType::Bool);
+    }
+}

@@ -1,0 +1,144 @@
+//! Row-at-a-time operators: σ (filter), π (project), limit.
+
+use crate::context::{Counted, Operator};
+use crate::error::ExecResult;
+use crate::expr::Expr;
+use qp_storage::{Row, Schema, Value};
+
+/// σ — emits input rows satisfying the predicate.
+pub struct FilterOp {
+    child: Counted,
+    predicate: Expr,
+    schema: Schema,
+}
+
+impl FilterOp {
+    pub fn new(child: Counted, predicate: Expr) -> FilterOp {
+        let schema = child.schema().clone();
+        FilterOp {
+            child,
+            predicate,
+            schema,
+        }
+    }
+}
+
+impl Operator for FilterOp {
+    fn open(&mut self) -> ExecResult<()> {
+        self.child.open()
+    }
+
+    fn next(&mut self) -> ExecResult<Option<Row>> {
+        while let Some(row) = self.child.next()? {
+            if self.predicate.eval_bool(&row)? {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}
+
+/// π — computes output columns from each input row.
+pub struct ProjectOp {
+    child: Counted,
+    exprs: Vec<Expr>,
+    schema: Schema,
+}
+
+impl ProjectOp {
+    pub fn new(child: Counted, exprs: Vec<Expr>, schema: Schema) -> ProjectOp {
+        ProjectOp {
+            child,
+            exprs,
+            schema,
+        }
+    }
+}
+
+impl Operator for ProjectOp {
+    fn open(&mut self) -> ExecResult<()> {
+        self.child.open()
+    }
+
+    fn next(&mut self) -> ExecResult<Option<Row>> {
+        let Some(row) = self.child.next()? else {
+            return Ok(None);
+        };
+        let mut vals = Vec::with_capacity(self.exprs.len());
+        for e in &self.exprs {
+            vals.push(e.eval(&row)?);
+        }
+        Ok(Some(Row::new(vals)))
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}
+
+/// First-n. Stops pulling from the child once `n` rows have been emitted,
+/// exactly like a real engine — which is why a limit can leave downstream
+/// progress permanently below 100% of the a-priori upper bound (the bounds
+/// engine in `qp-progress` treats `Limit` specially).
+pub struct LimitOp {
+    child: Counted,
+    n: u64,
+    emitted: u64,
+}
+
+impl LimitOp {
+    pub fn new(child: Counted, n: u64) -> LimitOp {
+        LimitOp {
+            child,
+            n,
+            emitted: 0,
+        }
+    }
+}
+
+impl Operator for LimitOp {
+    fn open(&mut self) -> ExecResult<()> {
+        self.emitted = 0;
+        self.child.open()
+    }
+
+    fn next(&mut self) -> ExecResult<Option<Row>> {
+        if self.emitted >= self.n {
+            return Ok(None);
+        }
+        match self.child.next()? {
+            Some(row) => {
+                self.emitted += 1;
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+
+    fn schema(&self) -> &Schema {
+        self.child.schema()
+    }
+}
+
+/// Helper shared by join operators: true when any of the key values is
+/// NULL (SQL equi-joins never match on NULL).
+#[inline]
+pub(crate) fn key_has_null(key: &[Value]) -> bool {
+    key.iter().any(Value::is_null)
+}

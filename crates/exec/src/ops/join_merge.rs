@@ -1,0 +1,256 @@
+//! Merge join over inputs sorted on the join keys.
+//!
+//! Both children are streamed (a pipelined operator with *two* input
+//! nodes — the case the paper's footnote 1 notes that `dne` does not
+//! directly address; our `dne` implementation weights the two sources).
+//! Runtime sortedness is verified; a violation is a plan bug, not data-
+//! dependent behaviour.
+
+use crate::context::{Counted, Operator};
+use crate::error::{ExecError, ExecResult};
+use crate::ops::filter::key_has_null;
+use crate::plan::JoinType;
+use qp_storage::{Row, Schema, Value};
+use std::cmp::Ordering;
+
+pub struct MergeJoinOp {
+    left: Counted,
+    right: Counted,
+    left_keys: Vec<usize>,
+    right_keys: Vec<usize>,
+    join_type: JoinType,
+    schema: Schema,
+    /// Lookahead rows.
+    left_row: Option<Row>,
+    right_row: Option<Row>,
+    /// Buffered right-side rows sharing `right_group_key` (kept across
+    /// duplicate left keys).
+    right_group: Vec<Row>,
+    right_group_key: Vec<Value>,
+    group_pos: usize,
+    /// True while the current left row is emitting its group matches.
+    group_active: bool,
+    /// Whether the current left row found any match (for outer/anti).
+    left_matched: bool,
+    started: bool,
+    last_left_key: Option<Vec<Value>>,
+    last_right_key: Option<Vec<Value>>,
+    key_buf: Vec<Value>,
+}
+
+impl MergeJoinOp {
+    pub fn new(
+        left: Counted,
+        right: Counted,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        join_type: JoinType,
+        schema: Schema,
+    ) -> MergeJoinOp {
+        MergeJoinOp {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+            schema,
+            left_row: None,
+            right_row: None,
+            right_group: Vec::new(),
+            right_group_key: Vec::new(),
+            group_pos: 0,
+            group_active: false,
+            left_matched: false,
+            started: false,
+            last_left_key: None,
+            last_right_key: None,
+            key_buf: Vec::new(),
+        }
+    }
+
+    fn advance_left(&mut self) -> ExecResult<()> {
+        self.left_row = self.left.next()?;
+        if let Some(r) = &self.left_row {
+            r.extract_key_into(&self.left_keys, &mut self.key_buf);
+            if let Some(prev) = &self.last_left_key {
+                if self.key_buf.as_slice() < prev.as_slice() {
+                    return Err(ExecError::BadPlan(
+                        "merge join: left input not sorted on keys".to_string(),
+                    ));
+                }
+            }
+            self.last_left_key = Some(self.key_buf.clone());
+        }
+        self.left_matched = false;
+        Ok(())
+    }
+
+    fn advance_right(&mut self) -> ExecResult<()> {
+        self.right_row = self.right.next()?;
+        if let Some(r) = &self.right_row {
+            r.extract_key_into(&self.right_keys, &mut self.key_buf);
+            if let Some(prev) = &self.last_right_key {
+                if self.key_buf.as_slice() < prev.as_slice() {
+                    return Err(ExecError::BadPlan(
+                        "merge join: right input not sorted on keys".to_string(),
+                    ));
+                }
+            }
+            self.last_right_key = Some(self.key_buf.clone());
+        }
+        Ok(())
+    }
+
+    fn left_key(&self) -> Option<Vec<Value>> {
+        self.left_row
+            .as_ref()
+            .map(|r| self.left_keys.iter().map(|&i| r.get(i).clone()).collect())
+    }
+
+    fn right_key(&self) -> Option<Vec<Value>> {
+        self.right_row
+            .as_ref()
+            .map(|r| self.right_keys.iter().map(|&i| r.get(i).clone()).collect())
+    }
+
+    /// Consumes all right rows whose key equals `key` into `right_group`.
+    fn buffer_right_group(&mut self, key: &[Value]) -> ExecResult<()> {
+        self.right_group.clear();
+        self.right_group_key = key.to_vec();
+        self.group_pos = usize::MAX; // nothing pending until activated
+        while let Some(rk) = self.right_key() {
+            if rk.as_slice() == key {
+                self.right_group
+                    .push(self.right_row.clone().expect("right_key implies row"));
+                self.advance_right()?;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Handles a left row known to have no (further) matches: emits it for
+    /// outer/anti joins, then advances; returns the row to emit if any.
+    fn take_unmatched_left(&mut self) -> ExecResult<Option<Row>> {
+        let emit = match self.join_type {
+            JoinType::LeftOuter if !self.left_matched => {
+                let pad = self.right.schema().arity();
+                self.left_row.as_ref().map(|r| r.concat_nulls(pad))
+            }
+            JoinType::LeftAnti if !self.left_matched => self.left_row.clone(),
+            _ => None,
+        };
+        self.advance_left()?;
+        Ok(emit)
+    }
+}
+
+impl Operator for MergeJoinOp {
+    fn open(&mut self) -> ExecResult<()> {
+        self.left.open()?;
+        self.right.open()?;
+        self.right_group.clear();
+        self.right_group_key.clear();
+        self.group_pos = usize::MAX;
+        self.group_active = false;
+        self.started = false;
+        self.last_left_key = None;
+        self.last_right_key = None;
+        Ok(())
+    }
+
+    fn next(&mut self) -> ExecResult<Option<Row>> {
+        if !self.started {
+            self.advance_left()?;
+            self.advance_right()?;
+            self.started = true;
+        }
+        loop {
+            // 1. Drain pending group matches for the current left row.
+            if self.group_active {
+                if self.group_pos < self.right_group.len() {
+                    let left = self.left_row.as_ref().expect("group implies left row");
+                    let out = left.concat(&self.right_group[self.group_pos]);
+                    self.group_pos += 1;
+                    return Ok(Some(out));
+                }
+                // Current left row finished its matches; move on.
+                self.group_active = false;
+                self.advance_left()?;
+                continue;
+            }
+
+            let Some(lk) = self.left_key() else {
+                return Ok(None); // left exhausted — all join types are done
+            };
+
+            // NULL keys never match: treat as unmatched left.
+            if key_has_null(&lk) {
+                if let Some(row) = self.take_unmatched_left()? {
+                    return Ok(Some(row));
+                }
+                continue;
+            }
+
+            // Duplicate left keys reuse the buffered group.
+            if !self.right_group.is_empty() && lk == self.right_group_key {
+                self.left_matched = true;
+                match self.join_type {
+                    JoinType::Inner | JoinType::LeftOuter => {
+                        self.group_pos = 0;
+                        self.group_active = true;
+                        continue;
+                    }
+                    JoinType::LeftSemi => {
+                        let row = self.left_row.clone().expect("left present");
+                        self.advance_left()?;
+                        return Ok(Some(row));
+                    }
+                    JoinType::LeftAnti => {
+                        self.advance_left()?;
+                        continue;
+                    }
+                }
+            }
+
+            match self.right_key() {
+                None => {
+                    // Right exhausted; remaining left rows are unmatched.
+                    if let Some(row) = self.take_unmatched_left()? {
+                        return Ok(Some(row));
+                    }
+                    continue;
+                }
+                Some(rk) => match lk.as_slice().cmp(rk.as_slice()) {
+                    Ordering::Less => {
+                        if let Some(row) = self.take_unmatched_left()? {
+                            return Ok(Some(row));
+                        }
+                        continue;
+                    }
+                    Ordering::Greater => {
+                        self.advance_right()?;
+                        continue;
+                    }
+                    Ordering::Equal => {
+                        // Buffer the group; the next iteration hits the
+                        // "duplicate left keys" branch above and emits.
+                        self.buffer_right_group(&lk)?;
+                        continue;
+                    }
+                },
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.right_group = Vec::new();
+        self.left.close();
+        self.right.close();
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}

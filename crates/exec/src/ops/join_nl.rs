@@ -1,0 +1,257 @@
+//! Nested-loops joins: naive (⋈NL) and index (⋈INL).
+//!
+//! ⋈INL is the operator at the heart of the paper's lower-bound argument
+//! (Section 3): the work it performs per outer tuple is the fan-out of that
+//! tuple's key into the inner index, which neither lossy statistics nor the
+//! execution trace seen so far can reveal. Its index seeks are **fused**
+//! into the join node (each match is one getnext of this node), matching
+//! the paper's accounting (see crate docs).
+
+use crate::context::{Counted, Operator};
+use crate::error::ExecResult;
+use crate::expr::Expr;
+use crate::ops::filter::key_has_null;
+use crate::plan::JoinType;
+use qp_storage::{IndexMeta, Row, RowId, Schema, Table, Value};
+use std::sync::Arc;
+
+/// Naive nested loops. The inner child is drained and buffered at `open`
+/// (executing the inner pipeline once), then re-scanned per outer row.
+pub struct NestedLoopsOp {
+    outer: Counted,
+    inner: Counted,
+    predicate: Expr,
+    join_type: JoinType,
+    schema: Schema,
+    inner_rows: Vec<Row>,
+    current_outer: Option<Row>,
+    inner_pos: usize,
+    outer_matched: bool,
+}
+
+impl NestedLoopsOp {
+    pub fn new(
+        outer: Counted,
+        inner: Counted,
+        predicate: Expr,
+        join_type: JoinType,
+        schema: Schema,
+    ) -> NestedLoopsOp {
+        NestedLoopsOp {
+            outer,
+            inner,
+            predicate,
+            join_type,
+            schema,
+            inner_rows: Vec::new(),
+            current_outer: None,
+            inner_pos: 0,
+            outer_matched: false,
+        }
+    }
+}
+
+impl Operator for NestedLoopsOp {
+    fn open(&mut self) -> ExecResult<()> {
+        self.outer.open()?;
+        self.inner.open()?;
+        self.inner_rows.clear();
+        while let Some(r) = self.inner.next()? {
+            self.inner_rows.push(r);
+        }
+        self.current_outer = None;
+        self.inner_pos = 0;
+        self.outer_matched = false;
+        Ok(())
+    }
+
+    fn next(&mut self) -> ExecResult<Option<Row>> {
+        loop {
+            // Fetch a fresh outer row if needed.
+            if self.current_outer.is_none() {
+                match self.outer.next()? {
+                    Some(r) => {
+                        self.current_outer = Some(r);
+                        self.inner_pos = 0;
+                        self.outer_matched = false;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            let outer = self.current_outer.clone().expect("just set");
+
+            while self.inner_pos < self.inner_rows.len() {
+                let inner = &self.inner_rows[self.inner_pos];
+                self.inner_pos += 1;
+                let combined = outer.concat(inner);
+                if self.predicate.eval_bool(&combined)? {
+                    self.outer_matched = true;
+                    match self.join_type {
+                        JoinType::Inner | JoinType::LeftOuter => return Ok(Some(combined)),
+                        JoinType::LeftSemi => {
+                            let out = outer.clone();
+                            self.current_outer = None;
+                            return Ok(Some(out));
+                        }
+                        JoinType::LeftAnti => {
+                            // Matched: this outer row is disqualified.
+                            self.current_outer = None;
+                            break;
+                        }
+                    }
+                }
+            }
+            if self.current_outer.is_none() {
+                continue; // anti/semi advanced already
+            }
+
+            // Inner exhausted for this outer row.
+            let emit = match self.join_type {
+                JoinType::LeftOuter if !self.outer_matched => {
+                    Some(outer.concat_nulls(self.inner.schema().arity()))
+                }
+                JoinType::LeftAnti if !self.outer_matched => Some(outer.clone()),
+                _ => None,
+            };
+            self.current_outer = None;
+            if let Some(row) = emit {
+                return Ok(Some(row));
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.inner_rows = Vec::new();
+        self.outer.close();
+        self.inner.close();
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}
+
+/// Index nested loops: per outer row, seek the inner table's B+Tree.
+pub struct IndexNestedLoopsOp {
+    outer: Counted,
+    inner_table: Arc<Table>,
+    inner_index: Arc<IndexMeta>,
+    outer_keys: Vec<usize>,
+    residual: Option<Expr>,
+    join_type: JoinType,
+    schema: Schema,
+    current_outer: Option<Row>,
+    /// Matches for the current outer row.
+    matches: Vec<RowId>,
+    match_pos: usize,
+    outer_matched: bool,
+    key_buf: Vec<Value>,
+}
+
+impl IndexNestedLoopsOp {
+    pub fn new(
+        outer: Counted,
+        inner_table: Arc<Table>,
+        inner_index: Arc<IndexMeta>,
+        outer_keys: Vec<usize>,
+        residual: Option<Expr>,
+        join_type: JoinType,
+        schema: Schema,
+    ) -> IndexNestedLoopsOp {
+        IndexNestedLoopsOp {
+            outer,
+            inner_table,
+            inner_index,
+            outer_keys,
+            residual,
+            join_type,
+            schema,
+            current_outer: None,
+            matches: Vec::new(),
+            match_pos: 0,
+            outer_matched: false,
+            key_buf: Vec::new(),
+        }
+    }
+}
+
+impl Operator for IndexNestedLoopsOp {
+    fn open(&mut self) -> ExecResult<()> {
+        self.outer.open()?;
+        self.current_outer = None;
+        self.matches.clear();
+        self.match_pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> ExecResult<Option<Row>> {
+        loop {
+            if self.current_outer.is_none() {
+                match self.outer.next()? {
+                    Some(r) => {
+                        r.extract_key_into(&self.outer_keys, &mut self.key_buf);
+                        self.matches.clear();
+                        self.match_pos = 0;
+                        if !key_has_null(&self.key_buf) {
+                            self.matches
+                                .extend(self.inner_index.tree.lookup(&self.key_buf));
+                        }
+                        self.current_outer = Some(r);
+                        self.outer_matched = false;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            let outer = self.current_outer.clone().expect("just set");
+
+            while self.match_pos < self.matches.len() {
+                let rid = self.matches[self.match_pos];
+                self.match_pos += 1;
+                let inner = self.inner_table.row(rid);
+                let combined = outer.concat(inner);
+                if let Some(resid) = &self.residual {
+                    if !resid.eval_bool(&combined)? {
+                        continue;
+                    }
+                }
+                self.outer_matched = true;
+                match self.join_type {
+                    JoinType::Inner | JoinType::LeftOuter => return Ok(Some(combined)),
+                    JoinType::LeftSemi => {
+                        let out = outer.clone();
+                        self.current_outer = None;
+                        return Ok(Some(out));
+                    }
+                    JoinType::LeftAnti => {
+                        self.current_outer = None;
+                        break;
+                    }
+                }
+            }
+            if self.current_outer.is_none() {
+                continue;
+            }
+
+            let emit = match self.join_type {
+                JoinType::LeftOuter if !self.outer_matched => {
+                    Some(outer.concat_nulls(self.inner_table.schema().arity()))
+                }
+                JoinType::LeftAnti if !self.outer_matched => Some(outer.clone()),
+                _ => None,
+            };
+            self.current_outer = None;
+            if let Some(row) = emit {
+                return Ok(Some(row));
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.matches = Vec::new();
+        self.outer.close();
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}

@@ -1,0 +1,20 @@
+//! Physical operator implementations (the paper's Section 2.1 operator
+//! set). Each operator implements [`crate::context::Operator`]; children
+//! are [`crate::context::Counted`] wrappers so that every produced row is
+//! counted as one getnext call at the producing node.
+
+mod aggregate;
+mod filter;
+mod join_hash;
+mod join_merge;
+mod join_nl;
+mod scan;
+mod sort;
+
+pub use aggregate::{HashAggregateOp, StreamAggregateOp};
+pub use filter::{FilterOp, LimitOp, ProjectOp};
+pub use join_hash::HashJoinOp;
+pub use join_merge::MergeJoinOp;
+pub use join_nl::{IndexNestedLoopsOp, NestedLoopsOp};
+pub use scan::{IndexRangeScanOp, SeqScanOp};
+pub use sort::SortOp;

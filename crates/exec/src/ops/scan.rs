@@ -1,0 +1,109 @@
+//! Leaf operators: sequential heap scan and B+Tree range scan.
+
+use crate::context::Operator;
+use crate::error::ExecResult;
+use qp_storage::{IndexMeta, Row, RowId, Schema, Table, Value};
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// Full scan of a heap table in insertion order — the order the paper's
+/// input-order analysis (Section 4.2) is about.
+pub struct SeqScanOp {
+    table: Arc<Table>,
+    pos: usize,
+}
+
+impl SeqScanOp {
+    pub fn new(table: Arc<Table>) -> SeqScanOp {
+        SeqScanOp { table, pos: 0 }
+    }
+}
+
+impl Operator for SeqScanOp {
+    fn open(&mut self) -> ExecResult<()> {
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> ExecResult<Option<Row>> {
+        if self.pos < self.table.len() {
+            let row = self.table.row(self.pos as RowId).clone();
+            self.pos += 1;
+            Ok(Some(row))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn close(&mut self) {}
+
+    fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+}
+
+/// Range scan over a B+Tree index (`index-seek`). Matching row ids are
+/// collected at `open` (the tree iterator borrows the index, and operators
+/// are long-lived), then rows are fetched lazily per `next`.
+pub struct IndexRangeScanOp {
+    table: Arc<Table>,
+    index: Arc<IndexMeta>,
+    lo: Bound<Vec<Value>>,
+    hi: Bound<Vec<Value>>,
+    rids: Vec<RowId>,
+    pos: usize,
+}
+
+impl IndexRangeScanOp {
+    pub fn new(
+        table: Arc<Table>,
+        index: Arc<IndexMeta>,
+        lo: Bound<Vec<Value>>,
+        hi: Bound<Vec<Value>>,
+    ) -> IndexRangeScanOp {
+        IndexRangeScanOp {
+            table,
+            index,
+            lo,
+            hi,
+            rids: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+impl Operator for IndexRangeScanOp {
+    fn open(&mut self) -> ExecResult<()> {
+        let lo = match &self.lo {
+            Bound::Unbounded => Bound::Unbounded,
+            Bound::Included(k) => Bound::Included(k.as_slice()),
+            Bound::Excluded(k) => Bound::Excluded(k.as_slice()),
+        };
+        self.rids = self
+            .index
+            .tree
+            .range(lo, self.hi.clone())
+            .map(|(_, rid)| rid)
+            .collect();
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> ExecResult<Option<Row>> {
+        if self.pos < self.rids.len() {
+            let row = self.table.row(self.rids[self.pos]).clone();
+            self.pos += 1;
+            Ok(Some(row))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn close(&mut self) {
+        self.rids = Vec::new();
+    }
+
+    fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+}

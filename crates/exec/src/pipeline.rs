@@ -1,0 +1,236 @@
+//! Pipeline decomposition and driver-node identification (Section 4.1).
+//!
+//! A pipeline is a maximal set of concurrently-executing operators. The
+//! boundaries are the *blocking* operators:
+//!
+//! * `Sort` and `HashAggregate` consume their input entirely at `open`
+//!   (the input side is its own pipeline; the blocking node then acts as
+//!   the materialized **source** of the consuming pipeline);
+//! * a `HashJoin`'s build child is consumed at `open` (the build side is
+//!   its own pipeline), while the probe side streams through the join;
+//! * a naive `NestedLoopsJoin` materializes its inner child at `open`.
+//!
+//! Everything else (`Filter`, `Project`, `Limit`, `StreamAggregate`,
+//! `MergeJoin`, `IndexNestedLoopsJoin`) is pipelined.
+//!
+//! The **driver node** (the "dominant" node of Luo et al.) of a pipeline is
+//! its input: a scanned leaf, or a blocking operator's materialized output.
+//! A pipeline can have several sources (e.g. a merge join of two sorted
+//! streams) — the case the paper's footnote 1 leaves open; `dne` here
+//! weights multiple sources by their estimated sizes.
+
+use crate::plan::{NodeId, Plan, PlanNode};
+
+/// Where a pipeline's input rows come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// A leaf scan with exactly-known total (catalog cardinality) for
+    /// `SeqScan`; range scans have an a-priori unknown total.
+    Leaf(NodeId),
+    /// The output of a blocking operator (sort / hash aggregate) that
+    /// materialized during an earlier pipeline.
+    Materialized(NodeId),
+}
+
+impl Source {
+    /// The node id of the source.
+    pub fn node(&self) -> NodeId {
+        match self {
+            Source::Leaf(n) | Source::Materialized(n) => *n,
+        }
+    }
+}
+
+/// One pipeline: its member nodes and its sources (drivers).
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    pub id: usize,
+    pub nodes: Vec<NodeId>,
+    pub sources: Vec<Source>,
+}
+
+/// Decomposes `plan` into pipelines. Pipeline 0 contains the root; ids
+/// otherwise carry no ordering significance.
+pub fn decompose(plan: &Plan) -> Vec<Pipeline> {
+    let mut pipelines: Vec<Pipeline> = vec![Pipeline {
+        id: 0,
+        nodes: Vec::new(),
+        sources: Vec::new(),
+    }];
+    visit(plan, plan.root(), 0, &mut pipelines);
+    pipelines
+}
+
+fn new_pipeline(pipelines: &mut Vec<Pipeline>) -> usize {
+    let id = pipelines.len();
+    pipelines.push(Pipeline {
+        id,
+        nodes: Vec::new(),
+        sources: Vec::new(),
+    });
+    id
+}
+
+fn visit(plan: &Plan, node: NodeId, pid: usize, pipelines: &mut Vec<Pipeline>) {
+    pipelines[pid].nodes.push(node);
+    let data = plan.node(node);
+    match &data.kind {
+        PlanNode::SeqScan { .. } | PlanNode::IndexRangeScan { .. } => {
+            pipelines[pid].sources.push(Source::Leaf(node));
+        }
+        PlanNode::Filter { .. }
+        | PlanNode::Project { .. }
+        | PlanNode::Limit { .. }
+        | PlanNode::StreamAggregate { .. } => {
+            visit(plan, data.children[0], pid, pipelines);
+        }
+        PlanNode::Sort { .. } | PlanNode::HashAggregate { .. } => {
+            // Blocking: this node is the materialized source of `pid`; its
+            // input runs as a separate (earlier) pipeline.
+            pipelines[pid].sources.push(Source::Materialized(node));
+            let child_pid = new_pipeline(pipelines);
+            visit(plan, data.children[0], child_pid, pipelines);
+        }
+        PlanNode::HashJoin { .. } => {
+            // Build side (child 0) is its own pipeline; probe side streams.
+            let build_pid = new_pipeline(pipelines);
+            visit(plan, data.children[0], build_pid, pipelines);
+            visit(plan, data.children[1], pid, pipelines);
+        }
+        PlanNode::NestedLoopsJoin { .. } => {
+            // Inner side (child 1) is materialized at open.
+            let inner_pid = new_pipeline(pipelines);
+            visit(plan, data.children[1], inner_pid, pipelines);
+            visit(plan, data.children[0], pid, pipelines);
+        }
+        PlanNode::MergeJoin { .. } => {
+            // Fully pipelined on both inputs: two sources in one pipeline.
+            visit(plan, data.children[0], pid, pipelines);
+            visit(plan, data.children[1], pid, pipelines);
+        }
+        PlanNode::IndexNestedLoopsJoin { .. } => {
+            visit(plan, data.children[0], pid, pipelines);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::{JoinType, PlanBuilder};
+    use qp_storage::{ColumnType, Database, Schema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table_with_rows(
+            "t",
+            Schema::of(&[("a", ColumnType::Int)]),
+            (0..10).map(|i| vec![Value::Int(i)]),
+        )
+        .unwrap();
+        db.create_table_with_rows(
+            "u",
+            Schema::of(&[("x", ColumnType::Int)]),
+            (0..10).map(|i| vec![Value::Int(i)]),
+        )
+        .unwrap();
+        db.create_index("u_x", "u", &["x"], true).unwrap();
+        db
+    }
+
+    #[test]
+    fn single_pipeline_scan_filter() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .filter(Expr::col_eq(0, 1i64))
+            .build();
+        let ps = decompose(&plan);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].nodes.len(), 2);
+        assert_eq!(ps[0].sources, vec![Source::Leaf(0)]);
+    }
+
+    #[test]
+    fn sort_splits_pipelines() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .sort(vec![(0, true)])
+            .limit(3)
+            .build();
+        let ps = decompose(&plan);
+        assert_eq!(ps.len(), 2);
+        // Pipeline 0: limit + sort (sort is its materialized source).
+        assert!(ps[0].nodes.contains(&plan.root()));
+        assert_eq!(ps[0].sources.len(), 1);
+        assert!(matches!(ps[0].sources[0], Source::Materialized(_)));
+        // Pipeline 1: the scan feeding the sort.
+        assert_eq!(ps[1].sources, vec![Source::Leaf(0)]);
+    }
+
+    #[test]
+    fn hash_join_build_side_is_separate() {
+        let db = db();
+        let probe = PlanBuilder::scan(&db, "u").unwrap();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .hash_join(probe, vec![0], vec![0], JoinType::Inner, true)
+            .build();
+        let ps = decompose(&plan);
+        assert_eq!(ps.len(), 2);
+        // Probe pipeline (0) contains the join and the probe scan.
+        assert_eq!(ps[0].sources.len(), 1);
+        // Build pipeline (1) contains the build scan.
+        assert_eq!(ps[1].sources.len(), 1);
+        assert_ne!(ps[0].sources[0].node(), ps[1].sources[0].node());
+    }
+
+    #[test]
+    fn inl_join_stays_in_pipeline() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .inl_join(&db, "u", "u_x", vec![0], JoinType::Inner, true, None)
+            .unwrap()
+            .build();
+        let ps = decompose(&plan);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].sources, vec![Source::Leaf(0)]);
+    }
+
+    #[test]
+    fn merge_join_has_two_sources() {
+        let db = db();
+        let right = PlanBuilder::scan(&db, "u").unwrap();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .merge_join(right, vec![0], vec![0], JoinType::Inner, true)
+            .build();
+        let ps = decompose(&plan);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].sources.len(), 2);
+    }
+
+    #[test]
+    fn complex_plan_counts_pipelines() {
+        // scan t -> sort -> merge_join with (scan u -> sort) -> hash agg.
+        let db = db();
+        let left = PlanBuilder::scan(&db, "t").unwrap().sort(vec![(0, true)]);
+        let right = PlanBuilder::scan(&db, "u").unwrap().sort(vec![(0, true)]);
+        let plan = left
+            .merge_join(right, vec![0], vec![0], JoinType::Inner, true)
+            .hash_aggregate(vec![0], vec![])
+            .build();
+        let ps = decompose(&plan);
+        // Pipelines: [agg output], [merge join + 2 sort sources],
+        // [scan t], [scan u].
+        assert_eq!(ps.len(), 4);
+        let with_two_sources = ps.iter().find(|p| p.sources.len() == 2).unwrap();
+        assert!(with_two_sources
+            .sources
+            .iter()
+            .all(|s| matches!(s, Source::Materialized(_))));
+    }
+}

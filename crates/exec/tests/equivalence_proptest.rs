@@ -1,0 +1,185 @@
+//! Operator-equivalence property tests: different physical operators
+//! implementing the same logical operation must produce identical result
+//! multisets on arbitrary inputs. This pins down the join/aggregation
+//! semantics the progress experiments rely on.
+
+use proptest::prelude::*;
+use qp_exec::expr::{AggExpr, CmpOp, Expr};
+use qp_exec::plan::{JoinType, Plan, PlanBuilder};
+use qp_exec::run_query;
+use qp_storage::{ColumnType, Database, Row, Schema, Value};
+
+fn build_db(t_vals: &[(i64, i64)], u_vals: &[i64]) -> Database {
+    let mut db = Database::new();
+    db.create_table_with_rows(
+        "t",
+        Schema::of(&[("a", ColumnType::Int), ("b", ColumnType::Int)]),
+        t_vals.iter().map(|&(a, b)| vec![Value::Int(a), Value::Int(b)]),
+    )
+    .unwrap();
+    db.create_table_with_rows(
+        "u",
+        Schema::of(&[("x", ColumnType::Int), ("y", ColumnType::Int)]),
+        u_vals
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| vec![Value::Int(x), Value::Int(i as i64)]),
+    )
+    .unwrap();
+    db.create_index("u_x", "u", &["x"], false).unwrap();
+    db
+}
+
+/// Result rows as a sorted multiset (joins don't define output order).
+fn multiset(plan: &Plan, db: &Database) -> Vec<Row> {
+    let (out, _) = run_query(plan, db, None).unwrap();
+    let mut rows = out.rows;
+    rows.sort();
+    rows
+}
+
+fn hash_join(db: &Database, jt: JoinType) -> Plan {
+    PlanBuilder::scan(db, "t")
+        .unwrap()
+        .hash_join(
+            PlanBuilder::scan(db, "u").unwrap(),
+            vec![0],
+            vec![0],
+            jt,
+            false,
+        )
+        .build()
+}
+
+fn merge_join(db: &Database, jt: JoinType) -> Plan {
+    let l = PlanBuilder::scan(db, "t").unwrap().sort(vec![(0, true)]);
+    let r = PlanBuilder::scan(db, "u").unwrap().sort(vec![(0, true)]);
+    l.merge_join(r, vec![0], vec![0], jt, false).build()
+}
+
+fn nl_join(db: &Database, jt: JoinType) -> Plan {
+    PlanBuilder::scan(db, "t")
+        .unwrap()
+        .nl_join(
+            PlanBuilder::scan(db, "u").unwrap(),
+            Expr::cmp(CmpOp::Eq, Expr::Col(0), Expr::Col(2)),
+            jt,
+            false,
+        )
+        .build()
+}
+
+fn inl_join(db: &Database, jt: JoinType) -> Plan {
+    PlanBuilder::scan(db, "t")
+        .unwrap()
+        .inl_join(db, "u", "u_x", vec![0], jt, false, None)
+        .unwrap()
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Inner joins: all four physical operators agree.
+    #[test]
+    fn inner_joins_agree(
+        t_vals in prop::collection::vec((0i64..10, 0i64..5), 0..40),
+        u_vals in prop::collection::vec(0i64..10, 0..40),
+    ) {
+        let db = build_db(&t_vals, &u_vals);
+        let reference = multiset(&nl_join(&db, JoinType::Inner), &db);
+        prop_assert_eq!(&multiset(&hash_join(&db, JoinType::Inner), &db), &reference);
+        prop_assert_eq!(&multiset(&merge_join(&db, JoinType::Inner), &db), &reference);
+        prop_assert_eq!(&multiset(&inl_join(&db, JoinType::Inner), &db), &reference);
+    }
+
+    /// Semi and anti joins: all four agree (left = t side everywhere).
+    #[test]
+    fn semi_and_anti_joins_agree(
+        t_vals in prop::collection::vec((0i64..8, 0i64..4), 0..30),
+        u_vals in prop::collection::vec(0i64..8, 0..30),
+    ) {
+        let db = build_db(&t_vals, &u_vals);
+        for jt in [JoinType::LeftSemi, JoinType::LeftAnti] {
+            let reference = multiset(&nl_join(&db, jt), &db);
+            prop_assert_eq!(&multiset(&hash_join(&db, jt), &db), &reference, "{:?} hash", jt);
+            prop_assert_eq!(&multiset(&merge_join(&db, jt), &db), &reference, "{:?} merge", jt);
+            prop_assert_eq!(&multiset(&inl_join(&db, jt), &db), &reference, "{:?} inl", jt);
+        }
+    }
+
+    /// Left outer joins: all four agree, including NULL padding.
+    #[test]
+    fn left_outer_joins_agree(
+        t_vals in prop::collection::vec((0i64..8, 0i64..4), 0..25),
+        u_vals in prop::collection::vec(0i64..8, 0..25),
+    ) {
+        let db = build_db(&t_vals, &u_vals);
+        let reference = multiset(&nl_join(&db, JoinType::LeftOuter), &db);
+        prop_assert_eq!(&multiset(&hash_join(&db, JoinType::LeftOuter), &db), &reference);
+        prop_assert_eq!(&multiset(&merge_join(&db, JoinType::LeftOuter), &db), &reference);
+        prop_assert_eq!(&multiset(&inl_join(&db, JoinType::LeftOuter), &db), &reference);
+    }
+
+    /// Hash aggregation and stream aggregation (over sorted input) agree.
+    #[test]
+    fn aggregations_agree(
+        t_vals in prop::collection::vec((0i64..100, 0i64..6), 0..60),
+    ) {
+        let db = build_db(&t_vals, &[]);
+        let aggs = || vec![
+            (AggExpr::count_star(), "n"),
+            (AggExpr::sum(Expr::Col(0)), "s"),
+            (AggExpr::min(Expr::Col(0)), "mn"),
+            (AggExpr::max(Expr::Col(0)), "mx"),
+            (AggExpr::count_distinct(Expr::Col(0)), "d"),
+        ];
+        let hash = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .hash_aggregate(vec![1], aggs())
+            .build();
+        let stream = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .sort(vec![(1, true)])
+            .stream_aggregate(vec![1], aggs())
+            .build();
+        prop_assert_eq!(multiset(&hash, &db), multiset(&stream, &db));
+    }
+
+    /// Joins on NULL keys never match anywhere.
+    #[test]
+    fn null_keys_never_match(
+        n_null in 1usize..10,
+        u_vals in prop::collection::vec(0i64..5, 1..20),
+    ) {
+        let mut db = Database::new();
+        db.create_table_with_rows(
+            "t",
+            Schema::of(&[("a", ColumnType::Int), ("b", ColumnType::Int)]),
+            (0..n_null).map(|i| vec![Value::Null, Value::Int(i as i64)]),
+        )
+        .unwrap();
+        db.create_table_with_rows(
+            "u",
+            Schema::of(&[("x", ColumnType::Int), ("y", ColumnType::Int)]),
+            u_vals.iter().enumerate().map(|(i, &x)| vec![Value::Int(x), Value::Int(i as i64)]),
+        )
+        .unwrap();
+        db.create_index("u_x", "u", &["x"], false).unwrap();
+        for plan in [
+            hash_join(&db, JoinType::Inner),
+            merge_join(&db, JoinType::Inner),
+            inl_join(&db, JoinType::Inner),
+        ] {
+            prop_assert_eq!(multiset(&plan, &db).len(), 0);
+        }
+        // Anti join keeps every NULL-keyed left row (NULL never matches).
+        for plan in [
+            hash_join(&db, JoinType::LeftAnti),
+            merge_join(&db, JoinType::LeftAnti),
+            inl_join(&db, JoinType::LeftAnti),
+        ] {
+            prop_assert_eq!(multiset(&plan, &db).len(), n_null);
+        }
+    }
+}

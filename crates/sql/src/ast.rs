@@ -1,0 +1,163 @@
+//! Abstract syntax for the supported SQL dialect.
+
+use qp_storage::Value;
+
+/// A parsed `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub select: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    /// ON conditions from explicit `JOIN … ON` clauses (conjoined with
+    /// WHERE during planning).
+    pub join_conditions: Vec<SqlExpr>,
+    pub where_clause: Option<SqlExpr>,
+    pub group_by: Vec<SqlExpr>,
+    pub having: Option<SqlExpr>,
+    pub order_by: Vec<(OrderKey, bool)>,
+    pub limit: Option<u64>,
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: SqlExpr,
+    pub alias: Option<String>,
+}
+
+/// A table in FROM, with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is referred to by in the query.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// ORDER BY key: a select-list position (1-based), an alias, or an
+/// expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderKey {
+    Position(usize),
+    Expr(SqlExpr),
+}
+
+/// Aggregate function names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggName {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+/// Comparison operators (textual level; lowered to `qp_exec::CmpOp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlCmp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlArith {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// An expression as written in SQL (unresolved column names).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// `col` or `tbl.col`.
+    Column {
+        table: Option<String>,
+        column: String,
+    },
+    Literal(Value),
+    Cmp(SqlCmp, Box<SqlExpr>, Box<SqlExpr>),
+    Arith(SqlArith, Box<SqlExpr>, Box<SqlExpr>),
+    And(Vec<SqlExpr>),
+    Or(Vec<SqlExpr>),
+    Not(Box<SqlExpr>),
+    IsNull {
+        expr: Box<SqlExpr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<SqlExpr>,
+        lo: Box<SqlExpr>,
+        hi: Box<SqlExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<SqlExpr>,
+        list: Vec<SqlExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<SqlExpr>,
+        pattern: String,
+        negated: bool,
+    },
+    Case {
+        branches: Vec<(SqlExpr, SqlExpr)>,
+        else_expr: Option<Box<SqlExpr>>,
+    },
+    /// `COUNT(*)`, `SUM(x)`, `COUNT(DISTINCT x)`, …
+    Aggregate {
+        func: AggName,
+        distinct: bool,
+        /// `None` only for `COUNT(*)`.
+        arg: Option<Box<SqlExpr>>,
+    },
+}
+
+impl SqlExpr {
+    /// Whether the expression contains any aggregate call.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            SqlExpr::Aggregate { .. } => true,
+            SqlExpr::Column { .. } | SqlExpr::Literal(_) => false,
+            SqlExpr::Cmp(_, l, r) | SqlExpr::Arith(_, l, r) => {
+                l.has_aggregate() || r.has_aggregate()
+            }
+            SqlExpr::And(xs) | SqlExpr::Or(xs) => xs.iter().any(SqlExpr::has_aggregate),
+            SqlExpr::Not(e) | SqlExpr::IsNull { expr: e, .. } => e.has_aggregate(),
+            SqlExpr::Between { expr, lo, hi, .. } => {
+                expr.has_aggregate() || lo.has_aggregate() || hi.has_aggregate()
+            }
+            SqlExpr::InList { expr, list, .. } => {
+                expr.has_aggregate() || list.iter().any(SqlExpr::has_aggregate)
+            }
+            SqlExpr::Like { expr, .. } => expr.has_aggregate(),
+            SqlExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                branches
+                    .iter()
+                    .any(|(c, r)| c.has_aggregate() || r.has_aggregate())
+                    || else_expr.as_ref().is_some_and(|e| e.has_aggregate())
+            }
+        }
+    }
+
+    /// Splits a conjunction into its conjuncts (flattening nested ANDs).
+    pub fn conjuncts(self) -> Vec<SqlExpr> {
+        match self {
+            SqlExpr::And(xs) => xs.into_iter().flat_map(SqlExpr::conjuncts).collect(),
+            other => vec![other],
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # qp-sql — a small SQL front-end for the instrumented executor
+//!
+//! The paper's experiments run SQL text against a commercial engine; this
+//! crate closes the same loop for the reproduction: SQL in, an
+//! instrumented physical [`qp_exec::Plan`] out, progress estimators
+//! attached by the caller.
+//!
+//! The dialect covers the analytics core the workloads need:
+//!
+//! ```sql
+//! SELECT l_returnflag, COUNT(*) AS n, SUM(l_extendedprice * (1 - l_discount)) AS rev
+//! FROM lineitem, orders
+//! WHERE l_orderkey = o_orderkey
+//!   AND l_shipdate <= DATE '1998-09-02'
+//!   AND o_orderpriority IN ('1-URGENT', '2-HIGH')
+//! GROUP BY l_returnflag
+//! HAVING COUNT(*) > 10
+//! ORDER BY rev DESC
+//! LIMIT 5
+//! ```
+//!
+//! Supported: multi-table FROM (comma and `JOIN … ON`), conjunctive
+//! equi-join extraction, arithmetic/comparison/boolean expressions,
+//! `BETWEEN`, `IN`, `LIKE` ('p%', '%s', '%i%'), `IS [NOT] NULL`,
+//! searched `CASE`, `DATE 'yyyy-mm-dd'` literals, the five standard
+//! aggregates plus `COUNT(DISTINCT …)`, `GROUP BY` / `HAVING` /
+//! `ORDER BY` / `LIMIT`. Not supported (documented scope): subqueries,
+//! set operations, DDL/DML, outer-join syntax.
+//!
+//! Planning ([`planner`]) is deliberately in the mold the paper assumes:
+//! per-table filters are pushed to scans, join order is chosen greedily by
+//! estimated cardinality from single-relation statistics, and the physical
+//! join operator is picked the way Section 5.4 cares about — index nested
+//! loops when a matching index exists and the outer side is estimated
+//! small, hash join (build = smaller side) otherwise.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+
+pub use parser::parse;
+pub use planner::{plan_query, PlanError};
+
+use qp_exec::Plan;
+use qp_stats::DbStats;
+use qp_storage::Database;
+
+/// One-call convenience: parse and plan a SQL query.
+pub fn sql_to_plan(sql: &str, db: &Database, stats: &DbStats) -> Result<Plan, PlanError> {
+    let query = parse(sql).map_err(PlanError::Parse)?;
+    plan_query(&query, db, stats)
+}

@@ -1,0 +1,663 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Sym, Token};
+use qp_storage::Value;
+use std::fmt;
+
+/// Parser errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    Lex(LexError),
+    /// Unexpected token (or end of input) with a human-readable context.
+    Unexpected { found: String, expected: String },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { found, expected } => {
+                write!(f, "unexpected {found}; expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one SELECT query.
+pub fn parse(sql: &str) -> Result<Query, ParseError> {
+    let tokens = lex(sql).map_err(ParseError::Lex)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos < p.tokens.len() {
+        return Err(p.unexpected("end of input"));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        ParseError::Unexpected {
+            found: self
+                .peek()
+                .map(|t| format!("{t}"))
+                .unwrap_or_else(|| "end of input".to_string()),
+            expected: expected.to_string(),
+        }
+    }
+
+    /// Consumes a keyword (case-insensitive); errors otherwise.
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(kw))
+        }
+    }
+
+    /// Consumes a keyword if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Token::Word(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_sym(&mut self, s: Sym) -> bool {
+        if self.peek() == Some(&Token::Symbol(s)) {
+            self.pos += 1;
+            return true;
+        }
+        false
+    }
+
+    fn expect_sym(&mut self, s: Sym, what: &str) -> Result<(), ParseError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Word(w)) if !is_reserved(w) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            _ => Err(self.unexpected("identifier")),
+        }
+    }
+
+    // ---- grammar ----
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect_kw("SELECT")?;
+        let mut select = vec![self.select_item()?];
+        while self.eat_sym(Sym::Comma) {
+            select.push(self.select_item()?);
+        }
+        self.expect_kw("FROM")?;
+        let mut from = vec![self.table_ref()?];
+        let mut join_conditions = Vec::new();
+        loop {
+            if self.eat_sym(Sym::Comma) {
+                from.push(self.table_ref()?);
+            } else if self.eat_kw("JOIN") || (self.eat_kw("INNER") && self.expect_kw("JOIN").is_ok())
+            {
+                from.push(self.table_ref()?);
+                self.expect_kw("ON")?;
+                join_conditions.push(self.expr()?);
+            } else {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat_sym(Sym::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let key = match self.peek() {
+                    Some(Token::Int(i)) if *i >= 1 => {
+                        let i = *i as usize;
+                        self.pos += 1;
+                        OrderKey::Position(i)
+                    }
+                    _ => OrderKey::Expr(self.expr()?),
+                };
+                let asc = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC");
+                    true
+                };
+                order_by.push((key, asc));
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as u64),
+                _ => return Err(self.unexpected("a non-negative integer after LIMIT")),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            select,
+            from,
+            join_conditions,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else if let Some(Token::Word(w)) = self.peek() {
+            // Bare alias (not a clause keyword).
+            if !is_reserved(w) {
+                Some(self.ident()?)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let table = self.ident()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else if let Some(Token::Word(w)) = self.peek() {
+            if !is_reserved(w) {
+                Some(self.ident()?)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    // Precedence: OR < AND < NOT < predicate < additive < multiplicative
+    // < unary < primary.
+    fn expr(&mut self) -> Result<SqlExpr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut parts = vec![self.and_expr()?];
+        while self.eat_kw("OR") {
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            SqlExpr::Or(parts)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut parts = vec![self.not_expr()?];
+        while self.eat_kw("AND") {
+            parts.push(self.not_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            SqlExpr::And(parts)
+        })
+    }
+
+    fn not_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        if self.eat_kw("NOT") {
+            Ok(SqlExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.predicate()
+        }
+    }
+
+    fn predicate(&mut self) -> Result<SqlExpr, ParseError> {
+        let lhs = self.additive()?;
+        // Optional postfix predicate forms.
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(SqlExpr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+        let negated = self.eat_kw("NOT");
+        if self.eat_kw("BETWEEN") {
+            let lo = self.additive()?;
+            self.expect_kw("AND")?;
+            let hi = self.additive()?;
+            return Ok(SqlExpr::Between {
+                expr: Box::new(lhs),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if self.eat_kw("IN") {
+            self.expect_sym(Sym::LParen, "'(' after IN")?;
+            let mut list = vec![self.additive()?];
+            while self.eat_sym(Sym::Comma) {
+                list.push(self.additive()?);
+            }
+            self.expect_sym(Sym::RParen, "')' closing IN list")?;
+            return Ok(SqlExpr::InList {
+                expr: Box::new(lhs),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = match self.next() {
+                Some(Token::Str(s)) => s,
+                _ => return Err(self.unexpected("a string pattern after LIKE")),
+            };
+            return Ok(SqlExpr::Like {
+                expr: Box::new(lhs),
+                pattern,
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.unexpected("BETWEEN, IN or LIKE after NOT"));
+        }
+        // Plain comparison.
+        let op = match self.peek() {
+            Some(Token::Symbol(Sym::Eq)) => Some(SqlCmp::Eq),
+            Some(Token::Symbol(Sym::NotEq)) => Some(SqlCmp::Ne),
+            Some(Token::Symbol(Sym::Lt)) => Some(SqlCmp::Lt),
+            Some(Token::Symbol(Sym::Le)) => Some(SqlCmp::Le),
+            Some(Token::Symbol(Sym::Gt)) => Some(SqlCmp::Gt),
+            Some(Token::Symbol(Sym::Ge)) => Some(SqlCmp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.additive()?;
+            return Ok(SqlExpr::Cmp(op, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = if self.eat_sym(Sym::Plus) {
+                SqlArith::Add
+            } else if self.eat_sym(Sym::Minus) {
+                SqlArith::Sub
+            } else {
+                break;
+            };
+            let rhs = self.multiplicative()?;
+            lhs = SqlExpr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = if self.eat_sym(Sym::Star) {
+                SqlArith::Mul
+            } else if self.eat_sym(Sym::Slash) {
+                SqlArith::Div
+            } else {
+                break;
+            };
+            let rhs = self.unary()?;
+            lhs = SqlExpr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<SqlExpr, ParseError> {
+        if self.eat_sym(Sym::Minus) {
+            let e = self.unary()?;
+            // Constant-fold negative literals; otherwise 0 - e.
+            return Ok(match e {
+                SqlExpr::Literal(Value::Int(i)) => SqlExpr::Literal(Value::Int(-i)),
+                SqlExpr::Literal(Value::Float(f)) => SqlExpr::Literal(Value::Float(-f)),
+                other => SqlExpr::Arith(
+                    SqlArith::Sub,
+                    Box::new(SqlExpr::Literal(Value::Int(0))),
+                    Box::new(other),
+                ),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<SqlExpr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Value::Int(i)))
+            }
+            Some(Token::Float(f)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Value::Float(f)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Value::from(s)))
+            }
+            Some(Token::Symbol(Sym::LParen)) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_sym(Sym::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Token::Word(w)) => self.word_primary(&w),
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+
+    fn word_primary(&mut self, w: &str) -> Result<SqlExpr, ParseError> {
+        let upper = w.to_ascii_uppercase();
+        match upper.as_str() {
+            "TRUE" => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Value::Bool(true)))
+            }
+            "FALSE" => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Value::Bool(false)))
+            }
+            "NULL" => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Value::Null))
+            }
+            "DATE" => {
+                self.pos += 1;
+                match self.next() {
+                    Some(Token::Str(s)) => parse_date(&s)
+                        .map(SqlExpr::Literal)
+                        .ok_or_else(|| ParseError::Unexpected {
+                            found: format!("'{s}'"),
+                            expected: "a DATE 'yyyy-mm-dd' literal".into(),
+                        }),
+                    _ => Err(self.unexpected("a string after DATE")),
+                }
+            }
+            "CASE" => {
+                self.pos += 1;
+                let mut branches = Vec::new();
+                while self.eat_kw("WHEN") {
+                    let cond = self.expr()?;
+                    self.expect_kw("THEN")?;
+                    let result = self.expr()?;
+                    branches.push((cond, result));
+                }
+                if branches.is_empty() {
+                    return Err(self.unexpected("WHEN after CASE"));
+                }
+                let else_expr = if self.eat_kw("ELSE") {
+                    Some(Box::new(self.expr()?))
+                } else {
+                    None
+                };
+                self.expect_kw("END")?;
+                Ok(SqlExpr::Case {
+                    branches,
+                    else_expr,
+                })
+            }
+            "COUNT" | "SUM" | "MIN" | "MAX" | "AVG" => {
+                let func = match upper.as_str() {
+                    "COUNT" => AggName::Count,
+                    "SUM" => AggName::Sum,
+                    "MIN" => AggName::Min,
+                    "MAX" => AggName::Max,
+                    _ => AggName::Avg,
+                };
+                self.pos += 1;
+                self.expect_sym(Sym::LParen, "'(' after aggregate")?;
+                if func == AggName::Count && self.eat_sym(Sym::Star) {
+                    self.expect_sym(Sym::RParen, "')'")?;
+                    return Ok(SqlExpr::Aggregate {
+                        func,
+                        distinct: false,
+                        arg: None,
+                    });
+                }
+                let distinct = self.eat_kw("DISTINCT");
+                let arg = self.expr()?;
+                self.expect_sym(Sym::RParen, "')'")?;
+                Ok(SqlExpr::Aggregate {
+                    func,
+                    distinct,
+                    arg: Some(Box::new(arg)),
+                })
+            }
+            _ => {
+                // Column reference: ident or ident.ident.
+                let first = self.ident()?;
+                if self.eat_sym(Sym::Dot) {
+                    let col = self.ident()?;
+                    Ok(SqlExpr::Column {
+                        table: Some(first),
+                        column: col,
+                    })
+                } else {
+                    Ok(SqlExpr::Column {
+                        table: None,
+                        column: first,
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Keywords that terminate identifiers/aliases.
+fn is_reserved(w: &str) -> bool {
+    matches!(
+        w.to_ascii_uppercase().as_str(),
+        "SELECT"
+            | "FROM"
+            | "WHERE"
+            | "GROUP"
+            | "BY"
+            | "HAVING"
+            | "ORDER"
+            | "LIMIT"
+            | "AND"
+            | "OR"
+            | "NOT"
+            | "AS"
+            | "ON"
+            | "JOIN"
+            | "INNER"
+            | "IN"
+            | "IS"
+            | "NULL"
+            | "BETWEEN"
+            | "LIKE"
+            | "CASE"
+            | "WHEN"
+            | "THEN"
+            | "ELSE"
+            | "END"
+            | "ASC"
+            | "DESC"
+            | "DATE"
+            | "TRUE"
+            | "FALSE"
+            | "COUNT"
+            | "SUM"
+            | "MIN"
+            | "MAX"
+            | "AVG"
+            | "DISTINCT"
+    )
+}
+
+/// Parses `yyyy-mm-dd`.
+fn parse_date(s: &str) -> Option<Value> {
+    let mut parts = s.split('-');
+    let y: i32 = parts.next()?.parse().ok()?;
+    let m: u32 = parts.next()?.parse().ok()?;
+    let d: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some(Value::date(y, m, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_select() {
+        let q = parse("SELECT a, b FROM t WHERE a = 1").unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.from.len(), 1);
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn parses_joins_and_aliases() {
+        let q = parse(
+            "SELECT o.o_orderkey FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.from[0].binding(), "o");
+        assert_eq!(q.join_conditions.len(), 1);
+    }
+
+    #[test]
+    fn parses_aggregates_group_having_order_limit() {
+        let q = parse(
+            "SELECT k, COUNT(*) AS n, SUM(v * 2) FROM t GROUP BY k HAVING COUNT(*) > 3 \
+             ORDER BY n DESC, 1 ASC LIMIT 7",
+        )
+        .unwrap();
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+        assert_eq!(q.order_by.len(), 2);
+        assert_eq!(q.limit, Some(7));
+        assert!(q.select[1].expr.has_aggregate());
+        assert_eq!(q.select[1].alias.as_deref(), Some("n"));
+    }
+
+    #[test]
+    fn parses_predicates() {
+        let q = parse(
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 10 AND b IN ('x', 'y') \
+             AND c LIKE 'pre%' AND d IS NOT NULL AND NOT e = 3",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap().conjuncts();
+        assert_eq!(w.len(), 5);
+    }
+
+    #[test]
+    fn parses_date_and_case() {
+        let q = parse(
+            "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t \
+             WHERE d >= DATE '1994-01-01'",
+        )
+        .unwrap();
+        assert!(matches!(q.select[0].expr, SqlExpr::Case { .. }));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a + b * c parses as a + (b * c).
+        let q = parse("SELECT a + b * c FROM t").unwrap();
+        match &q.select[0].expr {
+            SqlExpr::Arith(SqlArith::Add, _, r) => {
+                assert!(matches!(**r, SqlExpr::Arith(SqlArith::Mul, _, _)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT a FROM t WHERE").is_err());
+        assert!(parse("SELECT a FROM t trailing junk +").is_err());
+        assert!(parse("SELECT a FROM t LIMIT x").is_err());
+    }
+
+    #[test]
+    fn count_distinct_and_star() {
+        let q = parse("SELECT COUNT(*), COUNT(DISTINCT a) FROM t").unwrap();
+        assert!(matches!(
+            q.select[0].expr,
+            SqlExpr::Aggregate {
+                func: AggName::Count,
+                arg: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            q.select[1].expr,
+            SqlExpr::Aggregate {
+                distinct: true,
+                ..
+            }
+        ));
+    }
+}

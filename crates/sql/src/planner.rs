@@ -1,0 +1,985 @@
+//! Query planner: binds a parsed [`Query`] against the catalog and emits
+//! a physical [`Plan`].
+//!
+//! The planning policy is deliberately the one the paper's analysis
+//! assumes of a commercial optimizer:
+//!
+//! * per-table filter conjuncts are pushed below the joins;
+//! * join order is greedy by estimated cardinality (single-relation
+//!   statistics, independence assumptions — the error-prone estimates the
+//!   paper's Section 7 discusses);
+//! * physical join choice mirrors Section 5.4's dichotomy: **index nested
+//!   loops** when the inner side is a base table with a matching index and
+//!   the outer side is estimated much smaller; **hash join** (build =
+//!   smaller side) otherwise, keeping plans scan-based where possible;
+//! * joins on a side whose key carries a unique index are flagged
+//!   *linear*, which is exactly the metadata the `pmax`/`safe` bound
+//!   rules exploit.
+
+use crate::ast::*;
+use crate::parser::ParseError;
+use qp_exec::expr::{AggExpr, ArithOp, CmpOp, Expr, LikePattern};
+use qp_exec::plan::{JoinType, Plan, PlanBuilder};
+use qp_stats::DbStats;
+use qp_storage::{Database, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Planning errors.
+#[derive(Debug)]
+pub enum PlanError {
+    Parse(ParseError),
+    /// Name resolution / semantic errors.
+    Semantic(String),
+    Exec(qp_exec::ExecError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Parse(e) => write!(f, "parse error: {e}"),
+            PlanError::Semantic(m) => write!(f, "semantic error: {m}"),
+            PlanError::Exec(e) => write!(f, "planning error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<qp_exec::ExecError> for PlanError {
+    fn from(e: qp_exec::ExecError) -> PlanError {
+        PlanError::Exec(e)
+    }
+}
+
+fn sem(msg: impl Into<String>) -> PlanError {
+    PlanError::Semantic(msg.into())
+}
+
+/// Column resolver: `(table qualifier, column name)` → joined-schema
+/// position.
+type Resolver<'r> = dyn FnMut(&Option<String>, &str) -> Result<usize, PlanError> + 'r;
+
+/// Map binding → `(column offset, arity)` in the joined schema.
+type Offsets = HashMap<String, (usize, usize)>;
+
+/// Plans a bound query.
+pub fn plan_query(q: &Query, db: &Database, stats: &DbStats) -> Result<Plan, PlanError> {
+    Planner { q, db, stats }.plan()
+}
+
+/// One bound FROM table.
+struct Bound {
+    binding: String,
+    table: String,
+    schema: qp_storage::Schema,
+    /// Filter conjuncts local to this table (in table-local coordinates).
+    filters: Vec<Expr>,
+    /// Estimated rows after local filters.
+    est: f64,
+}
+
+/// An equi-join edge between two bound tables.
+struct JoinEdge {
+    left: usize,
+    right: usize,
+    /// Table-local key columns.
+    left_col: usize,
+    right_col: usize,
+}
+
+struct Planner<'a> {
+    q: &'a Query,
+    db: &'a Database,
+    stats: &'a DbStats,
+}
+
+impl Planner<'_> {
+    fn plan(&self) -> Result<Plan, PlanError> {
+        let mut bound = self.bind_tables()?;
+        let (edges, residuals) = self.classify_predicates(&mut bound)?;
+        self.estimate_tables(&mut bound);
+        let (builder, offsets) = self.join_tables(bound, edges)?;
+        let builder = self.apply_residuals(builder, &offsets, residuals)?;
+        self.finish(builder, &offsets)
+    }
+
+    // ---- binding ----
+
+    fn bind_tables(&self) -> Result<Vec<Bound>, PlanError> {
+        if self.q.from.is_empty() {
+            return Err(sem("FROM clause is empty"));
+        }
+        let mut bound = Vec::with_capacity(self.q.from.len());
+        let mut seen = std::collections::HashSet::new();
+        for t in &self.q.from {
+            if !seen.insert(t.binding().to_string()) {
+                return Err(sem(format!("duplicate table binding {}", t.binding())));
+            }
+            let table = self
+                .db
+                .table(&t.table)
+                .map_err(|e| sem(format!("unknown table {}: {e}", t.table)))?;
+            bound.push(Bound {
+                binding: t.binding().to_string(),
+                table: t.table.clone(),
+                schema: table.schema().clone(),
+                filters: Vec::new(),
+                est: table.len() as f64,
+            });
+        }
+        Ok(bound)
+    }
+
+    /// Resolves a column reference to `(table index, column index)`.
+    fn resolve(
+        &self,
+        bound: &[Bound],
+        table: &Option<String>,
+        column: &str,
+    ) -> Result<(usize, usize), PlanError> {
+        match table {
+            Some(t) => {
+                let ti = bound
+                    .iter()
+                    .position(|b| b.binding.eq_ignore_ascii_case(t))
+                    .ok_or_else(|| sem(format!("unknown table binding {t}")))?;
+                let ci = bound[ti]
+                    .schema
+                    .index_of(column)
+                    .map_err(|_| sem(format!("no column {column} in {t}")))?;
+                Ok((ti, ci))
+            }
+            None => {
+                let mut hit = None;
+                for (ti, b) in bound.iter().enumerate() {
+                    if let Ok(ci) = b.schema.index_of(column) {
+                        if hit.is_some() {
+                            return Err(sem(format!("ambiguous column {column}")));
+                        }
+                        hit = Some((ti, ci));
+                    }
+                }
+                hit.ok_or_else(|| sem(format!("unknown column {column}")))
+            }
+        }
+    }
+
+    /// Which tables an expression touches.
+    fn tables_of(&self, bound: &[Bound], e: &SqlExpr, out: &mut Vec<usize>) -> Result<(), PlanError> {
+        match e {
+            SqlExpr::Column { table, column } => {
+                let (ti, _) = self.resolve(bound, table, column)?;
+                if !out.contains(&ti) {
+                    out.push(ti);
+                }
+                Ok(())
+            }
+            SqlExpr::Literal(_) => Ok(()),
+            SqlExpr::Cmp(_, l, r) | SqlExpr::Arith(_, l, r) => {
+                self.tables_of(bound, l, out)?;
+                self.tables_of(bound, r, out)
+            }
+            SqlExpr::And(xs) | SqlExpr::Or(xs) => {
+                for x in xs {
+                    self.tables_of(bound, x, out)?;
+                }
+                Ok(())
+            }
+            SqlExpr::Not(x) | SqlExpr::IsNull { expr: x, .. } | SqlExpr::Like { expr: x, .. } => {
+                self.tables_of(bound, x, out)
+            }
+            SqlExpr::Between { expr, lo, hi, .. } => {
+                self.tables_of(bound, expr, out)?;
+                self.tables_of(bound, lo, out)?;
+                self.tables_of(bound, hi, out)
+            }
+            SqlExpr::InList { expr, list, .. } => {
+                self.tables_of(bound, expr, out)?;
+                for x in list {
+                    self.tables_of(bound, x, out)?;
+                }
+                Ok(())
+            }
+            SqlExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, r) in branches {
+                    self.tables_of(bound, c, out)?;
+                    self.tables_of(bound, r, out)?;
+                }
+                if let Some(e) = else_expr {
+                    self.tables_of(bound, e, out)?;
+                }
+                Ok(())
+            }
+            SqlExpr::Aggregate { .. } => Err(sem("aggregates are not allowed in WHERE")),
+        }
+    }
+
+    /// Splits WHERE + ON conjuncts into per-table filters, equi-join
+    /// edges, and residual (multi-table) predicates.
+    #[allow(clippy::type_complexity)]
+    fn classify_predicates(
+        &self,
+        bound: &mut [Bound],
+    ) -> Result<(Vec<JoinEdge>, Vec<SqlExpr>), PlanError> {
+        let mut conjuncts: Vec<SqlExpr> = Vec::new();
+        if let Some(w) = &self.q.where_clause {
+            conjuncts.extend(w.clone().conjuncts());
+        }
+        for jc in &self.q.join_conditions {
+            conjuncts.extend(jc.clone().conjuncts());
+        }
+        let mut edges = Vec::new();
+        let mut residuals = Vec::new();
+        for c in conjuncts {
+            let mut tables = Vec::new();
+            self.tables_of(bound, &c, &mut tables)?;
+            match tables.len() {
+                0 | 1 => {
+                    // Constant predicates ride along on the first table.
+                    let ti = tables.first().copied().unwrap_or(0);
+                    let local =
+                        self.lower(&c, &mut |t, col| {
+                            let (tt, ci) = self.resolve(bound, t, col)?;
+                            debug_assert_eq!(tt, ti);
+                            Ok(ci)
+                        })?;
+                    bound[ti].filters.push(local);
+                }
+                2 => {
+                    // Equi-join edge if it's column = column; residual
+                    // otherwise.
+                    if let SqlExpr::Cmp(SqlCmp::Eq, l, r) = &c {
+                        if let (
+                            SqlExpr::Column {
+                                table: lt,
+                                column: lc,
+                            },
+                            SqlExpr::Column {
+                                table: rt,
+                                column: rc,
+                            },
+                        ) = (l.as_ref(), r.as_ref())
+                        {
+                            let (lti, lci) = self.resolve(bound, lt, lc)?;
+                            let (rti, rci) = self.resolve(bound, rt, rc)?;
+                            if lti != rti {
+                                edges.push(JoinEdge {
+                                    left: lti,
+                                    right: rti,
+                                    left_col: lci,
+                                    right_col: rci,
+                                });
+                                continue;
+                            }
+                        }
+                    }
+                    residuals.push(c);
+                }
+                _ => residuals.push(c),
+            }
+        }
+        Ok((edges, residuals))
+    }
+
+    /// Crude selectivity-based cardinality estimates for join ordering.
+    fn estimate_tables(&self, bound: &mut [Bound]) {
+        for b in bound {
+            let mut est = b.est;
+            if let Some(ts) = self.stats.table(&b.table) {
+                let origins: Vec<Option<(String, usize)>> = (0..b.schema.arity())
+                    .map(|i| Some((b.table.clone(), i)))
+                    .collect();
+                let _ = ts;
+                for f in &b.filters {
+                    est *= qp_exec::estimate::selectivity(f, &origins, self.stats);
+                }
+            } else {
+                est *= 0.33f64.powi(b.filters.len() as i32);
+            }
+            b.est = est.max(1.0);
+        }
+    }
+
+    /// Builds the scan(+filter) leaf for one bound table.
+    fn leaf(&self, b: &Bound) -> Result<PlanBuilder, PlanError> {
+        let mut builder = PlanBuilder::scan(self.db, &b.table)?;
+        if !b.filters.is_empty() {
+            let pred = if b.filters.len() == 1 {
+                b.filters[0].clone()
+            } else {
+                Expr::And(b.filters.clone())
+            };
+            builder = builder.filter(pred);
+        }
+        Ok(builder)
+    }
+
+    /// Greedy join-order + physical operator selection. Returns the plan
+    /// builder and the offset of each bound table's columns in the joined
+    /// schema (`None` while not yet joined — all are `Some` on return).
+    fn join_tables(
+        &self,
+        bound: Vec<Bound>,
+        edges: Vec<JoinEdge>,
+    ) -> Result<(PlanBuilder, Offsets), PlanError> {
+        let n = bound.len();
+        // Start from the smallest table.
+        let first = (0..n)
+            .min_by(|&a, &b| {
+                bound[a]
+                    .est
+                    .partial_cmp(&bound[b].est)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("FROM is non-empty");
+        let mut builder = self.leaf(&bound[first])?;
+        let mut joined = vec![false; n];
+        joined[first] = true;
+        // binding -> (column offset, arity) in the current joined schema.
+        let mut offsets: HashMap<String, (usize, usize)> = HashMap::new();
+        offsets.insert(
+            bound[first].binding.clone(),
+            (0, bound[first].schema.arity()),
+        );
+        let mut current_est = bound[first].est;
+
+        for _ in 1..n {
+            // Candidate: an unjoined table connected by an edge to the
+            // joined set; otherwise the smallest unjoined (cross join).
+            let mut best: Option<(usize, Vec<(usize, usize)>)> = None;
+            for (ti, b) in bound.iter().enumerate() {
+                if joined[ti] {
+                    continue;
+                }
+                // Collect keys: (offset-in-current, local col of ti).
+                let keys: Vec<(usize, usize)> = edges
+                    .iter()
+                    .filter_map(|e| {
+                        if e.left == ti && joined[e.right] {
+                            let (off, _) = offsets[&bound[e.right].binding];
+                            Some((off + e.right_col, e.left_col))
+                        } else if e.right == ti && joined[e.left] {
+                            let (off, _) = offsets[&bound[e.left].binding];
+                            Some((off + e.left_col, e.right_col))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                let connected = !keys.is_empty();
+                let better = match &best {
+                    None => true,
+                    Some((bi, bkeys)) => {
+                        let best_connected = !bkeys.is_empty();
+                        match (connected, best_connected) {
+                            (true, false) => true,
+                            (false, true) => false,
+                            _ => b.est < bound[*bi].est,
+                        }
+                    }
+                };
+                if better {
+                    best = Some((ti, keys));
+                }
+            }
+            let (ti, keys) = best.expect("an unjoined table remains");
+            let b = &bound[ti];
+
+            if keys.is_empty() {
+                // Cross join: naive nested loops with a TRUE predicate.
+                let inner = self.leaf(b)?;
+                let outer_arity = schema_arity(&builder);
+                builder = builder.nl_join(
+                    inner,
+                    Expr::Lit(Value::Bool(true)),
+                    JoinType::Inner,
+                    false,
+                );
+                offsets.insert(b.binding.clone(), (outer_arity, b.schema.arity()));
+                current_est *= b.est;
+            } else {
+                let outer_keys: Vec<usize> = keys.iter().map(|&(o, _)| o).collect();
+                let inner_keys: Vec<usize> = keys.iter().map(|&(_, i)| i).collect();
+                let inner_index = self.db.find_index_on(&b.table, &inner_keys);
+                let inner_unique = inner_index.as_ref().map(|ix| ix.unique).unwrap_or(false);
+                let outer_unique = false; // outer is a join tree, not a base table
+                let linear = inner_unique || outer_unique;
+                let use_inl = inner_index.is_some() && current_est <= 0.2 * b.est.max(1.0);
+                let outer_arity = schema_arity(&builder);
+                if let (true, Some(ix)) = (use_inl, inner_index) {
+                    // Inner filters ride as INLJ residuals (shifted onto
+                    // the concatenated schema).
+                    let residual = if b.filters.is_empty() {
+                        None
+                    } else {
+                        let shifted: Vec<Expr> = b
+                            .filters
+                            .iter()
+                            .map(|f| f.shift_columns(outer_arity))
+                            .collect();
+                        Some(if shifted.len() == 1 {
+                            shifted.into_iter().next().expect("one")
+                        } else {
+                            Expr::And(shifted)
+                        })
+                    };
+                    builder = builder.inl_join(
+                        self.db,
+                        &b.table,
+                        &ix.name,
+                        outer_keys,
+                        JoinType::Inner,
+                        linear,
+                        residual,
+                    )?;
+                } else {
+                    // Hash join with the smaller side as build.
+                    let other = self.leaf(b)?;
+                    if b.est <= current_est {
+                        // New table builds; current probes. The joined
+                        // schema becomes [new table ++ current], so all
+                        // existing offsets shift right.
+                        builder = other.hash_join(
+                            builder,
+                            inner_keys,
+                            outer_keys,
+                            JoinType::Inner,
+                            linear,
+                        );
+                        for (off, _) in offsets.values_mut() {
+                            *off += b.schema.arity();
+                        }
+                        offsets.insert(b.binding.clone(), (0, b.schema.arity()));
+                        joined[ti] = true;
+                        current_est = estimate_join(current_est, b.est);
+                        continue;
+                    } else {
+                        builder = builder.hash_join(
+                            other,
+                            outer_keys,
+                            inner_keys,
+                            JoinType::Inner,
+                            linear,
+                        );
+                    }
+                }
+                offsets.insert(b.binding.clone(), (outer_arity, b.schema.arity()));
+                current_est = estimate_join(current_est, b.est);
+            }
+            joined[ti] = true;
+        }
+        Ok((builder, offsets))
+    }
+
+    fn apply_residuals(
+        &self,
+        mut builder: PlanBuilder,
+        offsets: &Offsets,
+        residuals: Vec<SqlExpr>,
+    ) -> Result<PlanBuilder, PlanError> {
+        if residuals.is_empty() {
+            return Ok(builder);
+        }
+        let bound = self.rebound();
+        let lowered: Vec<Expr> = residuals
+            .iter()
+            .map(|r| {
+                self.lower(r, &mut |t, col| {
+                    let (ti, ci) = self.resolve(&bound, t, col)?;
+                    let (off, _) = offsets[&bound[ti].binding];
+                    Ok(off + ci)
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        builder = builder.filter(if lowered.len() == 1 {
+            lowered.into_iter().next().expect("one")
+        } else {
+            Expr::And(lowered)
+        });
+        Ok(builder)
+    }
+
+    /// Rebuilds the binding list (schemas only) for post-join resolution.
+    fn rebound(&self) -> Vec<Bound> {
+        self.q
+            .from
+            .iter()
+            .map(|t| {
+                let table = self.db.table(&t.table).expect("bound earlier");
+                Bound {
+                    binding: t.binding().to_string(),
+                    table: t.table.clone(),
+                    schema: table.schema().clone(),
+                    filters: Vec::new(),
+                    est: 0.0,
+                }
+            })
+            .collect()
+    }
+
+    // ---- SELECT / aggregation / ORDER BY ----
+
+    fn finish(
+        &self,
+        builder: PlanBuilder,
+        offsets: &Offsets,
+    ) -> Result<Plan, PlanError> {
+        let bound = self.rebound();
+        let mut joined_resolver = |t: &Option<String>, col: &str| -> Result<usize, PlanError> {
+            let (ti, ci) = self.resolve(&bound, t, col)?;
+            let (off, _) = offsets[&bound[ti].binding];
+            Ok(off + ci)
+        };
+
+        let has_aggs = !self.q.group_by.is_empty()
+            || self.q.select.iter().any(|s| s.expr.has_aggregate())
+            || self.q.having.as_ref().is_some_and(|h| h.has_aggregate());
+
+        let mut builder = builder;
+        let output_names: Vec<String> = self
+            .q
+            .select
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.alias.clone().unwrap_or_else(|| match &s.expr {
+                    SqlExpr::Column { column, .. } => column.clone(),
+                    _ => format!("col{i}"),
+                })
+            })
+            .collect();
+
+        if has_aggs {
+            // Group columns: must be plain column refs.
+            let mut group_cols = Vec::new();
+            for g in &self.q.group_by {
+                match g {
+                    SqlExpr::Column { table, column } => {
+                        group_cols.push((joined_resolver(table, column)?, g.clone()))
+                    }
+                    _ => return Err(sem("GROUP BY items must be plain columns")),
+                }
+            }
+            // Collect distinct aggregate calls from SELECT and HAVING.
+            let mut agg_calls: Vec<SqlExpr> = Vec::new();
+            for s in &self.q.select {
+                collect_aggs(&s.expr, &mut agg_calls);
+            }
+            if let Some(h) = &self.q.having {
+                collect_aggs(h, &mut agg_calls);
+            }
+            if agg_calls.is_empty() && self.q.group_by.is_empty() {
+                return Err(sem("aggregate query without aggregates"));
+            }
+            let lowered_aggs: Vec<AggExpr> = agg_calls
+                .iter()
+                .map(|a| self.lower_agg(a, &mut joined_resolver))
+                .collect::<Result<_, _>>()?;
+            let agg_names: Vec<String> = (0..lowered_aggs.len())
+                .map(|i| format!("agg{i}"))
+                .collect();
+            builder = builder.hash_aggregate(
+                group_cols.iter().map(|&(c, _)| c).collect(),
+                lowered_aggs
+                    .into_iter()
+                    .zip(agg_names.iter())
+                    .map(|(a, n)| (a, n.as_str()))
+                    .collect(),
+            );
+            // Post-agg resolution: group cols by their SQL form, aggregate
+            // calls by structural equality.
+            let n_groups = group_cols.len();
+            let post = |e: &SqlExpr| -> Result<Expr, PlanError> {
+                self.lower_post_agg(e, &group_cols, &agg_calls, n_groups)
+            };
+            if let Some(h) = &self.q.having {
+                let pred = post(h)?;
+                builder = builder.filter(pred);
+            }
+            let projections: Vec<(Expr, &str)> = self
+                .q
+                .select
+                .iter()
+                .zip(output_names.iter())
+                .map(|(s, n)| Ok((post(&s.expr)?, n.as_str())))
+                .collect::<Result<_, PlanError>>()?;
+            builder = builder.project(projections);
+        } else {
+            let projections: Vec<(Expr, &str)> = self
+                .q
+                .select
+                .iter()
+                .zip(output_names.iter())
+                .map(|(s, n)| {
+                    Ok((
+                        self.lower(&s.expr, &mut |t, c| joined_resolver(t, c))?,
+                        n.as_str(),
+                    ))
+                })
+                .collect::<Result<_, PlanError>>()?;
+            builder = builder.project(projections);
+        }
+
+        // ORDER BY over the projected output.
+        if !self.q.order_by.is_empty() {
+            let mut keys = Vec::new();
+            for (k, asc) in &self.q.order_by {
+                let col = match k {
+                    OrderKey::Position(p) => {
+                        if *p == 0 || *p > output_names.len() {
+                            return Err(sem(format!("ORDER BY position {p} out of range")));
+                        }
+                        p - 1
+                    }
+                    OrderKey::Expr(SqlExpr::Column { table: None, column }) => {
+                        // Alias or output column name.
+                        output_names
+                            .iter()
+                            .position(|n| n.eq_ignore_ascii_case(column))
+                            .ok_or_else(|| {
+                                sem(format!("ORDER BY column {column} is not in the output"))
+                            })?
+                    }
+                    OrderKey::Expr(e) => {
+                        // Expression equal to a select item.
+                        self.q
+                            .select
+                            .iter()
+                            .position(|s| &s.expr == e)
+                            .ok_or_else(|| {
+                                sem("ORDER BY expression must appear in the select list")
+                            })?
+                    }
+                };
+                keys.push((col, *asc));
+            }
+            builder = builder.sort(keys);
+        }
+        if let Some(n) = self.q.limit {
+            builder = builder.limit(n);
+        }
+        Ok(builder.build())
+    }
+
+    /// Lowers a scalar (non-aggregate) expression with a column resolver.
+    fn lower(
+        &self,
+        e: &SqlExpr,
+        resolve: &mut Resolver<'_>,
+    ) -> Result<Expr, PlanError> {
+        Ok(match e {
+            SqlExpr::Column { table, column } => Expr::Col(resolve(table, column)?),
+            SqlExpr::Literal(v) => Expr::Lit(v.clone()),
+            SqlExpr::Cmp(op, l, r) => Expr::cmp(
+                lower_cmp(*op),
+                self.lower(l, resolve)?,
+                self.lower(r, resolve)?,
+            ),
+            SqlExpr::Arith(op, l, r) => Expr::arith(
+                lower_arith(*op),
+                self.lower(l, resolve)?,
+                self.lower(r, resolve)?,
+            ),
+            SqlExpr::And(xs) => Expr::And(
+                xs.iter()
+                    .map(|x| self.lower(x, resolve))
+                    .collect::<Result<_, _>>()?,
+            ),
+            SqlExpr::Or(xs) => Expr::Or(
+                xs.iter()
+                    .map(|x| self.lower(x, resolve))
+                    .collect::<Result<_, _>>()?,
+            ),
+            SqlExpr::Not(x) => Expr::Not(Box::new(self.lower(x, resolve)?)),
+            SqlExpr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(self.lower(expr, resolve)?),
+                negated: *negated,
+            },
+            SqlExpr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => {
+                let lo = const_value(lo).ok_or_else(|| sem("BETWEEN bounds must be literals"))?;
+                let hi = const_value(hi).ok_or_else(|| sem("BETWEEN bounds must be literals"))?;
+                let b = Expr::Between(Box::new(self.lower(expr, resolve)?), lo, hi);
+                if *negated {
+                    Expr::Not(Box::new(b))
+                } else {
+                    b
+                }
+            }
+            SqlExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let vals: Vec<Value> = list
+                    .iter()
+                    .map(|x| const_value(x).ok_or_else(|| sem("IN list items must be literals")))
+                    .collect::<Result<_, _>>()?;
+                let i = Expr::InList(Box::new(self.lower(expr, resolve)?), vals);
+                if *negated {
+                    Expr::Not(Box::new(i))
+                } else {
+                    i
+                }
+            }
+            SqlExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let pat = lower_like(pattern)?;
+                let l = Expr::Like(Box::new(self.lower(expr, resolve)?), pat);
+                if *negated {
+                    Expr::Not(Box::new(l))
+                } else {
+                    l
+                }
+            }
+            SqlExpr::Case {
+                branches,
+                else_expr,
+            } => Expr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, r)| Ok((self.lower(c, resolve)?, self.lower(r, resolve)?)))
+                    .collect::<Result<_, PlanError>>()?,
+                else_expr: match else_expr {
+                    Some(e) => Some(Box::new(self.lower(e, resolve)?)),
+                    None => None,
+                },
+            },
+            SqlExpr::Aggregate { .. } => {
+                return Err(sem("aggregate used where a scalar expression is required"))
+            }
+        })
+    }
+
+    fn lower_agg(
+        &self,
+        e: &SqlExpr,
+        resolve: &mut Resolver<'_>,
+    ) -> Result<AggExpr, PlanError> {
+        let SqlExpr::Aggregate {
+            func,
+            distinct,
+            arg,
+        } = e
+        else {
+            return Err(sem("expected an aggregate"));
+        };
+        let arg = match arg {
+            Some(a) => Some(self.lower(a, resolve)?),
+            None => None,
+        };
+        Ok(match (func, distinct, arg) {
+            (AggName::Count, false, None) => AggExpr::count_star(),
+            (AggName::Count, false, Some(a)) => AggExpr::count(a),
+            (AggName::Count, true, Some(a)) => AggExpr::count_distinct(a),
+            (AggName::Sum, false, Some(a)) => AggExpr::sum(a),
+            (AggName::Min, false, Some(a)) => AggExpr::min(a),
+            (AggName::Max, false, Some(a)) => AggExpr::max(a),
+            (AggName::Avg, false, Some(a)) => AggExpr::avg(a),
+            (_, true, _) => return Err(sem("DISTINCT is only supported with COUNT")),
+            _ => return Err(sem("malformed aggregate")),
+        })
+    }
+
+    /// Lowers a post-aggregation expression: group columns map to their
+    /// position, aggregate calls to their output column.
+    fn lower_post_agg(
+        &self,
+        e: &SqlExpr,
+        group_cols: &[(usize, SqlExpr)],
+        agg_calls: &[SqlExpr],
+        n_groups: usize,
+    ) -> Result<Expr, PlanError> {
+        // Aggregate call → its output column.
+        if let Some(pos) = agg_calls.iter().position(|a| a == e) {
+            return Ok(Expr::Col(n_groups + pos));
+        }
+        // Group column (by SQL structural equality) → its position.
+        if let Some(pos) = group_cols.iter().position(|(_, g)| g == e) {
+            return Ok(Expr::Col(pos));
+        }
+        match e {
+            SqlExpr::Column { column, .. } => {
+                // Allow unqualified references to a qualified group column.
+                if let Some(pos) = group_cols.iter().position(|(_, g)| {
+                    matches!(g, SqlExpr::Column { column: gc, .. } if gc.eq_ignore_ascii_case(column))
+                }) {
+                    return Ok(Expr::Col(pos));
+                }
+                Err(sem(format!(
+                    "column {column} must appear in GROUP BY or inside an aggregate"
+                )))
+            }
+            SqlExpr::Literal(v) => Ok(Expr::Lit(v.clone())),
+            SqlExpr::Cmp(op, l, r) => Ok(Expr::cmp(
+                lower_cmp(*op),
+                self.lower_post_agg(l, group_cols, agg_calls, n_groups)?,
+                self.lower_post_agg(r, group_cols, agg_calls, n_groups)?,
+            )),
+            SqlExpr::Arith(op, l, r) => Ok(Expr::arith(
+                lower_arith(*op),
+                self.lower_post_agg(l, group_cols, agg_calls, n_groups)?,
+                self.lower_post_agg(r, group_cols, agg_calls, n_groups)?,
+            )),
+            SqlExpr::And(xs) => Ok(Expr::And(
+                xs.iter()
+                    .map(|x| self.lower_post_agg(x, group_cols, agg_calls, n_groups))
+                    .collect::<Result<_, _>>()?,
+            )),
+            SqlExpr::Or(xs) => Ok(Expr::Or(
+                xs.iter()
+                    .map(|x| self.lower_post_agg(x, group_cols, agg_calls, n_groups))
+                    .collect::<Result<_, _>>()?,
+            )),
+            SqlExpr::Not(x) => Ok(Expr::Not(Box::new(self.lower_post_agg(
+                x, group_cols, agg_calls, n_groups,
+            )?))),
+            SqlExpr::Case {
+                branches,
+                else_expr,
+            } => Ok(Expr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, r)| {
+                        Ok((
+                            self.lower_post_agg(c, group_cols, agg_calls, n_groups)?,
+                            self.lower_post_agg(r, group_cols, agg_calls, n_groups)?,
+                        ))
+                    })
+                    .collect::<Result<_, PlanError>>()?,
+                else_expr: match else_expr {
+                    Some(x) => Some(Box::new(self.lower_post_agg(
+                        x, group_cols, agg_calls, n_groups,
+                    )?)),
+                    None => None,
+                },
+            }),
+            other => Err(sem(format!(
+                "unsupported expression after aggregation: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Output arity of a builder's current root.
+fn schema_arity(b: &PlanBuilder) -> usize {
+    b.schema().arity()
+}
+
+/// Containment-style join cardinality guess for ordering decisions.
+fn estimate_join(a: f64, b: f64) -> f64 {
+    // Without key knowledge here, assume the join is roughly linear: the
+    // larger side's cardinality (keeps greedy ordering stable).
+    a.max(b)
+}
+
+fn lower_cmp(op: SqlCmp) -> CmpOp {
+    match op {
+        SqlCmp::Eq => CmpOp::Eq,
+        SqlCmp::Ne => CmpOp::Ne,
+        SqlCmp::Lt => CmpOp::Lt,
+        SqlCmp::Le => CmpOp::Le,
+        SqlCmp::Gt => CmpOp::Gt,
+        SqlCmp::Ge => CmpOp::Ge,
+    }
+}
+
+fn lower_arith(op: SqlArith) -> ArithOp {
+    match op {
+        SqlArith::Add => ArithOp::Add,
+        SqlArith::Sub => ArithOp::Sub,
+        SqlArith::Mul => ArithOp::Mul,
+        SqlArith::Div => ArithOp::Div,
+    }
+}
+
+/// Lowers a LIKE pattern to the supported shapes.
+fn lower_like(pattern: &str) -> Result<LikePattern, PlanError> {
+    let starts = pattern.starts_with('%');
+    let ends = pattern.ends_with('%');
+    let trimmed = pattern.trim_matches('%');
+    if trimmed.contains('%') || trimmed.contains('_') {
+        return Err(sem(format!(
+            "unsupported LIKE pattern {pattern:?} (only 'p%', '%s', '%i%' shapes)"
+        )));
+    }
+    Ok(match (starts, ends) {
+        (true, true) => LikePattern::Contains(trimmed.to_string()),
+        (true, false) => LikePattern::EndsWith(trimmed.to_string()),
+        (false, true) => LikePattern::StartsWith(trimmed.to_string()),
+        (false, false) => {
+            // No wildcard: exact match — model as contains of the whole
+            // string bracketed by start+end. StartsWith+EndsWith of the
+            // same string is equality for our purposes only if lengths
+            // match; be conservative and reject.
+            return Err(sem(format!(
+                "LIKE without wildcards ({pattern:?}); use = instead"
+            )));
+        }
+    })
+}
+
+fn const_value(e: &SqlExpr) -> Option<Value> {
+    match e {
+        SqlExpr::Literal(v) => Some(v.clone()),
+        _ => None,
+    }
+}
+
+/// Collects aggregate calls (deduplicated, in first-appearance order).
+fn collect_aggs(e: &SqlExpr, out: &mut Vec<SqlExpr>) {
+    match e {
+        SqlExpr::Aggregate { .. } => {
+            if !out.contains(e) {
+                out.push(e.clone());
+            }
+        }
+        SqlExpr::Column { .. } | SqlExpr::Literal(_) => {}
+        SqlExpr::Cmp(_, l, r) | SqlExpr::Arith(_, l, r) => {
+            collect_aggs(l, out);
+            collect_aggs(r, out);
+        }
+        SqlExpr::And(xs) | SqlExpr::Or(xs) => {
+            for x in xs {
+                collect_aggs(x, out);
+            }
+        }
+        SqlExpr::Not(x) | SqlExpr::IsNull { expr: x, .. } | SqlExpr::Like { expr: x, .. } => {
+            collect_aggs(x, out)
+        }
+        SqlExpr::Between { expr, lo, hi, .. } => {
+            collect_aggs(expr, out);
+            collect_aggs(lo, out);
+            collect_aggs(hi, out);
+        }
+        SqlExpr::InList { expr, list, .. } => {
+            collect_aggs(expr, out);
+            for x in list {
+                collect_aggs(x, out);
+            }
+        }
+        SqlExpr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (c, r) in branches {
+                collect_aggs(c, out);
+                collect_aggs(r, out);
+            }
+            if let Some(x) = else_expr {
+                collect_aggs(x, out);
+            }
+        }
+    }
+}

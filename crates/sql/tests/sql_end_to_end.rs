@@ -1,0 +1,249 @@
+//! End-to-end SQL tests: parse → plan → execute, checked against naive
+//! recomputation and hand-built plans.
+
+use qp_datagen::{TpchConfig, TpchDb};
+use qp_exec::run_query;
+use qp_sql::sql_to_plan;
+use qp_stats::DbStats;
+use qp_storage::{ColumnType, Database, Row, Schema, Value};
+
+fn small_db() -> (Database, DbStats) {
+    let mut db = Database::new();
+    db.create_table_with_rows(
+        "t",
+        Schema::of(&[("a", ColumnType::Int), ("b", ColumnType::Int), ("s", ColumnType::Str)]),
+        (0..100).map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(i % 10),
+                Value::str(format!("name{}", i % 4)),
+            ]
+        }),
+    )
+    .unwrap();
+    db.create_table_with_rows(
+        "u",
+        Schema::of(&[("x", ColumnType::Int), ("y", ColumnType::Int)]),
+        (0..50).map(|i| vec![Value::Int(i), Value::Int(i % 5)]),
+    )
+    .unwrap();
+    db.create_index("u_x", "u", &["x"], true).unwrap();
+    let stats = DbStats::build(&db);
+    (db, stats)
+}
+
+fn run_sql(sql: &str, db: &Database, stats: &DbStats) -> Vec<Row> {
+    let plan = sql_to_plan(sql, db, stats).unwrap_or_else(|e| panic!("{sql}: {e}"));
+    run_query(&plan, db, None).unwrap().0.rows
+}
+
+#[test]
+fn select_with_filter_and_projection() {
+    let (db, stats) = small_db();
+    let rows = run_sql("SELECT a, b * 2 AS dbl FROM t WHERE a < 5", &db, &stats);
+    assert_eq!(rows.len(), 5);
+    assert_eq!(rows[0].arity(), 2);
+    for r in &rows {
+        let a = r.get(0).as_i64().unwrap();
+        assert!(a < 5);
+        assert_eq!(r.get(1).as_i64().unwrap(), (a % 10) * 2);
+    }
+}
+
+#[test]
+fn equi_join_matches_hand_built_plan() {
+    let (db, stats) = small_db();
+    let rows = run_sql(
+        "SELECT t.a, u.y FROM t, u WHERE t.a = u.x AND u.y = 3",
+        &db,
+        &stats,
+    );
+    // u.x in 0..50, y = x % 5 == 3 → x ∈ {3, 8, ...} (10 values), each
+    // joining exactly one t row.
+    assert_eq!(rows.len(), 10);
+    for r in &rows {
+        assert_eq!(r.get(1), &Value::Int(3));
+    }
+}
+
+#[test]
+fn explicit_join_syntax_agrees_with_comma_syntax() {
+    let (db, stats) = small_db();
+    let a = run_sql("SELECT t.a FROM t JOIN u ON t.a = u.x", &db, &stats);
+    let b = run_sql("SELECT t.a FROM t, u WHERE t.a = u.x", &db, &stats);
+    let sorted = |mut v: Vec<Row>| {
+        v.sort();
+        v
+    };
+    assert_eq!(sorted(a), sorted(b));
+}
+
+#[test]
+fn group_by_having_order_limit() {
+    let (db, stats) = small_db();
+    let rows = run_sql(
+        "SELECT b, COUNT(*) AS n, SUM(a) AS total FROM t \
+         GROUP BY b HAVING COUNT(*) >= 10 ORDER BY total DESC LIMIT 3",
+        &db,
+        &stats,
+    );
+    assert_eq!(rows.len(), 3);
+    // Every b group has exactly 10 members; totals descend.
+    let totals: Vec<i64> = rows.iter().map(|r| r.get(2).as_i64().unwrap()).collect();
+    assert!(totals.windows(2).all(|w| w[0] >= w[1]));
+    // b = 9 has the largest sum (9 + 19 + ... + 99 = 540).
+    assert_eq!(rows[0].get(0), &Value::Int(9));
+    assert_eq!(rows[0].get(2), &Value::Int(540));
+}
+
+#[test]
+fn scalar_aggregates() {
+    let (db, stats) = small_db();
+    let rows = run_sql(
+        "SELECT COUNT(*), MIN(a), MAX(a), AVG(a), COUNT(DISTINCT b) FROM t",
+        &db,
+        &stats,
+    );
+    assert_eq!(rows.len(), 1);
+    let r = &rows[0];
+    assert_eq!(r.get(0), &Value::Int(100));
+    assert_eq!(r.get(1), &Value::Int(0));
+    assert_eq!(r.get(2), &Value::Int(99));
+    assert_eq!(r.get(3), &Value::Float(49.5));
+    assert_eq!(r.get(4), &Value::Int(10));
+}
+
+#[test]
+fn predicates_between_in_like_null_case() {
+    let (db, stats) = small_db();
+    let rows = run_sql(
+        "SELECT a FROM t WHERE a BETWEEN 10 AND 19 AND s LIKE 'name%' \
+         AND b IN (0, 1, 2, 3, 4) AND s IS NOT NULL",
+        &db,
+        &stats,
+    );
+    // a in 10..=19 with b = a%10 in 0..=4 → 5 rows.
+    assert_eq!(rows.len(), 5);
+
+    // CASE works in the select list.
+    let rows = run_sql(
+        "SELECT a, CASE WHEN a < 50 THEN 'low' ELSE 'high' END AS band FROM t WHERE a IN (10, 90)",
+        &db,
+        &stats,
+    );
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].get(1), &Value::str("low"));
+    assert_eq!(rows[1].get(1), &Value::str("high"));
+}
+
+#[test]
+fn case_in_group_by_is_rejected_cleanly() {
+    let (db, stats) = small_db();
+    let err = sql_to_plan(
+        "SELECT CASE WHEN a < 50 THEN 1 ELSE 0 END AS band, COUNT(*) FROM t GROUP BY band",
+        &db,
+        &stats,
+    );
+    assert!(err.is_err(), "non-column GROUP BY should be rejected");
+}
+
+#[test]
+fn semantic_errors_are_reported() {
+    let (db, stats) = small_db();
+    for bad in [
+        "SELECT nosuch FROM t",
+        "SELECT a FROM nosuchtable",
+        "SELECT a FROM t, u WHERE q = 1",
+        "SELECT t.a FROM t JOIN u ON t.a = u.x GROUP BY t.a HAVING b > 1", // b not grouped
+        "SELECT SUM(a) FROM t WHERE SUM(a) > 1", // aggregate in WHERE
+    ] {
+        assert!(sql_to_plan(bad, &db, &stats).is_err(), "accepted: {bad}");
+    }
+}
+
+#[test]
+fn planner_picks_inl_join_for_selective_outer() {
+    let (db, stats) = small_db();
+    // t filtered to one row (selective); u has a unique index on x → the
+    // planner should choose an index-nested-loops lookup.
+    let plan = sql_to_plan(
+        "SELECT t.a, u.y FROM t, u WHERE t.a = u.x AND t.a = 7",
+        &db,
+        &stats,
+    )
+    .unwrap();
+    assert!(
+        !plan.is_scan_based(),
+        "expected INLJ in:\n{}",
+        plan.display()
+    );
+    let (out, _) = run_query(&plan, &db, None).unwrap();
+    assert_eq!(out.rows.len(), 1);
+}
+
+#[test]
+fn planner_picks_hash_join_for_full_scans() {
+    let (db, stats) = small_db();
+    let plan = sql_to_plan("SELECT t.a FROM t, u WHERE t.a = u.x", &db, &stats).unwrap();
+    assert!(
+        plan.is_scan_based(),
+        "expected a hash join in:\n{}",
+        plan.display()
+    );
+}
+
+#[test]
+fn cross_join_works() {
+    let (db, stats) = small_db();
+    let rows = run_sql(
+        "SELECT t.a FROM t, u WHERE t.a < 2 AND u.x < 3",
+        &db,
+        &stats,
+    );
+    assert_eq!(rows.len(), 6); // 2 × 3 cross product
+}
+
+#[test]
+fn three_way_tpch_join_runs() {
+    let t = TpchDb::generate(TpchConfig {
+        scale: 0.002,
+        z: 1.0,
+        seed: 3,
+    });
+    let stats = DbStats::build(&t.db);
+    let rows = run_sql(
+        "SELECT n_name, COUNT(*) AS orders, SUM(o_totalprice) AS volume \
+         FROM customer, orders, nation \
+         WHERE c_custkey = o_custkey AND c_nationkey = n_nationkey \
+           AND o_orderdate >= DATE '1995-01-01' \
+         GROUP BY n_name ORDER BY volume DESC LIMIT 5",
+        &t.db,
+        &stats,
+    );
+    assert!(!rows.is_empty() && rows.len() <= 5);
+    let volumes: Vec<f64> = rows.iter().map(|r| r.get(2).as_f64().unwrap()).collect();
+    assert!(volumes.windows(2).all(|w| w[0] >= w[1]));
+}
+
+/// TPC-H Q6 via SQL must equal the hand-built plan's answer.
+#[test]
+fn sql_q6_matches_workload_plan() {
+    let t = TpchDb::generate(TpchConfig {
+        scale: 0.002,
+        z: 1.5,
+        seed: 9,
+    });
+    let stats = DbStats::build(&t.db);
+    let sql_rows = run_sql(
+        "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem \
+         WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+           AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24",
+        &t.db,
+        &stats,
+    );
+    let plan = qp_workloads::tpch_query(6, &t);
+    let hand = run_query(&plan, &t.db, None).unwrap().0.rows;
+    let a = sql_rows[0].get(0).as_f64().unwrap_or(0.0);
+    let b = hand[0].get(0).as_f64().unwrap_or(0.0);
+    assert!((a - b).abs() < a.abs() * 1e-9 + 1e-6, "{a} vs {b}");
+}

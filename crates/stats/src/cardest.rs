@@ -1,0 +1,219 @@
+//! Optimizer-style cardinality estimation.
+//!
+//! Classic System-R-style estimation: per-predicate selectivities from
+//! histograms, combined under the *independence assumption*, and join
+//! selectivity `1 / max(ndv(a), ndv(b))` under the *containment
+//! assumption*. The paper's position (Sections 2.5 and 7) is that these
+//! estimates carry **no guarantees** — errors compound multiplicatively
+//! through join trees [Ioannidis & Christodoulakis 1991] — which is exactly
+//! why the `pmax`/`safe` estimators maintain *bounds* instead. This module
+//! exists because:
+//!
+//! 1. the `dne` estimator needs per-pipeline work estimates to weight
+//!    pipelines of a complex plan (Section 4.1, following [5, 13]);
+//! 2. "just use the optimizer's `total(Q)` estimate" is the natural
+//!    baseline to compare the paper's estimators against.
+
+use crate::table_stats::TableStats;
+use qp_storage::Value;
+use std::ops::Bound;
+
+/// A summarized predicate over a single column, as seen by the cardinality
+/// estimator. The executor lowers its scalar expressions to these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredSpec {
+    /// `col = value`
+    Eq(usize, Value),
+    /// `col <> value`
+    NotEq(usize, Value),
+    /// `col` within the bounds
+    Range(usize, Bound<Value>, Bound<Value>),
+    /// `col IN (values)`
+    In(usize, Vec<Value>),
+    /// `col IS NULL`
+    IsNull(usize),
+    /// `col IS NOT NULL`
+    IsNotNull(usize),
+    /// A predicate the estimator cannot analyze; falls back to a default
+    /// selectivity (the traditional 1/3 for "unknown").
+    Opaque,
+}
+
+/// Default selectivity for predicates the estimator cannot analyze.
+pub const OPAQUE_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// Cardinality estimator over a table's statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct CardEstimator<'a> {
+    stats: &'a TableStats,
+}
+
+impl<'a> CardEstimator<'a> {
+    pub fn new(stats: &'a TableStats) -> CardEstimator<'a> {
+        CardEstimator { stats }
+    }
+
+    /// Selectivity of one predicate, in `[0, 1]`.
+    pub fn selectivity(&self, pred: &PredSpec) -> f64 {
+        let rows = self.stats.row_count as f64;
+        if rows == 0.0 {
+            return 0.0;
+        }
+        let sel = match pred {
+            PredSpec::Eq(col, v) => self.col(*col).histogram.estimate_eq(v) / rows,
+            PredSpec::NotEq(col, v) => {
+                1.0 - self.col(*col).histogram.estimate_eq(v) / rows
+                    - self.col(*col).null_count as f64 / rows
+            }
+            PredSpec::Range(col, lo, hi) => {
+                self.col(*col)
+                    .histogram
+                    .estimate_range(lo.as_ref(), hi.as_ref())
+                    / rows
+            }
+            PredSpec::In(col, vals) => {
+                vals.iter()
+                    .map(|v| self.col(*col).histogram.estimate_eq(v))
+                    .sum::<f64>()
+                    / rows
+            }
+            PredSpec::IsNull(col) => self.col(*col).null_count as f64 / rows,
+            PredSpec::IsNotNull(col) => 1.0 - self.col(*col).null_count as f64 / rows,
+            PredSpec::Opaque => OPAQUE_SELECTIVITY,
+        };
+        sel.clamp(0.0, 1.0)
+    }
+
+    /// Combined selectivity of a conjunction under independence.
+    pub fn conjunction_selectivity(&self, preds: &[PredSpec]) -> f64 {
+        preds.iter().map(|p| self.selectivity(p)).product()
+    }
+
+    /// Estimated output cardinality of filtering this table.
+    pub fn filter_cardinality(&self, preds: &[PredSpec]) -> f64 {
+        self.stats.row_count as f64 * self.conjunction_selectivity(preds)
+    }
+
+    fn col(&self, i: usize) -> &crate::table_stats::ColumnStats {
+        self.stats.column(i)
+    }
+}
+
+/// Estimated cardinality of an equi-join between two inputs, under the
+/// containment assumption: `|L| * |R| / max(ndv_l, ndv_r)`.
+///
+/// `left_rows`/`right_rows` may already reflect upstream filters; the
+/// distinct counts come from base-table statistics (per Section 2.3 only
+/// single-relation statistics exist, so no post-filter distinct counts are
+/// available — this is one source of the propagation error the paper
+/// discusses).
+pub fn join_cardinality(left_rows: f64, right_rows: f64, ndv_left: u64, ndv_right: u64) -> f64 {
+    let ndv = ndv_left.max(ndv_right).max(1) as f64;
+    (left_rows * right_rows / ndv).max(0.0)
+}
+
+/// Estimated number of groups produced by grouping `rows` input rows on a
+/// column with `ndv` distinct values (Cardenas' formula, capped at both).
+pub fn group_cardinality(rows: f64, ndv: u64) -> f64 {
+    let d = ndv.max(1) as f64;
+    // Expected number of non-empty "bins" when throwing `rows` balls into
+    // `d` bins uniformly.
+    d * (1.0 - (1.0 - 1.0 / d).powf(rows)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_storage::{ColumnType, Row, Schema, Table};
+
+    fn stats() -> TableStats {
+        let mut t = Table::new(
+            "r",
+            Schema::of(&[("a", ColumnType::Int), ("b", ColumnType::Int)]),
+        );
+        // a: uniform 0..100 (10 each); b: constant 7.
+        for i in 0..1000 {
+            t.insert(Row::new(vec![Value::Int(i % 100), Value::Int(7)]))
+                .unwrap();
+        }
+        TableStats::build(&t, 20)
+    }
+
+    #[test]
+    fn eq_selectivity_matches_uniform_data() {
+        let s = stats();
+        let est = CardEstimator::new(&s);
+        let sel = est.selectivity(&PredSpec::Eq(0, Value::Int(42)));
+        assert!((sel - 0.01).abs() < 0.005, "sel={sel}");
+        let sel_b = est.selectivity(&PredSpec::Eq(1, Value::Int(7)));
+        assert!((sel_b - 1.0).abs() < 1e-9, "sel={sel_b}");
+    }
+
+    #[test]
+    fn range_selectivity_is_proportional() {
+        let s = stats();
+        let est = CardEstimator::new(&s);
+        let sel = est.selectivity(&PredSpec::Range(
+            0,
+            Bound::Included(Value::Int(0)),
+            Bound::Included(Value::Int(49)),
+        ));
+        assert!((sel - 0.5).abs() < 0.08, "sel={sel}");
+    }
+
+    #[test]
+    fn independence_multiplies() {
+        let s = stats();
+        let est = CardEstimator::new(&s);
+        let p1 = PredSpec::Range(
+            0,
+            Bound::Included(Value::Int(0)),
+            Bound::Included(Value::Int(49)),
+        );
+        let p2 = PredSpec::Opaque;
+        let combined = est.conjunction_selectivity(&[p1.clone(), p2]);
+        let alone = est.selectivity(&p1);
+        assert!((combined - alone * OPAQUE_SELECTIVITY).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_sums_equalities() {
+        let s = stats();
+        let est = CardEstimator::new(&s);
+        let sel = est.selectivity(&PredSpec::In(
+            0,
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+        ));
+        assert!((sel - 0.03).abs() < 0.01, "sel={sel}");
+    }
+
+    #[test]
+    fn join_cardinality_containment() {
+        // R(1000 rows, 100 ndv) join S(500 rows, 50 ndv): 1000*500/100.
+        let est = join_cardinality(1000.0, 500.0, 100, 50);
+        assert!((est - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_cardinality_saturates() {
+        // Many rows, few groups: all groups non-empty.
+        assert!((group_cardinality(1_000_000.0, 10) - 10.0).abs() < 1e-6);
+        // Few rows, many groups: about one group per row.
+        let g = group_cardinality(10.0, 1_000_000);
+        assert!((g - 10.0).abs() < 0.1, "g={g}");
+    }
+
+    #[test]
+    fn not_eq_excludes_nulls_and_matches() {
+        let mut t = Table::new("n", Schema::of(&[("a", ColumnType::Int)]));
+        for i in 0..10 {
+            let v = if i < 2 { Value::Null } else { Value::Int(1) };
+            t.insert(Row::new(vec![v])).unwrap();
+        }
+        let s = TableStats::build(&t, 4);
+        let est = CardEstimator::new(&s);
+        // 8 rows have a=1; NULLs don't satisfy a<>1 either. sel ~= 0.
+        let sel = est.selectivity(&PredSpec::NotEq(0, Value::Int(1)));
+        assert!(sel < 0.05, "sel={sel}");
+    }
+}

@@ -1,0 +1,39 @@
+//! # qp-stats — single-relation database statistics
+//!
+//! The paper's framework (Section 2.3) allows a progress estimator to
+//! consult *single-relation statistics*: per-table summaries produced
+//! independently per relation, capturing no inter-table correlation — the
+//! setting of essentially every commercial optimizer. Crucially, the
+//! statistics generators considered are **lossy**: for any sufficiently
+//! large relation there exist two instances differing in one tuple that
+//! produce the *same* statistic. Lossiness is what powers the paper's
+//! lower-bound argument (Theorem 1), and this crate's property tests verify
+//! that both of its generators (histograms and fixed-size samples) are
+//! lossy in exactly that sense.
+//!
+//! Contents:
+//! * [`histogram`] — equi-width and equi-depth single-column histograms
+//!   with selectivity estimates *and* hard lower/upper cardinality bounds
+//!   for range predicates (used by the `pmax`/`safe` bound maintenance,
+//!   Section 5.1, footnote 2 of the paper);
+//! * [`sample`] — reservoir samples (the randomized statistics generator of
+//!   Section 2.3);
+//! * [`table_stats`] — per-table/column statistics bundles and a whole-
+//!   database statistics catalog;
+//! * [`cardest`] — optimizer-style cardinality estimation (independence and
+//!   containment assumptions). The paper stresses that these estimates come
+//!   with **no guarantees** (Sections 2.5 and 7); they are used here for the
+//!   `dne` pipeline weighting and as the "use the optimizer estimate"
+//!   baseline that the paper's estimators are designed to replace.
+
+pub mod cardest;
+pub mod end_biased;
+pub mod histogram;
+pub mod sample;
+pub mod table_stats;
+
+pub use cardest::{CardEstimator, PredSpec};
+pub use end_biased::EndBiasedHistogram;
+pub use histogram::{Histogram, HistogramKind};
+pub use sample::ReservoirSample;
+pub use table_stats::{ColumnStats, DbStats, TableStats};

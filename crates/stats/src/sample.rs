@@ -1,0 +1,146 @@
+//! Fixed-size reservoir samples — the *randomized* single-relation
+//! statistics generator of Section 2.3.
+//!
+//! The paper notes that all of its results carry over from deterministic
+//! generators (histograms) to randomized ones (pre-computed samples), with
+//! "high probability" qualifiers. A fixed-size sample is lossy in the same
+//! sense: with probability `1 - k/N` a given tuple is not in the sample at
+//! all, so changing it cannot change the statistic.
+
+use qp_storage::Value;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A uniform random sample of up to `capacity` values, built by reservoir
+/// sampling (Vitter's Algorithm R) over a single pass.
+#[derive(Debug)]
+pub struct ReservoirSample {
+    reservoir: Vec<Value>,
+    seen: u64,
+    capacity: usize,
+    rng: StdRng,
+}
+
+impl ReservoirSample {
+    /// Creates an empty sampler with the given capacity and seed. The seed
+    /// makes statistics reproducible across runs of an experiment.
+    pub fn new(capacity: usize, seed: u64) -> ReservoirSample {
+        assert!(capacity > 0, "capacity must be positive");
+        ReservoirSample {
+            reservoir: Vec::with_capacity(capacity),
+            seen: 0,
+            capacity,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Offers one value to the reservoir.
+    pub fn offer(&mut self, v: &Value) {
+        self.seen += 1;
+        if self.reservoir.len() < self.capacity {
+            self.reservoir.push(v.clone());
+        } else {
+            let j = self.rng.random_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.reservoir[j as usize] = v.clone();
+            }
+        }
+    }
+
+    /// Builds a sample from an iterator of values.
+    pub fn build<'a>(
+        values: impl IntoIterator<Item = &'a Value>,
+        capacity: usize,
+        seed: u64,
+    ) -> ReservoirSample {
+        let mut s = ReservoirSample::new(capacity, seed);
+        for v in values {
+            s.offer(v);
+        }
+        s
+    }
+
+    /// The sampled values (unordered).
+    pub fn values(&self) -> &[Value] {
+        &self.reservoir
+    }
+
+    /// How many values were offered in total.
+    pub fn population_size(&self) -> u64 {
+        self.seen
+    }
+
+    /// Estimated selectivity of a predicate, as the fraction of sampled
+    /// values satisfying it.
+    pub fn selectivity(&self, pred: impl Fn(&Value) -> bool) -> f64 {
+        if self.reservoir.is_empty() {
+            return 0.0;
+        }
+        let hits = self.reservoir.iter().filter(|v| pred(v)).count();
+        hits as f64 / self.reservoir.len() as f64
+    }
+
+    /// Estimated cardinality of a predicate over the full population.
+    pub fn estimate(&self, pred: impl Fn(&Value) -> bool) -> f64 {
+        self.selectivity(pred) * self.seen as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_population_is_kept_entirely() {
+        let vals: Vec<Value> = (0..10).map(Value::Int).collect();
+        let s = ReservoirSample::build(vals.iter(), 100, 1);
+        assert_eq!(s.values().len(), 10);
+        assert_eq!(s.population_size(), 10);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let vals: Vec<Value> = (0..10_000).map(Value::Int).collect();
+        let s = ReservoirSample::build(vals.iter(), 64, 1);
+        assert_eq!(s.values().len(), 64);
+        assert_eq!(s.population_size(), 10_000);
+    }
+
+    #[test]
+    fn selectivity_estimate_is_close_for_uniform_data() {
+        // Half the values are below 5000; the estimate should be ~0.5.
+        let vals: Vec<Value> = (0..10_000).map(Value::Int).collect();
+        let s = ReservoirSample::build(vals.iter(), 1_000, 7);
+        let sel = s.selectivity(|v| *v < Value::Int(5_000));
+        assert!(
+            (sel - 0.5).abs() < 0.08,
+            "selectivity {sel} too far from 0.5"
+        );
+        let est = s.estimate(|v| *v < Value::Int(5_000));
+        assert!((est - 5_000.0).abs() < 800.0, "estimate {est}");
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let vals: Vec<Value> = (0..5_000).map(Value::Int).collect();
+        let a = ReservoirSample::build(vals.iter(), 32, 99);
+        let b = ReservoirSample::build(vals.iter(), 32, 99);
+        assert_eq!(a.values(), b.values());
+    }
+
+    /// Randomized lossiness (Section 2.3): changing a tuple that the sample
+    /// did not retain produces the identical statistic.
+    #[test]
+    fn sample_is_lossy_with_high_probability() {
+        let vals: Vec<Value> = (0..10_000).map(Value::Int).collect();
+        let a = ReservoirSample::build(vals.iter(), 16, 3);
+        // Find an index whose value is not in the reservoir.
+        let retained: std::collections::HashSet<i64> =
+            a.values().iter().filter_map(|v| v.as_i64()).collect();
+        let victim = (0..10_000).find(|i| !retained.contains(i)).unwrap();
+        let mut vals2 = vals.clone();
+        vals2[victim as usize] = Value::Int(1_000_000); // value not present before
+        let b = ReservoirSample::build(vals2.iter(), 16, 3);
+        assert_eq!(a.values(), b.values(), "sample changed despite miss");
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-table statistics bundles and the database statistics catalog.
+//!
+//! This is the "Database Statistics" box in Figure 1 of the paper: the
+//! union of single-relation statistics produced by running a statistics
+//! generator over each relation *separately* (no inter-table correlation is
+//! captured, per Section 2.3).
+
+use crate::histogram::Histogram;
+use qp_storage::{Database, Table, Value};
+use std::collections::BTreeMap;
+
+/// Default number of histogram buckets (commercial systems commonly use a
+/// few hundred steps; SQL Server's legacy format used up to 200).
+pub const DEFAULT_BUCKETS: usize = 100;
+
+/// Statistics for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    pub name: String,
+    pub histogram: Histogram,
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+    /// Exact distinct count at statistics-build time.
+    pub distinct: u64,
+    pub null_count: u64,
+}
+
+/// Statistics for one table: row count plus per-column stats.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    pub table: String,
+    pub row_count: u64,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Builds statistics for a table with `buckets` histogram buckets per
+    /// column.
+    pub fn build(table: &Table, buckets: usize) -> TableStats {
+        let mut columns = Vec::with_capacity(table.schema().arity());
+        for (ci, col) in table.schema().columns().iter().enumerate() {
+            let values: Vec<&Value> = table.rows().iter().map(|r| r.get(ci)).collect();
+            let histogram = Histogram::equi_depth(values.iter().copied(), buckets);
+            let mut non_null: Vec<&Value> =
+                values.iter().copied().filter(|v| !v.is_null()).collect();
+            non_null.sort_unstable();
+            let distinct = if non_null.is_empty() {
+                0
+            } else {
+                1 + non_null.windows(2).filter(|w| w[0] != w[1]).count() as u64
+            };
+            let null_count = (values.len() - non_null.len()) as u64;
+            columns.push(ColumnStats {
+                name: col.name.clone(),
+                min: non_null.first().map(|v| (*v).clone()),
+                max: non_null.last().map(|v| (*v).clone()),
+                distinct,
+                null_count,
+                histogram,
+            });
+        }
+        TableStats {
+            table: table.name().to_string(),
+            row_count: table.len() as u64,
+            columns,
+        }
+    }
+
+    /// Stats for a column by position.
+    pub fn column(&self, i: usize) -> &ColumnStats {
+        &self.columns[i]
+    }
+
+    /// Stats for a column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+/// Statistics for a whole database: one [`TableStats`] per table.
+#[derive(Debug, Clone, Default)]
+pub struct DbStats {
+    tables: BTreeMap<String, TableStats>,
+}
+
+impl DbStats {
+    /// Runs the statistics generator over every table in the database.
+    pub fn build(db: &Database) -> DbStats {
+        DbStats::build_with_buckets(db, DEFAULT_BUCKETS)
+    }
+
+    /// Like [`DbStats::build`] with a custom bucket budget.
+    pub fn build_with_buckets(db: &Database, buckets: usize) -> DbStats {
+        let mut tables = BTreeMap::new();
+        for name in db.table_names() {
+            let t = db.table(name).expect("listed table exists");
+            tables.insert(name.to_string(), TableStats::build(&t, buckets));
+        }
+        DbStats { tables }
+    }
+
+    /// Stats for a table, if present.
+    pub fn table(&self, name: &str) -> Option<&TableStats> {
+        self.tables.get(name)
+    }
+
+    /// Inserts or replaces stats for one table.
+    pub fn insert(&mut self, stats: TableStats) {
+        self.tables.insert(stats.table.clone(), stats);
+    }
+
+    /// Exact row count from the catalog at stats-build time.
+    pub fn row_count(&self, table: &str) -> Option<u64> {
+        self.tables.get(table).map(|t| t.row_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_storage::{ColumnType, Row, Schema};
+
+    fn make_table() -> Table {
+        let mut t = Table::new(
+            "r",
+            Schema::of(&[("a", ColumnType::Int), ("b", ColumnType::Str)]),
+        );
+        for i in 0..500 {
+            t.insert(Row::new(vec![
+                Value::Int(i % 50),
+                Value::str(format!("s{}", i % 7)),
+            ]))
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn build_computes_row_and_distinct_counts() {
+        let stats = TableStats::build(&make_table(), 10);
+        assert_eq!(stats.row_count, 500);
+        assert_eq!(stats.column(0).distinct, 50);
+        assert_eq!(stats.column(1).distinct, 7);
+        assert_eq!(stats.column(0).min, Some(Value::Int(0)));
+        assert_eq!(stats.column(0).max, Some(Value::Int(49)));
+    }
+
+    #[test]
+    fn column_by_name_works() {
+        let stats = TableStats::build(&make_table(), 10);
+        assert!(stats.column_by_name("b").is_some());
+        assert!(stats.column_by_name("zz").is_none());
+    }
+
+    #[test]
+    fn db_stats_covers_all_tables() {
+        let mut db = Database::new();
+        db.add_table(make_table()).unwrap();
+        let mut t2 = Table::new("s", Schema::of(&[("x", ColumnType::Int)]));
+        t2.insert(Row::new(vec![Value::Int(1)])).unwrap();
+        db.add_table(t2).unwrap();
+        let stats = DbStats::build(&db);
+        assert_eq!(stats.row_count("r"), Some(500));
+        assert_eq!(stats.row_count("s"), Some(1));
+        assert!(stats.table("nope").is_none());
+    }
+
+    #[test]
+    fn histograms_cover_every_row() {
+        let stats = TableStats::build(&make_table(), 10);
+        for c in &stats.columns {
+            let total: u64 = c.histogram.buckets().iter().map(|b| b.count).sum();
+            assert_eq!(total + c.histogram.null_count(), 500);
+        }
+    }
+
+    #[test]
+    fn null_heavy_column_counts_nulls() {
+        let mut t = Table::new("n", Schema::of(&[("a", ColumnType::Int)]));
+        for i in 0..10 {
+            let v = if i % 2 == 0 { Value::Null } else { Value::Int(i) };
+            t.insert(Row::new(vec![v])).unwrap();
+        }
+        let stats = TableStats::build(&t, 4);
+        assert_eq!(stats.column(0).null_count, 5);
+        assert_eq!(stats.column(0).distinct, 5);
+    }
+}

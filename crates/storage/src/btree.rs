@@ -1,0 +1,500 @@
+//! A hand-written B+Tree index mapping composite [`Value`] keys to row ids.
+//!
+//! This is the substrate for the `index-seek` operator and the *index
+//! nested-loops join* — the operator at the heart of the paper's
+//! lower-bound argument (Section 3, Example 1): an INL join performs one
+//! B+Tree lookup per outer tuple, so the number of `getnext` calls charged
+//! to the inner side is exactly the number of matching index entries, which
+//! is what makes the total work unpredictable under join skew.
+//!
+//! Design notes:
+//! * Keys are composite (`Vec<Value>`); duplicates are allowed unless the
+//!   index is declared unique (entries are `(key, row_id)` pairs, and the
+//!   tree is ordered by the pair, making every entry distinct).
+//! * Leaf nodes are chained for efficient range scans.
+//! * Node capacity (`MAX_KEYS`) is 64 — small enough to exercise splits in
+//!   unit tests, large enough to keep trees shallow.
+
+use crate::table::RowId;
+use crate::value::Value;
+use std::ops::Bound;
+
+/// Maximum number of entries in a node before it splits.
+const MAX_KEYS: usize = 64;
+
+/// A composite index key.
+pub type Key = Vec<Value>;
+
+#[derive(Debug)]
+enum Node {
+    Leaf(LeafNode),
+    Internal(InternalNode),
+}
+
+#[derive(Debug, Default)]
+struct LeafNode {
+    /// Sorted by (key, rid).
+    entries: Vec<(Key, RowId)>,
+    /// Index of the next leaf in `BTreeIndex::leaves` order, for range scans.
+    next: Option<usize>,
+}
+
+#[derive(Debug)]
+struct InternalNode {
+    /// `keys[i]` is the smallest (key, rid) in `children[i + 1]`'s subtree.
+    keys: Vec<(Key, RowId)>,
+    children: Vec<usize>,
+}
+
+/// A B+Tree mapping composite keys to [`RowId`]s, with duplicate support and
+/// leaf chaining for range scans.
+#[derive(Debug)]
+pub struct BTreeIndex {
+    nodes: Vec<Node>,
+    root: usize,
+    len: usize,
+    key_arity: usize,
+}
+
+impl BTreeIndex {
+    /// Creates an empty index over keys of the given arity.
+    pub fn new(key_arity: usize) -> BTreeIndex {
+        BTreeIndex {
+            nodes: vec![Node::Leaf(LeafNode::default())],
+            root: 0,
+            len: 0,
+            key_arity,
+        }
+    }
+
+    /// Number of entries in the index.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the index contains no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Arity of the composite key.
+    #[inline]
+    pub fn key_arity(&self) -> usize {
+        self.key_arity
+    }
+
+    /// Inserts an entry. Duplicate keys are allowed (entries are unique by
+    /// `(key, rid)`).
+    pub fn insert(&mut self, key: Key, rid: RowId) {
+        debug_assert_eq!(key.len(), self.key_arity, "key arity mismatch");
+        if let Some((sep, right)) = self.insert_rec(self.root, key, rid) {
+            // Root split: create a new root with two children.
+            let old_root = self.root;
+            self.nodes.push(Node::Internal(InternalNode {
+                keys: vec![sep],
+                children: vec![old_root, right],
+            }));
+            self.root = self.nodes.len() - 1;
+        }
+        self.len += 1;
+    }
+
+    /// Recursive insert; returns `Some((separator, new_node_idx))` when the
+    /// child at `node` split.
+    fn insert_rec(&mut self, node: usize, key: Key, rid: RowId) -> Option<((Key, RowId), usize)> {
+        match &mut self.nodes[node] {
+            Node::Leaf(leaf) => {
+                let pos = leaf
+                    .entries
+                    .partition_point(|(k, r)| (k.as_slice(), *r) < (key.as_slice(), rid));
+                leaf.entries.insert(pos, (key, rid));
+                if leaf.entries.len() <= MAX_KEYS {
+                    return None;
+                }
+                // Split the leaf in half; the new right leaf follows this one
+                // in the chain.
+                let mid = leaf.entries.len() / 2;
+                let right_entries = leaf.entries.split_off(mid);
+                let right_next = leaf.next;
+                let sep = right_entries[0].clone();
+                let right_idx = self.nodes.len();
+                if let Node::Leaf(leaf) = &mut self.nodes[node] {
+                    leaf.next = Some(right_idx);
+                }
+                self.nodes.push(Node::Leaf(LeafNode {
+                    entries: right_entries,
+                    next: right_next,
+                }));
+                Some((sep, right_idx))
+            }
+            Node::Internal(internal) => {
+                let child_pos = internal
+                    .keys
+                    .partition_point(|(k, r)| (k.as_slice(), *r) <= (key.as_slice(), rid));
+                let child = internal.children[child_pos];
+                let split = self.insert_rec(child, key, rid)?;
+                let (sep, right_idx) = split;
+                if let Node::Internal(internal) = &mut self.nodes[node] {
+                    let pos = internal
+                        .keys
+                        .partition_point(|(k, r)| (k.as_slice(), *r) < (sep.0.as_slice(), sep.1));
+                    internal.keys.insert(pos, sep);
+                    internal.children.insert(pos + 1, right_idx);
+                    if internal.keys.len() <= MAX_KEYS {
+                        return None;
+                    }
+                    // Split the internal node; the middle key moves up.
+                    let mid = internal.keys.len() / 2;
+                    let up = internal.keys[mid].clone();
+                    let right_keys = internal.keys.split_off(mid + 1);
+                    internal.keys.pop(); // remove `up`
+                    let right_children = internal.children.split_off(mid + 1);
+                    let new_idx = self.nodes.len();
+                    self.nodes.push(Node::Internal(InternalNode {
+                        keys: right_keys,
+                        children: right_children,
+                    }));
+                    return Some((up, new_idx));
+                }
+                unreachable!("node changed kind during insert");
+            }
+        }
+    }
+
+    /// Returns the leaf index and entry offset of the first entry whose
+    /// `(key, rid)` is `>= (key, rid_floor)`.
+    fn seek(&self, key: &[Value], rid_floor: RowId) -> (usize, usize) {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Internal(internal) => {
+                    let pos = internal
+                        .keys
+                        .partition_point(|(k, r)| (k.as_slice(), *r) <= (key, rid_floor));
+                    node = internal.children[pos];
+                }
+                Node::Leaf(leaf) => {
+                    let pos = leaf
+                        .entries
+                        .partition_point(|(k, r)| (k.as_slice(), *r) < (key, rid_floor));
+                    return (node, pos);
+                }
+            }
+        }
+    }
+
+    /// Row ids with exactly the given key, in rid order.
+    pub fn lookup<'a>(&'a self, key: &'a [Value]) -> LookupIter<'a> {
+        debug_assert_eq!(key.len(), self.key_arity, "key arity mismatch");
+        let (leaf, pos) = self.seek(key, 0);
+        LookupIter {
+            tree: self,
+            key,
+            leaf,
+            pos,
+        }
+    }
+
+    /// Entries in `[lo, hi]` (bounds on the full composite key), in key
+    /// order. `Bound::Unbounded` on either side scans to the edge.
+    pub fn range(&self, lo: Bound<&[Value]>, hi: Bound<Key>) -> RangeIter<'_> {
+        let (leaf, pos) = match lo {
+            Bound::Unbounded => (self.leftmost_leaf(), 0),
+            Bound::Included(k) => self.seek(k, 0),
+            Bound::Excluded(k) => self.seek(k, RowId::MAX),
+        };
+        RangeIter {
+            tree: self,
+            leaf,
+            pos,
+            hi,
+        }
+    }
+
+    /// All entries in key order (full index scan).
+    pub fn scan(&self) -> RangeIter<'_> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    fn leftmost_leaf(&self) -> usize {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Internal(internal) => node = internal.children[0],
+                Node::Leaf(_) => return node,
+            }
+        }
+    }
+
+    /// Depth of the tree (1 for a lone leaf). Exposed for tests and for the
+    /// cost model (an index seek costs `depth` page touches).
+    pub fn depth(&self) -> usize {
+        let mut d = 1;
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Internal(internal) => {
+                    d += 1;
+                    node = internal.children[0];
+                }
+                Node::Leaf(_) => return d,
+            }
+        }
+    }
+
+    /// Validates structural invariants; used by tests and property tests.
+    /// Returns the total number of entries found.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> usize {
+        let count = self.check_node(self.root, None, None);
+        assert_eq!(count, self.len, "entry count mismatch");
+        // Leaf chain must visit every entry in non-decreasing order.
+        let mut chained = 0;
+        let mut prev: Option<(Key, RowId)> = None;
+        let mut leaf = Some(self.leftmost_leaf());
+        while let Some(l) = leaf {
+            if let Node::Leaf(n) = &self.nodes[l] {
+                for e in &n.entries {
+                    if let Some(p) = &prev {
+                        assert!(
+                            (p.0.as_slice(), p.1) <= (e.0.as_slice(), e.1),
+                            "leaf chain out of order"
+                        );
+                    }
+                    prev = Some(e.clone());
+                    chained += 1;
+                }
+                leaf = n.next;
+            } else {
+                panic!("leaf chain points at internal node");
+            }
+        }
+        assert_eq!(chained, self.len, "leaf chain misses entries");
+        count
+    }
+
+    fn check_node(&self, node: usize, lo: Option<&(Key, RowId)>, hi: Option<&(Key, RowId)>) -> usize {
+        let in_bounds = |e: &(Key, RowId)| {
+            if let Some(l) = lo {
+                assert!(
+                    (l.0.as_slice(), l.1) <= (e.0.as_slice(), e.1),
+                    "entry below subtree lower bound"
+                );
+            }
+            if let Some(h) = hi {
+                assert!(
+                    (e.0.as_slice(), e.1) < (h.0.as_slice(), h.1),
+                    "entry above subtree upper bound"
+                );
+            }
+        };
+        match &self.nodes[node] {
+            Node::Leaf(leaf) => {
+                for w in leaf.entries.windows(2) {
+                    assert!(
+                        (w[0].0.as_slice(), w[0].1) < (w[1].0.as_slice(), w[1].1),
+                        "leaf entries out of order"
+                    );
+                }
+                for e in &leaf.entries {
+                    in_bounds(e);
+                }
+                leaf.entries.len()
+            }
+            Node::Internal(internal) => {
+                assert_eq!(
+                    internal.children.len(),
+                    internal.keys.len() + 1,
+                    "fanout mismatch"
+                );
+                let mut total = 0;
+                for i in 0..internal.children.len() {
+                    let child_lo = if i == 0 { lo } else { Some(&internal.keys[i - 1]) };
+                    let child_hi = if i == internal.keys.len() {
+                        hi
+                    } else {
+                        Some(&internal.keys[i])
+                    };
+                    total += self.check_node(internal.children[i], child_lo, child_hi);
+                }
+                total
+            }
+        }
+    }
+}
+
+/// Iterator over row ids matching an exact key.
+pub struct LookupIter<'a> {
+    tree: &'a BTreeIndex,
+    key: &'a [Value],
+    leaf: usize,
+    pos: usize,
+}
+
+impl Iterator for LookupIter<'_> {
+    type Item = RowId;
+
+    fn next(&mut self) -> Option<RowId> {
+        loop {
+            let Node::Leaf(leaf) = &self.tree.nodes[self.leaf] else {
+                return None;
+            };
+            if self.pos < leaf.entries.len() {
+                let (k, rid) = &leaf.entries[self.pos];
+                if k.as_slice() == self.key {
+                    self.pos += 1;
+                    return Some(*rid);
+                }
+                return None; // past all duplicates of `key`
+            }
+            self.leaf = leaf.next?;
+            self.pos = 0;
+        }
+    }
+}
+
+/// Iterator over `(key, rid)` entries within a range.
+pub struct RangeIter<'a> {
+    tree: &'a BTreeIndex,
+    leaf: usize,
+    pos: usize,
+    hi: Bound<Key>,
+}
+
+impl<'a> Iterator for RangeIter<'a> {
+    type Item = (&'a [Value], RowId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let Node::Leaf(leaf) = &self.tree.nodes[self.leaf] else {
+                return None;
+            };
+            if self.pos < leaf.entries.len() {
+                let (k, rid) = &leaf.entries[self.pos];
+                let past_end = match &self.hi {
+                    Bound::Unbounded => false,
+                    Bound::Included(h) => k.as_slice() > h.as_slice(),
+                    Bound::Excluded(h) => k.as_slice() >= h.as_slice(),
+                };
+                if past_end {
+                    return None;
+                }
+                self.pos += 1;
+                return Some((k.as_slice(), *rid));
+            }
+            self.leaf = leaf.next?;
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ik(v: i64) -> Key {
+        vec![Value::Int(v)]
+    }
+
+    #[test]
+    fn empty_lookup_is_empty() {
+        let t = BTreeIndex::new(1);
+        assert_eq!(t.lookup(&ik(5)).count(), 0);
+        assert!(t.is_empty());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_and_lookup_unique_keys() {
+        let mut t = BTreeIndex::new(1);
+        for i in 0..1000 {
+            t.insert(ik(i), i as RowId);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 1000);
+        assert!(t.depth() > 1, "tree should have split");
+        for i in 0..1000 {
+            let rids: Vec<_> = t.lookup(&ik(i)).collect();
+            assert_eq!(rids, vec![i as RowId], "key {i}");
+        }
+        assert_eq!(t.lookup(&ik(10_000)).count(), 0);
+    }
+
+    #[test]
+    fn duplicate_keys_return_all_rids_in_order() {
+        let mut t = BTreeIndex::new(1);
+        // 500 duplicates of key 7 interleaved with other keys.
+        for i in 0..500u64 {
+            t.insert(ik(7), i * 2 + 1);
+            t.insert(ik(i as i64 + 100), i * 2);
+        }
+        t.check_invariants();
+        let rids: Vec<_> = t.lookup(&ik(7)).collect();
+        assert_eq!(rids.len(), 500);
+        assert!(rids.windows(2).all(|w| w[0] < w[1]), "rids must be sorted");
+    }
+
+    #[test]
+    fn reverse_insert_order_stays_sorted() {
+        let mut t = BTreeIndex::new(1);
+        for i in (0..2000).rev() {
+            t.insert(ik(i), i as RowId);
+        }
+        t.check_invariants();
+        let keys: Vec<i64> = t.scan().map(|(k, _)| k[0].as_i64().unwrap()).collect();
+        assert_eq!(keys.len(), 2000);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn range_scan_honors_bounds() {
+        let mut t = BTreeIndex::new(1);
+        for i in 0..100 {
+            t.insert(ik(i), i as RowId);
+        }
+        let got: Vec<i64> = t
+            .range(Bound::Included(&ik(10)), Bound::Excluded(ik(20)))
+            .map(|(k, _)| k[0].as_i64().unwrap())
+            .collect();
+        assert_eq!(got, (10..20).collect::<Vec<_>>());
+
+        let got: Vec<i64> = t
+            .range(Bound::Excluded(&ik(95)), Bound::Unbounded)
+            .map(|(k, _)| k[0].as_i64().unwrap())
+            .collect();
+        assert_eq!(got, vec![96, 97, 98, 99]);
+
+        let got: Vec<i64> = t
+            .range(Bound::Unbounded, Bound::Included(ik(3)))
+            .map(|(k, _)| k[0].as_i64().unwrap())
+            .collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn composite_keys_order_lexicographically() {
+        let mut t = BTreeIndex::new(2);
+        t.insert(vec![Value::Int(1), Value::str("b")], 0);
+        t.insert(vec![Value::Int(1), Value::str("a")], 1);
+        t.insert(vec![Value::Int(0), Value::str("z")], 2);
+        t.check_invariants();
+        let rids: Vec<RowId> = t.scan().map(|(_, r)| r).collect();
+        assert_eq!(rids, vec![2, 1, 0]);
+        assert_eq!(
+            t.lookup(&[Value::Int(1), Value::str("a")]).collect::<Vec<_>>(),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn scan_visits_everything_once() {
+        let mut t = BTreeIndex::new(1);
+        for i in 0..5000 {
+            t.insert(ik((i * 37) % 1000), i as RowId);
+        }
+        t.check_invariants();
+        assert_eq!(t.scan().count(), 5000);
+    }
+}

@@ -1,0 +1,254 @@
+//! The database catalog: tables, indexes, and their metadata.
+
+use crate::btree::BTreeIndex;
+use crate::error::{StorageError, StorageResult};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Metadata and structure of one index.
+#[derive(Debug)]
+pub struct IndexMeta {
+    pub name: String,
+    pub table: String,
+    /// Column positions (in the table schema) forming the composite key.
+    pub key_columns: Vec<usize>,
+    /// Declared unique (informational; key-FK joins are "linear" in the
+    /// paper's sense when the lookup side is unique).
+    pub unique: bool,
+    /// The B+Tree structure itself.
+    pub tree: BTreeIndex,
+}
+
+/// An in-memory database: named tables and the indexes built over them.
+///
+/// Tables are wrapped in `Arc` once frozen so that executor operators can
+/// hold cheap references to them during a query. The engine is insert-only:
+/// build the data, `freeze` it implicitly by handing out `Arc`s, then run
+/// queries.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Arc<Table>>,
+    indexes: BTreeMap<String, Arc<IndexMeta>>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Adds a fully-built table to the catalog.
+    pub fn add_table(&mut self, table: Table) -> StorageResult<Arc<Table>> {
+        let name = table.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::Duplicate(name));
+        }
+        let arc = Arc::new(table);
+        self.tables.insert(name, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Replaces an existing table (e.g. after reordering rows) and rebuilds
+    /// all of its indexes.
+    pub fn replace_table(&mut self, table: Table) -> StorageResult<Arc<Table>> {
+        let name = table.name().to_string();
+        if !self.tables.contains_key(&name) {
+            return Err(StorageError::UnknownTable(name));
+        }
+        let arc = Arc::new(table);
+        self.tables.insert(name.clone(), Arc::clone(&arc));
+        // Rebuild dependent indexes.
+        let to_rebuild: Vec<(String, Vec<usize>, bool)> = self
+            .indexes
+            .values()
+            .filter(|ix| ix.table == name)
+            .map(|ix| (ix.name.clone(), ix.key_columns.clone(), ix.unique))
+            .collect();
+        for (ix_name, cols, unique) in to_rebuild {
+            self.indexes.remove(&ix_name);
+            self.create_index_impl(&ix_name, &name, &cols, unique)?;
+        }
+        Ok(arc)
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> StorageResult<Arc<Table>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Exact cardinality of a table, as a catalog lookup.
+    pub fn cardinality(&self, name: &str) -> StorageResult<usize> {
+        Ok(self.table(name)?.len())
+    }
+
+    /// Builds a B+Tree index named `index_name` over `table.key_column_names`.
+    pub fn create_index(
+        &mut self,
+        index_name: &str,
+        table_name: &str,
+        key_column_names: &[&str],
+        unique: bool,
+    ) -> StorageResult<Arc<IndexMeta>> {
+        let table = self.table(table_name)?;
+        let cols = key_column_names
+            .iter()
+            .map(|c| table.schema().index_of(c))
+            .collect::<StorageResult<Vec<_>>>()?;
+        self.create_index_impl(index_name, table_name, &cols, unique)
+    }
+
+    fn create_index_impl(
+        &mut self,
+        index_name: &str,
+        table_name: &str,
+        key_columns: &[usize],
+        unique: bool,
+    ) -> StorageResult<Arc<IndexMeta>> {
+        if self.indexes.contains_key(index_name) {
+            return Err(StorageError::Duplicate(index_name.to_string()));
+        }
+        let table = self.table(table_name)?;
+        let mut tree = BTreeIndex::new(key_columns.len());
+        let mut seen_keys: Option<std::collections::HashSet<Vec<Value>>> =
+            unique.then(std::collections::HashSet::new);
+        for (rid, row) in table.scan() {
+            let key: Vec<Value> = key_columns.iter().map(|&c| row.get(c).clone()).collect();
+            if let Some(seen) = &mut seen_keys {
+                if !seen.insert(key.clone()) {
+                    return Err(StorageError::UniqueViolation(format!("{key:?}")));
+                }
+            }
+            tree.insert(key, rid);
+        }
+        let meta = Arc::new(IndexMeta {
+            name: index_name.to_string(),
+            table: table_name.to_string(),
+            key_columns: key_columns.to_vec(),
+            unique,
+            tree,
+        });
+        self.indexes.insert(index_name.to_string(), Arc::clone(&meta));
+        Ok(meta)
+    }
+
+    /// Looks up an index by name.
+    pub fn index(&self, name: &str) -> StorageResult<Arc<IndexMeta>> {
+        self.indexes
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownIndex(name.to_string()))
+    }
+
+    /// Finds an index on `table_name` whose key is exactly `key_columns`
+    /// (by position), if one exists.
+    pub fn find_index_on(&self, table_name: &str, key_columns: &[usize]) -> Option<Arc<IndexMeta>> {
+        self.indexes
+            .values()
+            .find(|ix| ix.table == table_name && ix.key_columns == key_columns)
+            .cloned()
+    }
+
+    /// Convenience: creates a table from a schema and row-value vectors.
+    pub fn create_table_with_rows(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> StorageResult<Arc<Table>> {
+        let mut t = Table::new(name, schema);
+        t.load(rows)?;
+        self.add_table(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn db_with_t() -> Database {
+        let mut db = Database::new();
+        db.create_table_with_rows(
+            "t",
+            Schema::of(&[("k", ColumnType::Int), ("v", ColumnType::Str)]),
+            (0..100).map(|i| vec![Value::Int(i % 10), Value::str(format!("v{i}"))]),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn table_lookup_and_cardinality() {
+        let db = db_with_t();
+        assert_eq!(db.cardinality("t").unwrap(), 100);
+        assert!(matches!(
+            db.table("nope"),
+            Err(StorageError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn index_build_and_lookup() {
+        let mut db = db_with_t();
+        let ix = db.create_index("t_k", "t", &["k"], false).unwrap();
+        assert_eq!(ix.tree.len(), 100);
+        // Each key 0..10 appears 10 times.
+        assert_eq!(ix.tree.lookup(&[Value::Int(3)]).count(), 10);
+        ix.tree.check_invariants();
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates() {
+        let mut db = db_with_t();
+        let err = db.create_index("t_k_u", "t", &["k"], true).unwrap_err();
+        assert!(matches!(err, StorageError::UniqueViolation(_)));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut db = db_with_t();
+        let t2 = Table::new("t", Schema::of(&[("x", ColumnType::Int)]));
+        assert!(matches!(
+            db.add_table(t2),
+            Err(StorageError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn replace_table_rebuilds_indexes() {
+        let mut db = db_with_t();
+        db.create_index("t_k", "t", &["k"], false).unwrap();
+        // Reorder rows and replace; index must still find everything.
+        let old = db.table("t").unwrap();
+        let mut t2 = Table::new("t", old.schema().clone());
+        for (_, r) in old.scan() {
+            t2.insert_unchecked(r.clone());
+        }
+        let perm: Vec<usize> = (0..100).rev().collect();
+        t2.reorder(&perm);
+        db.replace_table(t2).unwrap();
+        let ix = db.index("t_k").unwrap();
+        assert_eq!(ix.tree.len(), 100);
+        assert_eq!(ix.tree.lookup(&[Value::Int(9)]).count(), 10);
+    }
+
+    #[test]
+    fn find_index_on_matches_key_columns() {
+        let mut db = db_with_t();
+        db.create_index("t_k", "t", &["k"], false).unwrap();
+        assert!(db.find_index_on("t", &[0]).is_some());
+        assert!(db.find_index_on("t", &[1]).is_none());
+        assert!(db.find_index_on("u", &[0]).is_none());
+    }
+}

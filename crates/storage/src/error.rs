@@ -1,0 +1,38 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A named table was not found in the catalog.
+    UnknownTable(String),
+    /// A named index was not found in the catalog.
+    UnknownIndex(String),
+    /// A named column was not found in a schema.
+    UnknownColumn(String),
+    /// A row's arity or column types did not match the table schema.
+    SchemaMismatch(String),
+    /// An object with the same name already exists.
+    Duplicate(String),
+    /// A unique index rejected a duplicate key.
+    UniqueViolation(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownTable(n) => write!(f, "unknown table: {n}"),
+            StorageError::UnknownIndex(n) => write!(f, "unknown index: {n}"),
+            StorageError::UnknownColumn(n) => write!(f, "unknown column: {n}"),
+            StorageError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            StorageError::Duplicate(n) => write!(f, "object already exists: {n}"),
+            StorageError::UniqueViolation(k) => write!(f, "unique violation on key {k}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenient result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;

@@ -1,0 +1,42 @@
+//! # qp-storage — relational storage substrate
+//!
+//! This crate provides the storage layer underneath the instrumented query
+//! executor used by the `queryprogress` reproduction of *"When Can We Trust
+//! Progress Estimators for SQL Queries?"* (Chaudhuri, Kaushik, Ramamurthy;
+//! SIGMOD 2005).
+//!
+//! It deliberately models the parts of a database storage engine that the
+//! paper's framework depends on:
+//!
+//! * typed [`Value`]s with a total order (needed by sort / merge-join /
+//!   B+Tree keys),
+//! * [`Schema`]s and cheaply-cloneable [`Row`]s,
+//! * heap [`Table`]s whose *exact* cardinality is available from the catalog
+//!   (Section 5.1 of the paper: "a table scan has lower and upper bounds
+//!   equal to the cardinality of the base relation, which is accurately
+//!   available from the database catalogs"),
+//! * a hand-written [`btree::BTreeIndex`] supporting point and range lookups
+//!   (the substrate for `index-seek` and index-nested-loops join, the
+//!   operator at the heart of the paper's lower-bound argument), and
+//! * a [`Database`] catalog tying tables, indexes and their metadata
+//!   together.
+//!
+//! Everything is in-memory and single-threaded: the paper's *GetNext* model
+//! of work treats query execution as a **serial** sequence of `getnext`
+//! calls (Section 2.2), so a serial engine reproduces the model exactly.
+
+pub mod btree;
+pub mod catalog;
+pub mod error;
+pub mod row;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use btree::BTreeIndex;
+pub use catalog::{Database, IndexMeta};
+pub use error::{StorageError, StorageResult};
+pub use row::Row;
+pub use schema::{Column, ColumnType, Schema};
+pub use table::{RowId, Table};
+pub use value::Value;

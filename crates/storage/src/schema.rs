@@ -1,0 +1,197 @@
+//! Column and schema descriptions.
+
+use crate::error::{StorageError, StorageResult};
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    Bool,
+    Int,
+    Float,
+    Str,
+    Date,
+}
+
+impl ColumnType {
+    /// Whether a value is admissible in a column of this type.
+    /// NULLs are admissible everywhere (nullability is advisory in this
+    /// engine; the paper's framework never depends on NOT NULL enforcement).
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (ColumnType::Bool, Value::Bool(_))
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Float, Value::Int(_))
+                | (ColumnType::Str, Value::Str(_))
+                | (ColumnType::Date, Value::Date(_))
+        )
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColumnType::Bool => "BOOL",
+            ColumnType::Int => "INT",
+            ColumnType::Float => "FLOAT",
+            ColumnType::Str => "STR",
+            ColumnType::Date => "DATE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub ty: ColumnType,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Column {
+        Column {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of columns. Cheap to clone (`Arc` inside) because every
+/// operator in the executor carries its output schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Arc<[Column]>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Schema {
+        Schema {
+            columns: columns.into(),
+        }
+    }
+
+    /// Builds a schema from `(name, type)` pairs.
+    pub fn of(cols: &[(&str, ColumnType)]) -> Schema {
+        Schema::new(
+            cols.iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// An empty schema (zero columns).
+    pub fn empty() -> Schema {
+        Schema::new(Vec::new())
+    }
+
+    #[inline]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the column with the given name.
+    pub fn index_of(&self, name: &str) -> StorageResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| StorageError::UnknownColumn(name.to_string()))
+    }
+
+    /// Column at position `i`. Panics if out of range.
+    #[inline]
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Concatenation of two schemas (used by joins). Column names are kept
+    /// as-is; the executor addresses columns by position, so duplicate names
+    /// across sides are allowed (`index_of` finds the leftmost).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut cols = Vec::with_capacity(self.arity() + other.arity());
+        cols.extend_from_slice(&self.columns);
+        cols.extend_from_slice(&other.columns);
+        Schema::new(cols)
+    }
+
+    /// Schema consisting of the columns at `indices`, in order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.columns[i].clone()).collect())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::of(&[
+            ("a", ColumnType::Int),
+            ("b", ColumnType::Str),
+            ("c", ColumnType::Float),
+        ])
+    }
+
+    #[test]
+    fn index_of_finds_columns() {
+        let s = abc();
+        assert_eq!(s.index_of("a").unwrap(), 0);
+        assert_eq!(s.index_of("c").unwrap(), 2);
+        assert!(matches!(
+            s.index_of("zz"),
+            Err(StorageError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = abc().join(&Schema::of(&[("d", ColumnType::Date)]));
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.column(3).name, "d");
+    }
+
+    #[test]
+    fn project_selects_in_order() {
+        let s = abc().project(&[2, 0]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.column(0).name, "c");
+        assert_eq!(s.column(1).name, "a");
+    }
+
+    #[test]
+    fn admits_respects_types_and_null() {
+        assert!(ColumnType::Int.admits(&Value::Int(5)));
+        assert!(!ColumnType::Int.admits(&Value::str("x")));
+        assert!(ColumnType::Str.admits(&Value::Null));
+        // Ints are admissible in float columns (numeric widening).
+        assert!(ColumnType::Float.admits(&Value::Int(5)));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(abc().to_string(), "(a INT, b STR, c FLOAT)");
+    }
+}

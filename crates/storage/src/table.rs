@@ -1,0 +1,210 @@
+//! Heap tables.
+
+use crate::error::{StorageError, StorageResult};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Position of a row within its table's heap. Stable: this engine is
+/// insert-only (the paper's experiments never update or delete during
+/// a measured query).
+pub type RowId = u64;
+
+/// An in-memory heap table: a schema plus a vector of rows in insertion
+/// order.
+///
+/// Insertion order matters: the paper studies how the **order in which
+/// tuples are retrieved from the driver node** affects estimator accuracy
+/// (Section 4.2, "predictive orders"), and a heap scan returns rows in
+/// exactly this order. The data generators in `qp-datagen` produce tables
+/// in controlled orders (random / sorted / skew-first / skew-last).
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Table {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Exact cardinality. Progress estimators may use this (Section 5.1:
+    /// base-relation cardinality "is accurately available from the database
+    /// catalogs").
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row after validating it against the schema.
+    pub fn insert(&mut self, row: Row) -> StorageResult<RowId> {
+        if row.arity() != self.schema.arity() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "table {}: expected {} columns, got {}",
+                self.name,
+                self.schema.arity(),
+                row.arity()
+            )));
+        }
+        for (i, v) in row.values().iter().enumerate() {
+            let col = self.schema.column(i);
+            if !col.ty.admits(v) {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "table {}: column {} ({}) cannot hold {v:?}",
+                    self.name, col.name, col.ty
+                )));
+            }
+        }
+        let rid = self.rows.len() as RowId;
+        self.rows.push(row);
+        Ok(rid)
+    }
+
+    /// Appends a row without schema validation. Used by bulk loaders that
+    /// construct rows straight from a typed generator.
+    #[inline]
+    pub fn insert_unchecked(&mut self, row: Row) -> RowId {
+        let rid = self.rows.len() as RowId;
+        self.rows.push(row);
+        rid
+    }
+
+    /// Bulk-inserts rows built from value vectors, validating each.
+    pub fn load(&mut self, rows: impl IntoIterator<Item = Vec<Value>>) -> StorageResult<usize> {
+        let mut n = 0;
+        for vals in rows {
+            self.insert(Row::new(vals))?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Row by id. Panics if out of range (row ids come from this table's
+    /// own indexes, so a miss is a logic error, not a user error).
+    #[inline]
+    pub fn row(&self, rid: RowId) -> &Row {
+        &self.rows[rid as usize]
+    }
+
+    /// All rows in heap (insertion) order.
+    #[inline]
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Iterator over `(rid, row)` in heap order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as RowId, r))
+    }
+
+    /// Reorders the rows of the table in place according to `perm`, where
+    /// the new row `i` is the old row `perm[i]`. Invalidates indexes; the
+    /// catalog rebuilds them. Used by the data generators to realize the
+    /// paper's adversarial input orders.
+    pub fn reorder(&mut self, perm: &[usize]) {
+        assert_eq!(perm.len(), self.rows.len(), "permutation length mismatch");
+        let mut new_rows = Vec::with_capacity(self.rows.len());
+        for &p in perm {
+            new_rows.push(self.rows[p].clone());
+        }
+        self.rows = new_rows;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn t() -> Table {
+        Table::new(
+            "t",
+            Schema::of(&[("a", ColumnType::Int), ("b", ColumnType::Str)]),
+        )
+    }
+
+    #[test]
+    fn insert_validates_arity() {
+        let mut tab = t();
+        let err = tab.insert(Row::new(vec![Value::Int(1)])).unwrap_err();
+        assert!(matches!(err, StorageError::SchemaMismatch(_)));
+    }
+
+    #[test]
+    fn insert_validates_types() {
+        let mut tab = t();
+        let err = tab
+            .insert(Row::new(vec![Value::str("x"), Value::str("y")]))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::SchemaMismatch(_)));
+        // NULL is admissible anywhere.
+        tab.insert(Row::new(vec![Value::Null, Value::Null])).unwrap();
+    }
+
+    #[test]
+    fn scan_preserves_insertion_order() {
+        let mut tab = t();
+        for i in 0..10 {
+            tab.insert(Row::new(vec![Value::Int(i), Value::str("x")]))
+                .unwrap();
+        }
+        let got: Vec<i64> = tab
+            .scan()
+            .map(|(_, r)| r.get(0).as_i64().unwrap())
+            .collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reorder_applies_permutation() {
+        let mut tab = t();
+        for i in 0..4 {
+            tab.insert(Row::new(vec![Value::Int(i), Value::str("x")]))
+                .unwrap();
+        }
+        tab.reorder(&[3, 1, 0, 2]);
+        let got: Vec<i64> = tab
+            .rows()
+            .iter()
+            .map(|r| r.get(0).as_i64().unwrap())
+            .collect();
+        assert_eq!(got, vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn row_ids_are_positions() {
+        let mut tab = t();
+        let r0 = tab.insert(Row::new(vec![Value::Int(7), Value::str("a")])).unwrap();
+        let r1 = tab.insert(Row::new(vec![Value::Int(8), Value::str("b")])).unwrap();
+        assert_eq!((r0, r1), (0, 1));
+        assert_eq!(tab.row(r1).get(0), &Value::Int(8));
+    }
+}

@@ -1,0 +1,368 @@
+//! Typed scalar values with a total order.
+//!
+//! The paper's framework needs values only for (a) evaluating predicates and
+//! join conditions, (b) ordering (sort, merge join, B+Tree keys), and
+//! (c) hashing (hash join, hash aggregation). [`Value`] supports all three
+//! with a *total* order so that it can be used directly as a B+Tree key
+//! component without auxiliary wrapper types.
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A dynamically-typed scalar value.
+///
+/// Numeric comparisons are performed cross-type between [`Value::Int`] and
+/// [`Value::Float`] so that predicates like `l_quantity < 24` behave as in
+/// SQL regardless of the stored representation. All other comparisons are
+/// within-type; across different types, a fixed type rank defines the total
+/// order (`Null < Bool < numerics < Str < Date`).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL. Compares less than every non-null value (index order), but
+    /// predicate evaluation treats comparisons with NULL as *false*
+    /// (three-valued logic collapsed to two, as in a WHERE clause).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. NaN is normalized to compare greater than all other
+    /// floats, giving a total order.
+    Float(f64),
+    /// Interned UTF-8 string. `Arc<str>` keeps `Row` clones cheap.
+    Str(Arc<str>),
+    /// Date as days since the epoch 1970-01-01 (negative allowed).
+    Date(i32),
+}
+
+impl Value {
+    /// Builds a string value from anything string-like.
+    pub fn str(s: impl Into<Cow<'static, str>>) -> Value {
+        match s.into() {
+            Cow::Borrowed(b) => Value::Str(Arc::from(b)),
+            Cow::Owned(o) => Value::Str(Arc::from(o.as_str())),
+        }
+    }
+
+    /// Builds a [`Value::Date`] from a `(year, month, day)` triple using a
+    /// proleptic Gregorian calendar. Panics on out-of-range month/day.
+    pub fn date(year: i32, month: u32, day: u32) -> Value {
+        Value::Date(days_from_civil(year, month, day))
+    }
+
+    /// True iff this is [`Value::Null`].
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it is numeric.
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value, if it is an integer.
+    #[inline]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Rank used to order values of different types.
+    #[inline]
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Str(_) => 3,
+            Value::Date(_) => 4,
+        }
+    }
+
+    /// SQL comparison: returns `None` when either side is NULL (unknown),
+    /// `Some(ordering)` otherwise. Used by predicate evaluation; the total
+    /// [`Ord`] implementation below is used by sorting and index keys.
+    #[inline]
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => total_f64_cmp(*a, *b),
+            (Int(a), Float(b)) => total_f64_cmp(*a as f64, *b),
+            (Float(a), Int(b)) => total_f64_cmp(*a, *b as f64),
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (Date(a), Date(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and floats that compare equal must hash equal; hash the
+            // canonical f64 bit pattern for both when the int is exactly
+            // representable, otherwise the i64.
+            Value::Int(i) => {
+                let f = *i as f64;
+                if f as i64 == *i {
+                    2u8.hash(state);
+                    canonical_f64_bits(f).hash(state);
+                } else {
+                    3u8.hash(state);
+                    i.hash(state);
+                }
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                canonical_f64_bits(*f).hash(state);
+            }
+            Value::Str(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                5u8.hash(state);
+                d.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => {
+                let (y, m, day) = civil_from_days(*d);
+                write!(f, "{y:04}-{m:02}-{day:02}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+/// Total order over f64 treating NaN as the greatest value and -0.0 == 0.0.
+#[inline]
+fn total_f64_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("non-NaN floats always compare"),
+    }
+}
+
+/// Bit pattern used for hashing floats consistently with `total_f64_cmp`.
+#[inline]
+fn canonical_f64_bits(f: f64) -> u64 {
+    if f.is_nan() {
+        f64::NAN.to_bits()
+    } else if f == 0.0 {
+        0.0f64.to_bits() // collapse -0.0 and +0.0
+    } else {
+        f.to_bits()
+    }
+}
+
+/// Days from civil date, Howard Hinnant's algorithm (public domain).
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    assert!((1..=12).contains(&m), "month out of range: {m}");
+    assert!((1..=31).contains(&d), "day out of range: {d}");
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64;
+    let mp = ((m + 9) % 12) as i64;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    (era as i64 * 146_097 + doe - 719_468) as i32
+}
+
+/// Civil date from days, inverse of [`days_from_civil`].
+pub fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z as i64 + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn int_float_cross_compare() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert!(Value::Int(3) < Value::Float(3.5));
+        assert!(Value::Float(2.5) < Value::Int(3));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(h(&Value::Int(42)), h(&Value::Float(42.0)));
+        assert_eq!(h(&Value::Float(0.0)), h(&Value::Float(-0.0)));
+    }
+
+    #[test]
+    fn nan_is_greatest_float() {
+        assert!(Value::Float(f64::NAN) > Value::Float(f64::INFINITY));
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+    }
+
+    #[test]
+    fn null_sorts_first_but_sql_cmp_is_unknown() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(0)), None);
+        assert_eq!(Value::Int(0).sql_cmp(&Value::Null), None);
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Int(1)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn cross_type_order_is_total_and_consistent() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-1),
+            Value::Float(0.5),
+            Value::Int(7),
+            Value::str("abc"),
+            Value::str("abd"),
+            Value::date(1995, 3, 15),
+        ];
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                assert_eq!(a.cmp(b), i.cmp(&j), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn date_roundtrip() {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (1992, 2, 29),
+            (1998, 12, 1),
+            (2000, 1, 1),
+            (1969, 12, 31),
+            (1900, 3, 1),
+        ] {
+            let days = days_from_civil(y, m, d);
+            assert_eq!(civil_from_days(days), (y, m, d), "{y}-{m}-{d}");
+        }
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(1970, 1, 2), 1);
+    }
+
+    #[test]
+    fn date_display() {
+        assert_eq!(Value::date(1995, 3, 15).to_string(), "1995-03-15");
+    }
+
+    #[test]
+    fn str_interning_is_cheap_to_clone() {
+        let v = Value::str("hello world");
+        let w = v.clone();
+        assert_eq!(v, w);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests: the B+Tree must behave exactly like a sorted
+//! multimap model under arbitrary insertion sequences, and structural
+//! invariants must hold at every point.
+
+use proptest::prelude::*;
+use qp_storage::btree::BTreeIndex;
+use qp_storage::{RowId, Value};
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+fn key(v: i64) -> Vec<Value> {
+    vec![Value::Int(v)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lookups agree with a model multimap for arbitrary inserts
+    /// (including many duplicates, thanks to the narrow key domain).
+    #[test]
+    fn lookup_matches_model(inserts in prop::collection::vec(0i64..50, 0..800)) {
+        let mut tree = BTreeIndex::new(1);
+        let mut model: BTreeSet<(i64, RowId)> = BTreeSet::new();
+        for (rid, k) in inserts.iter().enumerate() {
+            tree.insert(key(*k), rid as RowId);
+            model.insert((*k, rid as RowId));
+        }
+        tree.check_invariants();
+        for k in 0..50i64 {
+            let got: Vec<RowId> = tree.lookup(&key(k)).collect();
+            let want: Vec<RowId> = model
+                .range((k, 0)..=(k, RowId::MAX))
+                .map(|&(_, r)| r)
+                .collect();
+            prop_assert_eq!(got, want, "key {}", k);
+        }
+    }
+
+    /// Range scans return exactly the model's range contents, in order.
+    #[test]
+    fn range_matches_model(
+        inserts in prop::collection::vec(0i64..100, 0..500),
+        lo in 0i64..100,
+        width in 0i64..100,
+    ) {
+        let hi = (lo + width).min(99);
+        let mut tree = BTreeIndex::new(1);
+        let mut model: Vec<(i64, RowId)> = Vec::new();
+        for (rid, k) in inserts.iter().enumerate() {
+            tree.insert(key(*k), rid as RowId);
+            model.push((*k, rid as RowId));
+        }
+        model.sort();
+        let got: Vec<(i64, RowId)> = tree
+            .range(Bound::Included(&key(lo)), Bound::Included(key(hi)))
+            .map(|(k, r)| (k[0].as_i64().unwrap(), r))
+            .collect();
+        let want: Vec<(i64, RowId)> = model
+            .iter()
+            .filter(|(k, _)| *k >= lo && *k <= hi)
+            .copied()
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Full scans are always sorted and complete.
+    #[test]
+    fn scan_is_sorted_and_complete(inserts in prop::collection::vec(-1000i64..1000, 0..600)) {
+        let mut tree = BTreeIndex::new(1);
+        for (rid, k) in inserts.iter().enumerate() {
+            tree.insert(key(*k), rid as RowId);
+        }
+        let scanned: Vec<(i64, RowId)> = tree
+            .scan()
+            .map(|(k, r)| (k[0].as_i64().unwrap(), r))
+            .collect();
+        prop_assert_eq!(scanned.len(), inserts.len());
+        prop_assert!(scanned.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

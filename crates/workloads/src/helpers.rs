@@ -1,0 +1,123 @@
+//! Small expression-building helpers shared by the workload plans.
+
+use qp_exec::expr::{ArithOp, CmpOp, Expr, LikePattern};
+use qp_exec::plan::PlanBuilder;
+use qp_storage::Value;
+
+/// `builder.col(name)` shorthand.
+pub fn c(b: &PlanBuilder, name: &str) -> usize {
+    b.col(name)
+}
+
+/// `col = literal`.
+pub fn eq(col: usize, v: impl Into<Value>) -> Expr {
+    Expr::cmp(CmpOp::Eq, Expr::Col(col), Expr::Lit(v.into()))
+}
+
+/// `col <> literal`.
+pub fn ne(col: usize, v: impl Into<Value>) -> Expr {
+    Expr::cmp(CmpOp::Ne, Expr::Col(col), Expr::Lit(v.into()))
+}
+
+/// `col < literal`.
+pub fn lt(col: usize, v: impl Into<Value>) -> Expr {
+    Expr::cmp(CmpOp::Lt, Expr::Col(col), Expr::Lit(v.into()))
+}
+
+/// `col <= literal`.
+pub fn le(col: usize, v: impl Into<Value>) -> Expr {
+    Expr::cmp(CmpOp::Le, Expr::Col(col), Expr::Lit(v.into()))
+}
+
+/// `col > literal`.
+pub fn gt(col: usize, v: impl Into<Value>) -> Expr {
+    Expr::cmp(CmpOp::Gt, Expr::Col(col), Expr::Lit(v.into()))
+}
+
+/// `col >= literal`.
+pub fn ge(col: usize, v: impl Into<Value>) -> Expr {
+    Expr::cmp(CmpOp::Ge, Expr::Col(col), Expr::Lit(v.into()))
+}
+
+/// `col BETWEEN lo AND hi` (inclusive).
+pub fn between(col: usize, lo: impl Into<Value>, hi: impl Into<Value>) -> Expr {
+    Expr::Between(Box::new(Expr::Col(col)), lo.into(), hi.into())
+}
+
+/// `col IN (vals)`.
+pub fn in_list(col: usize, vals: Vec<Value>) -> Expr {
+    Expr::InList(Box::new(Expr::Col(col)), vals)
+}
+
+/// `col LIKE 'prefix%'`.
+pub fn starts_with(col: usize, p: &str) -> Expr {
+    Expr::Like(Box::new(Expr::Col(col)), LikePattern::StartsWith(p.into()))
+}
+
+/// `col LIKE '%suffix'`.
+pub fn ends_with(col: usize, p: &str) -> Expr {
+    Expr::Like(Box::new(Expr::Col(col)), LikePattern::EndsWith(p.into()))
+}
+
+/// `col LIKE '%infix%'`.
+pub fn contains(col: usize, p: &str) -> Expr {
+    Expr::Like(Box::new(Expr::Col(col)), LikePattern::Contains(p.into()))
+}
+
+/// `left_col cmp right_col`.
+pub fn col_cmp(op: CmpOp, l: usize, r: usize) -> Expr {
+    Expr::cmp(op, Expr::Col(l), Expr::Col(r))
+}
+
+/// `a * b` over expressions.
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    Expr::arith(ArithOp::Mul, a, b)
+}
+
+/// `a + b`.
+pub fn add(a: Expr, b: Expr) -> Expr {
+    Expr::arith(ArithOp::Add, a, b)
+}
+
+/// `a - b`.
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    Expr::arith(ArithOp::Sub, a, b)
+}
+
+/// `extendedprice * (1 - discount)` — the ubiquitous TPC-H revenue term.
+pub fn revenue(extprice_col: usize, discount_col: usize) -> Expr {
+    mul(
+        Expr::Col(extprice_col),
+        sub(Expr::Lit(Value::Float(1.0)), Expr::Col(discount_col)),
+    )
+}
+
+/// A date literal.
+pub fn d(y: i32, m: u32, day: u32) -> Value {
+    Value::date(y, m, day)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_storage::Row;
+
+    #[test]
+    fn revenue_term_evaluates() {
+        let r = Row::new(vec![Value::Float(100.0), Value::Float(0.1)]);
+        let v = revenue(0, 1).eval(&r).unwrap();
+        assert_eq!(v, Value::Float(90.0));
+    }
+
+    #[test]
+    fn helpers_build_expected_shapes() {
+        let r = Row::new(vec![Value::Int(5), Value::str("PROMO X")]);
+        assert!(between(0, 1i64, 10i64).eval_bool(&r).unwrap());
+        assert!(starts_with(1, "PROMO").eval_bool(&r).unwrap());
+        assert!(!ends_with(1, "PROMO").eval_bool(&r).unwrap());
+        assert!(contains(1, "OMO").eval_bool(&r).unwrap());
+        assert!(in_list(0, vec![Value::Int(5)]).eval_bool(&r).unwrap());
+        assert!(ne(0, 4i64).eval_bool(&r).unwrap());
+        assert!(ge(0, 5i64).eval_bool(&r).unwrap());
+    }
+}

@@ -1,0 +1,81 @@
+//! SQL texts for the subset of TPC-H queries expressible in the `qp-sql`
+//! dialect (no subqueries), with the *same output columns* as the
+//! hand-built plans in [`crate::tpch`] — so the two paths can be checked
+//! against each other, validating parser, planner, and executor in one
+//! sweep.
+
+/// Queries with a faithful SQL rendering in the supported dialect,
+/// matching the hand-built plan's output column-for-column.
+pub const SQL_QUERIES: [usize; 5] = [1, 3, 5, 6, 10];
+
+/// The SQL text for TPC-H query `q`, if it is in [`SQL_QUERIES`].
+pub fn tpch_sql(q: usize) -> Option<&'static str> {
+    Some(match q {
+        1 => {
+            "SELECT l_returnflag, l_linestatus, \
+                    SUM(l_quantity) AS sum_qty, \
+                    SUM(l_extendedprice) AS sum_base_price, \
+                    SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, \
+                    SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, \
+                    AVG(l_quantity) AS avg_qty, \
+                    AVG(l_extendedprice) AS avg_price, \
+                    AVG(l_discount) AS avg_disc, \
+                    COUNT(*) AS count_order \
+             FROM lineitem \
+             WHERE l_shipdate <= DATE '1998-09-02' \
+             GROUP BY l_returnflag, l_linestatus \
+             ORDER BY l_returnflag, l_linestatus"
+        }
+        3 => {
+            "SELECT l_orderkey, o_orderdate, o_shippriority, \
+                    SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+             FROM customer, orders, lineitem \
+             WHERE c_mktsegment = 'BUILDING' \
+               AND c_custkey = o_custkey \
+               AND l_orderkey = o_orderkey \
+               AND o_orderdate < DATE '1995-03-15' \
+               AND l_shipdate > DATE '1995-03-15' \
+             GROUP BY l_orderkey, o_orderdate, o_shippriority \
+             ORDER BY revenue DESC, o_orderdate \
+             LIMIT 10"
+        }
+        5 => {
+            "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+             FROM customer, orders, lineitem, supplier, nation, region \
+             WHERE c_custkey = o_custkey \
+               AND l_orderkey = o_orderkey \
+               AND l_suppkey = s_suppkey \
+               AND c_nationkey = s_nationkey \
+               AND s_nationkey = n_nationkey \
+               AND n_regionkey = r_regionkey \
+               AND r_name = 'ASIA' \
+               AND o_orderdate >= DATE '1994-01-01' \
+               AND o_orderdate < DATE '1995-01-01' \
+             GROUP BY n_name \
+             ORDER BY revenue DESC"
+        }
+        6 => {
+            "SELECT SUM(l_extendedprice * l_discount) AS revenue \
+             FROM lineitem \
+             WHERE l_shipdate >= DATE '1994-01-01' \
+               AND l_shipdate < DATE '1995-01-01' \
+               AND l_discount BETWEEN 0.05 AND 0.07 \
+               AND l_quantity < 24"
+        }
+        10 => {
+            "SELECT c_custkey, c_name, c_acctbal, n_name, \
+                    SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+             FROM customer, orders, lineitem, nation \
+             WHERE c_custkey = o_custkey \
+               AND l_orderkey = o_orderkey \
+               AND o_orderdate >= DATE '1993-10-01' \
+               AND o_orderdate < DATE '1994-01-01' \
+               AND l_returnflag = 'R' \
+               AND c_nationkey = n_nationkey \
+             GROUP BY c_custkey, c_name, c_acctbal, n_name \
+             ORDER BY revenue DESC \
+             LIMIT 20"
+        }
+        _ => return None,
+    })
+}

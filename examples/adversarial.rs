@@ -1,0 +1,77 @@
+//! The paper's lower-bound argument, live (Section 3, Example 1,
+//! Theorem 1).
+//!
+//! Builds two *twin* databases that are indistinguishable to any progress
+//! estimator — identical single-relation statistics, identical execution
+//! trace for the first 90% of the query — yet whose true progress at the
+//! decision instant differs by a factor of ten. Whatever an estimator
+//! answers, it is wrong by at least `√(0.9/0.09) ≈ 3.2×` on one twin.
+//!
+//! ```text
+//! cargo run --release --example adversarial
+//! ```
+
+use queryprogress::progress::adversary::AdversarialPair;
+use queryprogress::progress::estimators::standard_suite;
+use queryprogress::progress::monitor::run_with_progress;
+use queryprogress::stats::DbStats;
+
+fn main() {
+    let n = 10_000;
+    let pair = AdversarialPair::construct(n);
+
+    println!("twin construction with |R1| = {n}:");
+    println!(
+        "  victim tuple at heap position {} (after {:.0}% of the scan)",
+        pair.victim_pos,
+        100.0 * pair.victim_pos as f64 / n as f64
+    );
+    println!(
+        "  X twin: victim.A = {} (matches nothing in R2)",
+        pair.x
+    );
+    println!(
+        "  Y twin: victim.A = {} (matches all {} rows of R2)",
+        pair.y,
+        9 * n
+    );
+    println!(
+        "  single-relation histograms identical across twins: {}",
+        pair.stats_identical(100)
+    );
+
+    let (px, py) = pair.decision_progress();
+    println!("\nat the instant before the victim is read:");
+    println!("  true progress on the X twin: {:.1}%", px * 100.0);
+    println!("  true progress on the Y twin: {:.1}%", py * 100.0);
+    println!(
+        "  ⇒ best achievable worst-case ratio error: {:.2} (Theorem 6: safe attains this)",
+        pair.best_achievable_ratio()
+    );
+
+    // Run the estimator suite on the X twin; by construction every
+    // estimator would answer identically on the Y twin at this instant.
+    let stats = DbStats::build(&pair.db_x);
+    let plan = pair.plan(&pair.db_x);
+    let (_, trace) = run_with_progress(&plan, &pair.db_x, Some(&stats), standard_suite(), Some(1))
+        .expect("twin query runs");
+    let snap = trace
+        .snapshots()
+        .iter().rfind(|s| s.curr <= pair.decision_curr())
+        .expect("decision snapshot");
+
+    println!("\n{:<14}{:>10}{:>22}", "estimator", "estimate", "forced ratio error");
+    for (name, est) in trace.names().iter().zip(&snap.estimates) {
+        println!(
+            "{name:<14}{:>9.1}%{:>22.2}",
+            est * 100.0,
+            pair.forced_ratio_error(*est)
+        );
+    }
+    println!(
+        "\nEvery estimator that commits to one of the twins (dne, pmax, esttotal)\n\
+         eats a ~10× error on the other; safe hedges at the geometric mean and\n\
+         achieves the provable optimum. No estimator can beat it: the twins are\n\
+         indistinguishable from statistics + execution feedback alone."
+    );
+}
