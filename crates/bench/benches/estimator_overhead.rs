@@ -1,11 +1,11 @@
-//! Criterion micro-benchmarks: the cost of the progress-estimation
-//! machinery itself — per-estimate cost of each estimator, per-refresh
-//! cost of the bounds tracker, and the end-to-end monitor snapshot.
+//! Micro-benchmarks (qp-testkit harness): the cost of the
+//! progress-estimation machinery itself — per-estimate cost of each
+//! estimator, per-refresh cost of the bounds tracker, and the end-to-end
+//! monitor snapshot.
 //!
 //! A progress estimator is only practical if its per-snapshot cost is
 //! negligible next to a getnext call; these benches quantify that.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qp_datagen::{RowOrder, SyntheticConfig, SyntheticDb};
 use qp_exec::plan::{JoinType, Plan, PlanBuilder};
 use qp_progress::bounds::BoundsTracker;
@@ -14,7 +14,7 @@ use qp_progress::estimators::{
 };
 use qp_progress::PlanMeta;
 use qp_stats::DbStats;
-use std::hint::black_box;
+use qp_testkit::bench::{black_box, BenchmarkId, Harness};
 
 fn synth() -> SyntheticDb {
     SyntheticDb::generate(SyntheticConfig {
@@ -58,7 +58,7 @@ fn mid_state(plan: &Plan) -> MidState {
     }
 }
 
-fn bench_estimates(c: &mut Criterion) {
+fn bench_estimates(c: &mut Harness) {
     let s = synth();
     let plan = inl_plan(&s);
     let st = mid_state(&plan);
@@ -89,7 +89,7 @@ fn bench_estimates(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_bounds_refresh(c: &mut Criterion) {
+fn bench_bounds_refresh(c: &mut Harness) {
     let s = synth();
     let plan = inl_plan(&s);
     let produced: Vec<u64> = (0..plan.len() as u64).map(|i| 500 + i * 7).collect();
@@ -126,7 +126,7 @@ fn bench_bounds_refresh(c: &mut Criterion) {
     });
 }
 
-fn bench_monitoring_overhead(c: &mut Criterion) {
+fn bench_monitoring_overhead(c: &mut Harness) {
     // End-to-end: run the same query bare vs with the full monitor at
     // different strides — the instrumentation tax.
     let s = synth();
@@ -162,10 +162,8 @@ fn bench_monitoring_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
+qp_testkit::bench_main!(
     bench_estimates,
     bench_bounds_refresh,
     bench_monitoring_overhead
 );
-criterion_main!(benches);

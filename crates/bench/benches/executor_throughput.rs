@@ -1,12 +1,12 @@
-//! Criterion benchmarks of the execution substrate: operator throughput
-//! in getnext calls per second, with and without progress instrumentation.
+//! Benchmarks (qp-testkit harness) of the execution substrate: operator
+//! throughput in getnext calls per second, with and without progress
+//! instrumentation.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use qp_datagen::{RowOrder, SyntheticConfig, SyntheticDb};
 use qp_exec::expr::{CmpOp, Expr};
 use qp_exec::plan::{JoinType, Plan, PlanBuilder};
 use qp_storage::Value;
-use std::hint::black_box;
+use qp_testkit::bench::{black_box, Harness, Throughput};
 
 fn synth() -> SyntheticDb {
     SyntheticDb::generate(SyntheticConfig {
@@ -19,19 +19,20 @@ fn synth() -> SyntheticDb {
 }
 
 fn total(plan: &Plan, s: &SyntheticDb) -> u64 {
-    qp_exec::run_query(plan, &s.db, None).unwrap().0.total_getnext
+    qp_exec::run_query(plan, &s.db, None)
+        .unwrap()
+        .0
+        .total_getnext
 }
 
-fn bench_operators(c: &mut Criterion) {
+fn bench_operators(c: &mut Harness) {
     let s = synth();
     let mut group = c.benchmark_group("executor");
     group.sample_size(20);
 
     let scan = PlanBuilder::scan(&s.db, "r2").unwrap().build();
     group.throughput(Throughput::Elements(total(&scan, &s)));
-    group.bench_function("seq-scan-100k", |b| {
-        b.iter(|| black_box(total(&scan, &s)))
-    });
+    group.bench_function("seq-scan-100k", |b| b.iter(|| black_box(total(&scan, &s))));
 
     let filter = PlanBuilder::scan(&s.db, "r2")
         .unwrap()
@@ -42,9 +43,7 @@ fn bench_operators(c: &mut Criterion) {
         ))
         .build();
     group.throughput(Throughput::Elements(total(&filter, &s)));
-    group.bench_function("filter-100k", |b| {
-        b.iter(|| black_box(total(&filter, &s)))
-    });
+    group.bench_function("filter-100k", |b| b.iter(|| black_box(total(&filter, &s))));
 
     let hash = PlanBuilder::scan(&s.db, "r1")
         .unwrap()
@@ -79,9 +78,14 @@ fn bench_operators(c: &mut Criterion) {
     group.bench_function("sort-100k", |b| b.iter(|| black_box(total(&sort, &s))));
 
     let merge = {
-        let l = PlanBuilder::scan(&s.db, "r1").unwrap().sort(vec![(0, true)]);
-        let r = PlanBuilder::scan(&s.db, "r2").unwrap().sort(vec![(0, true)]);
-        l.merge_join(r, vec![0], vec![0], JoinType::Inner, true).build()
+        let l = PlanBuilder::scan(&s.db, "r1")
+            .unwrap()
+            .sort(vec![(0, true)]);
+        let r = PlanBuilder::scan(&s.db, "r2")
+            .unwrap()
+            .sort(vec![(0, true)]);
+        l.merge_join(r, vec![0], vec![0], JoinType::Inner, true)
+            .build()
     };
     group.throughput(Throughput::Elements(total(&merge, &s)));
     group.bench_function("merge-join-10k-100k", |b| {
@@ -91,5 +95,4 @@ fn bench_operators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_operators);
-criterion_main!(benches);
+qp_testkit::bench_main!(bench_operators);

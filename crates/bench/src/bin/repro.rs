@@ -39,7 +39,11 @@ const EXPERIMENTS: [&str; 19] = [
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
-    let scale = if small { Scale::small() } else { Scale::default() };
+    let scale = if small {
+        Scale::small()
+    } else {
+        Scale::default()
+    };
     let csv_dir: Option<std::path::PathBuf> = args
         .iter()
         .position(|a| a == "--csv")

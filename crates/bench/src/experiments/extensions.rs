@@ -146,9 +146,7 @@ impl ThresholdResult {
             &self
                 .rows
                 .iter()
-                .map(|(n, s, l)| {
-                    vec![n.to_string(), format!("{s:.2}"), format!("{l:.2}")]
-                })
+                .map(|(n, s, l)| vec![n.to_string(), format!("{s:.2}"), format!("{l:.2}")])
                 .collect::<Vec<_>>(),
         )
     }

@@ -23,7 +23,13 @@ impl Table1 {
     pub fn render(&self) -> String {
         crate::render::render_table(
             "Table 1: impact of scan-based plan (worst-case order)",
-            &["estimator", "MaxErr(INL)", "MaxErr(Hash)", "AvgErr(INL)", "AvgErr(Hash)"],
+            &[
+                "estimator",
+                "MaxErr(INL)",
+                "MaxErr(Hash)",
+                "AvgErr(INL)",
+                "AvgErr(Hash)",
+            ],
             &self
                 .rows
                 .iter()
@@ -91,7 +97,10 @@ impl MuTable {
 
     /// μ for one query number, if present.
     pub fn mu(&self, q: usize) -> Option<f64> {
-        self.rows.iter().find(|(n, ..)| *n == q).map(|&(_, mu, ..)| mu)
+        self.rows
+            .iter()
+            .find(|(n, ..)| *n == q)
+            .map(|&(_, mu, ..)| mu)
     }
 }
 

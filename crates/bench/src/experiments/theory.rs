@@ -52,7 +52,11 @@ impl LowerBoundResult {
                 .rows
                 .iter()
                 .map(|(n, e, r)| {
-                    vec![n.to_string(), format!("{:.1}%", e * 100.0), format!("{r:.2}")]
+                    vec![
+                        n.to_string(),
+                        format!("{:.1}%", e * 100.0),
+                        format!("{r:.2}"),
+                    ]
                 })
                 .collect::<Vec<_>>(),
         ));
@@ -73,18 +77,13 @@ pub fn lower_bound(n: usize) -> LowerBoundResult {
         p
     };
     let stats = DbStats::build(&pair.db_x);
-    let (_, trace) = run_with_progress(
-        &plan,
-        &pair.db_x,
-        Some(&stats),
-        standard_suite(),
-        Some(1),
-    )
-    .expect("twin query runs");
+    let (_, trace) = run_with_progress(&plan, &pair.db_x, Some(&stats), standard_suite(), Some(1))
+        .expect("twin query runs");
     let decision = pair.decision_curr();
     let snap = trace
         .snapshots()
-        .iter().rfind(|s| s.curr <= decision)
+        .iter()
+        .rfind(|s| s.curr <= decision)
         .expect("decision snapshot exists")
         .clone();
     let rows = trace
@@ -170,7 +169,9 @@ pub fn theorem4(scale: &Scale) -> Theorem4Result {
         v
     };
     let uniform: Vec<u64> = vec![5; 1000];
-    let bimodal: Vec<u64> = (0..1000).map(|i| if i % 2 == 0 { 1 } else { 100 }).collect();
+    let bimodal: Vec<u64> = (0..1000)
+        .map(|i| if i % 2 == 0 { 1 } else { 100 })
+        .collect();
     let rows = vec![
         ("zipf z=2 INL fan-out".to_string(), &zipf_work),
         ("single heavy tuple".to_string(), &single_heavy),
@@ -234,12 +235,7 @@ pub fn scan_based(scale: &Scale) -> ScanBasedResult {
         }
         let meta = PlanMeta::from_plan(&plan);
         let m = meta.internal_nodes as f64;
-        let (out, trace) = traced_run(
-            plan,
-            &t.db,
-            &stats,
-            vec![Box::new(qp_progress::Safe)],
-        );
+        let (out, trace) = traced_run(plan, &t.db, &stats, vec![Box::new(qp_progress::Safe)]);
         let mu = mu_from_counts(&meta, &out.node_counts);
         let safe_ratio = error_stats(&trace, "safe").expect("traced").max_ratio;
         rows.push((q, mu, m + 1.0, safe_ratio, (m + 1.0).sqrt()));
@@ -287,29 +283,27 @@ pub fn invariants(scale: &Scale) -> InvariantResult {
     let mut snaps = 0usize;
     let mut violations = Vec::new();
 
-    let mut check = |label: String,
-                     plan: qp_exec::Plan,
-                     db: &qp_storage::Database,
-                     stats: &DbStats| {
-        let meta = PlanMeta::from_plan(&plan);
-        let (out, trace) = traced_run(plan, db, stats, vec![Box::new(qp_progress::Pmax)]);
-        let mu = mu_from_counts(&meta, &out.node_counts);
-        queries += 1;
-        for (prog, est) in trace.series("pmax").expect("traced") {
-            snaps += 1;
-            if est + 1e-9 < prog {
-                violations.push(format!(
-                    "{label}: pmax {est:.4} < progress {prog:.4} (Property 4)"
-                ));
+    let mut check =
+        |label: String, plan: qp_exec::Plan, db: &qp_storage::Database, stats: &DbStats| {
+            let meta = PlanMeta::from_plan(&plan);
+            let (out, trace) = traced_run(plan, db, stats, vec![Box::new(qp_progress::Pmax)]);
+            let mu = mu_from_counts(&meta, &out.node_counts);
+            queries += 1;
+            for (prog, est) in trace.series("pmax").expect("traced") {
+                snaps += 1;
+                if est + 1e-9 < prog {
+                    violations.push(format!(
+                        "{label}: pmax {est:.4} < progress {prog:.4} (Property 4)"
+                    ));
+                }
+                if mu.is_finite() && est > mu * prog + 1e-9 && prog > 0.0 {
+                    violations.push(format!(
+                        "{label}: pmax {est:.4} > mu*prog {:.4} (Theorem 5)",
+                        mu * prog
+                    ));
+                }
             }
-            if mu.is_finite() && est > mu * prog + 1e-9 && prog > 0.0 {
-                violations.push(format!(
-                    "{label}: pmax {est:.4} > mu*prog {:.4} (Theorem 5)",
-                    mu * prog
-                ));
-            }
-        }
-    };
+        };
 
     for (q, plan) in qp_workloads::tpch_queries(&t) {
         // Limit plans stop early: their a-priori leaf bounds exceed the

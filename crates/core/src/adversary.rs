@@ -71,14 +71,16 @@ impl AdversarialPair {
             .expect("fresh db");
         db_x.create_table_with_rows("r2", Schema::of(&[("b", ColumnType::Int)]), r2_rows.clone())
             .expect("fresh db");
-        db_x.create_index("r2_b", "r2", &["b"], false).expect("index");
+        db_x.create_index("r2_b", "r2", &["b"], false)
+            .expect("index");
 
         let mut db_y = Database::new();
         db_y.create_table_with_rows("r1", r1_schema, mk_r1(y))
             .expect("fresh db");
         db_y.create_table_with_rows("r2", Schema::of(&[("b", ColumnType::Int)]), r2_rows)
             .expect("fresh db");
-        db_y.create_index("r2_b", "r2", &["b"], false).expect("index");
+        db_y.create_index("r2_b", "r2", &["b"], false)
+            .expect("index");
 
         AdversarialPair {
             db_x,

@@ -18,8 +18,7 @@
 //!   under random order).
 
 use qp_exec::{Counters, ExecEvent, NodeId, Observer};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use qp_testkit::rng::TestRng;
 
 /// A per-driver-tuple work distribution in a fixed order: `work[i]` is the
 /// number of getnext calls attributable to driver tuple `i` (its own
@@ -120,7 +119,7 @@ pub fn dne_ratio_error_after_half(wv: &WorkVector) -> f64 {
 /// given work multiset that are `c`-predictive (Theorem 4 claims ≥ ½ for
 /// c = 2, for *any* multiset).
 pub fn predictive_fraction(work: &[u64], c: f64, trials: usize, seed: u64) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     let mut shuffled: Vec<u64> = work.to_vec();
     let mut hits = 0usize;
     for _ in 0..trials {
@@ -199,10 +198,7 @@ impl Observer for WorkProfiler {
 /// # Errors
 /// Fails if the plan has multiple pipelines/sources (the paper's analysis
 /// — and this profiler — targets single pipelines) or if execution fails.
-pub fn profile_work(
-    plan: &qp_exec::Plan,
-    db: &qp_storage::Database,
-) -> Result<WorkVector, String> {
+pub fn profile_work(plan: &qp_exec::Plan, db: &qp_storage::Database) -> Result<WorkVector, String> {
     let pipelines = qp_exec::pipeline::decompose(plan);
     if pipelines.len() != 1 || pipelines[0].sources.len() != 1 {
         return Err(format!(
@@ -218,8 +214,12 @@ pub fn profile_work(
             self.0.borrow_mut().on_event(event, counters);
         }
     }
-    qp_exec::run_query(plan, db, Some(Box::new(Shared(std::rc::Rc::clone(&profiler)))))
-        .map_err(|e| e.to_string())?;
+    qp_exec::run_query(
+        plan,
+        db,
+        Some(Box::new(Shared(std::rc::Rc::clone(&profiler)))),
+    )
+    .map_err(|e| e.to_string())?;
     let wv = profiler
         .borrow()
         .work_vector()
@@ -231,7 +231,7 @@ pub fn profile_work(
 /// orders — Theorem 3's convergence discussion says this is proportional
 /// to `var / N`.
 pub fn dne_error_variance(work: &[u64], k: usize, trials: usize, seed: u64) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     let mut shuffled: Vec<u64> = work.to_vec();
     let mut errs = Vec::with_capacity(trials);
     for _ in 0..trials {
@@ -250,7 +250,7 @@ pub fn dne_error_variance(work: &[u64], k: usize, trials: usize, seed: u64) -> f
 /// checkpoint `k`, over uniformly random orders. Returns the mean signed
 /// error `E[progress − dne]`, which the theorem says is 0.
 pub fn dne_expected_error(work: &[u64], k: usize, trials: usize, seed: u64) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     let mut shuffled: Vec<u64> = work.to_vec();
     let mut sum_err = 0.0;
     for _ in 0..trials {
@@ -347,9 +347,8 @@ mod tests {
         // Var(err) ∝ var/N (Theorem 3's convergence discussion): growing N
         // with the same per-tuple distribution shrinks the error variance
         // at the midpoint roughly linearly.
-        let mk = |n: usize| -> Vec<u64> {
-            (0..n).map(|i| if i % 10 == 0 { 50 } else { 1 }).collect()
-        };
+        let mk =
+            |n: usize| -> Vec<u64> { (0..n).map(|i| if i % 10 == 0 { 50 } else { 1 }).collect() };
         let v_small = dne_error_variance(&mk(50), 25, 3000, 11);
         let v_large = dne_error_variance(&mk(500), 250, 3000, 11);
         assert!(

@@ -163,8 +163,7 @@ impl BoundsTracker {
                         stack.push((c, true));
                     }
                 }
-                PlanNode::Sort { .. }
-                | PlanNode::HashAggregate { .. } => {
+                PlanNode::Sort { .. } | PlanNode::HashAggregate { .. } => {
                     for &c in kids {
                         stack.push((c, false));
                     }
@@ -191,7 +190,13 @@ impl BoundsTracker {
             children,
             parent,
             under_limit,
-            bounds: vec![NodeBounds { lb: 0, ub: u64::MAX }; n],
+            bounds: vec![
+                NodeBounds {
+                    lb: 0,
+                    ub: u64::MAX
+                };
+                n
+            ],
         };
         // Initial bounds with zero production.
         let zeros = vec![0u64; n];
@@ -323,10 +328,7 @@ impl BoundsTracker {
         };
         // Under a Limit, only rows already produced are guaranteed.
         if self.under_limit[id] {
-            NodeBounds {
-                lb: p,
-                ub: raw.ub,
-            }
+            NodeBounds { lb: p, ub: raw.ub }
         } else {
             raw
         }

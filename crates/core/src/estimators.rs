@@ -534,7 +534,11 @@ mod tests {
         assert_eq!(refined[0], 100.0);
         assert_eq!(refined[1], 10.0);
         // Sort: est 50 × (10/50) = 10.
-        assert!((refined[2] - 10.0).abs() < 1e-9, "sort refined {}", refined[2]);
+        assert!(
+            (refined[2] - 10.0).abs() < 1e-9,
+            "sort refined {}",
+            refined[2]
+        );
         // The refined dne beats the static one, whose sort total stays 50.
         let refined_est = DneRefined.estimate(&cx);
         let static_est = Dne.estimate(&cx);

@@ -45,8 +45,7 @@ impl PlanSignature {
             out.push('(');
             out.push_str(n.kind.op_name());
             match &n.kind {
-                PlanNode::SeqScan { table, .. }
-                | PlanNode::IndexRangeScan { table, .. } => {
+                PlanNode::SeqScan { table, .. } | PlanNode::IndexRangeScan { table, .. } => {
                     out.push(':');
                     out.push_str(table);
                 }
@@ -110,7 +109,10 @@ impl FeedbackStore {
     pub fn record(&self, plan: &Plan, obs: Observation) {
         let sig = PlanSignature::of(plan);
         let mut map = self.inner.lock().expect("store poisoned");
-        let entry = map.entry(sig).or_insert(Prior { mu: obs.mu, runs: 0 });
+        let entry = map.entry(sig).or_insert(Prior {
+            mu: obs.mu,
+            runs: 0,
+        });
         if entry.runs > 0 {
             entry.mu = EWMA_ALPHA * obs.mu + (1.0 - EWMA_ALPHA) * entry.mu;
         } else {
@@ -144,11 +146,7 @@ impl FeedbackStore {
 
     /// Prior by precomputed signature.
     pub fn prior_for(&self, sig: &PlanSignature) -> Option<Prior> {
-        self.inner
-            .lock()
-            .expect("store poisoned")
-            .get(sig)
-            .copied()
+        self.inner.lock().expect("store poisoned").get(sig).copied()
     }
 
     /// Number of distinct signatures with feedback.
@@ -278,9 +276,21 @@ mod tests {
         let plan = join_plan(&db);
         let store = FeedbackStore::new();
         assert!(store.prior(&plan).is_none());
-        store.record(&plan, Observation { mu: 2.0, total: 1000 });
+        store.record(
+            &plan,
+            Observation {
+                mu: 2.0,
+                total: 1000,
+            },
+        );
         assert_eq!(store.prior(&plan).unwrap().mu, 2.0);
-        store.record(&plan, Observation { mu: 4.0, total: 1000 });
+        store.record(
+            &plan,
+            Observation {
+                mu: 4.0,
+                total: 1000,
+            },
+        );
         let p = store.prior(&plan).unwrap();
         assert_eq!(p.runs, 2);
         assert!((p.mu - 3.0).abs() < 1e-12, "ewma mu {}", p.mu);
@@ -301,14 +311,9 @@ mod tests {
         // Second run: the estimator knows μ and should track progress.
         let est = FeedbackEstimator::for_plan(&store, &plan);
         assert!(est.has_prior());
-        let (_, trace) = crate::monitor::run_with_progress(
-            &plan,
-            &db,
-            None,
-            vec![Box::new(est)],
-            Some(5),
-        )
-        .unwrap();
+        let (_, trace) =
+            crate::monitor::run_with_progress(&plan, &db, None, vec![Box::new(est)], Some(5))
+                .unwrap();
         let stats = crate::metrics::error_stats(&trace, "feedback").unwrap();
         assert!(
             stats.max_abs < 0.02,

@@ -50,8 +50,8 @@ pub mod monitor;
 pub use bounds::BoundsTracker;
 pub use bytes_model::{BytesPmax, BytesSafe, RowWidths};
 pub use estimators::{
-    Dne, DneClamped, DneRefined, EstTotal, EstimatorContext, Hybrid, Pmax, ProgressEstimator,
-    Safe, Trivial,
+    Dne, DneClamped, DneRefined, EstTotal, EstimatorContext, Hybrid, Pmax, ProgressEstimator, Safe,
+    Trivial,
 };
 pub use feedback::{FeedbackEstimator, FeedbackStore, PlanSignature};
 pub use metrics::{threshold_requirement_holds, ErrorStats};

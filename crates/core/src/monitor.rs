@@ -198,12 +198,7 @@ impl ProgressTrace {
         Some(
             self.snapshots
                 .iter()
-                .map(|s| {
-                    (
-                        crate::model::progress(s.curr, self.total),
-                        s.estimates[idx],
-                    )
-                })
+                .map(|s| (crate::model::progress(s.curr, self.total), s.estimates[idx]))
                 .collect(),
         )
     }

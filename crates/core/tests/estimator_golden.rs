@@ -1,0 +1,136 @@
+//! Golden test: the paper's worst-case guarantees, checked on a fixed
+//! seeded TPC-H-style join at every monitor checkpoint.
+//!
+//! The pipeline is customer ⋈ orders ⋈ lineitem (hash join feeding an
+//! index nested-loops join) over `TpchDb::generate` with a pinned config,
+//! so the trace is bit-reproducible. At *every* snapshot we check:
+//!
+//!  * Property 4 — `pmax` never underestimates true progress;
+//!  * Theorem 6 — the `safe` estimator's ratio error (the larger of
+//!    est/true and true/est) is at most `√(UB/LB)` at that instant.
+//!
+//! A final golden assertion pins the total work of the query, so any
+//! change to the data generator, the executor's GetNext accounting, or
+//! the PRNG stream is caught loudly rather than silently shifting every
+//! figure in the reproduction.
+
+use qp_datagen::{TpchConfig, TpchDb};
+use qp_exec::plan::{JoinType, Plan, PlanBuilder};
+use qp_progress::estimators::{Dne, Pmax, ProgressEstimator, Safe};
+use qp_progress::monitor::run_with_progress;
+use qp_stats::DbStats;
+
+fn fixture() -> TpchDb {
+    TpchDb::generate(TpchConfig {
+        scale: 0.002,
+        z: 1.0,
+        seed: 7,
+    })
+}
+
+/// customer ⋈ orders ⋈ lineitem: hash join (customer is the build side)
+/// feeding an index nested-loops join into lineitem.
+fn three_way_join(t: &TpchDb) -> Plan {
+    // customer columns 0..6, so after the hash join o_orderkey sits at 6.
+    PlanBuilder::scan(&t.db, "customer")
+        .unwrap()
+        .hash_join(
+            PlanBuilder::scan(&t.db, "orders").unwrap(),
+            vec![0], // c_custkey
+            vec![1], // o_custkey
+            JoinType::Inner,
+            true,
+        )
+        .inl_join(
+            &t.db,
+            "lineitem",
+            "lineitem_orderkey",
+            vec![6], // o_orderkey in the joined row
+            JoinType::Inner,
+            true,
+            None,
+        )
+        .unwrap()
+        .build()
+}
+
+#[test]
+fn pmax_and_safe_guarantees_hold_at_every_checkpoint() {
+    let t = fixture();
+    let mut plan = three_way_join(&t);
+    let stats = DbStats::build(&t.db);
+    qp_exec::estimate::annotate(&mut plan, &stats);
+    let estimators: Vec<Box<dyn ProgressEstimator>> =
+        vec![Box::new(Dne), Box::new(Pmax), Box::new(Safe)];
+    let (out, trace) = run_with_progress(&plan, &t.db, Some(&stats), estimators, Some(16)).unwrap();
+    assert_eq!(trace.names(), &["dne", "pmax", "safe"]);
+    let total = out.total_getnext;
+    assert!(total > 0, "query did no work");
+    assert!(
+        trace.snapshots().len() > 10,
+        "too few checkpoints ({}) to be meaningful",
+        trace.snapshots().len()
+    );
+
+    for (i, snap) in trace.snapshots().iter().enumerate() {
+        let prog = snap.curr as f64 / total as f64;
+        // The bounds must bracket the final total throughout.
+        assert!(
+            snap.lb <= total && total <= snap.ub,
+            "snapshot {i}: bounds [{}, {}] exclude total {total}",
+            snap.lb,
+            snap.ub
+        );
+
+        // Property 4: pmax never underestimates.
+        let pmax = snap.estimates[1];
+        assert!(
+            pmax + 1e-9 >= prog.min(1.0),
+            "snapshot {i}: pmax {pmax} < true progress {prog}"
+        );
+
+        // Theorem 6: safe's ratio error is bounded by √(UB/LB).
+        if snap.curr > 0 {
+            let safe = snap.estimates[2];
+            let ratio = (safe / prog).max(prog / safe);
+            let bound = (snap.ub as f64 / snap.lb.max(1) as f64).sqrt();
+            assert!(
+                ratio <= bound + 1e-9,
+                "snapshot {i}: safe ratio {ratio} exceeds √(UB/LB) = {bound}"
+            );
+        }
+
+        // All three estimates stay inside [0, 1].
+        for (&name, &e) in trace.names().iter().zip(&snap.estimates) {
+            assert!(
+                (0.0..=1.0).contains(&e),
+                "snapshot {i}: {name} = {e} escapes [0, 1]"
+            );
+        }
+    }
+
+    // At completion the bounds collapse and every estimator reads 100%.
+    let last = trace.snapshots().last().unwrap();
+    assert_eq!(last.curr, total);
+    assert_eq!(last.lb, total);
+    assert_eq!(last.ub, total);
+    for &e in &last.estimates {
+        assert!((e - 1.0).abs() < 1e-6, "final estimate {e} != 1");
+    }
+}
+
+#[test]
+fn total_work_is_pinned() {
+    // Golden value: the GetNext total of the three-way join on the seeded
+    // fixture. If this moves, the PRNG stream, the data generator, or the
+    // executor's work accounting changed — all of which invalidate the
+    // reproduction's recorded traces and must be deliberate.
+    let t = fixture();
+    let plan = three_way_join(&t);
+    let (out, _) = qp_exec::run_query(&plan, &t.db, None).unwrap();
+    let expected: u64 = include!("golden_total.in");
+    assert_eq!(
+        out.total_getnext, expected,
+        "golden total moved; regenerate crates/core/tests/golden_total.in deliberately"
+    );
+}

@@ -23,7 +23,8 @@ fn db() -> Database {
         (0..10_000).map(|i| vec![Value::Int(i), Value::Int(i % 7)]),
     )
     .unwrap();
-    db.create_index("events_ts", "events", &["ts"], true).unwrap();
+    db.create_index("events_ts", "events", &["ts"], true)
+        .unwrap();
     db
 }
 
@@ -67,14 +68,8 @@ fn stats_improve_safe_on_range_scans() {
     let mut plan = range_plan(&db);
     annotate(&mut plan, &stats);
 
-    let (_, trace_with) = run_with_progress(
-        &plan,
-        &db,
-        Some(&stats),
-        vec![Box::new(Safe)],
-        Some(25),
-    )
-    .unwrap();
+    let (_, trace_with) =
+        run_with_progress(&plan, &db, Some(&stats), vec![Box::new(Safe)], Some(25)).unwrap();
     let (_, trace_without) =
         run_with_progress(&plan, &db, None, vec![Box::new(Safe)], Some(25)).unwrap();
 

@@ -6,8 +6,7 @@
 //! and the skewed TPC-H generator \[18\] applies the same family to the
 //! benchmark columns.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use qp_testkit::rng::TestRng;
 
 /// An exact zipfian sampler over ranks `0..n` with parameter `z >= 0`:
 /// `P(rank = i) ∝ 1 / (i + 1)^z`. `z = 0` is the uniform distribution.
@@ -55,7 +54,7 @@ impl Zipf {
     }
 
     /// Draws a rank in `0..n` (rank 0 is the most frequent).
-    pub fn sample(&self, rng: &mut StdRng) -> usize {
+    pub fn sample(&self, rng: &mut TestRng) -> usize {
         let u: f64 = rng.random();
         self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
     }
@@ -76,18 +75,18 @@ impl Zipf {
 }
 
 /// Draws `n` values uniformly from `lo..=hi` (integer).
-pub fn uniform_ints(rng: &mut StdRng, n: usize, lo: i64, hi: i64) -> Vec<i64> {
+pub fn uniform_ints(rng: &mut TestRng, n: usize, lo: i64, hi: i64) -> Vec<i64> {
     (0..n).map(|_| rng.random_range(lo..=hi)).collect()
 }
 
 /// A seeded RNG for reproducible generation. All generators in this crate
 /// take explicit seeds so experiments are repeatable.
-pub fn seeded(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn seeded(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
 }
 
 /// A random permutation of `0..n` (Fisher–Yates).
-pub fn permutation(rng: &mut StdRng, n: usize) -> Vec<usize> {
+pub fn permutation(rng: &mut TestRng, n: usize) -> Vec<usize> {
     let mut perm: Vec<usize> = (0..n).collect();
     for i in (1..n).rev() {
         let j = rng.random_range(0..=i);
@@ -160,6 +159,9 @@ mod tests {
     fn seeded_is_deterministic() {
         let mut a = seeded(5);
         let mut b = seeded(5);
-        assert_eq!(uniform_ints(&mut a, 10, 0, 100), uniform_ints(&mut b, 10, 0, 100));
+        assert_eq!(
+            uniform_ints(&mut a, 10, 0, 100),
+            uniform_ints(&mut b, 10, 0, 100)
+        );
     }
 }

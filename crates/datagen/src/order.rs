@@ -9,7 +9,7 @@
 //! permutations applied to a generated table.
 
 use qp_storage::{Table, Value};
-use rand::rngs::StdRng;
+use qp_testkit::rng::TestRng;
 use std::collections::HashMap;
 
 use crate::dist::permutation;
@@ -55,7 +55,7 @@ pub fn order_permutation(
     order: RowOrder,
     col: usize,
     fanout: Option<&HashMap<Value, u64>>,
-    rng: &mut StdRng,
+    rng: &mut TestRng,
 ) -> Vec<usize> {
     let n = table.len();
     match order {
@@ -96,7 +96,7 @@ pub fn apply_order(
     order: RowOrder,
     col: usize,
     fanout: Option<&HashMap<Value, u64>>,
-    rng: &mut StdRng,
+    rng: &mut TestRng,
 ) {
     let perm = order_permutation(table, order, col, fanout, rng);
     table.reorder(&perm);
@@ -117,7 +117,10 @@ mod tests {
     }
 
     fn col_values(t: &Table) -> Vec<i64> {
-        t.rows().iter().map(|r| r.get(0).as_i64().unwrap()).collect()
+        t.rows()
+            .iter()
+            .map(|r| r.get(0).as_i64().unwrap())
+            .collect()
     }
 
     #[test]

@@ -22,7 +22,6 @@
 
 use crate::dist::{seeded, Zipf};
 use qp_storage::{ColumnType, Database, Row, Schema, Table, Value};
-use rand::RngExt;
 
 /// Configuration for the synthetic SkyServer database.
 #[derive(Debug, Clone)]
@@ -95,7 +94,7 @@ impl SkyDb {
             // Magnitudes: bright objects (low mag) are rare — map zipf rank
             // to magnitude so the tail below 16 is thin.
             let base_mag = 14.0 + (600 - mag_zipf.sample(&mut rng)) as f64 / 60.0;
-            let mag = |rng: &mut rand::rngs::StdRng, off: f64| {
+            let mag = |rng: &mut qp_testkit::rng::TestRng, off: f64| {
                 Value::Float(base_mag + off + rng.random_range(-0.3..0.3))
             };
             let row = Row::new(vec![
@@ -125,7 +124,7 @@ impl SkyDb {
         let mut spec_id = 0i64;
         for objid in 0..n as i64 {
             if rng.random_bool(config.spec_fraction) {
-                let class = ["GALAXY", "STAR", "QSO"][rng.random_range(0..3)];
+                let class = ["GALAXY", "STAR", "QSO"][rng.random_range(0..3usize)];
                 specobj.insert_unchecked(Row::new(vec![
                     Value::Int(spec_id),
                     Value::Int(objid),
@@ -148,9 +147,7 @@ impl SkyDb {
         // many (zipf over 50 "field density" classes).
         let density = Zipf::new(50, 1.0);
         for objid in 0..n as i64 {
-            let k = ((density.sample(&mut rng) as f64 / 50.0)
-                * 2.0
-                * config.neighbors_per_obj)
+            let k = ((density.sample(&mut rng) as f64 / 50.0) * 2.0 * config.neighbors_per_obj)
                 .round() as usize;
             for _ in 0..k {
                 let other = rng.random_range(0..n as i64);

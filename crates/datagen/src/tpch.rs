@@ -17,8 +17,7 @@
 use crate::dist::{seeded, Zipf};
 use qp_storage::value::days_from_civil;
 use qp_storage::{ColumnType, Database, Row, Schema, Table, Value};
-use rand::rngs::StdRng;
-use rand::RngExt;
+use qp_testkit::rng::TestRng;
 
 /// Configuration for TPC-H generation.
 #[derive(Debug, Clone)]
@@ -63,7 +62,13 @@ pub struct TpchDb {
     pub config: TpchConfig,
 }
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIP_MODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
 const SHIP_INSTRUCT: [&str; 4] = [
@@ -78,13 +83,44 @@ const TYPE_SYLL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const CONTAINERS1: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
 const CONTAINERS2: [&str; 8] = ["BAG", "BOX", "CAN", "CASE", "DRUM", "JAR", "PACK", "PKG"];
 const COLORS: [&str; 12] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
 ];
 const NATION_NAMES: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
     "UNITED STATES",
 ];
 const REGION_NAMES: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
@@ -120,7 +156,7 @@ impl SkewedFk {
         }
     }
 
-    fn draw(&self, rng: &mut StdRng) -> i64 {
+    fn draw(&self, rng: &mut TestRng) -> i64 {
         self.rank_to_key[self.zipf.sample(rng)]
     }
 }
@@ -134,7 +170,10 @@ impl TpchDb {
         // --- region / nation (fixed contents) ---
         let mut region = Table::new(
             "region",
-            Schema::of(&[("r_regionkey", ColumnType::Int), ("r_name", ColumnType::Str)]),
+            Schema::of(&[
+                ("r_regionkey", ColumnType::Int),
+                ("r_name", ColumnType::Str),
+            ]),
         );
         for (i, name) in REGION_NAMES.iter().enumerate() {
             region.insert_unchecked(Row::new(vec![Value::Int(i as i64), Value::str(*name)]));
@@ -209,9 +248,9 @@ impl TpchDb {
             let b = rng.random_range(1..=5u32);
             let ty = format!(
                 "{} {} {}",
-                TYPE_SYLL1[rng.random_range(0..6)],
-                TYPE_SYLL2[rng.random_range(0..5)],
-                TYPE_SYLL3[rng.random_range(0..5)]
+                TYPE_SYLL1[rng.random_range(0..6usize)],
+                TYPE_SYLL2[rng.random_range(0..5usize)],
+                TYPE_SYLL3[rng.random_range(0..5usize)]
             );
             let name = format!(
                 "{} {}",
@@ -220,8 +259,8 @@ impl TpchDb {
             );
             let container = format!(
                 "{} {}",
-                CONTAINERS1[rng.random_range(0..5)],
-                CONTAINERS2[rng.random_range(0..8)]
+                CONTAINERS1[rng.random_range(0..5usize)],
+                CONTAINERS2[rng.random_range(0..8usize)]
             );
             part.insert_unchecked(Row::new(vec![
                 Value::Int(k as i64),
@@ -286,12 +325,15 @@ impl TpchDb {
                 Value::Int(k as i64),
                 Value::str(format!("Customer#{k:09}")),
                 Value::Int(nk),
-                Value::str(SEGMENTS[rng.random_range(0..5)]),
+                Value::str(SEGMENTS[rng.random_range(0..5usize)]),
                 Value::Float(rng.random_range(-999.99..9999.99)),
-                Value::str(format!("{:02}-{:03}-{:03}-{:04}", nk + 10,
+                Value::str(format!(
+                    "{:02}-{:03}-{:03}-{:04}",
+                    nk + 10,
                     rng.random_range(100..999u32),
                     rng.random_range(100..999u32),
-                    rng.random_range(1000..9999u32))),
+                    rng.random_range(1000..9999u32)
+                )),
             ]));
         }
         db.add_table(customer).expect("fresh db");
@@ -319,10 +361,10 @@ impl TpchDb {
             orders.insert_unchecked(Row::new(vec![
                 Value::Int(k as i64),
                 Value::Int(cust_zipf.draw(&mut rng)),
-                Value::str(["F", "O", "P"][rng.random_range(0..3)]),
+                Value::str(["F", "O", "P"][rng.random_range(0..3usize)]),
                 Value::Float(rng.random_range(850.0..555_000.0)),
                 Value::Date(date),
-                Value::str(PRIORITIES[rng.random_range(0..5)]),
+                Value::str(PRIORITIES[rng.random_range(0..5usize)]),
                 Value::Int(0),
             ]));
         }
@@ -363,7 +405,7 @@ impl TpchDb {
                 let commit = odate + rng.random_range(30..=90);
                 let receipt = ship + rng.random_range(1..=30);
                 let returnflag = if receipt < cutoff {
-                    ["R", "A"][rng.random_range(0..2)]
+                    ["R", "A"][rng.random_range(0..2usize)]
                 } else {
                     "N"
                 };
@@ -382,8 +424,8 @@ impl TpchDb {
                     Value::Date(ship),
                     Value::Date(commit),
                     Value::Date(receipt),
-                    Value::str(SHIP_INSTRUCT[rng.random_range(0..4)]),
-                    Value::str(SHIP_MODES[rng.random_range(0..7)]),
+                    Value::str(SHIP_INSTRUCT[rng.random_range(0..4usize)]),
+                    Value::str(SHIP_MODES[rng.random_range(0..7usize)]),
                 ]));
             }
         }
@@ -408,8 +450,13 @@ impl TpchDb {
             .expect("fk");
         db.create_index("lineitem_partkey", "lineitem", &["l_partkey"], false)
             .expect("fk");
-        db.create_index("partsupp_pk", "partsupp", &["ps_partkey", "ps_suppkey"], true)
-            .expect("pk");
+        db.create_index(
+            "partsupp_pk",
+            "partsupp",
+            &["ps_partkey", "ps_suppkey"],
+            true,
+        )
+        .expect("pk");
         db.create_index("partsupp_partkey", "partsupp", &["ps_partkey"], false)
             .expect("fk");
         db.create_index("partsupp_suppkey", "partsupp", &["ps_suppkey"], false)

@@ -269,13 +269,7 @@ fn column_stats<'a>(
     Some((&ts.column(*col).histogram, rows))
 }
 
-fn cmp_selectivity(
-    op: CmpOp,
-    l: &Expr,
-    r: &Expr,
-    origins: &Origins,
-    stats: &DbStats,
-) -> f64 {
+fn cmp_selectivity(op: CmpOp, l: &Expr, r: &Expr, origins: &Origins, stats: &DbStats) -> f64 {
     // Normalize to (column op literal).
     let (col_expr, lit, op) = match (l, r) {
         (Expr::Col(_), Expr::Lit(v)) => (l, v, op),

@@ -149,7 +149,11 @@ impl Expr {
                         v => return Err(ExecError::Eval(format!("AND over non-bool {v:?}"))),
                     }
                 }
-                Ok(if saw_null { Value::Null } else { Value::Bool(true) })
+                Ok(if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(true)
+                })
             }
             Expr::Or(parts) => {
                 let mut saw_null = false;
@@ -161,7 +165,11 @@ impl Expr {
                         v => return Err(ExecError::Eval(format!("OR over non-bool {v:?}"))),
                     }
                 }
-                Ok(if saw_null { Value::Null } else { Value::Bool(false) })
+                Ok(if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(false)
+                })
             }
             Expr::Not(e) => Ok(match e.eval(row)? {
                 Value::Bool(b) => Value::Bool(!b),
@@ -183,9 +191,9 @@ impl Expr {
                             ArithOp::Mul => a.checked_mul(*b),
                             ArithOp::Div => unreachable!(),
                         };
-                        return out.map(Value::Int).ok_or_else(|| {
-                            ExecError::Eval("integer overflow".to_string())
-                        });
+                        return out
+                            .map(Value::Int)
+                            .ok_or_else(|| ExecError::Eval("integer overflow".to_string()));
                     }
                 }
                 let (Some(a), Some(b)) = (lv.as_f64(), rv.as_f64()) else {
@@ -677,18 +685,30 @@ mod tests {
         // unknown AND false = false; unknown OR true = true.
         let and = Expr::And(vec![
             unknown.clone(),
-            Expr::cmp(CmpOp::Eq, Expr::Lit(Value::Int(1)), Expr::Lit(Value::Int(2))),
+            Expr::cmp(
+                CmpOp::Eq,
+                Expr::Lit(Value::Int(1)),
+                Expr::Lit(Value::Int(2)),
+            ),
         ]);
         assert_eq!(and.eval(&r).unwrap(), Value::Bool(false));
         let or = Expr::Or(vec![
             unknown.clone(),
-            Expr::cmp(CmpOp::Eq, Expr::Lit(Value::Int(1)), Expr::Lit(Value::Int(1))),
+            Expr::cmp(
+                CmpOp::Eq,
+                Expr::Lit(Value::Int(1)),
+                Expr::Lit(Value::Int(1)),
+            ),
         ]);
         assert_eq!(or.eval(&r).unwrap(), Value::Bool(true));
         // unknown AND true = unknown.
         let and2 = Expr::And(vec![
             unknown,
-            Expr::cmp(CmpOp::Eq, Expr::Lit(Value::Int(1)), Expr::Lit(Value::Int(1))),
+            Expr::cmp(
+                CmpOp::Eq,
+                Expr::Lit(Value::Int(1)),
+                Expr::Lit(Value::Int(1)),
+            ),
         ]);
         assert_eq!(and2.eval(&r).unwrap(), Value::Null);
     }
@@ -707,31 +727,27 @@ mod tests {
     #[test]
     fn between_in_like() {
         let r = row(vec![Value::Int(15), Value::str("PROMO BRUSHED TIN")]);
-        assert!(Expr::Between(
-            Box::new(Expr::Col(0)),
-            Value::Int(10),
-            Value::Int(20)
-        )
-        .eval_bool(&r)
-        .unwrap());
-        assert!(Expr::InList(
-            Box::new(Expr::Col(0)),
-            vec![Value::Int(1), Value::Int(15)]
-        )
-        .eval_bool(&r)
-        .unwrap());
+        assert!(
+            Expr::Between(Box::new(Expr::Col(0)), Value::Int(10), Value::Int(20))
+                .eval_bool(&r)
+                .unwrap()
+        );
+        assert!(
+            Expr::InList(Box::new(Expr::Col(0)), vec![Value::Int(1), Value::Int(15)])
+                .eval_bool(&r)
+                .unwrap()
+        );
         assert!(Expr::Like(
             Box::new(Expr::Col(1)),
             LikePattern::StartsWith("PROMO".into())
         )
         .eval_bool(&r)
         .unwrap());
-        assert!(Expr::Like(
-            Box::new(Expr::Col(1)),
-            LikePattern::EndsWith("TIN".into())
-        )
-        .eval_bool(&r)
-        .unwrap());
+        assert!(
+            Expr::Like(Box::new(Expr::Col(1)), LikePattern::EndsWith("TIN".into()))
+                .eval_bool(&r)
+                .unwrap()
+        );
         assert!(!Expr::Like(
             Box::new(Expr::Col(1)),
             LikePattern::Contains("COPPER".into())

@@ -108,7 +108,10 @@ impl Operator for HashJoinOp {
         while let Some(row) = self.build.next()? {
             row.extract_key_into(&self.build_keys, &mut self.key_buf);
             let idx = self.rows.len();
-            self.rows.push(BuildRow { row, matched: false });
+            self.rows.push(BuildRow {
+                row,
+                matched: false,
+            });
             if !key_has_null(&self.key_buf) {
                 self.table
                     .entry(std::mem::take(&mut self.key_buf))

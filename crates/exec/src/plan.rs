@@ -270,12 +270,7 @@ pub struct PlanDisplay<'a> {
 
 impl fmt::Display for PlanDisplay<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn rec(
-            plan: &Plan,
-            id: NodeId,
-            depth: usize,
-            f: &mut fmt::Formatter<'_>,
-        ) -> fmt::Result {
+        fn rec(plan: &Plan, id: NodeId, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             let n = plan.node(id);
             let est = n
                 .est_rows
@@ -285,7 +280,9 @@ impl fmt::Display for PlanDisplay<'_> {
                 PlanNode::SeqScan { table, card } => format!(" {table} card={card}"),
                 PlanNode::IndexRangeScan { table, index, .. } => format!(" {table} via {index}"),
                 PlanNode::IndexNestedLoopsJoin {
-                    inner_table, linear, ..
+                    inner_table,
+                    linear,
+                    ..
                 } => format!(" inner={inner_table} linear={linear}"),
                 PlanNode::HashJoin { linear, .. } | PlanNode::MergeJoin { linear, .. } => {
                     format!(" linear={linear}")
@@ -675,10 +672,8 @@ impl PlanBuilder {
         aggs: Vec<(AggExpr, &str)>,
     ) -> PlanBuilder {
         let child = self.root;
-        let aggs: Vec<(AggExpr, String)> = aggs
-            .into_iter()
-            .map(|(a, n)| (a, n.to_string()))
-            .collect();
+        let aggs: Vec<(AggExpr, String)> =
+            aggs.into_iter().map(|(a, n)| (a, n.to_string())).collect();
         let (schema, origins) = self.aggregate_schema(child, &group_by, &aggs);
         self.push(PlanNodeData {
             kind: PlanNode::HashAggregate { group_by, aggs },
@@ -697,10 +692,8 @@ impl PlanBuilder {
         aggs: Vec<(AggExpr, &str)>,
     ) -> PlanBuilder {
         let child = self.root;
-        let aggs: Vec<(AggExpr, String)> = aggs
-            .into_iter()
-            .map(|(a, n)| (a, n.to_string()))
-            .collect();
+        let aggs: Vec<(AggExpr, String)> =
+            aggs.into_iter().map(|(a, n)| (a, n.to_string())).collect();
         let (schema, origins) = self.aggregate_schema(child, &group_by, &aggs);
         self.push(PlanNodeData {
             kind: PlanNode::StreamAggregate { group_by, aggs },
@@ -774,7 +767,9 @@ mod tests {
     #[test]
     fn absorb_rebases_children() {
         let db = db();
-        let left = PlanBuilder::scan(&db, "t").unwrap().filter(Expr::col_eq(1, 3i64));
+        let left = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .filter(Expr::col_eq(1, 3i64));
         let right = PlanBuilder::scan(&db, "u").unwrap().filter(Expr::cmp(
             CmpOp::Lt,
             Expr::Col(0),

@@ -238,11 +238,7 @@ fn single_row_table_through_every_unary_operator() {
     .unwrap();
     let plan = PlanBuilder::scan(&db, "one")
         .unwrap()
-        .filter(Expr::cmp(
-            CmpOp::Ge,
-            Expr::Col(0),
-            Expr::Lit(Value::Int(0)),
-        ))
+        .filter(Expr::cmp(CmpOp::Ge, Expr::Col(0), Expr::Lit(Value::Int(0))))
         .project(vec![(Expr::Col(0), "a")])
         .sort(vec![(0, false)])
         .stream_aggregate(vec![0], vec![(AggExpr::count_star(), "n")])

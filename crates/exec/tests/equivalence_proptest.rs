@@ -2,19 +2,25 @@
 //! implementing the same logical operation must produce identical result
 //! multisets on arbitrary inputs. This pins down the join/aggregation
 //! semantics the progress experiments rely on.
+//!
+//! Ported from `proptest` to the in-tree `qp_testkit::prop` harness; the
+//! invariants and case counts are unchanged.
 
-use proptest::prelude::*;
 use qp_exec::expr::{AggExpr, CmpOp, Expr};
 use qp_exec::plan::{JoinType, Plan, PlanBuilder};
 use qp_exec::run_query;
 use qp_storage::{ColumnType, Database, Row, Schema, Value};
+use qp_testkit::prop::collection;
+use qp_testkit::{prop_assert_eq, prop_check};
 
 fn build_db(t_vals: &[(i64, i64)], u_vals: &[i64]) -> Database {
     let mut db = Database::new();
     db.create_table_with_rows(
         "t",
         Schema::of(&[("a", ColumnType::Int), ("b", ColumnType::Int)]),
-        t_vals.iter().map(|&(a, b)| vec![Value::Int(a), Value::Int(b)]),
+        t_vals
+            .iter()
+            .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)]),
     )
     .unwrap();
     db.create_table_with_rows(
@@ -77,14 +83,13 @@ fn inl_join(db: &Database, jt: JoinType) -> Plan {
         .build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+prop_check! {
+    cases = 64,
 
     /// Inner joins: all four physical operators agree.
-    #[test]
     fn inner_joins_agree(
-        t_vals in prop::collection::vec((0i64..10, 0i64..5), 0..40),
-        u_vals in prop::collection::vec(0i64..10, 0..40),
+        t_vals in collection::vec((0i64..10, 0i64..5), 0..40),
+        u_vals in collection::vec(0i64..10, 0..40),
     ) {
         let db = build_db(&t_vals, &u_vals);
         let reference = multiset(&nl_join(&db, JoinType::Inner), &db);
@@ -94,10 +99,9 @@ proptest! {
     }
 
     /// Semi and anti joins: all four agree (left = t side everywhere).
-    #[test]
     fn semi_and_anti_joins_agree(
-        t_vals in prop::collection::vec((0i64..8, 0i64..4), 0..30),
-        u_vals in prop::collection::vec(0i64..8, 0..30),
+        t_vals in collection::vec((0i64..8, 0i64..4), 0..30),
+        u_vals in collection::vec(0i64..8, 0..30),
     ) {
         let db = build_db(&t_vals, &u_vals);
         for jt in [JoinType::LeftSemi, JoinType::LeftAnti] {
@@ -109,10 +113,9 @@ proptest! {
     }
 
     /// Left outer joins: all four agree, including NULL padding.
-    #[test]
     fn left_outer_joins_agree(
-        t_vals in prop::collection::vec((0i64..8, 0i64..4), 0..25),
-        u_vals in prop::collection::vec(0i64..8, 0..25),
+        t_vals in collection::vec((0i64..8, 0i64..4), 0..25),
+        u_vals in collection::vec(0i64..8, 0..25),
     ) {
         let db = build_db(&t_vals, &u_vals);
         let reference = multiset(&nl_join(&db, JoinType::LeftOuter), &db);
@@ -122,9 +125,8 @@ proptest! {
     }
 
     /// Hash aggregation and stream aggregation (over sorted input) agree.
-    #[test]
     fn aggregations_agree(
-        t_vals in prop::collection::vec((0i64..100, 0i64..6), 0..60),
+        t_vals in collection::vec((0i64..100, 0i64..6), 0..60),
     ) {
         let db = build_db(&t_vals, &[]);
         let aggs = || vec![
@@ -147,10 +149,9 @@ proptest! {
     }
 
     /// Joins on NULL keys never match anywhere.
-    #[test]
     fn null_keys_never_match(
         n_null in 1usize..10,
-        u_vals in prop::collection::vec(0i64..5, 1..20),
+        u_vals in collection::vec(0i64..5, 1..20),
     ) {
         let mut db = Database::new();
         db.create_table_with_rows(

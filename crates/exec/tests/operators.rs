@@ -407,9 +407,7 @@ fn example2_total_getnext_arithmetic() {
     db.create_table_with_rows(
         "r2",
         Schema::of(&[("b", ColumnType::Int)]),
-        (0..1000).map(|i| {
-            vec![Value::Int(if i < 100 { 42 } else { 1000 + i })]
-        }),
+        (0..1000).map(|i| vec![Value::Int(if i < 100 { 42 } else { 1000 + i })]),
     )
     .unwrap();
     db.create_index("r2_b", "r2", &["b"], false).unwrap();

@@ -239,8 +239,8 @@ mod tests {
 
     #[test]
     fn lexes_a_full_query() {
-        let toks = lex("SELECT a, SUM(b) FROM t WHERE a >= 1.5 AND b <> 'x''y' -- c\nLIMIT 3")
-            .unwrap();
+        let toks =
+            lex("SELECT a, SUM(b) FROM t WHERE a >= 1.5 AND b <> 'x''y' -- c\nLIMIT 3").unwrap();
         assert!(toks.contains(&Token::Word("SELECT".into())));
         assert!(toks.contains(&Token::Float(1.5)));
         assert!(toks.contains(&Token::Symbol(Sym::Ge)));

@@ -10,7 +10,10 @@ use std::fmt;
 pub enum ParseError {
     Lex(LexError),
     /// Unexpected token (or end of input) with a human-readable context.
-    Unexpected { found: String, expected: String },
+    Unexpected {
+        found: String,
+        expected: String,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -126,7 +129,8 @@ impl Parser {
         loop {
             if self.eat_sym(Sym::Comma) {
                 from.push(self.table_ref()?);
-            } else if self.eat_kw("JOIN") || (self.eat_kw("INNER") && self.expect_kw("JOIN").is_ok())
+            } else if self.eat_kw("JOIN")
+                || (self.eat_kw("INNER") && self.expect_kw("JOIN").is_ok())
             {
                 from.push(self.table_ref()?);
                 self.expect_kw("ON")?;
@@ -428,12 +432,14 @@ impl Parser {
             "DATE" => {
                 self.pos += 1;
                 match self.next() {
-                    Some(Token::Str(s)) => parse_date(&s)
-                        .map(SqlExpr::Literal)
-                        .ok_or_else(|| ParseError::Unexpected {
-                            found: format!("'{s}'"),
-                            expected: "a DATE 'yyyy-mm-dd' literal".into(),
-                        }),
+                    Some(Token::Str(s)) => {
+                        parse_date(&s)
+                            .map(SqlExpr::Literal)
+                            .ok_or_else(|| ParseError::Unexpected {
+                                found: format!("'{s}'"),
+                                expected: "a DATE 'yyyy-mm-dd' literal".into(),
+                            })
+                    }
                     _ => Err(self.unexpected("a string after DATE")),
                 }
             }
@@ -654,10 +660,7 @@ mod tests {
         ));
         assert!(matches!(
             q.select[1].expr,
-            SqlExpr::Aggregate {
-                distinct: true,
-                ..
-            }
+            SqlExpr::Aggregate { distinct: true, .. }
         ));
     }
 }

@@ -166,7 +166,12 @@ impl Planner<'_> {
     }
 
     /// Which tables an expression touches.
-    fn tables_of(&self, bound: &[Bound], e: &SqlExpr, out: &mut Vec<usize>) -> Result<(), PlanError> {
+    fn tables_of(
+        &self,
+        bound: &[Bound],
+        e: &SqlExpr,
+        out: &mut Vec<usize>,
+    ) -> Result<(), PlanError> {
         match e {
             SqlExpr::Column { table, column } => {
                 let (ti, _) = self.resolve(bound, table, column)?;
@@ -241,12 +246,11 @@ impl Planner<'_> {
                 0 | 1 => {
                     // Constant predicates ride along on the first table.
                     let ti = tables.first().copied().unwrap_or(0);
-                    let local =
-                        self.lower(&c, &mut |t, col| {
-                            let (tt, ci) = self.resolve(bound, t, col)?;
-                            debug_assert_eq!(tt, ti);
-                            Ok(ci)
-                        })?;
+                    let local = self.lower(&c, &mut |t, col| {
+                        let (tt, ci) = self.resolve(bound, t, col)?;
+                        debug_assert_eq!(tt, ti);
+                        Ok(ci)
+                    })?;
                     bound[ti].filters.push(local);
                 }
                 2 => {
@@ -393,12 +397,8 @@ impl Planner<'_> {
                 // Cross join: naive nested loops with a TRUE predicate.
                 let inner = self.leaf(b)?;
                 let outer_arity = schema_arity(&builder);
-                builder = builder.nl_join(
-                    inner,
-                    Expr::Lit(Value::Bool(true)),
-                    JoinType::Inner,
-                    false,
-                );
+                builder =
+                    builder.nl_join(inner, Expr::Lit(Value::Bool(true)), JoinType::Inner, false);
                 offsets.insert(b.binding.clone(), (outer_arity, b.schema.arity()));
                 current_est *= b.est;
             } else {
@@ -523,11 +523,7 @@ impl Planner<'_> {
 
     // ---- SELECT / aggregation / ORDER BY ----
 
-    fn finish(
-        &self,
-        builder: PlanBuilder,
-        offsets: &Offsets,
-    ) -> Result<Plan, PlanError> {
+    fn finish(&self, builder: PlanBuilder, offsets: &Offsets) -> Result<Plan, PlanError> {
         let bound = self.rebound();
         let mut joined_resolver = |t: &Option<String>, col: &str| -> Result<usize, PlanError> {
             let (ti, ci) = self.resolve(&bound, t, col)?;
@@ -579,9 +575,8 @@ impl Planner<'_> {
                 .iter()
                 .map(|a| self.lower_agg(a, &mut joined_resolver))
                 .collect::<Result<_, _>>()?;
-            let agg_names: Vec<String> = (0..lowered_aggs.len())
-                .map(|i| format!("agg{i}"))
-                .collect();
+            let agg_names: Vec<String> =
+                (0..lowered_aggs.len()).map(|i| format!("agg{i}")).collect();
             builder = builder.hash_aggregate(
                 group_cols.iter().map(|&(c, _)| c).collect(),
                 lowered_aggs
@@ -635,7 +630,10 @@ impl Planner<'_> {
                         }
                         p - 1
                     }
-                    OrderKey::Expr(SqlExpr::Column { table: None, column }) => {
+                    OrderKey::Expr(SqlExpr::Column {
+                        table: None,
+                        column,
+                    }) => {
                         // Alias or output column name.
                         output_names
                             .iter()
@@ -666,11 +664,7 @@ impl Planner<'_> {
     }
 
     /// Lowers a scalar (non-aggregate) expression with a column resolver.
-    fn lower(
-        &self,
-        e: &SqlExpr,
-        resolve: &mut Resolver<'_>,
-    ) -> Result<Expr, PlanError> {
+    fn lower(&self, e: &SqlExpr, resolve: &mut Resolver<'_>) -> Result<Expr, PlanError> {
         Ok(match e {
             SqlExpr::Column { table, column } => Expr::Col(resolve(table, column)?),
             SqlExpr::Literal(v) => Expr::Lit(v.clone()),
@@ -762,11 +756,7 @@ impl Planner<'_> {
         })
     }
 
-    fn lower_agg(
-        &self,
-        e: &SqlExpr,
-        resolve: &mut Resolver<'_>,
-    ) -> Result<AggExpr, PlanError> {
+    fn lower_agg(&self, e: &SqlExpr, resolve: &mut Resolver<'_>) -> Result<AggExpr, PlanError> {
         let SqlExpr::Aggregate {
             func,
             distinct,
@@ -842,9 +832,9 @@ impl Planner<'_> {
                     .map(|x| self.lower_post_agg(x, group_cols, agg_calls, n_groups))
                     .collect::<Result<_, _>>()?,
             )),
-            SqlExpr::Not(x) => Ok(Expr::Not(Box::new(self.lower_post_agg(
-                x, group_cols, agg_calls, n_groups,
-            )?))),
+            SqlExpr::Not(x) => Ok(Expr::Not(Box::new(
+                self.lower_post_agg(x, group_cols, agg_calls, n_groups)?,
+            ))),
             SqlExpr::Case {
                 branches,
                 else_expr,
@@ -859,9 +849,9 @@ impl Planner<'_> {
                     })
                     .collect::<Result<_, PlanError>>()?,
                 else_expr: match else_expr {
-                    Some(x) => Some(Box::new(self.lower_post_agg(
-                        x, group_cols, agg_calls, n_groups,
-                    )?)),
+                    Some(x) => Some(Box::new(
+                        self.lower_post_agg(x, group_cols, agg_calls, n_groups)?,
+                    )),
                     None => None,
                 },
             }),

@@ -11,7 +11,11 @@ fn small_db() -> (Database, DbStats) {
     let mut db = Database::new();
     db.create_table_with_rows(
         "t",
-        Schema::of(&[("a", ColumnType::Int), ("b", ColumnType::Int), ("s", ColumnType::Str)]),
+        Schema::of(&[
+            ("a", ColumnType::Int),
+            ("b", ColumnType::Int),
+            ("s", ColumnType::Str),
+        ]),
         (0..100).map(|i| {
             vec![
                 Value::Int(i),
@@ -155,7 +159,7 @@ fn semantic_errors_are_reported() {
         "SELECT a FROM nosuchtable",
         "SELECT a FROM t, u WHERE q = 1",
         "SELECT t.a FROM t JOIN u ON t.a = u.x GROUP BY t.a HAVING b > 1", // b not grouped
-        "SELECT SUM(a) FROM t WHERE SUM(a) > 1", // aggregate in WHERE
+        "SELECT SUM(a) FROM t WHERE SUM(a) > 1",                           // aggregate in WHERE
     ] {
         assert!(sql_to_plan(bad, &db, &stats).is_err(), "accepted: {bad}");
     }

@@ -50,7 +50,10 @@ impl Histogram {
     /// Works for any ordered value type. Duplicated boundary values never
     /// straddle buckets (a bucket always ends at a value change), so bucket
     /// counts are exact partitions of the multiset.
-    pub fn equi_depth<'a>(values: impl IntoIterator<Item = &'a Value>, max_buckets: usize) -> Histogram {
+    pub fn equi_depth<'a>(
+        values: impl IntoIterator<Item = &'a Value>,
+        max_buckets: usize,
+    ) -> Histogram {
         assert!(max_buckets >= 1, "need at least one bucket");
         let mut vals: Vec<Value> = Vec::new();
         let mut null_count = 0u64;
@@ -99,7 +102,10 @@ impl Histogram {
 
     /// Builds an equi-width histogram over numeric values with exactly
     /// `n_buckets` buckets spanning `[min, max]`. Non-numeric values panic.
-    pub fn equi_width<'a>(values: impl IntoIterator<Item = &'a Value>, n_buckets: usize) -> Histogram {
+    pub fn equi_width<'a>(
+        values: impl IntoIterator<Item = &'a Value>,
+        n_buckets: usize,
+    ) -> Histogram {
         assert!(n_buckets >= 1, "need at least one bucket");
         let mut nums: Vec<f64> = Vec::new();
         let mut null_count = 0u64;
@@ -213,9 +219,7 @@ impl Histogram {
     pub fn lower_bound_range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> u64 {
         self.buckets
             .iter()
-            .filter(|b| {
-                bound_allows_ge(lo, &b.lo) && bound_allows_le(hi, &b.hi)
-            })
+            .filter(|b| bound_allows_ge(lo, &b.lo) && bound_allows_le(hi, &b.hi))
             .map(|b| b.count)
             .sum()
     }
@@ -354,10 +358,7 @@ mod tests {
         let h = Histogram::equi_depth(vals.iter(), 10);
         let lo = Value::Int(25);
         let hi = Value::Int(75);
-        let truth = vals
-            .iter()
-            .filter(|v| **v >= lo && **v <= hi)
-            .count() as u64;
+        let truth = vals.iter().filter(|v| **v >= lo && **v <= hi).count() as u64;
         let lb = h.lower_bound_range(Bound::Included(&lo), Bound::Included(&hi));
         let ub = h.upper_bound_range(Bound::Included(&lo), Bound::Included(&hi));
         assert!(lb <= truth, "lb={lb} truth={truth}");
@@ -419,10 +420,7 @@ mod tests {
         let h = Histogram::equi_depth(std::iter::empty(), 8);
         assert_eq!(h.buckets().len(), 0);
         assert_eq!(h.estimate_eq(&Value::Int(0)), 0.0);
-        assert_eq!(
-            h.upper_bound_range(Bound::Unbounded, Bound::Unbounded),
-            0
-        );
+        assert_eq!(h.upper_bound_range(Bound::Unbounded, Bound::Unbounded), 0);
     }
 
     #[test]

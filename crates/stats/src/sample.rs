@@ -8,8 +8,7 @@
 //! all, so changing it cannot change the statistic.
 
 use qp_storage::Value;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use qp_testkit::rng::TestRng;
 
 /// A uniform random sample of up to `capacity` values, built by reservoir
 /// sampling (Vitter's Algorithm R) over a single pass.
@@ -18,7 +17,7 @@ pub struct ReservoirSample {
     reservoir: Vec<Value>,
     seen: u64,
     capacity: usize,
-    rng: StdRng,
+    rng: TestRng,
 }
 
 impl ReservoirSample {
@@ -30,7 +29,7 @@ impl ReservoirSample {
             reservoir: Vec::with_capacity(capacity),
             seen: 0,
             capacity,
-            rng: StdRng::seed_from_u64(seed),
+            rng: TestRng::seed_from_u64(seed),
         }
     }
 

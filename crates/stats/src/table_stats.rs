@@ -178,7 +178,11 @@ mod tests {
     fn null_heavy_column_counts_nulls() {
         let mut t = Table::new("n", Schema::of(&[("a", ColumnType::Int)]));
         for i in 0..10 {
-            let v = if i % 2 == 0 { Value::Null } else { Value::Int(i) };
+            let v = if i % 2 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i)
+            };
             t.insert(Row::new(vec![v])).unwrap();
         }
         let stats = TableStats::build(&t, 4);

@@ -4,10 +4,14 @@
 //! histogram unchanged. Lossiness is the hinge of the paper's Theorem 1;
 //! this test verifies our statistics generator actually has the property
 //! the theory requires.
+//!
+//! Ported from `proptest` to the in-tree `qp_testkit::prop` harness; the
+//! invariants and case counts are unchanged.
 
-use proptest::prelude::*;
 use qp_stats::Histogram;
 use qp_storage::Value;
+use qp_testkit::prop::collection;
+use qp_testkit::{prop_assert, prop_assert_eq, prop_check};
 
 /// Finds a victim index and a fresh replacement value that stays strictly
 /// inside the victim's histogram bucket and collides with no existing
@@ -30,11 +34,7 @@ fn find_in_bucket_mutation(vals: &[i64], hist: &Histogram) -> Option<(usize, i64
         }
         let vv = Value::Int(v);
         // Locate the containing bucket.
-        let Some(b) = hist
-            .buckets()
-            .iter()
-            .find(|b| vv >= b.lo && vv <= b.hi)
-        else {
+        let Some(b) = hist.buckets().iter().find(|b| vv >= b.lo && vv <= b.hi) else {
             continue;
         };
         let (Some(lo), Some(hi)) = (b.lo.as_i64(), b.hi.as_i64()) else {
@@ -55,16 +55,15 @@ fn find_in_bucket_mutation(vals: &[i64], hist: &Histogram) -> Option<(usize, i64
     None
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+prop_check! {
+    cases = 96,
 
     /// Whenever an in-bucket mutation exists, applying it preserves the
     /// histogram (bucket boundaries, counts, distinct counts) — i.e. the
     /// generator is lossy in exactly the formal sense the paper's lower
     /// bound needs.
-    #[test]
     fn equi_depth_is_lossy_under_in_bucket_mutations(
-        mut vals in prop::collection::vec(0i64..10_000, 20..300),
+        mut vals in collection::vec(0i64..10_000, 20..300),
         buckets in 2usize..20,
     ) {
         // Spread values out so interior gaps are common.
@@ -93,9 +92,8 @@ proptest! {
     /// Histogram range bounds always bracket the true count, for random
     /// data and random ranges (the soundness the pmax/safe bound rules
     /// rely on, Section 5.1 footnote 2).
-    #[test]
     fn range_bounds_are_sound(
-        vals in prop::collection::vec(-500i64..500, 1..400),
+        vals in collection::vec(-500i64..500, 1..400),
         buckets in 1usize..30,
         lo in -500i64..500,
         width in 0i64..500,
@@ -119,9 +117,8 @@ proptest! {
     }
 
     /// Equality upper bounds are sound for arbitrary multisets.
-    #[test]
     fn eq_upper_bound_is_sound(
-        vals in prop::collection::vec(0i64..50, 1..300),
+        vals in collection::vec(0i64..50, 1..300),
         probe in 0i64..50,
         buckets in 1usize..10,
     ) {

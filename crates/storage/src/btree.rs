@@ -275,7 +275,12 @@ impl BTreeIndex {
         count
     }
 
-    fn check_node(&self, node: usize, lo: Option<&(Key, RowId)>, hi: Option<&(Key, RowId)>) -> usize {
+    fn check_node(
+        &self,
+        node: usize,
+        lo: Option<&(Key, RowId)>,
+        hi: Option<&(Key, RowId)>,
+    ) -> usize {
         let in_bounds = |e: &(Key, RowId)| {
             if let Some(l) = lo {
                 assert!(
@@ -311,7 +316,11 @@ impl BTreeIndex {
                 );
                 let mut total = 0;
                 for i in 0..internal.children.len() {
-                    let child_lo = if i == 0 { lo } else { Some(&internal.keys[i - 1]) };
+                    let child_lo = if i == 0 {
+                        lo
+                    } else {
+                        Some(&internal.keys[i - 1])
+                    };
                     let child_hi = if i == internal.keys.len() {
                         hi
                     } else {
@@ -483,7 +492,8 @@ mod tests {
         let rids: Vec<RowId> = t.scan().map(|(_, r)| r).collect();
         assert_eq!(rids, vec![2, 1, 0]);
         assert_eq!(
-            t.lookup(&[Value::Int(1), Value::str("a")]).collect::<Vec<_>>(),
+            t.lookup(&[Value::Int(1), Value::str("a")])
+                .collect::<Vec<_>>(),
             vec![1]
         );
     }

@@ -138,7 +138,8 @@ impl Database {
             unique,
             tree,
         });
-        self.indexes.insert(index_name.to_string(), Arc::clone(&meta));
+        self.indexes
+            .insert(index_name.to_string(), Arc::clone(&meta));
         Ok(meta)
     }
 
@@ -219,10 +220,7 @@ mod tests {
     fn duplicate_names_rejected() {
         let mut db = db_with_t();
         let t2 = Table::new("t", Schema::of(&[("x", ColumnType::Int)]));
-        assert!(matches!(
-            db.add_table(t2),
-            Err(StorageError::Duplicate(_))
-        ));
+        assert!(matches!(db.add_table(t2), Err(StorageError::Duplicate(_))));
     }
 
     #[test]

@@ -119,10 +119,7 @@ impl Table {
 
     /// Iterator over `(rid, row)` in heap order.
     pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
-        self.rows
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (i as RowId, r))
+        self.rows.iter().enumerate().map(|(i, r)| (i as RowId, r))
     }
 
     /// Reorders the rows of the table in place according to `perm`, where
@@ -166,7 +163,8 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, StorageError::SchemaMismatch(_)));
         // NULL is admissible anywhere.
-        tab.insert(Row::new(vec![Value::Null, Value::Null])).unwrap();
+        tab.insert(Row::new(vec![Value::Null, Value::Null]))
+            .unwrap();
     }
 
     #[test]
@@ -202,8 +200,12 @@ mod tests {
     #[test]
     fn row_ids_are_positions() {
         let mut tab = t();
-        let r0 = tab.insert(Row::new(vec![Value::Int(7), Value::str("a")])).unwrap();
-        let r1 = tab.insert(Row::new(vec![Value::Int(8), Value::str("b")])).unwrap();
+        let r0 = tab
+            .insert(Row::new(vec![Value::Int(7), Value::str("a")]))
+            .unwrap();
+        let r1 = tab
+            .insert(Row::new(vec![Value::Int(8), Value::str("b")]))
+            .unwrap();
         assert_eq!((r0, r1), (0, 1));
         assert_eq!(tab.row(r1).get(0), &Value::Int(8));
     }

@@ -311,10 +311,7 @@ mod tests {
         assert!(Value::Null < Value::Int(i64::MIN));
         assert_eq!(Value::Null.sql_cmp(&Value::Int(0)), None);
         assert_eq!(Value::Int(0).sql_cmp(&Value::Null), None);
-        assert_eq!(
-            Value::Int(1).sql_cmp(&Value::Int(1)),
-            Some(Ordering::Equal)
-        );
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(1)), Some(Ordering::Equal));
     }
 
     #[test]

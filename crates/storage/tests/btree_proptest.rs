@@ -1,10 +1,14 @@
 //! Property-based tests: the B+Tree must behave exactly like a sorted
 //! multimap model under arbitrary insertion sequences, and structural
 //! invariants must hold at every point.
+//!
+//! Ported from `proptest` to the in-tree `qp_testkit::prop` harness; the
+//! invariants and case counts are unchanged.
 
-use proptest::prelude::*;
 use qp_storage::btree::BTreeIndex;
 use qp_storage::{RowId, Value};
+use qp_testkit::prop::collection;
+use qp_testkit::{prop_assert, prop_assert_eq, prop_check};
 use std::collections::BTreeSet;
 use std::ops::Bound;
 
@@ -12,13 +16,12 @@ fn key(v: i64) -> Vec<Value> {
     vec![Value::Int(v)]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+prop_check! {
+    cases = 64,
 
     /// Lookups agree with a model multimap for arbitrary inserts
     /// (including many duplicates, thanks to the narrow key domain).
-    #[test]
-    fn lookup_matches_model(inserts in prop::collection::vec(0i64..50, 0..800)) {
+    fn lookup_matches_model(inserts in collection::vec(0i64..50, 0..800)) {
         let mut tree = BTreeIndex::new(1);
         let mut model: BTreeSet<(i64, RowId)> = BTreeSet::new();
         for (rid, k) in inserts.iter().enumerate() {
@@ -37,9 +40,8 @@ proptest! {
     }
 
     /// Range scans return exactly the model's range contents, in order.
-    #[test]
     fn range_matches_model(
-        inserts in prop::collection::vec(0i64..100, 0..500),
+        inserts in collection::vec(0i64..100, 0..500),
         lo in 0i64..100,
         width in 0i64..100,
     ) {
@@ -64,8 +66,7 @@ proptest! {
     }
 
     /// Full scans are always sorted and complete.
-    #[test]
-    fn scan_is_sorted_and_complete(inserts in prop::collection::vec(-1000i64..1000, 0..600)) {
+    fn scan_is_sorted_and_complete(inserts in collection::vec(-1000i64..1000, 0..600)) {
         let mut tree = BTreeIndex::new(1);
         for (rid, k) in inserts.iter().enumerate() {
             tree.insert(key(*k), rid as RowId);

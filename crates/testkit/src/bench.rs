@@ -1,0 +1,381 @@
+//! A lightweight timing harness for `[[bench]]` targets with
+//! `harness = false`.
+//!
+//! The shape mirrors what the workspace used from criterion — groups,
+//! per-bench closures driven through [`Bencher::iter`], element
+//! throughput — with a much simpler measurement model: a warmup, a
+//! calibration pass that batches iterations until one sample takes
+//! ≥ ~2 ms, then a fixed number of samples from which median and p95 are
+//! reported. Results are printed as a table and written as JSON under
+//! `target/qp-bench/` for machine consumption.
+//!
+//! Invocation protocol (matching cargo's):
+//! * `cargo bench` passes `--bench` → full measurement run.
+//! * `cargo test` runs bench targets with no flag → *smoke mode*: the
+//!   harness reports that it is skipping measurement and exits
+//!   successfully, keeping the test suite fast and deterministic.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: lets the report show rates, not just times.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements (rows, getnext calls, ...) per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/param` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    /// Nanoseconds per iteration, one entry per sample.
+    per_iter_ns: Vec<f64>,
+    iters_per_sample: u64,
+    throughput: Option<Throughput>,
+}
+
+impl Record {
+    fn sorted(&self) -> Vec<f64> {
+        let mut s = self.per_iter_ns.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        s
+    }
+
+    fn median_ns(&self) -> f64 {
+        percentile(&self.sorted(), 0.50)
+    }
+
+    fn p95_ns(&self) -> f64 {
+        percentile(&self.sorted(), 0.95)
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    // Linear interpolation between closest ranks.
+    let pos = (sorted.len() - 1) as f64 * q;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The top-level harness; create with [`Harness::from_env`] (usually via
+/// [`crate::bench_main!`]).
+pub struct Harness {
+    crate_name: String,
+    smoke: bool,
+    default_sample_size: usize,
+    records: Vec<Record>,
+}
+
+impl Harness {
+    /// Parses cargo's bench-runner arguments: `--bench` selects full
+    /// measurement; anything else (e.g. a bare `cargo test` invocation)
+    /// selects smoke mode.
+    pub fn from_env(crate_name: &str) -> Harness {
+        let full = std::env::args().any(|a| a == "--bench");
+        Harness {
+            crate_name: crate_name.to_string(),
+            smoke: !full,
+            default_sample_size: 50,
+            records: Vec::new(),
+        }
+    }
+
+    /// True when running under `cargo test` (no measurement wanted).
+    pub fn is_smoke(&self) -> bool {
+        self.smoke
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            harness: self,
+        }
+    }
+
+    /// Benchmarks a standalone function (its own one-entry group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let sample_size = self.default_sample_size;
+        self.run_one(name.to_string(), sample_size, None, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: String,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            sample_size,
+            per_iter_ns: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut b);
+        assert!(
+            !b.per_iter_ns.is_empty(),
+            "benchmark `{name}` never called Bencher::iter"
+        );
+        let rec = Record {
+            name,
+            per_iter_ns: b.per_iter_ns,
+            iters_per_sample: b.iters_per_sample,
+            throughput,
+        };
+        self.report_line(&rec);
+        self.records.push(rec);
+    }
+
+    fn report_line(&self, rec: &Record) {
+        let med = rec.median_ns();
+        let mut line = format!(
+            "{:<40} median {:>10}   p95 {:>10}   ({} samples x {} iters)",
+            rec.name,
+            fmt_ns(med),
+            fmt_ns(rec.p95_ns()),
+            rec.per_iter_ns.len(),
+            rec.iters_per_sample,
+        );
+        if let Some(tp) = rec.throughput {
+            let (n, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if med > 0.0 {
+                let rate = n as f64 / (med / 1e9);
+                line.push_str(&format!("   {:.3e} {unit}/s", rate));
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Prints the summary and writes `target/qp-bench/<crate>.json`.
+    pub fn finish(self) {
+        if self.smoke {
+            return;
+        }
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"bench\": \"{}\",\n", self.crate_name));
+        json.push_str("  \"results\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {:.3}, \"p95_ns\": {:.3}, \"samples\": {}, \"iters_per_sample\": {}{}}}{}\n",
+                r.name,
+                r.median_ns(),
+                r.p95_ns(),
+                r.per_iter_ns.len(),
+                r.iters_per_sample,
+                match r.throughput {
+                    Some(Throughput::Elements(n)) => format!(", \"elements\": {n}"),
+                    Some(Throughput::Bytes(n)) => format!(", \"bytes\": {n}"),
+                    None => String::new(),
+                },
+                if i + 1 == self.records.len() { "" } else { "," },
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let dir = std::path::Path::new("target").join("qp-bench");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{}.json", self.crate_name));
+            match std::fs::write(&path, &json) {
+                Ok(()) => println!("\nwrote {}", path.display()),
+                Err(e) => eprintln!("could not write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Group<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "need at least 2 samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        let (n, t) = (self.sample_size, self.throughput);
+        self.harness.run_one(name, n, t, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark (the id usually carries the
+    /// parameter; `input` is passed through to the closure).
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (drop also suffices; kept for API familiarity).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] exactly once
+/// with the code under measurement.
+pub struct Bencher {
+    sample_size: usize,
+    per_iter_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+/// Target wall time for one measured sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+/// Warmup budget before calibration.
+const WARMUP: Duration = Duration::from_millis(50);
+
+impl Bencher {
+    /// Measures `f`: warmup, calibrate a batch size so a sample lasts at
+    /// least [`TARGET_SAMPLE`], then record `sample_size` samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup + calibration: run until the budget is spent, tracking
+        // the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters = ((TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        self.iters_per_sample = iters;
+        self.per_iter_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+            self.per_iter_ns.push(ns);
+        }
+    }
+}
+
+/// Declares the `main` of a `harness = false` bench target:
+///
+/// ```ignore
+/// fn bench_foo(h: &mut qp_testkit::bench::Harness) { ... }
+/// qp_testkit::bench_main!(bench_foo, bench_bar);
+/// ```
+///
+/// Under `cargo test` (smoke mode) the benchmark functions are not
+/// invoked at all — the target still compiles and links, which is the
+/// regression signal the test suite needs, without paying for data
+/// generation or measurement.
+#[macro_export]
+macro_rules! bench_main {
+    ($($f:path),+ $(,)?) => {
+        fn main() {
+            let mut harness =
+                $crate::bench::Harness::from_env(env!("CARGO_CRATE_NAME"));
+            if harness.is_smoke() {
+                println!(
+                    "{}: smoke mode (run `cargo bench` for measurements)",
+                    env!("CARGO_CRATE_NAME"),
+                );
+                return;
+            }
+            $($f(&mut harness);)+
+            harness.finish();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_data() {
+        let rec = Record {
+            name: "x".into(),
+            per_iter_ns: (1..=100).map(|i| i as f64).collect(),
+            iters_per_sample: 1,
+            throughput: None,
+        };
+        assert!((rec.median_ns() - 50.5).abs() < 1e-9);
+        assert!((rec.p95_ns() - 95.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_group_slash_param() {
+        assert_eq!(
+            BenchmarkId::new("monitored", 64).to_string(),
+            "monitored/64"
+        );
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+    }
+}

@@ -1,0 +1,30 @@
+//! # qp-testkit — hermetic test infrastructure
+//!
+//! This workspace builds in environments with **no access to crates.io**,
+//! so everything the tests and benchmarks need lives in-tree:
+//!
+//! * [`rng`] — a seedable, deterministic PRNG (xoshiro256\*\* seeded via
+//!   SplitMix64) with the small API surface the generators and samplers
+//!   use (`seed_from_u64`, `random`, `random_range`, `random_bool`,
+//!   `shuffle`, plus exponential / CDF-inversion helpers). Determinism is
+//!   load-bearing for the science, not just convenience: the paper's
+//!   Theorem 3/Theorem 4 statements quantify over *random input orders*,
+//!   and reproducing a figure requires replaying the exact order, which an
+//!   in-tree generator pins across toolchains and platforms.
+//! * [`prop`] — a minimal property-testing harness (the [`prop_check!`]
+//!   macro): seeded case generation from composable [`prop::Strategy`]
+//!   values, configurable case counts, and greedy input shrinking on
+//!   failure.
+//! * [`bench`] — a lightweight timing harness (warmup, calibrated
+//!   batching, median/p95 reporting, JSON output) for `[[bench]]` targets
+//!   with `harness = false`.
+//!
+//! The crate deliberately has **zero dependencies**. Nothing here aims to
+//! be a general-purpose replacement for `rand`/`proptest`/`criterion`;
+//! it implements exactly what this repository uses, bit-reproducibly.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use rng::TestRng;

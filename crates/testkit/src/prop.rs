@@ -1,0 +1,547 @@
+//! A minimal property-testing harness.
+//!
+//! [`prop_check!`] declares a `#[test]` that generates many random inputs
+//! from composable [`Strategy`] values (integer/float ranges, tuples,
+//! vectors), runs the body on each, and on failure greedily *shrinks* the
+//! input to a small counterexample before panicking. Case generation is
+//! seeded from the property name plus a fixed base seed, so failures are
+//! exactly reproducible — rerunning the same binary replays the same
+//! cases in the same order.
+//!
+//! Compared to `proptest`, this harness keeps the three things the suites
+//! in this repository rely on — strategies over ranges/tuples/vecs,
+//! configurable case counts, and shrinking — and drops everything else
+//! (persistence files, regex strategies, recursive strategies).
+
+use crate::rng::TestRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A generator of random values of one type, with optional shrinking.
+pub trait Strategy {
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes strictly "smaller" candidate values derived from a failing
+    /// input. An empty list stops shrinking. Candidates must stay within
+    /// the strategy's domain.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*value, self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*value, *self.start())
+            }
+        }
+    )+};
+}
+
+impl_int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Integer shrinking: toward the range's low end. Candidates are
+/// `value - delta` for `delta` halving from the full distance down to 1,
+/// so a greedy first-failing walk converges to a boundary in
+/// logarithmically many rounds (classic bisecting shrink).
+fn shrink_int<T>(value: T, lo: T) -> Vec<T>
+where
+    T: Copy
+        + PartialEq
+        + PartialOrd
+        + std::ops::Sub<Output = T>
+        + std::ops::Add<Output = T>
+        + From<bool>
+        + std::ops::Div<Output = T>,
+{
+    if value == lo {
+        return Vec::new();
+    }
+    let one = T::from(true);
+    let two = one + one;
+    let mut out = Vec::new();
+    let mut delta = value - lo;
+    loop {
+        let cand = value - delta;
+        if out.last() != Some(&cand) {
+            out.push(cand);
+        }
+        if delta == one {
+            break;
+        }
+        delta = delta / two;
+    }
+    out
+}
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = self.start;
+                if *value == lo { return Vec::new(); }
+                let mid = lo + (*value - lo) / 2.0;
+                if mid != *value { vec![lo, mid] } else { vec![lo] }
+            }
+        }
+    )+};
+}
+
+impl_float_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5)
+);
+
+/// Collection strategies (`collection::vec`, mirroring proptest's path).
+pub mod collection {
+    use super::*;
+
+    /// A length specification for [`vec`]: `lo..hi` or `lo..=hi`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Generates `Vec<S::Value>` with length drawn from `len` and elements
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            len: len.into(),
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.lo..=self.len.hi);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            let n = value.len();
+            let min = self.len.lo;
+            // 1. Structural shrinks: drop to the minimum length, halve,
+            //    and drop single elements (a bounded set of positions).
+            if n > min {
+                out.push(value[..min].to_vec());
+                let half = (n / 2).max(min);
+                if half != min && half != n {
+                    out.push(value[..half].to_vec());
+                    out.push(value[n - half..].to_vec());
+                }
+                for i in removal_positions(n) {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            // 2. Element-wise shrinks: every candidate of each element (at
+            //    a bounded set of positions), so greedy walks can bisect a
+            //    single element down to a failure boundary.
+            for i in removal_positions(n) {
+                for cand in self.elem.shrink(&value[i]) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
+        }
+    }
+
+    /// Up to 16 distinct indices spread evenly over `0..n`.
+    fn removal_positions(n: usize) -> Vec<usize> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n <= 16 {
+            return (0..n).collect();
+        }
+        let mut out: Vec<usize> = (0..16).map(|k| k * n / 16).collect();
+        out.dedup();
+        out
+    }
+}
+
+/// Configuration for a property run.
+#[derive(Debug, Clone)]
+pub struct PropConfig {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Base seed; combined with the property name so distinct properties
+    /// see distinct streams.
+    pub seed: u64,
+    /// Cap on shrinking rounds (each round tries every candidate).
+    pub max_shrink_rounds: u32,
+}
+
+impl Default for PropConfig {
+    fn default() -> PropConfig {
+        PropConfig {
+            cases: 256,
+            seed: 0x5EED_CAFE,
+            max_shrink_rounds: 512,
+        }
+    }
+}
+
+/// FNV-1a, used to mix the property name into the seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+enum CaseResult {
+    Pass,
+    Fail(String),
+}
+
+fn run_case<S: Strategy>(
+    test: &impl Fn(S::Value) -> Result<(), String>,
+    value: &S::Value,
+) -> CaseResult {
+    match catch_unwind(AssertUnwindSafe(|| test(value.clone()))) {
+        Ok(Ok(())) => CaseResult::Pass,
+        Ok(Err(msg)) => CaseResult::Fail(msg),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            CaseResult::Fail(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Drives one property: generates `config.cases` inputs, tests each, and
+/// shrinks + panics on the first failure. Used via [`prop_check!`].
+pub fn run<S: Strategy>(
+    name: &str,
+    config: &PropConfig,
+    strategy: &S,
+    test: impl Fn(S::Value) -> Result<(), String>,
+) {
+    let base = config.seed ^ fnv1a(name.as_bytes());
+    for case in 0..config.cases {
+        // Golden-ratio stepping decorrelates per-case streams.
+        let mut rng = TestRng::seed_from_u64(
+            base.wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        let value = strategy.generate(&mut rng);
+        let CaseResult::Fail(first_msg) = run_case::<S>(&test, &value) else {
+            continue;
+        };
+        // Greedy shrink: take the first failing candidate each round.
+        let mut current = value;
+        let mut msg = first_msg;
+        let mut shrinks = 0u32;
+        'rounds: for _ in 0..config.max_shrink_rounds {
+            for cand in strategy.shrink(&current) {
+                if let CaseResult::Fail(m) = run_case::<S>(&test, &cand) {
+                    current = cand;
+                    msg = m;
+                    shrinks += 1;
+                    continue 'rounds;
+                }
+            }
+            break;
+        }
+        panic!(
+            "property `{name}` failed at case {case}/{} (base seed {:#x}, {shrinks} shrinks)\n\
+             minimal failing input: {current:#?}\n{msg}",
+            config.cases, config.seed
+        );
+    }
+}
+
+/// Declares property-based `#[test]` functions.
+///
+/// ```ignore
+/// use qp_testkit::prop_check;
+/// use qp_testkit::prop::collection;
+///
+/// prop_check! {
+///     cases = 64,
+///     fn sum_is_commutative(a in 0i64..100, b in 0i64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+///
+/// Each argument takes a pattern and a [`Strategy`] expression. The body
+/// may use [`prop_assert!`] / [`prop_assert_eq!`] (which report and
+/// trigger shrinking) or plain `assert!`/`unwrap` (panics are caught and
+/// shrunk too). Multiple `fn` items may appear in one invocation, sharing
+/// the `cases` count.
+#[macro_export]
+macro_rules! prop_check {
+    (
+        cases = $cases:expr,
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __strategy = ($($strat,)+);
+                let __config = $crate::prop::PropConfig {
+                    cases: $cases,
+                    ..::std::default::Default::default()
+                };
+                $crate::prop::run(
+                    stringify!($name),
+                    &__config,
+                    &__strategy,
+                    |($($arg,)+)| -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )+
+    };
+}
+
+/// `assert!` for property bodies: on failure, reports the condition (plus
+/// an optional formatted context message) and lets the harness shrink.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format_args!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), left, right,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), format_args!($($fmt)+), left, right,
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::collection;
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let strat = collection::vec(0i64..100, 0..20);
+        let mut r1 = TestRng::seed_from_u64(7);
+        let mut r2 = TestRng::seed_from_u64(7);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+
+    #[test]
+    fn vec_lengths_stay_in_range() {
+        let strat = collection::vec(0i64..10, 3..8);
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!((3..8).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn shrinking_finds_a_small_counterexample() {
+        // Property: no vector contains an element >= 50. The minimal
+        // counterexample is a single element of exactly 50 (structural
+        // shrinking removes everything else; element shrinking walks the
+        // value down to the boundary).
+        let strat = collection::vec(0i64..100, 0..50);
+        let failure = catch_unwind(AssertUnwindSafe(|| {
+            run(
+                "shrink_demo",
+                &PropConfig {
+                    cases: 200,
+                    ..Default::default()
+                },
+                &strat,
+                |v| {
+                    if v.iter().any(|&x| x >= 50) {
+                        Err("found one".into())
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let msg = *failure.unwrap_err().downcast::<String>().unwrap();
+        assert!(
+            msg.contains("minimal failing input"),
+            "unexpected message: {msg}"
+        );
+        assert!(
+            msg.contains("[\n    50,\n]") || msg.contains("[50]"),
+            "did not shrink to [50]: {msg}"
+        );
+    }
+
+    #[test]
+    fn passing_properties_pass() {
+        run(
+            "tautology",
+            &PropConfig {
+                cases: 64,
+                ..Default::default()
+            },
+            &(0i64..100, 0i64..100),
+            |(a, b)| {
+                prop_assert_eq!(a + b, b + a);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn panics_in_the_body_are_shrunk_too() {
+        let failure = catch_unwind(AssertUnwindSafe(|| {
+            run(
+                "panic_demo",
+                &PropConfig {
+                    cases: 100,
+                    ..Default::default()
+                },
+                &(0i64..1000,),
+                |(x,)| {
+                    assert!(x < 500, "too big");
+                    Ok(())
+                },
+            );
+        }));
+        let msg = *failure.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("panicked"), "message: {msg}");
+        assert!(msg.contains("500"), "not shrunk to boundary: {msg}");
+    }
+
+    prop_check! {
+        cases = 32,
+        fn macro_level_smoke(v in collection::vec((0i64..10, 0usize..4), 0..20), k in 1u32..=8) {
+            prop_assert!(v.len() < 20);
+            prop_assert!(k >= 1 && k <= 8, "k = {}", k);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Cross-run determinism guarantees for the in-tree PRNG.
+//!
+//! Every experiment in this repo is keyed by a `seed:` field; figures and
+//! golden tests are only reproducible if `TestRng` emits the *same*
+//! stream on every platform and in every future revision. The pinned
+//! constants below are the contract: changing the generator is allowed
+//! only as a conscious, golden-test-breaking decision.
+
+use qp_testkit::TestRng;
+
+/// The first 8 raw outputs of `seed_from_u64(42)`, pinned forever.
+/// (xoshiro256** seeded through SplitMix64 — see crates/testkit/src/rng.rs.)
+const GOLDEN_SEED_42: [u64; 8] = [
+    0x15780B2E0C2EC716,
+    0x6104D9866D113A7E,
+    0xAE17533239E499A1,
+    0xECB8AD4703B360A1,
+    0xFDE6DC7FE2EC5E64,
+    0xC50DA53101795238,
+    0xB82154855A65DDB2,
+    0xD99A2743EBE60087,
+];
+
+#[test]
+fn seed_42_stream_is_pinned() {
+    let mut rng = TestRng::seed_from_u64(42);
+    for (i, &want) in GOLDEN_SEED_42.iter().enumerate() {
+        let got = rng.next_u64();
+        assert_eq!(got, want, "output {i} diverged: 0x{got:016X}");
+    }
+}
+
+#[test]
+fn same_seed_same_stream() {
+    let mut a = TestRng::seed_from_u64(0xDEAD_BEEF);
+    let mut b = TestRng::seed_from_u64(0xDEAD_BEEF);
+    for _ in 0..1_000 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+    // ...and the derived draws agree too (they consume the same stream).
+    let mut a2 = TestRng::seed_from_u64(0xDEAD_BEEF);
+    let mut b2 = TestRng::seed_from_u64(0xDEAD_BEEF);
+    for _ in 0..200 {
+        assert_eq!(
+            a2.random_range(0..1_000_000i64),
+            b2.random_range(0..1_000_000i64)
+        );
+        assert_eq!(a2.random_bool(0.3), b2.random_bool(0.3));
+        assert!((a2.random::<f64>() - b2.random::<f64>()).abs() == 0.0);
+    }
+}
+
+#[test]
+fn distinct_seeds_diverge() {
+    // Any pair of small seeds must give visibly different streams — the
+    // SplitMix64 expansion exists precisely so that seeds 1, 2, 3 don't
+    // produce correlated state.
+    let mut streams: Vec<Vec<u64>> = (0..16u64)
+        .map(|s| {
+            let mut r = TestRng::seed_from_u64(s);
+            (0..4).map(|_| r.next_u64()).collect()
+        })
+        .collect();
+    streams.sort();
+    streams.dedup();
+    assert_eq!(streams.len(), 16, "seed collision among seeds 0..16");
+}
+
+#[test]
+fn shuffle_is_deterministic_and_a_permutation() {
+    let mut r1 = TestRng::seed_from_u64(7);
+    let mut r2 = TestRng::seed_from_u64(7);
+    let mut v1: Vec<u32> = (0..100).collect();
+    let mut v2 = v1.clone();
+    r1.shuffle(&mut v1);
+    r2.shuffle(&mut v2);
+    assert_eq!(v1, v2);
+    let mut sorted = v1.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+    assert_ne!(v1, sorted, "a 100-element shuffle left the input ordered");
+}

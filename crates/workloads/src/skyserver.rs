@@ -201,9 +201,7 @@ fn q28(db: &Database) -> Plan {
 fn q32(db: &Database) -> Plan {
     let p = PlanBuilder::scan(db, "photoobj").expect("photoobj");
     let flags = c(&p, "flags");
-    let p = p
-        .filter(lt(flags, 0x4000i64))
-        .sort(vec![(0, true)]); // by objid
+    let p = p.filter(lt(flags, 0x4000i64)).sort(vec![(0, true)]); // by objid
     let spec = PlanBuilder::scan(db, "specobj").expect("specobj");
     let spec = spec.sort(vec![(1, true)]); // by bestobjid
     let jo = p.merge_join(spec, vec![0], vec![1], JoinType::Inner, true);
@@ -239,8 +237,8 @@ mod tests {
     fn all_sky_queries_run() {
         let s = tiny();
         for (q, plan) in sky_queries(&s) {
-            let (out, _) = run_query(&plan, &s.db, None)
-                .unwrap_or_else(|e| panic!("sky Q{q} failed: {e}"));
+            let (out, _) =
+                run_query(&plan, &s.db, None).unwrap_or_else(|e| panic!("sky Q{q} failed: {e}"));
             assert!(out.total_getnext > 0, "sky Q{q} did no work");
             assert_eq!(out.total_getnext, out.node_counts.iter().sum::<u64>());
         }
@@ -251,11 +249,7 @@ mod tests {
         let s = tiny();
         let plan = sky_query(28, &s);
         let (out, _) = run_query(&plan, &s.db, None).unwrap();
-        let total: i64 = out
-            .rows
-            .iter()
-            .map(|r| r.get(1).as_i64().unwrap())
-            .sum();
+        let total: i64 = out.rows.iter().map(|r| r.get(1).as_i64().unwrap()).sum();
         assert_eq!(total, 4_000);
     }
 

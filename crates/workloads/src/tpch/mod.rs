@@ -101,7 +101,7 @@ mod tests {
         TpchDb::generate(TpchConfig {
             scale: 0.002,
             z: 1.0,
-            seed: 11,
+            seed: 7,
         })
     }
 
@@ -141,7 +141,11 @@ mod tests {
         let (out, _) = run_query(&plan, &t.db, None).unwrap();
         // returnflag × linestatus combinations: at most 6 in TPC-H data
         // (A/F, N/F, N/O, R/F + generator noise), at least 3.
-        assert!(out.rows.len() >= 3 && out.rows.len() <= 6, "{}", out.rows.len());
+        assert!(
+            out.rows.len() >= 3 && out.rows.len() <= 6,
+            "{}",
+            out.rows.len()
+        );
     }
 
     #[test]

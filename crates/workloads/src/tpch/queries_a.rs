@@ -65,29 +65,17 @@ pub(crate) fn q2(db: &Database) -> Plan {
     // Subquery: min supply cost per part among EUROPE suppliers.
     let sub = region_partsupp(db, "EUROPE");
     let (pk, cost) = (sub.col("ps_partkey"), sub.col("ps_supplycost"));
-    let min_cost = sub.hash_aggregate(
-        vec![pk],
-        vec![(AggExpr::min(Expr::Col(cost)), "min_cost")],
-    );
+    let min_cost = sub.hash_aggregate(vec![pk], vec![(AggExpr::min(Expr::Col(cost)), "min_cost")]);
 
     // Main: brass parts of size 15 with their EUROPE suppliers.
     let part = PlanBuilder::scan(db, "part").expect("part");
     let (psize, ptype) = (c(&part, "p_size"), c(&part, "p_type"));
-    let part = part.filter(Expr::And(vec![
-        eq(psize, 15i64),
-        ends_with(ptype, "STEEL"),
-    ]));
+    let part = part.filter(Expr::And(vec![eq(psize, 15i64), ends_with(ptype, "STEEL")]));
     let main = region_partsupp(db, "EUROPE");
     let ps_pk = main.col("ps_partkey");
     let joined = part.hash_join(main, vec![0], vec![ps_pk], JoinType::Inner, true);
     let (jpk, jcost) = (joined.col("ps_partkey"), joined.col("ps_supplycost"));
-    let finished = min_cost.hash_join(
-        joined,
-        vec![0, 1],
-        vec![jpk, jcost],
-        JoinType::Inner,
-        true,
-    );
+    let finished = min_cost.hash_join(joined, vec![0, 1], vec![jpk, jcost], JoinType::Inner, true);
     let (bal, nname, sname, partkey) = (
         finished.col("s_acctbal"),
         finished.col("n_name"),
@@ -95,7 +83,12 @@ pub(crate) fn q2(db: &Database) -> Plan {
         finished.col("p_partkey"),
     );
     finished
-        .sort(vec![(bal, false), (nname, true), (sname, true), (partkey, true)])
+        .sort(vec![
+            (bal, false),
+            (nname, true),
+            (sname, true),
+            (partkey, true),
+        ])
         .limit(100)
         .build()
 }
@@ -208,10 +201,7 @@ pub(crate) fn q6(db: &Database) -> Plan {
         between(disc, 0.05f64, 0.07f64),
         lt(qty, 24.0f64),
     ]))
-    .project(vec![(
-        mul(Expr::Col(ep), Expr::Col(disc)),
-        "disc_revenue",
-    )])
+    .project(vec![(mul(Expr::Col(ep), Expr::Col(disc)), "disc_revenue")])
     .hash_aggregate(vec![], vec![(AggExpr::sum(Expr::Col(0)), "revenue")])
     .build()
 }
@@ -416,16 +406,10 @@ pub(crate) fn q11(db: &Database) -> Plan {
         let pk = all.col("ps_partkey");
         all.project(vec![
             (Expr::Col(pk), "ps_partkey"),
-            (
-                mul(Expr::Col(cost), Expr::Col(avail)),
-                "value",
-            ),
+            (mul(Expr::Col(cost), Expr::Col(avail)), "value"),
         ])
     };
-    let grouped = per_part(db).hash_aggregate(
-        vec![0],
-        vec![(AggExpr::sum(Expr::Col(1)), "value")],
-    );
+    let grouped = per_part(db).hash_aggregate(vec![0], vec![(AggExpr::sum(Expr::Col(1)), "value")]);
     let total = per_part(db).hash_aggregate(vec![], vec![(AggExpr::sum(Expr::Col(1)), "total")]);
     // value > 0.0001 * total — cross join against the scalar.
     let pred = Expr::cmp(

@@ -27,9 +27,8 @@ pub(crate) fn q12(db: &Database) -> Plan {
     let jo = li.hash_join(ord, vec![0], vec![0], JoinType::Inner, true);
     let (mode2, pri) = (jo.col("l_shipmode"), jo.col("o_orderpriority"));
     let high = in_list(pri, vec![Value::from("1-URGENT"), Value::from("2-HIGH")]);
-    let one_if = |cond: Expr| {
-        Expr::case_when(cond, Expr::Lit(Value::Int(1)), Expr::Lit(Value::Int(0)))
-    };
+    let one_if =
+        |cond: Expr| Expr::case_when(cond, Expr::Lit(Value::Int(1)), Expr::Lit(Value::Int(0)));
     jo.hash_aggregate(
         vec![mode2],
         vec![
@@ -125,19 +124,15 @@ fn q15_revenue(db: &Database) -> PlanBuilder {
 /// reconciled through a one-row nested-loops join.
 pub(crate) fn q15(db: &Database) -> Plan {
     let rev = q15_revenue(db);
-    let max_rev = q15_revenue(db).hash_aggregate(
-        vec![],
-        vec![(AggExpr::max(Expr::Col(1)), "max_revenue")],
-    );
+    let max_rev =
+        q15_revenue(db).hash_aggregate(vec![], vec![(AggExpr::max(Expr::Col(1)), "max_revenue")]);
     // total_revenue (within float wobble of) max_revenue.
     let eps = 1e-6;
-    let pred = Expr::And(vec![
-        Expr::cmp(
-            CmpOp::Ge,
-            Expr::Col(1),
-            sub(Expr::Col(2), Expr::Lit(Value::Float(eps))),
-        ),
-    ]);
+    let pred = Expr::And(vec![Expr::cmp(
+        CmpOp::Ge,
+        Expr::Col(1),
+        sub(Expr::Col(2), Expr::Lit(Value::Float(eps))),
+    )]);
     let winners = rev.nl_join(max_rev, pred, JoinType::Inner, true);
     let supp = PlanBuilder::scan(db, "supplier").expect("supplier");
     let sno = winners.col("supplier_no");
@@ -197,10 +192,7 @@ pub(crate) fn q17(db: &Database) -> Plan {
     let avg_qty = {
         let li = PlanBuilder::scan(db, "lineitem").expect("lineitem");
         let (pk, qty) = (c(&li, "l_partkey"), c(&li, "l_quantity"));
-        li.hash_aggregate(
-            vec![pk],
-            vec![(AggExpr::avg(Expr::Col(qty)), "avg_qty")],
-        )
+        li.hash_aggregate(vec![pk], vec![(AggExpr::avg(Expr::Col(qty)), "avg_qty")])
     };
     let part = PlanBuilder::scan(db, "part").expect("part");
     let (brand, container) = (c(&part, "p_brand"), c(&part, "p_container"));
@@ -244,11 +236,27 @@ pub(crate) fn q18(db: &Database) -> Plan {
     };
     let ok = big.col("l_orderkey");
     let jo = big
-        .inl_join(db, "orders", "orders_pk", vec![ok], JoinType::Inner, true, None)
+        .inl_join(
+            db,
+            "orders",
+            "orders_pk",
+            vec![ok],
+            JoinType::Inner,
+            true,
+            None,
+        )
         .expect("orders_pk");
     let ck = jo.col("o_custkey");
     let jc = jo
-        .inl_join(db, "customer", "customer_pk", vec![ck], JoinType::Inner, true, None)
+        .inl_join(
+            db,
+            "customer",
+            "customer_pk",
+            vec![ck],
+            JoinType::Inner,
+            true,
+            None,
+        )
         .expect("customer_pk");
     let li2 = PlanBuilder::scan(db, "lineitem").expect("lineitem");
     let ok2 = jc.col("l_orderkey");
@@ -297,9 +305,27 @@ pub(crate) fn q19(db: &Database) -> Plan {
         ])
     };
     let residual = Expr::Or(vec![
-        group("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5),
-        group("Brand#23", ["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10.0, 20.0, 10),
-        group("Brand#34", ["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20.0, 30.0, 15),
+        group(
+            "Brand#12",
+            ["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+            1.0,
+            11.0,
+            5,
+        ),
+        group(
+            "Brand#23",
+            ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+            10.0,
+            20.0,
+            10,
+        ),
+        group(
+            "Brand#34",
+            ["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+            20.0,
+            30.0,
+            15,
+        ),
     ]);
     let jo = li
         .inl_join(

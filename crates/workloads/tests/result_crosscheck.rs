@@ -75,7 +75,9 @@ fn q1_matches_naive_recomputation() {
             row.get(0).as_str().unwrap().to_string(),
             row.get(1).as_str().unwrap().to_string(),
         );
-        let acc = expected.get(&key).unwrap_or_else(|| panic!("group {key:?}"));
+        let acc = expected
+            .get(&key)
+            .unwrap_or_else(|| panic!("group {key:?}"));
         let close = |got: &Value, want: f64| {
             let g = got.as_f64().unwrap();
             assert!(
@@ -121,7 +123,9 @@ fn q4_matches_naive_recomputation() {
     }
     let mut expected: BTreeMap<String, i64> = BTreeMap::new();
     for row in orders.rows() {
-        let Value::Date(d) = row.get(od_i) else { panic!() };
+        let Value::Date(d) = row.get(od_i) else {
+            panic!()
+        };
         if *d < lo || *d >= hi {
             continue;
         }
@@ -163,7 +167,9 @@ fn q6_matches_naive_recomputation() {
     let hi = days_from_civil(1995, 1, 1);
     let mut expected = 0.0f64;
     for row in li.rows() {
-        let Value::Date(d) = row.get(ship_i) else { panic!() };
+        let Value::Date(d) = row.get(ship_i) else {
+            panic!()
+        };
         let disc = row.get(disc_i).as_f64().unwrap();
         let qty = row.get(qty_i).as_f64().unwrap();
         if *d >= lo && *d < hi && (0.05..=0.07).contains(&disc) && qty < 24.0 {

@@ -26,10 +26,7 @@ fn main() {
         pair.victim_pos,
         100.0 * pair.victim_pos as f64 / n as f64
     );
-    println!(
-        "  X twin: victim.A = {} (matches nothing in R2)",
-        pair.x
-    );
+    println!("  X twin: victim.A = {} (matches nothing in R2)", pair.x);
     println!(
         "  Y twin: victim.A = {} (matches all {} rows of R2)",
         pair.y,
@@ -57,10 +54,14 @@ fn main() {
         .expect("twin query runs");
     let snap = trace
         .snapshots()
-        .iter().rfind(|s| s.curr <= pair.decision_curr())
+        .iter()
+        .rfind(|s| s.curr <= pair.decision_curr())
         .expect("decision snapshot");
 
-    println!("\n{:<14}{:>10}{:>22}", "estimator", "estimate", "forced ratio error");
+    println!(
+        "\n{:<14}{:>10}{:>22}",
+        "estimator", "estimate", "forced ratio error"
+    );
     for (name, est) in trace.names().iter().zip(&snap.estimates) {
         println!(
             "{name:<14}{:>9.1}%{:>22.2}",

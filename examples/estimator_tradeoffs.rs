@@ -72,8 +72,7 @@ fn main() {
         });
         let stats = DbStats::build(&s.db);
         type PlanFn = fn(&SyntheticDb) -> Plan;
-        let plans: [(PlanFn, &str); 2] =
-            [(inl_plan, "INL"), (hash_plan, "hash")];
+        let plans: [(PlanFn, &str); 2] = [(inl_plan, "INL"), (hash_plan, "hash")];
         for (mk, op) in plans {
             let mut plan = mk(&s);
             annotate(&mut plan, &stats);

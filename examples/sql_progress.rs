@@ -43,8 +43,8 @@ fn main() {
     annotate(&mut plan, &stats);
     println!("plan:\n{}", plan.display());
 
-    let (out, trace) = run_with_progress(&plan, &t.db, Some(&stats), standard_suite(), None)
-        .expect("query runs");
+    let (out, trace) =
+        run_with_progress(&plan, &t.db, Some(&stats), standard_suite(), None).expect("query runs");
 
     // Progress bars per estimator, sampled at ~quarter points.
     println!("progress traces (|####----| per estimator):");
@@ -67,7 +67,11 @@ fn main() {
         println!();
     }
 
-    println!("\nresults ({} rows, total(Q) = {} getnext calls):", out.rows.len(), out.total_getnext);
+    println!(
+        "\nresults ({} rows, total(Q) = {} getnext calls):",
+        out.rows.len(),
+        out.total_getnext
+    );
     for row in out.rows.iter().take(10) {
         println!("  {row:?}");
     }

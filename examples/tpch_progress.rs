@@ -43,9 +43,8 @@ fn main() {
     for (q, mut plan) in tpch_queries(&t) {
         annotate(&mut plan, &stats);
         let meta = PlanMeta::from_plan(&plan);
-        let (out, trace) =
-            run_with_progress(&plan, &t.db, Some(&stats), standard_suite(), None)
-                .unwrap_or_else(|e| panic!("Q{q} failed: {e}"));
+        let (out, trace) = run_with_progress(&plan, &t.db, Some(&stats), standard_suite(), None)
+            .unwrap_or_else(|e| panic!("Q{q} failed: {e}"));
         let mu = mu_from_counts(&meta, &out.node_counts);
         print!("Q{q:<5}{mu:>8.3}{:>8}", out.total_getnext);
         for n in &names {

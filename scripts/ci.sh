@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Hermetic CI gate. The whole pipeline must run with ZERO network access:
+# the workspace has no external dependencies (see DESIGN.md §7), so
+# --offline is not an optimization here — it is the policy, enforced.
+# Adding a crates.io dependency will fail this script at resolution time.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release --offline (tier-1)"
+cargo build --release --offline --workspace --all-targets
+
+echo "==> cargo test -q --offline (tier-1)"
+cargo test -q --offline --workspace
+
+echo "==> bench smoke (no --bench flag: compile + skip)"
+cargo test -q --offline -p qp-bench --benches
+
+echo "CI OK"

@@ -16,8 +16,16 @@ fn scale() -> Scale {
 fn fig3_dne_is_nearly_exact_on_q1() {
     let f = figures::fig3(&scale());
     let (_, dne) = *f.errors.iter().find(|(n, _)| *n == "dne").unwrap();
-    assert!(dne.avg_abs < 0.01, "dne avg error {:.4} too high", dne.avg_abs);
-    assert!(dne.max_abs < 0.05, "dne max error {:.4} too high", dne.max_abs);
+    assert!(
+        dne.avg_abs < 0.01,
+        "dne avg error {:.4} too high",
+        dne.avg_abs
+    );
+    assert!(
+        dne.max_abs < 0.05,
+        "dne max error {:.4} too high",
+        dne.max_abs
+    );
 }
 
 /// Figure 4: with the skewed keys first, dne substantially underestimates
@@ -35,14 +43,13 @@ fn fig4_pmax_beats_dne_under_skew_first() {
         dne.max_ratio,
         pmax.max_ratio
     );
-    assert!(pmax.max_ratio <= 11.0 + 0.1, "pmax ratio {}", pmax.max_ratio);
+    assert!(
+        pmax.max_ratio <= 11.0 + 0.1,
+        "pmax ratio {}",
+        pmax.max_ratio
+    );
     // dne underestimates: its estimates sit below the truth.
-    let dne_series: Vec<(f64, f64)> = f
-        .series
-        .series
-        .iter()
-        .map(|(p, e)| (*p, e[0]))
-        .collect();
+    let dne_series: Vec<(f64, f64)> = f.series.series.iter().map(|(p, e)| (*p, e[0])).collect();
     let under = dne_series
         .iter()
         .filter(|(p, e)| *p > 0.05 && *p < 0.95 && e < p)
@@ -212,7 +219,11 @@ fn theorem4_half_the_orders_are_predictive() {
 #[test]
 fn property6_scan_based_guarantees_hold() {
     let r = theory::scan_based(&scale());
-    assert!(r.rows.len() >= 8, "too few scan-based queries: {}", r.rows.len());
+    assert!(
+        r.rows.len() >= 8,
+        "too few scan-based queries: {}",
+        r.rows.len()
+    );
     assert!(r.all_hold(), "{}", r.render());
 }
 

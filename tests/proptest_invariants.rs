@@ -1,8 +1,12 @@
 //! Property-based tests over randomly generated data and plan shapes:
 //! the paper's formal guarantees must hold for *arbitrary* instances, not
 //! just the curated experiment datasets.
+//!
+//! Ported from `proptest` to the in-tree `qp_testkit::prop` harness; the
+//! invariants and case counts are unchanged.
 
-use proptest::prelude::*;
+use qp_testkit::prop::collection;
+use qp_testkit::{prop_assert, prop_check};
 use queryprogress::exec::expr::{CmpOp, Expr};
 use queryprogress::exec::plan::{JoinType, Plan, PlanBuilder};
 use queryprogress::progress::bounds::BoundsTracker;
@@ -18,7 +22,9 @@ fn build_db(t_vals: &[(i64, i64)], u_vals: &[i64]) -> Database {
     db.create_table_with_rows(
         "t",
         Schema::of(&[("a", ColumnType::Int), ("b", ColumnType::Int)]),
-        t_vals.iter().map(|&(a, b)| vec![Value::Int(a), Value::Int(b)]),
+        t_vals
+            .iter()
+            .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)]),
     )
     .unwrap();
     db.create_table_with_rows(
@@ -83,15 +89,14 @@ fn build_plan(db: &Database, shape: u8, threshold: i64) -> Plan {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+prop_check! {
+    cases = 48,
 
     /// Property 4 (pmax never underestimates), the bounds bracketing, and
     /// Theorem 5 (pmax ≤ μ·prog) hold on arbitrary data and plan shapes.
-    #[test]
     fn pmax_and_bounds_invariants(
-        t_vals in prop::collection::vec((0i64..40, 0i64..12), 1..120),
-        u_vals in prop::collection::vec(0i64..12, 0..150),
+        t_vals in collection::vec((0i64..40, 0i64..12), 1..120),
+        u_vals in collection::vec(0i64..12, 0..150),
         shape in 0u8..5,
         threshold in 0i64..40,
     ) {
@@ -117,12 +122,13 @@ proptest! {
             prop_assert!(snap.ub >= total, "ub {} < total {}", snap.ub, total);
             // Property 4.
             let pmax = snap.estimates[0];
-            prop_assert!(pmax + 1e-9 >= prog.min(1.0), "pmax {pmax} < prog {prog}");
+            prop_assert!(pmax + 1e-9 >= prog.min(1.0), "pmax {} < prog {}", pmax, prog);
             // Theorem 5.
             if mu.is_finite() {
                 prop_assert!(
                     pmax <= (mu * prog).min(1.0) + 1e-9,
-                    "pmax {pmax} > mu*prog {}",
+                    "pmax {} > mu*prog {}",
+                    pmax,
                     mu * prog
                 );
             }
@@ -131,10 +137,9 @@ proptest! {
 
     /// All estimators stay within [0, 1] and reach ~1 at completion, for
     /// arbitrary instances.
-    #[test]
     fn estimators_are_well_formed(
-        t_vals in prop::collection::vec((0i64..30, 0i64..8), 1..80),
-        u_vals in prop::collection::vec(0i64..8, 1..100),
+        t_vals in collection::vec((0i64..30, 0i64..8), 1..80),
+        u_vals in collection::vec(0i64..8, 1..100),
         shape in 0u8..5,
     ) {
         let db = build_db(&t_vals, &u_vals);
@@ -146,7 +151,7 @@ proptest! {
         ).unwrap();
         for snap in trace.snapshots() {
             for &e in &snap.estimates {
-                prop_assert!((0.0..=1.0).contains(&e), "estimate {e}");
+                prop_assert!((0.0..=1.0).contains(&e), "estimate {}", e);
             }
         }
         let last = trace.snapshots().last().unwrap();
@@ -158,17 +163,16 @@ proptest! {
         // maintaining bounds instead of trusting estimates (Section 5.1).
         for (&name, &e) in trace.names().iter().zip(&last.estimates) {
             if name != "trivial" && name != "esttotal" {
-                prop_assert!((e - 1.0).abs() < 1e-6, "{name} ends at {e}");
+                prop_assert!((e - 1.0).abs() < 1e-6, "{} ends at {}", name, e);
             }
         }
     }
 
     /// The bounds tracker never produces lb > ub and collapses exactly at
     /// completion.
-    #[test]
     fn bounds_tracker_is_consistent(
-        t_vals in prop::collection::vec((0i64..20, 0i64..6), 1..60),
-        u_vals in prop::collection::vec(0i64..6, 0..60),
+        t_vals in collection::vec((0i64..20, 0i64..6), 1..60),
+        u_vals in collection::vec(0i64..6, 0..60),
         shape in 0u8..5,
     ) {
         let db = build_db(&t_vals, &u_vals);
@@ -179,8 +183,8 @@ proptest! {
         let done = vec![true; plan.len()];
         tracker.recompute(&out.node_counts, &done);
         tracker.check_invariants();
-        prop_assert_eq!(tracker.total_lb(), out.total_getnext.max(1));
-        prop_assert_eq!(tracker.total_ub(), out.total_getnext.max(1));
+        prop_assert!(tracker.total_lb() == out.total_getnext.max(1));
+        prop_assert!(tracker.total_ub() == out.total_getnext.max(1));
     }
 }
 

@@ -42,8 +42,8 @@ fn sql_and_handbuilt_plans_agree_on_results() {
     let (t, stats) = db();
     for q in qp_workloads::SQL_QUERIES {
         let sql = qp_workloads::tpch_sql(q).expect("listed query has SQL");
-        let sql_plan = sql_to_plan(sql, &t.db, &stats)
-            .unwrap_or_else(|e| panic!("Q{q} failed to plan: {e}"));
+        let sql_plan =
+            sql_to_plan(sql, &t.db, &stats).unwrap_or_else(|e| panic!("Q{q} failed to plan: {e}"));
         let hand_plan = qp_workloads::tpch_query(q, &t);
 
         let sql_rows = run_query(&sql_plan, &t.db, None)
