@@ -6,63 +6,113 @@
 //! cargo run --release -p qp-bench --bin repro -- fig4 table2
 //! cargo run --release -p qp-bench --bin repro -- --small all
 //! cargo run --release -p qp-bench --bin repro -- --csv /tmp/traces fig5
+//! cargo run --release -p qp-bench --bin repro -- --list
 //! ```
 //!
 //! `--csv <dir>` additionally writes each figure's raw trace as CSV
-//! (`curr,progress,lb,ub,<estimators…>`) for external plotting.
+//! (`curr,progress,lb,ub,<estimators…>`) for external plotting; `--list`
+//! prints the experiment table. Unknown experiment names or flags abort
+//! before anything runs (a typo cannot silently skip part of a sweep).
 
 use qp_bench::experiments::{ablations, extensions, figures, tables, theory};
 use qp_bench::Scale;
 
-const EXPERIMENTS: [&str; 19] = [
-    "fig3",
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig7",
-    "table1",
-    "table2",
-    "table3",
-    "lowerbound",
-    "thm3",
-    "thm4",
-    "scanbased",
-    "invariants",
-    "ablation-stride",
-    "ablation-safe-mean",
-    "ablation-hybrid",
-    "feedback",
-    "threshold",
-    "orders",
+/// `(name, what it reproduces)` — the full experiment table, also printed
+/// by `--list`.
+const EXPERIMENTS: [(&str, &str); 19] = [
+    ("fig3", "Figure 3: estimator traces, scan-based query"),
+    ("fig4", "Figure 4: estimator traces, TPC-H join query"),
+    ("fig5", "Figure 5: estimator traces under skew"),
+    ("fig6", "Figure 6: max ratio error across the workload"),
+    ("fig7", "Figure 7: SkyServer-style long-running queries"),
+    ("table1", "Table 1: per-query error summary, TPC-H"),
+    ("table2", "Table 2: per-query error summary, SkyServer"),
+    ("table3", "Table 3: observed mu per query"),
+    ("lowerbound", "Theorem 1: the adversarial twin instances"),
+    ("thm3", "Theorem 3: dne unbiased under random order"),
+    ("thm4", "Theorem 4: fraction of 2-predictive orders"),
+    (
+        "scanbased",
+        "Property 6: scan-based queries bound safe/pmax",
+    ),
+    ("invariants", "Properties 4/5: pmax/safe guarantee sweep"),
+    ("ablation-stride", "Ablation: snapshot stride sensitivity"),
+    (
+        "ablation-safe-mean",
+        "Ablation: safe's mean (geometric vs arithmetic)",
+    ),
+    ("ablation-hybrid", "Ablation: hybrid switch threshold"),
+    ("feedback", "Section 6.4: inter-query feedback estimator"),
+    (
+        "threshold",
+        "Section 2.5: (tau, delta) threshold requirement",
+    ),
+    ("orders", "Section 4.2: input-order predictiveness analysis"),
 ];
+
+fn known(name: &str) -> bool {
+    EXPERIMENTS.iter().any(|&(n, _)| n == name)
+}
+
+fn print_list() {
+    println!("available experiments ({} total):", EXPERIMENTS.len());
+    for (name, what) in EXPERIMENTS {
+        println!("  {name:<20} {what}");
+    }
+    println!("  {:<20} run everything above, in order", "all");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        print_list();
+        return;
+    }
     let small = args.iter().any(|a| a == "--small");
     let scale = if small {
         Scale::small()
     } else {
         Scale::default()
     };
-    let csv_dir: Option<std::path::PathBuf> = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from);
-    if let Some(dir) = &csv_dir {
-        std::fs::create_dir_all(dir).expect("csv dir is creatable");
-    }
     let csv_flag_value: Option<&String> = args
         .iter()
         .position(|a| a == "--csv")
         .and_then(|i| args.get(i + 1));
-    let mut selected: Vec<&str> = args
+    let csv_dir: Option<std::path::PathBuf> = csv_flag_value.map(std::path::PathBuf::from);
+
+    // Validate everything up front: a typo ("fig8") must abort the whole
+    // invocation with the experiment table, not silently skip or die
+    // halfway through a sweep.
+    if let Some(flag) = args
+        .iter()
+        .find(|a| a.starts_with("--") && !matches!(a.as_str(), "--small" | "--csv" | "--list"))
+    {
+        eprintln!("error: unknown flag {flag:?} (known: --small, --csv <dir>, --list)");
+        std::process::exit(2);
+    }
+    let named: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--") && Some(*a) != csv_flag_value)
         .map(String::as_str)
         .collect();
+    let unknown: Vec<&str> = named
+        .iter()
+        .copied()
+        .filter(|n| *n != "all" && !known(n))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!("error: unknown experiment(s) {unknown:?}\n");
+        print_list();
+        eprintln!("\n(hint: `repro --list` prints this table)");
+        std::process::exit(2);
+    }
+
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("csv dir is creatable");
+    }
+    let mut selected = named;
     if selected.is_empty() || selected.contains(&"all") {
-        selected = EXPERIMENTS.to_vec();
+        selected = EXPERIMENTS.iter().map(|&(n, _)| n).collect();
     }
     for exp in selected {
         let start = std::time::Instant::now();

@@ -207,21 +207,25 @@ pub fn profile_work(plan: &qp_exec::Plan, db: &qp_storage::Database) -> Result<W
         ));
     }
     let driver = pipelines[0].sources[0].node();
-    let profiler = std::rc::Rc::new(std::cell::RefCell::new(WorkProfiler::new(driver)));
-    struct Shared(std::rc::Rc<std::cell::RefCell<WorkProfiler>>);
+    let profiler = std::sync::Arc::new(std::sync::Mutex::new(WorkProfiler::new(driver)));
+    struct Shared(std::sync::Arc<std::sync::Mutex<WorkProfiler>>);
     impl Observer for Shared {
         fn on_event(&mut self, event: ExecEvent, counters: &Counters) {
-            self.0.borrow_mut().on_event(event, counters);
+            self.0
+                .lock()
+                .expect("profiler lock")
+                .on_event(event, counters);
         }
     }
     qp_exec::run_query(
         plan,
         db,
-        Some(Box::new(Shared(std::rc::Rc::clone(&profiler)))),
+        Some(Box::new(Shared(std::sync::Arc::clone(&profiler)))),
     )
     .map_err(|e| e.to_string())?;
     let wv = profiler
-        .borrow()
+        .lock()
+        .expect("profiler lock")
         .work_vector()
         .ok_or_else(|| "driver produced no rows".to_string())?;
     Ok(wv)

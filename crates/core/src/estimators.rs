@@ -27,7 +27,10 @@ pub struct EstimatorContext<'a> {
 }
 
 /// A progress estimator: maps the visible state to an estimate in `[0,1]`.
-pub trait ProgressEstimator {
+///
+/// Estimators are `Send`: the monitor carrying them rides the query to
+/// whatever worker thread executes it (see `qp-service`).
+pub trait ProgressEstimator: Send {
     /// Display name (used in trace outputs and experiment tables).
     fn name(&self) -> &'static str;
     /// The estimate at this instant.

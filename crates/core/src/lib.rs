@@ -46,6 +46,7 @@ pub mod feedback;
 pub mod metrics;
 pub mod model;
 pub mod monitor;
+pub mod shared;
 
 pub use bounds::BoundsTracker;
 pub use bytes_model::{BytesPmax, BytesSafe, RowWidths};

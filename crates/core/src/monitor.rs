@@ -11,7 +11,9 @@
 use crate::bounds::BoundsTracker;
 use crate::estimators::{EstimatorContext, ProgressEstimator};
 use crate::model::PlanMeta;
+use crate::shared::ProgressCell;
 use qp_exec::{Counters, ExecEvent, Observer};
+use std::sync::Arc;
 
 /// One recorded instant.
 #[derive(Debug, Clone)]
@@ -37,6 +39,7 @@ pub struct ProgressMonitor {
     exhausted: Vec<bool>,
     curr: u64,
     snapshots: Vec<Snapshot>,
+    publisher: Option<Arc<ProgressCell>>,
 }
 
 impl ProgressMonitor {
@@ -63,7 +66,24 @@ impl ProgressMonitor {
             exhausted: vec![false; n],
             curr: 0,
             snapshots: Vec::new(),
+            publisher: None,
         }
+    }
+
+    /// Attaches a [`ProgressCell`] that every snapshot is also published
+    /// into, making the monitor's view pollable from other threads while
+    /// the query runs (the service layer's `STATUS` path).
+    ///
+    /// The cell must have been created with this monitor's [`names`].
+    ///
+    /// [`names`]: ProgressMonitor::names
+    pub fn set_publisher(&mut self, cell: Arc<ProgressCell>) {
+        assert_eq!(
+            cell.names(),
+            &self.names[..],
+            "publisher cell names must match the monitor's estimators"
+        );
+        self.publisher = Some(cell);
     }
 
     /// Estimator names, in snapshot order.
@@ -82,17 +102,29 @@ impl ProgressMonitor {
             meta: &self.meta,
             node_bounds: self.bounds.all(),
         };
-        let estimates = self
+        let estimates: Vec<f64> = self
             .estimators
             .iter_mut()
             .map(|e| e.estimate(&cx))
             .collect();
-        self.snapshots.push(Snapshot {
+        let snap = Snapshot {
             curr: self.curr,
             lb: cx.lb_total,
             ub: cx.ub_total,
             estimates,
-        });
+        };
+        if let Some(cell) = &self.publisher {
+            cell.publish_snapshot(&snap);
+        }
+        // Dedupe: consecutive snapshots at an unchanged `curr` (e.g. a
+        // stride point immediately followed by `Exhausted` events, or
+        // several nodes exhausting on the same getnext call) would emit
+        // repeated rows in traces and CSV exports. Keep only the latest —
+        // it carries the freshest bound refinements.
+        match self.snapshots.last_mut() {
+            Some(last) if last.curr == snap.curr => *last = snap,
+            _ => self.snapshots.push(snap),
+        }
     }
 
     /// Finalizes into a trace once `total(Q)` is known (from the completed
@@ -226,34 +258,42 @@ pub fn run_with_progress(
             .max(200);
         (hint / 200).max(1)
     });
-    let monitor = std::rc::Rc::new(std::cell::RefCell::new(ProgressMonitor::new(
+    let monitor = Arc::new(std::sync::Mutex::new(ProgressMonitor::new(
         meta, bounds, estimators, stride,
     )));
-
-    /// Observer shim sharing the monitor with the caller.
-    struct Shared(std::rc::Rc<std::cell::RefCell<ProgressMonitor>>);
-    impl Observer for Shared {
-        fn on_event(&mut self, event: ExecEvent, counters: &Counters) {
-            self.0.borrow_mut().on_event(event, counters);
-        }
-    }
 
     let (out, _) = qp_exec::run_query(
         plan,
         db,
-        Some(Box::new(Shared(std::rc::Rc::clone(&monitor)))),
+        Some(Box::new(SharedMonitor(Arc::clone(&monitor)))),
     )?;
-    let monitor = std::rc::Rc::try_unwrap(monitor)
+    let monitor = Arc::try_unwrap(monitor)
         .ok()
         .expect("executor dropped its observer handle")
-        .into_inner();
+        .into_inner()
+        .expect("monitor lock poisoned");
     Ok((out, monitor.into_trace_with_final()))
+}
+
+/// Observer shim sharing a [`ProgressMonitor`] between the executor (which
+/// owns its observer) and an outside party that wants the monitor back
+/// after — or a live view during — the run. Used by `run_with_progress`
+/// here and by the session workers in `qp-service`.
+pub struct SharedMonitor(pub Arc<std::sync::Mutex<ProgressMonitor>>);
+
+impl Observer for SharedMonitor {
+    fn on_event(&mut self, event: ExecEvent, counters: &Counters) {
+        self.0
+            .lock()
+            .expect("monitor lock")
+            .on_event(event, counters);
+    }
 }
 
 impl ProgressMonitor {
     /// Takes one final snapshot (so the trace always ends at 100%) and
     /// finalizes using the monitor's own `curr` as `total(Q)`.
-    fn into_trace_with_final(mut self) -> ProgressTrace {
+    pub fn into_trace_with_final(mut self) -> ProgressTrace {
         self.snapshot();
         let total = self.curr;
         self.into_trace(total)
@@ -342,6 +382,65 @@ mod tests {
                 assert!((0.0..=1.0).contains(&e), "estimate {e} out of range");
             }
         }
+    }
+
+    #[test]
+    fn trace_has_no_duplicate_curr_rows() {
+        // The filter exhausts on the same getnext call that hits a stride
+        // boundary, and the final snapshot lands on the last stride point:
+        // both used to push duplicate rows at an unchanged `curr`.
+        let db = db();
+        let plan = scan_filter_plan(&db);
+        let (_, trace) = run_with_progress(
+            &plan,
+            &db,
+            None,
+            vec![Box::new(Dne), Box::new(Pmax)],
+            Some(10),
+        )
+        .unwrap();
+        let currs: Vec<u64> = trace.snapshots().iter().map(|s| s.curr).collect();
+        assert!(
+            currs.windows(2).all(|w| w[0] < w[1]),
+            "duplicate or out-of-order curr rows: {currs:?}"
+        );
+        // And the CSV therefore has no repeated rows either.
+        let csv = trace.to_csv();
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        let unique: std::collections::BTreeSet<&str> = rows.iter().copied().collect();
+        assert_eq!(rows.len(), unique.len(), "CSV export has repeated rows");
+    }
+
+    #[test]
+    fn publisher_cell_sees_live_snapshots() {
+        use crate::shared::ProgressCell;
+        let db = db();
+        let plan = scan_filter_plan(&db);
+        let meta = PlanMeta::from_plan(&plan);
+        let bounds = crate::bounds::BoundsTracker::new(&plan, None);
+        let mut monitor = ProgressMonitor::new(meta, bounds, vec![Box::new(Pmax)], 10);
+        let cell = Arc::new(ProgressCell::new(vec!["pmax"]));
+        monitor.set_publisher(Arc::clone(&cell));
+        assert!(cell.read().is_none());
+        let monitor = Arc::new(std::sync::Mutex::new(monitor));
+        let (out, _) = qp_exec::run_query(
+            &plan,
+            &db,
+            Some(Box::new(SharedMonitor(Arc::clone(&monitor)))),
+        )
+        .unwrap();
+        // The cell holds the last published snapshot; finalization pushes
+        // the 100% point.
+        Arc::try_unwrap(monitor)
+            .ok()
+            .unwrap()
+            .into_inner()
+            .unwrap()
+            .into_trace_with_final();
+        let last = cell.read().unwrap();
+        assert_eq!(last.curr, out.total_getnext);
+        assert_eq!(last.lb, out.total_getnext);
+        assert!((cell.estimate("pmax").unwrap() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Cross-thread progress publication: a lock-free, single-writer slot.
+//!
+//! The paper's Figure 1 scenario is *online*: a DBA polls the progress of
+//! a running query from outside the query thread. [`ProgressCell`] is the
+//! channel that makes this possible without perturbing execution: the
+//! in-thread [`crate::monitor::ProgressMonitor`] publishes a fixed-size
+//! snapshot — `(curr, LB, UB, one estimate per estimator)` — at every
+//! snapshot stride, and any number of reader threads can poll the latest
+//! value at any time.
+//!
+//! The implementation is a classic **seqlock**: a version counter is
+//! bumped to an odd value before the writer stores the fields and to an
+//! even value after. Readers retry when they observe an odd version or a
+//! version change across their field loads. The writer never blocks (no
+//! mutex on the hot path — one uncontended atomic add per field per
+//! publish), and readers never block the writer, which is exactly the
+//! property a progress probe must have: *observing a query must not slow
+//! it down*.
+
+use crate::monitor::Snapshot;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// A published progress point, as read back from a [`ProgressCell`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressReading {
+    /// `Curr` at publication time.
+    pub curr: u64,
+    /// Lower bound on `total(Q)` at publication time.
+    pub lb: u64,
+    /// Upper bound on `total(Q)` at publication time (`u64::MAX` = ∞).
+    pub ub: u64,
+    /// One estimate per estimator, in the cell's name order.
+    pub estimates: Vec<f64>,
+}
+
+/// Single-writer, many-reader slot holding the latest progress snapshot.
+///
+/// Created with the estimator names the publishing monitor will report;
+/// the estimate vector of every publication must have that arity.
+#[derive(Debug)]
+pub struct ProgressCell {
+    /// Seqlock version: 0 = never written, odd = write in progress.
+    seq: AtomicU64,
+    curr: AtomicU64,
+    lb: AtomicU64,
+    ub: AtomicU64,
+    /// `f64::to_bits` of each estimate.
+    estimates: Vec<AtomicU64>,
+    names: Vec<&'static str>,
+}
+
+impl ProgressCell {
+    /// An empty cell for a monitor reporting the named estimators.
+    pub fn new(names: Vec<&'static str>) -> ProgressCell {
+        ProgressCell {
+            seq: AtomicU64::new(0),
+            curr: AtomicU64::new(0),
+            lb: AtomicU64::new(0),
+            ub: AtomicU64::new(u64::MAX),
+            estimates: names.iter().map(|_| AtomicU64::new(0)).collect(),
+            names,
+        }
+    }
+
+    /// Estimator names, in the order of [`ProgressReading::estimates`].
+    pub fn names(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    /// Publishes one snapshot. Called by the single writer (the query
+    /// thread's monitor); never blocks.
+    ///
+    /// # Panics
+    /// Panics if `estimates.len()` differs from the cell's arity.
+    pub fn publish(&self, curr: u64, lb: u64, ub: u64, estimates: &[f64]) {
+        assert_eq!(
+            estimates.len(),
+            self.estimates.len(),
+            "estimate arity mismatch"
+        );
+        let v = self.seq.load(Ordering::Relaxed);
+        self.seq.store(v.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        self.curr.store(curr, Ordering::Relaxed);
+        self.lb.store(lb, Ordering::Relaxed);
+        self.ub.store(ub, Ordering::Relaxed);
+        for (slot, &e) in self.estimates.iter().zip(estimates) {
+            slot.store(e.to_bits(), Ordering::Relaxed);
+        }
+        self.seq.store(v.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Convenience: publish a monitor snapshot.
+    pub fn publish_snapshot(&self, snap: &Snapshot) {
+        self.publish(snap.curr, snap.lb, snap.ub, &snap.estimates);
+    }
+
+    /// The latest published snapshot, or `None` if nothing has been
+    /// published yet. Lock-free; spins only across an in-flight write
+    /// (a few dozen instructions on the writer side).
+    pub fn read(&self) -> Option<ProgressReading> {
+        loop {
+            let v1 = self.seq.load(Ordering::Acquire);
+            if v1 == 0 {
+                return None;
+            }
+            if v1 % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let reading = ProgressReading {
+                curr: self.curr.load(Ordering::Relaxed),
+                lb: self.lb.load(Ordering::Relaxed),
+                ub: self.ub.load(Ordering::Relaxed),
+                estimates: self
+                    .estimates
+                    .iter()
+                    .map(|b| f64::from_bits(b.load(Ordering::Relaxed)))
+                    .collect(),
+            };
+            fence(Ordering::Acquire);
+            if self.seq.load(Ordering::Relaxed) == v1 {
+                return Some(reading);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// The estimate of the estimator called `name` in the latest reading.
+    pub fn estimate(&self, name: &str) -> Option<f64> {
+        let idx = self.names.iter().position(|n| *n == name)?;
+        self.read().map(|r| r.estimates[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn unwritten_cell_reads_none() {
+        let cell = ProgressCell::new(vec!["pmax"]);
+        assert_eq!(cell.read(), None);
+        assert_eq!(cell.estimate("pmax"), None);
+    }
+
+    #[test]
+    fn publish_then_read_round_trips() {
+        let cell = ProgressCell::new(vec!["dne", "pmax"]);
+        cell.publish(42, 100, 400, &[0.25, 0.5]);
+        let r = cell.read().unwrap();
+        assert_eq!(r.curr, 42);
+        assert_eq!(r.lb, 100);
+        assert_eq!(r.ub, 400);
+        assert_eq!(r.estimates, vec![0.25, 0.5]);
+        assert_eq!(cell.estimate("pmax"), Some(0.5));
+        assert_eq!(cell.estimate("nope"), None);
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let cell = ProgressCell::new(vec!["pmax"]);
+        for i in 1..=10u64 {
+            cell.publish(i, i, 2 * i, &[i as f64 / 10.0]);
+        }
+        let r = cell.read().unwrap();
+        assert_eq!(r.curr, 10);
+        assert_eq!(r.estimates, vec![1.0]);
+    }
+
+    /// Readers racing a fast writer must only ever observe *coherent*
+    /// snapshots: every field from the same publication.
+    #[test]
+    fn concurrent_reads_are_coherent() {
+        let cell = Arc::new(ProgressCell::new(vec!["a", "b"]));
+        let writer = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || {
+                for i in 1..=100_000u64 {
+                    // All fields encode the same i, so a torn read is
+                    // detectable.
+                    cell.publish(i, i * 2, i * 3, &[i as f64, i as f64 + 0.5]);
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    let mut seen = 0u64;
+                    while seen < 100_000 {
+                        if let Some(r) = cell.read() {
+                            assert_eq!(r.lb, r.curr * 2, "torn read: {r:?}");
+                            assert_eq!(r.ub, r.curr * 3, "torn read: {r:?}");
+                            assert_eq!(r.estimates[0], r.curr as f64, "torn read: {r:?}");
+                            assert_eq!(r.estimates[1], r.curr as f64 + 0.5, "torn read: {r:?}");
+                            seen = seen.max(r.curr);
+                        }
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+}

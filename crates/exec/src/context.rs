@@ -9,11 +9,19 @@
 //! statistics — and nothing else. In particular it cannot peek at
 //! un-retrieved base data, which is what makes the lower bound of Section 3
 //! bite.
+//!
+//! ## Thread safety
+//!
+//! Counters are atomics and the context is held in an [`Arc`], so while a
+//! query thread drives the operator tree, *other* threads (a session
+//! manager, a status endpoint) can read the counters live and request
+//! cooperative cancellation. Execution itself remains single-threaded —
+//! the paper's GetNext model is serial — but observation no longer is.
 
-use crate::error::ExecResult;
+use crate::error::{ExecError, ExecResult};
 use qp_storage::{Row, Schema};
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Identifier of a plan node (index into the plan's node table).
 pub type NodeId = usize;
@@ -31,54 +39,60 @@ pub enum ExecEvent {
 
 /// A consumer of execution feedback. Implemented by the progress monitor
 /// in `qp-progress`; also by test probes.
-pub trait Observer {
+///
+/// Observers are `Send` because a query (and the observer riding on it)
+/// may run on a worker thread other than the one that built it.
+pub trait Observer: Send {
     /// Called after the context state reflects the event (i.e. counters are
     /// already incremented for a `RowProduced`).
     fn on_event(&mut self, event: ExecEvent, counters: &Counters);
 }
 
-/// Per-node and total getnext counters, readable at any instant.
+/// Per-node and total getnext counters, readable at any instant — from any
+/// thread. All counters are monotone, so relaxed atomics suffice: a reader
+/// may see a value that is a handful of getnext calls stale, never one that
+/// is wrong.
 #[derive(Debug)]
 pub struct Counters {
-    per_node: Vec<Cell<u64>>,
-    total: Cell<u64>,
-    exhausted: Vec<Cell<bool>>,
-    opened: Vec<Cell<bool>>,
+    per_node: Vec<AtomicU64>,
+    total: AtomicU64,
+    exhausted: Vec<AtomicBool>,
+    opened: Vec<AtomicBool>,
 }
 
 impl Counters {
     fn new(n_nodes: usize) -> Counters {
         Counters {
-            per_node: (0..n_nodes).map(|_| Cell::new(0)).collect(),
-            total: Cell::new(0),
-            exhausted: (0..n_nodes).map(|_| Cell::new(false)).collect(),
-            opened: (0..n_nodes).map(|_| Cell::new(false)).collect(),
+            per_node: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            exhausted: (0..n_nodes).map(|_| AtomicBool::new(false)).collect(),
+            opened: (0..n_nodes).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 
     /// getnext calls (rows produced) by `node` so far.
     #[inline]
     pub fn node(&self, node: NodeId) -> u64 {
-        self.per_node[node].get()
+        self.per_node[node].load(Ordering::Relaxed)
     }
 
     /// Total getnext calls across all nodes — `Curr` in the paper's
     /// estimator definitions.
     #[inline]
     pub fn total(&self) -> u64 {
-        self.total.get()
+        self.total.load(Ordering::Relaxed)
     }
 
     /// Whether `node` has produced its final row.
     #[inline]
     pub fn is_exhausted(&self, node: NodeId) -> bool {
-        self.exhausted[node].get()
+        self.exhausted[node].load(Ordering::Relaxed)
     }
 
     /// Whether `node` has been opened.
     #[inline]
     pub fn is_opened(&self, node: NodeId) -> bool {
-        self.opened[node].get()
+        self.opened[node].load(Ordering::Relaxed)
     }
 
     /// Number of nodes.
@@ -95,35 +109,71 @@ impl Counters {
 
     /// Snapshot of all per-node counts.
     pub fn snapshot(&self) -> Vec<u64> {
-        self.per_node.iter().map(Cell::get).collect()
+        self.per_node
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 }
 
-/// Shared execution state: counters plus the registered observer.
+/// A shared cancellation flag. Cloning is cheap; setting it from any thread
+/// makes the running query abort at its next getnext call with
+/// [`ExecError::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; callable from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared execution state: counters, the registered observer, and the
+/// cancellation flag.
 pub struct ExecContext {
     counters: Counters,
-    observer: RefCell<Option<Box<dyn Observer>>>,
+    observer: Mutex<Option<Box<dyn Observer>>>,
+    cancel: CancelToken,
 }
 
 impl ExecContext {
     /// Creates a context for a plan with `n_nodes` nodes.
-    pub fn new(n_nodes: usize) -> Rc<ExecContext> {
-        Rc::new(ExecContext {
+    pub fn new(n_nodes: usize) -> Arc<ExecContext> {
+        ExecContext::with_cancel(n_nodes, CancelToken::new())
+    }
+
+    /// Creates a context wired to an externally-held cancellation token
+    /// (e.g. a session manager's per-query kill switch).
+    pub fn with_cancel(n_nodes: usize, cancel: CancelToken) -> Arc<ExecContext> {
+        Arc::new(ExecContext {
             counters: Counters::new(n_nodes),
-            observer: RefCell::new(None),
+            observer: Mutex::new(None),
+            cancel,
         })
     }
 
     /// Registers the observer (at most one; the progress monitor multiplexes
     /// multiple estimators internally).
     pub fn set_observer(&self, obs: Box<dyn Observer>) {
-        *self.observer.borrow_mut() = Some(obs);
+        *self.observer.lock().expect("observer lock") = Some(obs);
     }
 
     /// Removes and returns the observer (to inspect its findings after the
     /// run).
     pub fn take_observer(&self) -> Option<Box<dyn Observer>> {
-        self.observer.borrow_mut().take()
+        self.observer.lock().expect("observer lock").take()
     }
 
     /// Counter access.
@@ -132,27 +182,40 @@ impl ExecContext {
         &self.counters
     }
 
+    /// The cancellation token this query checks between getnext calls.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    #[inline]
+    fn check_cancelled(&self) -> ExecResult<()> {
+        if self.cancel.is_cancelled() {
+            Err(ExecError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
     #[inline]
     fn emit(&self, ev: ExecEvent) {
-        if let Some(obs) = self.observer.borrow_mut().as_mut() {
+        if let Some(obs) = self.observer.lock().expect("observer lock").as_mut() {
             obs.on_event(ev, &self.counters);
         }
     }
 
     fn record_open(&self, node: NodeId) {
-        self.counters.opened[node].set(true);
+        self.counters.opened[node].store(true, Ordering::Relaxed);
         self.emit(ExecEvent::Open(node));
     }
 
     fn record_row(&self, node: NodeId) {
-        self.counters.per_node[node].set(self.counters.per_node[node].get() + 1);
-        self.counters.total.set(self.counters.total.get() + 1);
+        self.counters.per_node[node].fetch_add(1, Ordering::Relaxed);
+        self.counters.total.fetch_add(1, Ordering::Relaxed);
         self.emit(ExecEvent::RowProduced(node));
     }
 
     fn record_exhausted(&self, node: NodeId) {
-        if !self.counters.exhausted[node].get() {
-            self.counters.exhausted[node].set(true);
+        if !self.counters.exhausted[node].swap(true, Ordering::Relaxed) {
             self.emit(ExecEvent::Exhausted(node));
         }
     }
@@ -174,14 +237,20 @@ pub trait Operator {
 /// A boxed, counted operator — the only kind that appears in a runtime
 /// tree. Parent operators hold `Counted` children, so *every* row crossing
 /// an operator boundary is counted exactly once at the producing node.
+///
+/// `Counted` is also where cooperative cancellation bites: each `open` and
+/// `next` first checks the context's [`CancelToken`]. Because every leaf of
+/// the runtime tree is `Counted` and every blocking phase (sort buffering,
+/// hash build) pumps a `Counted` child row by row, a cancelled query stops
+/// within one tuple's worth of work no matter which pipeline is running.
 pub struct Counted {
     inner: Box<dyn Operator>,
     node: NodeId,
-    ctx: Rc<ExecContext>,
+    ctx: Arc<ExecContext>,
 }
 
 impl Counted {
-    pub fn new(inner: Box<dyn Operator>, node: NodeId, ctx: Rc<ExecContext>) -> Counted {
+    pub fn new(inner: Box<dyn Operator>, node: NodeId, ctx: Arc<ExecContext>) -> Counted {
         Counted { inner, node, ctx }
     }
 
@@ -193,11 +262,13 @@ impl Counted {
 
 impl Operator for Counted {
     fn open(&mut self) -> ExecResult<()> {
+        self.ctx.check_cancelled()?;
         self.ctx.record_open(self.node);
         self.inner.open()
     }
 
     fn next(&mut self) -> ExecResult<Option<Row>> {
+        self.ctx.check_cancelled()?;
         match self.inner.next()? {
             Some(row) => {
                 self.ctx.record_row(self.node);
@@ -250,32 +321,32 @@ mod tests {
         }
     }
 
+    fn emit(n: u64) -> Box<Emit> {
+        Box::new(Emit {
+            n,
+            produced: 0,
+            schema: Schema::of(&[("x", ColumnType::Int)]),
+        })
+    }
+
     struct Probe {
-        events: Rc<RefCell<Vec<ExecEvent>>>,
+        events: Arc<Mutex<Vec<ExecEvent>>>,
     }
 
     impl Observer for Probe {
         fn on_event(&mut self, event: ExecEvent, _counters: &Counters) {
-            self.events.borrow_mut().push(event);
+            self.events.lock().unwrap().push(event);
         }
     }
 
     #[test]
     fn counted_counts_rows_and_reports_events() {
         let ctx = ExecContext::new(1);
-        let events = Rc::new(RefCell::new(Vec::new()));
+        let events = Arc::new(Mutex::new(Vec::new()));
         ctx.set_observer(Box::new(Probe {
-            events: Rc::clone(&events),
+            events: Arc::clone(&events),
         }));
-        let mut op = Counted::new(
-            Box::new(Emit {
-                n: 3,
-                produced: 0,
-                schema: Schema::of(&[("x", ColumnType::Int)]),
-            }),
-            0,
-            Rc::clone(&ctx),
-        );
+        let mut op = Counted::new(emit(3), 0, Arc::clone(&ctx));
         op.open().unwrap();
         while op.next().unwrap().is_some() {}
         // One extra next to check Exhausted fires once.
@@ -284,7 +355,7 @@ mod tests {
         assert_eq!(ctx.counters().total(), 3);
         assert!(ctx.counters().is_exhausted(0));
         assert_eq!(
-            *events.borrow(),
+            *events.lock().unwrap(),
             vec![
                 ExecEvent::Open(0),
                 ExecEvent::RowProduced(0),
@@ -293,5 +364,44 @@ mod tests {
                 ExecEvent::Exhausted(0),
             ]
         );
+    }
+
+    #[test]
+    fn counters_are_readable_from_another_thread() {
+        let ctx = ExecContext::new(1);
+        let mut op = Counted::new(emit(1000), 0, Arc::clone(&ctx));
+        op.open().unwrap();
+        for _ in 0..600 {
+            op.next().unwrap();
+        }
+        let observer_side = Arc::clone(&ctx);
+        let seen = std::thread::spawn(move || observer_side.counters().total())
+            .join()
+            .unwrap();
+        assert_eq!(seen, 600);
+    }
+
+    #[test]
+    fn cancellation_aborts_mid_stream() {
+        let ctx = ExecContext::new(1);
+        let mut op = Counted::new(emit(1000), 0, Arc::clone(&ctx));
+        op.open().unwrap();
+        for _ in 0..10 {
+            op.next().unwrap();
+        }
+        ctx.cancel_token().cancel();
+        assert_eq!(op.next(), Err(ExecError::Cancelled));
+        // The counters stop exactly where the query did.
+        assert_eq!(ctx.counters().total(), 10);
+        assert!(!ctx.counters().is_exhausted(0));
+    }
+
+    #[test]
+    fn cancellation_before_open_blocks_the_query() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = ExecContext::with_cancel(1, token);
+        let mut op = Counted::new(emit(3), 0, Arc::clone(&ctx));
+        assert_eq!(op.open(), Err(ExecError::Cancelled));
     }
 }

@@ -13,6 +13,9 @@ pub enum ExecError {
     /// The plan is malformed (e.g. merge join over unsorted input column
     /// counts, key arity mismatch).
     BadPlan(String),
+    /// The query was cancelled cooperatively (its [`crate::context::CancelToken`]
+    /// was set); execution stopped at the next getnext call.
+    Cancelled,
 }
 
 impl fmt::Display for ExecError {
@@ -21,6 +24,7 @@ impl fmt::Display for ExecError {
             ExecError::Storage(e) => write!(f, "storage error: {e}"),
             ExecError::Eval(m) => write!(f, "evaluation error: {m}"),
             ExecError::BadPlan(m) => write!(f, "bad plan: {m}"),
+            ExecError::Cancelled => write!(f, "query cancelled"),
         }
     }
 }

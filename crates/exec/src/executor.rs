@@ -1,6 +1,6 @@
 //! Plan instantiation and the query driver.
 
-use crate::context::{Counted, ExecContext, Observer, Operator};
+use crate::context::{CancelToken, Counted, ExecContext, Observer, Operator};
 use crate::error::{ExecError, ExecResult};
 use crate::ops::{
     FilterOp, HashAggregateOp, HashJoinOp, IndexNestedLoopsOp, IndexRangeScanOp, LimitOp,
@@ -8,18 +8,24 @@ use crate::ops::{
 };
 use crate::plan::{NodeId, Plan, PlanNode};
 use qp_storage::{Database, Row};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A fully-instantiated query ready to run, with its execution context.
 pub struct QueryRun {
-    ctx: Rc<ExecContext>,
+    ctx: Arc<ExecContext>,
     root: Counted,
 }
 
 impl QueryRun {
     /// Instantiates the runtime operator tree for `plan` over `db`.
     pub fn new(plan: &Plan, db: &Database) -> ExecResult<QueryRun> {
-        let ctx = ExecContext::new(plan.len());
+        QueryRun::with_cancel(plan, db, CancelToken::new())
+    }
+
+    /// Like [`QueryRun::new`], but wires the query to an externally-held
+    /// [`CancelToken`] so another thread can abort it mid-flight.
+    pub fn with_cancel(plan: &Plan, db: &Database, cancel: CancelToken) -> ExecResult<QueryRun> {
+        let ctx = ExecContext::with_cancel(plan.len(), cancel);
         let root = build_node(plan, plan.root(), db, &ctx)?;
         Ok(QueryRun { ctx, root })
     }
@@ -34,8 +40,9 @@ impl QueryRun {
         self.ctx.take_observer()
     }
 
-    /// The shared execution context (counters are readable at any time).
-    pub fn context(&self) -> &Rc<ExecContext> {
+    /// The shared execution context (counters are readable at any time,
+    /// from any thread).
+    pub fn context(&self) -> &Arc<ExecContext> {
         &self.ctx
     }
 
@@ -87,7 +94,7 @@ fn build_node(
     plan: &Plan,
     id: NodeId,
     db: &Database,
-    ctx: &Rc<ExecContext>,
+    ctx: &Arc<ExecContext>,
 ) -> ExecResult<Counted> {
     let data = plan.node(id);
     let child = |i: usize| -> ExecResult<Counted> { build_node(plan, data.children[i], db, ctx) };
@@ -188,5 +195,5 @@ fn build_node(
             data.schema.clone(),
         )),
     };
-    Ok(Counted::new(op, id, Rc::clone(ctx)))
+    Ok(Counted::new(op, id, Arc::clone(ctx)))
 }

@@ -43,7 +43,7 @@ pub mod ops;
 pub mod pipeline;
 pub mod plan;
 
-pub use context::{Counters, ExecContext, ExecEvent, NodeId, Observer};
+pub use context::{CancelToken, Counters, ExecContext, ExecEvent, NodeId, Observer};
 pub use error::{ExecError, ExecResult};
 pub use executor::{run_query, QueryOutput};
 pub use expr::{AggExpr, AggFunc, CmpOp, Expr};

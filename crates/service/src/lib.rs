@@ -1,0 +1,39 @@
+//! # qp-service — concurrent query sessions with live progress
+//!
+//! The paper's opening scenario (Section 1, Figure 1) is an *online* one:
+//! long-running queries tie up a server, a DBA watches their progress
+//! bars, and decides which to kill. Everything below this crate executes
+//! and estimates; this crate is the part that *serves*:
+//!
+//! * [`service::QueryService`] — a session manager over a frozen
+//!   [`qp_storage::Database`]: SQL in via `qp-sql`, execution on a fixed
+//!   worker pool with bounded-queue admission control, one
+//!   [`session::Session`] per query.
+//! * Live progress: each worker attaches a
+//!   [`qp_progress::ProgressMonitor`] whose snapshots — `(Curr, LB, UB,
+//!   dne/pmax/safe)` — are published into a lock-free
+//!   [`qp_progress::shared::ProgressCell`] that any thread polls without
+//!   perturbing the query (the paper's estimators, finally driving real
+//!   progress bars).
+//! * Cooperative cancellation: a [`qp_exec::CancelToken`] per session,
+//!   checked by the executor between getnext calls — the "kill the
+//!   hopeless query" half of the DBA loop.
+//! * [`server::ProgressServer`] — a std-only TCP server speaking the
+//!   line protocol of [`protocol`] (`SUBMIT` / `STATUS` / `LIST` /
+//!   `CANCEL` / `SHUTDOWN`), with [`server::ServiceClient`] as the
+//!   matching blocking client.
+//!
+//! Concurrency never touches the model of work: each query is still a
+//! strictly serial getnext sequence (Section 2.2), so results, traces,
+//! and `total(Q)` are identical to single-threaded runs — a property the
+//! integration tests pin down.
+
+pub mod protocol;
+pub mod server;
+pub mod service;
+pub mod session;
+
+pub use protocol::{ParsedStatus, Request};
+pub use server::{ProgressServer, ServiceClient};
+pub use service::{QueryService, ServiceConfig, StatusReport, SubmitError, ESTIMATORS};
+pub use session::{QueryId, QueryResult, QueryState, Session};

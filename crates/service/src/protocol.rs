@@ -1,0 +1,244 @@
+//! The line protocol spoken over TCP — one request line in, one (or, for
+//! `LIST`, `1 + n`) response line(s) out.
+//!
+//! Kept deliberately greppable/telnet-able; see `crates/service/README.md`
+//! for the full grammar. Summary:
+//!
+//! ```text
+//! SUBMIT <sql>      → OK <id>
+//! STATUS <id>       → OK <id> <STATE> curr=<n> lb=<n> ub=<n|inf>
+//!                          [dne=<f> pmax=<f> safe=<f>] [rows=<n> total=<n>]
+//!                          [error=<quoted>]
+//! LIST              → OK <n>   then n lines: <id> <STATE>
+//! CANCEL <id>       → OK <id> <state-the-cancel-found>
+//! SHUTDOWN          → OK bye   (server stops accepting)
+//! anything invalid  → ERR <message>
+//! ```
+
+use crate::service::StatusReport;
+use crate::session::QueryId;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `SUBMIT <sql…>` — everything after the verb is the SQL text.
+    Submit(String),
+    /// `STATUS <id>`
+    Status(QueryId),
+    /// `LIST`
+    List,
+    /// `CANCEL <id>`
+    Cancel(QueryId),
+    /// `SHUTDOWN`
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line (without its trailing newline).
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let line = line.trim();
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "SUBMIT" => {
+                if rest.is_empty() {
+                    Err("SUBMIT needs a SQL statement".into())
+                } else {
+                    Ok(Request::Submit(rest.to_string()))
+                }
+            }
+            "STATUS" => Ok(Request::Status(rest.parse()?)),
+            "CANCEL" => Ok(Request::Cancel(rest.parse()?)),
+            "LIST" => Request::expect_bare("LIST", rest, Request::List),
+            "SHUTDOWN" => Request::expect_bare("SHUTDOWN", rest, Request::Shutdown),
+            "" => Err("empty request".into()),
+            other => Err(format!(
+                "unknown verb {other:?}; expected SUBMIT, STATUS, LIST, CANCEL or SHUTDOWN"
+            )),
+        }
+    }
+
+    fn expect_bare(verb: &str, rest: &str, req: Request) -> Result<Request, String> {
+        if rest.is_empty() {
+            Ok(req)
+        } else {
+            Err(format!("{verb} takes no arguments, got {rest:?}"))
+        }
+    }
+}
+
+/// `ERR <message>` with the message flattened onto one line.
+pub fn err_line(message: &str) -> String {
+    format!("ERR {}", message.replace(['\r', '\n'], " "))
+}
+
+/// The `OK …` line for a status report (the whole answer — single line, so
+/// a poller can read exactly one line per probe).
+pub fn status_line(report: &StatusReport) -> String {
+    let mut out = format!("OK {} {}", report.id, report.state);
+    if let Some(p) = &report.progress {
+        out.push_str(&format!(" curr={} lb={}", p.curr, p.lb));
+        if p.ub == u64::MAX {
+            out.push_str(" ub=inf");
+        } else {
+            out.push_str(&format!(" ub={}", p.ub));
+        }
+        for (name, est) in crate::service::ESTIMATORS.iter().zip(&p.estimates) {
+            out.push_str(&format!(" {name}={est:.6}"));
+        }
+    }
+    if let (Some(rows), Some(total)) = (report.rows, report.total_getnext) {
+        out.push_str(&format!(" rows={rows} total={total}"));
+    }
+    if let Some(e) = &report.error {
+        out.push_str(&format!(" error={:?}", e.replace(['\r', '\n'], " ")));
+    }
+    out
+}
+
+/// A client-side parse of a [`status_line`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedStatus {
+    pub id: QueryId,
+    pub state: crate::session::QueryState,
+    pub curr: Option<u64>,
+    pub lb: Option<u64>,
+    /// `None` until published; `Some(u64::MAX)` renders the paper's "∞".
+    pub ub: Option<u64>,
+    /// `(name, estimate)` pairs in server order.
+    pub estimates: Vec<(String, f64)>,
+    pub rows: Option<u64>,
+    pub total_getnext: Option<u64>,
+}
+
+impl ParsedStatus {
+    /// Parses `OK q3 RUNNING curr=1200 lb=4000 ub=9000 dne=0.31 …`.
+    pub fn parse(line: &str) -> Result<ParsedStatus, String> {
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("OK") => {}
+            Some("ERR") => {
+                return Err(line
+                    .strip_prefix("ERR ")
+                    .unwrap_or("unknown error")
+                    .to_string())
+            }
+            _ => return Err(format!("malformed status line {line:?}")),
+        }
+        let id: QueryId = words
+            .next()
+            .ok_or_else(|| "status line missing id".to_string())?
+            .parse()?;
+        let state = words
+            .next()
+            .ok_or_else(|| "status line missing state".to_string())?
+            .parse()?;
+        let mut parsed = ParsedStatus {
+            id,
+            state,
+            curr: None,
+            lb: None,
+            ub: None,
+            estimates: Vec::new(),
+            rows: None,
+            total_getnext: None,
+        };
+        for word in words {
+            let Some((key, value)) = word.split_once('=') else {
+                continue; // e.g. the quoted error tail
+            };
+            let int = || value.parse::<u64>().map_err(|e| format!("{key}: {e}"));
+            match key {
+                "curr" => parsed.curr = Some(int()?),
+                "lb" => parsed.lb = Some(int()?),
+                "ub" => {
+                    parsed.ub = Some(if value == "inf" { u64::MAX } else { int()? });
+                }
+                "rows" => parsed.rows = Some(int()?),
+                "total" => parsed.total_getnext = Some(int()?),
+                "error" => {}
+                name => {
+                    let est = value
+                        .parse::<f64>()
+                        .map_err(|e| format!("estimate {name}: {e}"))?;
+                    parsed.estimates.push((name.to_string(), est));
+                }
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The estimate of `name`, if present.
+    pub fn estimate(&self, name: &str) -> Option<f64> {
+        self.estimates
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| *e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::QueryState;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            Request::parse("SUBMIT SELECT 1 FROM t").unwrap(),
+            Request::Submit("SELECT 1 FROM t".into())
+        );
+        assert_eq!(
+            Request::parse("status q12").unwrap(),
+            Request::Status(QueryId(12))
+        );
+        assert_eq!(Request::parse("LIST").unwrap(), Request::List);
+        assert_eq!(
+            Request::parse("cancel 3").unwrap(),
+            Request::Cancel(QueryId(3))
+        );
+        assert_eq!(Request::parse("SHUTDOWN").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("SUBMIT").is_err());
+        assert!(Request::parse("STATUS notanid").is_err());
+        assert!(Request::parse("LIST extra").is_err());
+        assert!(Request::parse("EXPLAIN q1").is_err());
+    }
+
+    #[test]
+    fn status_line_round_trips() {
+        let report = StatusReport {
+            id: QueryId(7),
+            state: QueryState::Running,
+            progress: Some(qp_progress::shared::ProgressReading {
+                curr: 1200,
+                lb: 4000,
+                ub: u64::MAX,
+                estimates: vec![0.31, 0.3, 0.25],
+            }),
+            rows: None,
+            total_getnext: None,
+            error: None,
+        };
+        let line = status_line(&report);
+        let parsed = ParsedStatus::parse(&line).unwrap();
+        assert_eq!(parsed.id, QueryId(7));
+        assert_eq!(parsed.state, QueryState::Running);
+        assert_eq!(parsed.curr, Some(1200));
+        assert_eq!(parsed.ub, Some(u64::MAX));
+        assert_eq!(parsed.estimate("pmax"), Some(0.3));
+        assert_eq!(parsed.rows, None);
+    }
+
+    #[test]
+    fn err_lines_stay_single_line() {
+        assert_eq!(err_line("multi\nline\rmess"), "ERR multi line mess");
+        assert!(ParsedStatus::parse("ERR nope").is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! A std-only TCP front door for [`QueryService`], plus the matching
+//! blocking client.
+//!
+//! One thread accepts connections; each connection gets its own handler
+//! thread speaking the line protocol of [`crate::protocol`]. `SHUTDOWN`
+//! (or [`ProgressServer::shutdown`]) stops the accept loop, closes the
+//! service to new work, and joins every thread — tests and the CI smoke
+//! run rely on a clean, port-releasing stop.
+
+use crate::protocol::{err_line, status_line, ParsedStatus, Request};
+use crate::service::QueryService;
+use crate::session::{QueryId, QueryState};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The TCP server. Bind with port 0 to let the OS pick a free port (the
+/// chosen address is available from [`local_addr`](ProgressServer::local_addr)).
+pub struct ProgressServer {
+    service: Arc<QueryService>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ProgressServer {
+    /// Binds `addr` and starts accepting connections against `service`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<QueryService>,
+    ) -> std::io::Result<ProgressServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // Poll-accept so the stop flag is honoured promptly without
+        // needing a self-connection to unblock.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let service = Arc::clone(&service);
+            std::thread::Builder::new()
+                .name("qp-accept".into())
+                .spawn(move || accept_loop(&listener, &service, &stop))?
+        };
+        Ok(ProgressServer {
+            service,
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind this server.
+    pub fn service(&self) -> &Arc<QueryService> {
+        &self.service
+    }
+
+    /// Stops accepting, shuts the service down, and joins all threads.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.service.shutdown();
+    }
+}
+
+impl Drop for ProgressServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, service: &Arc<QueryService>, stop: &Arc<AtomicBool>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let service = Arc::clone(service);
+                let stop = Arc::clone(stop);
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("qp-conn".into())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &service, &stop);
+                    })
+                {
+                    handlers.push(h);
+                }
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &Arc<QueryService>,
+    stop: &Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    // Bounded read timeout so a stuck client cannot pin the handler past
+    // server shutdown.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::Relaxed) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let response = match Request::parse(&line) {
+            Err(msg) => err_line(&msg),
+            Ok(Request::Submit(sql)) => match service.submit(&sql) {
+                Ok(id) => format!("OK {id}"),
+                Err(e) => err_line(&e.to_string()),
+            },
+            Ok(Request::Status(id)) => match service.status(id) {
+                Some(report) => status_line(&report),
+                None => err_line(&format!("unknown query {id}")),
+            },
+            Ok(Request::List) => {
+                let sessions = service.list();
+                let mut out = format!("OK {}", sessions.len());
+                for (id, state) in sessions {
+                    out.push_str(&format!("\n{id} {state}"));
+                }
+                out
+            }
+            Ok(Request::Cancel(id)) => match service.cancel(id) {
+                Some(found) => format!("OK {id} {found}"),
+                None => err_line(&format!("unknown query {id}")),
+            },
+            Ok(Request::Shutdown) => {
+                writeln!(writer, "OK bye")?;
+                writer.flush()?;
+                stop.store(true, Ordering::Relaxed);
+                return Ok(());
+            }
+        };
+        writeln!(writer, "{response}")?;
+        writer.flush()?;
+    }
+}
+
+/// A blocking line-protocol client (used by the example, the tests, and
+/// the CI smoke run; also a reference for writing clients in other
+/// languages).
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connects to a running [`ProgressServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ServiceClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(ServiceClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn round_trip(&mut self, request: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{request}")?;
+        self.writer.flush()?;
+        self.read_line()
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// `SUBMIT` — returns the new query id.
+    pub fn submit(&mut self, sql: &str) -> std::io::Result<Result<QueryId, String>> {
+        let line = self.round_trip(&format!("SUBMIT {sql}"))?;
+        Ok(match line.strip_prefix("OK ") {
+            Some(id) => id.parse().map_err(|e: String| e),
+            None => Err(line.strip_prefix("ERR ").unwrap_or(&line).to_string()),
+        })
+    }
+
+    /// `STATUS` — returns the parsed report.
+    pub fn status(&mut self, id: QueryId) -> std::io::Result<Result<ParsedStatus, String>> {
+        let line = self.round_trip(&format!("STATUS {id}"))?;
+        Ok(ParsedStatus::parse(&line))
+    }
+
+    /// `LIST` — returns `(id, state)` pairs.
+    pub fn list(&mut self) -> std::io::Result<Result<Vec<(QueryId, QueryState)>, String>> {
+        let head = self.round_trip("LIST")?;
+        let Some(n) = head
+            .strip_prefix("OK ")
+            .and_then(|n| n.parse::<usize>().ok())
+        else {
+            return Ok(Err(head.strip_prefix("ERR ").unwrap_or(&head).to_string()));
+        };
+        let mut sessions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = self.read_line()?;
+            let parse = || -> Result<(QueryId, QueryState), String> {
+                let (id, state) = line
+                    .split_once(' ')
+                    .ok_or_else(|| format!("malformed LIST row {line:?}"))?;
+                Ok((id.parse()?, state.parse()?))
+            };
+            match parse() {
+                Ok(pair) => sessions.push(pair),
+                Err(e) => return Ok(Err(e)),
+            }
+        }
+        Ok(Ok(sessions))
+    }
+
+    /// `CANCEL` — returns the state the cancel found the query in.
+    pub fn cancel(&mut self, id: QueryId) -> std::io::Result<Result<QueryState, String>> {
+        let line = self.round_trip(&format!("CANCEL {id}"))?;
+        Ok(match line.strip_prefix(&format!("OK {id} ")) {
+            Some(state) => state.parse().map_err(|e: String| e),
+            None => Err(line.strip_prefix("ERR ").unwrap_or(&line).to_string()),
+        })
+    }
+
+    /// `SHUTDOWN` — asks the server to stop accepting connections.
+    pub fn shutdown(&mut self) -> std::io::Result<()> {
+        let line = self.round_trip("SHUTDOWN")?;
+        debug_assert_eq!(line, "OK bye");
+        Ok(())
+    }
+}

@@ -1,0 +1,366 @@
+//! The query service: admission control, a fixed worker pool, and the
+//! session registry.
+//!
+//! This is the concurrency layer the paper's Figure 1 takes for granted: a
+//! DBA console polling progress for *many* in-flight queries and killing
+//! the hopeless ones. `QueryService` owns a frozen [`Database`] plus its
+//! [`DbStats`], plans submitted SQL through `qp-sql`, and executes each
+//! query on one of `workers` threads with a [`ProgressMonitor`] publishing
+//! live `(curr, LB, UB, dne/pmax/safe)` readings into the session's
+//! lock-free [`ProgressCell`]. Execution of any single query stays
+//! strictly serial — the GetNext model of Section 2.2 — so results and
+//! getnext totals are byte-identical to single-threaded runs; only the
+//! *scheduling* of whole queries is concurrent.
+//!
+//! Admission control is two-tier: at most `workers` queries run at once,
+//! at most `queue_depth` more wait in a bounded queue, and past that
+//! `SUBMIT` is rejected immediately with [`SubmitError::Saturated`] — the
+//! service sheds load rather than queueing unboundedly.
+
+use crate::session::{QueryId, QueryResult, QueryState, Session};
+use qp_exec::executor::QueryRun;
+use qp_exec::{ExecError, Plan};
+use qp_progress::estimators::{Dne, Pmax, ProgressEstimator, Safe};
+use qp_progress::monitor::{ProgressMonitor, SharedMonitor};
+use qp_progress::shared::{ProgressCell, ProgressReading};
+use qp_progress::{BoundsTracker, PlanMeta};
+use qp_stats::DbStats;
+use qp_storage::Database;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Estimator names every session's progress cell reports, in order.
+pub const ESTIMATORS: [&str; 3] = ["dne", "pmax", "safe"];
+
+fn estimator_suite() -> Vec<Box<dyn ProgressEstimator>> {
+    vec![Box::new(Dne), Box::new(Pmax), Box::new(Safe)]
+}
+
+/// Sizing knobs for a [`QueryService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads = maximum concurrently-running queries.
+    pub workers: usize,
+    /// Admitted-but-not-yet-running queries the service will hold.
+    pub queue_depth: usize,
+    /// Snapshot stride override (getnext calls between progress
+    /// publications). `None` picks ~200 points per query from the plan's
+    /// scanned-leaf cardinalities, like `run_with_progress`.
+    pub stride: Option<u64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 4,
+            queue_depth: 16,
+            stride: None,
+        }
+    }
+}
+
+/// Why a `SUBMIT` was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The SQL failed to parse or plan.
+    Plan(String),
+    /// Both the worker pool and the wait queue are full.
+    Saturated {
+        /// Configured maximum of queued sessions.
+        queue_depth: usize,
+    },
+    /// The service has been shut down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Plan(m) => write!(f, "planning failed: {m}"),
+            SubmitError::Saturated { queue_depth } => write!(
+                f,
+                "service saturated (all workers busy, {queue_depth} queued); retry later"
+            ),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A point-in-time answer to `STATUS <id>`.
+#[derive(Debug, Clone)]
+pub struct StatusReport {
+    pub id: QueryId,
+    pub state: QueryState,
+    /// Latest published progress, if the query has produced any.
+    pub progress: Option<ProgressReading>,
+    /// Result row count, once finished.
+    pub rows: Option<u64>,
+    /// Final `total(Q)`, once finished.
+    pub total_getnext: Option<u64>,
+    /// Failure message, once failed.
+    pub error: Option<String>,
+}
+
+struct Job {
+    session: Arc<Session>,
+    plan: Plan,
+}
+
+struct ServiceInner {
+    db: Arc<Database>,
+    stats: Arc<DbStats>,
+    sessions: Mutex<BTreeMap<QueryId, Arc<Session>>>,
+    next_id: AtomicU64,
+    stride: Option<u64>,
+}
+
+/// The concurrent query service. See the module docs for the design.
+pub struct QueryService {
+    inner: Arc<ServiceInner>,
+    tx: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    queue_depth: usize,
+}
+
+impl QueryService {
+    /// Builds statistics and starts the worker pool over a frozen database.
+    pub fn new(db: Arc<Database>, config: ServiceConfig) -> QueryService {
+        let stats = Arc::new(DbStats::build(&db));
+        QueryService::with_stats(db, stats, config)
+    }
+
+    /// Like [`QueryService::new`] with caller-provided statistics (e.g. to
+    /// share one `DbStats` across services, or to test stale stats).
+    pub fn with_stats(
+        db: Arc<Database>,
+        stats: Arc<DbStats>,
+        config: ServiceConfig,
+    ) -> QueryService {
+        assert!(config.workers > 0, "need at least one worker");
+        let inner = Arc::new(ServiceInner {
+            db,
+            stats,
+            sessions: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            stride: config.stride,
+        });
+        // Rendezvous + queue_depth: the channel itself is the wait queue.
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("qp-worker-{i}"))
+                    .spawn(move || worker_loop(&inner, &rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        QueryService {
+            inner,
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+            queue_depth: config.queue_depth,
+        }
+    }
+
+    /// The database this service executes against.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.inner.db
+    }
+
+    /// The statistics the planner and the estimators see.
+    pub fn stats(&self) -> &Arc<DbStats> {
+        &self.inner.stats
+    }
+
+    /// Parses, plans, and enqueues `sql`. Returns the session id the
+    /// caller polls with [`status`](QueryService::status). Planning errors
+    /// and saturation are reported synchronously; nothing is registered
+    /// for a rejected submission.
+    pub fn submit(&self, sql: &str) -> Result<QueryId, SubmitError> {
+        let mut plan = qp_sql::sql_to_plan(sql, &self.inner.db, &self.inner.stats)
+            .map_err(|e| SubmitError::Plan(e.to_string()))?;
+        qp_exec::estimate::annotate(&mut plan, &self.inner.stats);
+
+        let id = QueryId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
+        let cell = Arc::new(ProgressCell::new(ESTIMATORS.to_vec()));
+        let session = Arc::new(Session::new(id, sql.to_string(), cell));
+
+        let tx = self.tx.lock().expect("tx lock");
+        let Some(tx) = tx.as_ref() else {
+            return Err(SubmitError::ShuttingDown);
+        };
+        // Register before sending: a worker may pick the job up (and
+        // finish it) before try_send even returns.
+        self.inner
+            .sessions
+            .lock()
+            .expect("sessions lock")
+            .insert(id, Arc::clone(&session));
+        match tx.try_send(Job {
+            session: Arc::clone(&session),
+            plan,
+        }) {
+            Ok(()) => Ok(id),
+            Err(TrySendError::Full(_)) => {
+                self.inner
+                    .sessions
+                    .lock()
+                    .expect("sessions lock")
+                    .remove(&id);
+                Err(SubmitError::Saturated {
+                    queue_depth: self.queue_depth,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.inner
+                    .sessions
+                    .lock()
+                    .expect("sessions lock")
+                    .remove(&id);
+                Err(SubmitError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Looks a session up.
+    pub fn session(&self, id: QueryId) -> Option<Arc<Session>> {
+        self.inner
+            .sessions
+            .lock()
+            .expect("sessions lock")
+            .get(&id)
+            .cloned()
+    }
+
+    /// A point-in-time status report, or `None` for an unknown id.
+    pub fn status(&self, id: QueryId) -> Option<StatusReport> {
+        let session = self.session(id)?;
+        let result = session.result();
+        Some(StatusReport {
+            id,
+            state: session.state(),
+            progress: session.progress(),
+            rows: result.as_ref().map(|r| r.rows.len() as u64),
+            total_getnext: result.as_ref().map(|r| r.total_getnext),
+            error: session.error(),
+        })
+    }
+
+    /// All sessions (newest last), as `(id, state)`.
+    pub fn list(&self) -> Vec<(QueryId, QueryState)> {
+        self.inner
+            .sessions
+            .lock()
+            .expect("sessions lock")
+            .values()
+            .map(|s| (s.id(), s.state()))
+            .collect()
+    }
+
+    /// Requests cancellation. Returns the state the request found the
+    /// session in, or `None` for an unknown id. Queued sessions die
+    /// immediately; running ones abort at their next getnext call.
+    pub fn cancel(&self, id: QueryId) -> Option<QueryState> {
+        Some(self.session(id)?.request_cancel())
+    }
+
+    /// Blocks until `id` reaches a terminal state. `None` for unknown ids.
+    pub fn wait(&self, id: QueryId) -> Option<QueryState> {
+        Some(self.session(id)?.wait())
+    }
+
+    /// The retained result of a finished query.
+    pub fn result(&self, id: QueryId) -> Option<QueryResult> {
+        self.session(id)?.result()
+    }
+
+    /// Stops accepting submissions, drains queued work, and joins the
+    /// workers. Idempotent. Queued-but-unstarted sessions still run to
+    /// completion (cancel them first for a fast stop).
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().expect("tx lock").take());
+        let workers: Vec<_> = self
+            .workers
+            .lock()
+            .expect("workers lock")
+            .drain(..)
+            .collect();
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &ServiceInner, rx: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Hold the receiver lock only while waiting, never while running.
+        let job = match rx.lock().expect("rx lock").recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders gone: shutdown
+        };
+        run_job(inner, job);
+    }
+}
+
+fn run_job(inner: &ServiceInner, job: Job) {
+    let Job { session, plan } = job;
+    if !session.begin_running() {
+        // Cancelled while queued: the session is already terminal.
+        return;
+    }
+
+    let meta = PlanMeta::from_plan(&plan);
+    let bounds = BoundsTracker::new(&plan, Some(&inner.stats));
+    let stride = inner.stride.unwrap_or_else(|| {
+        let hint: u64 = meta
+            .scanned_leaves
+            .iter()
+            .filter_map(|&(_, c)| c)
+            .sum::<u64>()
+            .max(200);
+        (hint / 200).max(1)
+    });
+    let mut monitor = ProgressMonitor::new(meta, bounds, estimator_suite(), stride);
+    monitor.set_publisher(Arc::clone(session.progress_cell()));
+    let monitor = Arc::new(Mutex::new(monitor));
+
+    let outcome = QueryRun::with_cancel(&plan, &inner.db, session.cancel_token().clone()).and_then(
+        |mut run| {
+            run.set_observer(Box::new(SharedMonitor(Arc::clone(&monitor))));
+            let rows = run.run()?;
+            Ok((rows, run.context().counters().total()))
+        },
+    );
+
+    match outcome {
+        Ok((rows, total_getnext)) => {
+            // Final snapshot: the published trace ends exactly at 100%.
+            if let Ok(monitor) = Arc::try_unwrap(monitor) {
+                monitor
+                    .into_inner()
+                    .expect("monitor lock")
+                    .into_trace_with_final();
+            }
+            session.finish(QueryResult {
+                rows: Arc::new(rows),
+                total_getnext,
+            });
+        }
+        Err(ExecError::Cancelled) => session.mark_cancelled(),
+        Err(e) => session.fail(e.to_string()),
+    }
+}

@@ -1,0 +1,308 @@
+//! Query sessions: identity, lifecycle states, and the pollable handle.
+//!
+//! A session is born at `SUBMIT`, carries its query through the worker
+//! pool, and stays in the registry after completion so late `STATUS`
+//! probes still get an answer. The state machine is deliberately small:
+//!
+//! ```text
+//!            ┌────────────→ Cancelled (CANCEL while queued)
+//!            │
+//! Queued ─→ Running ─→ Finished
+//!            │     └──→ Failed
+//!            └────────→ Cancelled (CANCEL mid-flight; the executor
+//!                       aborts at its next getnext call)
+//! ```
+//!
+//! All terminal states keep their session's final progress reading, so a
+//! progress bar polled after the fact renders the true endpoint.
+
+use qp_exec::CancelToken;
+use qp_progress::shared::{ProgressCell, ProgressReading};
+use qp_storage::Row;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Service-wide identifier of one submitted query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u64);
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl std::str::FromStr for QueryId {
+    type Err = String;
+    fn from_str(s: &str) -> Result<QueryId, String> {
+        let digits = s.strip_prefix('q').unwrap_or(s);
+        digits
+            .parse::<u64>()
+            .map(QueryId)
+            .map_err(|_| format!("bad query id {s:?} (expected e.g. q7)"))
+    }
+}
+
+/// Lifecycle state of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is executing the plan.
+    Running,
+    /// Ran to completion; results are retained.
+    Finished,
+    /// Execution failed (the error message is retained).
+    Failed,
+    /// Cancelled, either while queued or mid-execution.
+    Cancelled,
+}
+
+impl QueryState {
+    /// Whether the session will never change state again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            QueryState::Finished | QueryState::Failed | QueryState::Cancelled
+        )
+    }
+
+    /// Wire-protocol token (also used in `Display`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryState::Queued => "QUEUED",
+            QueryState::Running => "RUNNING",
+            QueryState::Finished => "FINISHED",
+            QueryState::Failed => "FAILED",
+            QueryState::Cancelled => "CANCELLED",
+        }
+    }
+}
+
+impl fmt::Display for QueryState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for QueryState {
+    type Err = String;
+    fn from_str(s: &str) -> Result<QueryState, String> {
+        match s {
+            "QUEUED" => Ok(QueryState::Queued),
+            "RUNNING" => Ok(QueryState::Running),
+            "FINISHED" => Ok(QueryState::Finished),
+            "FAILED" => Ok(QueryState::Failed),
+            "CANCELLED" => Ok(QueryState::Cancelled),
+            other => Err(format!("unknown query state {other:?}")),
+        }
+    }
+}
+
+/// Result of a finished query, retained by its session.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The result rows, in execution order.
+    pub rows: Arc<Vec<Row>>,
+    /// `total(Q)` — the final getnext count, the denominator of true
+    /// progress.
+    pub total_getnext: u64,
+}
+
+/// Mutable part of a session, behind one mutex.
+#[derive(Debug)]
+pub(crate) struct SessionCore {
+    pub state: QueryState,
+    pub result: Option<QueryResult>,
+    pub error: Option<String>,
+}
+
+/// One submitted query: identity, kill switch, live progress slot, and
+/// lifecycle state. Shared between the registry, the worker executing it,
+/// and any number of status pollers.
+#[derive(Debug)]
+pub struct Session {
+    id: QueryId,
+    sql: String,
+    cancel: CancelToken,
+    progress: Arc<ProgressCell>,
+    core: Mutex<SessionCore>,
+    turnstile: Condvar,
+}
+
+impl Session {
+    pub(crate) fn new(id: QueryId, sql: String, progress: Arc<ProgressCell>) -> Session {
+        Session {
+            id,
+            sql,
+            cancel: CancelToken::new(),
+            progress,
+            core: Mutex::new(SessionCore {
+                state: QueryState::Queued,
+                result: None,
+                error: None,
+            }),
+            turnstile: Condvar::new(),
+        }
+    }
+
+    /// The session's id.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// The submitted SQL text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The cancellation token the executor checks between getnext calls.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// The live progress slot the in-flight monitor publishes into.
+    pub fn progress_cell(&self) -> &Arc<ProgressCell> {
+        &self.progress
+    }
+
+    /// Current state.
+    pub fn state(&self) -> QueryState {
+        self.core.lock().expect("session lock").state
+    }
+
+    /// Latest progress reading, if the query has published one yet.
+    pub fn progress(&self) -> Option<ProgressReading> {
+        self.progress.read()
+    }
+
+    /// The retained result, once `Finished`.
+    pub fn result(&self) -> Option<QueryResult> {
+        self.core.lock().expect("session lock").result.clone()
+    }
+
+    /// The failure message, once `Failed`.
+    pub fn error(&self) -> Option<String> {
+        self.core.lock().expect("session lock").error.clone()
+    }
+
+    /// Blocks until the session reaches a terminal state, returning it.
+    pub fn wait(&self) -> QueryState {
+        let mut core = self.core.lock().expect("session lock");
+        while !core.state.is_terminal() {
+            core = self.turnstile.wait(core).expect("session lock");
+        }
+        core.state
+    }
+
+    /// Queued → Running. Returns false if the session left `Queued` some
+    /// other way (e.g. cancelled while waiting).
+    pub(crate) fn begin_running(&self) -> bool {
+        let mut core = self.core.lock().expect("session lock");
+        if core.state == QueryState::Queued {
+            core.state = QueryState::Running;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn finish(&self, result: QueryResult) {
+        self.transition(QueryState::Finished, Some(result), None);
+    }
+
+    pub(crate) fn fail(&self, message: String) {
+        self.transition(QueryState::Failed, None, Some(message));
+    }
+
+    pub(crate) fn mark_cancelled(&self) {
+        self.transition(QueryState::Cancelled, None, None);
+    }
+
+    /// Requests cancellation. A queued session dies immediately; a running
+    /// one aborts at its next getnext call. Returns the state the request
+    /// found the session in.
+    pub(crate) fn request_cancel(&self) -> QueryState {
+        self.cancel.cancel();
+        let mut core = self.core.lock().expect("session lock");
+        let found = core.state;
+        if found == QueryState::Queued {
+            core.state = QueryState::Cancelled;
+            drop(core);
+            self.turnstile.notify_all();
+        }
+        found
+    }
+
+    fn transition(&self, to: QueryState, result: Option<QueryResult>, error: Option<String>) {
+        let mut core = self.core.lock().expect("session lock");
+        debug_assert!(
+            !core.state.is_terminal(),
+            "terminal state {} cannot change to {to}",
+            core.state
+        );
+        core.state = to;
+        core.result = result;
+        core.error = error;
+        drop(core);
+        self.turnstile.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> Session {
+        Session::new(
+            QueryId(1),
+            "SELECT 1".into(),
+            Arc::new(ProgressCell::new(vec!["pmax"])),
+        )
+    }
+
+    #[test]
+    fn id_round_trips_through_display() {
+        let id = QueryId(42);
+        assert_eq!(id.to_string(), "q42");
+        assert_eq!("q42".parse::<QueryId>().unwrap(), id);
+        assert!("fig8".parse::<QueryId>().is_err());
+    }
+
+    #[test]
+    fn state_tokens_round_trip() {
+        for s in [
+            QueryState::Queued,
+            QueryState::Running,
+            QueryState::Finished,
+            QueryState::Failed,
+            QueryState::Cancelled,
+        ] {
+            assert_eq!(s.as_str().parse::<QueryState>().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn queued_cancel_is_immediate() {
+        let s = session();
+        assert_eq!(s.request_cancel(), QueryState::Queued);
+        assert_eq!(s.state(), QueryState::Cancelled);
+        assert!(s.cancel_token().is_cancelled());
+        // A worker dequeuing it later must not start it.
+        assert!(!s.begin_running());
+    }
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let s = session();
+        assert_eq!(s.state(), QueryState::Queued);
+        assert!(s.begin_running());
+        assert_eq!(s.state(), QueryState::Running);
+        s.finish(QueryResult {
+            rows: Arc::new(Vec::new()),
+            total_getnext: 7,
+        });
+        assert_eq!(s.wait(), QueryState::Finished);
+        assert_eq!(s.result().unwrap().total_getnext, 7);
+    }
+}

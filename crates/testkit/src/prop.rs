@@ -541,7 +541,7 @@ mod tests {
         cases = 32,
         fn macro_level_smoke(v in collection::vec((0i64..10, 0usize..4), 0..20), k in 1u32..=8) {
             prop_assert!(v.len() < 20);
-            prop_assert!(k >= 1 && k <= 8, "k = {}", k);
+            prop_assert!((1..=8).contains(&k), "k = {}", k);
         }
     }
 }

@@ -12,10 +12,16 @@ cargo fmt --all --check
 echo "==> cargo build --release --offline (tier-1)"
 cargo build --release --offline --workspace --all-targets
 
+echo "==> cargo clippy --offline -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "==> cargo test -q --offline (tier-1)"
 cargo test -q --offline --workspace
 
 echo "==> bench smoke (no --bench flag: compile + skip)"
 cargo test -q --offline -p qp-bench --benches
+
+echo "==> qp-service smoke (server + client example end to end)"
+cargo run --release --offline -q --example service_progress | grep -q "server stopped cleanly"
 
 echo "CI OK"

@@ -2,6 +2,7 @@
 pub use qp_datagen as datagen;
 pub use qp_exec as exec;
 pub use qp_progress as progress;
+pub use qp_service as service;
 pub use qp_sql as sql;
 pub use qp_stats as stats;
 pub use qp_storage as storage;
