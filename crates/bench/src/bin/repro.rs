@@ -13,13 +13,21 @@
 //! (`curr,progress,lb,ub,<estimators…>`) for external plotting; `--list`
 //! prints the experiment table. Unknown experiment names or flags abort
 //! before anything runs (a typo cannot silently skip part of a sweep).
+//!
+//! `chaos` replays the TPC-H suite through the query service under
+//! deterministic fault injection; `--seed <n>` picks the fault seed
+//! (default 1), and the same seed replays the exact same faults:
+//!
+//! ```text
+//! cargo run --release -p qp-bench --bin repro -- chaos --seed 7
+//! ```
 
-use qp_bench::experiments::{ablations, extensions, figures, tables, theory};
+use qp_bench::experiments::{ablations, chaos, extensions, figures, tables, theory};
 use qp_bench::Scale;
 
 /// `(name, what it reproduces)` — the full experiment table, also printed
 /// by `--list`.
-const EXPERIMENTS: [(&str, &str); 19] = [
+const EXPERIMENTS: [(&str, &str); 20] = [
     ("fig3", "Figure 3: estimator traces, scan-based query"),
     ("fig4", "Figure 4: estimator traces, TPC-H join query"),
     ("fig5", "Figure 5: estimator traces under skew"),
@@ -48,6 +56,10 @@ const EXPERIMENTS: [(&str, &str); 19] = [
         "Section 2.5: (tau, delta) threshold requirement",
     ),
     ("orders", "Section 4.2: input-order predictiveness analysis"),
+    (
+        "chaos",
+        "Resilience: TPC-H suite under seeded fault injection (--seed <n>)",
+    ),
 ];
 
 fn known(name: &str) -> bool {
@@ -79,20 +91,32 @@ fn main() {
         .position(|a| a == "--csv")
         .and_then(|i| args.get(i + 1));
     let csv_dir: Option<std::path::PathBuf> = csv_flag_value.map(std::path::PathBuf::from);
+    let seed_flag_value: Option<&String> = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1));
+    let chaos_seed: u64 = match seed_flag_value {
+        None => 1,
+        Some(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("error: bad --seed value {v:?}: {e}");
+            std::process::exit(2);
+        }),
+    };
 
     // Validate everything up front: a typo ("fig8") must abort the whole
     // invocation with the experiment table, not silently skip or die
     // halfway through a sweep.
-    if let Some(flag) = args
-        .iter()
-        .find(|a| a.starts_with("--") && !matches!(a.as_str(), "--small" | "--csv" | "--list"))
-    {
-        eprintln!("error: unknown flag {flag:?} (known: --small, --csv <dir>, --list)");
+    if let Some(flag) = args.iter().find(|a| {
+        a.starts_with("--") && !matches!(a.as_str(), "--small" | "--csv" | "--list" | "--seed")
+    }) {
+        eprintln!("error: unknown flag {flag:?} (known: --small, --csv <dir>, --seed <n>, --list)");
         std::process::exit(2);
     }
     let named: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--") && Some(*a) != csv_flag_value)
+        .filter(|a| {
+            !a.starts_with("--") && Some(*a) != csv_flag_value && Some(*a) != seed_flag_value
+        })
         .map(String::as_str)
         .collect();
     let unknown: Vec<&str> = named
@@ -136,6 +160,13 @@ fn main() {
             "feedback" => print!("{}", extensions::feedback(&scale).render()),
             "threshold" => print!("{}", extensions::threshold(&scale).render()),
             "orders" => print!("{}", extensions::order_analysis(&scale).render()),
+            "chaos" => {
+                let result = chaos::chaos(&scale, chaos_seed);
+                print!("{}", result.render());
+                if !result.passed() {
+                    std::process::exit(1);
+                }
+            }
             other => {
                 eprintln!("unknown experiment {other:?}; known: {EXPERIMENTS:?}");
                 std::process::exit(2);

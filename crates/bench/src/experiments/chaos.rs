@@ -1,0 +1,181 @@
+//! Chaos run: the TPC-H suite through the query service under
+//! deterministic fault injection (`repro -- chaos --seed N`).
+//!
+//! Not a paper artifact — an operational one: the paper's Figure 1
+//! scenario assumes the progress pipeline keeps answering while queries
+//! misbehave. This experiment replays the whole workload under one fault
+//! seed and reports, per query, how it died (or didn't) and whether every
+//! invariant held: all sessions terminal, snapshots bounded and
+//! NaN-free, worker pool alive afterwards. The same seed replays the
+//! same faults, so a violation seen once is a violation forever.
+
+use crate::render::render_table;
+use crate::Scale;
+use qp_exec::{FaultConfig, FaultPlan};
+use qp_service::{QueryService, QueryState, ServiceConfig, SubmitOptions};
+use qp_stats::DbStats;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Outcome of one seeded chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosResult {
+    pub seed: u64,
+    /// `(query, state, health, last-progress)` per session.
+    pub rows: Vec<Vec<String>>,
+    /// Snapshot polls that were checked against the envelope invariants.
+    pub polls_checked: u64,
+    /// Human-readable invariant violations; empty = run passed.
+    pub violations: Vec<String>,
+}
+
+impl ChaosResult {
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = render_table(
+            &format!("chaos run, seed {}", self.seed),
+            &["query", "state", "health", "progress"],
+            &self.rows,
+        );
+        // The poll count itself is timing-dependent (how often the loop
+        // got scheduled), so it stays out of the rendered output: repro
+        // runs are byte-identical modulo the timing lines.
+        out.push_str("every snapshot poll checked against LB<=UB, 0<=est<=1, no NaN\n");
+        if self.passed() {
+            out.push_str("PASS: all sessions terminal, all snapshots bounded, pool alive\n");
+        } else {
+            for v in &self.violations {
+                out.push_str(&format!("VIOLATION: {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Runs the TPC-H workload through a [`QueryService`] in chaos mode
+/// (per-query fault plans derived from `seed`), checking every resilience
+/// invariant and reporting rather than panicking.
+pub fn chaos(scale: &Scale, seed: u64) -> ChaosResult {
+    let db = Arc::new(scale.tpch().db);
+    let stats = Arc::new(DbStats::build(&db));
+    // A horizon short enough that every fault kind lands inside the
+    // workload's getnext range at this scale.
+    let fault_config = FaultConfig {
+        horizon: 10_000,
+        delay: Duration::from_millis(1),
+        ..FaultConfig::default()
+    };
+    let service = QueryService::with_stats(
+        Arc::clone(&db),
+        Arc::clone(&stats),
+        ServiceConfig {
+            workers: 3,
+            stride: Some(200),
+            fault_seed: Some(seed),
+            fault_config,
+            ..ServiceConfig::default()
+        },
+    );
+
+    // Injected panics are expected here; the workers catch them and the
+    // message lands in the session's FAILED status, so the default hook's
+    // backtrace on stderr is pure noise. Silence it for the run.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let queries: Vec<&'static str> = qp_workloads::sql_text::SQL_QUERIES
+        .iter()
+        .map(|&q| qp_workloads::sql_text::tpch_sql(q).expect("sql text"))
+        .collect();
+    let ids: Vec<_> = queries
+        .iter()
+        .map(|sql| service.submit(sql).expect("admitted"))
+        .collect();
+
+    let mut violations = Vec::new();
+    let mut polls_checked = 0u64;
+    loop {
+        let mut all_terminal = true;
+        for &id in &ids {
+            let status = service.status(id).expect("known id");
+            all_terminal &= status.state.is_terminal();
+            if let Some(p) = status.progress {
+                polls_checked += 1;
+                if p.lb > p.ub || p.curr > p.ub {
+                    violations.push(format!("{id}: inverted envelope {p:?}"));
+                }
+                if p.estimates
+                    .iter()
+                    .any(|e| !e.is_finite() || !(0.0..=1.0).contains(e))
+                {
+                    violations.push(format!("{id}: unbounded/NaN estimate {p:?}"));
+                }
+            }
+        }
+        if all_terminal {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let rows: Vec<Vec<String>> = ids
+        .iter()
+        .zip(&queries)
+        .map(|(&id, sql)| {
+            let status = service.status(id).expect("known id");
+            if !status.state.is_terminal() {
+                violations.push(format!("{id}: not terminal at end of run"));
+            }
+            let progress = match status.progress {
+                Some(p) if p.ub != u64::MAX && p.ub > 0 => {
+                    format!("{:.0}%", 100.0 * p.curr as f64 / p.ub as f64)
+                }
+                Some(p) => format!("curr={}", p.curr),
+                None => "-".to_string(),
+            };
+            let what = status
+                .error
+                .map(|e| format!(" ({})", e.chars().take(40).collect::<String>()))
+                .unwrap_or_default();
+            vec![
+                format!(
+                    "{}{}",
+                    sql.split_whitespace().take(4).collect::<Vec<_>>().join(" "),
+                    what
+                ),
+                status.state.to_string(),
+                status.health.to_string(),
+                progress,
+            ]
+        })
+        .collect();
+
+    // The pool must serve a clean query after the chaos.
+    let fresh = service.submit_with(
+        "SELECT COUNT(*) AS n FROM nation",
+        SubmitOptions {
+            faults: Some(FaultPlan::none()),
+            ..SubmitOptions::default()
+        },
+    );
+    match fresh {
+        Ok(id) => {
+            if service.wait(id) != Some(QueryState::Finished) {
+                violations.push("worker pool did not finish a clean post-chaos query".into());
+            }
+        }
+        Err(e) => violations.push(format!("post-chaos submission rejected: {e}")),
+    }
+    service.shutdown();
+    std::panic::set_hook(prev_hook);
+
+    ChaosResult {
+        seed,
+        rows,
+        polls_checked,
+        violations,
+    }
+}

@@ -1,6 +1,7 @@
 //! Experiment implementations, grouped as in the paper's evaluation.
 
 pub mod ablations;
+pub mod chaos;
 pub mod extensions;
 pub mod figures;
 pub mod tables;

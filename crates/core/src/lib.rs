@@ -58,3 +58,4 @@ pub use feedback::{FeedbackEstimator, FeedbackStore, PlanSignature};
 pub use metrics::{threshold_requirement_holds, ErrorStats};
 pub use model::{mu_from_counts, PlanMeta};
 pub use monitor::{ProgressMonitor, ProgressTrace, Snapshot};
+pub use shared::{clamp_snapshot, Health, ProgressCell, ProgressReading};

@@ -11,7 +11,7 @@
 use crate::bounds::BoundsTracker;
 use crate::estimators::{EstimatorContext, ProgressEstimator};
 use crate::model::PlanMeta;
-use crate::shared::ProgressCell;
+use crate::shared::{clamp_snapshot, Health, ProgressCell};
 use qp_exec::{Counters, ExecEvent, Observer};
 use std::sync::Arc;
 
@@ -40,6 +40,7 @@ pub struct ProgressMonitor {
     curr: u64,
     snapshots: Vec<Snapshot>,
     publisher: Option<Arc<ProgressCell>>,
+    degraded: bool,
 }
 
 impl ProgressMonitor {
@@ -67,6 +68,7 @@ impl ProgressMonitor {
             curr: 0,
             snapshots: Vec::new(),
             publisher: None,
+            degraded: false,
         }
     }
 
@@ -91,6 +93,13 @@ impl ProgressMonitor {
         &self.names
     }
 
+    /// `true` if any snapshot so far needed clamping into the valid
+    /// envelope (contradicted bounds or a non-finite estimate) — the
+    /// trace-side mirror of [`Health::Degraded`] on the published cell.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
     fn snapshot(&mut self) {
         self.bounds.recompute(&self.produced, &self.exhausted);
         let cx = EstimatorContext {
@@ -102,15 +111,25 @@ impl ProgressMonitor {
             meta: &self.meta,
             node_bounds: self.bounds.all(),
         };
-        let estimates: Vec<f64> = self
+        let mut estimates: Vec<f64> = self
             .estimators
             .iter_mut()
             .map(|e| e.estimate(&cx))
             .collect();
+        let (mut lb, mut ub) = (cx.lb_total, cx.ub_total);
+        // Clamp *before* recording so the trace and the live cell agree:
+        // a contradicted envelope or NaN estimate degrades the stream but
+        // never reaches a reader (or a CSV export) unclamped.
+        if clamp_snapshot(self.curr, &mut lb, &mut ub, &mut estimates) {
+            self.degraded = true;
+            if let Some(cell) = &self.publisher {
+                cell.raise_health(Health::Degraded);
+            }
+        }
         let snap = Snapshot {
             curr: self.curr,
-            lb: cx.lb_total,
-            ub: cx.ub_total,
+            lb,
+            ub,
             estimates,
         };
         if let Some(cell) = &self.publisher {
@@ -271,7 +290,7 @@ pub fn run_with_progress(
         .ok()
         .expect("executor dropped its observer handle")
         .into_inner()
-        .expect("monitor lock poisoned");
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     Ok((out, monitor.into_trace_with_final()))
 }
 
@@ -283,9 +302,13 @@ pub struct SharedMonitor(pub Arc<std::sync::Mutex<ProgressMonitor>>);
 
 impl Observer for SharedMonitor {
     fn on_event(&mut self, event: ExecEvent, counters: &Counters) {
+        // Recover from poisoning: an injected panic that unwound through a
+        // previous event must not take down later queries sharing the
+        // monitor handle — the monitor's counters are updated before any
+        // code that can panic, so the state is usable.
         self.0
             .lock()
-            .expect("monitor lock")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .on_event(event, counters);
     }
 }

@@ -18,7 +18,69 @@
 //! it down*.
 
 use crate::monitor::Snapshot;
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, AtomicU8, Ordering};
+
+/// Trustworthiness of the published progress stream.
+///
+/// Progress must degrade *gracefully*: a fault mid-query may contradict
+/// the bounds (LB > UB, zero totals, NaN estimates), and the paper's
+/// guarantees (Property 4, Theorem 6) are stated over valid envelopes.
+/// Rather than surfacing an inverted or non-finite reading to pollers,
+/// the cell clamps the snapshot into the valid envelope and raises this
+/// flag. Health is **monotone**: it only ever worsens (`Ok → Degraded →
+/// Failed`), so a poller that has once seen `Degraded` can trust that no
+/// later reading silently pretends full health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Health {
+    /// Every published value was within its guaranteed envelope.
+    #[default]
+    Ok = 0,
+    /// At least one published snapshot needed clamping (contradicted
+    /// bounds or a non-finite estimate), or the query timed out — the
+    /// stream is still bounded and monotone, but the guarantees are
+    /// best-effort from here on.
+    Degraded = 1,
+    /// The query failed (error or panic); the reading is the last state
+    /// before death.
+    Failed = 2,
+}
+
+impl Health {
+    /// Wire-protocol token (also used in `Display`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Health::Ok => "ok",
+            Health::Degraded => "degraded",
+            Health::Failed => "failed",
+        }
+    }
+
+    fn from_u8(v: u8) -> Health {
+        match v {
+            0 => Health::Ok,
+            1 => Health::Degraded,
+            _ => Health::Failed,
+        }
+    }
+}
+
+impl std::fmt::Display for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Health {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Health, String> {
+        match s {
+            "ok" => Ok(Health::Ok),
+            "degraded" => Ok(Health::Degraded),
+            "failed" => Ok(Health::Failed),
+            other => Err(format!("unknown health {other:?}")),
+        }
+    }
+}
 
 /// A published progress point, as read back from a [`ProgressCell`].
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +93,51 @@ pub struct ProgressReading {
     pub ub: u64,
     /// One estimate per estimator, in the cell's name order.
     pub estimates: Vec<f64>,
+    /// Trustworthiness of this (and, since health is monotone, every
+    /// earlier) reading.
+    pub health: Health,
+}
+
+/// Clamps one snapshot into the valid progress envelope, in place:
+/// `LB ≤ UB`, `Curr ≤ UB`, every estimate finite and in `[0, 1]`.
+/// Non-finite estimates are replaced by the most conservative bounded
+/// ratio available (`Curr/UB`, falling back to `Curr/LB`, then 0).
+/// Returns `true` iff anything had to change — the signal that the
+/// stream should be flagged [`Health::Degraded`].
+///
+/// This is the single definition of "valid envelope" shared by
+/// [`ProgressCell::publish`] and [`crate::monitor::ProgressMonitor`], so
+/// live readings and recorded traces can never disagree about what was
+/// clamped.
+pub fn clamp_snapshot(curr: u64, lb: &mut u64, ub: &mut u64, estimates: &mut [f64]) -> bool {
+    let mut changed = false;
+    if *lb > *ub {
+        // Contradicted bounds: LB is grounded in rows actually seen, so
+        // trust it and pull UB up.
+        *ub = *lb;
+        changed = true;
+    }
+    if curr > *ub {
+        *ub = curr;
+        changed = true;
+    }
+    let fallback = if *ub > 0 && *ub != u64::MAX {
+        (curr as f64 / *ub as f64).clamp(0.0, 1.0)
+    } else if *lb > 0 {
+        (curr as f64 / *lb as f64).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    for e in estimates {
+        if !e.is_finite() {
+            *e = fallback;
+            changed = true;
+        } else if !(0.0..=1.0).contains(e) {
+            *e = e.clamp(0.0, 1.0);
+            changed = true;
+        }
+    }
+    changed
 }
 
 /// Single-writer, many-reader slot holding the latest progress snapshot.
@@ -46,6 +153,11 @@ pub struct ProgressCell {
     ub: AtomicU64,
     /// `f64::to_bits` of each estimate.
     estimates: Vec<AtomicU64>,
+    /// Monotone health flag. Kept *outside* the seqlock on purpose: it is
+    /// raised both by the publishing monitor and — after execution has
+    /// ended — by the session layer marking a failure, and monotonicity
+    /// (fetch_max) makes those writers commute.
+    health: AtomicU8,
     names: Vec<&'static str>,
 }
 
@@ -58,6 +170,7 @@ impl ProgressCell {
             lb: AtomicU64::new(0),
             ub: AtomicU64::new(u64::MAX),
             estimates: names.iter().map(|_| AtomicU64::new(0)).collect(),
+            health: AtomicU8::new(Health::Ok as u8),
             names,
         }
     }
@@ -70,6 +183,13 @@ impl ProgressCell {
     /// Publishes one snapshot. Called by the single writer (the query
     /// thread's monitor); never blocks.
     ///
+    /// The cell is the last line of defence for pollers: values that
+    /// contradict the valid envelope — `LB > UB`, `Curr > UB`, non-finite
+    /// or out-of-range estimates (all reachable when a fault corrupts the
+    /// bounds mid-query) — are clamped into it and the cell's [`Health`]
+    /// is raised to `Degraded`. A reader therefore always observes
+    /// `LB ≤ UB` and estimates in `[0, 1]`, never NaN.
+    ///
     /// # Panics
     /// Panics if `estimates.len()` differs from the cell's arity.
     pub fn publish(&self, curr: u64, lb: u64, ub: u64, estimates: &[f64]) {
@@ -78,16 +198,35 @@ impl ProgressCell {
             self.estimates.len(),
             "estimate arity mismatch"
         );
+        let mut lb = lb;
+        let mut ub = ub;
+        let mut sanitized = estimates.to_vec();
+        if clamp_snapshot(curr, &mut lb, &mut ub, &mut sanitized) {
+            self.raise_health(Health::Degraded);
+        }
         let v = self.seq.load(Ordering::Relaxed);
         self.seq.store(v.wrapping_add(1), Ordering::Relaxed);
         fence(Ordering::Release);
         self.curr.store(curr, Ordering::Relaxed);
         self.lb.store(lb, Ordering::Relaxed);
         self.ub.store(ub, Ordering::Relaxed);
-        for (slot, &e) in self.estimates.iter().zip(estimates) {
+        for (slot, &e) in self.estimates.iter().zip(&sanitized) {
             slot.store(e.to_bits(), Ordering::Relaxed);
         }
         self.seq.store(v.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Raises the health flag (monotone: never lowers it). Callable from
+    /// any thread at any time — e.g. the session layer marking a query
+    /// `Failed` after execution died without a final snapshot.
+    pub fn raise_health(&self, h: Health) {
+        self.health.fetch_max(h as u8, Ordering::Relaxed);
+    }
+
+    /// The current health flag. Meaningful even before the first
+    /// publication (a query can fail before its first snapshot).
+    pub fn health(&self) -> Health {
+        Health::from_u8(self.health.load(Ordering::Relaxed))
     }
 
     /// Convenience: publish a monitor snapshot.
@@ -117,6 +256,7 @@ impl ProgressCell {
                     .iter()
                     .map(|b| f64::from_bits(b.load(Ordering::Relaxed)))
                     .collect(),
+                health: self.health(),
             };
             fence(Ordering::Acquire);
             if self.seq.load(Ordering::Relaxed) == v1 {
@@ -159,6 +299,56 @@ mod tests {
     }
 
     #[test]
+    fn contradicted_bounds_are_clamped_and_flagged() {
+        let cell = ProgressCell::new(vec!["pmax"]);
+        assert_eq!(cell.health(), Health::Ok);
+        // LB > UB (a fault corrupted the envelope): the reading must come
+        // back bounded, with health raised.
+        cell.publish(10, 100, 50, &[0.5]);
+        let r = cell.read().unwrap();
+        assert!(r.lb <= r.ub, "clamped reading still inverted: {r:?}");
+        assert_eq!((r.lb, r.ub), (100, 100));
+        assert_eq!(r.health, Health::Degraded);
+        // Health is monotone: a subsequent clean publish stays Degraded.
+        cell.publish(20, 100, 200, &[0.5]);
+        assert_eq!(cell.read().unwrap().health, Health::Degraded);
+    }
+
+    #[test]
+    fn nan_and_out_of_range_estimates_never_reach_readers() {
+        let cell = ProgressCell::new(vec!["a", "b", "c"]);
+        cell.publish(50, 100, 200, &[f64::NAN, f64::INFINITY, 1.7]);
+        let r = cell.read().unwrap();
+        for e in &r.estimates {
+            assert!(e.is_finite(), "non-finite estimate leaked: {r:?}");
+            assert!((0.0..=1.0).contains(e), "unbounded estimate leaked: {r:?}");
+        }
+        // NaN/inf fall back to Curr/UB = 0.25; 1.7 clamps to 1.0.
+        assert_eq!(r.estimates, vec![0.25, 0.25, 1.0]);
+        assert_eq!(r.health, Health::Degraded);
+    }
+
+    #[test]
+    fn zero_totals_produce_zero_not_nan() {
+        let cell = ProgressCell::new(vec!["pmax"]);
+        cell.publish(0, 0, 0, &[f64::NAN]);
+        let r = cell.read().unwrap();
+        assert_eq!(r.estimates, vec![0.0]);
+        assert_eq!(r.health, Health::Degraded);
+    }
+
+    #[test]
+    fn failure_health_is_visible_without_a_publication() {
+        let cell = ProgressCell::new(vec!["pmax"]);
+        cell.raise_health(Health::Failed);
+        assert_eq!(cell.read(), None, "no snapshot was ever published");
+        assert_eq!(cell.health(), Health::Failed);
+        // And failure dominates later degradation.
+        cell.raise_health(Health::Degraded);
+        assert_eq!(cell.health(), Health::Failed);
+    }
+
+    #[test]
     fn last_write_wins() {
         let cell = ProgressCell::new(vec!["pmax"]);
         for i in 1..=10u64 {
@@ -178,9 +368,11 @@ mod tests {
             let cell = Arc::clone(&cell);
             std::thread::spawn(move || {
                 for i in 1..=100_000u64 {
-                    // All fields encode the same i, so a torn read is
-                    // detectable.
-                    cell.publish(i, i * 2, i * 3, &[i as f64, i as f64 + 0.5]);
+                    // All fields encode the same i (estimates stay inside
+                    // [0, 1] so the publish-time clamp leaves them alone),
+                    // so a torn read is detectable.
+                    let e = i as f64 / 200_000.0;
+                    cell.publish(i, i * 2, i * 3, &[e, e + 0.5]);
                 }
             })
         };
@@ -193,8 +385,9 @@ mod tests {
                         if let Some(r) = cell.read() {
                             assert_eq!(r.lb, r.curr * 2, "torn read: {r:?}");
                             assert_eq!(r.ub, r.curr * 3, "torn read: {r:?}");
-                            assert_eq!(r.estimates[0], r.curr as f64, "torn read: {r:?}");
-                            assert_eq!(r.estimates[1], r.curr as f64 + 0.5, "torn read: {r:?}");
+                            let e = r.curr as f64 / 200_000.0;
+                            assert_eq!(r.estimates[0], e, "torn read: {r:?}");
+                            assert_eq!(r.estimates[1], e + 0.5, "torn read: {r:?}");
                             seen = seen.max(r.curr);
                         }
                     }

@@ -19,9 +19,11 @@
 //! the paper's GetNext model is serial — but observation no longer is.
 
 use crate::error::{ExecError, ExecResult};
-use qp_storage::{Row, Schema};
+use qp_storage::{Row, Schema, StorageError};
+use qp_testkit::fault::{FaultKind, FaultPlan};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Identifier of a plan node (index into the plan's node table).
 pub type NodeId = usize;
@@ -140,12 +142,47 @@ impl CancelToken {
     }
 }
 
-/// Shared execution state: counters, the registered observer, and the
-/// cancellation flag.
+/// External controls a query runs under: the kill switch, an optional
+/// wall-clock deadline, and an optional deterministic fault schedule.
+///
+/// All three are checked at the same instrumented point — the top of every
+/// `Counted::open`/`next` — so a cancel, a timeout, and an injected fault
+/// each land within one tuple's worth of work, at a reproducible getnext
+/// index.
+#[derive(Debug, Default)]
+pub struct RunControls {
+    /// Cooperative cancellation flag (shared with the session manager).
+    pub cancel: CancelToken,
+    /// Hard wall-clock deadline: the query aborts with
+    /// [`ExecError::DeadlineExceeded`] at its first getnext past this
+    /// instant.
+    pub deadline: Option<Instant>,
+    /// Deterministic fault schedule (chaos testing); `None` and
+    /// `Some(FaultPlan::none())` are both the zero-fault fast path.
+    pub faults: Option<FaultPlan>,
+}
+
+impl RunControls {
+    /// Controls carrying only a cancellation token.
+    pub fn with_cancel(cancel: CancelToken) -> RunControls {
+        RunControls {
+            cancel,
+            ..RunControls::default()
+        }
+    }
+}
+
+/// Shared execution state: counters, the registered observer, the
+/// cancellation flag, and the fault/deadline controls.
 pub struct ExecContext {
     counters: Counters,
     observer: Mutex<Option<Box<dyn Observer>>>,
     cancel: CancelToken,
+    deadline: Option<Instant>,
+    /// `true` iff `faults` holds a non-empty plan — read on the hot path
+    /// so the zero-fault case never touches the mutex.
+    has_faults: bool,
+    faults: Mutex<Option<FaultPlan>>,
 }
 
 impl ExecContext {
@@ -157,10 +194,19 @@ impl ExecContext {
     /// Creates a context wired to an externally-held cancellation token
     /// (e.g. a session manager's per-query kill switch).
     pub fn with_cancel(n_nodes: usize, cancel: CancelToken) -> Arc<ExecContext> {
+        ExecContext::with_controls(n_nodes, RunControls::with_cancel(cancel))
+    }
+
+    /// Creates a context under full [`RunControls`].
+    pub fn with_controls(n_nodes: usize, controls: RunControls) -> Arc<ExecContext> {
+        let has_faults = controls.faults.as_ref().is_some_and(|f| !f.is_empty());
         Arc::new(ExecContext {
             counters: Counters::new(n_nodes),
             observer: Mutex::new(None),
-            cancel,
+            cancel: controls.cancel,
+            deadline: controls.deadline,
+            has_faults,
+            faults: Mutex::new(controls.faults),
         })
     }
 
@@ -187,12 +233,53 @@ impl ExecContext {
         &self.cancel
     }
 
+    /// The single interrupt point of the execution model: cancellation,
+    /// deadline, and fault injection are all evaluated here, at the top of
+    /// every `Counted::open`/`next`. Keyed by the current total getnext
+    /// count, so a fault plan replays at the identical tuple every run.
     #[inline]
-    fn check_cancelled(&self) -> ExecResult<()> {
+    fn check_interrupts(&self) -> ExecResult<()> {
         if self.cancel.is_cancelled() {
-            Err(ExecError::Cancelled)
-        } else {
-            Ok(())
+            return Err(ExecError::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(ExecError::DeadlineExceeded);
+            }
+        }
+        if self.has_faults {
+            self.check_faults()?;
+        }
+        Ok(())
+    }
+
+    /// Cold path: consult the fault plan at the current getnext index.
+    #[cold]
+    fn check_faults(&self) -> ExecResult<()> {
+        let curr = self.counters.total();
+        let fired = {
+            let mut faults = match self.faults.lock() {
+                Ok(g) => g,
+                // A previously injected panic unwound through this mutex;
+                // the plan itself is still coherent (it only moves a
+                // cursor forward), so recover and keep injecting.
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            faults.as_mut().and_then(|plan| plan.fire_at(curr))
+        };
+        let Some(point) = fired else { return Ok(()) };
+        match point.kind {
+            FaultKind::StorageRead => Err(ExecError::Storage(StorageError::ReadFailed(format!(
+                "injected at getnext {curr}"
+            )))),
+            FaultKind::ExecError => Err(ExecError::Injected(format!(
+                "operator fault at getnext {curr}"
+            ))),
+            FaultKind::Panic => panic!("injected panic at getnext {curr}"),
+            FaultKind::Delay(d) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
         }
     }
 
@@ -262,13 +349,13 @@ impl Counted {
 
 impl Operator for Counted {
     fn open(&mut self) -> ExecResult<()> {
-        self.ctx.check_cancelled()?;
+        self.ctx.check_interrupts()?;
         self.ctx.record_open(self.node);
         self.inner.open()
     }
 
     fn next(&mut self) -> ExecResult<Option<Row>> {
-        self.ctx.check_cancelled()?;
+        self.ctx.check_interrupts()?;
         match self.inner.next()? {
             Some(row) => {
                 self.ctx.record_row(self.node);
@@ -403,5 +490,95 @@ mod tests {
         let ctx = ExecContext::with_cancel(1, token);
         let mut op = Counted::new(emit(3), 0, Arc::clone(&ctx));
         assert_eq!(op.open(), Err(ExecError::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_at_the_next_getnext() {
+        let controls = RunControls {
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            ..RunControls::default()
+        };
+        let ctx = ExecContext::with_controls(1, controls);
+        let mut op = Counted::new(emit(3), 0, Arc::clone(&ctx));
+        assert_eq!(op.open(), Err(ExecError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn injected_faults_fire_at_their_exact_getnext_index() {
+        use qp_testkit::fault::FaultPoint;
+        let plan = FaultPlan::from_points(vec![
+            FaultPoint {
+                at_getnext: 5,
+                kind: FaultKind::ExecError,
+            },
+            FaultPoint {
+                at_getnext: 7,
+                kind: FaultKind::StorageRead,
+            },
+        ]);
+        let controls = RunControls {
+            faults: Some(plan),
+            ..RunControls::default()
+        };
+        let ctx = ExecContext::with_controls(1, controls);
+        let mut op = Counted::new(emit(100), 0, Arc::clone(&ctx));
+        op.open().unwrap();
+        for _ in 0..5 {
+            op.next().unwrap();
+        }
+        // total() is now 5: the next call trips the first fault.
+        assert!(matches!(op.next(), Err(ExecError::Injected(_))));
+        // The counters did not advance past the fault.
+        assert_eq!(ctx.counters().total(), 5);
+        // Execution after an error is undefined for real operators, but
+        // the interrupt layer itself keeps going: pumping to index 7
+        // trips the storage fault.
+        op.next().unwrap();
+        op.next().unwrap();
+        match op.next() {
+            Err(ExecError::Storage(StorageError::ReadFailed(m))) => {
+                assert!(m.contains("getnext 7"), "{m}")
+            }
+            other => panic!("expected injected storage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_is_invisible() {
+        let controls = RunControls {
+            faults: Some(FaultPlan::none()),
+            ..RunControls::default()
+        };
+        let ctx = ExecContext::with_controls(1, controls);
+        let mut op = Counted::new(emit(50), 0, Arc::clone(&ctx));
+        op.open().unwrap();
+        let mut n = 0;
+        while op.next().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 50);
+        assert_eq!(ctx.counters().total(), 50);
+    }
+
+    #[test]
+    fn injected_panic_unwinds_out_of_getnext() {
+        let controls = RunControls {
+            faults: Some(FaultPlan::single(2, FaultKind::Panic)),
+            ..RunControls::default()
+        };
+        let ctx = ExecContext::with_controls(1, controls);
+        let op = std::sync::Mutex::new(Counted::new(emit(10), 0, Arc::clone(&ctx)));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut op = op.lock().unwrap();
+            op.open().unwrap();
+            while op.next().unwrap().is_some() {}
+        }));
+        let err = caught.expect_err("the injected panic must unwind");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "?".into());
+        assert!(msg.contains("injected panic at getnext 2"), "{msg}");
+        assert_eq!(ctx.counters().total(), 2);
     }
 }

@@ -16,6 +16,14 @@ pub enum ExecError {
     /// The query was cancelled cooperatively (its [`crate::context::CancelToken`]
     /// was set); execution stopped at the next getnext call.
     Cancelled,
+    /// The query's deadline (see [`crate::context::RunControls::deadline`])
+    /// passed; execution stopped at the next getnext call, exactly like a
+    /// cancellation but distinguishable so the session layer can report
+    /// `TIMEDOUT` rather than `CANCELLED`.
+    DeadlineExceeded,
+    /// A fault injected by a [`qp_testkit::fault::FaultPlan`] — an
+    /// operator-level failure that is not attributable to storage.
+    Injected(String),
 }
 
 impl fmt::Display for ExecError {
@@ -25,6 +33,8 @@ impl fmt::Display for ExecError {
             ExecError::Eval(m) => write!(f, "evaluation error: {m}"),
             ExecError::BadPlan(m) => write!(f, "bad plan: {m}"),
             ExecError::Cancelled => write!(f, "query cancelled"),
+            ExecError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            ExecError::Injected(m) => write!(f, "injected fault: {m}"),
         }
     }
 }

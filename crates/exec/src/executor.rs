@@ -1,6 +1,6 @@
 //! Plan instantiation and the query driver.
 
-use crate::context::{CancelToken, Counted, ExecContext, Observer, Operator};
+use crate::context::{CancelToken, Counted, ExecContext, Observer, Operator, RunControls};
 use crate::error::{ExecError, ExecResult};
 use crate::ops::{
     FilterOp, HashAggregateOp, HashJoinOp, IndexNestedLoopsOp, IndexRangeScanOp, LimitOp,
@@ -25,7 +25,18 @@ impl QueryRun {
     /// Like [`QueryRun::new`], but wires the query to an externally-held
     /// [`CancelToken`] so another thread can abort it mid-flight.
     pub fn with_cancel(plan: &Plan, db: &Database, cancel: CancelToken) -> ExecResult<QueryRun> {
-        let ctx = ExecContext::with_cancel(plan.len(), cancel);
+        QueryRun::with_controls(plan, db, RunControls::with_cancel(cancel))
+    }
+
+    /// Like [`QueryRun::new`], but under full [`RunControls`]: cancel
+    /// token, optional deadline, and optional deterministic fault plan —
+    /// the chaos-testing entry point.
+    pub fn with_controls(
+        plan: &Plan,
+        db: &Database,
+        controls: RunControls,
+    ) -> ExecResult<QueryRun> {
+        let ctx = ExecContext::with_controls(plan.len(), controls);
         let root = build_node(plan, plan.root(), db, &ctx)?;
         Ok(QueryRun { ctx, root })
     }

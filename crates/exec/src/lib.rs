@@ -43,8 +43,11 @@ pub mod ops;
 pub mod pipeline;
 pub mod plan;
 
-pub use context::{CancelToken, Counters, ExecContext, ExecEvent, NodeId, Observer};
+pub use context::{CancelToken, Counters, ExecContext, ExecEvent, NodeId, Observer, RunControls};
 pub use error::{ExecError, ExecResult};
+// Fault-injection vocabulary, re-exported so downstream crates can drive
+// chaos runs without depending on qp-testkit directly.
 pub use executor::{run_query, QueryOutput};
 pub use expr::{AggExpr, AggFunc, CmpOp, Expr};
 pub use plan::{JoinType, Plan, PlanBuilder, PlanNode};
+pub use qp_testkit::fault::{FaultConfig, FaultKind, FaultPlan, FaultPoint};

@@ -32,8 +32,11 @@ pub mod protocol;
 pub mod server;
 pub mod service;
 pub mod session;
+mod sync;
 
 pub use protocol::{ParsedStatus, Request};
-pub use server::{ProgressServer, ServiceClient};
-pub use service::{QueryService, ServiceConfig, StatusReport, SubmitError, ESTIMATORS};
+pub use server::{ProgressServer, RetryPolicy, ServerConfig, ServiceClient};
+pub use service::{
+    QueryService, ServiceConfig, StatusReport, SubmitError, SubmitOptions, ESTIMATORS,
+};
 pub use session::{QueryId, QueryResult, QueryState, Session};

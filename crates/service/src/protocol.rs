@@ -5,9 +5,11 @@
 //! for the full grammar. Summary:
 //!
 //! ```text
-//! SUBMIT <sql>      → OK <id>
-//! STATUS <id>       → OK <id> <STATE> curr=<n> lb=<n> ub=<n|inf>
-//!                          [dne=<f> pmax=<f> safe=<f>] [rows=<n> total=<n>]
+//! SUBMIT [TIMEOUT_MS=<n>] <sql>
+//!                   → OK <id>
+//! STATUS <id>       → OK <id> <STATE> health=<ok|degraded|failed>
+//!                          [curr=<n> lb=<n> ub=<n|inf>
+//!                           dne=<f> pmax=<f> safe=<f>] [rows=<n> total=<n>]
 //!                          [error=<quoted>]
 //! LIST              → OK <n>   then n lines: <id> <STATE>
 //! CANCEL <id>       → OK <id> <state-the-cancel-found>
@@ -17,12 +19,19 @@
 
 use crate::service::StatusReport;
 use crate::session::QueryId;
+use qp_progress::shared::Health;
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// `SUBMIT <sql…>` — everything after the verb is the SQL text.
-    Submit(String),
+    /// `SUBMIT [TIMEOUT_MS=<n>] <sql…>` — everything after the verb (and
+    /// the optional deadline field) is the SQL text.
+    Submit {
+        sql: String,
+        /// Execution-time budget in milliseconds; `None` uses the
+        /// service's default.
+        timeout_ms: Option<u64>,
+    },
     /// `STATUS <id>`
     Status(QueryId),
     /// `LIST`
@@ -43,10 +52,14 @@ impl Request {
         };
         match verb.to_ascii_uppercase().as_str() {
             "SUBMIT" => {
-                if rest.is_empty() {
+                let (timeout_ms, sql) = Request::parse_submit_fields(rest)?;
+                if sql.is_empty() {
                     Err("SUBMIT needs a SQL statement".into())
                 } else {
-                    Ok(Request::Submit(rest.to_string()))
+                    Ok(Request::Submit {
+                        sql: sql.to_string(),
+                        timeout_ms,
+                    })
                 }
             }
             "STATUS" => Ok(Request::Status(rest.parse()?)),
@@ -67,6 +80,23 @@ impl Request {
             Err(format!("{verb} takes no arguments, got {rest:?}"))
         }
     }
+
+    /// Splits the optional leading `TIMEOUT_MS=<n>` field off a `SUBMIT`
+    /// body. The field is only recognised in first position so SQL text
+    /// containing the literal string is never misparsed.
+    fn parse_submit_fields(rest: &str) -> Result<(Option<u64>, &str), String> {
+        let Some(value_and_sql) = rest.strip_prefix("TIMEOUT_MS=") else {
+            return Ok((None, rest));
+        };
+        let (value, sql) = match value_and_sql.split_once(char::is_whitespace) {
+            Some((v, s)) => (v, s.trim()),
+            None => (value_and_sql, ""),
+        };
+        let ms = value
+            .parse::<u64>()
+            .map_err(|e| format!("bad TIMEOUT_MS value {value:?}: {e}"))?;
+        Ok((Some(ms), sql))
+    }
 }
 
 /// `ERR <message>` with the message flattened onto one line.
@@ -77,7 +107,7 @@ pub fn err_line(message: &str) -> String {
 /// The `OK …` line for a status report (the whole answer — single line, so
 /// a poller can read exactly one line per probe).
 pub fn status_line(report: &StatusReport) -> String {
-    let mut out = format!("OK {} {}", report.id, report.state);
+    let mut out = format!("OK {} {} health={}", report.id, report.state, report.health);
     if let Some(p) = &report.progress {
         out.push_str(&format!(" curr={} lb={}", p.curr, p.lb));
         if p.ub == u64::MAX {
@@ -103,6 +133,8 @@ pub fn status_line(report: &StatusReport) -> String {
 pub struct ParsedStatus {
     pub id: QueryId,
     pub state: crate::session::QueryState,
+    /// Progress-stream health; `None` only for pre-health servers.
+    pub health: Option<Health>,
     pub curr: Option<u64>,
     pub lb: Option<u64>,
     /// `None` until published; `Some(u64::MAX)` renders the paper's "∞".
@@ -138,6 +170,7 @@ impl ParsedStatus {
         let mut parsed = ParsedStatus {
             id,
             state,
+            health: None,
             curr: None,
             lb: None,
             ub: None,
@@ -151,6 +184,9 @@ impl ParsedStatus {
             };
             let int = || value.parse::<u64>().map_err(|e| format!("{key}: {e}"));
             match key {
+                // Matched before the estimate fallback: the value is a
+                // token, not an f64.
+                "health" => parsed.health = Some(value.parse()?),
                 "curr" => parsed.curr = Some(int()?),
                 "lb" => parsed.lb = Some(int()?),
                 "ub" => {
@@ -188,7 +224,10 @@ mod tests {
     fn parses_every_verb() {
         assert_eq!(
             Request::parse("SUBMIT SELECT 1 FROM t").unwrap(),
-            Request::Submit("SELECT 1 FROM t".into())
+            Request::Submit {
+                sql: "SELECT 1 FROM t".into(),
+                timeout_ms: None,
+            }
         );
         assert_eq!(
             Request::parse("status q12").unwrap(),
@@ -209,6 +248,27 @@ mod tests {
         assert!(Request::parse("STATUS notanid").is_err());
         assert!(Request::parse("LIST extra").is_err());
         assert!(Request::parse("EXPLAIN q1").is_err());
+        assert!(Request::parse("SUBMIT TIMEOUT_MS=abc SELECT 1 FROM t").is_err());
+        assert!(Request::parse("SUBMIT TIMEOUT_MS=100").is_err());
+    }
+
+    #[test]
+    fn submit_timeout_field_parses() {
+        assert_eq!(
+            Request::parse("SUBMIT TIMEOUT_MS=2500 SELECT 1 FROM t").unwrap(),
+            Request::Submit {
+                sql: "SELECT 1 FROM t".into(),
+                timeout_ms: Some(2500),
+            }
+        );
+        // Only recognised in first position: later occurrences are SQL.
+        assert_eq!(
+            Request::parse("SUBMIT SELECT 'TIMEOUT_MS=5' FROM t").unwrap(),
+            Request::Submit {
+                sql: "SELECT 'TIMEOUT_MS=5' FROM t".into(),
+                timeout_ms: None,
+            }
+        );
     }
 
     #[test]
@@ -216,11 +276,13 @@ mod tests {
         let report = StatusReport {
             id: QueryId(7),
             state: QueryState::Running,
+            health: Health::Degraded,
             progress: Some(qp_progress::shared::ProgressReading {
                 curr: 1200,
                 lb: 4000,
                 ub: u64::MAX,
                 estimates: vec![0.31, 0.3, 0.25],
+                health: Health::Degraded,
             }),
             rows: None,
             total_getnext: None,
@@ -230,10 +292,28 @@ mod tests {
         let parsed = ParsedStatus::parse(&line).unwrap();
         assert_eq!(parsed.id, QueryId(7));
         assert_eq!(parsed.state, QueryState::Running);
+        assert_eq!(parsed.health, Some(Health::Degraded));
         assert_eq!(parsed.curr, Some(1200));
         assert_eq!(parsed.ub, Some(u64::MAX));
         assert_eq!(parsed.estimate("pmax"), Some(0.3));
         assert_eq!(parsed.rows, None);
+    }
+
+    #[test]
+    fn timedout_status_line_round_trips() {
+        let report = StatusReport {
+            id: QueryId(3),
+            state: QueryState::TimedOut,
+            health: Health::Degraded,
+            progress: None,
+            rows: None,
+            total_getnext: None,
+            error: None,
+        };
+        let parsed = ParsedStatus::parse(&status_line(&report)).unwrap();
+        assert_eq!(parsed.state, QueryState::TimedOut);
+        assert_eq!(parsed.health, Some(Health::Degraded));
+        assert_eq!(parsed.curr, None);
     }
 
     #[test]

@@ -6,16 +6,46 @@
 //! (or [`ProgressServer::shutdown`]) stops the accept loop, closes the
 //! service to new work, and joins every thread — tests and the CI smoke
 //! run rely on a clean, port-releasing stop.
+//!
+//! Resource limits ([`ServerConfig`]): at most `max_connections` handler
+//! threads exist at once — excess connections wait in the OS accept
+//! backlog — and a connection idle longer than `idle_timeout` is closed,
+//! so abandoned sockets can't pin the server at its cap forever.
+//!
+//! [`ServiceClient::connect_with_retry`] adds the client half of
+//! resilience: capped exponential backoff with deterministic jitter
+//! (seeded via `qp-testkit`), for servers that are still binding or
+//! briefly at their connection cap.
 
 use crate::protocol::{err_line, status_line, ParsedStatus, Request};
-use crate::service::QueryService;
+use crate::service::{QueryService, SubmitOptions};
 use crate::session::{QueryId, QueryState};
+use qp_testkit::fault::Backoff;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Resource limits for a [`ProgressServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum simultaneous connections (= handler threads). Excess
+    /// clients are left in the OS accept backlog until a slot frees up.
+    pub max_connections: usize,
+    /// A connection with no complete request for this long is closed.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_connections: 64,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
 
 /// The TCP server. Bind with port 0 to let the OS pick a free port (the
 /// chosen address is available from [`local_addr`](ProgressServer::local_addr)).
@@ -27,11 +57,22 @@ pub struct ProgressServer {
 }
 
 impl ProgressServer {
-    /// Binds `addr` and starts accepting connections against `service`.
+    /// Binds `addr` with default [`ServerConfig`] limits.
     pub fn bind(
         addr: impl ToSocketAddrs,
         service: Arc<QueryService>,
     ) -> std::io::Result<ProgressServer> {
+        ProgressServer::bind_with(addr, service, ServerConfig::default())
+    }
+
+    /// Binds `addr` and starts accepting connections against `service`,
+    /// with explicit connection limits.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        service: Arc<QueryService>,
+        config: ServerConfig,
+    ) -> std::io::Result<ProgressServer> {
+        assert!(config.max_connections > 0, "need at least one connection");
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         // Poll-accept so the stop flag is honoured promptly without
@@ -43,7 +84,7 @@ impl ProgressServer {
             let service = Arc::clone(&service);
             std::thread::Builder::new()
                 .name("qp-accept".into())
-                .spawn(move || accept_loop(&listener, &service, &stop))?
+                .spawn(move || accept_loop(&listener, &service, &stop, &config))?
         };
         Ok(ProgressServer {
             service,
@@ -80,22 +121,34 @@ impl Drop for ProgressServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, service: &Arc<QueryService>, stop: &Arc<AtomicBool>) {
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<QueryService>,
+    stop: &Arc<AtomicBool>,
+    config: &ServerConfig,
+) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::Relaxed) {
+        handlers.retain(|h| !h.is_finished());
+        if handlers.len() >= config.max_connections {
+            // At the cap: leave new connections in the OS backlog and
+            // wait for a handler (or the idle reaper) to free a slot.
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        }
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let service = Arc::clone(service);
                 let stop = Arc::clone(stop);
+                let idle_timeout = config.idle_timeout;
                 if let Ok(h) = std::thread::Builder::new()
                     .name("qp-conn".into())
                     .spawn(move || {
-                        let _ = handle_connection(stream, &service, &stop);
+                        let _ = handle_connection(stream, &service, &stop, idle_timeout);
                     })
                 {
                     handlers.push(h);
                 }
-                handlers.retain(|h| !h.is_finished());
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -112,26 +165,34 @@ fn handle_connection(
     stream: TcpStream,
     service: &Arc<QueryService>,
     stop: &Arc<AtomicBool>,
+    idle_timeout: Duration,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
     // Bounded read timeout so a stuck client cannot pin the handler past
-    // server shutdown.
+    // server shutdown, and so idleness is noticed between requests.
     stream
         .set_read_timeout(Some(Duration::from_millis(100)))
         .ok();
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    let mut last_activity = Instant::now();
     loop {
         line.clear();
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // client hung up
-            Ok(_) => {}
+            Ok(_) => last_activity = Instant::now(),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 if stop.load(Ordering::Relaxed) {
+                    return Ok(());
+                }
+                if last_activity.elapsed() >= idle_timeout {
+                    // Idle reaping: close so the slot goes back to the
+                    // accept loop instead of being pinned by an
+                    // abandoned socket.
                     return Ok(());
                 }
                 continue;
@@ -140,10 +201,16 @@ fn handle_connection(
         }
         let response = match Request::parse(&line) {
             Err(msg) => err_line(&msg),
-            Ok(Request::Submit(sql)) => match service.submit(&sql) {
-                Ok(id) => format!("OK {id}"),
-                Err(e) => err_line(&e.to_string()),
-            },
+            Ok(Request::Submit { sql, timeout_ms }) => {
+                let opts = SubmitOptions {
+                    timeout: timeout_ms.map(Duration::from_millis),
+                    faults: None,
+                };
+                match service.submit_with(&sql, opts) {
+                    Ok(id) => format!("OK {id}"),
+                    Err(e) => err_line(&e.to_string()),
+                }
+            }
             Ok(Request::Status(id)) => match service.status(id) {
                 Some(report) => status_line(&report),
                 None => err_line(&format!("unknown query {id}")),
@@ -180,6 +247,32 @@ pub struct ServiceClient {
     writer: TcpStream,
 }
 
+/// Retry schedule for [`ServiceClient::connect_with_retry`]: capped
+/// exponential backoff with deterministic jitter, so chaos runs replay
+/// identically from one seed.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total connection attempts (≥ 1).
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff delay.
+    pub cap: Duration,
+    /// Seed for the jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            seed: 0,
+        }
+    }
+}
+
 impl ServiceClient {
     /// Connects to a running [`ProgressServer`].
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ServiceClient> {
@@ -190,6 +283,28 @@ impl ServiceClient {
             reader: BufReader::new(stream),
             writer,
         })
+    }
+
+    /// [`connect`](ServiceClient::connect) retried under `policy` —
+    /// for servers that are still binding, or briefly at their
+    /// connection cap. Only the *connection* is retried; requests are
+    /// never auto-resent (a replayed `SUBMIT` would double-run a query).
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<ServiceClient> {
+        let mut backoff = Backoff::new(policy.seed, policy.base, policy.cap);
+        let mut last_err = None;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff.next_delay());
+            }
+            match ServiceClient::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("connect_with_retry: zero attempts")))
     }
 
     fn round_trip(&mut self, request: &str) -> std::io::Result<String> {
@@ -213,6 +328,23 @@ impl ServiceClient {
     /// `SUBMIT` — returns the new query id.
     pub fn submit(&mut self, sql: &str) -> std::io::Result<Result<QueryId, String>> {
         let line = self.round_trip(&format!("SUBMIT {sql}"))?;
+        Self::parse_submit_reply(line)
+    }
+
+    /// `SUBMIT TIMEOUT_MS=<n>` — submit with an execution deadline.
+    pub fn submit_with_timeout(
+        &mut self,
+        sql: &str,
+        timeout: Duration,
+    ) -> std::io::Result<Result<QueryId, String>> {
+        let line = self.round_trip(&format!(
+            "SUBMIT TIMEOUT_MS={} {sql}",
+            timeout.as_millis().min(u64::MAX as u128)
+        ))?;
+        Self::parse_submit_reply(line)
+    }
+
+    fn parse_submit_reply(line: String) -> std::io::Result<Result<QueryId, String>> {
         Ok(match line.strip_prefix("OK ") {
             Some(id) => id.parse().map_err(|e: String| e),
             None => Err(line.strip_prefix("ERR ").unwrap_or(&line).to_string()),

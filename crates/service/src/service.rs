@@ -16,10 +16,29 @@
 //! at most `queue_depth` more wait in a bounded queue, and past that
 //! `SUBMIT` is rejected immediately with [`SubmitError::Saturated`] — the
 //! service sheds load rather than queueing unboundedly.
+//!
+//! ## Resilience
+//!
+//! The service is built to keep serving through misbehaving queries:
+//!
+//! * **Panic isolation** — each worker wraps query execution in
+//!   [`std::panic::catch_unwind`]; a panicking plan (injected via
+//!   [`qp_exec::FaultPlan`] or real) becomes `FAILED` with the panic
+//!   message retained, and the worker lives on to serve the next query.
+//! * **Deadlines** — a per-session execution-time budget (from
+//!   [`SubmitOptions::timeout`] or [`ServiceConfig::default_timeout`]) is
+//!   checked by the executor at the same instrumented getnext call as
+//!   cancellation; expiry lands the session in `TIMEDOUT`.
+//! * **Poison recovery** — every mutex acquisition recovers from
+//!   poisoning, so a panic mid-query never cascades into pollers.
+//! * **Chaos mode** — [`ServiceConfig::fault_seed`] derives one
+//!   deterministic [`qp_exec::FaultPlan`] per query (seed ⊕ query id),
+//!   replayable by seed; see `repro -- chaos`.
 
 use crate::session::{QueryId, QueryResult, QueryState, Session};
+use crate::sync::lock_or_recover;
 use qp_exec::executor::QueryRun;
-use qp_exec::{ExecError, Plan};
+use qp_exec::{ExecError, FaultConfig, FaultPlan, Plan, RunControls};
 use qp_progress::estimators::{Dne, Pmax, ProgressEstimator, Safe};
 use qp_progress::monitor::{ProgressMonitor, SharedMonitor};
 use qp_progress::shared::{ProgressCell, ProgressReading};
@@ -27,10 +46,12 @@ use qp_progress::{BoundsTracker, PlanMeta};
 use qp_stats::DbStats;
 use qp_storage::Database;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Estimator names every session's progress cell reports, in order.
 pub const ESTIMATORS: [&str; 3] = ["dne", "pmax", "safe"];
@@ -50,6 +71,19 @@ pub struct ServiceConfig {
     /// publications). `None` picks ~200 points per query from the plan's
     /// scanned-leaf cardinalities, like `run_with_progress`.
     pub stride: Option<u64>,
+    /// Execution-time budget applied to every session that does not
+    /// carry its own `TIMEOUT_MS`. `None` = no default deadline.
+    pub default_timeout: Option<Duration>,
+    /// How long [`shutdown`](QueryService::shutdown) waits for in-flight
+    /// sessions to drain before cancelling the stragglers.
+    pub shutdown_grace: Duration,
+    /// Chaos mode: when set, every submitted query gets a deterministic
+    /// [`FaultPlan`] seeded with `fault_seed ^ query_id` (so one service
+    /// seed reproduces the whole run, yet each query draws distinct fault
+    /// positions). [`SubmitOptions::faults`] overrides per query.
+    pub fault_seed: Option<u64>,
+    /// Fault mix used with [`fault_seed`](ServiceConfig::fault_seed).
+    pub fault_config: FaultConfig,
 }
 
 impl Default for ServiceConfig {
@@ -58,8 +92,23 @@ impl Default for ServiceConfig {
             workers: 4,
             queue_depth: 16,
             stride: None,
+            default_timeout: None,
+            shutdown_grace: Duration::from_secs(5),
+            fault_seed: None,
+            fault_config: FaultConfig::default(),
         }
     }
+}
+
+/// Per-submission knobs for [`QueryService::submit_with`].
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Execution-time budget; falls back to
+    /// [`ServiceConfig::default_timeout`] when `None`.
+    pub timeout: Option<Duration>,
+    /// Deterministic fault plan for this query; falls back to the plan
+    /// derived from [`ServiceConfig::fault_seed`] when `None`.
+    pub faults: Option<FaultPlan>,
 }
 
 /// Why a `SUBMIT` was rejected.
@@ -96,6 +145,10 @@ impl std::error::Error for SubmitError {}
 pub struct StatusReport {
     pub id: QueryId,
     pub state: QueryState,
+    /// Trustworthiness of the progress stream — meaningful even before
+    /// the first published reading (a query can fail before its first
+    /// snapshot).
+    pub health: qp_progress::shared::Health,
     /// Latest published progress, if the query has produced any.
     pub progress: Option<ProgressReading>,
     /// Result row count, once finished.
@@ -109,6 +162,7 @@ pub struct StatusReport {
 struct Job {
     session: Arc<Session>,
     plan: Plan,
+    faults: Option<FaultPlan>,
 }
 
 struct ServiceInner {
@@ -125,6 +179,10 @@ pub struct QueryService {
     tx: Mutex<Option<SyncSender<Job>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     queue_depth: usize,
+    default_timeout: Option<Duration>,
+    shutdown_grace: Duration,
+    fault_seed: Option<u64>,
+    fault_config: FaultConfig,
 }
 
 impl QueryService {
@@ -167,6 +225,10 @@ impl QueryService {
             tx: Mutex::new(Some(tx)),
             workers: Mutex::new(workers),
             queue_depth: config.queue_depth,
+            default_timeout: config.default_timeout,
+            shutdown_grace: config.shutdown_grace,
+            fault_seed: config.fault_seed,
+            fault_config: config.fault_config,
         }
     }
 
@@ -180,51 +242,52 @@ impl QueryService {
         &self.inner.stats
     }
 
-    /// Parses, plans, and enqueues `sql`. Returns the session id the
-    /// caller polls with [`status`](QueryService::status). Planning errors
-    /// and saturation are reported synchronously; nothing is registered
-    /// for a rejected submission.
+    /// Parses, plans, and enqueues `sql` with the service's default
+    /// timeout and fault plan. Returns the session id the caller polls
+    /// with [`status`](QueryService::status). Planning errors and
+    /// saturation are reported synchronously; nothing is registered for a
+    /// rejected submission.
     pub fn submit(&self, sql: &str) -> Result<QueryId, SubmitError> {
+        self.submit_with(sql, SubmitOptions::default())
+    }
+
+    /// [`submit`](QueryService::submit) with per-query overrides for the
+    /// execution deadline and the injected fault plan.
+    pub fn submit_with(&self, sql: &str, opts: SubmitOptions) -> Result<QueryId, SubmitError> {
         let mut plan = qp_sql::sql_to_plan(sql, &self.inner.db, &self.inner.stats)
             .map_err(|e| SubmitError::Plan(e.to_string()))?;
         qp_exec::estimate::annotate(&mut plan, &self.inner.stats);
 
         let id = QueryId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
         let cell = Arc::new(ProgressCell::new(ESTIMATORS.to_vec()));
-        let session = Arc::new(Session::new(id, sql.to_string(), cell));
+        let timeout = opts.timeout.or(self.default_timeout);
+        let session = Arc::new(Session::new(id, sql.to_string(), cell, timeout));
+        let faults = opts.faults.or_else(|| {
+            self.fault_seed
+                .map(|seed| FaultPlan::seeded(seed ^ id.0, &self.fault_config))
+        });
 
-        let tx = self.tx.lock().expect("tx lock");
+        let tx = lock_or_recover(&self.tx);
         let Some(tx) = tx.as_ref() else {
             return Err(SubmitError::ShuttingDown);
         };
         // Register before sending: a worker may pick the job up (and
         // finish it) before try_send even returns.
-        self.inner
-            .sessions
-            .lock()
-            .expect("sessions lock")
-            .insert(id, Arc::clone(&session));
+        lock_or_recover(&self.inner.sessions).insert(id, Arc::clone(&session));
         match tx.try_send(Job {
             session: Arc::clone(&session),
             plan,
+            faults,
         }) {
             Ok(()) => Ok(id),
             Err(TrySendError::Full(_)) => {
-                self.inner
-                    .sessions
-                    .lock()
-                    .expect("sessions lock")
-                    .remove(&id);
+                lock_or_recover(&self.inner.sessions).remove(&id);
                 Err(SubmitError::Saturated {
                     queue_depth: self.queue_depth,
                 })
             }
             Err(TrySendError::Disconnected(_)) => {
-                self.inner
-                    .sessions
-                    .lock()
-                    .expect("sessions lock")
-                    .remove(&id);
+                lock_or_recover(&self.inner.sessions).remove(&id);
                 Err(SubmitError::ShuttingDown)
             }
         }
@@ -232,12 +295,7 @@ impl QueryService {
 
     /// Looks a session up.
     pub fn session(&self, id: QueryId) -> Option<Arc<Session>> {
-        self.inner
-            .sessions
-            .lock()
-            .expect("sessions lock")
-            .get(&id)
-            .cloned()
+        lock_or_recover(&self.inner.sessions).get(&id).cloned()
     }
 
     /// A point-in-time status report, or `None` for an unknown id.
@@ -247,6 +305,7 @@ impl QueryService {
         Some(StatusReport {
             id,
             state: session.state(),
+            health: session.progress_cell().health(),
             progress: session.progress(),
             rows: result.as_ref().map(|r| r.rows.len() as u64),
             total_getnext: result.as_ref().map(|r| r.total_getnext),
@@ -256,10 +315,7 @@ impl QueryService {
 
     /// All sessions (newest last), as `(id, state)`.
     pub fn list(&self) -> Vec<(QueryId, QueryState)> {
-        self.inner
-            .sessions
-            .lock()
-            .expect("sessions lock")
+        lock_or_recover(&self.inner.sessions)
             .values()
             .map(|s| (s.id(), s.state()))
             .collect()
@@ -282,17 +338,39 @@ impl QueryService {
         self.session(id)?.result()
     }
 
-    /// Stops accepting submissions, drains queued work, and joins the
-    /// workers. Idempotent. Queued-but-unstarted sessions still run to
-    /// completion (cancel them first for a fast stop).
+    /// Stops accepting submissions, drains in-flight and queued work for
+    /// up to [`ServiceConfig::shutdown_grace`], then cancels whatever is
+    /// still not terminal and joins the workers. Idempotent.
     pub fn shutdown(&self) {
-        drop(self.tx.lock().expect("tx lock").take());
-        let workers: Vec<_> = self
-            .workers
-            .lock()
-            .expect("workers lock")
-            .drain(..)
-            .collect();
+        drop(lock_or_recover(&self.tx).take());
+        // Grace period: give RUNNING (and still-queued) sessions a chance
+        // to finish on their own before pulling the plug.
+        let deadline = Instant::now() + self.shutdown_grace;
+        loop {
+            let all_terminal = lock_or_recover(&self.inner.sessions)
+                .values()
+                .all(|s| s.state().is_terminal());
+            if all_terminal {
+                break;
+            }
+            if Instant::now() >= deadline {
+                // Grace expired: cancel the stragglers. Queued sessions
+                // die immediately; running ones abort at their next
+                // getnext call, so the join below is bounded.
+                let sessions: Vec<_> = lock_or_recover(&self.inner.sessions)
+                    .values()
+                    .cloned()
+                    .collect();
+                for s in sessions {
+                    if !s.state().is_terminal() {
+                        s.request_cancel();
+                    }
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let workers: Vec<_> = lock_or_recover(&self.workers).drain(..).collect();
         for w in workers {
             let _ = w.join();
         }
@@ -308,7 +386,7 @@ impl Drop for QueryService {
 fn worker_loop(inner: &ServiceInner, rx: &Arc<Mutex<Receiver<Job>>>) {
     loop {
         // Hold the receiver lock only while waiting, never while running.
-        let job = match rx.lock().expect("rx lock").recv() {
+        let job = match lock_or_recover(rx).recv() {
             Ok(job) => job,
             Err(_) => return, // all senders gone: shutdown
         };
@@ -316,8 +394,23 @@ fn worker_loop(inner: &ServiceInner, rx: &Arc<Mutex<Receiver<Job>>>) {
     }
 }
 
+/// Renders a `catch_unwind` payload as the failure message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn run_job(inner: &ServiceInner, job: Job) {
-    let Job { session, plan } = job;
+    let Job {
+        session,
+        plan,
+        faults,
+    } = job;
     if !session.begin_running() {
         // Cancelled while queued: the session is already terminal.
         return;
@@ -338,21 +431,34 @@ fn run_job(inner: &ServiceInner, job: Job) {
     monitor.set_publisher(Arc::clone(session.progress_cell()));
     let monitor = Arc::new(Mutex::new(monitor));
 
-    let outcome = QueryRun::with_cancel(&plan, &inner.db, session.cancel_token().clone()).and_then(
-        |mut run| {
+    // The deadline starts ticking now, not at submission: the budget is
+    // execution time, checked at the executor's instrumented getnext
+    // point — the same place cancellation is honoured.
+    let controls = RunControls {
+        cancel: session.cancel_token().clone(),
+        deadline: session.timeout().map(|t| Instant::now() + t),
+        faults,
+    };
+
+    // Panic isolation: a panicking plan (injected or real) must kill its
+    // query, not its worker. Unwind safety: the closure's shared state is
+    // the monitor mutex (poison-recovered everywhere) and the session
+    // (only transitioned below, after the catch).
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        QueryRun::with_controls(&plan, &inner.db, controls).and_then(|mut run| {
             run.set_observer(Box::new(SharedMonitor(Arc::clone(&monitor))));
             let rows = run.run()?;
             Ok((rows, run.context().counters().total()))
-        },
-    );
+        })
+    }));
 
     match outcome {
-        Ok((rows, total_getnext)) => {
+        Ok(Ok((rows, total_getnext))) => {
             // Final snapshot: the published trace ends exactly at 100%.
             if let Ok(monitor) = Arc::try_unwrap(monitor) {
                 monitor
                     .into_inner()
-                    .expect("monitor lock")
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
                     .into_trace_with_final();
             }
             session.finish(QueryResult {
@@ -360,7 +466,9 @@ fn run_job(inner: &ServiceInner, job: Job) {
                 total_getnext,
             });
         }
-        Err(ExecError::Cancelled) => session.mark_cancelled(),
-        Err(e) => session.fail(e.to_string()),
+        Ok(Err(ExecError::Cancelled)) => session.mark_cancelled(),
+        Ok(Err(ExecError::DeadlineExceeded)) => session.mark_timed_out(),
+        Ok(Err(e)) => session.fail(e.to_string()),
+        Err(payload) => session.fail(format!("panicked: {}", panic_message(&*payload))),
     }
 }

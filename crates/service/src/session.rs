@@ -8,19 +8,29 @@
 //!            ┌────────────→ Cancelled (CANCEL while queued)
 //!            │
 //! Queued ─→ Running ─→ Finished
-//!            │     └──→ Failed
+//!            │     ├──→ Failed   (error or panic; worker survives)
+//!            │     └──→ TimedOut (deadline passed mid-flight)
 //!            └────────→ Cancelled (CANCEL mid-flight; the executor
 //!                       aborts at its next getnext call)
 //! ```
 //!
 //! All terminal states keep their session's final progress reading, so a
-//! progress bar polled after the fact renders the true endpoint.
+//! progress bar polled after the fact renders the true endpoint. A
+//! non-`Finished` terminal state also raises the progress cell's
+//! [`Health`] flag (`Degraded` for timeouts/cancels mid-run, `Failed` for
+//! errors and panics) so pollers see the degradation without parsing
+//! state tokens.
+//!
+//! Every lock acquisition recovers from poisoning ([`lock_or_recover`]):
+//! a panicking query must never take down the pollers watching it.
 
+use crate::sync::{lock_or_recover, wait_or_recover};
 use qp_exec::CancelToken;
-use qp_progress::shared::{ProgressCell, ProgressReading};
+use qp_progress::shared::{Health, ProgressCell, ProgressReading};
 use qp_storage::Row;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Service-wide identifier of one submitted query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -52,19 +62,21 @@ pub enum QueryState {
     Running,
     /// Ran to completion; results are retained.
     Finished,
-    /// Execution failed (the error message is retained).
+    /// Execution failed (the error message is retained). Panicking plans
+    /// land here too — the panic message is the retained error.
     Failed,
     /// Cancelled, either while queued or mid-execution.
     Cancelled,
+    /// The session's deadline passed mid-execution; the executor aborted
+    /// at its next getnext call, exactly like a cancellation but
+    /// distinguishable on the wire.
+    TimedOut,
 }
 
 impl QueryState {
     /// Whether the session will never change state again.
     pub fn is_terminal(self) -> bool {
-        matches!(
-            self,
-            QueryState::Finished | QueryState::Failed | QueryState::Cancelled
-        )
+        !matches!(self, QueryState::Queued | QueryState::Running)
     }
 
     /// Wire-protocol token (also used in `Display`).
@@ -75,6 +87,7 @@ impl QueryState {
             QueryState::Finished => "FINISHED",
             QueryState::Failed => "FAILED",
             QueryState::Cancelled => "CANCELLED",
+            QueryState::TimedOut => "TIMEDOUT",
         }
     }
 }
@@ -94,6 +107,7 @@ impl std::str::FromStr for QueryState {
             "FINISHED" => Ok(QueryState::Finished),
             "FAILED" => Ok(QueryState::Failed),
             "CANCELLED" => Ok(QueryState::Cancelled),
+            "TIMEDOUT" => Ok(QueryState::TimedOut),
             other => Err(format!("unknown query state {other:?}")),
         }
     }
@@ -126,17 +140,27 @@ pub struct Session {
     sql: String,
     cancel: CancelToken,
     progress: Arc<ProgressCell>,
+    /// Execution-time budget: the deadline starts ticking when a worker
+    /// picks the session up (`begin_running`), not at submission — a
+    /// session must not time out merely for waiting in the queue.
+    timeout: Option<Duration>,
     core: Mutex<SessionCore>,
     turnstile: Condvar,
 }
 
 impl Session {
-    pub(crate) fn new(id: QueryId, sql: String, progress: Arc<ProgressCell>) -> Session {
+    pub(crate) fn new(
+        id: QueryId,
+        sql: String,
+        progress: Arc<ProgressCell>,
+        timeout: Option<Duration>,
+    ) -> Session {
         Session {
             id,
             sql,
             cancel: CancelToken::new(),
             progress,
+            timeout,
             core: Mutex::new(SessionCore {
                 state: QueryState::Queued,
                 result: None,
@@ -166,9 +190,14 @@ impl Session {
         &self.progress
     }
 
+    /// The session's execution-time budget, if any.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
     /// Current state.
     pub fn state(&self) -> QueryState {
-        self.core.lock().expect("session lock").state
+        lock_or_recover(&self.core).state
     }
 
     /// Latest progress reading, if the query has published one yet.
@@ -178,19 +207,19 @@ impl Session {
 
     /// The retained result, once `Finished`.
     pub fn result(&self) -> Option<QueryResult> {
-        self.core.lock().expect("session lock").result.clone()
+        lock_or_recover(&self.core).result.clone()
     }
 
     /// The failure message, once `Failed`.
     pub fn error(&self) -> Option<String> {
-        self.core.lock().expect("session lock").error.clone()
+        lock_or_recover(&self.core).error.clone()
     }
 
     /// Blocks until the session reaches a terminal state, returning it.
     pub fn wait(&self) -> QueryState {
-        let mut core = self.core.lock().expect("session lock");
+        let mut core = lock_or_recover(&self.core);
         while !core.state.is_terminal() {
-            core = self.turnstile.wait(core).expect("session lock");
+            core = wait_or_recover(&self.turnstile, core);
         }
         core.state
     }
@@ -198,7 +227,7 @@ impl Session {
     /// Queued → Running. Returns false if the session left `Queued` some
     /// other way (e.g. cancelled while waiting).
     pub(crate) fn begin_running(&self) -> bool {
-        let mut core = self.core.lock().expect("session lock");
+        let mut core = lock_or_recover(&self.core);
         if core.state == QueryState::Queued {
             core.state = QueryState::Running;
             true
@@ -212,6 +241,9 @@ impl Session {
     }
 
     pub(crate) fn fail(&self, message: String) {
+        // The query died: any reading the cell still holds is the state
+        // just before death, and the flag says not to trust the stream.
+        self.progress.raise_health(Health::Failed);
         self.transition(QueryState::Failed, None, Some(message));
     }
 
@@ -219,12 +251,19 @@ impl Session {
         self.transition(QueryState::Cancelled, None, None);
     }
 
+    pub(crate) fn mark_timed_out(&self) {
+        // The stream stops before 100% — degraded, but the published
+        // readings themselves were all valid.
+        self.progress.raise_health(Health::Degraded);
+        self.transition(QueryState::TimedOut, None, None);
+    }
+
     /// Requests cancellation. A queued session dies immediately; a running
     /// one aborts at its next getnext call. Returns the state the request
     /// found the session in.
     pub(crate) fn request_cancel(&self) -> QueryState {
         self.cancel.cancel();
-        let mut core = self.core.lock().expect("session lock");
+        let mut core = lock_or_recover(&self.core);
         let found = core.state;
         if found == QueryState::Queued {
             core.state = QueryState::Cancelled;
@@ -235,7 +274,7 @@ impl Session {
     }
 
     fn transition(&self, to: QueryState, result: Option<QueryResult>, error: Option<String>) {
-        let mut core = self.core.lock().expect("session lock");
+        let mut core = lock_or_recover(&self.core);
         debug_assert!(
             !core.state.is_terminal(),
             "terminal state {} cannot change to {to}",
@@ -258,6 +297,7 @@ mod tests {
             QueryId(1),
             "SELECT 1".into(),
             Arc::new(ProgressCell::new(vec!["pmax"])),
+            None,
         )
     }
 
@@ -277,9 +317,26 @@ mod tests {
             QueryState::Finished,
             QueryState::Failed,
             QueryState::Cancelled,
+            QueryState::TimedOut,
         ] {
             assert_eq!(s.as_str().parse::<QueryState>().unwrap(), s);
         }
+    }
+
+    #[test]
+    fn failure_and_timeout_raise_cell_health() {
+        let s = session();
+        assert!(s.begin_running());
+        s.fail("injected".into());
+        assert_eq!(s.state(), QueryState::Failed);
+        assert_eq!(s.progress_cell().health(), Health::Failed);
+
+        let t = session();
+        assert!(t.begin_running());
+        t.mark_timed_out();
+        assert_eq!(t.state(), QueryState::TimedOut);
+        assert!(t.state().is_terminal());
+        assert_eq!(t.progress_cell().health(), Health::Degraded);
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! Poison-tolerant locking.
+//!
+//! The service survives panicking queries (injected or real): a worker
+//! that panics while holding a session or registry mutex poisons it, and
+//! every *other* thread — pollers, the accept loop, later workers — would
+//! then panic in turn if it used `.lock().expect(...)`. All the state
+//! guarded by these locks is written with simple field stores that either
+//! complete or don't (no multi-step invariants held across panicking
+//! calls), so recovering the poisoned value is sound: the reader sees the
+//! last consistent state before the panic.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_or_recover`].
+pub(crate) fn wait_or_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard)
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_or_recover(&m), 7);
+        // And the recovered guard still writes through.
+        *lock_or_recover(&m) = 8;
+        assert_eq!(*lock_or_recover(&m), 8);
+    }
+}

@@ -1,0 +1,326 @@
+//! Chaos tests: the TPC-H workload under deterministic fault injection.
+//!
+//! The invariants (the PR's acceptance bar):
+//!
+//! * every session terminates — in `FINISHED`, `FAILED`, `TIMEDOUT`, or
+//!   `CANCELLED` — under every fault seed;
+//! * the worker pool survives every fault (including injected panics) and
+//!   serves a fresh query afterwards;
+//! * every published progress snapshot stays inside the valid envelope:
+//!   `LB ≤ UB`, estimates finite and in `[0, 1]` — clamped and flagged
+//!   via `health`, never NaN;
+//! * with an all-faults-disabled plan, results are byte-identical to the
+//!   non-instrumented serial path;
+//! * the whole thing replays exactly from one seed.
+
+use qp_datagen::{TpchConfig, TpchDb};
+use qp_exec::{FaultConfig, FaultKind, FaultPlan};
+use qp_service::{QueryId, QueryService, QueryState, ServiceConfig, SubmitOptions};
+use qp_stats::DbStats;
+use qp_storage::Database;
+use std::sync::Arc;
+use std::time::Duration;
+
+const FRESH_SQL: &str = "SELECT COUNT(*) AS n FROM nation";
+
+fn workload_sql() -> Vec<&'static str> {
+    qp_workloads::sql_text::SQL_QUERIES
+        .iter()
+        .map(|&q| qp_workloads::sql_text::tpch_sql(q).expect("sql text"))
+        .collect()
+}
+
+fn tpch() -> Arc<Database> {
+    let t = TpchDb::generate(TpchConfig {
+        scale: 0.005,
+        z: 1.0,
+        seed: 42,
+    });
+    Arc::new(t.db)
+}
+
+/// A fault mix dense enough to hit the small scale-0.005 queries: every
+/// kind of fault lands within the first few thousand getnext calls.
+fn dense_faults() -> FaultConfig {
+    FaultConfig {
+        horizon: 4_000,
+        exec_errors: 1,
+        storage_errors: 1,
+        panics: 1,
+        delays: 2,
+        delay: Duration::from_millis(1),
+    }
+}
+
+fn chaos_service(db: &Arc<Database>, stats: &Arc<DbStats>, seed: u64) -> QueryService {
+    QueryService::with_stats(
+        Arc::clone(db),
+        Arc::clone(stats),
+        ServiceConfig {
+            workers: 3,
+            queue_depth: 16,
+            stride: Some(100),
+            fault_seed: Some(seed),
+            fault_config: dense_faults(),
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// Runs the full TPC-H suite under one fault seed and returns the final
+/// `(id, state)` pairs, asserting every chaos invariant along the way.
+fn run_suite_under_seed(
+    db: &Arc<Database>,
+    stats: &Arc<DbStats>,
+    seed: u64,
+) -> Vec<(QueryId, QueryState)> {
+    let service = chaos_service(db, stats, seed);
+    let ids: Vec<QueryId> = workload_sql()
+        .iter()
+        .map(|sql| service.submit(sql).expect("admitted"))
+        .collect();
+
+    // Poll every session's progress while the suite runs: published
+    // snapshots must stay inside the valid envelope at every instant,
+    // fault or no fault.
+    let mut polls = 0u64;
+    loop {
+        let mut all_terminal = true;
+        for &id in &ids {
+            let status = service.status(id).expect("known id");
+            all_terminal &= status.state.is_terminal();
+            if let Some(p) = status.progress {
+                polls += 1;
+                assert!(p.lb <= p.ub, "seed {seed} {id}: LB > UB in {p:?}");
+                assert!(p.curr <= p.ub, "seed {seed} {id}: curr > UB in {p:?}");
+                for e in &p.estimates {
+                    assert!(
+                        e.is_finite() && (0.0..=1.0).contains(e),
+                        "seed {seed} {id}: bad estimate in {p:?}"
+                    );
+                }
+            }
+        }
+        if all_terminal {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(polls > 0, "seed {seed}: no progress was ever observed");
+
+    let finals: Vec<(QueryId, QueryState)> = ids
+        .iter()
+        .map(|&id| (id, service.status(id).unwrap().state))
+        .collect();
+    for &(id, state) in &finals {
+        assert!(
+            matches!(
+                state,
+                QueryState::Finished
+                    | QueryState::Failed
+                    | QueryState::TimedOut
+                    | QueryState::Cancelled
+            ),
+            "seed {seed} {id}: non-terminal final state {state}"
+        );
+        // A failed session must retain its reason, and its health flag
+        // must say not to trust the stream.
+        if state == QueryState::Failed {
+            let status = service.status(id).unwrap();
+            assert!(
+                status.error.is_some(),
+                "seed {seed} {id}: FAILED without a retained error"
+            );
+            assert_eq!(
+                status.health,
+                qp_progress::shared::Health::Failed,
+                "seed {seed} {id}: FAILED without Failed health"
+            );
+        }
+    }
+
+    // The pool survived whatever the seed threw at it: a fresh,
+    // fault-free query still completes.
+    let fresh = service
+        .submit_with(
+            FRESH_SQL,
+            SubmitOptions {
+                faults: Some(FaultPlan::none()),
+                ..SubmitOptions::default()
+            },
+        )
+        .expect("admitted after chaos");
+    assert_eq!(
+        service.wait(fresh),
+        Some(QueryState::Finished),
+        "seed {seed}: worker pool did not survive the fault run"
+    );
+    service.shutdown();
+    finals
+}
+
+#[test]
+fn chaos_invariants_hold_across_seeds() {
+    let db = tpch();
+    let stats = Arc::new(DbStats::build(&db));
+    for seed in 1..=5u64 {
+        let finals = run_suite_under_seed(&db, &stats, seed);
+        // Deterministic replay: the same seed reproduces the exact same
+        // terminal state for every query.
+        let replay = run_suite_under_seed(&db, &stats, seed);
+        assert_eq!(finals, replay, "seed {seed} did not replay identically");
+    }
+}
+
+#[test]
+fn disabled_fault_plan_is_byte_identical_to_serial() {
+    let db = tpch();
+    let stats = Arc::new(DbStats::build(&db));
+    let service = QueryService::with_stats(
+        Arc::clone(&db),
+        Arc::clone(&stats),
+        ServiceConfig::default(),
+    );
+    for sql in workload_sql() {
+        let mut plan = qp_sql::sql_to_plan(sql, &db, &stats).expect("plans");
+        qp_exec::estimate::annotate(&mut plan, &stats);
+        let (serial, _) = qp_exec::run_query(&plan, &db, None).expect("runs");
+
+        let id = service
+            .submit_with(
+                sql,
+                SubmitOptions {
+                    faults: Some(FaultPlan::none()),
+                    ..SubmitOptions::default()
+                },
+            )
+            .expect("admitted");
+        assert_eq!(service.wait(id), Some(QueryState::Finished), "{sql}");
+        let result = service.result(id).expect("retained");
+        assert_eq!(
+            result.rows.as_slice(),
+            serial.rows.as_slice(),
+            "{sql}: rows differ with all faults disabled"
+        );
+        assert_eq!(
+            format!("{:?}", result.rows),
+            format!("{:?}", serial.rows),
+            "{sql}: row bytes differ with all faults disabled"
+        );
+        assert_eq!(
+            result.total_getnext, serial.total_getnext,
+            "{sql}: total(Q)"
+        );
+    }
+    service.shutdown();
+}
+
+#[test]
+fn injected_panic_fails_the_query_but_the_worker_survives() {
+    let db = tpch();
+    // One worker: if the panic killed it, the follow-up would hang.
+    let service = QueryService::new(
+        Arc::clone(&db),
+        ServiceConfig {
+            workers: 1,
+            stride: Some(50),
+            ..ServiceConfig::default()
+        },
+    );
+    let id = service
+        .submit_with(
+            "SELECT COUNT(*) AS n FROM lineitem",
+            SubmitOptions {
+                faults: Some(FaultPlan::single(25, FaultKind::Panic)),
+                ..SubmitOptions::default()
+            },
+        )
+        .expect("admitted");
+    assert_eq!(service.wait(id), Some(QueryState::Failed));
+    let status = service.status(id).unwrap();
+    let error = status.error.expect("failure message retained");
+    assert!(
+        error.contains("panicked") && error.contains("injected panic"),
+        "unexpected failure message: {error}"
+    );
+    assert_eq!(status.health, qp_progress::shared::Health::Failed);
+
+    let fresh = service.submit(FRESH_SQL).expect("admitted");
+    assert_eq!(service.wait(fresh), Some(QueryState::Finished));
+    service.shutdown();
+}
+
+#[test]
+fn deadline_expiry_lands_in_timedout() {
+    let db = tpch();
+    let service = QueryService::new(
+        Arc::clone(&db),
+        ServiceConfig {
+            workers: 1,
+            stride: Some(100),
+            ..ServiceConfig::default()
+        },
+    );
+    // A cross join big enough to outlive a 20 ms budget by orders of
+    // magnitude.
+    let id = service
+        .submit_with(
+            "SELECT COUNT(*) AS n FROM supplier, lineitem WHERE s_acctbal > l_extendedprice",
+            SubmitOptions {
+                timeout: Some(Duration::from_millis(20)),
+                ..SubmitOptions::default()
+            },
+        )
+        .expect("admitted");
+    assert_eq!(service.wait(id), Some(QueryState::TimedOut));
+    let status = service.status(id).unwrap();
+    assert_eq!(status.health, qp_progress::shared::Health::Degraded);
+    assert!(status.rows.is_none(), "a timed-out query retains no rows");
+
+    // The deadline is per-session: the next query has no budget and runs
+    // to completion on the freed worker.
+    let fresh = service.submit(FRESH_SQL).expect("admitted");
+    assert_eq!(service.wait(fresh), Some(QueryState::Finished));
+    service.shutdown();
+}
+
+#[test]
+fn default_timeout_applies_when_submit_carries_none() {
+    let db = tpch();
+    let service = QueryService::new(
+        Arc::clone(&db),
+        ServiceConfig {
+            workers: 1,
+            stride: Some(100),
+            default_timeout: Some(Duration::from_millis(20)),
+            ..ServiceConfig::default()
+        },
+    );
+    let id = service
+        .submit("SELECT COUNT(*) AS n FROM supplier, lineitem WHERE s_acctbal > l_extendedprice")
+        .expect("admitted");
+    assert_eq!(service.wait(id), Some(QueryState::TimedOut));
+    service.shutdown();
+}
+
+#[test]
+fn storage_fault_surfaces_as_failed_with_message() {
+    let db = tpch();
+    let service = QueryService::new(Arc::clone(&db), ServiceConfig::default());
+    let id = service
+        .submit_with(
+            "SELECT COUNT(*) AS n FROM lineitem",
+            SubmitOptions {
+                faults: Some(FaultPlan::single(10, FaultKind::StorageRead)),
+                ..SubmitOptions::default()
+            },
+        )
+        .expect("admitted");
+    assert_eq!(service.wait(id), Some(QueryState::Failed));
+    let error = service.status(id).unwrap().error.expect("error retained");
+    assert!(
+        error.contains("storage read failed"),
+        "unexpected message: {error}"
+    );
+    service.shutdown();
+}

@@ -1,0 +1,168 @@
+//! Server resource limits: the connection cap, idle-connection reaping,
+//! and bounded-grace shutdown with a query still running.
+
+use qp_datagen::{TpchConfig, TpchDb};
+use qp_service::{
+    ProgressServer, QueryService, QueryState, RetryPolicy, ServerConfig, ServiceClient,
+    ServiceConfig,
+};
+use qp_storage::Database;
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tiny_db() -> Arc<Database> {
+    let t = TpchDb::generate(TpchConfig {
+        scale: 0.002,
+        z: 1.0,
+        seed: 42,
+    });
+    Arc::new(t.db)
+}
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    cond()
+}
+
+/// Fill the server with idle sockets past its cap; the idle reaper must
+/// close them, and a real client arriving afterwards must be served.
+#[test]
+fn idle_connections_are_reaped_and_later_clients_served() {
+    let service = Arc::new(QueryService::new(tiny_db(), ServiceConfig::default()));
+    let mut server = ProgressServer::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        ServerConfig {
+            max_connections: 2,
+            idle_timeout: Duration::from_millis(250),
+        },
+    )
+    .expect("binds");
+    let addr = server.local_addr();
+
+    // Two idle sockets occupy every handler slot (a third would sit in
+    // the OS backlog unserved).
+    let idle: Vec<TcpStream> = (0..2)
+        .map(|_| TcpStream::connect(addr).expect("connects"))
+        .collect();
+
+    // The reaper closes them after the idle timeout: reads observe EOF.
+    for mut s in idle {
+        s.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        let mut buf = [0u8; 1];
+        let eof = wait_until(Duration::from_secs(5), || matches!(s.read(&mut buf), Ok(0)));
+        assert!(eof, "idle connection was never reaped");
+    }
+
+    // With the slots freed, a real client gets in and is served — using
+    // the retry policy a client behind a briefly-full server would use.
+    let mut client = ServiceClient::connect_with_retry(
+        addr,
+        &RetryPolicy {
+            attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+            seed: 7,
+        },
+    )
+    .expect("connects after reaping");
+    let id = client
+        .submit("SELECT COUNT(*) AS n FROM region")
+        .unwrap()
+        .expect("admitted");
+    assert!(wait_until(Duration::from_secs(10), || {
+        service.status(id).unwrap().state == QueryState::Finished
+    }));
+    let status = client.status(id).unwrap().expect("status");
+    assert_eq!(status.state, QueryState::Finished);
+
+    server.shutdown();
+}
+
+/// `connect_with_retry` against a dead port exhausts its attempts and
+/// reports the last error instead of hanging or panicking.
+#[test]
+fn connect_with_retry_gives_up_cleanly() {
+    // Port 1 on loopback: refused (or at worst filtered) — never a
+    // ProgressServer.
+    let start = Instant::now();
+    let result = ServiceClient::connect_with_retry(
+        "127.0.0.1:1",
+        &RetryPolicy {
+            attempts: 3,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(20),
+            seed: 1,
+        },
+    );
+    assert!(result.is_err(), "connecting to port 1 should fail");
+    // 3 attempts with ≤20ms caps: the whole thing is bounded.
+    assert!(start.elapsed() < Duration::from_secs(10));
+}
+
+/// `shutdown()` with a RUNNING query: the grace period elapses, the
+/// straggler is cancelled, and the call returns promptly — it must not
+/// wait for the cross join to finish naturally.
+#[test]
+fn shutdown_cancels_running_queries_after_grace() {
+    let service = QueryService::new(
+        tiny_db(),
+        ServiceConfig {
+            workers: 1,
+            stride: Some(100),
+            shutdown_grace: Duration::from_millis(200),
+            ..ServiceConfig::default()
+        },
+    );
+    let heavy = service
+        .submit("SELECT COUNT(*) AS n FROM supplier, lineitem WHERE s_acctbal > l_extendedprice")
+        .expect("admitted");
+    assert!(wait_until(Duration::from_secs(20), || {
+        service.status(heavy).unwrap().state == QueryState::Running
+    }));
+
+    let start = Instant::now();
+    service.shutdown();
+    // Grace (200ms) + one cooperative cancellation: well under 10s.
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "shutdown took {:?}",
+        start.elapsed()
+    );
+    assert_eq!(
+        service.status(heavy).unwrap().state,
+        QueryState::Cancelled,
+        "the straggler must be cancelled, not left running"
+    );
+}
+
+/// `shutdown()` with everything already terminal returns without waiting
+/// out the grace period.
+#[test]
+fn shutdown_with_drained_sessions_is_prompt() {
+    let service = QueryService::new(
+        tiny_db(),
+        ServiceConfig {
+            shutdown_grace: Duration::from_secs(30),
+            ..ServiceConfig::default()
+        },
+    );
+    let id = service
+        .submit("SELECT COUNT(*) AS n FROM region")
+        .expect("admitted");
+    assert_eq!(service.wait(id), Some(QueryState::Finished));
+    let start = Instant::now();
+    service.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "an idle service must not wait out its 30s grace"
+    );
+}

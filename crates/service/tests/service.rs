@@ -65,6 +65,7 @@ fn concurrent_sessions_match_serial_execution() {
             workers: 4,
             queue_depth: 8,
             stride: None,
+            ..ServiceConfig::default()
         },
     );
 
@@ -110,6 +111,7 @@ fn cancellation_mid_query_releases_the_worker() {
             workers: 1,
             queue_depth: 4,
             stride: Some(200),
+            ..ServiceConfig::default()
         },
     );
 
@@ -151,6 +153,7 @@ fn cancelling_a_queued_query_never_runs_it() {
             workers: 1,
             queue_depth: 4,
             stride: Some(200),
+            ..ServiceConfig::default()
         },
     );
     let heavy = service.submit(HEAVY_SQL).expect("admitted");
@@ -177,6 +180,7 @@ fn admission_control_sheds_load() {
             workers: 1,
             queue_depth: 1,
             stride: Some(200),
+            ..ServiceConfig::default()
         },
     );
     let first = service.submit(HEAVY_SQL).expect("admitted");
@@ -230,6 +234,7 @@ fn tcp_concurrent_tpch_with_live_polling_and_cancel() {
             workers: 5,
             queue_depth: 8,
             stride: Some(500),
+            ..ServiceConfig::default()
         },
     ));
     let mut server = ProgressServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
@@ -267,7 +272,11 @@ fn tcp_concurrent_tpch_with_live_polling_and_cancel() {
         }
     });
 
-    // Cancel the victim once it is demonstrably mid-flight.
+    // Cancel the victim once it is demonstrably mid-flight. Waiting for
+    // substantial progress (not merely the first published snapshot)
+    // keeps the live-progress window wide enough that the TCP poller is
+    // guaranteed to observe the victim RUNNING with estimates — cancelling
+    // at the first snapshot raced the poller's round-trip latency.
     let svc = Arc::clone(&service);
     assert!(
         wait_until(Duration::from_secs(30), || {
@@ -276,7 +285,7 @@ fn tcp_concurrent_tpch_with_live_polling_and_cancel() {
                     .status(victim)
                     .unwrap()
                     .progress
-                    .is_some_and(|p| p.curr > 0)
+                    .is_some_and(|p| p.curr > 25_000)
         }),
         "victim never got going"
     );
@@ -318,7 +327,11 @@ fn tcp_concurrent_tpch_with_live_polling_and_cancel() {
         victim_series
             .iter()
             .any(|s| s.state == QueryState::Running && s.estimate("pmax").is_some()),
-        "no live progress observed for the in-flight victim"
+        "no live progress observed for the in-flight victim: {:?}",
+        victim_series
+            .iter()
+            .map(|s| (s.state, s.curr, s.estimates.len()))
+            .collect::<Vec<_>>()
     );
     assert_eq!(
         victim_series.last().unwrap().state,

@@ -17,6 +17,10 @@ pub enum StorageError {
     Duplicate(String),
     /// A unique index rejected a duplicate key.
     UniqueViolation(String),
+    /// A read from the storage layer failed (in this in-memory engine the
+    /// only producer is deterministic fault injection, standing in for the
+    /// torn pages / IO errors a disk-backed engine would surface).
+    ReadFailed(String),
 }
 
 impl fmt::Display for StorageError {
@@ -28,6 +32,7 @@ impl fmt::Display for StorageError {
             StorageError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
             StorageError::Duplicate(n) => write!(f, "object already exists: {n}"),
             StorageError::UniqueViolation(k) => write!(f, "unique violation on key {k}"),
+            StorageError::ReadFailed(m) => write!(f, "storage read failed: {m}"),
         }
     }
 }

@@ -1,0 +1,290 @@
+//! Deterministic fault injection and retry pacing.
+//!
+//! Production engines treat injected faults as a first-class test axis
+//! (sqlite's fault-injection harness is the canonical example): every
+//! failure a test provokes must be *replayable*. This module provides the
+//! two pieces the workspace's chaos layer is built from, both driven by
+//! the in-tree [`TestRng`] so a single `u64` seed reproduces an entire
+//! failure schedule bit-for-bit on every platform:
+//!
+//! * [`FaultPlan`] — a precomputed schedule of faults keyed by *getnext
+//!   index* (the paper's unit of work). The executor consults the plan at
+//!   the same instrumented point where it checks cancellation, so a fault
+//!   lands at exactly the same tuple on every run of the same seed.
+//! * [`Backoff`] — capped exponential backoff with deterministic jitter,
+//!   for client-side connect/request retries that stay reproducible in
+//!   tests.
+//!
+//! The module is deliberately free of any executor types: a fault plan is
+//! pure data (`(index, kind)` pairs). `qp-exec` interprets the kinds; this
+//! crate only decides *where* and *what*.
+
+use crate::rng::TestRng;
+use std::time::Duration;
+
+/// What kind of failure to inject at a fault point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A storage-level read error (surfaces as a failed page/row read).
+    StorageRead,
+    /// An operator-level execution error.
+    ExecError,
+    /// A panic in the middle of an operator (tests unwind isolation).
+    Panic,
+    /// Artificial per-getnext latency: stall this call by the given
+    /// duration (tests deadlines and slow-query handling).
+    Delay(Duration),
+}
+
+/// One scheduled fault: fires when execution reaches `at_getnext` total
+/// getnext calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPoint {
+    /// The getnext index (0-based, across the whole query) at which the
+    /// fault fires.
+    pub at_getnext: u64,
+    /// What happens there.
+    pub kind: FaultKind,
+}
+
+/// Shape of a seeded fault schedule: how many faults of each kind to
+/// scatter over the first `horizon` getnext calls of a query.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Fault indices are drawn uniformly from `[0, horizon)`.
+    pub horizon: u64,
+    /// Number of injected operator-level exec errors.
+    pub exec_errors: usize,
+    /// Number of injected storage read errors.
+    pub storage_errors: usize,
+    /// Number of injected panics.
+    pub panics: usize,
+    /// Number of injected latency stalls.
+    pub delays: usize,
+    /// Duration of each injected stall.
+    pub delay: Duration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            horizon: 50_000,
+            exec_errors: 1,
+            storage_errors: 1,
+            panics: 1,
+            delays: 2,
+            delay: Duration::from_millis(1),
+        }
+    }
+}
+
+/// A deterministic, replayable schedule of faults for one query run.
+///
+/// The plan is consumed front to back by [`FaultPlan::fire_at`]: the
+/// executor calls it with the current total getnext count, and any fault
+/// scheduled at or before that index fires (once). Because getnext indices
+/// are the paper's model of work, a seed pins the *logical* position of
+/// every failure independent of wall-clock timing or thread scheduling.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Sorted by `at_getnext`.
+    points: Vec<FaultPoint>,
+    /// Index of the next unfired point.
+    cursor: usize,
+}
+
+impl FaultPlan {
+    /// The empty plan: all faults disabled. Execution under an empty plan
+    /// must be byte-identical to an uninstrumented run.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// An explicit schedule (indices need not be pre-sorted).
+    pub fn from_points(mut points: Vec<FaultPoint>) -> FaultPlan {
+        points.sort_by_key(|p| p.at_getnext);
+        FaultPlan { points, cursor: 0 }
+    }
+
+    /// A single fault at one getnext index.
+    pub fn single(at_getnext: u64, kind: FaultKind) -> FaultPlan {
+        FaultPlan::from_points(vec![FaultPoint { at_getnext, kind }])
+    }
+
+    /// Draws a schedule from `seed`: fault positions are uniform over
+    /// `[0, cfg.horizon)`, kinds allocated per the config counts. Same
+    /// seed + same config ⇒ the identical schedule, forever.
+    pub fn seeded(seed: u64, cfg: &FaultConfig) -> FaultPlan {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let horizon = cfg.horizon.max(1);
+        let mut points = Vec::new();
+        let mut draw = |n: usize, kind: FaultKind, rng: &mut TestRng| {
+            for _ in 0..n {
+                points.push(FaultPoint {
+                    at_getnext: rng.u64_below(horizon),
+                    kind,
+                });
+            }
+        };
+        draw(cfg.exec_errors, FaultKind::ExecError, &mut rng);
+        draw(cfg.storage_errors, FaultKind::StorageRead, &mut rng);
+        draw(cfg.panics, FaultKind::Panic, &mut rng);
+        draw(cfg.delays, FaultKind::Delay(cfg.delay), &mut rng);
+        FaultPlan::from_points(points)
+    }
+
+    /// True when no faults remain to fire.
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor >= self.points.len()
+    }
+
+    /// True when the plan never had any faults (the disabled path).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The full schedule (for logging and test assertions).
+    pub fn points(&self) -> &[FaultPoint] {
+        &self.points
+    }
+
+    /// Consumes and returns the fault scheduled at or before
+    /// `getnext_index`, if any. At most one fault fires per call; call
+    /// sites invoke this once per getnext, so multiple faults landing on
+    /// the same index fire on consecutive calls.
+    pub fn fire_at(&mut self, getnext_index: u64) -> Option<FaultPoint> {
+        let p = *self.points.get(self.cursor)?;
+        if p.at_getnext <= getnext_index {
+            self.cursor += 1;
+            Some(p)
+        } else {
+            None
+        }
+    }
+}
+
+/// Capped exponential backoff with deterministic jitter.
+///
+/// Delay for attempt `k` (0-based) is `min(cap, base · 2^k)`, scaled by a
+/// jitter factor in `[0.5, 1.0)` drawn from a seeded [`TestRng`] — the
+/// standard "decorrelated-ish" shape that avoids thundering herds while
+/// staying fully reproducible in tests.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: TestRng,
+}
+
+impl Backoff {
+    /// A backoff starting at `base`, never exceeding `cap`, jittered from
+    /// `seed`.
+    pub fn new(seed: u64, base: Duration, cap: Duration) -> Backoff {
+        Backoff {
+            base,
+            cap,
+            attempt: 0,
+            rng: TestRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The delay to sleep before the next retry (advances the schedule).
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << self.attempt.min(20))
+            .min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        let jitter = 0.5 + 0.5 * self.rng.unit_f64();
+        exp.mul_f64(jitter)
+    }
+
+    /// Number of delays handed out so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let cfg = FaultConfig::default();
+        let a = FaultPlan::seeded(7, &cfg);
+        let b = FaultPlan::seeded(7, &cfg);
+        assert_eq!(a.points(), b.points());
+        assert!(!a.is_empty());
+        let c = FaultPlan::seeded(8, &cfg);
+        assert_ne!(a.points(), c.points(), "different seeds, different plans");
+    }
+
+    #[test]
+    fn points_fire_in_index_order_exactly_once() {
+        let mut plan = FaultPlan::from_points(vec![
+            FaultPoint {
+                at_getnext: 30,
+                kind: FaultKind::Panic,
+            },
+            FaultPoint {
+                at_getnext: 10,
+                kind: FaultKind::ExecError,
+            },
+        ]);
+        assert!(plan.fire_at(5).is_none());
+        let first = plan.fire_at(10).unwrap();
+        assert_eq!(first.kind, FaultKind::ExecError);
+        // Same index again: the consumed point does not re-fire.
+        assert!(plan.fire_at(10).is_none());
+        let second = plan.fire_at(100).unwrap();
+        assert_eq!(second.kind, FaultKind::Panic);
+        assert!(plan.is_exhausted());
+        assert!(plan.fire_at(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        for i in 0..1000 {
+            assert!(plan.fire_at(i).is_none());
+        }
+    }
+
+    #[test]
+    fn coincident_faults_fire_on_consecutive_calls() {
+        let mut plan = FaultPlan::from_points(vec![
+            FaultPoint {
+                at_getnext: 4,
+                kind: FaultKind::ExecError,
+            },
+            FaultPoint {
+                at_getnext: 4,
+                kind: FaultKind::StorageRead,
+            },
+        ]);
+        assert!(plan.fire_at(4).is_some());
+        assert!(plan.fire_at(4).is_some());
+        assert!(plan.fire_at(4).is_none());
+    }
+
+    #[test]
+    fn backoff_grows_and_caps_deterministically() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(200);
+        let mut a = Backoff::new(42, base, cap);
+        let mut b = Backoff::new(42, base, cap);
+        let delays_a: Vec<Duration> = (0..8).map(|_| a.next_delay()).collect();
+        let delays_b: Vec<Duration> = (0..8).map(|_| b.next_delay()).collect();
+        assert_eq!(delays_a, delays_b, "same seed, same schedule");
+        for (k, d) in delays_a.iter().enumerate() {
+            let exp = base.saturating_mul(1 << k.min(20)).min(cap);
+            assert!(*d >= exp.mul_f64(0.5), "attempt {k}: {d:?} below floor");
+            assert!(*d < exp.mul_f64(1.0 + 1e-9), "attempt {k}: {d:?} over cap");
+        }
+        // The cap binds eventually.
+        assert!(delays_a[7] <= cap);
+    }
+}

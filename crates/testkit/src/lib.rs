@@ -18,13 +18,19 @@
 //! * [`bench`] — a lightweight timing harness (warmup, calibrated
 //!   batching, median/p95 reporting, JSON output) for `[[bench]]` targets
 //!   with `harness = false`.
+//! * [`fault`] — deterministic fault injection: a seeded [`fault::FaultPlan`]
+//!   schedules storage errors, exec errors, panics, and latency stalls at
+//!   chosen getnext indices (replayable by seed), plus a seeded
+//!   capped-exponential [`fault::Backoff`] for reproducible client retries.
 //!
 //! The crate deliberately has **zero dependencies**. Nothing here aims to
 //! be a general-purpose replacement for `rand`/`proptest`/`criterion`;
 //! it implements exactly what this repository uses, bit-reproducibly.
 
 pub mod bench;
+pub mod fault;
 pub mod prop;
 pub mod rng;
 
+pub use fault::{Backoff, FaultConfig, FaultKind, FaultPlan, FaultPoint};
 pub use rng::TestRng;

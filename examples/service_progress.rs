@@ -1,7 +1,9 @@
 //! The qp-service front door, end to end: start the TCP server, submit a
 //! batch of TPC-H queries over the wire, watch their progress bars update
-//! live from a polling client, and cancel the most expensive one
-//! mid-flight.
+//! live from a polling client, cancel the most expensive one mid-flight,
+//! and let a fifth query run into its `TIMEOUT_MS` deadline (TIMEDOUT).
+//! Every STATUS line carries the session's health flag
+//! (ok / degraded / failed), rendered alongside the bars.
 //!
 //! ```text
 //! cargo run --release --example service_progress
@@ -77,6 +79,21 @@ fn main() {
     }
     let (victim, victim_label) = *submitted.last().expect("submitted");
 
+    // A fifth query carries a wire-level execution deadline: the server
+    // parses `SUBMIT TIMEOUT_MS=150 <sql>` and the session lands in
+    // TIMEDOUT once 150 ms of execution elapse — no client-side policing.
+    let deadline_sql = "SELECT COUNT(*) AS n FROM partsupp, lineitem \
+                        WHERE ps_supplycost > l_extendedprice";
+    let deadline_id = client
+        .submit_with_timeout(deadline_sql, Duration::from_millis(150))
+        .expect("io")
+        .unwrap_or_else(|e| panic!("deadline demo: {e}"));
+    println!(
+        "SUBMIT {:<22} -> {deadline_id} (TIMEOUT_MS=150)",
+        "doomed by deadline"
+    );
+    submitted.push((deadline_id, "doomed by deadline"));
+
     // Poll STATUS over the wire until every query is terminal, printing a
     // safe-estimator progress bar per query (pmax saturates early on the
     // cross join, whose lower bound collapses to the rows already seen).
@@ -95,7 +112,13 @@ fn main() {
                 all_done = false;
             }
             let safe = st.estimate("safe").unwrap_or(0.0);
-            line.push_str(&format!("  {id} {} {:<9}", bar(safe), st.state.as_str()));
+            let health = st.health.map(|h| h.as_str()).unwrap_or("?");
+            line.push_str(&format!(
+                "  {id} {} {:<10}{:<9}",
+                bar(safe),
+                st.state.as_str(),
+                health
+            ));
             let heavy = st.curr.unwrap_or(0) > 100_000;
             if id == victim && !cancelled && st.state.as_str() == "RUNNING" && heavy {
                 let found = client.cancel(id).expect("io").expect("known id");
@@ -116,14 +139,16 @@ fn main() {
         let report = service.status(id).expect("known id");
         match service.result(id) {
             Some(r) => println!(
-                "  {id} {label:<22} {:<9} {} rows, total(Q) = {} getnext calls",
+                "  {id} {label:<22} {:<9} health={:<9} {} rows, total(Q) = {} getnext calls",
                 report.state.as_str(),
+                report.health.as_str(),
                 r.rows.len(),
                 r.total_getnext
             ),
             None => println!(
-                "  {id} {label:<22} {:<9} (no result retained)",
-                report.state.as_str()
+                "  {id} {label:<22} {:<9} health={:<9} (no result retained)",
+                report.state.as_str(),
+                report.health.as_str()
             ),
         }
     }

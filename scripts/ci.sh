@@ -24,4 +24,12 @@ cargo test -q --offline -p qp-bench --benches
 echo "==> qp-service smoke (server + client example end to end)"
 cargo run --release --offline -q --example service_progress | grep -q "server stopped cleanly"
 
+echo "==> chaos stage (seeded fault injection; repro exits non-zero on any violation)"
+for seed in 1 2 3; do
+    # Capture rather than pipe into grep -q: early grep exit + pipefail
+    # would turn repro's own trailing output into a spurious SIGPIPE fail.
+    chaos_out=$(cargo run --release --offline -q -p qp-bench --bin repro -- --small chaos --seed "$seed")
+    grep -q "PASS: all sessions terminal" <<<"$chaos_out"
+done
+
 echo "CI OK"
