@@ -21,13 +21,18 @@
 //! ```text
 //! cargo run --release -p qp-bench --bin repro -- chaos --seed 7
 //! ```
+//!
+//! `trace` exports every TPC-H query's estimator trajectory as JSONL
+//! (the same payload the service's `TRACE <id>` verb serves) — one
+//! `q<N>.jsonl` per query under `--csv <dir>` (default `target/traces`),
+//! validating Proposition 4 per checkpoint on the way out.
 
-use qp_bench::experiments::{ablations, chaos, extensions, figures, tables, theory};
+use qp_bench::experiments::{ablations, chaos, extensions, figures, tables, theory, trace_export};
 use qp_bench::Scale;
 
 /// `(name, what it reproduces)` — the full experiment table, also printed
 /// by `--list`.
-const EXPERIMENTS: [(&str, &str); 20] = [
+const EXPERIMENTS: [(&str, &str); 21] = [
     ("fig3", "Figure 3: estimator traces, scan-based query"),
     ("fig4", "Figure 4: estimator traces, TPC-H join query"),
     ("fig5", "Figure 5: estimator traces under skew"),
@@ -59,6 +64,10 @@ const EXPERIMENTS: [(&str, &str); 20] = [
     (
         "chaos",
         "Resilience: TPC-H suite under seeded fault injection (--seed <n>)",
+    ),
+    (
+        "trace",
+        "Observability: per-query estimator trajectories as JSONL (--csv <dir>)",
     ),
 ];
 
@@ -162,6 +171,13 @@ fn main() {
             "orders" => print!("{}", extensions::order_analysis(&scale).render()),
             "chaos" => {
                 let result = chaos::chaos(&scale, chaos_seed);
+                print!("{}", result.render());
+                if !result.passed() {
+                    std::process::exit(1);
+                }
+            }
+            "trace" => {
+                let result = trace_export::trace(&scale, csv_dir.as_deref());
                 print!("{}", result.render());
                 if !result.passed() {
                     std::process::exit(1);

@@ -6,6 +6,7 @@ pub mod extensions;
 pub mod figures;
 pub mod tables;
 pub mod theory;
+pub mod trace_export;
 
 use qp_exec::estimate::annotate;
 use qp_exec::plan::Plan;

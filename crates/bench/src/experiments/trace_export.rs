@@ -1,0 +1,169 @@
+//! Timeline export: per-query estimator trajectories as JSONL
+//! (`repro -- trace`).
+//!
+//! Runs the TPC-H workload through a [`QueryService`] with the full
+//! observability stack attached and dumps each session's trajectory —
+//! exactly what the `TRACE <id>` wire verb serves — to one JSONL file
+//! per query: a `meta` header, per-operator getnext counters, the
+//! checkpoint tail (`curr`/`lb`/`ub` plus `dne`/`pmax`/`safe` at every
+//! stride), and the session's flight-recorder events. The files are the
+//! plottable raw material behind the paper's figures, produced by the
+//! *service* path rather than the in-process harness.
+//!
+//! While exporting, every line is re-parsed with `qp-obs`'s JSON reader
+//! and checked against the invariants a consumer would rely on:
+//! `curr` non-decreasing, `lb ≤ curr's envelope`, and Proposition 4 —
+//! `pmax` never underestimates true progress `curr / total(Q)` at any
+//! checkpoint of a finished query.
+
+use crate::render::render_table;
+use crate::Scale;
+use qp_obs::json::{parse, Value};
+use qp_service::{telemetry, QueryService, ServiceConfig, ESTIMATORS};
+use qp_stats::DbStats;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Outcome of one export run.
+#[derive(Debug, Clone)]
+pub struct TraceResult {
+    pub out_dir: PathBuf,
+    /// `(query, state, checkpoints, events)` per session.
+    pub rows: Vec<Vec<String>>,
+    /// Invariant violations; empty = run passed.
+    pub violations: Vec<String>,
+}
+
+impl TraceResult {
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = render_table(
+            "trace export: per-query estimator trajectories (JSONL)",
+            &["query", "state", "checkpoints", "events"],
+            &self.rows,
+        );
+        out.push_str(&format!(
+            "wrote one q<N>.jsonl per query under {}\n",
+            self.out_dir.display()
+        ));
+        out.push_str("every line re-parsed; pmax >= curr/total at every checkpoint (Prop 4)\n");
+        if self.passed() {
+            out.push_str("PASS: all trajectories exported and validated\n");
+        } else {
+            for v in &self.violations {
+                out.push_str(&format!("VIOLATION: {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+fn field(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+/// Exports the TPC-H workload's trajectories to `out_dir` (default
+/// `target/traces`), validating every emitted line.
+pub fn trace(scale: &Scale, out_dir: Option<&Path>) -> TraceResult {
+    let out_dir = out_dir
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| Path::new("target").join("traces"));
+    std::fs::create_dir_all(&out_dir).expect("trace dir is creatable");
+
+    let db = Arc::new(scale.tpch().db);
+    let stats = Arc::new(DbStats::build(&db));
+    let service = QueryService::with_stats(
+        Arc::clone(&db),
+        Arc::clone(&stats),
+        ServiceConfig {
+            workers: 2,
+            // A fixed stride keeps checkpoint counts deterministic across
+            // runs (they depend only on each query's serial getnext
+            // sequence, not on scheduling).
+            stride: Some(100),
+            ..ServiceConfig::default()
+        },
+    );
+
+    let queries: Vec<&'static str> = qp_workloads::sql_text::SQL_QUERIES
+        .iter()
+        .map(|&q| qp_workloads::sql_text::tpch_sql(q).expect("sql text"))
+        .collect();
+    let ids: Vec<_> = queries
+        .iter()
+        .map(|sql| service.submit(sql).expect("admitted"))
+        .collect();
+    for &id in &ids {
+        service.wait(id);
+    }
+
+    assert!(
+        ESTIMATORS.contains(&"pmax"),
+        "the Prop-4 check needs the pmax estimator registered"
+    );
+    let mut violations = Vec::new();
+    let mut rows = Vec::new();
+    for (&id, sql) in ids.iter().zip(&queries) {
+        let lines = telemetry::trace_jsonl(&service, id).expect("known session");
+        let total = service.result(id).map(|r| r.total_getnext);
+        let mut checkpoints = 0u64;
+        let mut events = 0u64;
+        let mut prev_curr = 0u64;
+        for line in &lines {
+            let v = match parse(line) {
+                Ok(v) => v,
+                Err(e) => {
+                    violations.push(format!("{id}: unparsable line {line:?}: {e}"));
+                    continue;
+                }
+            };
+            match v.get("type").and_then(Value::as_str) {
+                Some("checkpoint") => {
+                    checkpoints += 1;
+                    let curr = v.get("curr").and_then(Value::as_u64).unwrap_or(0);
+                    if curr < prev_curr {
+                        violations.push(format!("{id}: curr regressed {prev_curr} -> {curr}"));
+                    }
+                    prev_curr = curr;
+                    // Proposition 4: pmax never underestimates true
+                    // progress (checkable post-hoc, once total(Q) is
+                    // known).
+                    if let (Some(total), Some(pmax)) = (total, field(&v, "pmax")) {
+                        let true_progress = curr as f64 / total as f64;
+                        if pmax < true_progress - 1e-9 {
+                            violations.push(format!(
+                                "{id}: pmax {pmax} underestimates {true_progress} at curr {curr}"
+                            ));
+                        }
+                    }
+                }
+                Some("event") => events += 1,
+                _ => {}
+            }
+        }
+        let path = out_dir.join(format!("{id}.jsonl"));
+        let mut body = lines.join("\n");
+        body.push('\n');
+        std::fs::write(&path, body).expect("trace file is writable");
+
+        let state = service
+            .status(id)
+            .map(|s| s.state.to_string())
+            .unwrap_or_else(|| "?".into());
+        rows.push(vec![
+            sql.split_whitespace().take(4).collect::<Vec<_>>().join(" "),
+            state,
+            checkpoints.to_string(),
+            events.to_string(),
+        ]);
+    }
+
+    TraceResult {
+        out_dir,
+        rows,
+        violations,
+    }
+}

@@ -13,6 +13,7 @@ use crate::estimators::{EstimatorContext, ProgressEstimator};
 use crate::model::PlanMeta;
 use crate::shared::{clamp_snapshot, Health, ProgressCell};
 use qp_exec::{Counters, ExecEvent, Observer};
+use qp_obs::{EventKind, FlightRecorder, TraceBuffer};
 use std::sync::Arc;
 
 /// One recorded instant.
@@ -41,6 +42,12 @@ pub struct ProgressMonitor {
     snapshots: Vec<Snapshot>,
     publisher: Option<Arc<ProgressCell>>,
     degraded: bool,
+    /// Flight recorder (+ the session id to stamp events with) that
+    /// snapshot publishes and clamp degradations are reported into.
+    recorder: Option<(Arc<FlightRecorder>, u64)>,
+    /// Live checkpoint ring the `TRACE` endpoint reads while the query
+    /// still runs.
+    trace_sink: Option<Arc<TraceBuffer>>,
 }
 
 impl ProgressMonitor {
@@ -69,6 +76,8 @@ impl ProgressMonitor {
             snapshots: Vec::new(),
             publisher: None,
             degraded: false,
+            recorder: None,
+            trace_sink: None,
         }
     }
 
@@ -86,6 +95,24 @@ impl ProgressMonitor {
             "publisher cell names must match the monitor's estimators"
         );
         self.publisher = Some(cell);
+    }
+
+    /// Attaches a flight recorder; every snapshot publish (and every
+    /// clamp degradation) is recorded as an event stamped with `query`.
+    pub fn set_recorder(&mut self, recorder: Arc<FlightRecorder>, query: u64) {
+        self.recorder = Some((recorder, query));
+    }
+
+    /// Attaches a live checkpoint ring that every snapshot is pushed
+    /// into — the data source of the service's `TRACE <id>` verb. The
+    /// buffer's arity must match the estimator count.
+    pub fn set_trace_sink(&mut self, sink: Arc<TraceBuffer>) {
+        assert_eq!(
+            sink.arity(),
+            self.names.len(),
+            "trace sink arity must match the monitor's estimators"
+        );
+        self.trace_sink = Some(sink);
     }
 
     /// Estimator names, in snapshot order.
@@ -125,6 +152,9 @@ impl ProgressMonitor {
             if let Some(cell) = &self.publisher {
                 cell.raise_health(Health::Degraded);
             }
+            if let Some((rec, query)) = &self.recorder {
+                rec.record(*query, EventKind::SnapshotClamped, self.curr, 0);
+            }
         }
         let snap = Snapshot {
             curr: self.curr,
@@ -134,6 +164,12 @@ impl ProgressMonitor {
         };
         if let Some(cell) = &self.publisher {
             cell.publish_snapshot(&snap);
+        }
+        if let Some((rec, query)) = &self.recorder {
+            rec.record(*query, EventKind::SnapshotPublished, snap.curr, snap.lb);
+        }
+        if let Some(sink) = &self.trace_sink {
+            sink.push(snap.curr, snap.lb, snap.ub, &snap.estimates);
         }
         // Dedupe: consecutive snapshots at an unchanged `curr` (e.g. a
         // stride point immediately followed by `Exhausted` events, or
@@ -480,6 +516,54 @@ mod tests {
         for line in lines {
             assert_eq!(line.split(',').count(), 5, "bad row: {line}");
         }
+    }
+
+    #[test]
+    fn recorder_and_trace_sink_see_live_checkpoints() {
+        let db = db();
+        let plan = scan_filter_plan(&db);
+        let meta = PlanMeta::from_plan(&plan);
+        let bounds = crate::bounds::BoundsTracker::new(&plan, None);
+        let mut monitor = ProgressMonitor::new(meta, bounds, vec![Box::new(Pmax)], 100);
+        let recorder = Arc::new(FlightRecorder::new(64));
+        let sink = Arc::new(TraceBuffer::new(4096, 1));
+        monitor.set_recorder(Arc::clone(&recorder), 42);
+        monitor.set_trace_sink(Arc::clone(&sink));
+        let monitor = Arc::new(std::sync::Mutex::new(monitor));
+        let (out, _) = qp_exec::run_query(
+            &plan,
+            &db,
+            Some(Box::new(SharedMonitor(Arc::clone(&monitor)))),
+        )
+        .unwrap();
+        let published = recorder.recorded_of(EventKind::SnapshotPublished);
+        assert!(
+            published > 10,
+            "expected many publish events, got {published}"
+        );
+        assert!(recorder.tail().iter().all(|e| e.query == 42));
+        let points = sink.tail();
+        assert_eq!(points.len() as u64, sink.pushed(), "nothing should drop");
+        // The ring is append-only (no dedupe), so curr is non-decreasing,
+        // and every point respects the envelope.
+        assert!(points.windows(2).all(|w| w[0].curr <= w[1].curr));
+        for p in &points {
+            assert!(p.lb <= p.ub);
+            assert!(p.curr <= p.ub);
+            assert!(p.estimates[0].is_finite());
+        }
+        assert_eq!(points.last().unwrap().lb, out.total_getnext);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace sink arity")]
+    fn trace_sink_arity_mismatch_panics() {
+        let db = db();
+        let plan = scan_filter_plan(&db);
+        let meta = PlanMeta::from_plan(&plan);
+        let bounds = crate::bounds::BoundsTracker::new(&plan, None);
+        let mut monitor = ProgressMonitor::new(meta, bounds, vec![Box::new(Pmax)], 100);
+        monitor.set_trace_sink(Arc::new(TraceBuffer::new(8, 3)));
     }
 
     #[test]

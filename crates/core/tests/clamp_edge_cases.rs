@@ -1,0 +1,135 @@
+//! Edge-case coverage for [`qp_progress::clamp_snapshot`], the single
+//! definition of "valid progress envelope" shared by the monitor and
+//! the cross-thread [`ProgressCell`].
+//!
+//! A fault mid-query can hand the clamp almost anything: NaN or infinite
+//! estimates, bounds that contradict each other (`LB > UB`), a `Curr`
+//! past the upper bound, or a degenerate zero-total query. The contract
+//! exercised here: after one pass the snapshot is always a valid
+//! envelope (`LB ≤ UB`, `Curr ≤ UB`, every estimate finite in `[0, 1]`),
+//! the pass reports whether it changed anything, and a second pass is a
+//! no-op — clamping is idempotent, so "was clamped" is a property of the
+//! input, not of how often it was inspected.
+
+use qp_progress::{clamp_snapshot, Health, ProgressCell};
+
+/// Runs the clamp and returns `(changed, lb, ub, estimates)`.
+fn clamp(curr: u64, lb: u64, ub: u64, estimates: &[f64]) -> (bool, u64, u64, Vec<f64>) {
+    let (mut lb, mut ub) = (lb, ub);
+    let mut est = estimates.to_vec();
+    let changed = clamp_snapshot(curr, &mut lb, &mut ub, &mut est);
+    (changed, lb, ub, est)
+}
+
+fn assert_valid(curr: u64, lb: u64, ub: u64, estimates: &[f64]) {
+    assert!(lb <= ub, "LB {lb} > UB {ub}");
+    assert!(curr <= ub, "Curr {curr} > UB {ub}");
+    for e in estimates {
+        assert!(e.is_finite() && (0.0..=1.0).contains(e), "estimate {e}");
+    }
+}
+
+#[test]
+fn valid_snapshots_pass_through_untouched() {
+    let (changed, lb, ub, est) = clamp(50, 80, 200, &[0.0, 0.25, 1.0]);
+    assert!(!changed, "a valid snapshot must not be flagged");
+    assert_eq!((lb, ub), (80, 200));
+    assert_eq!(est, vec![0.0, 0.25, 1.0]);
+}
+
+#[test]
+fn nan_estimates_become_the_conservative_ratio() {
+    // UB is finite and nonzero, so the fallback is Curr/UB.
+    let (changed, lb, ub, est) = clamp(50, 80, 200, &[f64::NAN, 0.5]);
+    assert!(changed);
+    assert_eq!(est[0], 50.0 / 200.0);
+    assert_eq!(est[1], 0.5, "finite estimates ride along unchanged");
+    assert_valid(50, lb, ub, &est);
+}
+
+#[test]
+fn infinities_are_clamped_like_nan() {
+    for bad in [f64::INFINITY, f64::NEG_INFINITY] {
+        let (changed, lb, ub, est) = clamp(10, 20, 40, &[bad]);
+        assert!(changed, "{bad} must be flagged");
+        assert_eq!(est[0], 0.25);
+        assert_valid(10, lb, ub, &est);
+    }
+}
+
+#[test]
+fn unbounded_ub_falls_back_to_lb_ratio() {
+    // UB = u64::MAX means "unknown"; the fallback grounds itself in LB.
+    let (changed, _, _, est) = clamp(30, 60, u64::MAX, &[f64::NAN]);
+    assert!(changed);
+    assert_eq!(est[0], 0.5);
+}
+
+#[test]
+fn inverted_bounds_trust_the_lower_bound() {
+    // LB counts rows actually seen, so a contradiction pulls UB up.
+    let (changed, lb, ub, est) = clamp(10, 100, 40, &[0.5]);
+    assert!(changed);
+    assert_eq!((lb, ub), (100, 100));
+    assert_valid(10, lb, ub, &est);
+}
+
+#[test]
+fn curr_past_the_upper_bound_extends_it() {
+    let (changed, lb, ub, _) = clamp(500, 100, 400, &[0.5]);
+    assert!(changed);
+    assert_eq!(ub, 500);
+    assert_valid(500, lb, ub, &[0.5]);
+}
+
+#[test]
+fn zero_total_queries_clamp_to_zero_progress() {
+    // A query whose plan promises no work at all: every ratio is 0/0.
+    let (changed, lb, ub, est) = clamp(0, 0, 0, &[f64::NAN, f64::INFINITY]);
+    assert!(changed);
+    assert_eq!((lb, ub), (0, 0));
+    assert_eq!(est, vec![0.0, 0.0], "no grounded ratio exists; report 0");
+}
+
+#[test]
+fn out_of_range_estimates_are_clamped_not_replaced() {
+    let (changed, _, _, est) = clamp(50, 80, 200, &[1.5, -0.25]);
+    assert!(changed);
+    assert_eq!(est, vec![1.0, 0.0]);
+}
+
+#[test]
+fn clamping_is_idempotent() {
+    // Throw every pathology at once; the second pass must be a no-op.
+    let cases: &[(u64, u64, u64, Vec<f64>)] = &[
+        (10, 100, 40, vec![f64::NAN, 2.0]),
+        (500, 100, 400, vec![f64::NEG_INFINITY]),
+        (0, 0, 0, vec![f64::NAN]),
+        (30, 60, u64::MAX, vec![-1.0, f64::INFINITY]),
+    ];
+    for (curr, lb0, ub0, est0) in cases {
+        let (_, mut lb, mut ub, mut est) = clamp(*curr, *lb0, *ub0, est0);
+        assert_valid(*curr, lb, ub, &est);
+        let again = clamp_snapshot(*curr, &mut lb, &mut ub, &mut est);
+        assert!(!again, "second clamp of {curr}/{lb0}/{ub0} changed values");
+    }
+}
+
+#[test]
+fn publishing_a_corrupt_snapshot_degrades_the_cell() {
+    let cell = ProgressCell::new(vec!["dne", "pmax"]);
+    cell.publish(10, 20, 100, &[0.1, 0.2]);
+    assert_eq!(cell.health(), Health::Ok);
+
+    // A corrupted snapshot (inverted bounds, NaN) reaches pollers only
+    // in clamped form, and the cell owns up to it via health.
+    cell.publish(30, 90, 50, &[f64::NAN, 0.4]);
+    assert_eq!(cell.health(), Health::Degraded);
+    let r = cell.read().expect("cell has been written");
+    assert_eq!((r.curr, r.lb, r.ub), (30, 90, 90));
+    assert!(r.estimates.iter().all(|e| e.is_finite()));
+
+    // Health is monotone: a later clean snapshot does not un-degrade.
+    cell.publish(40, 90, 120, &[0.3, 0.5]);
+    assert_eq!(cell.health(), Health::Degraded);
+}

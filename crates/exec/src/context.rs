@@ -19,11 +19,35 @@
 //! the paper's GetNext model is serial — but observation no longer is.
 
 use crate::error::{ExecError, ExecResult};
+use qp_obs::QueryObs;
 use qp_storage::{Row, Schema, StorageError};
 use qp_testkit::fault::{FaultKind, FaultPlan};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Stable wire code for a fault kind, used in flight-recorder event
+/// payloads (`EventKind::FaultInjected.b`) and decoded by
+/// [`fault_kind_name`].
+pub fn fault_kind_code(kind: &FaultKind) -> u64 {
+    match kind {
+        FaultKind::StorageRead => 0,
+        FaultKind::ExecError => 1,
+        FaultKind::Panic => 2,
+        FaultKind::Delay(_) => 3,
+    }
+}
+
+/// Human-readable token for a [`fault_kind_code`] value (trace dumps).
+pub fn fault_kind_name(code: u64) -> &'static str {
+    match code {
+        0 => "storage_read",
+        1 => "exec_error",
+        2 => "panic",
+        3 => "delay",
+        _ => "unknown",
+    }
+}
 
 /// Identifier of a plan node (index into the plan's node table).
 pub type NodeId = usize;
@@ -160,6 +184,11 @@ pub struct RunControls {
     /// Deterministic fault schedule (chaos testing); `None` and
     /// `Some(FaultPlan::none())` are both the zero-fault fast path.
     pub faults: Option<FaultPlan>,
+    /// Hot-path observability sink: per-node counters plus (optionally)
+    /// flight-recorder events for interrupts. `None` is the zero-cost
+    /// path; recording statements also compile out entirely without the
+    /// `obs` cargo feature.
+    pub obs: Option<Arc<QueryObs>>,
 }
 
 impl RunControls {
@@ -183,6 +212,7 @@ pub struct ExecContext {
     /// so the zero-fault case never touches the mutex.
     has_faults: bool,
     faults: Mutex<Option<FaultPlan>>,
+    obs: Option<Arc<QueryObs>>,
 }
 
 impl ExecContext {
@@ -200,6 +230,9 @@ impl ExecContext {
     /// Creates a context under full [`RunControls`].
     pub fn with_controls(n_nodes: usize, controls: RunControls) -> Arc<ExecContext> {
         let has_faults = controls.faults.as_ref().is_some_and(|f| !f.is_empty());
+        if let Some(obs) = &controls.obs {
+            debug_assert_eq!(obs.len(), n_nodes, "QueryObs arity must match the plan");
+        }
         Arc::new(ExecContext {
             counters: Counters::new(n_nodes),
             observer: Mutex::new(None),
@@ -207,6 +240,7 @@ impl ExecContext {
             deadline: controls.deadline,
             has_faults,
             faults: Mutex::new(controls.faults),
+            obs: controls.obs,
         })
     }
 
@@ -233,29 +267,48 @@ impl ExecContext {
         &self.cancel
     }
 
+    /// The observability sink this query reports into, if any.
+    pub fn obs(&self) -> Option<&Arc<QueryObs>> {
+        self.obs.as_ref()
+    }
+
     /// The single interrupt point of the execution model: cancellation,
     /// deadline, and fault injection are all evaluated here, at the top of
     /// every `Counted::open`/`next`. Keyed by the current total getnext
     /// count, so a fault plan replays at the identical tuple every run.
+    /// `node` attributes interrupt events to the operator that observed
+    /// them.
     #[inline]
-    fn check_interrupts(&self) -> ExecResult<()> {
+    #[cfg_attr(not(feature = "obs"), allow(unused_variables))]
+    fn check_interrupts(&self, node: NodeId) -> ExecResult<()> {
         if self.cancel.is_cancelled() {
+            #[cfg(feature = "obs")]
+            if let Some(obs) = &self.obs {
+                obs.on_cancel(node, self.counters.total());
+                self.obs_interrupt_error(obs, node);
+            }
             return Err(ExecError::Cancelled);
         }
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
+                #[cfg(feature = "obs")]
+                if let Some(obs) = &self.obs {
+                    obs.on_deadline(node, self.counters.total());
+                    self.obs_interrupt_error(obs, node);
+                }
                 return Err(ExecError::DeadlineExceeded);
             }
         }
         if self.has_faults {
-            self.check_faults()?;
+            self.check_faults(node)?;
         }
         Ok(())
     }
 
     /// Cold path: consult the fault plan at the current getnext index.
     #[cold]
-    fn check_faults(&self) -> ExecResult<()> {
+    #[cfg_attr(not(feature = "obs"), allow(unused_variables))]
+    fn check_faults(&self, node: NodeId) -> ExecResult<()> {
         let curr = self.counters.total();
         let fired = {
             let mut faults = match self.faults.lock() {
@@ -268,6 +321,17 @@ impl ExecContext {
             faults.as_mut().and_then(|plan| plan.fire_at(curr))
         };
         let Some(point) = fired else { return Ok(()) };
+        // Record before acting so even an injected panic leaves its event
+        // in the flight recorder. Faults that surface as errors also count
+        // on the node's error counter (a panic unwinds instead of
+        // returning an error, and a delay succeeds, so neither does).
+        #[cfg(feature = "obs")]
+        if let Some(obs) = &self.obs {
+            obs.on_fault(node, curr, fault_kind_code(&point.kind));
+            if matches!(point.kind, FaultKind::StorageRead | FaultKind::ExecError) {
+                self.obs_interrupt_error(obs, node);
+            }
+        }
         match point.kind {
             FaultKind::StorageRead => Err(ExecError::Storage(StorageError::ReadFailed(format!(
                 "injected at getnext {curr}"
@@ -283,6 +347,20 @@ impl ExecContext {
         }
     }
 
+    /// Cold path: an interrupt surfaced as an error on `node`. Counts it
+    /// and syncs the node's producing-call mirror, so the observability
+    /// counters are exact at the failure point. This is the *only* place
+    /// hot-path errors are counted — they all originate here at the
+    /// interrupt point (operator bodies can only fail during `open`),
+    /// which is what keeps the untimed counters off the getnext fast
+    /// path entirely.
+    #[cfg(feature = "obs")]
+    #[cold]
+    fn obs_interrupt_error(&self, obs: &Arc<QueryObs>, node: NodeId) {
+        obs.on_error(node);
+        obs.set_rows(node, self.counters.node(node));
+    }
+
     #[inline]
     fn emit(&self, ev: ExecEvent) {
         if let Some(obs) = self.observer.lock().expect("observer lock").as_mut() {
@@ -295,13 +373,37 @@ impl ExecContext {
         self.emit(ExecEvent::Open(node));
     }
 
+    /// How many producing calls between observability mirror syncs
+    /// (power of two: the cadence check is a single mask test on the
+    /// count `record_row` just computed anyway).
+    #[cfg(feature = "obs")]
+    const OBS_SYNC_EVERY: u64 = 64;
+
+    #[cfg_attr(not(feature = "obs"), allow(unused_variables))]
     fn record_row(&self, node: NodeId) {
-        self.counters.per_node[node].fetch_add(1, Ordering::Relaxed);
+        let n = self.counters.per_node[node].fetch_add(1, Ordering::Relaxed) + 1;
         self.counters.total.fetch_add(1, Ordering::Relaxed);
+        // Observability rides on the count this method already maintains:
+        // no extra per-call work, just a periodic mirror sync so METRICS
+        // readers see live movement.
+        #[cfg(feature = "obs")]
+        if n & (ExecContext::OBS_SYNC_EVERY - 1) == 0 {
+            if let Some(obs) = &self.obs {
+                obs.set_rows(node, n);
+            }
+        }
         self.emit(ExecEvent::RowProduced(node));
     }
 
     fn record_exhausted(&self, node: NodeId) {
+        // Every `None` return (first exhaustion or a parent's re-poll) is
+        // a non-producing getnext call; it is also a quiescent point, so
+        // sync the mirror to the exact count.
+        #[cfg(feature = "obs")]
+        if let Some(obs) = &self.obs {
+            obs.on_none(node);
+            obs.set_rows(node, self.counters.node(node));
+        }
         if !self.counters.exhausted[node].swap(true, Ordering::Relaxed) {
             self.emit(ExecEvent::Exhausted(node));
         }
@@ -334,28 +436,73 @@ pub struct Counted {
     inner: Box<dyn Operator>,
     node: NodeId,
     ctx: Arc<ExecContext>,
+    /// Whether this query runs with opt-in per-call timing — the *only*
+    /// observability state `next` consults. `false` both when
+    /// observability is absent and when it is untimed, so the untimed
+    /// counters execute the exact same instruction stream as a bare run.
+    #[cfg(feature = "obs")]
+    obs_timed: bool,
+    #[cfg(feature = "obs")]
+    obs: Option<ObsBuffer>,
+}
+
+/// Per-operator observability handle. The producing hot path needs
+/// *nothing* from it — producing calls are mirrored into [`QueryObs`]
+/// straight from the executor's own per-node counter (see
+/// [`ExecContext::record_row`]), exhaustion is counted in
+/// `record_exhausted`, and errors at the interrupt point that raised
+/// them. This handle only serves the cold flush points (close, drop)
+/// and opt-in timing, which stages nanoseconds locally and flushes
+/// every [`ObsBuffer::FLUSH_EVERY`] calls and at every quiescent point.
+/// Terminal counters are exact; a concurrent reader lags by at most
+/// one sync batch per still-producing node. This design is what keeps
+/// the counters inside the < 5 % budget the `obs_overhead` bench
+/// enforces: on the bench machine not even a plain per-call increment
+/// in the wrapper fits that budget, so the untimed path carries zero
+/// added instructions.
+#[cfg(feature = "obs")]
+struct ObsBuffer {
+    sink: Arc<QueryObs>,
+    /// Calls since the last timed flush (timed runs only).
+    calls: u64,
+    /// Staged wall-clock nanoseconds (timed runs only).
+    ns: u64,
+}
+
+#[cfg(feature = "obs")]
+impl ObsBuffer {
+    const FLUSH_EVERY: u64 = 64;
 }
 
 impl Counted {
     pub fn new(inner: Box<dyn Operator>, node: NodeId, ctx: Arc<ExecContext>) -> Counted {
-        Counted { inner, node, ctx }
+        #[cfg(feature = "obs")]
+        let obs = ctx.obs.as_ref().map(|sink| ObsBuffer {
+            sink: Arc::clone(sink),
+            calls: 0,
+            ns: 0,
+        });
+        Counted {
+            inner,
+            node,
+            #[cfg(feature = "obs")]
+            obs_timed: ctx.obs.as_ref().is_some_and(|o| o.timed()),
+            ctx,
+            #[cfg(feature = "obs")]
+            obs,
+        }
     }
 
     /// The plan node this operator instantiates.
     pub fn node_id(&self) -> NodeId {
         self.node
     }
-}
 
-impl Operator for Counted {
-    fn open(&mut self) -> ExecResult<()> {
-        self.ctx.check_interrupts()?;
-        self.ctx.record_open(self.node);
-        self.inner.open()
-    }
-
-    fn next(&mut self) -> ExecResult<Option<Row>> {
-        self.ctx.check_interrupts()?;
+    /// The uninstrumented getnext body (also the timed region of the
+    /// observed path — the duration is inclusive of child calls).
+    #[inline]
+    fn next_inner(&mut self) -> ExecResult<Option<Row>> {
+        self.ctx.check_interrupts(self.node)?;
         match self.inner.next()? {
             Some(row) => {
                 self.ctx.record_row(self.node);
@@ -368,7 +515,80 @@ impl Operator for Counted {
         }
     }
 
+    /// The timed getnext path (opt-in): brackets the call with two
+    /// `Instant::now()` reads, staging the nanoseconds locally and
+    /// flushing every [`ObsBuffer::FLUSH_EVERY`] calls. Errors and
+    /// exhaustion flush immediately so the shared counters are exact
+    /// the moment a node stops producing.
+    #[cfg(feature = "obs")]
+    fn next_timed(&mut self) -> ExecResult<Option<Row>> {
+        let started = Instant::now();
+        let result = self.next_inner();
+        let buf = self.obs.as_mut().expect("timed implies obs");
+        buf.ns += started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        buf.calls += 1;
+        if buf.calls >= ObsBuffer::FLUSH_EVERY || !matches!(&result, Ok(Some(_))) {
+            self.flush_obs();
+        }
+        result
+    }
+
+    /// Quiescent-point sync: mirrors the executor's producing count for
+    /// this node into the shared [`QueryObs`] and flushes staged time.
+    #[cfg(feature = "obs")]
+    fn flush_obs(&mut self) {
+        if let Some(buf) = &mut self.obs {
+            buf.sink
+                .set_rows(self.node, self.ctx.counters.node(self.node));
+            if buf.ns > 0 {
+                buf.sink.add_time(self.node, buf.ns);
+                buf.ns = 0;
+            }
+            buf.calls = 0;
+        }
+    }
+}
+
+#[cfg(feature = "obs")]
+impl Drop for Counted {
+    /// Errors and panics unwind without `close`; dropping the operator
+    /// tree is the last flush point, so even fault-killed queries leave
+    /// exact counters behind.
+    fn drop(&mut self) {
+        self.flush_obs();
+    }
+}
+
+impl Operator for Counted {
+    fn open(&mut self) -> ExecResult<()> {
+        self.ctx.check_interrupts(self.node)?;
+        self.ctx.record_open(self.node);
+        let result = self.inner.open();
+        #[cfg(feature = "obs")]
+        if result.is_err() {
+            if let Some(buf) = &self.obs {
+                buf.sink.on_error(self.node);
+            }
+        }
+        result
+    }
+
+    fn next(&mut self) -> ExecResult<Option<Row>> {
+        // Untimed counters ride for free: rows are mirrored from
+        // `record_row`, exhaustion is counted in `record_exhausted`, and
+        // errors at the interrupt point that raised them — so bare and
+        // untimed-observed runs execute the same instructions here, both
+        // paying only this one predictable branch.
+        #[cfg(feature = "obs")]
+        if self.obs_timed {
+            return self.next_timed();
+        }
+        self.next_inner()
+    }
+
     fn close(&mut self) {
+        #[cfg(feature = "obs")]
+        self.flush_obs();
         self.inner.close();
     }
 
@@ -558,6 +778,95 @@ mod tests {
         }
         assert_eq!(n, 50);
         assert_eq!(ctx.counters().total(), 50);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn observed_run_counts_calls_rows_and_faults() {
+        use qp_obs::{EventKind, FlightRecorder, QueryObs};
+        let recorder = Arc::new(FlightRecorder::new(64));
+        let obs = QueryObs::new(7, vec!["Emit"], false, Some(Arc::clone(&recorder)));
+        let controls = RunControls {
+            faults: Some(FaultPlan::single(4, FaultKind::ExecError)),
+            obs: Some(Arc::clone(&obs)),
+            ..RunControls::default()
+        };
+        let ctx = ExecContext::with_controls(1, controls);
+        assert!(ctx.obs().is_some());
+        let mut op = Counted::new(emit(100), 0, Arc::clone(&ctx));
+        op.open().unwrap();
+        for _ in 0..4 {
+            op.next().unwrap();
+        }
+        assert!(matches!(op.next(), Err(ExecError::Injected(_))));
+        let stats = obs.node(0);
+        // 5 next() calls: 4 produced rows, 1 tripped the fault.
+        assert_eq!((stats.calls, stats.rows), (5, 4));
+        assert_eq!((stats.errors, stats.faults), (1, 1));
+        assert_eq!(stats.cum_ns, 0, "untimed run must not accumulate ns");
+        let events = recorder.tail_for(7);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::FaultInjected);
+        assert_eq!(
+            (events[0].a, events[0].b),
+            (4, fault_kind_code(&FaultKind::ExecError))
+        );
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn timed_runs_accumulate_wall_clock() {
+        use qp_obs::QueryObs;
+        let obs = QueryObs::new(0, vec!["Emit"], true, None);
+        let controls = RunControls {
+            obs: Some(Arc::clone(&obs)),
+            ..RunControls::default()
+        };
+        let ctx = ExecContext::with_controls(1, controls);
+        let mut op = Counted::new(emit(50), 0, Arc::clone(&ctx));
+        op.open().unwrap();
+        while op.next().unwrap().is_some() {}
+        let stats = obs.node(0);
+        assert_eq!(stats.calls, 51);
+        assert!(stats.cum_ns > 0, "timed run must accumulate ns");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn cancel_and_deadline_are_attributed_to_the_recorder() {
+        use qp_obs::{EventKind, FlightRecorder, QueryObs};
+        let recorder = Arc::new(FlightRecorder::new(16));
+        let obs = QueryObs::new(1, vec!["Emit"], false, Some(Arc::clone(&recorder)));
+        let controls = RunControls {
+            obs: Some(obs),
+            ..RunControls::default()
+        };
+        let ctx = ExecContext::with_controls(1, controls);
+        let mut op = Counted::new(emit(100), 0, Arc::clone(&ctx));
+        op.open().unwrap();
+        for _ in 0..3 {
+            op.next().unwrap();
+        }
+        ctx.cancel_token().cancel();
+        assert_eq!(op.next(), Err(ExecError::Cancelled));
+        let events = recorder.tail_for(1);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::CancelObserved);
+        assert_eq!(events[0].a, 3, "cancel observed at getnext index 3");
+    }
+
+    #[test]
+    fn fault_kind_codes_round_trip_to_names() {
+        use std::time::Duration;
+        for (kind, name) in [
+            (FaultKind::StorageRead, "storage_read"),
+            (FaultKind::ExecError, "exec_error"),
+            (FaultKind::Panic, "panic"),
+            (FaultKind::Delay(Duration::from_millis(1)), "delay"),
+        ] {
+            assert_eq!(fault_kind_name(fault_kind_code(&kind)), name);
+        }
+        assert_eq!(fault_kind_name(99), "unknown");
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub mod ops;
 pub mod pipeline;
 pub mod plan;
 
-pub use context::{CancelToken, Counters, ExecContext, ExecEvent, NodeId, Observer, RunControls};
+pub use context::{
+    fault_kind_code, fault_kind_name, CancelToken, Counters, ExecContext, ExecEvent, NodeId,
+    Observer, RunControls,
+};
 pub use error::{ExecError, ExecResult};
 // Fault-injection vocabulary, re-exported so downstream crates can drive
 // chaos runs without depending on qp-testkit directly.

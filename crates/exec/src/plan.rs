@@ -207,6 +207,12 @@ impl Plan {
         self.nodes.is_empty()
     }
 
+    /// Operator-kind label of every node, in id order — the label vector
+    /// a `qp_obs::QueryObs` is built from.
+    pub fn op_labels(&self) -> Vec<&'static str> {
+        self.nodes.iter().map(|n| n.kind.op_name()).collect()
+    }
+
     /// Ids of the *scanned* leaves — `L_s` in the paper's μ definition
     /// (Section 5.2): leaf operators that read their relation exactly once.
     /// The inner table of an index-nested-loops join is *not* in this set.

@@ -1,0 +1,50 @@
+//! # qp-obs — std-only observability for the progress-estimation stack
+//!
+//! The paper's analysis ("When Can We Trust Progress Estimators for SQL
+//! Queries?", SIGMOD 2005) lives at the granularity of individual
+//! `getnext` calls, and so does this crate: it makes the getnext hot
+//! path *observable* without making it slow, and without any external
+//! dependency (the workspace builds `--offline`).
+//!
+//! Four pieces, layered bottom-up:
+//!
+//! * [`ring::RawRing`] — the storage primitive: a fixed-capacity,
+//!   lock-free multi-writer ring of fixed-width `u64` records with
+//!   per-slot seqlock validation (same protocol as
+//!   `qp_progress::shared`'s `ProgressCell`). Writers are wait-free;
+//!   readers never block writers; the newest `capacity` records always
+//!   survive.
+//! * [`stats::QueryObs`] — per-operator-node hot-path counters (getnext
+//!   calls, rows out, cumulative ns, errors, injected faults), updated
+//!   with relaxed `fetch_add`s at the executor's interrupt point.
+//!   Per-call timing is a runtime opt-in; the counters-only path is
+//!   held under a 5 % overhead budget by the `obs_overhead` bench.
+//! * [`recorder::FlightRecorder`] — a bounded structured-event log
+//!   (submits, state transitions, snapshot publishes/clamps, fault
+//!   injections, deadline/cancel hits) with global sequence numbers, so
+//!   the last events of a `FAILED`/`TIMEDOUT` session survive for
+//!   postmortems.
+//! * [`trace_buf::TraceBuffer`] — a live, bounded progress trajectory
+//!   (`curr`/`lb`/`ub` + estimator values per checkpoint) readable
+//!   lock-free while the query runs — the data source for the
+//!   `TRACE <id>` verb.
+//!
+//! Plus two wire-format helpers: [`prom`] (Prometheus text exposition
+//! for `METRICS`) and [`json`] (flat-object JSONL writer and validating
+//! reader for `TRACE` and `repro -- trace`).
+//!
+//! This crate is a leaf: it knows nothing about plans, sessions, or
+//! estimators. Callers pass in operator-kind labels, session ids, and
+//! state codes; the service layer owns their meaning.
+
+pub mod json;
+pub mod prom;
+pub mod recorder;
+pub mod ring;
+pub mod stats;
+pub mod trace_buf;
+
+pub use recorder::{Event, EventKind, FlightRecorder};
+pub use ring::{RawRecord, RawRing};
+pub use stats::{NodeStats, NodeStatsSnapshot, QueryObs};
+pub use trace_buf::{TraceBuffer, TracePoint};

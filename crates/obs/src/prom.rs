@@ -1,0 +1,123 @@
+//! Prometheus text-exposition builder (the `METRICS` wire format).
+//!
+//! A tiny, allocation-straightforward writer for the [Prometheus text
+//! format]: `# HELP` / `# TYPE` headers followed by
+//! `name{label="value",...} <number>` samples. It exists so the service
+//! can expose its gauges and counters without any external dependency —
+//! the output is accepted verbatim by any Prometheus-compatible scraper
+//! and is trivially greppable in tests.
+//!
+//! [Prometheus text format]:
+//! https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write as _;
+
+/// Incremental builder for one exposition payload.
+#[derive(Debug, Default)]
+pub struct PromText {
+    buf: String,
+}
+
+impl PromText {
+    /// An empty payload.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Emits the `# HELP` and `# TYPE` headers for a metric family.
+    /// `kind` is the Prometheus type token (`counter`, `gauge`, ...).
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) -> &mut Self {
+        let _ = writeln!(self.buf, "# HELP {name} {help}");
+        let _ = writeln!(self.buf, "# TYPE {name} {kind}");
+        self
+    }
+
+    /// Emits one sample with the given label pairs.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Self {
+        let _ = write!(self.buf, "{name}");
+        if !labels.is_empty() {
+            let _ = write!(self.buf, "{{");
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(self.buf, ",");
+                }
+                let _ = write!(self.buf, "{k}=\"{}\"", escape_label(v));
+            }
+            let _ = write!(self.buf, "}}");
+        }
+        let _ = writeln!(self.buf, " {}", format_value(value));
+        self
+    }
+
+    /// The finished payload.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Escapes a label value per the exposition format (`\\`, `\"`, `\n`).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prometheus number rendering: integers without a trailing `.0`,
+/// non-finite values as `NaN` / `+Inf` / `-Inf`.
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_owned()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_families_and_samples() {
+        let mut p = PromText::new();
+        p.family("qp_sessions", "gauge", "Sessions by state")
+            .sample("qp_sessions", &[("state", "RUNNING")], 2.0)
+            .sample("qp_sessions", &[("state", "DONE")], 5.0);
+        p.family("qp_getnext_calls_total", "counter", "GetNext calls")
+            .sample("qp_getnext_calls_total", &[], 1234.0);
+        let text = p.finish();
+        assert!(text.contains("# HELP qp_sessions Sessions by state\n"));
+        assert!(text.contains("# TYPE qp_sessions gauge\n"));
+        assert!(text.contains("qp_sessions{state=\"RUNNING\"} 2\n"));
+        assert!(text.contains("qp_getnext_calls_total 1234\n"));
+    }
+
+    #[test]
+    fn multiple_labels_and_escaping() {
+        let mut p = PromText::new();
+        p.sample("qp_op", &[("op", "Seq\"Scan\\x"), ("node", "0")], 1.5);
+        assert_eq!(
+            p.finish(),
+            "qp_op{op=\"Seq\\\"Scan\\\\x\",node=\"0\"} 1.5\n"
+        );
+    }
+
+    #[test]
+    fn value_rendering() {
+        assert_eq!(format_value(3.0), "3");
+        assert_eq!(format_value(0.25), "0.25");
+        assert_eq!(format_value(f64::NAN), "NaN");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(f64::NEG_INFINITY), "-Inf");
+    }
+}

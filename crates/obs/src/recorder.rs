@@ -1,0 +1,238 @@
+//! The flight recorder: a bounded, lock-free log of structured events.
+//!
+//! A service under chaos (injected faults, deadlines, panicking plans)
+//! needs a postmortem story: *what were the last things that happened to
+//! session q7 before it died?* The [`FlightRecorder`] answers that with a
+//! fixed-capacity ring ([`crate::ring::RawRing`]) of [`Event`]s — session
+//! submissions, state transitions, snapshot publishes and clamps, fault
+//! injections, deadline and cancellation hits — each stamped with a
+//! global sequence number and a monotonic timestamp. When the ring laps,
+//! the oldest events fall off; the tail of a `FAILED` or `TIMEDOUT`
+//! session always survives, because its terminal events are by definition
+//! the newest ones it produced.
+//!
+//! Recording is wait-free (one atomic add + a handful of relaxed stores)
+//! and reading never blocks a writer, so the recorder is safe to leave on
+//! in production — the overhead bench (`BENCH_overhead.json`) covers it.
+
+use crate::ring::RawRing;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// What an [`Event`] describes. The discriminants are the wire encoding
+/// (stable across the ring and the `TRACE` JSONL dump).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A session was submitted and registered. `a` = 0.
+    SessionSubmitted = 0,
+    /// A session changed lifecycle state. `a` = the new state's code
+    /// (service-defined), `b` = the previous state's code.
+    StateChanged = 1,
+    /// The progress monitor published a snapshot. `a` = `curr`,
+    /// `b` = `lb`.
+    SnapshotPublished = 2,
+    /// A snapshot needed clamping into the valid envelope (degraded
+    /// stream). `a` = `curr`.
+    SnapshotClamped = 3,
+    /// A fault plan fired. `a` = the getnext index, `b` = the fault-kind
+    /// code (service/exec-defined).
+    FaultInjected = 4,
+    /// The execution deadline expired. `a` = the getnext index,
+    /// `b` = the plan node.
+    DeadlineExceeded = 5,
+    /// Cooperative cancellation was observed by the executor. `a` = the
+    /// getnext index, `b` = the plan node.
+    CancelObserved = 6,
+}
+
+impl EventKind {
+    /// Stable token used in the `TRACE` JSONL dump.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SessionSubmitted => "session_submitted",
+            EventKind::StateChanged => "state_changed",
+            EventKind::SnapshotPublished => "snapshot_published",
+            EventKind::SnapshotClamped => "snapshot_clamped",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::DeadlineExceeded => "deadline_exceeded",
+            EventKind::CancelObserved => "cancel_observed",
+        }
+    }
+
+    fn from_code(code: u64) -> Option<EventKind> {
+        Some(match code {
+            0 => EventKind::SessionSubmitted,
+            1 => EventKind::StateChanged,
+            2 => EventKind::SnapshotPublished,
+            3 => EventKind::SnapshotClamped,
+            4 => EventKind::FaultInjected,
+            5 => EventKind::DeadlineExceeded,
+            6 => EventKind::CancelObserved,
+            _ => return None,
+        })
+    }
+}
+
+/// One recorded event, as read back from the recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number (gap-free across the recorder's life; gaps
+    /// in a [`FlightRecorder::tail`] mean older events were overwritten).
+    pub seq: u64,
+    /// Microseconds since the recorder was created (monotonic clock).
+    pub t_micros: u64,
+    /// The session the event belongs to (`QueryId::0`), or 0 for
+    /// service-level events.
+    pub query: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific payload (see [`EventKind`]).
+    pub a: u64,
+    /// Kind-specific payload (see [`EventKind`]).
+    pub b: u64,
+}
+
+/// Bounded, lock-free event log. See the module docs.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    start: Instant,
+    ring: RawRing,
+    /// Events recorded per kind (index = discriminant), for METRICS.
+    per_kind: [AtomicU64; 7],
+}
+
+/// Payload layout: `[t_micros, query, kind, a, b]`.
+const WIDTH: usize = 5;
+
+impl FlightRecorder {
+    /// A recorder retaining the newest `capacity` events.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            start: Instant::now(),
+            ring: RawRing::new(capacity, WIDTH),
+            per_kind: Default::default(),
+        }
+    }
+
+    /// Records one event; wait-free, callable from any thread.
+    pub fn record(&self, query: u64, kind: EventKind, a: u64, b: u64) -> u64 {
+        let t = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.per_kind[kind as usize].fetch_add(1, Ordering::Relaxed);
+        self.ring.push(&[t, query, kind as u64, a, b])
+    }
+
+    /// Total events ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.ring.pushed()
+    }
+
+    /// Events lost to ring wraparound (monotone).
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Events recorded with the given kind (monotone).
+    pub fn recorded_of(&self, kind: EventKind) -> u64 {
+        self.per_kind[kind as usize].load(Ordering::Relaxed)
+    }
+
+    /// The surviving event tail, oldest first.
+    pub fn tail(&self) -> Vec<Event> {
+        self.ring
+            .tail()
+            .into_iter()
+            .filter_map(|rec| {
+                Some(Event {
+                    seq: rec.seq,
+                    t_micros: rec.payload[0],
+                    query: rec.payload[1],
+                    kind: EventKind::from_code(rec.payload[2])?,
+                    a: rec.payload[3],
+                    b: rec.payload[4],
+                })
+            })
+            .collect()
+    }
+
+    /// The surviving tail restricted to one session, oldest first.
+    pub fn tail_for(&self, query: u64) -> Vec<Event> {
+        self.tail()
+            .into_iter()
+            .filter(|e| e.query == query)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_through_codes() {
+        for kind in [
+            EventKind::SessionSubmitted,
+            EventKind::StateChanged,
+            EventKind::SnapshotPublished,
+            EventKind::SnapshotClamped,
+            EventKind::FaultInjected,
+            EventKind::DeadlineExceeded,
+            EventKind::CancelObserved,
+        ] {
+            assert_eq!(EventKind::from_code(kind as u64), Some(kind));
+            assert!(!kind.as_str().is_empty());
+        }
+        assert_eq!(EventKind::from_code(99), None);
+    }
+
+    #[test]
+    fn events_round_trip_with_sequence_numbers() {
+        let rec = FlightRecorder::new(16);
+        rec.record(7, EventKind::SessionSubmitted, 0, 0);
+        rec.record(7, EventKind::StateChanged, 1, 0);
+        rec.record(8, EventKind::FaultInjected, 123, 2);
+        let tail = rec.tail();
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0].kind, EventKind::SessionSubmitted);
+        assert_eq!(tail[1].seq, 1);
+        assert_eq!(
+            tail[2],
+            Event {
+                seq: 2,
+                t_micros: tail[2].t_micros,
+                query: 8,
+                kind: EventKind::FaultInjected,
+                a: 123,
+                b: 2,
+            }
+        );
+        assert_eq!(rec.tail_for(7).len(), 2);
+        assert_eq!(rec.recorded_of(EventKind::FaultInjected), 1);
+    }
+
+    #[test]
+    fn the_tail_of_a_dying_session_survives_wraparound() {
+        let rec = FlightRecorder::new(8);
+        // A chatty earlier session floods the ring...
+        for i in 0..100 {
+            rec.record(1, EventKind::SnapshotPublished, i, i);
+        }
+        // ...then the interesting session dies.
+        rec.record(2, EventKind::FaultInjected, 500, 2);
+        rec.record(2, EventKind::StateChanged, 3, 1);
+        let tail = rec.tail_for(2);
+        assert_eq!(tail.len(), 2, "the death tail must survive: {tail:?}");
+        assert_eq!(tail[0].kind, EventKind::FaultInjected);
+        assert_eq!(tail[1].kind, EventKind::StateChanged);
+        assert!(rec.dropped() > 0);
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let rec = FlightRecorder::new(8);
+        for _ in 0..5 {
+            rec.record(1, EventKind::SnapshotPublished, 0, 0);
+        }
+        let t: Vec<u64> = rec.tail().iter().map(|e| e.t_micros).collect();
+        assert!(t.windows(2).all(|w| w[0] <= w[1]), "{t:?}");
+    }
+}

@@ -1,0 +1,283 @@
+//! Per-operator-node hot-path counters.
+//!
+//! One [`QueryObs`] rides along with each query's `ExecContext`. The
+//! design premise is that the executor *already* counts every producing
+//! getnext call on its own per-node atomics (that count is the paper's
+//! `Curr`), so the observability layer must not pay for it again: the
+//! `rows` counter here is a **mirror** of the executor's count, synced
+//! with a single relaxed store every few dozen producing calls and at
+//! every quiescent point (exhaustion, error, close, drop). Rare events
+//! — exhausted (`None`) returns, errors, injected faults — are counted
+//! directly where they occur, and the total call count is *derived* as
+//! `rows + nones + errors` rather than maintained per call. The hot
+//! producing path therefore carries no per-call observability work
+//! beyond one predictable branch, which is what keeps the counters
+//! inside the < 5 % overhead budget enforced by the `obs_overhead`
+//! bench.
+//!
+//! All counters are monotone: a reader (the `METRICS` endpoint, a
+//! final summary table) may see values at most one sync batch stale —
+//! never wrong, and exact once the node stops producing. Per-call
+//! wall-clock timing ([`QueryObs::timed`]) is opt-in because it costs
+//! two `Instant::now()` reads per getnext, which is *not* free on
+//! cheap operators.
+
+use crate::recorder::{EventKind, FlightRecorder};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotone counters for one plan node.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    /// Rows the node produced (`Some` returns) — the paper's per-node
+    /// getnext count, mirrored from the executor's own counter (single
+    /// writer: the query thread).
+    rows: AtomicU64,
+    /// Non-producing (`None`) returns — once at exhaustion, plus any
+    /// post-exhaustion re-polls by the parent.
+    nones: AtomicU64,
+    /// Cumulative nanoseconds spent inside the node's `next()` (including
+    /// its children). Zero unless the owning [`QueryObs`] is timed.
+    cum_ns: AtomicU64,
+    /// Calls that returned an error: propagated child errors, injected
+    /// faults surfacing as errors, and failed `open`s.
+    errors: AtomicU64,
+    /// Injected faults that fired while this node was on top of the
+    /// getnext stack.
+    faults: AtomicU64,
+}
+
+/// A plain snapshot of one node's counters. `calls` is derived:
+/// every getnext call either produced a row, returned `None`, or
+/// errored, so `calls = rows + nones + errors` (a failed `open` also
+/// counts as an errored call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeStatsSnapshot {
+    pub calls: u64,
+    pub rows: u64,
+    pub cum_ns: u64,
+    pub errors: u64,
+    pub faults: u64,
+}
+
+impl NodeStats {
+    fn snapshot(&self) -> NodeStatsSnapshot {
+        let rows = self.rows.load(Ordering::Relaxed);
+        let nones = self.nones.load(Ordering::Relaxed);
+        let errors = self.errors.load(Ordering::Relaxed);
+        NodeStatsSnapshot {
+            calls: rows + nones + errors,
+            rows,
+            cum_ns: self.cum_ns.load(Ordering::Relaxed),
+            errors,
+            faults: self.faults.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Hot-path observability state for one query: per-node counters, the
+/// operator-kind label of each node, and an optional [`FlightRecorder`]
+/// that execution-level events (fault injections, deadline expiry,
+/// cancellation) are reported into.
+#[derive(Debug)]
+pub struct QueryObs {
+    query: u64,
+    labels: Vec<&'static str>,
+    nodes: Box<[NodeStats]>,
+    timed: bool,
+    recorder: Option<Arc<FlightRecorder>>,
+}
+
+impl QueryObs {
+    /// Observability state for a plan whose node `i` instantiates the
+    /// operator kind `labels[i]`. `timed` enables per-call wall-clock
+    /// accumulation (see the module docs for the cost).
+    pub fn new(
+        query: u64,
+        labels: Vec<&'static str>,
+        timed: bool,
+        recorder: Option<Arc<FlightRecorder>>,
+    ) -> Arc<QueryObs> {
+        let nodes = (0..labels.len()).map(|_| NodeStats::default()).collect();
+        Arc::new(QueryObs {
+            query,
+            labels,
+            nodes,
+            timed,
+            recorder,
+        })
+    }
+
+    /// The session this query runs under (0 outside a service).
+    pub fn query(&self) -> u64 {
+        self.query
+    }
+
+    /// Operator-kind label per node.
+    pub fn labels(&self) -> &[&'static str] {
+        &self.labels
+    }
+
+    /// Number of plan nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a degenerate zero-node plan.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether per-call timing is enabled.
+    #[inline]
+    pub fn timed(&self) -> bool {
+        self.timed
+    }
+
+    /// One getnext call on `node` completed. `produced` is whether it
+    /// returned a row; `ns` is the call's duration (0 when untimed).
+    /// Convenience for probes and tests — the executor instead mirrors
+    /// its own row count via [`QueryObs::set_rows`] and counts only the
+    /// rare outcomes ([`QueryObs::on_none`], [`QueryObs::on_error`])
+    /// directly.
+    #[inline]
+    pub fn on_call(&self, node: usize, produced: bool, ns: u64) {
+        let stats = &self.nodes[node];
+        if produced {
+            stats.rows.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.nones.fetch_add(1, Ordering::Relaxed);
+        }
+        if ns > 0 {
+            stats.cum_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Syncs `node`'s producing-call mirror to `rows`, the executor's
+    /// own per-node count. Single writer (the query thread), and `rows`
+    /// is monotone there, so a relaxed store keeps readers monotone.
+    /// Called every few dozen producing calls and at every quiescent
+    /// point — this is the *only* shared write on the producing path.
+    #[inline]
+    pub fn set_rows(&self, node: usize, rows: u64) {
+        self.nodes[node].rows.store(rows, Ordering::Relaxed);
+    }
+
+    /// A getnext call on `node` returned `None` (exhaustion, or a
+    /// post-exhaustion re-poll). Rare: at most a handful per node.
+    #[inline]
+    pub fn on_none(&self, node: usize) {
+        self.nodes[node].nones.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accumulates `ns` nanoseconds of `next()` wall-clock on `node`
+    /// (timed runs flush their locally staged time through this).
+    #[inline]
+    pub fn add_time(&self, node: usize, ns: u64) {
+        if ns > 0 {
+            self.nodes[node].cum_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// A getnext call (or `open`) on `node` returned an error.
+    #[inline]
+    pub fn on_error(&self, node: usize) {
+        self.nodes[node].errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An injected fault fired at getnext index `getnext` while `node`
+    /// was executing; `kind_code` identifies the fault kind.
+    pub fn on_fault(&self, node: usize, getnext: u64, kind_code: u64) {
+        self.nodes[node].faults.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = &self.recorder {
+            rec.record(self.query, EventKind::FaultInjected, getnext, kind_code);
+        }
+    }
+
+    /// The execution deadline expired at getnext index `getnext`.
+    pub fn on_deadline(&self, node: usize, getnext: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.record(
+                self.query,
+                EventKind::DeadlineExceeded,
+                getnext,
+                node as u64,
+            );
+        }
+    }
+
+    /// Cooperative cancellation was observed at getnext index `getnext`.
+    pub fn on_cancel(&self, node: usize, getnext: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.record(self.query, EventKind::CancelObserved, getnext, node as u64);
+        }
+    }
+
+    /// Snapshot of one node's counters.
+    pub fn node(&self, node: usize) -> NodeStatsSnapshot {
+        self.nodes[node].snapshot()
+    }
+
+    /// Snapshot of every node's counters, in node order.
+    pub fn snapshot(&self) -> Vec<NodeStatsSnapshot> {
+        self.nodes.iter().map(NodeStats::snapshot).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_node() {
+        let obs = QueryObs::new(3, vec!["SeqScan", "Filter"], false, None);
+        obs.on_call(0, true, 0);
+        obs.on_call(0, true, 0);
+        obs.on_call(0, false, 0);
+        obs.on_call(1, true, 50);
+        obs.on_error(1);
+        let s = obs.snapshot();
+        assert_eq!((s[0].calls, s[0].rows), (3, 2));
+        // The errored call is a call: calls = rows + nones + errors.
+        assert_eq!(
+            (s[1].calls, s[1].rows, s[1].cum_ns, s[1].errors),
+            (2, 1, 50, 1)
+        );
+        assert_eq!(obs.labels(), &["SeqScan", "Filter"]);
+        assert_eq!(obs.query(), 3);
+    }
+
+    #[test]
+    fn mirror_sync_matches_per_call_accounting() {
+        let a = QueryObs::new(0, vec!["SeqScan"], false, None);
+        let b = QueryObs::new(0, vec!["SeqScan"], false, None);
+        for _ in 0..9 {
+            a.on_call(0, true, 3);
+        }
+        a.on_call(0, false, 3);
+        // The executor-style path: mirror the producing count, count the
+        // exhausted call directly, flush staged time.
+        b.set_rows(0, 4); // mid-flight sync is monotone, never wrong
+        b.set_rows(0, 9);
+        b.on_none(0);
+        b.add_time(0, 30);
+        assert_eq!(a.node(0), b.node(0));
+        assert_eq!(b.node(0).calls, 10);
+    }
+
+    #[test]
+    fn faults_and_interrupts_reach_the_recorder() {
+        let rec = Arc::new(FlightRecorder::new(8));
+        let obs = QueryObs::new(9, vec!["SeqScan"], false, Some(Arc::clone(&rec)));
+        obs.on_fault(0, 42, 1);
+        obs.on_deadline(0, 43);
+        obs.on_cancel(0, 44);
+        let tail = rec.tail_for(9);
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0].kind, EventKind::FaultInjected);
+        assert_eq!((tail[0].a, tail[0].b), (42, 1));
+        assert_eq!(tail[1].kind, EventKind::DeadlineExceeded);
+        assert_eq!(tail[2].kind, EventKind::CancelObserved);
+        assert_eq!(obs.node(0).faults, 1);
+    }
+}

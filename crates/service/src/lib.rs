@@ -20,8 +20,13 @@
 //!   hopeless query" half of the DBA loop.
 //! * [`server::ProgressServer`] — a std-only TCP server speaking the
 //!   line protocol of [`protocol`] (`SUBMIT` / `STATUS` / `LIST` /
-//!   `CANCEL` / `SHUTDOWN`), with [`server::ServiceClient`] as the
-//!   matching blocking client.
+//!   `CANCEL` / `METRICS` / `TRACE` / `SHUTDOWN`), with
+//!   [`server::ServiceClient`] as the matching blocking client.
+//! * Observability ([`telemetry`], built on `qp-obs`): a service-wide
+//!   flight recorder of structured events, per-operator getnext counters
+//!   on every session, Prometheus-style exposition over `METRICS`, and a
+//!   per-session JSONL trajectory dump over `TRACE <id>` — all served
+//!   from lock-free state, never blocking the getnext hot path.
 //!
 //! Concurrency never touches the model of work: each query is still a
 //! strictly serial getnext sequence (Section 2.2), so results, traces,
@@ -33,8 +38,9 @@ pub mod server;
 pub mod service;
 pub mod session;
 mod sync;
+pub mod telemetry;
 
-pub use protocol::{ParsedStatus, Request};
+pub use protocol::{ParsedStatus, Request, VERBS};
 pub use server::{ProgressServer, RetryPolicy, ServerConfig, ServiceClient};
 pub use service::{
     QueryService, ServiceConfig, StatusReport, SubmitError, SubmitOptions, ESTIMATORS,

@@ -11,8 +11,11 @@
 //!                          [curr=<n> lb=<n> ub=<n|inf>
 //!                           dne=<f> pmax=<f> safe=<f>] [rows=<n> total=<n>]
 //!                          [error=<quoted>]
-//! LIST              → OK <n>   then n lines: <id> <STATE>
+//! LIST              → OK <n>   then n lines: <id> <STATE> health=<...>
 //! CANCEL <id>       → OK <id> <state-the-cancel-found>
+//! METRICS           → OK <n>   then n lines of Prometheus text exposition
+//! TRACE <id>        → OK <n>   then n JSONL lines (meta, operators,
+//!                              checkpoints, flight-recorder events)
 //! SHUTDOWN          → OK bye   (server stops accepting)
 //! anything invalid  → ERR <message>
 //! ```
@@ -20,6 +23,14 @@
 use crate::service::StatusReport;
 use crate::session::QueryId;
 use qp_progress::shared::Health;
+
+/// Every verb the protocol accepts, in documentation order. The
+/// unknown-verb error and the README's verb table are both checked
+/// against this list, so adding a verb here is the single source of
+/// truth.
+pub const VERBS: [&str; 7] = [
+    "SUBMIT", "STATUS", "LIST", "CANCEL", "METRICS", "TRACE", "SHUTDOWN",
+];
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +49,10 @@ pub enum Request {
     List,
     /// `CANCEL <id>`
     Cancel(QueryId),
+    /// `METRICS` — Prometheus text exposition of the service's counters.
+    Metrics,
+    /// `TRACE <id>` — JSONL dump of one session's trajectory and events.
+    Trace(QueryId),
     /// `SHUTDOWN`
     Shutdown,
 }
@@ -64,11 +79,14 @@ impl Request {
             }
             "STATUS" => Ok(Request::Status(rest.parse()?)),
             "CANCEL" => Ok(Request::Cancel(rest.parse()?)),
+            "TRACE" => Ok(Request::Trace(rest.parse()?)),
             "LIST" => Request::expect_bare("LIST", rest, Request::List),
+            "METRICS" => Request::expect_bare("METRICS", rest, Request::Metrics),
             "SHUTDOWN" => Request::expect_bare("SHUTDOWN", rest, Request::Shutdown),
             "" => Err("empty request".into()),
             other => Err(format!(
-                "unknown verb {other:?}; expected SUBMIT, STATUS, LIST, CANCEL or SHUTDOWN"
+                "unknown verb {other:?}; expected one of {}",
+                VERBS.join(", ")
             )),
         }
     }
@@ -238,7 +256,45 @@ mod tests {
             Request::parse("cancel 3").unwrap(),
             Request::Cancel(QueryId(3))
         );
+        assert_eq!(Request::parse("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(
+            Request::parse("trace q4").unwrap(),
+            Request::Trace(QueryId(4))
+        );
         assert_eq!(Request::parse("SHUTDOWN").unwrap(), Request::Shutdown);
+    }
+
+    /// The VERBS table is the single source of truth: every member must
+    /// actually parse, and nothing parses that isn't in the table.
+    #[test]
+    fn verbs_table_matches_the_parser() {
+        for verb in VERBS {
+            // A representative line per verb; argument-taking verbs get one.
+            let line = match verb {
+                "SUBMIT" => "SUBMIT SELECT 1 FROM t".to_string(),
+                "STATUS" | "CANCEL" | "TRACE" => format!("{verb} q1"),
+                bare => bare.to_string(),
+            };
+            assert!(Request::parse(&line).is_ok(), "verb {verb} fails to parse");
+        }
+    }
+
+    #[test]
+    fn unknown_verb_error_lists_every_verb() {
+        let err = Request::parse("EXPLAIN q1").unwrap_err();
+        for verb in VERBS {
+            assert!(err.contains(verb), "error {err:?} omits {verb}");
+        }
+    }
+
+    /// The README's grammar must document every verb (generated check, so
+    /// the doc can't silently fall behind the parser).
+    #[test]
+    fn readme_documents_every_verb() {
+        let readme = include_str!("../README.md");
+        for verb in VERBS {
+            assert!(readme.contains(verb), "README.md does not mention {verb}");
+        }
     }
 
     #[test]
@@ -247,6 +303,8 @@ mod tests {
         assert!(Request::parse("SUBMIT").is_err());
         assert!(Request::parse("STATUS notanid").is_err());
         assert!(Request::parse("LIST extra").is_err());
+        assert!(Request::parse("METRICS now").is_err());
+        assert!(Request::parse("TRACE notanid").is_err());
         assert!(Request::parse("EXPLAIN q1").is_err());
         assert!(Request::parse("SUBMIT TIMEOUT_MS=abc SELECT 1 FROM t").is_err());
         assert!(Request::parse("SUBMIT TIMEOUT_MS=100").is_err());

@@ -20,6 +20,7 @@
 use crate::protocol::{err_line, status_line, ParsedStatus, Request};
 use crate::service::{QueryService, SubmitOptions};
 use crate::session::{QueryId, QueryState};
+use qp_progress::shared::Health;
 use qp_testkit::fault::Backoff;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -27,6 +28,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// One `LIST` row as the client decodes it: session id, state, health.
+pub type ListRow = (QueryId, QueryState, Health);
 
 /// Resource limits for a [`ProgressServer`].
 #[derive(Debug, Clone)]
@@ -218,11 +222,32 @@ fn handle_connection(
             Ok(Request::List) => {
                 let sessions = service.list();
                 let mut out = format!("OK {}", sessions.len());
-                for (id, state) in sessions {
-                    out.push_str(&format!("\n{id} {state}"));
+                for (id, state, health) in sessions {
+                    out.push_str(&format!("\n{id} {state} health={health}"));
                 }
                 out
             }
+            Ok(Request::Metrics) => {
+                let text = crate::telemetry::metrics_text(service);
+                let lines: Vec<&str> = text.lines().collect();
+                let mut out = format!("OK {}", lines.len());
+                for l in lines {
+                    out.push('\n');
+                    out.push_str(l);
+                }
+                out
+            }
+            Ok(Request::Trace(id)) => match crate::telemetry::trace_jsonl(service, id) {
+                Some(lines) => {
+                    let mut out = format!("OK {}", lines.len());
+                    for l in &lines {
+                        out.push('\n');
+                        out.push_str(l);
+                    }
+                    out
+                }
+                None => err_line(&format!("unknown query {id}")),
+            },
             Ok(Request::Cancel(id)) => match service.cancel(id) {
                 Some(found) => format!("OK {id} {found}"),
                 None => err_line(&format!("unknown query {id}")),
@@ -357,30 +382,62 @@ impl ServiceClient {
         Ok(ParsedStatus::parse(&line))
     }
 
-    /// `LIST` — returns `(id, state)` pairs.
-    pub fn list(&mut self) -> std::io::Result<Result<Vec<(QueryId, QueryState)>, String>> {
-        let head = self.round_trip("LIST")?;
+    /// Reads an `OK <n>`-framed multi-line response body (or the `ERR`).
+    fn read_block(&mut self, request: &str) -> std::io::Result<Result<Vec<String>, String>> {
+        let head = self.round_trip(request)?;
         let Some(n) = head
             .strip_prefix("OK ")
             .and_then(|n| n.parse::<usize>().ok())
         else {
             return Ok(Err(head.strip_prefix("ERR ").unwrap_or(&head).to_string()));
         };
-        let mut sessions = Vec::with_capacity(n);
+        let mut lines = Vec::with_capacity(n);
         for _ in 0..n {
-            let line = self.read_line()?;
-            let parse = || -> Result<(QueryId, QueryState), String> {
-                let (id, state) = line
-                    .split_once(' ')
-                    .ok_or_else(|| format!("malformed LIST row {line:?}"))?;
-                Ok((id.parse()?, state.parse()?))
+            lines.push(self.read_line()?);
+        }
+        Ok(Ok(lines))
+    }
+
+    /// `LIST` — returns `(id, state, health)` triples.
+    pub fn list(&mut self) -> std::io::Result<Result<Vec<ListRow>, String>> {
+        let rows = match self.read_block("LIST")? {
+            Ok(rows) => rows,
+            Err(e) => return Ok(Err(e)),
+        };
+        let mut sessions = Vec::with_capacity(rows.len());
+        for line in rows {
+            let parse = || -> Result<ListRow, String> {
+                let mut words = line.split_whitespace();
+                let bad = || format!("malformed LIST row {line:?}");
+                let id = words.next().ok_or_else(bad)?.parse()?;
+                let state = words.next().ok_or_else(bad)?.parse()?;
+                let health = words
+                    .next()
+                    .and_then(|w| w.strip_prefix("health="))
+                    .ok_or_else(bad)?
+                    .parse()?;
+                Ok((id, state, health))
             };
             match parse() {
-                Ok(pair) => sessions.push(pair),
+                Ok(row) => sessions.push(row),
                 Err(e) => return Ok(Err(e)),
             }
         }
         Ok(Ok(sessions))
+    }
+
+    /// `METRICS` — returns the Prometheus text exposition payload.
+    pub fn metrics(&mut self) -> std::io::Result<Result<String, String>> {
+        Ok(self.read_block("METRICS")?.map(|lines| {
+            let mut text = lines.join("\n");
+            text.push('\n');
+            text
+        }))
+    }
+
+    /// `TRACE <id>` — returns the session's JSONL lines.
+    pub fn trace(&mut self, id: QueryId) -> std::io::Result<Result<Vec<String>, String>> {
+        self.read_block(&format!("TRACE {id}"))
     }
 
     /// `CANCEL` — returns the state the cancel found the query in.

@@ -35,10 +35,11 @@
 //!   deterministic [`qp_exec::FaultPlan`] per query (seed ⊕ query id),
 //!   replayable by seed; see `repro -- chaos`.
 
-use crate::session::{QueryId, QueryResult, QueryState, Session};
+use crate::session::{QueryId, QueryResult, QueryState, Session, SessionTelemetry};
 use crate::sync::lock_or_recover;
 use qp_exec::executor::QueryRun;
 use qp_exec::{ExecError, FaultConfig, FaultPlan, Plan, RunControls};
+use qp_obs::{EventKind, FlightRecorder, QueryObs, TraceBuffer};
 use qp_progress::estimators::{Dne, Pmax, ProgressEstimator, Safe};
 use qp_progress::monitor::{ProgressMonitor, SharedMonitor};
 use qp_progress::shared::{ProgressCell, ProgressReading};
@@ -84,6 +85,16 @@ pub struct ServiceConfig {
     pub fault_seed: Option<u64>,
     /// Fault mix used with [`fault_seed`](ServiceConfig::fault_seed).
     pub fault_config: FaultConfig,
+    /// Capacity of the service-wide flight recorder (newest events
+    /// retained across all sessions).
+    pub recorder_capacity: usize,
+    /// Per-session capacity of the live `TRACE` checkpoint ring.
+    pub trace_capacity: usize,
+    /// Record per-getnext wall-clock time into the per-operator counters.
+    /// Off by default: timing costs two `Instant::now()` calls per
+    /// getnext, which the counters-only path avoids (see the
+    /// `obs_overhead` bench).
+    pub timed_obs: bool,
 }
 
 impl Default for ServiceConfig {
@@ -96,6 +107,9 @@ impl Default for ServiceConfig {
             shutdown_grace: Duration::from_secs(5),
             fault_seed: None,
             fault_config: FaultConfig::default(),
+            recorder_capacity: 1024,
+            trace_capacity: 4096,
+            timed_obs: false,
         }
     }
 }
@@ -171,6 +185,10 @@ struct ServiceInner {
     sessions: Mutex<BTreeMap<QueryId, Arc<Session>>>,
     next_id: AtomicU64,
     stride: Option<u64>,
+    /// Service-wide flight recorder: session lifecycles, snapshot
+    /// publishes, fault injections — all sessions, one bounded ring.
+    recorder: Arc<FlightRecorder>,
+    started: Instant,
 }
 
 /// The concurrent query service. See the module docs for the design.
@@ -183,6 +201,8 @@ pub struct QueryService {
     shutdown_grace: Duration,
     fault_seed: Option<u64>,
     fault_config: FaultConfig,
+    trace_capacity: usize,
+    timed_obs: bool,
 }
 
 impl QueryService {
@@ -206,6 +226,8 @@ impl QueryService {
             sessions: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(1),
             stride: config.stride,
+            recorder: Arc::new(FlightRecorder::new(config.recorder_capacity)),
+            started: Instant::now(),
         });
         // Rendezvous + queue_depth: the channel itself is the wait queue.
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
@@ -229,6 +251,8 @@ impl QueryService {
             shutdown_grace: config.shutdown_grace,
             fault_seed: config.fault_seed,
             fault_config: config.fault_config,
+            trace_capacity: config.trace_capacity,
+            timed_obs: config.timed_obs,
         }
     }
 
@@ -261,7 +285,26 @@ impl QueryService {
         let id = QueryId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
         let cell = Arc::new(ProgressCell::new(ESTIMATORS.to_vec()));
         let timeout = opts.timeout.or(self.default_timeout);
-        let session = Arc::new(Session::new(id, sql.to_string(), cell, timeout));
+        let telemetry = SessionTelemetry {
+            obs: Some(QueryObs::new(
+                id.0,
+                plan.op_labels(),
+                self.timed_obs,
+                Some(Arc::clone(&self.inner.recorder)),
+            )),
+            trace: Some(Arc::new(TraceBuffer::new(
+                self.trace_capacity,
+                ESTIMATORS.len(),
+            ))),
+            recorder: Some(Arc::clone(&self.inner.recorder)),
+        };
+        let session = Arc::new(Session::with_telemetry(
+            id,
+            sql.to_string(),
+            cell,
+            timeout,
+            telemetry,
+        ));
         let faults = opts.faults.or_else(|| {
             self.fault_seed
                 .map(|seed| FaultPlan::seeded(seed ^ id.0, &self.fault_config))
@@ -279,7 +322,12 @@ impl QueryService {
             plan,
             faults,
         }) {
-            Ok(()) => Ok(id),
+            Ok(()) => {
+                self.inner
+                    .recorder
+                    .record(id.0, EventKind::SessionSubmitted, 0, 0);
+                Ok(id)
+            }
             Err(TrySendError::Full(_)) => {
                 lock_or_recover(&self.inner.sessions).remove(&id);
                 Err(SubmitError::Saturated {
@@ -313,11 +361,36 @@ impl QueryService {
         })
     }
 
-    /// All sessions (newest last), as `(id, state)`.
-    pub fn list(&self) -> Vec<(QueryId, QueryState)> {
+    /// All sessions (newest last), as `(id, state, health)` — one call
+    /// carries everything a dashboard poll needs.
+    pub fn list(&self) -> Vec<(QueryId, QueryState, qp_progress::shared::Health)> {
         lock_or_recover(&self.inner.sessions)
             .values()
-            .map(|s| (s.id(), s.state()))
+            .map(|s| (s.id(), s.state(), s.progress_cell().health()))
+            .collect()
+    }
+
+    /// The service-wide flight recorder (postmortems, `METRICS`, `TRACE`).
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.inner.recorder
+    }
+
+    /// Seconds since the service started (the `METRICS` uptime gauge).
+    pub fn uptime(&self) -> Duration {
+        self.inner.started.elapsed()
+    }
+
+    /// Total sessions ever admitted (monotone).
+    pub fn submitted_total(&self) -> u64 {
+        self.inner.recorder.recorded_of(EventKind::SessionSubmitted)
+    }
+
+    /// Snapshot of every retained session handle, id order (telemetry
+    /// aggregation).
+    pub(crate) fn sessions_snapshot(&self) -> Vec<Arc<Session>> {
+        lock_or_recover(&self.inner.sessions)
+            .values()
+            .cloned()
             .collect()
     }
 
@@ -429,6 +502,12 @@ fn run_job(inner: &ServiceInner, job: Job) {
     });
     let mut monitor = ProgressMonitor::new(meta, bounds, estimator_suite(), stride);
     monitor.set_publisher(Arc::clone(session.progress_cell()));
+    if let Some(obs) = session.obs() {
+        monitor.set_recorder(Arc::clone(&inner.recorder), obs.query());
+    }
+    if let Some(trace) = session.trace_buffer() {
+        monitor.set_trace_sink(Arc::clone(trace));
+    }
     let monitor = Arc::new(Mutex::new(monitor));
 
     // The deadline starts ticking now, not at submission: the budget is
@@ -438,6 +517,7 @@ fn run_job(inner: &ServiceInner, job: Job) {
         cancel: session.cancel_token().clone(),
         deadline: session.timeout().map(|t| Instant::now() + t),
         faults,
+        obs: session.obs().cloned(),
     };
 
     // Panic isolation: a panicking plan (injected or real) must kill its

@@ -21,11 +21,12 @@
 //! errors and panics) so pollers see the degradation without parsing
 //! state tokens.
 //!
-//! Every lock acquisition recovers from poisoning ([`lock_or_recover`]):
+//! Every lock acquisition recovers from poisoning (`lock_or_recover`):
 //! a panicking query must never take down the pollers watching it.
 
 use crate::sync::{lock_or_recover, wait_or_recover};
 use qp_exec::CancelToken;
+use qp_obs::{EventKind, FlightRecorder, QueryObs, TraceBuffer};
 use qp_progress::shared::{Health, ProgressCell, ProgressReading};
 use qp_storage::Row;
 use std::fmt;
@@ -90,6 +91,32 @@ impl QueryState {
             QueryState::TimedOut => "TIMEDOUT",
         }
     }
+
+    /// Stable numeric code used in flight-recorder `StateChanged` event
+    /// payloads. Inverse of [`QueryState::from_code`].
+    pub fn code(self) -> u64 {
+        match self {
+            QueryState::Queued => 0,
+            QueryState::Running => 1,
+            QueryState::Finished => 2,
+            QueryState::Failed => 3,
+            QueryState::Cancelled => 4,
+            QueryState::TimedOut => 5,
+        }
+    }
+
+    /// Decodes a [`QueryState::code`] value (trace rendering).
+    pub fn from_code(code: u64) -> Option<QueryState> {
+        Some(match code {
+            0 => QueryState::Queued,
+            1 => QueryState::Running,
+            2 => QueryState::Finished,
+            3 => QueryState::Failed,
+            4 => QueryState::Cancelled,
+            5 => QueryState::TimedOut,
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for QueryState {
@@ -131,6 +158,18 @@ pub(crate) struct SessionCore {
     pub error: Option<String>,
 }
 
+/// Observability attachments of a session: the per-operator counters the
+/// executor updates, the live checkpoint ring the monitor pushes into,
+/// and the service-wide flight recorder state transitions are reported
+/// to. All three are optional so bare sessions (unit tests, embedded
+/// use) pay nothing.
+#[derive(Debug, Default)]
+pub(crate) struct SessionTelemetry {
+    pub obs: Option<Arc<QueryObs>>,
+    pub trace: Option<Arc<TraceBuffer>>,
+    pub recorder: Option<Arc<FlightRecorder>>,
+}
+
 /// One submitted query: identity, kill switch, live progress slot, and
 /// lifecycle state. Shared between the registry, the worker executing it,
 /// and any number of status pollers.
@@ -144,16 +183,29 @@ pub struct Session {
     /// picks the session up (`begin_running`), not at submission — a
     /// session must not time out merely for waiting in the queue.
     timeout: Option<Duration>,
+    telemetry: SessionTelemetry,
     core: Mutex<SessionCore>,
     turnstile: Condvar,
 }
 
 impl Session {
+    /// A bare session with no telemetry attached (tests).
+    #[cfg(test)]
     pub(crate) fn new(
         id: QueryId,
         sql: String,
         progress: Arc<ProgressCell>,
         timeout: Option<Duration>,
+    ) -> Session {
+        Session::with_telemetry(id, sql, progress, timeout, SessionTelemetry::default())
+    }
+
+    pub(crate) fn with_telemetry(
+        id: QueryId,
+        sql: String,
+        progress: Arc<ProgressCell>,
+        timeout: Option<Duration>,
+        telemetry: SessionTelemetry,
     ) -> Session {
         Session {
             id,
@@ -161,6 +213,7 @@ impl Session {
             cancel: CancelToken::new(),
             progress,
             timeout,
+            telemetry,
             core: Mutex::new(SessionCore {
                 state: QueryState::Queued,
                 result: None,
@@ -193,6 +246,24 @@ impl Session {
     /// The session's execution-time budget, if any.
     pub fn timeout(&self) -> Option<Duration> {
         self.timeout
+    }
+
+    /// Per-operator hot-path counters, when the service attached them.
+    pub fn obs(&self) -> Option<&Arc<QueryObs>> {
+        self.telemetry.obs.as_ref()
+    }
+
+    /// The live progress-checkpoint ring, when the service attached one.
+    pub fn trace_buffer(&self) -> Option<&Arc<TraceBuffer>> {
+        self.telemetry.trace.as_ref()
+    }
+
+    /// Records a lifecycle transition into the flight recorder, if one is
+    /// attached.
+    fn record_state(&self, from: QueryState, to: QueryState) {
+        if let Some(rec) = &self.telemetry.recorder {
+            rec.record(self.id.0, EventKind::StateChanged, to.code(), from.code());
+        }
     }
 
     /// Current state.
@@ -230,6 +301,8 @@ impl Session {
         let mut core = lock_or_recover(&self.core);
         if core.state == QueryState::Queued {
             core.state = QueryState::Running;
+            drop(core);
+            self.record_state(QueryState::Queued, QueryState::Running);
             true
         } else {
             false
@@ -268,6 +341,7 @@ impl Session {
         if found == QueryState::Queued {
             core.state = QueryState::Cancelled;
             drop(core);
+            self.record_state(QueryState::Queued, QueryState::Cancelled);
             self.turnstile.notify_all();
         }
         found
@@ -280,10 +354,12 @@ impl Session {
             "terminal state {} cannot change to {to}",
             core.state
         );
+        let from = core.state;
         core.state = to;
         core.result = result;
         core.error = error;
         drop(core);
+        self.record_state(from, to);
         self.turnstile.notify_all();
     }
 }
@@ -337,6 +413,45 @@ mod tests {
         assert_eq!(t.state(), QueryState::TimedOut);
         assert!(t.state().is_terminal());
         assert_eq!(t.progress_cell().health(), Health::Degraded);
+    }
+
+    #[test]
+    fn state_codes_round_trip() {
+        for s in [
+            QueryState::Queued,
+            QueryState::Running,
+            QueryState::Finished,
+            QueryState::Failed,
+            QueryState::Cancelled,
+            QueryState::TimedOut,
+        ] {
+            assert_eq!(QueryState::from_code(s.code()), Some(s));
+        }
+        assert_eq!(QueryState::from_code(17), None);
+    }
+
+    #[test]
+    fn transitions_reach_the_flight_recorder() {
+        let rec = Arc::new(FlightRecorder::new(16));
+        let s = Session::with_telemetry(
+            QueryId(5),
+            "SELECT 1".into(),
+            Arc::new(ProgressCell::new(vec!["pmax"])),
+            None,
+            SessionTelemetry {
+                recorder: Some(Arc::clone(&rec)),
+                ..SessionTelemetry::default()
+            },
+        );
+        assert!(s.begin_running());
+        s.fail("boom".into());
+        let tail = rec.tail_for(5);
+        assert_eq!(tail.len(), 2, "{tail:?}");
+        assert!(tail.iter().all(|e| e.kind == EventKind::StateChanged));
+        assert_eq!(tail[0].a, QueryState::Running.code());
+        assert_eq!(tail[0].b, QueryState::Queued.code());
+        assert_eq!(tail[1].a, QueryState::Failed.code());
+        assert_eq!(tail[1].b, QueryState::Running.code());
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! Rendering the service's observability state for the wire.
+//!
+//! Two read-only views over the `qp-obs` state every session carries:
+//!
+//! * [`metrics_text`] — the `METRICS` verb's payload: Prometheus
+//!   text-exposition of service gauges (uptime, sessions by state) and
+//!   monotone counters (submissions, flight-recorder events, and the
+//!   per-operator getnext/row/time/error/fault totals aggregated across
+//!   every retained session).
+//! * [`trace_jsonl`] — the `TRACE <id>` verb's payload: one JSON object
+//!   per line describing a single session — a `meta` header, one
+//!   `operator` line per plan node, the surviving `checkpoint` tail of
+//!   the progress trajectory (`curr`/`lb`/`ub` plus every estimator), and
+//!   the session's surviving flight-recorder `event`s.
+//!
+//! Both functions only read lock-free state (atomic counters and
+//! seqlock-protected rings) plus the session registry's own mutex — they
+//! never take a session's core lock, so a wedged or panicking query can
+//! not block a scrape, and a scrape never perturbs the getnext hot path.
+
+use crate::service::{QueryService, ESTIMATORS};
+use crate::session::{QueryId, QueryState};
+use qp_exec::fault_kind_name;
+use qp_obs::json::Obj;
+use qp_obs::prom::PromText;
+use qp_obs::{Event, EventKind, NodeStatsSnapshot};
+use std::collections::BTreeMap;
+
+/// Every flight-recorder event kind, in discriminant order (the `METRICS`
+/// exposition emits one `qp_recorder_events_total` sample per kind).
+const EVENT_KINDS: [EventKind; 7] = [
+    EventKind::SessionSubmitted,
+    EventKind::StateChanged,
+    EventKind::SnapshotPublished,
+    EventKind::SnapshotClamped,
+    EventKind::FaultInjected,
+    EventKind::DeadlineExceeded,
+    EventKind::CancelObserved,
+];
+
+/// Every lifecycle state, for the by-state session gauge (all states are
+/// emitted, including zero-valued ones, so dashboards see stable series).
+const STATES: [QueryState; 6] = [
+    QueryState::Queued,
+    QueryState::Running,
+    QueryState::Finished,
+    QueryState::Failed,
+    QueryState::Cancelled,
+    QueryState::TimedOut,
+];
+
+/// Renders the full Prometheus text-exposition payload for `METRICS`.
+///
+/// All `_total` series are monotone: sessions are retained after
+/// completion, per-operator counters only ever `fetch_add`, and the
+/// flight recorder's per-kind counts never reset — so two scrapes are
+/// always ordered, which the observability integration test pins down.
+pub fn metrics_text(service: &QueryService) -> String {
+    let mut p = PromText::new();
+
+    p.family(
+        "qp_uptime_seconds",
+        "gauge",
+        "Seconds since the service started.",
+    )
+    .sample("qp_uptime_seconds", &[], service.uptime().as_secs_f64());
+
+    p.family(
+        "qp_sessions_submitted_total",
+        "counter",
+        "Sessions ever admitted (rejected submissions are not counted).",
+    )
+    .sample(
+        "qp_sessions_submitted_total",
+        &[],
+        service.submitted_total() as f64,
+    );
+
+    let mut by_state: BTreeMap<&'static str, u64> =
+        STATES.iter().map(|s| (s.as_str(), 0)).collect();
+    for (_, state, _) in service.list() {
+        *by_state.entry(state.as_str()).or_insert(0) += 1;
+    }
+    p.family(
+        "qp_sessions",
+        "gauge",
+        "Retained sessions by lifecycle state.",
+    );
+    for state in STATES {
+        p.sample(
+            "qp_sessions",
+            &[("state", state.as_str())],
+            by_state[state.as_str()] as f64,
+        );
+    }
+
+    let recorder = service.recorder();
+    p.family(
+        "qp_recorder_events_total",
+        "counter",
+        "Flight-recorder events recorded, by kind.",
+    );
+    for kind in EVENT_KINDS {
+        p.sample(
+            "qp_recorder_events_total",
+            &[("kind", kind.as_str())],
+            recorder.recorded_of(kind) as f64,
+        );
+    }
+    p.family(
+        "qp_recorder_dropped_total",
+        "counter",
+        "Flight-recorder events lost to ring wraparound.",
+    )
+    .sample("qp_recorder_dropped_total", &[], recorder.dropped() as f64);
+
+    // Per-operator counters, aggregated across every retained session's
+    // QueryObs by operator kind. Sessions are never evicted, so these
+    // aggregates are monotone too.
+    let mut ops: BTreeMap<&'static str, NodeStatsSnapshot> = BTreeMap::new();
+    for session in service.sessions_snapshot() {
+        let Some(obs) = session.obs() else { continue };
+        for (&label, s) in obs.labels().iter().zip(obs.snapshot()) {
+            let agg = ops.entry(label).or_default();
+            agg.calls += s.calls;
+            agg.rows += s.rows;
+            agg.cum_ns += s.cum_ns;
+            agg.errors += s.errors;
+            agg.faults += s.faults;
+        }
+    }
+    type Field = fn(&NodeStatsSnapshot) -> u64;
+    let op_families: [(&str, &str, Field); 5] = [
+        (
+            "qp_getnext_calls_total",
+            "GetNext calls per operator kind (the paper's unit of work).",
+            |s| s.calls,
+        ),
+        (
+            "qp_rows_total",
+            "Rows produced per operator kind.",
+            |s| s.rows,
+        ),
+        (
+            "qp_exec_ns_total",
+            "Wall-clock nanoseconds inside next() per operator kind (0 unless timed observation is on).",
+            |s| s.cum_ns,
+        ),
+        (
+            "qp_exec_errors_total",
+            "GetNext calls that returned an error, per operator kind.",
+            |s| s.errors,
+        ),
+        (
+            "qp_faults_injected_total",
+            "Injected faults that fired, per operator kind.",
+            |s| s.faults,
+        ),
+    ];
+    for (name, help, field) in op_families {
+        p.family(name, "counter", help);
+        for (op, agg) in &ops {
+            p.sample(name, &[("op", op)], field(agg) as f64);
+        }
+    }
+
+    p.finish()
+}
+
+/// Renders the `TRACE <id>` JSONL payload: `meta`, `operator`,
+/// `checkpoint`, and `event` lines (in that order), or `None` for an
+/// unknown id. Works on live and dead sessions alike — the whole point of
+/// the flight recorder is that a `FAILED` session's tail is still here.
+pub fn trace_jsonl(service: &QueryService, id: QueryId) -> Option<Vec<String>> {
+    let session = service.session(id)?;
+    let mut lines = Vec::new();
+
+    let mut meta = Obj::new()
+        .str("type", "meta")
+        .str("id", &id.to_string())
+        .str("state", session.state().as_str())
+        .str("health", &session.progress_cell().health().to_string())
+        .str("sql", session.sql());
+    if let Some(result) = session.result() {
+        meta = meta
+            .u64("rows", result.rows.len() as u64)
+            .u64("total_getnext", result.total_getnext);
+    }
+    if let Some(error) = session.error() {
+        meta = meta.str("error", &error);
+    }
+    if let Some(trace) = session.trace_buffer() {
+        meta = meta
+            .u64("checkpoints", trace.pushed())
+            .u64("checkpoints_dropped", trace.dropped());
+    }
+    lines.push(meta.finish());
+
+    if let Some(obs) = session.obs() {
+        for (node, (&label, s)) in obs.labels().iter().zip(obs.snapshot()).enumerate() {
+            lines.push(
+                Obj::new()
+                    .str("type", "operator")
+                    .u64("node", node as u64)
+                    .str("op", label)
+                    .u64("calls", s.calls)
+                    .u64("rows", s.rows)
+                    .u64("cum_ns", s.cum_ns)
+                    .u64("errors", s.errors)
+                    .u64("faults", s.faults)
+                    .finish(),
+            );
+        }
+    }
+
+    if let Some(trace) = session.trace_buffer() {
+        for pt in trace.tail() {
+            let mut o = Obj::new()
+                .str("type", "checkpoint")
+                .u64("seq", pt.seq)
+                .u64("curr", pt.curr)
+                .u64("lb", pt.lb);
+            // An unknown upper bound travels as u64::MAX in the ring and
+            // renders as null (JSON has no infinity).
+            o = if pt.ub == u64::MAX {
+                o.f64("ub", f64::INFINITY)
+            } else {
+                o.u64("ub", pt.ub)
+            };
+            for (name, est) in ESTIMATORS.iter().zip(&pt.estimates) {
+                o = o.f64(name, *est);
+            }
+            lines.push(o.finish());
+        }
+    }
+
+    for e in service.recorder().tail_for(id.0) {
+        lines.push(event_line(&e).finish());
+    }
+
+    Some(lines)
+}
+
+/// One flight-recorder event as a JSONL object, with the kind-specific
+/// payload words decoded into named fields.
+fn event_line(e: &Event) -> Obj {
+    let o = Obj::new()
+        .str("type", "event")
+        .u64("seq", e.seq)
+        .u64("t_micros", e.t_micros)
+        .str("kind", e.kind.as_str());
+    let state_name = |code: u64| QueryState::from_code(code).map_or("unknown", QueryState::as_str);
+    match e.kind {
+        EventKind::SessionSubmitted => o,
+        EventKind::StateChanged => o.str("to", state_name(e.a)).str("from", state_name(e.b)),
+        EventKind::SnapshotPublished => o.u64("curr", e.a).u64("lb", e.b),
+        EventKind::SnapshotClamped => o.u64("curr", e.a),
+        EventKind::FaultInjected => o.u64("getnext", e.a).str("fault", fault_kind_name(e.b)),
+        EventKind::DeadlineExceeded | EventKind::CancelObserved => {
+            o.u64("getnext", e.a).u64("node", e.b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use qp_datagen::{TpchConfig, TpchDb};
+    use std::sync::Arc;
+
+    fn tiny_service() -> QueryService {
+        let t = TpchDb::generate(TpchConfig {
+            scale: 0.002,
+            z: 1.0,
+            seed: 7,
+        });
+        QueryService::new(
+            Arc::new(t.db),
+            ServiceConfig {
+                workers: 1,
+                stride: Some(10),
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn metrics_cover_sessions_recorder_and_operators() {
+        let service = tiny_service();
+        let id = service.submit("SELECT COUNT(*) AS n FROM nation").unwrap();
+        assert_eq!(service.wait(id), Some(QueryState::Finished));
+
+        let text = metrics_text(&service);
+        assert!(text.contains("# TYPE qp_uptime_seconds gauge"), "{text}");
+        assert!(text.contains("qp_sessions_submitted_total 1"), "{text}");
+        assert!(text.contains("qp_sessions{state=\"FINISHED\"} 1"), "{text}");
+        assert!(
+            text.contains("qp_recorder_events_total{kind=\"session_submitted\"} 1"),
+            "{text}"
+        );
+        // The scan over `nation` must show up as operator work.
+        let calls_line = text
+            .lines()
+            .find(|l| l.starts_with("qp_getnext_calls_total{op=\"SeqScan\"}"))
+            .unwrap_or_else(|| panic!("no SeqScan sample in:\n{text}"));
+        let calls: f64 = calls_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(calls > 0.0, "{calls_line}");
+    }
+
+    #[test]
+    fn trace_lines_parse_and_carry_the_trajectory() {
+        let service = tiny_service();
+        let id = service
+            .submit("SELECT COUNT(*) AS n FROM lineitem")
+            .unwrap();
+        assert_eq!(service.wait(id), Some(QueryState::Finished));
+
+        let lines = trace_jsonl(&service, id).expect("known session");
+        assert!(lines.len() > 3, "{lines:?}");
+        let values: Vec<_> = lines
+            .iter()
+            .map(|l| qp_obs::json::parse(l).expect("valid JSONL"))
+            .collect();
+        assert_eq!(values[0].get("type").and_then(|v| v.as_str()), Some("meta"));
+        assert_eq!(
+            values[0].get("state").and_then(|v| v.as_str()),
+            Some("FINISHED")
+        );
+        let kinds: Vec<_> = values
+            .iter()
+            .filter_map(|v| v.get("type").and_then(|t| t.as_str()))
+            .collect();
+        assert!(kinds.contains(&"operator"), "{kinds:?}");
+        assert!(kinds.contains(&"checkpoint"), "{kinds:?}");
+        assert!(kinds.contains(&"event"), "{kinds:?}");
+        // Checkpoints carry every estimator and a non-decreasing curr.
+        let currs: Vec<u64> = values
+            .iter()
+            .filter(|v| v.get("type").and_then(|t| t.as_str()) == Some("checkpoint"))
+            .map(|v| {
+                for name in ESTIMATORS {
+                    assert!(v.get(name).is_some(), "missing {name}: {v:?}");
+                }
+                v.get("curr").and_then(|c| c.as_u64()).unwrap()
+            })
+            .collect();
+        assert!(!currs.is_empty());
+        assert!(currs.windows(2).all(|w| w[0] <= w[1]), "{currs:?}");
+
+        assert!(trace_jsonl(&service, QueryId(999)).is_none());
+    }
+}

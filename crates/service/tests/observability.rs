@@ -1,0 +1,271 @@
+//! End-to-end observability: the metrics/trace surface exercised the way
+//! an operator would use it.
+//!
+//! * `METRICS` over TCP while sessions run concurrently: every scrape
+//!   parses, and every counter family is monotone scrape-over-scrape
+//!   (sessions are never evicted; counters only grow).
+//! * `TRACE <id>` over TCP: every line is machine-parseable JSONL, the
+//!   checkpoint stream has non-decreasing `curr`, and Proposition 4
+//!   holds at every checkpoint — `pmax` never underestimates true
+//!   progress `curr / total(Q)` of a finished query.
+//! * `LIST` carries the health flag, and a fault-killed session shows
+//!   `FAILED failed` while its neighbours stay `ok`.
+//! * The flight recorder keeps the tail of fault-killed sessions — the
+//!   whole point of a crash recorder — under every chaos seed in 1..=8.
+
+use qp_datagen::{TpchConfig, TpchDb};
+use qp_exec::{FaultConfig, FaultKind, FaultPlan};
+use qp_obs::json::{parse, Value};
+use qp_obs::EventKind;
+use qp_progress::Health;
+use qp_service::{
+    telemetry, ProgressServer, QueryId, QueryService, QueryState, ServiceClient, ServiceConfig,
+    SubmitOptions, ESTIMATORS,
+};
+use qp_stats::DbStats;
+use qp_storage::Database;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tpch() -> Arc<Database> {
+    let t = TpchDb::generate(TpchConfig {
+        scale: 0.005,
+        z: 1.0,
+        seed: 42,
+    });
+    Arc::new(t.db)
+}
+
+fn service_with(db: &Arc<Database>, config: ServiceConfig) -> Arc<QueryService> {
+    let stats = Arc::new(DbStats::build(db));
+    Arc::new(QueryService::with_stats(Arc::clone(db), stats, config))
+}
+
+fn workload_sql() -> Vec<&'static str> {
+    qp_workloads::sql_text::SQL_QUERIES
+        .iter()
+        .map(|&q| qp_workloads::sql_text::tpch_sql(q).expect("sql text"))
+        .collect()
+}
+
+/// Sums every sample of one Prometheus family in a text exposition.
+fn family_sum(metrics: &str, family: &str) -> f64 {
+    metrics
+        .lines()
+        .filter(|l| l.starts_with(&format!("{family}{{")) || l.starts_with(&format!("{family} ")))
+        .map(|l| {
+            l.rsplit(' ')
+                .next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or_else(|| panic!("unparsable sample line {l:?}"))
+        })
+        .sum()
+}
+
+#[test]
+fn metrics_are_monotone_and_traces_validate_over_tcp() {
+    let db = tpch();
+    let service = service_with(
+        &db,
+        ServiceConfig {
+            workers: 3,
+            stride: Some(100),
+            ..ServiceConfig::default()
+        },
+    );
+    let mut server = ProgressServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
+    let mut client = ServiceClient::connect(server.local_addr()).expect("connects");
+
+    let ids: Vec<QueryId> = workload_sql()
+        .iter()
+        .map(|sql| {
+            client
+                .submit(sql)
+                .expect("io")
+                .expect("admitted over the wire")
+        })
+        .collect();
+
+    // Scrape while the suite runs: every scrape parses, every counter
+    // family is monotone against the previous scrape.
+    let families = [
+        "qp_getnext_calls_total",
+        "qp_rows_total",
+        "qp_sessions_submitted_total",
+        "qp_recorder_events_total",
+    ];
+    let mut last = [0.0f64; 4];
+    let mut done = false;
+    while !done {
+        done = ids
+            .iter()
+            .all(|&id| service.status(id).is_some_and(|s| s.state.is_terminal()));
+        let metrics = client.metrics().expect("io").expect("METRICS serves");
+        for (prev, family) in last.iter_mut().zip(families) {
+            let now = family_sum(&metrics, family);
+            assert!(
+                now >= *prev,
+                "{family} regressed {prev} -> {now} between scrapes"
+            );
+            *prev = now;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        last[0] > 0.0 && last[1] > 0.0,
+        "a finished workload must have produced getnext calls and rows"
+    );
+
+    // Every session finished; every TRACE parses and honours Prop 4.
+    for &id in &ids {
+        assert_eq!(service.wait(id), Some(QueryState::Finished));
+        let lines = client.trace(id).expect("io").expect("TRACE serves");
+        let meta = parse(&lines[0]).expect("meta line parses");
+        assert_eq!(meta.get("type").and_then(Value::as_str), Some("meta"));
+        let total = meta
+            .get("total_getnext")
+            .and_then(Value::as_u64)
+            .expect("finished sessions report total(Q)");
+        let mut prev_curr = 0;
+        let mut checkpoints = 0;
+        for line in &lines {
+            let v = parse(line).unwrap_or_else(|e| panic!("unparsable line {line:?}: {e}"));
+            match v.get("type").and_then(Value::as_str) {
+                Some("operator") => {
+                    assert!(v.get("op").and_then(Value::as_str).is_some());
+                }
+                Some("checkpoint") => {
+                    checkpoints += 1;
+                    let curr = v.get("curr").and_then(Value::as_u64).expect("curr");
+                    assert!(curr >= prev_curr, "{id}: curr regressed");
+                    prev_curr = curr;
+                    let pmax = v.get("pmax").and_then(Value::as_f64).expect("pmax");
+                    let true_progress = curr as f64 / total as f64;
+                    assert!(
+                        pmax >= true_progress - 1e-9,
+                        "{id}: Prop 4 violated: pmax {pmax} < {true_progress}"
+                    );
+                    for name in ESTIMATORS {
+                        assert!(v.get(name).is_some(), "{id}: checkpoint missing {name}");
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(checkpoints > 0, "{id}: trace carried no checkpoints");
+    }
+
+    client.shutdown().expect("clean shutdown");
+    server.shutdown();
+}
+
+#[test]
+fn list_health_flags_isolate_the_fault_killed_session() {
+    let db = tpch();
+    let service = service_with(
+        &db,
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let mut server = ProgressServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
+    let mut client = ServiceClient::connect(server.local_addr()).expect("connects");
+
+    let ok = service
+        .submit("SELECT COUNT(*) AS n FROM nation")
+        .expect("admitted");
+    let killed = service
+        .submit_with(
+            "SELECT COUNT(*) AS n FROM lineitem",
+            SubmitOptions {
+                faults: Some(FaultPlan::single(50, FaultKind::ExecError)),
+                ..SubmitOptions::default()
+            },
+        )
+        .expect("admitted");
+    assert_eq!(service.wait(ok), Some(QueryState::Finished));
+    assert_eq!(service.wait(killed), Some(QueryState::Failed));
+
+    let listed = client.list().expect("io").expect("LIST serves");
+    let row = |id| listed.iter().find(|(i, _, _)| *i == id).expect("listed");
+    assert_eq!(row(ok).1, QueryState::Finished);
+    assert_eq!(row(ok).2, Health::Ok);
+    assert_eq!(row(killed).1, QueryState::Failed);
+    assert_eq!(row(killed).2, Health::Failed);
+
+    // The dead session still serves a TRACE, with the failure in the
+    // meta line and the injected fault on the operator counters.
+    let lines = client.trace(killed).expect("io").expect("TRACE serves");
+    let meta = parse(&lines[0]).expect("meta parses");
+    assert_eq!(meta.get("state").and_then(Value::as_str), Some("FAILED"));
+    assert!(meta.get("error").is_some(), "meta must carry the error");
+    let (mut errors, mut faults) = (0, 0);
+    for line in &lines {
+        let v = parse(line).expect("line parses");
+        if v.get("type").and_then(Value::as_str) == Some("operator") {
+            errors += v.get("errors").and_then(Value::as_u64).unwrap_or(0);
+            faults += v.get("faults").and_then(Value::as_u64).unwrap_or(0);
+        }
+    }
+    assert!(errors >= 1, "the injected error must be counted");
+    assert!(faults >= 1, "the fired fault must be counted");
+
+    client.shutdown().expect("clean shutdown");
+    server.shutdown();
+}
+
+#[test]
+fn recorder_retains_the_tail_of_fault_killed_sessions() {
+    let db = tpch();
+    let mut failed_seen = 0u32;
+    for seed in 1..=8u64 {
+        let service = service_with(
+            &db,
+            ServiceConfig {
+                workers: 3,
+                stride: Some(100),
+                fault_seed: Some(seed),
+                fault_config: FaultConfig {
+                    horizon: 4_000,
+                    exec_errors: 1,
+                    storage_errors: 1,
+                    panics: 1,
+                    delays: 1,
+                    delay: Duration::from_millis(1),
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        let ids: Vec<QueryId> = workload_sql()
+            .iter()
+            .map(|sql| service.submit(sql).expect("admitted"))
+            .collect();
+        for &id in &ids {
+            service.wait(id);
+        }
+        for &id in &ids {
+            if service.status(id).map(|s| s.state) != Some(QueryState::Failed) {
+                continue;
+            }
+            failed_seen += 1;
+            // The recorder still holds this session's tail, ending in
+            // the transition into FAILED — even though later sessions
+            // kept writing into the shared ring.
+            let tail = service.recorder().tail_for(id.0);
+            assert!(!tail.is_empty(), "seed {seed}: no events retained for {id}");
+            let died = tail
+                .iter()
+                .any(|e| e.kind == EventKind::StateChanged && e.a == QueryState::Failed.code());
+            assert!(died, "seed {seed}: {id} lost its death event");
+            // And the TRACE verb reconstructs the session post-mortem.
+            let lines = telemetry::trace_jsonl(&service, id).expect("dead session traces");
+            let meta = parse(&lines[0]).expect("meta parses");
+            assert_eq!(meta.get("state").and_then(Value::as_str), Some("FAILED"));
+        }
+    }
+    assert!(
+        failed_seen > 0,
+        "the dense fault mix must kill at least one session across 8 seeds"
+    );
+}

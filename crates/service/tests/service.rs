@@ -373,8 +373,8 @@ fn tcp_concurrent_tpch_with_live_polling_and_cancel() {
     assert_eq!(listed.len(), 6);
     let cancelled: Vec<QueryId> = listed
         .iter()
-        .filter(|(_, s)| *s == QueryState::Cancelled)
-        .map(|(id, _)| *id)
+        .filter(|(_, s, _)| *s == QueryState::Cancelled)
+        .map(|(id, _, _)| *id)
         .collect();
     assert_eq!(cancelled, vec![victim]);
 

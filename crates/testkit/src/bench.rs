@@ -293,7 +293,7 @@ const WARMUP: Duration = Duration::from_millis(50);
 
 impl Bencher {
     /// Measures `f`: warmup, calibrate a batch size so a sample lasts at
-    /// least [`TARGET_SAMPLE`], then record `sample_size` samples.
+    /// least `TARGET_SAMPLE`, then record `sample_size` samples.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
         // Warmup + calibration: run until the budget is spent, tracking
         // the per-iteration cost.

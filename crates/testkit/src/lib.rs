@@ -15,7 +15,7 @@
 //!   macro): seeded case generation from composable [`prop::Strategy`]
 //!   values, configurable case counts, and greedy input shrinking on
 //!   failure.
-//! * [`bench`] — a lightweight timing harness (warmup, calibrated
+//! * [`bench`](mod@bench) — a lightweight timing harness (warmup, calibrated
 //!   batching, median/p95 reporting, JSON output) for `[[bench]]` targets
 //!   with `harness = false`.
 //! * [`fault`] — deterministic fault injection: a seeded [`fault::FaultPlan`]

@@ -1,6 +1,6 @@
 //! A minimal property-testing harness.
 //!
-//! [`prop_check!`] declares a `#[test]` that generates many random inputs
+//! `prop_check!` declares a `#[test]` that generates many random inputs
 //! from composable [`Strategy`] values (integer/float ranges, tuples,
 //! vectors), runs the body on each, and on failure greedily *shrinks* the
 //! input to a small counterexample before panicking. Case generation is
@@ -146,7 +146,7 @@ impl_tuple_strategy!(
 pub mod collection {
     use super::*;
 
-    /// A length specification for [`vec`]: `lo..hi` or `lo..=hi`.
+    /// A length specification for [`vec()`]: `lo..hi` or `lo..=hi`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -306,7 +306,7 @@ fn run_case<S: Strategy>(
 }
 
 /// Drives one property: generates `config.cases` inputs, tests each, and
-/// shrinks + panics on the first failure. Used via [`prop_check!`].
+/// shrinks + panics on the first failure. Used via `prop_check!`.
 pub fn run<S: Strategy>(
     name: &str,
     config: &PropConfig,
@@ -361,7 +361,7 @@ pub fn run<S: Strategy>(
 /// ```
 ///
 /// Each argument takes a pattern and a [`Strategy`] expression. The body
-/// may use [`prop_assert!`] / [`prop_assert_eq!`] (which report and
+/// may use `prop_assert!` / `prop_assert_eq!` (which report and
 /// trigger shrinking) or plain `assert!`/`unwrap` (panics are caught and
 /// shrunk too). Multiple `fn` items may appear in one invocation, sharing
 /// the `cases` count.
@@ -419,7 +419,7 @@ macro_rules! prop_assert {
     };
 }
 
-/// `assert_eq!` for property bodies; see [`prop_assert!`].
+/// `assert_eq!` for property bodies; see `prop_assert!`.
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($left:expr, $right:expr $(,)?) => {{

@@ -3,7 +3,11 @@
 //! live from a polling client, cancel the most expensive one mid-flight,
 //! and let a fifth query run into its `TIMEOUT_MS` deadline (TIMEDOUT).
 //! Every STATUS line carries the session's health flag
-//! (ok / degraded / failed), rendered alongside the bars.
+//! (ok / degraded / failed), rendered alongside the bars. Afterwards the
+//! observability surface gets the same over-the-wire treatment: a
+//! `METRICS` scrape (Prometheus text), a `TRACE` of one finished query
+//! rendered as a per-operator counter table, and the flight recorder's
+//! event tail.
 //!
 //! ```text
 //! cargo run --release --example service_progress
@@ -14,6 +18,7 @@
 //! — the same conversation any external client would have.
 
 use queryprogress::datagen::{TpchConfig, TpchDb};
+use queryprogress::obs::json::{parse, Value};
 use queryprogress::service::{ProgressServer, QueryService, ServiceClient, ServiceConfig};
 use std::sync::Arc;
 use std::time::Duration;
@@ -151,6 +156,61 @@ fn main() {
                 report.health.as_str()
             ),
         }
+    }
+
+    // The same TCP conversation serves the observability surface. First a
+    // METRICS scrape — the Prometheus text any collector would ingest.
+    let metrics = client.metrics().expect("io").expect("METRICS");
+    println!("\nMETRICS (per-operator families, summed over all sessions):");
+    for line in metrics
+        .lines()
+        .filter(|l| l.starts_with("qp_getnext_calls_total") || l.starts_with("qp_rows_total"))
+    {
+        println!("  {line}");
+    }
+
+    // Then a TRACE of the first query: the JSONL post-mortem, rendered
+    // here as the per-operator counter table an operator would read.
+    let (traced, traced_label) = submitted[0];
+    let lines = client.trace(traced).expect("io").expect("TRACE");
+    println!("\nTRACE {traced} ({traced_label}) — per-operator counters:");
+    println!(
+        "  {:<4} {:<12} {:>9} {:>9} {:>7} {:>6}",
+        "node", "op", "calls", "rows", "errors", "faults"
+    );
+    for line in &lines {
+        let v = parse(line).expect("trace lines are JSONL");
+        if v.get("type").and_then(Value::as_str) == Some("operator") {
+            println!(
+                "  {:<4} {:<12} {:>9} {:>9} {:>7} {:>6}",
+                v.get("node").and_then(Value::as_u64).unwrap_or(0),
+                v.get("op").and_then(Value::as_str).unwrap_or("?"),
+                v.get("calls").and_then(Value::as_u64).unwrap_or(0),
+                v.get("rows").and_then(Value::as_u64).unwrap_or(0),
+                v.get("errors").and_then(Value::as_u64).unwrap_or(0),
+                v.get("faults").and_then(Value::as_u64).unwrap_or(0),
+            );
+        }
+    }
+
+    // And the point of the flight recorder: the TIMEDOUT session's event
+    // tail is still in the ring, ending at its death.
+    let events: Vec<String> = client
+        .trace(deadline_id)
+        .expect("io")
+        .expect("TRACE")
+        .into_iter()
+        .filter(|l| {
+            parse(l)
+                .expect("trace lines are JSONL")
+                .get("type")
+                .and_then(Value::as_str)
+                == Some("event")
+        })
+        .collect();
+    println!("\nflight-recorder tail for {deadline_id} (died by deadline):");
+    for e in events.iter().rev().take(5).rev() {
+        println!("  {e}");
     }
 
     client.shutdown().expect("io");

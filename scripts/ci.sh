@@ -12,14 +12,26 @@ cargo fmt --all --check
 echo "==> cargo build --release --offline (tier-1)"
 cargo build --release --offline --workspace --all-targets
 
+echo "==> cargo build --release --offline -p qp-exec --no-default-features (obs compiled out)"
+cargo build --release --offline -p qp-exec --no-default-features
+
 echo "==> cargo clippy --offline -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --offline --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
 
 echo "==> cargo test -q --offline (tier-1)"
 cargo test -q --offline --workspace
 
 echo "==> bench smoke (no --bench flag: compile + skip)"
 cargo test -q --offline -p qp-bench --benches
+
+echo "==> observability overhead gate (counters must stay within budget of bare)"
+# Full measurement: exits non-zero if the untimed counters cost more than
+# QP_OBS_BUDGET_PCT (default 5 %) vs a bare run, and refreshes
+# BENCH_overhead.json — the repo's performance trajectory.
+cargo bench --offline -q -p qp-bench --bench obs_overhead
 
 echo "==> qp-service smoke (server + client example end to end)"
 cargo run --release --offline -q --example service_progress | grep -q "server stopped cleanly"

@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the queryprogress workspace.
 pub use qp_datagen as datagen;
 pub use qp_exec as exec;
+pub use qp_obs as obs;
 pub use qp_progress as progress;
 pub use qp_service as service;
 pub use qp_sql as sql;
