@@ -108,9 +108,12 @@ fn bench_bounds_refresh(c: &mut Harness) {
     let wide = {
         let a = PlanBuilder::scan(&s.db, "r1").unwrap();
         let b = PlanBuilder::scan(&s.db, "r2").unwrap();
-        let j = a.hash_join(b, vec![0], vec![0], JoinType::Inner, true);
+        let j = a
+            .hash_join(b, vec![0], vec![0], JoinType::Inner, true)
+            .unwrap();
         let c2 = PlanBuilder::scan(&s.db, "r2").unwrap();
         j.hash_join(c2, vec![0], vec![0], JoinType::Inner, true)
+            .unwrap()
             .sort(vec![(0, true)])
             .limit(100)
             .build()

@@ -54,6 +54,7 @@ fn bench_operators(c: &mut Harness) {
             JoinType::Inner,
             true,
         )
+        .unwrap()
         .build();
     group.throughput(Throughput::Elements(total(&hash, &s)));
     group.bench_function("hash-join-10k-100k", |b| {
@@ -85,6 +86,7 @@ fn bench_operators(c: &mut Harness) {
             .unwrap()
             .sort(vec![(0, true)]);
         l.merge_join(r, vec![0], vec![0], JoinType::Inner, true)
+            .unwrap()
             .build()
     };
     group.throughput(Throughput::Elements(total(&merge, &s)));

@@ -26,6 +26,9 @@
 //! (the same payload the service's `TRACE <id>` verb serves) — one
 //! `q<N>.jsonl` per query under `--csv <dir>` (default `target/traces`),
 //! validating Proposition 4 per checkpoint on the way out.
+//! `--estimators <csv>` picks the per-session estimator suite by name
+//! from the `qp_progress::estimators` registry (the same names the wire
+//! protocol's `ESTIMATORS=` field accepts); unknown names abort up front.
 
 use qp_bench::experiments::{ablations, chaos, extensions, figures, tables, theory, trace_export};
 use qp_bench::Scale;
@@ -111,20 +114,46 @@ fn main() {
             std::process::exit(2);
         }),
     };
+    let estimators_flag_value: Option<&String> = args
+        .iter()
+        .position(|a| a == "--estimators")
+        .and_then(|i| args.get(i + 1));
+    if let Some(csv) = estimators_flag_value {
+        // Validate against the registry up front — a typo'd estimator
+        // name aborts before any experiment runs.
+        if let Err(e) = qp_progress::parse_suite(csv) {
+            eprintln!(
+                "error: bad --estimators value {csv:?}: {e}\n       registered: {}",
+                qp_progress::ESTIMATOR_NAMES.join(",")
+            );
+            std::process::exit(2);
+        }
+    }
+    let estimators: Option<&str> = estimators_flag_value.map(String::as_str);
 
     // Validate everything up front: a typo ("fig8") must abort the whole
     // invocation with the experiment table, not silently skip or die
     // halfway through a sweep.
     if let Some(flag) = args.iter().find(|a| {
-        a.starts_with("--") && !matches!(a.as_str(), "--small" | "--csv" | "--list" | "--seed")
+        a.starts_with("--")
+            && !matches!(
+                a.as_str(),
+                "--small" | "--csv" | "--list" | "--seed" | "--estimators"
+            )
     }) {
-        eprintln!("error: unknown flag {flag:?} (known: --small, --csv <dir>, --seed <n>, --list)");
+        eprintln!(
+            "error: unknown flag {flag:?} \
+             (known: --small, --csv <dir>, --seed <n>, --estimators <csv>, --list)"
+        );
         std::process::exit(2);
     }
     let named: Vec<&str> = args
         .iter()
         .filter(|a| {
-            !a.starts_with("--") && Some(*a) != csv_flag_value && Some(*a) != seed_flag_value
+            !a.starts_with("--")
+                && Some(*a) != csv_flag_value
+                && Some(*a) != seed_flag_value
+                && Some(*a) != estimators_flag_value
         })
         .map(String::as_str)
         .collect();
@@ -177,7 +206,7 @@ fn main() {
                 }
             }
             "trace" => {
-                let result = trace_export::trace(&scale, csv_dir.as_deref());
+                let result = trace_export::trace(&scale, csv_dir.as_deref(), estimators);
                 print!("{}", result.render());
                 if !result.passed() {
                     std::process::exit(1);

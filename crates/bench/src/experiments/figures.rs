@@ -75,6 +75,7 @@ pub fn synthetic_hash_plan(s: &SyntheticDb) -> Plan {
     PlanBuilder::scan(&s.db, "r1")
         .expect("r1")
         .hash_join(probe, vec![0], vec![0], JoinType::Inner, true)
+        .unwrap()
         .build()
 }
 

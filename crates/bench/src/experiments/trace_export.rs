@@ -19,7 +19,7 @@
 use crate::render::render_table;
 use crate::Scale;
 use qp_obs::json::{parse, Value};
-use qp_service::{telemetry, QueryService, ServiceConfig, ESTIMATORS};
+use qp_service::{telemetry, QueryService, ServiceConfig, SubmitOptions, ESTIMATORS};
 use qp_stats::DbStats;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -66,8 +66,10 @@ fn field(v: &Value, key: &str) -> Option<f64> {
 }
 
 /// Exports the TPC-H workload's trajectories to `out_dir` (default
-/// `target/traces`), validating every emitted line.
-pub fn trace(scale: &Scale, out_dir: Option<&Path>) -> TraceResult {
+/// `target/traces`), validating every emitted line. `estimators` is a
+/// registry CSV (`repro --estimators dne,pmax`) overriding the default
+/// per-session suite; `None` keeps the service default.
+pub fn trace(scale: &Scale, out_dir: Option<&Path>, estimators: Option<&str>) -> TraceResult {
     let out_dir = out_dir
         .map(Path::to_path_buf)
         .unwrap_or_else(|| Path::new("target").join("traces"));
@@ -94,16 +96,25 @@ pub fn trace(scale: &Scale, out_dir: Option<&Path>) -> TraceResult {
         .collect();
     let ids: Vec<_> = queries
         .iter()
-        .map(|sql| service.submit(sql).expect("admitted"))
+        .map(|sql| {
+            let opts = SubmitOptions {
+                estimators: estimators.map(String::from),
+                ..SubmitOptions::default()
+            };
+            service.submit_with(sql, opts).expect("admitted")
+        })
         .collect();
     for &id in &ids {
         service.wait(id);
     }
 
-    assert!(
-        ESTIMATORS.contains(&"pmax"),
-        "the Prop-4 check needs the pmax estimator registered"
-    );
+    // Prop 4 is checkable only when the session suite carries pmax; with
+    // a custom `--estimators` suite that drops it, the structural checks
+    // (parse, curr monotone) still run on every line.
+    let has_pmax = match estimators {
+        None => ESTIMATORS.contains(&"pmax"),
+        Some(csv) => csv.split(',').any(|n| n.trim() == "pmax"),
+    };
     let mut violations = Vec::new();
     let mut rows = Vec::new();
     for (&id, sql) in ids.iter().zip(&queries) {
@@ -131,6 +142,9 @@ pub fn trace(scale: &Scale, out_dir: Option<&Path>) -> TraceResult {
                     // Proposition 4: pmax never underestimates true
                     // progress (checkable post-hoc, once total(Q) is
                     // known).
+                    if !has_pmax {
+                        continue;
+                    }
                     if let (Some(total), Some(pmax)) = (total, field(&v, "pmax")) {
                         let true_progress = curr as f64 / total as f64;
                         if pmax < true_progress - 1e-9 {

@@ -424,6 +424,7 @@ mod tests {
                 JoinType::Inner,
                 true,
             )
+            .unwrap()
             .build();
         assert!(profile_work(&plan, &db).is_err());
     }

@@ -68,6 +68,10 @@ enum NodeRule {
     Aggregate {
         scalar: bool,
     },
+    /// Exchange: transparent plumbing — its wrapper never counts a
+    /// getnext call, so it contributes `[0, 0]` and the sums `LB`/`UB`
+    /// are byte-identical to the serial plan's.
+    Exchange,
 }
 
 /// Tracks `[lb, ub]` per node and the totals `LB`, `UB`.
@@ -89,11 +93,29 @@ impl BoundsTracker {
         let mut rules = Vec::with_capacity(n);
         let mut children = Vec::with_capacity(n);
         let mut parent = vec![None; n];
+        // An Exchange is transparent to the bounds rules: consumers read
+        // their grandchild's bounds through it, and the finalization /
+        // limit walks follow the serial tree shape. Resolve every child
+        // edge through any interposed exchanges.
+        let resolve = |mut c: NodeId| -> NodeId {
+            while let PlanNode::Exchange { .. } = &plan.node(c).kind {
+                c = plan.node(c).children[0];
+            }
+            c
+        };
         for (id, node) in plan.nodes().iter().enumerate() {
-            children.push(node.children.clone());
-            for &c in &node.children {
+            if matches!(node.kind, PlanNode::Exchange { .. }) {
+                // Spliced out: no edges, so it is never an ancestor in the
+                // finalization walk and never visited by the limit DFS.
+                children.push(Vec::new());
+                rules.push(NodeRule::Exchange);
+                continue;
+            }
+            let kids: Vec<NodeId> = node.children.iter().map(|&c| resolve(c)).collect();
+            for &c in &kids {
                 parent[c] = Some(id);
             }
+            children.push(kids);
             rules.push(match &node.kind {
                 PlanNode::SeqScan { card, .. } => NodeRule::ScanExact { card: *card },
                 PlanNode::IndexRangeScan {
@@ -142,6 +164,7 @@ impl BoundsTracker {
                 | PlanNode::StreamAggregate { group_by, .. } => NodeRule::Aggregate {
                     scalar: group_by.is_empty(),
                 },
+                PlanNode::Exchange { .. } => unreachable!("spliced out above"),
             });
         }
         // Mark nodes that can stop early because of a Limit above them.
@@ -325,6 +348,8 @@ impl BoundsTracker {
                     }
                 }
             }
+            // Transparent: never produces a counted row.
+            NodeRule::Exchange => NodeBounds { lb: 0, ub: 0 },
         };
         // Under a Limit, only rows already produced are guaranteed.
         if self.under_limit[id] {
@@ -486,6 +511,7 @@ mod tests {
         let plan = PlanBuilder::scan(&db, "t")
             .unwrap()
             .hash_join(probe, vec![0], vec![0], JoinType::Inner, true)
+            .unwrap()
             .build();
         let tracker = BoundsTracker::new(&plan, None);
         // Join ub = max(100, 50) = 100; total UB = 100 + 50 + 100.

@@ -394,6 +394,69 @@ pub fn standard_suite() -> Vec<Box<dyn ProgressEstimator>> {
     ]
 }
 
+/// Registered estimator names, in the order the paper discusses them.
+/// This is the single source of truth for name→constructor resolution:
+/// the service's `SUBMIT ESTIMATORS=` field and the repro binary's
+/// `--estimators` flag both resolve through [`estimator_by_name`].
+pub const ESTIMATOR_NAMES: [&str; 9] = [
+    "trivial",
+    "dne",
+    "dne-refined",
+    "pmax",
+    "safe",
+    "safe-arith",
+    "esttotal",
+    "dne-clamped",
+    "hybrid",
+];
+
+/// Constructs a fresh estimator by its registered name (the same string
+/// its `ProgressEstimator::name` returns). `None` for unknown names.
+pub fn estimator_by_name(name: &str) -> Option<Box<dyn ProgressEstimator>> {
+    Some(match name {
+        "trivial" => Box::new(Trivial),
+        "dne" => Box::new(Dne),
+        "dne-refined" => Box::new(DneRefined),
+        "pmax" => Box::new(Pmax),
+        "safe" => Box::new(Safe),
+        "safe-arith" => Box::new(SafeArithmetic),
+        "esttotal" => Box::new(EstTotal),
+        "dne-clamped" => Box::new(DneClamped::default()),
+        "hybrid" => Box::new(Hybrid::default()),
+        _ => return None,
+    })
+}
+
+/// Parses a comma-separated estimator list (e.g. `"dne,pmax,safe"`) into
+/// a suite, rejecting unknown or duplicate names with a message that
+/// lists the valid ones. Empty input yields an error (callers wanting a
+/// default should use [`standard_suite`]).
+pub fn parse_suite(csv: &str) -> Result<Vec<Box<dyn ProgressEstimator>>, String> {
+    let mut suite: Vec<Box<dyn ProgressEstimator>> = Vec::new();
+    let mut seen = Vec::new();
+    for raw in csv.split(',') {
+        let name = raw.trim();
+        if name.is_empty() {
+            continue;
+        }
+        if seen.contains(&name) {
+            return Err(format!("duplicate estimator {name:?}"));
+        }
+        let est = estimator_by_name(name).ok_or_else(|| {
+            format!(
+                "unknown estimator {name:?} (valid: {})",
+                ESTIMATOR_NAMES.join(", ")
+            )
+        })?;
+        seen.push(name);
+        suite.push(est);
+    }
+    if suite.is_empty() {
+        return Err("empty estimator list".to_string());
+    }
+    Ok(suite)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -611,5 +674,32 @@ mod tests {
         let n = names.len();
         names.dedup();
         assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn registry_round_trips_every_name() {
+        for name in ESTIMATOR_NAMES {
+            let est =
+                estimator_by_name(name).unwrap_or_else(|| panic!("{name} missing from registry"));
+            assert_eq!(est.name(), name);
+        }
+        assert!(estimator_by_name("nope").is_none());
+        // Every standard_suite member must be reachable by name.
+        for est in standard_suite() {
+            assert!(estimator_by_name(est.name()).is_some());
+        }
+    }
+
+    #[test]
+    fn parse_suite_accepts_csv_and_rejects_junk() {
+        let suite = parse_suite("dne, pmax,safe").unwrap();
+        let names: Vec<&str> = suite.iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["dne", "pmax", "safe"]);
+        let unknown = parse_suite("dne,bogus").err().unwrap();
+        assert!(unknown.contains("bogus"), "{unknown}");
+        let duplicate = parse_suite("dne,dne").err().unwrap();
+        assert!(duplicate.contains("duplicate"), "{duplicate}");
+        assert!(parse_suite("").is_err());
+        assert!(parse_suite(",,").is_err());
     }
 }

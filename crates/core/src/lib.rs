@@ -51,8 +51,8 @@ pub mod shared;
 pub use bounds::BoundsTracker;
 pub use bytes_model::{BytesPmax, BytesSafe, RowWidths};
 pub use estimators::{
-    Dne, DneClamped, DneRefined, EstTotal, EstimatorContext, Hybrid, Pmax, ProgressEstimator, Safe,
-    Trivial,
+    estimator_by_name, parse_suite, Dne, DneClamped, DneRefined, EstTotal, EstimatorContext,
+    Hybrid, Pmax, ProgressEstimator, Safe, Trivial, ESTIMATOR_NAMES,
 };
 pub use feedback::{FeedbackEstimator, FeedbackStore, PlanSignature};
 pub use metrics::{threshold_requirement_holds, ErrorStats};

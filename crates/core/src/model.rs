@@ -41,17 +41,34 @@ impl PlanMeta {
         let mut est_rows = Vec::with_capacity(n);
         let mut children = Vec::with_capacity(n);
         let mut parent = vec![None; n];
+        // Exchange nodes are transparent plumbing: they never count a
+        // getnext call, so they contribute nothing to est_total and the
+        // child/parent edges estimators walk are resolved *through* them —
+        // a parallelized plan yields the same metadata as its serial
+        // original (plus inert zero entries for the exchanges themselves).
+        let resolve = |mut c: NodeId| -> NodeId {
+            while let PlanNode::Exchange { .. } = &plan.node(c).kind {
+                c = plan.node(c).children[0];
+            }
+            c
+        };
         for (id, node) in plan.nodes().iter().enumerate() {
+            if matches!(node.kind, PlanNode::Exchange { .. }) {
+                est_rows.push(0.0);
+                children.push(Vec::new());
+                continue;
+            }
             let fallback = match &node.kind {
                 PlanNode::SeqScan { card, .. } => *card as f64,
                 _ => 0.0,
             };
             let est = node.est_rows.unwrap_or(fallback);
             est_rows.push(if est.is_finite() { est } else { fallback });
-            children.push(node.children.clone());
-            for &c in &node.children {
+            let kids: Vec<NodeId> = node.children.iter().map(|&c| resolve(c)).collect();
+            for &c in &kids {
                 parent[c] = Some(id);
             }
+            children.push(kids);
         }
         let scanned_leaves = plan
             .scanned_leaves()

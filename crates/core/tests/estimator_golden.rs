@@ -41,6 +41,7 @@ fn three_way_join(t: &TpchDb) -> Plan {
             JoinType::Inner,
             true,
         )
+        .unwrap()
         .inl_join(
             &t.db,
             "lineitem",

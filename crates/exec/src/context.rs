@@ -15,8 +15,18 @@
 //! Counters are atomics and the context is held in an [`Arc`], so while a
 //! query thread drives the operator tree, *other* threads (a session
 //! manager, a status endpoint) can read the counters live and request
-//! cooperative cancellation. Execution itself remains single-threaded —
-//! the paper's GetNext model is serial — but observation no longer is.
+//! cooperative cancellation.
+//!
+//! Execution itself may also be parallel: an `Exchange` operator runs
+//! partition copies of a subtree on worker threads, each under a *forked*
+//! context that shares the same [`Counters`] atomics and observer as the
+//! root context. Because every partition's [`Counted`] wrappers bump the
+//! same per-node counters, the final per-node counts and `total(Q)` are
+//! byte-identical to a serial run — the paper's GetNext accounting is
+//! preserved; only wall-clock changes. Exhaustion is producer-counted: a
+//! node wrapped by `n` partitions is only marked exhausted (and its
+//! [`ExecEvent::Exhausted`] emitted) when *all* `n` wrappers have seen
+//! their final row, so bound finalization never fires early.
 
 use crate::error::{ExecError, ExecResult};
 use qp_obs::QueryObs;
@@ -84,6 +94,11 @@ pub struct Counters {
     total: AtomicU64,
     exhausted: Vec<AtomicBool>,
     opened: Vec<AtomicBool>,
+    /// How many [`Counted`] instances produce into each node. 1 in a
+    /// serial plan; an `Exchange` running `n` partition copies of a
+    /// subtree registers `n - 1` extra producers for every subtree node.
+    /// A node is exhausted only when the count reaches zero.
+    producers: Vec<AtomicU64>,
 }
 
 impl Counters {
@@ -93,7 +108,14 @@ impl Counters {
             total: AtomicU64::new(0),
             exhausted: (0..n_nodes).map(|_| AtomicBool::new(false)).collect(),
             opened: (0..n_nodes).map(|_| AtomicBool::new(false)).collect(),
+            producers: (0..n_nodes).map(|_| AtomicU64::new(1)).collect(),
         }
+    }
+
+    /// Registers `extra` additional producers for `node` (called while the
+    /// operator tree is being built, before any row flows).
+    pub(crate) fn add_producers(&self, node: NodeId, extra: u64) {
+        self.producers[node].fetch_add(extra, Ordering::Relaxed);
     }
 
     /// getnext calls (rows produced) by `node` so far.
@@ -203,15 +225,29 @@ impl RunControls {
 
 /// Shared execution state: counters, the registered observer, the
 /// cancellation flag, and the fault/deadline controls.
+///
+/// A context is either the *root* of a query or a *fork* created for one
+/// partition of an `Exchange`: forks share the root's counters, observer,
+/// cancel token, deadline, and observability sink, but carry their own
+/// fault schedule keyed to a partition-local getnext clock (shared-total
+/// keys would make fault positions depend on thread interleaving).
 pub struct ExecContext {
-    counters: Counters,
-    observer: Mutex<Option<Box<dyn Observer>>>,
+    counters: Arc<Counters>,
+    observer: Arc<Mutex<Option<Box<dyn Observer>>>>,
     cancel: CancelToken,
     deadline: Option<Instant>,
     /// `true` iff `faults` holds a non-empty plan — read on the hot path
     /// so the zero-fault case never touches the mutex.
     has_faults: bool,
     faults: Mutex<Option<FaultPlan>>,
+    /// Pristine copy of the fault schedule this query was started with
+    /// (root contexts only) — the source `Exchange` derives per-partition
+    /// schedules from.
+    fault_proto: Option<FaultPlan>,
+    /// Partition-local getnext clock (forks only): counts rows produced
+    /// under *this* context, and keys the fork's fault schedule so a seed
+    /// pins fault positions independent of thread scheduling.
+    fault_clock: Option<AtomicU64>,
     obs: Option<Arc<QueryObs>>,
 }
 
@@ -234,14 +270,42 @@ impl ExecContext {
             debug_assert_eq!(obs.len(), n_nodes, "QueryObs arity must match the plan");
         }
         Arc::new(ExecContext {
-            counters: Counters::new(n_nodes),
-            observer: Mutex::new(None),
+            counters: Arc::new(Counters::new(n_nodes)),
+            observer: Arc::new(Mutex::new(None)),
             cancel: controls.cancel,
             deadline: controls.deadline,
             has_faults,
+            fault_proto: controls.faults.clone(),
             faults: Mutex::new(controls.faults),
+            fault_clock: None,
             obs: controls.obs,
         })
+    }
+
+    /// Creates a partition fork of `parent` for one `Exchange` worker:
+    /// counters, observer, cancel token, deadline, and observability sink
+    /// are shared (so every partition bumps the same per-node atomics);
+    /// the fork runs under its own `faults` schedule keyed to a fresh
+    /// partition-local getnext clock.
+    pub(crate) fn fork(parent: &ExecContext, faults: Option<FaultPlan>) -> Arc<ExecContext> {
+        let has_faults = faults.as_ref().is_some_and(|f| !f.is_empty());
+        Arc::new(ExecContext {
+            counters: Arc::clone(&parent.counters),
+            observer: Arc::clone(&parent.observer),
+            cancel: parent.cancel.clone(),
+            deadline: parent.deadline,
+            has_faults,
+            fault_proto: None,
+            faults: Mutex::new(faults),
+            fault_clock: Some(AtomicU64::new(0)),
+            obs: parent.obs.clone(),
+        })
+    }
+
+    /// The pristine fault schedule this (root) context was created with,
+    /// from which `Exchange` derives per-partition schedules.
+    pub(crate) fn fault_proto(&self) -> Option<&FaultPlan> {
+        self.fault_proto.as_ref()
     }
 
     /// Registers the observer (at most one; the progress monitor multiplexes
@@ -305,11 +369,16 @@ impl ExecContext {
         Ok(())
     }
 
-    /// Cold path: consult the fault plan at the current getnext index.
+    /// Cold path: consult the fault plan at the current getnext index —
+    /// the shared total for a root context, the partition-local clock for
+    /// a fork (the shared total is interleaving-dependent mid-exchange).
     #[cold]
     #[cfg_attr(not(feature = "obs"), allow(unused_variables))]
     fn check_faults(&self, node: NodeId) -> ExecResult<()> {
-        let curr = self.counters.total();
+        let curr = match &self.fault_clock {
+            Some(clock) => clock.load(Ordering::Relaxed),
+            None => self.counters.total(),
+        };
         let fired = {
             let mut faults = match self.faults.lock() {
                 Ok(g) => g,
@@ -383,6 +452,9 @@ impl ExecContext {
     fn record_row(&self, node: NodeId) {
         let n = self.counters.per_node[node].fetch_add(1, Ordering::Relaxed) + 1;
         self.counters.total.fetch_add(1, Ordering::Relaxed);
+        if let Some(clock) = &self.fault_clock {
+            clock.fetch_add(1, Ordering::Relaxed);
+        }
         // Observability rides on the count this method already maintains:
         // no extra per-call work, just a periodic mirror sync so METRICS
         // readers see live movement.
@@ -395,23 +467,35 @@ impl ExecContext {
         self.emit(ExecEvent::RowProduced(node));
     }
 
-    fn record_exhausted(&self, node: NodeId) {
-        // Every `None` return (first exhaustion or a parent's re-poll) is
-        // a non-producing getnext call; it is also a quiescent point, so
-        // sync the mirror to the exact count.
+    /// Every `None` return (first exhaustion or a parent's re-poll) is a
+    /// non-producing getnext call; it is also a quiescent point, so sync
+    /// the observability mirror to the exact count.
+    #[cfg_attr(not(feature = "obs"), allow(unused_variables))]
+    fn record_none(&self, node: NodeId) {
         #[cfg(feature = "obs")]
         if let Some(obs) = &self.obs {
             obs.on_none(node);
             obs.set_rows(node, self.counters.node(node));
         }
-        if !self.counters.exhausted[node].swap(true, Ordering::Relaxed) {
+    }
+
+    /// One producer of `node` saw its final row. The node is exhausted —
+    /// and [`ExecEvent::Exhausted`] emitted — only when the last producer
+    /// reports in, so a partitioned subtree never finalizes a node's
+    /// bounds while sibling partitions are still producing into it.
+    fn record_producer_done(&self, node: NodeId) {
+        if self.counters.producers[node].fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.counters.exhausted[node].store(true, Ordering::Relaxed);
             self.emit(ExecEvent::Exhausted(node));
         }
     }
 }
 
 /// The iterator-model operator interface (`open` / `next` / `close`).
-pub trait Operator {
+///
+/// Operators are `Send` so an `Exchange` can move partition subtrees onto
+/// worker threads.
+pub trait Operator: Send {
     /// Prepares the operator. Blocking operators (sort, hash-join build,
     /// hash aggregation) consume their inputs here.
     fn open(&mut self) -> ExecResult<()>;
@@ -436,6 +520,15 @@ pub struct Counted {
     inner: Box<dyn Operator>,
     node: NodeId,
     ctx: Arc<ExecContext>,
+    /// Whether this instance has reported its exhaustion to the producer
+    /// count (each `Counted` decrements exactly once, on its first
+    /// `None`).
+    done: bool,
+    /// `false` for the transparent wrapper around an `Exchange`: it still
+    /// checks interrupts, but records nothing — the exchange is pure
+    /// plumbing, not a getnext producer, so the paper's accounting stays
+    /// byte-identical to the serial plan.
+    counting: bool,
     /// Whether this query runs with opt-in per-call timing — the *only*
     /// observability state `next` consults. `false` both when
     /// observability is absent and when it is untimed, so the untimed
@@ -476,6 +569,26 @@ impl ObsBuffer {
 
 impl Counted {
     pub fn new(inner: Box<dyn Operator>, node: NodeId, ctx: Arc<ExecContext>) -> Counted {
+        Counted::wrap(inner, node, ctx, true)
+    }
+
+    /// A transparent wrapper: checks interrupts like any other node but
+    /// records no getnext calls and never exhausts. Used for `Exchange`,
+    /// which merely forwards its child's rows.
+    pub(crate) fn transparent(
+        inner: Box<dyn Operator>,
+        node: NodeId,
+        ctx: Arc<ExecContext>,
+    ) -> Counted {
+        Counted::wrap(inner, node, ctx, false)
+    }
+
+    fn wrap(
+        inner: Box<dyn Operator>,
+        node: NodeId,
+        ctx: Arc<ExecContext>,
+        counting: bool,
+    ) -> Counted {
         #[cfg(feature = "obs")]
         let obs = ctx.obs.as_ref().map(|sink| ObsBuffer {
             sink: Arc::clone(sink),
@@ -485,6 +598,8 @@ impl Counted {
         Counted {
             inner,
             node,
+            done: false,
+            counting,
             #[cfg(feature = "obs")]
             obs_timed: ctx.obs.as_ref().is_some_and(|o| o.timed()),
             ctx,
@@ -505,11 +620,19 @@ impl Counted {
         self.ctx.check_interrupts(self.node)?;
         match self.inner.next()? {
             Some(row) => {
-                self.ctx.record_row(self.node);
+                if self.counting {
+                    self.ctx.record_row(self.node);
+                }
                 Ok(Some(row))
             }
             None => {
-                self.ctx.record_exhausted(self.node);
+                if self.counting {
+                    self.ctx.record_none(self.node);
+                    if !self.done {
+                        self.done = true;
+                        self.ctx.record_producer_done(self.node);
+                    }
+                }
                 Ok(None)
             }
         }
@@ -562,7 +685,9 @@ impl Drop for Counted {
 impl Operator for Counted {
     fn open(&mut self) -> ExecResult<()> {
         self.ctx.check_interrupts(self.node)?;
-        self.ctx.record_open(self.node);
+        if self.counting {
+            self.ctx.record_open(self.node);
+        }
         let result = self.inner.open();
         #[cfg(feature = "obs")]
         if result.is_err() {

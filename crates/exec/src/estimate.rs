@@ -156,6 +156,11 @@ fn estimate_node(plan: &Plan, id: usize, stats: &DbStats) -> f64 {
             }
             qp_stats::cardest::group_cardinality(input, d.min(u64::MAX as f64) as u64)
         }
+        // Pass-through: an exchange forwards its child's rows unchanged.
+        // (Parallelize plans *after* annotating: the exchange's parent has
+        // a smaller id than the appended exchange, so this arm only backs
+        // up the estimate the parallelizer already copied from the child.)
+        PlanNode::Exchange { .. } => child_est(plan, id, 0),
     }
 }
 

@@ -3,8 +3,8 @@
 use crate::context::{CancelToken, Counted, ExecContext, Observer, Operator, RunControls};
 use crate::error::{ExecError, ExecResult};
 use crate::ops::{
-    FilterOp, HashAggregateOp, HashJoinOp, IndexNestedLoopsOp, IndexRangeScanOp, LimitOp,
-    MergeJoinOp, NestedLoopsOp, ProjectOp, SeqScanOp, SortOp, StreamAggregateOp,
+    ExchangeOp, FilterOp, HashAggregateOp, HashJoinOp, IndexNestedLoopsOp, IndexRangeScanOp,
+    LimitOp, MergeJoinOp, NestedLoopsOp, ProjectOp, SeqScanOp, SortOp, StreamAggregateOp,
 };
 use crate::plan::{NodeId, Plan, PlanNode};
 use qp_storage::{Database, Row};
@@ -205,6 +205,87 @@ fn build_node(
             aggs.iter().map(|(a, _)| a.clone()).collect(),
             data.schema.clone(),
         )),
+        PlanNode::Exchange { partitions } => {
+            // The exchange is pure plumbing under the paper's accounting:
+            // its wrapper is transparent (per-node counter stays 0), and
+            // each partition copy of the subtree bumps the original nodes'
+            // shared counters via a forked context.
+            let n = (*partitions).max(1);
+            let subtree_root = data.children[0];
+            if n > 1 {
+                for node in subtree_nodes(plan, subtree_root) {
+                    ctx.counters().add_producers(node, n as u64 - 1);
+                }
+            }
+            let mut parts = Vec::with_capacity(n);
+            for p in 0..n {
+                let faults = ctx.fault_proto().map(|f| f.for_partition(p, n));
+                let fork = ExecContext::fork(ctx, faults);
+                parts.push(build_partition(plan, subtree_root, db, &fork, p, n)?);
+            }
+            let op = ExchangeOp::new(parts, data.schema.clone());
+            return Ok(Counted::transparent(Box::new(op), id, Arc::clone(ctx)));
+        }
     };
     Ok(Counted::new(op, id, Arc::clone(ctx)))
+}
+
+/// Ids of all nodes in the subtree rooted at `id` (an Exchange subtree is
+/// a Filter/Project chain over one leaf, but this walks generally).
+fn subtree_nodes(plan: &Plan, id: NodeId) -> Vec<NodeId> {
+    let mut out = vec![id];
+    let mut i = 0;
+    while i < out.len() {
+        out.extend(plan.node(out[i]).children.iter().copied());
+        i += 1;
+    }
+    out
+}
+
+/// Instantiates partition `p` of `n` for an Exchange subtree: the same
+/// operator chain as the serial subtree, with the leaf restricted to the
+/// partition's disjoint slice, every wrapper counting into `fork`'s
+/// shared per-node atomics.
+fn build_partition(
+    plan: &Plan,
+    id: NodeId,
+    db: &Database,
+    fork: &Arc<ExecContext>,
+    p: usize,
+    n: usize,
+) -> ExecResult<Counted> {
+    let data = plan.node(id);
+    let op: Box<dyn Operator> = match &data.kind {
+        PlanNode::SeqScan { table, .. } => {
+            let t = db.table(table)?;
+            let (start, end) = t.partition_ranges(n)[p];
+            Box::new(SeqScanOp::with_range(t, start, end))
+        }
+        PlanNode::IndexRangeScan {
+            table,
+            index,
+            lo,
+            hi,
+            ..
+        } => Box::new(
+            IndexRangeScanOp::new(db.table(table)?, db.index(index)?, lo.clone(), hi.clone())
+                .with_partition(p, n),
+        ),
+        PlanNode::Filter { predicate } => Box::new(FilterOp::new(
+            build_partition(plan, data.children[0], db, fork, p, n)?,
+            predicate.clone(),
+        )),
+        PlanNode::Project { exprs } => Box::new(ProjectOp::new(
+            build_partition(plan, data.children[0], db, fork, p, n)?,
+            exprs.iter().map(|(e, _)| e.clone()).collect(),
+            data.schema.clone(),
+        )),
+        other => {
+            return Err(ExecError::BadPlan(format!(
+                "Exchange subtree contains non-partitionable operator {}",
+                other.op_name()
+            )))
+        }
+    };
+    Ok(Counted::new(op, id, Arc::clone(fork)))
 }

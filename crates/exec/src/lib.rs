@@ -40,6 +40,7 @@ pub mod estimate;
 pub mod executor;
 pub mod expr;
 pub mod ops;
+pub mod parallel;
 pub mod pipeline;
 pub mod plan;
 
@@ -52,5 +53,6 @@ pub use error::{ExecError, ExecResult};
 // chaos runs without depending on qp-testkit directly.
 pub use executor::{run_query, QueryOutput};
 pub use expr::{AggExpr, AggFunc, CmpOp, Expr};
+pub use parallel::parallelize;
 pub use plan::{JoinType, Plan, PlanBuilder, PlanNode};
 pub use qp_testkit::fault::{FaultConfig, FaultKind, FaultPlan, FaultPoint};

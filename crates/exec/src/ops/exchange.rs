@@ -1,0 +1,116 @@
+//! Exchange: intra-query parallelism with serial-identical accounting.
+//!
+//! An `ExchangeOp` owns `n` partition copies of a scan chain, each a
+//! [`Counted`] tree over a *forked* execution context that shares the
+//! query's counters and observer, with the leaf restricted to partition
+//! `p`'s disjoint row range. `open` runs every partition to completion on
+//! its own scoped worker thread (each under `catch_unwind`, so one
+//! partition's panic cannot strand its siblings) and concatenates their
+//! outputs in partition order; `next` then drains the merged buffer.
+//!
+//! Because partition ranges are contiguous, ordered, and covering, the
+//! merged stream is **byte-identical** to the serial subtree's output, and
+//! because every partition bumps the same shared per-node atomics, the
+//! final per-node getnext counts — and so `Curr`, `LB`/`UB`, and
+//! `total(Q)` — equal the serial run's exactly. Only wall-clock changes.
+//!
+//! Failure semantics are deterministic per seed: if any worker panicked,
+//! the first panic in partition order is resumed on the caller; otherwise
+//! if any worker failed, the first error in partition order is returned.
+//! (A fault point from a seeded schedule may fire both inside a partition,
+//! remapped to its local clock, and at the root context at its original
+//! index — fault schedules are a chaos tool, and both firings replay at
+//! the same logical position on every run of the same seed.)
+
+use crate::context::{Counted, Operator};
+use crate::error::ExecResult;
+use qp_storage::{Row, Schema};
+
+pub struct ExchangeOp {
+    /// Partition subtrees, in partition order. Consumed by `open`.
+    partitions: Vec<Counted>,
+    schema: Schema,
+    merged: Vec<Row>,
+    pos: usize,
+}
+
+impl ExchangeOp {
+    pub fn new(partitions: Vec<Counted>, schema: Schema) -> ExchangeOp {
+        ExchangeOp {
+            partitions,
+            schema,
+            merged: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+/// Runs one partition to completion: open, drain, close.
+fn drive(op: &mut Counted) -> ExecResult<Vec<Row>> {
+    op.open()?;
+    let mut rows = Vec::new();
+    while let Some(row) = op.next()? {
+        rows.push(row);
+    }
+    op.close();
+    Ok(rows)
+}
+
+impl Operator for ExchangeOp {
+    fn open(&mut self) -> ExecResult<()> {
+        let parts = std::mem::take(&mut self.partitions);
+        if parts.is_empty() {
+            return Ok(());
+        }
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|mut op| {
+                    scope.spawn(move || {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drive(&mut op)))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panics are caught inside"))
+                .collect()
+        });
+        let mut first_err = None;
+        let mut merged = Vec::new();
+        for result in results {
+            match result {
+                // Panics win over errors so an injected panic surfaces as
+                // a panic, exactly as it would serially.
+                Err(payload) => std::panic::resume_unwind(payload),
+                Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                Ok(Ok(rows)) => merged.push(rows),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        self.merged = merged.concat();
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> ExecResult<Option<Row>> {
+        if self.pos < self.merged.len() {
+            let row = self.merged[self.pos].clone();
+            self.pos += 1;
+            Ok(Some(row))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn close(&mut self) {
+        self.merged = Vec::new();
+        self.pos = 0;
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}

@@ -4,6 +4,7 @@
 //! counted as one getnext call at the producing node.
 
 mod aggregate;
+mod exchange;
 mod filter;
 mod join_hash;
 mod join_merge;
@@ -12,6 +13,7 @@ mod scan;
 mod sort;
 
 pub use aggregate::{HashAggregateOp, StreamAggregateOp};
+pub use exchange::ExchangeOp;
 pub use filter::{FilterOp, LimitOp, ProjectOp};
 pub use join_hash::HashJoinOp;
 pub use join_merge::MergeJoinOp;

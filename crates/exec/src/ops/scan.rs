@@ -7,26 +7,48 @@ use std::ops::Bound;
 use std::sync::Arc;
 
 /// Full scan of a heap table in insertion order — the order the paper's
-/// input-order analysis (Section 4.2) is about.
+/// input-order analysis (Section 4.2) is about. A *partition* scan (see
+/// [`SeqScanOp::with_range`]) covers one contiguous row-id range instead;
+/// concatenating the partitions of a [`Table::partition_ranges`] split in
+/// order reproduces the full scan exactly.
 pub struct SeqScanOp {
     table: Arc<Table>,
+    start: usize,
+    end: usize,
     pos: usize,
 }
 
 impl SeqScanOp {
     pub fn new(table: Arc<Table>) -> SeqScanOp {
-        SeqScanOp { table, pos: 0 }
+        let end = table.len();
+        SeqScanOp {
+            table,
+            start: 0,
+            end,
+            pos: 0,
+        }
+    }
+
+    /// A scan restricted to heap positions `[start, end)`.
+    pub fn with_range(table: Arc<Table>, start: usize, end: usize) -> SeqScanOp {
+        debug_assert!(start <= end && end <= table.len());
+        SeqScanOp {
+            table,
+            start,
+            end,
+            pos: start,
+        }
     }
 }
 
 impl Operator for SeqScanOp {
     fn open(&mut self) -> ExecResult<()> {
-        self.pos = 0;
+        self.pos = self.start;
         Ok(())
     }
 
     fn next(&mut self) -> ExecResult<Option<Row>> {
-        if self.pos < self.table.len() {
+        if self.pos < self.end {
             let row = self.table.row(self.pos as RowId).clone();
             self.pos += 1;
             Ok(Some(row))
@@ -50,6 +72,9 @@ pub struct IndexRangeScanOp {
     index: Arc<IndexMeta>,
     lo: Bound<Vec<Value>>,
     hi: Bound<Vec<Value>>,
+    /// `(p, n)`: keep only the `p`-th of `n` balanced contiguous slices of
+    /// the matching rid list. `(0, 1)` is the full scan.
+    partition: (usize, usize),
     rids: Vec<RowId>,
     pos: usize,
 }
@@ -66,9 +91,20 @@ impl IndexRangeScanOp {
             index,
             lo,
             hi,
+            partition: (0, 1),
             rids: Vec::new(),
             pos: 0,
         }
+    }
+
+    /// Restricts the scan to partition `p` of `n`: the matching rids are
+    /// collected in index order as usual, then sliced into `n` balanced
+    /// contiguous runs (first `len % n` runs one longer). Concatenating
+    /// partitions `0..n` in order reproduces the serial scan exactly.
+    pub fn with_partition(mut self, p: usize, n: usize) -> IndexRangeScanOp {
+        debug_assert!(n > 0 && p < n);
+        self.partition = (p, n.max(1));
+        self
     }
 }
 
@@ -85,6 +121,14 @@ impl Operator for IndexRangeScanOp {
             .range(lo, self.hi.clone())
             .map(|(_, rid)| rid)
             .collect();
+        let (p, n) = self.partition;
+        if n > 1 {
+            let len = self.rids.len();
+            let (base, extra) = (len / n, len % n);
+            let start = p * base + p.min(extra);
+            let end = start + base + usize::from(p < extra);
+            self.rids = self.rids[start..end].to_vec();
+        }
         self.pos = 0;
         Ok(())
     }

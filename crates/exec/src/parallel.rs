@@ -1,0 +1,184 @@
+//! Plan parallelization: inserting [`PlanNode::Exchange`] operators.
+//!
+//! [`parallelize`] rewrites a plan for intra-query parallelism by fanning
+//! out every maximal *scan chain* — a `Filter`/`Project` chain over exactly
+//! one `SeqScan` or `IndexRangeScan` leaf — behind an `Exchange` node. That
+//! covers both probe-side scans and hash-join build sides, the two places
+//! the paper's plans spend their scan work. Exchange runs partition copies
+//! of the subtree over disjoint row ranges and concatenates their outputs
+//! in partition order, so the merged stream is byte-identical to the
+//! serial subtree's output.
+//!
+//! ## Why ids must not move
+//!
+//! Node ids double as counter indices everywhere downstream (the paper's
+//! per-node getnext accounting, bounds tracking, observability labels).
+//! The rewrite therefore only **appends** Exchange nodes and rewires the
+//! affected parent edges: ids `0..plan.len()` keep their meaning, and a
+//! parallel run's per-node counters compare index-for-index with the
+//! serial run's. Run [`crate::estimate::annotate`] *before* parallelizing —
+//! the inserted exchanges copy their child's estimate, and the annotation
+//! forward pass assumes children precede parents, which appended nodes
+//! intentionally violate for their (earlier) parents.
+
+use crate::plan::{NodeId, Plan, PlanNode, PlanNodeData};
+
+/// Rewrites `plan` to fan eligible scan chains out over `partitions`
+/// workers. With `partitions <= 1` (or a plan that already contains an
+/// `Exchange`) the plan is returned unchanged.
+pub fn parallelize(plan: &Plan, partitions: usize) -> Plan {
+    let mut out = plan.clone();
+    if partitions <= 1
+        || plan
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.kind, PlanNode::Exchange { .. }))
+    {
+        return out;
+    }
+    let n = plan.len();
+    // A node is *eligible* when its subtree is a Filter/Project chain over
+    // a single scanned leaf — exactly the shape a partition copy can run
+    // over a row range without changing any operator's semantics.
+    // (Builder ids are topological, so children are classified first.)
+    let mut eligible = vec![false; n];
+    for id in 0..n {
+        let data = plan.node(id);
+        eligible[id] = match &data.kind {
+            PlanNode::SeqScan { .. } | PlanNode::IndexRangeScan { .. } => true,
+            PlanNode::Filter { .. } | PlanNode::Project { .. } => eligible[data.children[0]],
+            _ => false,
+        };
+    }
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    for id in 0..n {
+        for &c in &plan.node(id).children {
+            parent[c] = Some(id);
+        }
+    }
+    // Fan out each *maximal* eligible chain: a chain rooted where the
+    // parent is not itself part of an eligible chain.
+    for id in 0..n {
+        let maximal = eligible[id] && parent[id].is_none_or(|p| !eligible[p]);
+        if !maximal {
+            continue;
+        }
+        let child = plan.node(id);
+        let exchange = out.push_node(PlanNodeData {
+            kind: PlanNode::Exchange { partitions },
+            children: vec![id],
+            schema: child.schema.clone(),
+            origins: child.origins.clone(),
+            est_rows: child.est_rows,
+        });
+        match parent[id] {
+            None => out.set_root(exchange),
+            Some(p) => out.rewire_child(p, id, exchange),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AggExpr, Expr};
+    use crate::plan::{JoinType, PlanBuilder};
+    use qp_storage::{ColumnType, Database, Schema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table_with_rows(
+            "t",
+            Schema::of(&[("a", ColumnType::Int)]),
+            (0..40).map(|i| vec![Value::Int(i)]),
+        )
+        .unwrap();
+        db.create_table_with_rows(
+            "u",
+            Schema::of(&[("x", ColumnType::Int)]),
+            (0..40).map(|i| vec![Value::Int(i % 7)]),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn degree_one_is_identity() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .filter(Expr::col_eq(0, 1i64))
+            .build();
+        let par = parallelize(&plan, 1);
+        assert_eq!(par.len(), plan.len());
+        assert_eq!(par.root(), plan.root());
+    }
+
+    #[test]
+    fn scan_chain_gets_one_exchange_appended() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .filter(Expr::col_eq(0, 1i64))
+            .hash_aggregate(vec![0], vec![(AggExpr::count_star(), "n")])
+            .build();
+        let par = parallelize(&plan, 4);
+        // Original ids 0..3 untouched; one Exchange appended above the
+        // filter (id 1), feeding the aggregate.
+        assert_eq!(par.len(), plan.len() + 1);
+        for id in 0..plan.len() {
+            assert_eq!(par.node(id).kind.op_name(), plan.node(id).kind.op_name());
+        }
+        let ex = plan.len();
+        assert!(matches!(
+            par.node(ex).kind,
+            PlanNode::Exchange { partitions: 4 }
+        ));
+        assert_eq!(par.node(ex).children, vec![1]);
+        assert_eq!(par.node(2).children, vec![ex]);
+        assert_eq!(par.root(), plan.root());
+    }
+
+    #[test]
+    fn bare_scan_root_is_rewired_to_the_exchange() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t").unwrap().build();
+        let par = parallelize(&plan, 2);
+        assert_eq!(par.len(), 2);
+        assert_eq!(par.root(), 1);
+        assert!(matches!(
+            par.node(1).kind,
+            PlanNode::Exchange { partitions: 2 }
+        ));
+    }
+
+    #[test]
+    fn both_join_inputs_are_fanned() {
+        let db = db();
+        let probe = PlanBuilder::scan(&db, "u")
+            .unwrap()
+            .filter(Expr::col_eq(0, 3i64));
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .hash_join(probe, vec![0], vec![0], JoinType::Inner, true)
+            .unwrap()
+            .build();
+        let par = parallelize(&plan, 2);
+        // Build scan (0) and probe chain (2) each get an exchange.
+        assert_eq!(par.len(), plan.len() + 2);
+        let exchanges: Vec<_> = (0..par.len())
+            .filter(|&i| matches!(par.node(i).kind, PlanNode::Exchange { .. }))
+            .collect();
+        assert_eq!(exchanges.len(), 2);
+        // The join's children now point at the exchanges, which wrap the
+        // original subtree roots.
+        let join = plan.root();
+        for &c in &par.node(join).children {
+            assert!(matches!(par.node(c).kind, PlanNode::Exchange { .. }));
+        }
+        // Re-parallelizing is a no-op.
+        let again = parallelize(&par, 2);
+        assert_eq!(again.len(), par.len());
+    }
+}

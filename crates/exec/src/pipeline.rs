@@ -72,8 +72,16 @@ fn new_pipeline(pipelines: &mut Vec<Pipeline>) -> usize {
 }
 
 fn visit(plan: &Plan, node: NodeId, pid: usize, pipelines: &mut Vec<Pipeline>) {
-    pipelines[pid].nodes.push(node);
     let data = plan.node(node);
+    // Exchange is transparent to the paper's model: it forwards its
+    // child's rows and produces no counted getnext calls, so pipeline
+    // decomposition (and hence driver-node identification) sees straight
+    // through it — a parallelized plan decomposes exactly like its serial
+    // original.
+    if let PlanNode::Exchange { .. } = &data.kind {
+        return visit(plan, data.children[0], pid, pipelines);
+    }
+    pipelines[pid].nodes.push(node);
     match &data.kind {
         PlanNode::SeqScan { .. } | PlanNode::IndexRangeScan { .. } => {
             pipelines[pid].sources.push(Source::Leaf(node));
@@ -111,6 +119,7 @@ fn visit(plan: &Plan, node: NodeId, pid: usize, pipelines: &mut Vec<Pipeline>) {
         PlanNode::IndexNestedLoopsJoin { .. } => {
             visit(plan, data.children[0], pid, pipelines);
         }
+        PlanNode::Exchange { .. } => unreachable!("handled by the early return above"),
     }
 }
 
@@ -177,6 +186,7 @@ mod tests {
         let plan = PlanBuilder::scan(&db, "t")
             .unwrap()
             .hash_join(probe, vec![0], vec![0], JoinType::Inner, true)
+            .unwrap()
             .build();
         let ps = decompose(&plan);
         assert_eq!(ps.len(), 2);
@@ -207,6 +217,7 @@ mod tests {
         let plan = PlanBuilder::scan(&db, "t")
             .unwrap()
             .merge_join(right, vec![0], vec![0], JoinType::Inner, true)
+            .unwrap()
             .build();
         let ps = decompose(&plan);
         assert_eq!(ps.len(), 1);
@@ -221,6 +232,7 @@ mod tests {
         let right = PlanBuilder::scan(&db, "u").unwrap().sort(vec![(0, true)]);
         let plan = left
             .merge_join(right, vec![0], vec![0], JoinType::Inner, true)
+            .unwrap()
             .hash_aggregate(vec![0], vec![])
             .build();
         let ps = decompose(&plan);

@@ -130,6 +130,15 @@ pub enum PlanNode {
         group_by: Vec<usize>,
         aggs: Vec<(AggExpr, String)>,
     },
+    /// Fans its child subtree out across `partitions` copies, each over a
+    /// disjoint row range of the subtree's leaf, and merges results in
+    /// partition order — so the merged stream is byte-identical to the
+    /// serial subtree's output. Inserted by [`crate::parallel::parallelize`],
+    /// never by the builder. Transparent to the getnext accounting: the
+    /// exchange itself produces no counted calls (its per-node counter
+    /// stays 0) and each partition copy bumps the *original* subtree
+    /// nodes' shared counters.
+    Exchange { partitions: usize },
 }
 
 impl PlanNode {
@@ -148,6 +157,7 @@ impl PlanNode {
             PlanNode::IndexNestedLoopsJoin { .. } => "IndexNLJoin",
             PlanNode::HashAggregate { .. } => "HashAggregate",
             PlanNode::StreamAggregate { .. } => "StreamAggregate",
+            PlanNode::Exchange { .. } => "Exchange",
         }
     }
 
@@ -247,9 +257,14 @@ impl Plan {
             .sum()
     }
 
-    /// Number of internal (non-leaf) nodes — `m` in Property 6.
+    /// Number of internal (non-leaf) nodes — `m` in Property 6. Exchange
+    /// nodes are transparent plumbing and do not count: a parallelized
+    /// plan has the same `m` as its serial original.
     pub fn internal_node_count(&self) -> usize {
-        self.nodes.iter().filter(|n| !n.children.is_empty()).count()
+        self.nodes
+            .iter()
+            .filter(|n| !n.children.is_empty() && !matches!(n.kind, PlanNode::Exchange { .. }))
+            .count()
     }
 
     /// Whether the plan is *scan-based* in the paper's sense (Section 5.4):
@@ -266,6 +281,29 @@ impl Plan {
     /// Mutable node access for annotation passes (crate-internal).
     pub(crate) fn nodes_mut(&mut self) -> &mut [PlanNodeData] {
         &mut self.nodes
+    }
+
+    /// Appends a node (crate-internal; used by the parallelizer, which
+    /// must keep existing node ids stable so runtime counters remain
+    /// comparable index-for-index with the serial plan).
+    pub(crate) fn push_node(&mut self, data: PlanNodeData) -> NodeId {
+        self.nodes.push(data);
+        self.nodes.len() - 1
+    }
+
+    /// Redirects one child edge of `parent` from `from` to `to`
+    /// (crate-internal, for the parallelizer).
+    pub(crate) fn rewire_child(&mut self, parent: NodeId, from: NodeId, to: NodeId) {
+        for c in &mut self.nodes[parent].children {
+            if *c == from {
+                *c = to;
+            }
+        }
+    }
+
+    /// Replaces the root id (crate-internal, for the parallelizer).
+    pub(crate) fn set_root(&mut self, root: NodeId) {
+        self.root = root;
     }
 }
 
@@ -386,11 +424,12 @@ impl PlanBuilder {
         &self.nodes[self.root].schema
     }
 
-    /// Position of a named column in the current schema.
-    pub fn col(&self, name: &str) -> usize {
+    /// Position of a named column in the current schema, or
+    /// [`ExecError::BadPlan`] when the schema has no such column.
+    pub fn col(&self, name: &str) -> ExecResult<usize> {
         self.schema()
             .index_of(name)
-            .unwrap_or_else(|_| panic!("no column {name} in {}", self.schema()))
+            .map_err(|_| ExecError::BadPlan(format!("no column {name} in {}", self.schema())))
     }
 
     fn push(&mut self, data: PlanNodeData) -> NodeId {
@@ -507,6 +546,7 @@ impl PlanBuilder {
     }
 
     /// Hash join: `self` is the **build** side, `probe` the probe side.
+    /// Fails with [`ExecError::BadPlan`] on key-arity mismatch.
     pub fn hash_join(
         mut self,
         probe: PlanBuilder,
@@ -514,8 +554,14 @@ impl PlanBuilder {
         probe_keys: Vec<usize>,
         join_type: JoinType,
         linear: bool,
-    ) -> PlanBuilder {
-        assert_eq!(build_keys.len(), probe_keys.len(), "key arity mismatch");
+    ) -> ExecResult<PlanBuilder> {
+        if build_keys.len() != probe_keys.len() {
+            return Err(ExecError::BadPlan(format!(
+                "hash join key arity mismatch: {} build keys vs {} probe keys",
+                build_keys.len(),
+                probe_keys.len()
+            )));
+        }
         let probe_schema = probe.schema().clone();
         let probe_origins = probe.nodes[probe.root].origins.clone();
         let left = self.root;
@@ -533,11 +579,12 @@ impl PlanBuilder {
             origins,
             est_rows: None,
         });
-        self
+        Ok(self)
     }
 
     /// Merge join over inputs sorted on the keys (the builder does not
-    /// verify sortedness; the operator does at runtime).
+    /// verify sortedness; the operator does at runtime). Fails with
+    /// [`ExecError::BadPlan`] on key-arity mismatch.
     pub fn merge_join(
         mut self,
         right: PlanBuilder,
@@ -545,8 +592,14 @@ impl PlanBuilder {
         right_keys: Vec<usize>,
         join_type: JoinType,
         linear: bool,
-    ) -> PlanBuilder {
-        assert_eq!(left_keys.len(), right_keys.len(), "key arity mismatch");
+    ) -> ExecResult<PlanBuilder> {
+        if left_keys.len() != right_keys.len() {
+            return Err(ExecError::BadPlan(format!(
+                "merge join key arity mismatch: {} left keys vs {} right keys",
+                left_keys.len(),
+                right_keys.len()
+            )));
+        }
         let right_schema = right.schema().clone();
         let right_origins = right.nodes[right.root].origins.clone();
         let left = self.root;
@@ -564,7 +617,7 @@ impl PlanBuilder {
             origins,
             est_rows: None,
         });
-        self
+        Ok(self)
     }
 
     /// Naive nested-loops join; `self` is the outer side.
@@ -783,6 +836,7 @@ mod tests {
         ));
         let plan = left
             .hash_join(right, vec![0], vec![0], JoinType::Inner, true)
+            .unwrap()
             .build();
         // Nodes: 0 scan t, 1 filter, 2 scan u, 3 filter, 4 join.
         assert_eq!(plan.len(), 5);
@@ -798,6 +852,7 @@ mod tests {
         let right = PlanBuilder::scan(&db, "u").unwrap();
         let plan = left
             .hash_join(right, vec![0], vec![0], JoinType::LeftSemi, true)
+            .unwrap()
             .build();
         assert_eq!(plan.node(plan.root()).schema.arity(), 2);
     }
@@ -827,6 +882,7 @@ mod tests {
                 JoinType::Inner,
                 true,
             )
+            .unwrap()
             .build();
         assert!(plan.is_scan_based());
         assert_eq!(plan.internal_node_count(), 1);
@@ -851,6 +907,31 @@ mod tests {
         let err = PlanBuilder::scan(&db, "t")
             .unwrap()
             .inl_join(&db, "u", "u_x", vec![0, 1], JoinType::Inner, true, None)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::BadPlan(_)));
+    }
+
+    #[test]
+    fn col_lookup_returns_typed_errors() {
+        let db = db();
+        let b = PlanBuilder::scan(&db, "t").unwrap();
+        assert_eq!(b.col("b").unwrap(), 1);
+        assert!(matches!(b.col("nope"), Err(ExecError::BadPlan(_))));
+    }
+
+    #[test]
+    fn join_key_arity_mismatch_is_a_typed_error() {
+        let db = db();
+        let left = PlanBuilder::scan(&db, "t").unwrap();
+        let right = PlanBuilder::scan(&db, "u").unwrap();
+        let err = left
+            .hash_join(right, vec![0, 1], vec![0], JoinType::Inner, true)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::BadPlan(_)));
+        let left = PlanBuilder::scan(&db, "t").unwrap();
+        let right = PlanBuilder::scan(&db, "u").unwrap();
+        let err = left
+            .merge_join(right, vec![], vec![0], JoinType::Inner, true)
             .unwrap_err();
         assert!(matches!(err, ExecError::BadPlan(_)));
     }

@@ -68,6 +68,7 @@ fn joins_with_one_empty_side() {
             JoinType::Inner,
             true,
         )
+        .unwrap()
         .build();
     assert_eq!(counts(&plan, &db).0, 0);
     // Empty probe side.
@@ -80,6 +81,7 @@ fn joins_with_one_empty_side() {
             JoinType::Inner,
             true,
         )
+        .unwrap()
         .build();
     assert_eq!(counts(&plan, &db).0, 0);
     // Anti join with empty probe keeps every build row.
@@ -92,6 +94,7 @@ fn joins_with_one_empty_side() {
             JoinType::LeftAnti,
             true,
         )
+        .unwrap()
         .build();
     assert_eq!(counts(&plan, &db).0, 10);
     // Outer join with empty probe pads every build row.
@@ -104,6 +107,7 @@ fn joins_with_one_empty_side() {
             JoinType::LeftOuter,
             true,
         )
+        .unwrap()
         .build();
     let (out, _) = run_query(&plan, &db, None).unwrap();
     assert_eq!(out.rows.len(), 10);
@@ -168,6 +172,7 @@ fn merge_join_all_duplicate_keys_is_full_cross_product() {
             JoinType::Inner,
             false,
         )
+        .unwrap()
         .build();
     assert_eq!(counts(&plan, &db).0, 35);
 }

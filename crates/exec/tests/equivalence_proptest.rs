@@ -54,13 +54,16 @@ fn hash_join(db: &Database, jt: JoinType) -> Plan {
             jt,
             false,
         )
+        .unwrap()
         .build()
 }
 
 fn merge_join(db: &Database, jt: JoinType) -> Plan {
     let l = PlanBuilder::scan(db, "t").unwrap().sort(vec![(0, true)]);
     let r = PlanBuilder::scan(db, "u").unwrap().sort(vec![(0, true)]);
-    l.merge_join(r, vec![0], vec![0], jt, false).build()
+    l.merge_join(r, vec![0], vec![0], jt, false)
+        .unwrap()
+        .build()
 }
 
 fn nl_join(db: &Database, jt: JoinType) -> Plan {

@@ -132,6 +132,7 @@ fn hash_join_inner_matches_nested_loops_reference() {
     let plan = PlanBuilder::scan(&db, "t")
         .unwrap()
         .hash_join(probe, vec![0], vec![0], JoinType::Inner, true)
+        .unwrap()
         .build();
     let out = run(&plan, &db);
     assert_eq!(out.rows.len(), 20);
@@ -147,6 +148,7 @@ fn hash_join_left_outer_pads_unmatched_build_rows() {
     let plan = PlanBuilder::scan(&db, "t")
         .unwrap()
         .hash_join(probe, vec![0], vec![0], JoinType::LeftOuter, true)
+        .unwrap()
         .build();
     let out = run(&plan, &db);
     assert_eq!(out.rows.len(), 30);
@@ -162,6 +164,7 @@ fn hash_join_semi_and_anti_partition_build_side() {
         let plan = PlanBuilder::scan(&db, "t")
             .unwrap()
             .hash_join(probe, vec![0], vec![0], jt, true)
+            .unwrap()
             .build();
         let out = run(&plan, &db);
         assert_eq!(out.rows.len(), expected, "{jt:?}");
@@ -179,6 +182,7 @@ fn hash_join_duplicate_keys_cross_product() {
     let plan = PlanBuilder::scan(&db, "t")
         .unwrap()
         .hash_join(probe, vec![1], vec![1], JoinType::Inner, false)
+        .unwrap()
         .build();
     let out = run(&plan, &db);
     assert_eq!(out.rows.len(), 80);
@@ -192,6 +196,7 @@ fn merge_join_matches_hash_join() {
     let right = PlanBuilder::scan(&db, "u").unwrap().sort(vec![(1, true)]);
     let plan = left
         .merge_join(right, vec![1], vec![1], JoinType::Inner, false)
+        .unwrap()
         .build();
     let out = run(&plan, &db);
     assert_eq!(out.rows.len(), 80, "same as hash join on b=y");
@@ -207,7 +212,10 @@ fn merge_join_semi_anti_outer() {
     ] {
         let left = PlanBuilder::scan(&db, "t").unwrap().sort(vec![(0, true)]);
         let right = PlanBuilder::scan(&db, "u").unwrap().sort(vec![(0, true)]);
-        let plan = left.merge_join(right, vec![0], vec![0], jt, true).build();
+        let plan = left
+            .merge_join(right, vec![0], vec![0], jt, true)
+            .unwrap()
+            .build();
         let out = run(&plan, &db);
         assert_eq!(out.rows.len(), expected, "{jt:?}");
     }
@@ -221,6 +229,7 @@ fn merge_join_detects_unsorted_input() {
     let right = PlanBuilder::scan(&db, "u").unwrap().sort(vec![(0, true)]);
     let plan = left
         .merge_join(right, vec![1], vec![0], JoinType::Inner, false)
+        .unwrap()
         .build();
     let err = match run_query(&plan, &db, None) {
         Err(e) => e,
@@ -431,6 +440,7 @@ fn three_way_join_with_aggregation() {
     let plan = PlanBuilder::scan(&db, "t")
         .unwrap()
         .hash_join(probe, vec![0], vec![0], JoinType::Inner, true)
+        .unwrap()
         .inl_join(&db, "u", "u_y", vec![1], JoinType::Inner, false, None)
         .unwrap()
         .hash_aggregate(vec![1], vec![(AggExpr::count_star(), "cnt")])

@@ -40,7 +40,10 @@ pub mod session;
 mod sync;
 pub mod telemetry;
 
-pub use protocol::{ParsedStatus, Request, VERBS};
+pub use protocol::{
+    err_line, hello_line, help_text, ErrCode, ParsedStatus, Request, PROTOCOL_VERSION,
+    SUBMIT_FIELDS, VERBS,
+};
 pub use server::{ProgressServer, RetryPolicy, ServerConfig, ServiceClient};
 pub use service::{
     QueryService, ServiceConfig, StatusReport, SubmitError, SubmitOptions, ESTIMATORS,

@@ -5,7 +5,9 @@
 //! for the full grammar. Summary:
 //!
 //! ```text
-//! SUBMIT [TIMEOUT_MS=<n>] <sql>
+//! HELLO             → OK protocol=2 verbs=<csv> fields=<csv>
+//!                          estimators=<csv>  (capability discovery)
+//! SUBMIT [TIMEOUT_MS=<n>] [PARALLELISM=<n>] [ESTIMATORS=<csv>] <sql>
 //!                   → OK <id>
 //! STATUS <id>       → OK <id> <STATE> health=<ok|degraded|failed>
 //!                          [curr=<n> lb=<n> ub=<n|inf>
@@ -17,31 +19,121 @@
 //! TRACE <id>        → OK <n>   then n JSONL lines (meta, operators,
 //!                              checkpoints, flight-recorder events)
 //! SHUTDOWN          → OK bye   (server stops accepting)
-//! anything invalid  → ERR <message>
+//! anything invalid  → ERR <CODE> <message>
 //! ```
 
 use crate::service::StatusReport;
 use crate::session::QueryId;
 use qp_progress::shared::Health;
 
+/// Wire protocol version reported by `HELLO`. Version 2 added `HELLO`
+/// itself, structured `ERR <CODE> <msg>` replies, and the `PARALLELISM=`
+/// / `ESTIMATORS=` submit fields.
+pub const PROTOCOL_VERSION: u32 = 2;
+
 /// Every verb the protocol accepts, in documentation order. The
-/// unknown-verb error and the README's verb table are both checked
-/// against this list, so adding a verb here is the single source of
-/// truth.
-pub const VERBS: [&str; 7] = [
-    "SUBMIT", "STATUS", "LIST", "CANCEL", "METRICS", "TRACE", "SHUTDOWN",
+/// unknown-verb error, the `HELLO` capability list, [`help_text`], and
+/// the README's verb table are all checked against this list, so adding
+/// a verb here is the single source of truth.
+pub const VERBS: [&str; 8] = [
+    "HELLO", "SUBMIT", "STATUS", "LIST", "CANCEL", "METRICS", "TRACE", "SHUTDOWN",
 ];
+
+/// One-line usage per verb, index-aligned with [`VERBS`] (checked by
+/// test). [`help_text`] is generated from this table.
+const VERB_USAGE: [&str; 8] = [
+    "HELLO — protocol version and capability list",
+    "SUBMIT [TIMEOUT_MS=<n>] [PARALLELISM=<n>] [ESTIMATORS=<csv>] <sql> — run a query",
+    "STATUS <id> — one-line progress/health report",
+    "LIST — all sessions with state and health",
+    "CANCEL <id> — request cancellation",
+    "METRICS — Prometheus text exposition",
+    "TRACE <id> — JSONL trajectory and events",
+    "SHUTDOWN — stop accepting connections",
+];
+
+/// Optional `KEY=` fields accepted (in any order) at the front of a
+/// `SUBMIT` body, advertised by `HELLO`.
+pub const SUBMIT_FIELDS: [&str; 3] = ["TIMEOUT_MS", "PARALLELISM", "ESTIMATORS"];
+
+/// Machine-readable error classes: every `ERR` reply is
+/// `ERR <CODE> <message>` with `<CODE>` from this enum, so clients can
+/// dispatch without parsing prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// Malformed request line or invalid option value.
+    BadRequest,
+    /// The SQL failed to parse or plan.
+    Plan,
+    /// Worker pool and wait queue are both full.
+    Saturated,
+    /// The service is shutting down.
+    ShuttingDown,
+    /// No session with the given id.
+    UnknownQuery,
+}
+
+impl ErrCode {
+    /// The wire token for this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrCode::BadRequest => "BAD_REQUEST",
+            ErrCode::Plan => "PLAN",
+            ErrCode::Saturated => "SATURATED",
+            ErrCode::ShuttingDown => "SHUTTING_DOWN",
+            ErrCode::UnknownQuery => "UNKNOWN_QUERY",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The `HELLO` reply: protocol version plus capability lists, all on one
+/// line so `telnet`-ing `HELLO` shows everything the server speaks.
+pub fn hello_line() -> String {
+    format!(
+        "OK protocol={} verbs={} fields={} estimators={}",
+        PROTOCOL_VERSION,
+        VERBS.join(","),
+        SUBMIT_FIELDS.join(","),
+        qp_progress::ESTIMATOR_NAMES.join(",")
+    )
+}
+
+/// Human-oriented usage text, generated from [`VERBS`] so it cannot fall
+/// behind the parser.
+pub fn help_text() -> String {
+    let mut out = format!("protocol {PROTOCOL_VERSION}\n");
+    for usage in VERB_USAGE {
+        out.push_str(usage);
+        out.push('\n');
+    }
+    out
+}
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// `SUBMIT [TIMEOUT_MS=<n>] <sql…>` — everything after the verb (and
-    /// the optional deadline field) is the SQL text.
+    /// `HELLO` — capability discovery.
+    Hello,
+    /// `SUBMIT [TIMEOUT_MS=<n>] [PARALLELISM=<n>] [ESTIMATORS=<csv>]
+    /// <sql…>` — everything after the verb and the leading option fields
+    /// is the SQL text.
     Submit {
         sql: String,
         /// Execution-time budget in milliseconds; `None` uses the
         /// service's default.
         timeout_ms: Option<u64>,
+        /// Intra-query parallelism degree; `None` uses the service's
+        /// default.
+        parallelism: Option<usize>,
+        /// Comma-separated estimator names for this session; `None` uses
+        /// the service's default suite.
+        estimators: Option<String>,
     },
     /// `STATUS <id>`
     Status(QueryId),
@@ -67,16 +159,19 @@ impl Request {
         };
         match verb.to_ascii_uppercase().as_str() {
             "SUBMIT" => {
-                let (timeout_ms, sql) = Request::parse_submit_fields(rest)?;
+                let (fields, sql) = Request::parse_submit_fields(rest)?;
                 if sql.is_empty() {
                     Err("SUBMIT needs a SQL statement".into())
                 } else {
                     Ok(Request::Submit {
                         sql: sql.to_string(),
-                        timeout_ms,
+                        timeout_ms: fields.timeout_ms,
+                        parallelism: fields.parallelism,
+                        estimators: fields.estimators,
                     })
                 }
             }
+            "HELLO" => Request::expect_bare("HELLO", rest, Request::Hello),
             "STATUS" => Ok(Request::Status(rest.parse()?)),
             "CANCEL" => Ok(Request::Cancel(rest.parse()?)),
             "TRACE" => Ok(Request::Trace(rest.parse()?)),
@@ -99,27 +194,74 @@ impl Request {
         }
     }
 
-    /// Splits the optional leading `TIMEOUT_MS=<n>` field off a `SUBMIT`
-    /// body. The field is only recognised in first position so SQL text
-    /// containing the literal string is never misparsed.
-    fn parse_submit_fields(rest: &str) -> Result<(Option<u64>, &str), String> {
-        let Some(value_and_sql) = rest.strip_prefix("TIMEOUT_MS=") else {
-            return Ok((None, rest));
-        };
-        let (value, sql) = match value_and_sql.split_once(char::is_whitespace) {
-            Some((v, s)) => (v, s.trim()),
-            None => (value_and_sql, ""),
-        };
-        let ms = value
-            .parse::<u64>()
-            .map_err(|e| format!("bad TIMEOUT_MS value {value:?}: {e}"))?;
-        Ok((Some(ms), sql))
+    /// Strips the optional leading `KEY=<value>` fields (any order, each
+    /// at most once) off a `SUBMIT` body. Fields are only recognised
+    /// before the SQL starts, so SQL text containing the literal strings
+    /// is never misparsed.
+    fn parse_submit_fields(rest: &str) -> Result<(SubmitFields, &str), String> {
+        let mut fields = SubmitFields::default();
+        let mut rest = rest;
+        loop {
+            if let Some(tail) = rest.strip_prefix("TIMEOUT_MS=") {
+                let (value, sql) = split_field(tail);
+                if fields.timeout_ms.is_some() {
+                    return Err("duplicate TIMEOUT_MS field".into());
+                }
+                fields.timeout_ms = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad TIMEOUT_MS value {value:?}: {e}"))?,
+                );
+                rest = sql;
+            } else if let Some(tail) = rest.strip_prefix("PARALLELISM=") {
+                let (value, sql) = split_field(tail);
+                if fields.parallelism.is_some() {
+                    return Err("duplicate PARALLELISM field".into());
+                }
+                let n = value
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad PARALLELISM value {value:?}: {e}"))?;
+                if n == 0 {
+                    return Err("PARALLELISM must be at least 1".into());
+                }
+                fields.parallelism = Some(n);
+                rest = sql;
+            } else if let Some(tail) = rest.strip_prefix("ESTIMATORS=") {
+                let (value, sql) = split_field(tail);
+                if fields.estimators.is_some() {
+                    return Err("duplicate ESTIMATORS field".into());
+                }
+                if value.is_empty() {
+                    return Err("empty ESTIMATORS value".into());
+                }
+                fields.estimators = Some(value.to_string());
+                rest = sql;
+            } else {
+                return Ok((fields, rest));
+            }
+        }
     }
 }
 
-/// `ERR <message>` with the message flattened onto one line.
-pub fn err_line(message: &str) -> String {
-    format!("ERR {}", message.replace(['\r', '\n'], " "))
+/// Parsed optional `SUBMIT` option fields.
+#[derive(Debug, Default)]
+struct SubmitFields {
+    timeout_ms: Option<u64>,
+    parallelism: Option<usize>,
+    estimators: Option<String>,
+}
+
+/// Splits `value rest-of-line` at the first whitespace.
+fn split_field(tail: &str) -> (&str, &str) {
+    match tail.split_once(char::is_whitespace) {
+        Some((v, s)) => (v, s.trim()),
+        None => (tail, ""),
+    }
+}
+
+/// `ERR <CODE> <message>` with the message flattened onto one line.
+pub fn err_line(code: ErrCode, message: &str) -> String {
+    format!("ERR {code} {}", message.replace(['\r', '\n'], " "))
 }
 
 /// The `OK …` line for a status report (the whole answer — single line, so
@@ -133,7 +275,7 @@ pub fn status_line(report: &StatusReport) -> String {
         } else {
             out.push_str(&format!(" ub={}", p.ub));
         }
-        for (name, est) in crate::service::ESTIMATORS.iter().zip(&p.estimates) {
+        for (name, est) in report.estimators.iter().zip(&p.estimates) {
             out.push_str(&format!(" {name}={est:.6}"));
         }
     }
@@ -240,11 +382,14 @@ mod tests {
 
     #[test]
     fn parses_every_verb() {
+        assert_eq!(Request::parse("HELLO").unwrap(), Request::Hello);
         assert_eq!(
             Request::parse("SUBMIT SELECT 1 FROM t").unwrap(),
             Request::Submit {
                 sql: "SELECT 1 FROM t".into(),
                 timeout_ms: None,
+                parallelism: None,
+                estimators: None,
             }
         );
         assert_eq!(
@@ -317,16 +462,78 @@ mod tests {
             Request::Submit {
                 sql: "SELECT 1 FROM t".into(),
                 timeout_ms: Some(2500),
+                parallelism: None,
+                estimators: None,
             }
         );
-        // Only recognised in first position: later occurrences are SQL.
+        // Only recognised before the SQL: later occurrences are SQL.
         assert_eq!(
             Request::parse("SUBMIT SELECT 'TIMEOUT_MS=5' FROM t").unwrap(),
             Request::Submit {
                 sql: "SELECT 'TIMEOUT_MS=5' FROM t".into(),
                 timeout_ms: None,
+                parallelism: None,
+                estimators: None,
             }
         );
+    }
+
+    #[test]
+    fn submit_fields_combine_in_any_order() {
+        let expected = Request::Submit {
+            sql: "SELECT 1 FROM t".into(),
+            timeout_ms: Some(100),
+            parallelism: Some(4),
+            estimators: Some("dne,pmax".into()),
+        };
+        assert_eq!(
+            Request::parse(
+                "SUBMIT TIMEOUT_MS=100 PARALLELISM=4 ESTIMATORS=dne,pmax SELECT 1 FROM t"
+            )
+            .unwrap(),
+            expected
+        );
+        assert_eq!(
+            Request::parse(
+                "SUBMIT ESTIMATORS=dne,pmax PARALLELISM=4 TIMEOUT_MS=100 SELECT 1 FROM t"
+            )
+            .unwrap(),
+            expected
+        );
+        assert!(Request::parse("SUBMIT PARALLELISM=0 SELECT 1 FROM t").is_err());
+        assert!(Request::parse("SUBMIT PARALLELISM=x SELECT 1 FROM t").is_err());
+        assert!(Request::parse("SUBMIT ESTIMATORS= SELECT 1 FROM t").is_err());
+        assert!(Request::parse("SUBMIT PARALLELISM=2 PARALLELISM=2 SELECT 1 FROM t").is_err());
+        assert!(Request::parse("SUBMIT PARALLELISM=2").is_err());
+    }
+
+    #[test]
+    fn hello_line_advertises_capabilities() {
+        let line = hello_line();
+        assert!(line.starts_with(&format!("OK protocol={PROTOCOL_VERSION} ")));
+        for verb in VERBS {
+            assert!(line.contains(verb), "hello line omits verb {verb}");
+        }
+        for field in SUBMIT_FIELDS {
+            assert!(line.contains(field), "hello line omits field {field}");
+        }
+        for name in qp_progress::ESTIMATOR_NAMES {
+            assert!(line.contains(name), "hello line omits estimator {name}");
+        }
+        // Single line, like every non-block reply.
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn help_text_covers_every_verb() {
+        let help = help_text();
+        for (verb, usage) in VERBS.iter().zip(VERB_USAGE) {
+            assert!(
+                usage.starts_with(verb),
+                "usage {usage:?} misaligned with verb {verb}"
+            );
+            assert!(help.contains(usage));
+        }
     }
 
     #[test]
@@ -335,6 +542,7 @@ mod tests {
             id: QueryId(7),
             state: QueryState::Running,
             health: Health::Degraded,
+            estimators: crate::service::ESTIMATORS.to_vec(),
             progress: Some(qp_progress::shared::ProgressReading {
                 curr: 1200,
                 lb: 4000,
@@ -363,6 +571,7 @@ mod tests {
             id: QueryId(3),
             state: QueryState::TimedOut,
             health: Health::Degraded,
+            estimators: crate::service::ESTIMATORS.to_vec(),
             progress: None,
             rows: None,
             total_getnext: None,
@@ -375,8 +584,11 @@ mod tests {
     }
 
     #[test]
-    fn err_lines_stay_single_line() {
-        assert_eq!(err_line("multi\nline\rmess"), "ERR multi line mess");
-        assert!(ParsedStatus::parse("ERR nope").is_err());
+    fn err_lines_stay_single_line_and_carry_a_code() {
+        assert_eq!(
+            err_line(ErrCode::BadRequest, "multi\nline\rmess"),
+            "ERR BAD_REQUEST multi line mess"
+        );
+        assert!(ParsedStatus::parse("ERR UNKNOWN_QUERY nope").is_err());
     }
 }

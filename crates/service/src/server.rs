@@ -17,8 +17,8 @@
 //! (seeded via `qp-testkit`), for servers that are still binding or
 //! briefly at their connection cap.
 
-use crate::protocol::{err_line, status_line, ParsedStatus, Request};
-use crate::service::{QueryService, SubmitOptions};
+use crate::protocol::{err_line, hello_line, status_line, ErrCode, ParsedStatus, Request};
+use crate::service::{QueryService, SubmitError, SubmitOptions};
 use crate::session::{QueryId, QueryState};
 use qp_progress::shared::Health;
 use qp_testkit::fault::Backoff;
@@ -165,6 +165,16 @@ fn accept_loop(
     }
 }
 
+/// Maps a [`SubmitError`] onto its wire error code.
+fn submit_err_code(e: &SubmitError) -> ErrCode {
+    match e {
+        SubmitError::Plan(_) => ErrCode::Plan,
+        SubmitError::BadRequest(_) => ErrCode::BadRequest,
+        SubmitError::Saturated { .. } => ErrCode::Saturated,
+        SubmitError::ShuttingDown => ErrCode::ShuttingDown,
+    }
+}
+
 fn handle_connection(
     stream: TcpStream,
     service: &Arc<QueryService>,
@@ -204,20 +214,28 @@ fn handle_connection(
             Err(e) => return Err(e),
         }
         let response = match Request::parse(&line) {
-            Err(msg) => err_line(&msg),
-            Ok(Request::Submit { sql, timeout_ms }) => {
+            Err(msg) => err_line(ErrCode::BadRequest, &msg),
+            Ok(Request::Hello) => hello_line(),
+            Ok(Request::Submit {
+                sql,
+                timeout_ms,
+                parallelism,
+                estimators,
+            }) => {
                 let opts = SubmitOptions {
                     timeout: timeout_ms.map(Duration::from_millis),
                     faults: None,
+                    parallelism,
+                    estimators,
                 };
                 match service.submit_with(&sql, opts) {
                     Ok(id) => format!("OK {id}"),
-                    Err(e) => err_line(&e.to_string()),
+                    Err(e) => err_line(submit_err_code(&e), &e.to_string()),
                 }
             }
             Ok(Request::Status(id)) => match service.status(id) {
                 Some(report) => status_line(&report),
-                None => err_line(&format!("unknown query {id}")),
+                None => err_line(ErrCode::UnknownQuery, &format!("unknown query {id}")),
             },
             Ok(Request::List) => {
                 let sessions = service.list();
@@ -246,11 +264,11 @@ fn handle_connection(
                     }
                     out
                 }
-                None => err_line(&format!("unknown query {id}")),
+                None => err_line(ErrCode::UnknownQuery, &format!("unknown query {id}")),
             },
             Ok(Request::Cancel(id)) => match service.cancel(id) {
                 Some(found) => format!("OK {id} {found}"),
-                None => err_line(&format!("unknown query {id}")),
+                None => err_line(ErrCode::UnknownQuery, &format!("unknown query {id}")),
             },
             Ok(Request::Shutdown) => {
                 writeln!(writer, "OK bye")?;
@@ -366,6 +384,24 @@ impl ServiceClient {
             "SUBMIT TIMEOUT_MS={} {sql}",
             timeout.as_millis().min(u64::MAX as u128)
         ))?;
+        Self::parse_submit_reply(line)
+    }
+
+    /// `HELLO` — returns the capability line (sans the `OK ` prefix),
+    /// e.g. `protocol=2 verbs=… fields=… estimators=…`.
+    pub fn hello(&mut self) -> std::io::Result<String> {
+        let line = self.round_trip("HELLO")?;
+        Ok(line.strip_prefix("OK ").unwrap_or(&line).to_string())
+    }
+
+    /// `SUBMIT <fields> <sql>` with caller-composed option fields, e.g.
+    /// `PARALLELISM=4 ESTIMATORS=dne,pmax`.
+    pub fn submit_with_fields(
+        &mut self,
+        fields: &str,
+        sql: &str,
+    ) -> std::io::Result<Result<QueryId, String>> {
+        let line = self.round_trip(&format!("SUBMIT {fields} {sql}"))?;
         Self::parse_submit_reply(line)
     }
 

@@ -7,10 +7,14 @@
 //! [`DbStats`], plans submitted SQL through `qp-sql`, and executes each
 //! query on one of `workers` threads with a [`ProgressMonitor`] publishing
 //! live `(curr, LB, UB, dne/pmax/safe)` readings into the session's
-//! lock-free [`ProgressCell`]. Execution of any single query stays
-//! strictly serial — the GetNext model of Section 2.2 — so results and
-//! getnext totals are byte-identical to single-threaded runs; only the
-//! *scheduling* of whole queries is concurrent.
+//! lock-free [`ProgressCell`]. With
+//! [`ServiceConfig::default_parallelism`] (or a per-query
+//! `PARALLELISM=` field) above 1, eligible scan subtrees are fanned
+//! across partitions via [`qp_exec::parallelize`] — by construction the
+//! result rows, per-node getnext counters, and `total(Q)` stay
+//! byte-identical to the serial run (the GetNext model of Section 2.2),
+//! so every estimator reading is unchanged; parallelism only compresses
+//! wall-clock time.
 //!
 //! Admission control is two-tier: at most `workers` queries run at once,
 //! at most `queue_depth` more wait in a bounded queue, and past that
@@ -54,11 +58,25 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Estimator names every session's progress cell reports, in order.
+/// Default estimator names a session's progress cell reports, in order.
+/// A `SUBMIT ESTIMATORS=<csv>` field (or [`SubmitOptions::estimators`])
+/// overrides the suite per session, resolved through the
+/// [`qp_progress::estimators`] name registry.
 pub const ESTIMATORS: [&str; 3] = ["dne", "pmax", "safe"];
 
 fn estimator_suite() -> Vec<Box<dyn ProgressEstimator>> {
     vec![Box::new(Dne), Box::new(Pmax), Box::new(Safe)]
+}
+
+/// Resolves a session's estimator suite: the validated CSV from submit
+/// time, or the service default. `Box<dyn ProgressEstimator>` is not
+/// `Send`, so the job carries the (already-validated) names and the
+/// worker re-resolves them here.
+fn session_suite(estimators: Option<&str>) -> Vec<Box<dyn ProgressEstimator>> {
+    match estimators {
+        Some(csv) => qp_progress::parse_suite(csv).unwrap_or_else(|_| estimator_suite()),
+        None => estimator_suite(),
+    }
 }
 
 /// Sizing knobs for a [`QueryService`].
@@ -95,6 +113,11 @@ pub struct ServiceConfig {
     /// getnext, which the counters-only path avoids (see the
     /// `obs_overhead` bench).
     pub timed_obs: bool,
+    /// Intra-query parallelism applied to every submission that does not
+    /// carry its own `PARALLELISM=` field: eligible scan subtrees are
+    /// fanned across this many partitions via [`qp_exec::parallelize`].
+    /// `1` (the default) leaves plans serial.
+    pub default_parallelism: usize,
 }
 
 impl Default for ServiceConfig {
@@ -110,6 +133,7 @@ impl Default for ServiceConfig {
             recorder_capacity: 1024,
             trace_capacity: 4096,
             timed_obs: false,
+            default_parallelism: 1,
         }
     }
 }
@@ -123,6 +147,14 @@ pub struct SubmitOptions {
     /// Deterministic fault plan for this query; falls back to the plan
     /// derived from [`ServiceConfig::fault_seed`] when `None`.
     pub faults: Option<FaultPlan>,
+    /// Intra-query parallelism for this query; falls back to
+    /// [`ServiceConfig::default_parallelism`] when `None`. Rejected at
+    /// submit time if zero.
+    pub parallelism: Option<usize>,
+    /// Comma-separated estimator names for this session (validated at
+    /// submit time against the [`qp_progress::estimators`] registry);
+    /// falls back to [`ESTIMATORS`] when `None`.
+    pub estimators: Option<String>,
 }
 
 /// Why a `SUBMIT` was rejected.
@@ -130,6 +162,9 @@ pub struct SubmitOptions {
 pub enum SubmitError {
     /// The SQL failed to parse or plan.
     Plan(String),
+    /// An option carried an invalid value (e.g. an unknown estimator
+    /// name or a zero parallelism degree).
+    BadRequest(String),
     /// Both the worker pool and the wait queue are full.
     Saturated {
         /// Configured maximum of queued sessions.
@@ -143,6 +178,7 @@ impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::Plan(m) => write!(f, "planning failed: {m}"),
+            SubmitError::BadRequest(m) => write!(f, "bad request: {m}"),
             SubmitError::Saturated { queue_depth } => write!(
                 f,
                 "service saturated (all workers busy, {queue_depth} queued); retry later"
@@ -163,6 +199,9 @@ pub struct StatusReport {
     /// the first published reading (a query can fail before its first
     /// snapshot).
     pub health: qp_progress::shared::Health,
+    /// This session's estimator names, index-aligned with
+    /// [`ProgressReading::estimates`].
+    pub estimators: Vec<&'static str>,
     /// Latest published progress, if the query has produced any.
     pub progress: Option<ProgressReading>,
     /// Result row count, once finished.
@@ -177,6 +216,8 @@ struct Job {
     session: Arc<Session>,
     plan: Plan,
     faults: Option<FaultPlan>,
+    /// Validated estimator CSV (`None` = service default suite).
+    estimators: Option<String>,
 }
 
 struct ServiceInner {
@@ -203,6 +244,7 @@ pub struct QueryService {
     fault_config: FaultConfig,
     trace_capacity: usize,
     timed_obs: bool,
+    default_parallelism: usize,
 }
 
 impl QueryService {
@@ -253,6 +295,7 @@ impl QueryService {
             fault_config: config.fault_config,
             trace_capacity: config.trace_capacity,
             timed_obs: config.timed_obs,
+            default_parallelism: config.default_parallelism,
         }
     }
 
@@ -278,12 +321,33 @@ impl QueryService {
     /// [`submit`](QueryService::submit) with per-query overrides for the
     /// execution deadline and the injected fault plan.
     pub fn submit_with(&self, sql: &str, opts: SubmitOptions) -> Result<QueryId, SubmitError> {
+        // Validate options before doing any planning work.
+        let parallelism = opts.parallelism.unwrap_or(self.default_parallelism);
+        if parallelism == 0 {
+            return Err(SubmitError::BadRequest(
+                "parallelism must be at least 1".into(),
+            ));
+        }
+        let estimator_names: Vec<&'static str> = match &opts.estimators {
+            Some(csv) => qp_progress::parse_suite(csv)
+                .map_err(SubmitError::BadRequest)?
+                .iter()
+                .map(|e| e.name())
+                .collect(),
+            None => ESTIMATORS.to_vec(),
+        };
+
         let mut plan = qp_sql::sql_to_plan(sql, &self.inner.db, &self.inner.stats)
             .map_err(|e| SubmitError::Plan(e.to_string()))?;
         qp_exec::estimate::annotate(&mut plan, &self.inner.stats);
+        // Parallelize *after* annotation: the appended Exchange nodes copy
+        // their child's estimate, and runtime node ids stay identical to
+        // the serial plan so every downstream consumer (bounds, monitor,
+        // per-operator counters) is unaffected.
+        let plan = qp_exec::parallelize(&plan, parallelism);
 
         let id = QueryId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
-        let cell = Arc::new(ProgressCell::new(ESTIMATORS.to_vec()));
+        let cell = Arc::new(ProgressCell::new(estimator_names.clone()));
         let timeout = opts.timeout.or(self.default_timeout);
         let telemetry = SessionTelemetry {
             obs: Some(QueryObs::new(
@@ -294,7 +358,7 @@ impl QueryService {
             )),
             trace: Some(Arc::new(TraceBuffer::new(
                 self.trace_capacity,
-                ESTIMATORS.len(),
+                estimator_names.len(),
             ))),
             recorder: Some(Arc::clone(&self.inner.recorder)),
         };
@@ -321,6 +385,7 @@ impl QueryService {
             session: Arc::clone(&session),
             plan,
             faults,
+            estimators: opts.estimators,
         }) {
             Ok(()) => {
                 self.inner
@@ -354,6 +419,7 @@ impl QueryService {
             id,
             state: session.state(),
             health: session.progress_cell().health(),
+            estimators: session.progress_cell().names().to_vec(),
             progress: session.progress(),
             rows: result.as_ref().map(|r| r.rows.len() as u64),
             total_getnext: result.as_ref().map(|r| r.total_getnext),
@@ -483,6 +549,7 @@ fn run_job(inner: &ServiceInner, job: Job) {
         session,
         plan,
         faults,
+        estimators,
     } = job;
     if !session.begin_running() {
         // Cancelled while queued: the session is already terminal.
@@ -500,7 +567,8 @@ fn run_job(inner: &ServiceInner, job: Job) {
             .max(200);
         (hint / 200).max(1)
     });
-    let mut monitor = ProgressMonitor::new(meta, bounds, estimator_suite(), stride);
+    let mut monitor =
+        ProgressMonitor::new(meta, bounds, session_suite(estimators.as_deref()), stride);
     monitor.set_publisher(Arc::clone(session.progress_cell()));
     if let Some(obs) = session.obs() {
         monitor.set_recorder(Arc::clone(&inner.recorder), obs.query());

@@ -18,7 +18,7 @@
 //! never take a session's core lock, so a wedged or panicking query can
 //! not block a scrape, and a scrape never perturbs the getnext hot path.
 
-use crate::service::{QueryService, ESTIMATORS};
+use crate::service::QueryService;
 use crate::session::{QueryId, QueryState};
 use qp_exec::fault_kind_name;
 use qp_obs::json::Obj;
@@ -227,7 +227,7 @@ pub fn trace_jsonl(service: &QueryService, id: QueryId) -> Option<Vec<String>> {
             } else {
                 o.u64("ub", pt.ub)
             };
-            for (name, est) in ESTIMATORS.iter().zip(&pt.estimates) {
+            for (name, est) in session.progress_cell().names().iter().zip(&pt.estimates) {
                 o = o.f64(name, *est);
             }
             lines.push(o.finish());
@@ -265,7 +265,7 @@ fn event_line(e: &Event) -> Obj {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::service::ServiceConfig;
+    use crate::service::{ServiceConfig, ESTIMATORS};
     use qp_datagen::{TpchConfig, TpchDb};
     use std::sync::Arc;
 

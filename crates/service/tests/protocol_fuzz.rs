@@ -40,9 +40,12 @@ prop_check! {
         sql_bytes in collection::vec(33u8..127, 1..40),
     ) {
         let sql = String::from_utf8_lossy(&sql_bytes).to_string();
-        // A leading TIMEOUT_MS= token in the SQL itself would (by design)
-        // be eaten as the protocol field; skip that corner.
-        if sql.starts_with("TIMEOUT_MS=") {
+        // A leading option token in the SQL itself would (by design) be
+        // eaten as the protocol field; skip that corner.
+        if ["TIMEOUT_MS=", "PARALLELISM=", "ESTIMATORS="]
+            .iter()
+            .any(|f| sql.starts_with(f))
+        {
             return Ok(());
         }
         let line = if with_timeout == 1 {
@@ -51,7 +54,7 @@ prop_check! {
             format!("SUBMIT {sql}")
         };
         match Request::parse(&line) {
-            Ok(Request::Submit { sql: parsed_sql, timeout_ms: parsed_t }) => {
+            Ok(Request::Submit { sql: parsed_sql, timeout_ms: parsed_t, .. }) => {
                 prop_assert!(parsed_sql == sql.trim(), "sql mangled: {parsed_sql:?}");
                 let want = (with_timeout == 1).then_some(timeout_ms);
                 prop_assert!(parsed_t == want, "timeout mangled: {parsed_t:?}");

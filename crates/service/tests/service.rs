@@ -409,3 +409,93 @@ fn tcp_protocol_error_paths() {
 
     server.shutdown();
 }
+
+#[test]
+fn parallel_sessions_match_serial_and_pick_their_estimators() {
+    use qp_service::{SubmitError, SubmitOptions};
+
+    let db = tpch(0.005);
+    let stats = Arc::new(DbStats::build(&db));
+    let service = Arc::new(QueryService::with_stats(
+        Arc::clone(&db),
+        Arc::clone(&stats),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    ));
+
+    // In-process: PARALLELISM=4 sessions with a custom estimator suite
+    // return byte-identical rows and the exact serial total(Q).
+    for sql in workload_sql().into_iter().take(3) {
+        let (rows, total) = run_serial(sql, &db, &stats);
+        let id = service
+            .submit_with(
+                sql,
+                SubmitOptions {
+                    parallelism: Some(4),
+                    estimators: Some("pmax,dne".into()),
+                    ..SubmitOptions::default()
+                },
+            )
+            .expect("admitted");
+        assert_eq!(service.wait(id), Some(QueryState::Finished), "{sql}");
+        let result = service.result(id).expect("retained");
+        assert_eq!(result.rows.as_slice(), rows.as_slice(), "{sql} rows differ");
+        assert_eq!(result.total_getnext, total, "{sql} total(Q) differs");
+        let report = service.status(id).expect("status");
+        assert_eq!(report.estimators, vec!["pmax", "dne"], "{sql} suite");
+    }
+
+    // Invalid options are rejected synchronously as BadRequest — no
+    // session is created, no worker is spent.
+    for (sql, opts) in [
+        (
+            "SELECT COUNT(*) AS n FROM region",
+            SubmitOptions {
+                parallelism: Some(0),
+                ..SubmitOptions::default()
+            },
+        ),
+        (
+            "SELECT COUNT(*) AS n FROM region",
+            SubmitOptions {
+                estimators: Some("pmax,nonsense".into()),
+                ..SubmitOptions::default()
+            },
+        ),
+    ] {
+        assert!(matches!(
+            service.submit_with(sql, opts),
+            Err(SubmitError::BadRequest(_))
+        ));
+    }
+
+    // Over the wire: HELLO advertises the capabilities, and a SUBMIT
+    // carrying both fields round-trips to the same serial answer.
+    let mut server = ProgressServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
+    let mut client = ServiceClient::connect(server.local_addr()).expect("connects");
+    let hello = client.hello().expect("hello");
+    assert!(hello.contains("protocol=2"), "hello: {hello}");
+    assert!(hello.contains("PARALLELISM"), "hello: {hello}");
+    assert!(hello.contains("pmax"), "hello: {hello}");
+
+    let sql = "SELECT COUNT(*) AS n FROM region";
+    let (rows, total) = run_serial(sql, &db, &stats);
+    let id = client
+        .submit_with_fields("PARALLELISM=4 ESTIMATORS=safe", sql)
+        .unwrap()
+        .expect("admitted");
+    assert_eq!(service.wait(id), Some(QueryState::Finished));
+    let result = service.result(id).expect("retained");
+    assert_eq!(result.rows.as_slice(), rows.as_slice());
+    assert_eq!(result.total_getnext, total);
+    let status = client.status(id).unwrap().expect("status");
+    assert_eq!(status.state, QueryState::Finished);
+
+    // A malformed field value is an ERR at SUBMIT time.
+    let err = client.submit_with_fields("PARALLELISM=0", sql).unwrap();
+    assert!(err.is_err(), "PARALLELISM=0 must be rejected");
+
+    server.shutdown();
+}

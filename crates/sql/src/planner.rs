@@ -443,13 +443,9 @@ impl Planner<'_> {
                         // New table builds; current probes. The joined
                         // schema becomes [new table ++ current], so all
                         // existing offsets shift right.
-                        builder = other.hash_join(
-                            builder,
-                            inner_keys,
-                            outer_keys,
-                            JoinType::Inner,
-                            linear,
-                        );
+                        builder = other
+                            .hash_join(builder, inner_keys, outer_keys, JoinType::Inner, linear)
+                            .expect("planner builds equal-arity key lists");
                         for (off, _) in offsets.values_mut() {
                             *off += b.schema.arity();
                         }
@@ -458,13 +454,9 @@ impl Planner<'_> {
                         current_est = estimate_join(current_est, b.est);
                         continue;
                     } else {
-                        builder = builder.hash_join(
-                            other,
-                            outer_keys,
-                            inner_keys,
-                            JoinType::Inner,
-                            linear,
-                        );
+                        builder = builder
+                            .hash_join(other, outer_keys, inner_keys, JoinType::Inner, linear)
+                            .expect("planner builds equal-arity key lists");
                     }
                 }
                 offsets.insert(b.binding.clone(), (outer_arity, b.schema.arity()));

@@ -133,6 +133,29 @@ impl FaultPlan {
         FaultPlan::from_points(points)
     }
 
+    /// Derives the fault schedule for partition `p` of `n` in a
+    /// partitioned (parallel) run. Each point is assigned to the partition
+    /// `at_getnext % n` and remapped to the *partition-local* getnext
+    /// index `at_getnext / n` — a worker produces roughly `1/n` of the
+    /// rows, so remapped points stay inside the work a partition actually
+    /// does. With `n = 1` this is the identity, and across `p = 0..n`
+    /// every point lands in exactly one partition, so a seed still pins
+    /// the logical position of every failure independent of thread
+    /// scheduling.
+    pub fn for_partition(&self, p: usize, n: usize) -> FaultPlan {
+        let n = n.max(1) as u64;
+        FaultPlan::from_points(
+            self.points
+                .iter()
+                .filter(|pt| pt.at_getnext % n == p as u64)
+                .map(|pt| FaultPoint {
+                    at_getnext: pt.at_getnext / n,
+                    kind: pt.kind,
+                })
+                .collect(),
+        )
+    }
+
     /// True when no faults remain to fire.
     pub fn is_exhausted(&self) -> bool {
         self.cursor >= self.points.len()
@@ -242,6 +265,35 @@ mod tests {
         assert_eq!(second.kind, FaultKind::Panic);
         assert!(plan.is_exhausted());
         assert!(plan.fire_at(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn partition_derivation_covers_every_point_exactly_once() {
+        let plan = FaultPlan::seeded(11, &FaultConfig::default());
+        // n = 1 is the identity.
+        assert_eq!(plan.for_partition(0, 1).points(), plan.points());
+        for n in [2usize, 3, 4] {
+            let mut covered = 0;
+            for p in 0..n {
+                let part = plan.for_partition(p, n);
+                covered += part.points().len();
+                for pt in part.points() {
+                    // Remapped index corresponds to an original point in
+                    // this partition's residue class.
+                    assert!(plan
+                        .points()
+                        .iter()
+                        .any(|orig| orig.at_getnext / n as u64 == pt.at_getnext
+                            && orig.at_getnext % n as u64 == p as u64
+                            && orig.kind == pt.kind));
+                }
+            }
+            assert_eq!(
+                covered,
+                plan.points().len(),
+                "n={n} must partition the plan"
+            );
+        }
     }
 
     #[test]

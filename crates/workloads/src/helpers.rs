@@ -4,9 +4,12 @@ use qp_exec::expr::{ArithOp, CmpOp, Expr, LikePattern};
 use qp_exec::plan::PlanBuilder;
 use qp_storage::Value;
 
-/// `builder.col(name)` shorthand.
+/// `builder.col(name)` shorthand. The workload plans are hand-written
+/// against fixed schemas, so a missing column is a bug in the workload
+/// itself — panic with the typed error's message rather than forcing
+/// `Result` plumbing through every query constructor.
 pub fn c(b: &PlanBuilder, name: &str) -> usize {
-    b.col(name)
+    b.col(name).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// `col = literal`.

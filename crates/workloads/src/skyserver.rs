@@ -75,14 +75,16 @@ fn q6(db: &Database) -> Plan {
     let class = c(&spec, "class");
     let spec = spec.filter(eq(class, "QSO"));
     let photo = PlanBuilder::scan(db, "photoobj").expect("photoobj");
-    let jo = spec.hash_join(
-        photo,
-        vec![1], // bestobjid
-        vec![0], // objid
-        JoinType::Inner,
-        true,
-    );
-    let (ty, z) = (jo.col("objtype"), jo.col("redshift"));
+    let jo = spec
+        .hash_join(
+            photo,
+            vec![1], // bestobjid
+            vec![0], // objid
+            JoinType::Inner,
+            true,
+        )
+        .unwrap();
+    let (ty, z) = (c(&jo, "objtype"), c(&jo, "redshift"));
     jo.hash_aggregate(
         vec![ty],
         vec![
@@ -101,7 +103,7 @@ fn q14(db: &Database) -> Plan {
     let nb = PlanBuilder::scan(db, "neighbors").expect("neighbors");
     let dist = c(&nb, "distance");
     let nb = nb.filter(lt(dist, 0.02f64));
-    let other = nb.col("neighborobjid");
+    let other = c(&nb, "neighborobjid");
     let jo = nb
         .inl_join(
             db,
@@ -113,7 +115,7 @@ fn q14(db: &Database) -> Plan {
             None,
         )
         .expect("photoobj_pk");
-    let mag_r = jo.col("mag_r");
+    let mag_r = c(&jo, "mag_r");
     jo.filter(lt(mag_r, 18.0f64))
         .hash_aggregate(vec![], vec![(AggExpr::count_star(), "pairs")])
         .build()
@@ -129,14 +131,16 @@ fn q18(db: &Database) -> Plan {
         p.filter(eq(ty, 3i64))
     };
     let nb = PlanBuilder::scan(db, "neighbors").expect("neighbors");
-    let jo = gal.hash_join(
-        nb,
-        vec![0], // objid
-        vec![0], // neighbors.objid
-        JoinType::Inner,
-        true,
-    );
-    let other = jo.col("neighborobjid");
+    let jo = gal
+        .hash_join(
+            nb,
+            vec![0], // objid
+            vec![0], // neighbors.objid
+            JoinType::Inner,
+            true,
+        )
+        .unwrap();
+    let other = c(&jo, "neighborobjid");
     let arity = jo.schema().arity();
     let other_is_galaxy = eq(arity + 3, 3i64); // photoobj.objtype in concat
     let pairs = jo
@@ -150,7 +154,7 @@ fn q18(db: &Database) -> Plan {
             Some(other_is_galaxy),
         )
         .expect("photoobj_pk");
-    let dist = pairs.col("distance");
+    let dist = c(&pairs, "distance");
     pairs
         .filter(lt(dist, 0.1f64))
         .hash_aggregate(vec![], vec![(AggExpr::count_star(), "galaxy_pairs")])
@@ -162,11 +166,15 @@ fn q18(db: &Database) -> Plan {
 fn q22(db: &Database) -> Plan {
     let spec = PlanBuilder::scan(db, "specobj").expect("specobj");
     let photo = PlanBuilder::scan(db, "photoobj").expect("photoobj");
-    let sp = spec.hash_join(photo, vec![1], vec![0], JoinType::Inner, true);
+    let sp = spec
+        .hash_join(photo, vec![1], vec![0], JoinType::Inner, true)
+        .unwrap();
     let nb = PlanBuilder::scan(db, "neighbors").expect("neighbors");
-    let objid = sp.col("objid");
-    let all = sp.hash_join(nb, vec![objid], vec![0], JoinType::Inner, true);
-    let (class, dist) = (all.col("class"), all.col("distance"));
+    let objid = c(&sp, "objid");
+    let all = sp
+        .hash_join(nb, vec![objid], vec![0], JoinType::Inner, true)
+        .unwrap();
+    let (class, dist) = (c(&all, "class"), c(&all, "distance"));
     all.hash_aggregate(
         vec![class],
         vec![
@@ -204,8 +212,10 @@ fn q32(db: &Database) -> Plan {
     let p = p.filter(lt(flags, 0x4000i64)).sort(vec![(0, true)]); // by objid
     let spec = PlanBuilder::scan(db, "specobj").expect("specobj");
     let spec = spec.sort(vec![(1, true)]); // by bestobjid
-    let jo = p.merge_join(spec, vec![0], vec![1], JoinType::Inner, true);
-    let (class, z, mag_r) = (jo.col("class"), jo.col("redshift"), jo.col("mag_r"));
+    let jo = p
+        .merge_join(spec, vec![0], vec![1], JoinType::Inner, true)
+        .unwrap();
+    let (class, z, mag_r) = (c(&jo, "class"), c(&jo, "redshift"), c(&jo, "mag_r"));
     jo.filter(gt(z, 0.1f64))
         .hash_aggregate(
             vec![class],

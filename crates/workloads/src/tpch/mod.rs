@@ -64,16 +64,19 @@ pub(crate) fn suppliers_in_region(db: &Database, region: &str) -> PlanBuilder {
         r.filter(eq(name, region))
     };
     let n = PlanBuilder::scan(db, "nation").expect("nation");
-    let rn = r.hash_join(
-        n,
-        vec![0], // r_regionkey
-        vec![2], // n_regionkey
-        JoinType::Inner,
-        true,
-    );
+    let rn = r
+        .hash_join(
+            n,
+            vec![0], // r_regionkey
+            vec![2], // n_regionkey
+            JoinType::Inner,
+            true,
+        )
+        .unwrap();
     let s = PlanBuilder::scan(db, "supplier").expect("supplier");
-    let nk_in_rn = rn.col("n_nationkey");
+    let nk_in_rn = c(&rn, "n_nationkey");
     rn.hash_join(s, vec![nk_in_rn], vec![2], JoinType::Inner, true)
+        .unwrap()
 }
 
 /// Shared sub-plan: customers in a region (analogous to
@@ -85,10 +88,13 @@ pub(crate) fn customers_in_region(db: &Database, region: &str) -> PlanBuilder {
         r.filter(eq(name, region))
     };
     let n = PlanBuilder::scan(db, "nation").expect("nation");
-    let rn = r.hash_join(n, vec![0], vec![2], JoinType::Inner, true);
+    let rn = r
+        .hash_join(n, vec![0], vec![2], JoinType::Inner, true)
+        .unwrap();
     let cust = PlanBuilder::scan(db, "customer").expect("customer");
-    let nk = rn.col("n_nationkey");
+    let nk = c(&rn, "n_nationkey");
     rn.hash_join(cust, vec![nk], vec![2], JoinType::Inner, true)
+        .unwrap()
 }
 
 #[cfg(test)]

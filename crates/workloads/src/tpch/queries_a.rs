@@ -54,8 +54,9 @@ pub(crate) fn q1(db: &Database) -> Plan {
 fn region_partsupp(db: &Database, region: &str) -> PlanBuilder {
     let s = suppliers_in_region(db, region);
     let ps = PlanBuilder::scan(db, "partsupp").expect("partsupp");
-    let sk = s.col("s_suppkey");
+    let sk = c(&s, "s_suppkey");
     s.hash_join(ps, vec![sk], vec![1], JoinType::Inner, true)
+        .unwrap()
 }
 
 /// Q2 — minimum-cost supplier. The correlated MIN subquery is decorrelated
@@ -64,7 +65,7 @@ fn region_partsupp(db: &Database, region: &str) -> PlanBuilder {
 pub(crate) fn q2(db: &Database) -> Plan {
     // Subquery: min supply cost per part among EUROPE suppliers.
     let sub = region_partsupp(db, "EUROPE");
-    let (pk, cost) = (sub.col("ps_partkey"), sub.col("ps_supplycost"));
+    let (pk, cost) = (c(&sub, "ps_partkey"), c(&sub, "ps_supplycost"));
     let min_cost = sub.hash_aggregate(vec![pk], vec![(AggExpr::min(Expr::Col(cost)), "min_cost")]);
 
     // Main: brass parts of size 15 with their EUROPE suppliers.
@@ -72,15 +73,19 @@ pub(crate) fn q2(db: &Database) -> Plan {
     let (psize, ptype) = (c(&part, "p_size"), c(&part, "p_type"));
     let part = part.filter(Expr::And(vec![eq(psize, 15i64), ends_with(ptype, "STEEL")]));
     let main = region_partsupp(db, "EUROPE");
-    let ps_pk = main.col("ps_partkey");
-    let joined = part.hash_join(main, vec![0], vec![ps_pk], JoinType::Inner, true);
-    let (jpk, jcost) = (joined.col("ps_partkey"), joined.col("ps_supplycost"));
-    let finished = min_cost.hash_join(joined, vec![0, 1], vec![jpk, jcost], JoinType::Inner, true);
+    let ps_pk = c(&main, "ps_partkey");
+    let joined = part
+        .hash_join(main, vec![0], vec![ps_pk], JoinType::Inner, true)
+        .unwrap();
+    let (jpk, jcost) = (c(&joined, "ps_partkey"), c(&joined, "ps_supplycost"));
+    let finished = min_cost
+        .hash_join(joined, vec![0, 1], vec![jpk, jcost], JoinType::Inner, true)
+        .unwrap();
     let (bal, nname, sname, partkey) = (
-        finished.col("s_acctbal"),
-        finished.col("n_name"),
-        finished.col("s_name"),
-        finished.col("p_partkey"),
+        c(&finished, "s_acctbal"),
+        c(&finished, "n_name"),
+        c(&finished, "s_name"),
+        c(&finished, "p_partkey"),
     );
     finished
         .sort(vec![
@@ -101,25 +106,29 @@ pub(crate) fn q3(db: &Database) -> Plan {
     let ord = PlanBuilder::scan(db, "orders").expect("orders");
     let odate = c(&ord, "o_orderdate");
     let ord = ord.filter(lt(odate, d(1995, 3, 15)));
-    let co = cust.hash_join(
-        ord,
-        vec![0], // c_custkey
-        vec![1], // o_custkey
-        JoinType::Inner,
-        true,
-    );
+    let co = cust
+        .hash_join(
+            ord,
+            vec![0], // c_custkey
+            vec![1], // o_custkey
+            JoinType::Inner,
+            true,
+        )
+        .unwrap();
     let li = PlanBuilder::scan(db, "lineitem").expect("lineitem");
     let ship = c(&li, "l_shipdate");
     let li = li.filter(gt(ship, d(1995, 3, 15)));
-    let ok = co.col("o_orderkey");
-    let col = co.hash_join(li, vec![ok], vec![0], JoinType::Inner, true);
+    let ok = c(&co, "o_orderkey");
+    let col = co
+        .hash_join(li, vec![ok], vec![0], JoinType::Inner, true)
+        .unwrap();
     let (lok, od2, ep, disc) = (
-        col.col("l_orderkey"),
-        col.col("o_orderdate"),
-        col.col("l_extendedprice"),
-        col.col("l_discount"),
+        c(&col, "l_orderkey"),
+        c(&col, "o_orderdate"),
+        c(&col, "l_extendedprice"),
+        c(&col, "l_discount"),
     );
-    let shippri = col.col("o_shippriority");
+    let shippri = c(&col, "o_shippriority");
     col.project(vec![
         (Expr::Col(lok), "l_orderkey"),
         (Expr::Col(od2), "o_orderdate"),
@@ -145,8 +154,10 @@ pub(crate) fn q4(db: &Database) -> Plan {
     let li = PlanBuilder::scan(db, "lineitem").expect("lineitem");
     let (commit, receipt) = (c(&li, "l_commitdate"), c(&li, "l_receiptdate"));
     let li = li.filter(col_cmp(CmpOp::Lt, commit, receipt));
-    let semi = ord.hash_join(li, vec![0], vec![0], JoinType::LeftSemi, true);
-    let pri = semi.col("o_orderpriority");
+    let semi = ord
+        .hash_join(li, vec![0], vec![0], JoinType::LeftSemi, true)
+        .unwrap();
+    let pri = c(&semi, "o_orderpriority");
     semi.hash_aggregate(vec![pri], vec![(AggExpr::count_star(), "order_count")])
         .sort(vec![(0, true)])
         .build()
@@ -162,19 +173,25 @@ pub(crate) fn q5(db: &Database) -> Plan {
         ge(odate, d(1994, 1, 1)),
         lt(odate, d(1995, 1, 1)),
     ]));
-    let ck = rc.col("c_custkey");
-    let co = rc.hash_join(ord, vec![ck], vec![1], JoinType::Inner, true);
+    let ck = c(&rc, "c_custkey");
+    let co = rc
+        .hash_join(ord, vec![ck], vec![1], JoinType::Inner, true)
+        .unwrap();
     let li = PlanBuilder::scan(db, "lineitem").expect("lineitem");
-    let ok = co.col("o_orderkey");
-    let col = co.hash_join(li, vec![ok], vec![0], JoinType::Inner, true);
+    let ok = c(&co, "o_orderkey");
+    let col = co
+        .hash_join(li, vec![ok], vec![0], JoinType::Inner, true)
+        .unwrap();
     let supp = PlanBuilder::scan(db, "supplier").expect("supplier");
-    let (lsk, cnk) = (col.col("l_suppkey"), col.col("c_nationkey"));
+    let (lsk, cnk) = (c(&col, "l_suppkey"), c(&col, "c_nationkey"));
     // supplier is the build side: keys (s_suppkey, s_nationkey).
-    let all = supp.hash_join(col, vec![0, 2], vec![lsk, cnk], JoinType::Inner, true);
+    let all = supp
+        .hash_join(col, vec![0, 2], vec![lsk, cnk], JoinType::Inner, true)
+        .unwrap();
     let (nname, ep, disc) = (
-        all.col("n_name"),
-        all.col("l_extendedprice"),
-        all.col("l_discount"),
+        c(&all, "n_name"),
+        c(&all, "l_extendedprice"),
+        c(&all, "l_discount"),
     );
     all.project(vec![
         (Expr::Col(nname), "n_name"),
@@ -217,8 +234,10 @@ pub(crate) fn q7(db: &Database) -> Plan {
     let n1name = c(&n1, "n_name");
     let n1 = n1.filter(in_list(n1name, nations.clone()));
     let supp = PlanBuilder::scan(db, "supplier").expect("supplier");
-    let sn = n1.hash_join(supp, vec![0], vec![2], JoinType::Inner, true);
-    let (supp_nation, sk) = (sn.col("n_name"), sn.col("s_suppkey"));
+    let sn = n1
+        .hash_join(supp, vec![0], vec![2], JoinType::Inner, true)
+        .unwrap();
+    let (supp_nation, sk) = (c(&sn, "n_name"), c(&sn, "s_suppkey"));
     let sn = sn.project(vec![
         (Expr::Col(supp_nation), "supp_nation"),
         (Expr::Col(sk), "s_suppkey"),
@@ -228,8 +247,10 @@ pub(crate) fn q7(db: &Database) -> Plan {
     let n2name = c(&n2, "n_name");
     let n2 = n2.filter(in_list(n2name, nations));
     let cust = PlanBuilder::scan(db, "customer").expect("customer");
-    let cn = n2.hash_join(cust, vec![0], vec![2], JoinType::Inner, true);
-    let (cust_nation, ck) = (cn.col("n_name"), cn.col("c_custkey"));
+    let cn = n2
+        .hash_join(cust, vec![0], vec![2], JoinType::Inner, true)
+        .unwrap();
+    let (cust_nation, ck) = (c(&cn, "n_name"), c(&cn, "c_custkey"));
     let cn = cn.project(vec![
         (Expr::Col(cust_nation), "cust_nation"),
         (Expr::Col(ck), "c_custkey"),
@@ -238,20 +259,26 @@ pub(crate) fn q7(db: &Database) -> Plan {
     let li = PlanBuilder::scan(db, "lineitem").expect("lineitem");
     let ship = c(&li, "l_shipdate");
     let li = li.filter(between(ship, d(1995, 1, 1), d(1996, 12, 31)));
-    let sl = sn.hash_join(li, vec![1], vec![2], JoinType::Inner, true);
+    let sl = sn
+        .hash_join(li, vec![1], vec![2], JoinType::Inner, true)
+        .unwrap();
     // Orders, then the customer leg.
     let ord = PlanBuilder::scan(db, "orders").expect("orders");
-    let lok = sl.col("l_orderkey");
-    let slo = sl.hash_join(ord, vec![lok], vec![0], JoinType::Inner, true);
-    let ock = slo.col("o_custkey");
-    let all = cn.hash_join(slo, vec![1], vec![ock], JoinType::Inner, true);
+    let lok = c(&sl, "l_orderkey");
+    let slo = sl
+        .hash_join(ord, vec![lok], vec![0], JoinType::Inner, true)
+        .unwrap();
+    let ock = c(&slo, "o_custkey");
+    let all = cn
+        .hash_join(slo, vec![1], vec![ock], JoinType::Inner, true)
+        .unwrap();
     // The (FRANCE→GERMANY) ∨ (GERMANY→FRANCE) pair condition.
-    let (sn_col, cn_col) = (all.col("supp_nation"), all.col("cust_nation"));
+    let (sn_col, cn_col) = (c(&all, "supp_nation"), c(&all, "cust_nation"));
     let all = all.filter(Expr::Or(vec![
         Expr::And(vec![eq(sn_col, "FRANCE"), eq(cn_col, "GERMANY")]),
         Expr::And(vec![eq(sn_col, "GERMANY"), eq(cn_col, "FRANCE")]),
     ]));
-    let (ep, disc) = (all.col("l_extendedprice"), all.col("l_discount"));
+    let (ep, disc) = (c(&all, "l_extendedprice"), c(&all, "l_discount"));
     all.project(vec![
         (Expr::Col(sn_col), "supp_nation"),
         (Expr::Col(cn_col), "cust_nation"),
@@ -271,32 +298,42 @@ pub(crate) fn q8(db: &Database) -> Plan {
     let ptype = c(&part, "p_type");
     let part = part.filter(eq(ptype, "ECONOMY ANODIZED STEEL"));
     let li = PlanBuilder::scan(db, "lineitem").expect("lineitem");
-    let pl = part.hash_join(li, vec![0], vec![1], JoinType::Inner, true);
+    let pl = part
+        .hash_join(li, vec![0], vec![1], JoinType::Inner, true)
+        .unwrap();
     let ord = PlanBuilder::scan(db, "orders").expect("orders");
     let odate = c(&ord, "o_orderdate");
     let ord = ord.filter(between(odate, d(1995, 1, 1), d(1996, 12, 31)));
-    let lok = pl.col("l_orderkey");
-    let plo = pl.hash_join(ord, vec![lok], vec![0], JoinType::Inner, true);
+    let lok = c(&pl, "l_orderkey");
+    let plo = pl
+        .hash_join(ord, vec![lok], vec![0], JoinType::Inner, true)
+        .unwrap();
     // Customers in AMERICA.
     let rc = customers_in_region(db, "AMERICA");
-    let ck = rc.col("c_custkey");
-    let ock = plo.col("o_custkey");
-    let all = rc.hash_join(plo, vec![ck], vec![ock], JoinType::Inner, true);
+    let ck = c(&rc, "c_custkey");
+    let ock = c(&plo, "o_custkey");
+    let all = rc
+        .hash_join(plo, vec![ck], vec![ock], JoinType::Inner, true)
+        .unwrap();
     // Supplier nation.
     let n2 = PlanBuilder::scan(db, "nation").expect("nation");
     let supp = PlanBuilder::scan(db, "supplier").expect("supplier");
-    let sn = n2.hash_join(supp, vec![0], vec![2], JoinType::Inner, true);
-    let (n2name, sk2) = (sn.col("n_name"), sn.col("s_suppkey"));
+    let sn = n2
+        .hash_join(supp, vec![0], vec![2], JoinType::Inner, true)
+        .unwrap();
+    let (n2name, sk2) = (c(&sn, "n_name"), c(&sn, "s_suppkey"));
     let sn = sn.project(vec![
         (Expr::Col(n2name), "supp_nation"),
         (Expr::Col(sk2), "s_suppkey"),
     ]);
-    let lsk = all.col("l_suppkey");
-    let full = sn.hash_join(all, vec![1], vec![lsk], JoinType::Inner, true);
+    let lsk = c(&all, "l_suppkey");
+    let full = sn
+        .hash_join(all, vec![1], vec![lsk], JoinType::Inner, true)
+        .unwrap();
     let (snname, ep, disc) = (
-        full.col("supp_nation"),
-        full.col("l_extendedprice"),
-        full.col("l_discount"),
+        c(&full, "supp_nation"),
+        c(&full, "l_extendedprice"),
+        c(&full, "l_discount"),
     );
     full.project(vec![
         (Expr::Col(snname), "supp_nation"),
@@ -315,25 +352,35 @@ pub(crate) fn q9(db: &Database) -> Plan {
     let pname = c(&part, "p_name");
     let part = part.filter(contains(pname, "green"));
     let li = PlanBuilder::scan(db, "lineitem").expect("lineitem");
-    let pl = part.hash_join(li, vec![0], vec![1], JoinType::Inner, true);
+    let pl = part
+        .hash_join(li, vec![0], vec![1], JoinType::Inner, true)
+        .unwrap();
     let ps = PlanBuilder::scan(db, "partsupp").expect("partsupp");
-    let (lpk, lsk) = (pl.col("l_partkey"), pl.col("l_suppkey"));
-    let plps = ps.hash_join(pl, vec![0, 1], vec![lpk, lsk], JoinType::Inner, true);
+    let (lpk, lsk) = (c(&pl, "l_partkey"), c(&pl, "l_suppkey"));
+    let plps = ps
+        .hash_join(pl, vec![0, 1], vec![lpk, lsk], JoinType::Inner, true)
+        .unwrap();
     let n = PlanBuilder::scan(db, "nation").expect("nation");
     let supp = PlanBuilder::scan(db, "supplier").expect("supplier");
-    let sn = n.hash_join(supp, vec![0], vec![2], JoinType::Inner, true);
-    let lsk2 = plps.col("l_suppkey");
-    let snsk = sn.col("s_suppkey");
-    let all = sn.hash_join(plps, vec![snsk], vec![lsk2], JoinType::Inner, true);
+    let sn = n
+        .hash_join(supp, vec![0], vec![2], JoinType::Inner, true)
+        .unwrap();
+    let lsk2 = c(&plps, "l_suppkey");
+    let snsk = c(&sn, "s_suppkey");
+    let all = sn
+        .hash_join(plps, vec![snsk], vec![lsk2], JoinType::Inner, true)
+        .unwrap();
     let ord = PlanBuilder::scan(db, "orders").expect("orders");
-    let lok = all.col("l_orderkey");
-    let full = all.hash_join(ord, vec![lok], vec![0], JoinType::Inner, true);
+    let lok = c(&all, "l_orderkey");
+    let full = all
+        .hash_join(ord, vec![lok], vec![0], JoinType::Inner, true)
+        .unwrap();
     let (nname, ep, disc, cost, qty) = (
-        full.col("n_name"),
-        full.col("l_extendedprice"),
-        full.col("l_discount"),
-        full.col("ps_supplycost"),
-        full.col("l_quantity"),
+        c(&full, "n_name"),
+        c(&full, "l_extendedprice"),
+        c(&full, "l_discount"),
+        c(&full, "ps_supplycost"),
+        c(&full, "l_quantity"),
     );
     full.project(vec![
         (Expr::Col(nname), "nation"),
@@ -356,22 +403,28 @@ pub(crate) fn q10(db: &Database) -> Plan {
         lt(odate, d(1994, 1, 1)),
     ]));
     let cust = PlanBuilder::scan(db, "customer").expect("customer");
-    let co = cust.hash_join(ord, vec![0], vec![1], JoinType::Inner, true);
+    let co = cust
+        .hash_join(ord, vec![0], vec![1], JoinType::Inner, true)
+        .unwrap();
     let li = PlanBuilder::scan(db, "lineitem").expect("lineitem");
     let rf = c(&li, "l_returnflag");
     let li = li.filter(eq(rf, "R"));
-    let ok = co.col("o_orderkey");
-    let col = co.hash_join(li, vec![ok], vec![0], JoinType::Inner, true);
+    let ok = c(&co, "o_orderkey");
+    let col = co
+        .hash_join(li, vec![ok], vec![0], JoinType::Inner, true)
+        .unwrap();
     let n = PlanBuilder::scan(db, "nation").expect("nation");
-    let cnk = col.col("c_nationkey");
-    let all = n.hash_join(col, vec![0], vec![cnk], JoinType::Inner, true);
+    let cnk = c(&col, "c_nationkey");
+    let all = n
+        .hash_join(col, vec![0], vec![cnk], JoinType::Inner, true)
+        .unwrap();
     let (ck2, cname, bal, nname, ep, disc) = (
-        all.col("c_custkey"),
-        all.col("c_name"),
-        all.col("c_acctbal"),
-        all.col("n_name"),
-        all.col("l_extendedprice"),
-        all.col("l_discount"),
+        c(&all, "c_custkey"),
+        c(&all, "c_name"),
+        c(&all, "c_acctbal"),
+        c(&all, "n_name"),
+        c(&all, "l_extendedprice"),
+        c(&all, "l_discount"),
     );
     all.project(vec![
         (Expr::Col(ck2), "c_custkey"),
@@ -398,12 +451,16 @@ pub(crate) fn q11(db: &Database) -> Plan {
         let nname = c(&n, "n_name");
         let n = n.filter(eq(nname, "GERMANY"));
         let supp = PlanBuilder::scan(db, "supplier").expect("supplier");
-        let sn = n.hash_join(supp, vec![0], vec![2], JoinType::Inner, true);
+        let sn = n
+            .hash_join(supp, vec![0], vec![2], JoinType::Inner, true)
+            .unwrap();
         let ps = PlanBuilder::scan(db, "partsupp").expect("partsupp");
-        let sk = sn.col("s_suppkey");
-        let all = sn.hash_join(ps, vec![sk], vec![1], JoinType::Inner, true);
-        let (cost, avail) = (all.col("ps_supplycost"), all.col("ps_availqty"));
-        let pk = all.col("ps_partkey");
+        let sk = c(&sn, "s_suppkey");
+        let all = sn
+            .hash_join(ps, vec![sk], vec![1], JoinType::Inner, true)
+            .unwrap();
+        let (cost, avail) = (c(&all, "ps_supplycost"), c(&all, "ps_availqty"));
+        let pk = c(&all, "ps_partkey");
         all.project(vec![
             (Expr::Col(pk), "ps_partkey"),
             (mul(Expr::Col(cost), Expr::Col(avail)), "value"),

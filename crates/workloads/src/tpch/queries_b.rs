@@ -24,8 +24,10 @@ pub(crate) fn q12(db: &Database) -> Plan {
         lt(receipt, d(1995, 1, 1)),
     ]));
     let ord = PlanBuilder::scan(db, "orders").expect("orders");
-    let jo = li.hash_join(ord, vec![0], vec![0], JoinType::Inner, true);
-    let (mode2, pri) = (jo.col("l_shipmode"), jo.col("o_orderpriority"));
+    let jo = li
+        .hash_join(ord, vec![0], vec![0], JoinType::Inner, true)
+        .unwrap();
+    let (mode2, pri) = (c(&jo, "l_shipmode"), c(&jo, "o_orderpriority"));
     let high = in_list(pri, vec![Value::from("1-URGENT"), Value::from("2-HIGH")]);
     let one_if =
         |cond: Expr| Expr::case_when(cond, Expr::Lit(Value::Int(1)), Expr::Lit(Value::Int(0)));
@@ -49,8 +51,10 @@ pub(crate) fn q12(db: &Database) -> Plan {
 pub(crate) fn q13(db: &Database) -> Plan {
     let cust = PlanBuilder::scan(db, "customer").expect("customer");
     let ord = PlanBuilder::scan(db, "orders").expect("orders");
-    let co = cust.hash_join(ord, vec![0], vec![1], JoinType::LeftOuter, true);
-    let (ck, ok) = (co.col("c_custkey"), co.col("o_orderkey"));
+    let co = cust
+        .hash_join(ord, vec![0], vec![1], JoinType::LeftOuter, true)
+        .unwrap();
+    let (ck, ok) = (c(&co, "c_custkey"), c(&co, "o_orderkey"));
     co.hash_aggregate(vec![ck], vec![(AggExpr::count(Expr::Col(ok)), "c_count")])
         .hash_aggregate(vec![1], vec![(AggExpr::count_star(), "custdist")])
         .sort(vec![(1, false), (0, false)])
@@ -68,14 +72,14 @@ pub(crate) fn q14(db: &Database) -> Plan {
         ge(ship, d(1995, 9, 1)),
         lt(ship, d(1995, 10, 1)),
     ]));
-    let pk = li.col("l_partkey");
+    let pk = c(&li, "l_partkey");
     let jo = li
         .inl_join(db, "part", "part_pk", vec![pk], JoinType::Inner, true, None)
         .expect("part_pk exists");
     let (ptype, ep, disc) = (
-        jo.col("p_type"),
-        jo.col("l_extendedprice"),
-        jo.col("l_discount"),
+        c(&jo, "p_type"),
+        c(&jo, "l_extendedprice"),
+        c(&jo, "l_discount"),
     );
     let promo_rev = Expr::case_when(
         starts_with(ptype, "PROMO"),
@@ -108,9 +112,9 @@ fn q15_revenue(db: &Database) -> PlanBuilder {
         lt(ship, d(1996, 4, 1)),
     ]));
     let (sk, ep, disc) = (
-        li.col("l_suppkey"),
-        li.col("l_extendedprice"),
-        li.col("l_discount"),
+        c(&li, "l_suppkey"),
+        c(&li, "l_extendedprice"),
+        c(&li, "l_discount"),
     );
     li.project(vec![
         (Expr::Col(sk), "supplier_no"),
@@ -135,8 +139,9 @@ pub(crate) fn q15(db: &Database) -> Plan {
     )]);
     let winners = rev.nl_join(max_rev, pred, JoinType::Inner, true);
     let supp = PlanBuilder::scan(db, "supplier").expect("supplier");
-    let sno = winners.col("supplier_no");
+    let sno = c(&winners, "supplier_no");
     supp.hash_join(winners, vec![0], vec![sno], JoinType::Inner, true)
+        .unwrap()
         .sort(vec![(0, true)])
         .build()
 }
@@ -158,7 +163,9 @@ pub(crate) fn q16(db: &Database) -> Plan {
         ),
     ]));
     let ps = PlanBuilder::scan(db, "partsupp").expect("partsupp");
-    let pps = part.hash_join(ps, vec![0], vec![0], JoinType::Inner, true);
+    let pps = part
+        .hash_join(ps, vec![0], vec![0], JoinType::Inner, true)
+        .unwrap();
     // NOT IN (complained suppliers): anti join. partsupp side is the
     // preserved side, so it is the build side of the hash anti join.
     let bad_supp = {
@@ -169,13 +176,15 @@ pub(crate) fn q16(db: &Database) -> Plan {
             contains(comment, "Complaints"),
         ]))
     };
-    let sk = pps.col("ps_suppkey");
-    let cleaned = pps.hash_join(bad_supp, vec![sk], vec![0], JoinType::LeftAnti, true);
+    let sk = c(&pps, "ps_suppkey");
+    let cleaned = pps
+        .hash_join(bad_supp, vec![sk], vec![0], JoinType::LeftAnti, true)
+        .unwrap();
     let (b2, t2, s2, sk2) = (
-        cleaned.col("p_brand"),
-        cleaned.col("p_type"),
-        cleaned.col("p_size"),
-        cleaned.col("ps_suppkey"),
+        c(&cleaned, "p_brand"),
+        c(&cleaned, "p_type"),
+        c(&cleaned, "p_size"),
+        c(&cleaned, "ps_suppkey"),
     );
     cleaned
         .hash_aggregate(
@@ -201,13 +210,17 @@ pub(crate) fn q17(db: &Database) -> Plan {
         eq(container, "MED BOX"),
     ]));
     let li = PlanBuilder::scan(db, "lineitem").expect("lineitem");
-    let pl = part.hash_join(li, vec![0], vec![1], JoinType::Inner, true);
-    let lpk = pl.col("l_partkey");
-    let all = avg_qty.hash_join(pl, vec![0], vec![lpk], JoinType::Inner, true);
+    let pl = part
+        .hash_join(li, vec![0], vec![1], JoinType::Inner, true)
+        .unwrap();
+    let lpk = c(&pl, "l_partkey");
+    let all = avg_qty
+        .hash_join(pl, vec![0], vec![lpk], JoinType::Inner, true)
+        .unwrap();
     let (qty2, avg2, ep) = (
-        all.col("l_quantity"),
-        all.col("avg_qty"),
-        all.col("l_extendedprice"),
+        c(&all, "l_quantity"),
+        c(&all, "avg_qty"),
+        c(&all, "l_extendedprice"),
     );
     all.filter(Expr::cmp(
         CmpOp::Lt,
@@ -234,7 +247,7 @@ pub(crate) fn q18(db: &Database) -> Plan {
         // scale; 180 keeps the same shape with a non-empty result.
         b.filter(gt(1, 180.0f64))
     };
-    let ok = big.col("l_orderkey");
+    let ok = c(&big, "l_orderkey");
     let jo = big
         .inl_join(
             db,
@@ -246,7 +259,7 @@ pub(crate) fn q18(db: &Database) -> Plan {
             None,
         )
         .expect("orders_pk");
-    let ck = jo.col("o_custkey");
+    let ck = c(&jo, "o_custkey");
     let jc = jo
         .inl_join(
             db,
@@ -259,15 +272,17 @@ pub(crate) fn q18(db: &Database) -> Plan {
         )
         .expect("customer_pk");
     let li2 = PlanBuilder::scan(db, "lineitem").expect("lineitem");
-    let ok2 = jc.col("l_orderkey");
-    let all = jc.hash_join(li2, vec![ok2], vec![0], JoinType::Inner, true);
+    let ok2 = c(&jc, "l_orderkey");
+    let all = jc
+        .hash_join(li2, vec![ok2], vec![0], JoinType::Inner, true)
+        .unwrap();
     let (cname, ck2, ok3, odate, total, qty2) = (
-        all.col("c_name"),
-        all.col("c_custkey"),
-        all.col("o_orderkey"),
-        all.col("o_orderdate"),
-        all.col("o_totalprice"),
-        all.col("l_quantity"),
+        c(&all, "c_name"),
+        c(&all, "c_custkey"),
+        c(&all, "o_orderkey"),
+        c(&all, "o_orderdate"),
+        c(&all, "o_totalprice"),
+        c(&all, "l_quantity"),
     );
     all.hash_aggregate(
         vec![cname, ck2, ok3, odate, total],
@@ -288,8 +303,8 @@ pub(crate) fn q19(db: &Database) -> Plan {
         in_list(mode, vec![Value::from("AIR"), Value::from("REG AIR")]),
         eq(instruct, "DELIVER IN PERSON"),
     ]));
-    let lpk = li.col("l_partkey");
-    let l_qty = li.col("l_quantity");
+    let lpk = c(&li, "l_partkey");
+    let l_qty = c(&li, "l_quantity");
     // After the join, part columns sit at lineitem arity + offset.
     let arity = li.schema().arity();
     let (p_brand, p_container, p_size) = (arity + 3, arity + 6, arity + 5);
@@ -338,7 +353,7 @@ pub(crate) fn q19(db: &Database) -> Plan {
             Some(residual),
         )
         .expect("part_pk");
-    let (ep, disc) = (jo.col("l_extendedprice"), jo.col("l_discount"));
+    let (ep, disc) = (c(&jo, "l_extendedprice"), c(&jo, "l_discount"));
     jo.project(vec![(revenue(ep, disc), "rev")])
         .hash_aggregate(vec![], vec![(AggExpr::sum(Expr::Col(0)), "revenue")])
         .build()
@@ -357,9 +372,9 @@ pub(crate) fn q20(db: &Database) -> Plan {
             lt(ship, d(1995, 1, 1)),
         ]));
         let (pk, sk, qty) = (
-            li.col("l_partkey"),
-            li.col("l_suppkey"),
-            li.col("l_quantity"),
+            c(&li, "l_partkey"),
+            c(&li, "l_suppkey"),
+            c(&li, "l_quantity"),
         );
         li.hash_aggregate(
             vec![pk, sk],
@@ -368,8 +383,10 @@ pub(crate) fn q20(db: &Database) -> Plan {
     };
     // Partsupp entries with availqty above half that.
     let ps = PlanBuilder::scan(db, "partsupp").expect("partsupp");
-    let excess = shipped.hash_join(ps, vec![0, 1], vec![0, 1], JoinType::Inner, true);
-    let (avail, sumq) = (excess.col("ps_availqty"), excess.col("sum_qty"));
+    let excess = shipped
+        .hash_join(ps, vec![0, 1], vec![0, 1], JoinType::Inner, true)
+        .unwrap();
+    let (avail, sumq) = (c(&excess, "ps_availqty"), c(&excess, "sum_qty"));
     let excess = excess.filter(Expr::cmp(
         CmpOp::Gt,
         Expr::Col(avail),
@@ -381,18 +398,23 @@ pub(crate) fn q20(db: &Database) -> Plan {
         let pname = c(&p, "p_name");
         p.filter(starts_with(pname, "a")) // "forest%" → first color letter at tiny scale
     };
-    let epk = excess.col("ps_partkey");
-    let qualifying = excess.hash_join(forest, vec![epk], vec![0], JoinType::LeftSemi, true);
+    let epk = c(&excess, "ps_partkey");
+    let qualifying = excess
+        .hash_join(forest, vec![epk], vec![0], JoinType::LeftSemi, true)
+        .unwrap();
     // Suppliers with any qualifying entry, in CANADA.
     let supp = PlanBuilder::scan(db, "supplier").expect("supplier");
-    let qsk = qualifying.col("ps_suppkey");
-    let with_parts = supp.hash_join(qualifying, vec![0], vec![qsk], JoinType::LeftSemi, true);
+    let qsk = c(&qualifying, "ps_suppkey");
+    let with_parts = supp
+        .hash_join(qualifying, vec![0], vec![qsk], JoinType::LeftSemi, true)
+        .unwrap();
     let n = PlanBuilder::scan(db, "nation").expect("nation");
     let nname = c(&n, "n_name");
     let n = n.filter(eq(nname, "CANADA"));
-    let snk = with_parts.col("s_nationkey");
+    let snk = c(&with_parts, "s_nationkey");
     with_parts
         .hash_join(n, vec![snk], vec![0], JoinType::LeftSemi, true)
+        .unwrap()
         .sort(vec![(1, true)])
         .build()
 }
@@ -408,16 +430,20 @@ pub(crate) fn q21(db: &Database) -> Plan {
     let nname = c(&n, "n_name");
     let n = n.filter(eq(nname, "SAUDI ARABIA"));
     let supp = PlanBuilder::scan(db, "supplier").expect("supplier");
-    let sn = n.hash_join(supp, vec![0], vec![2], JoinType::Inner, true);
+    let sn = n
+        .hash_join(supp, vec![0], vec![2], JoinType::Inner, true)
+        .unwrap();
     let l1 = {
         let li = PlanBuilder::scan(db, "lineitem").expect("lineitem");
         let (commit, receipt) = (c(&li, "l_commitdate"), c(&li, "l_receiptdate"));
         li.filter(col_cmp(CmpOp::Gt, receipt, commit))
     };
-    let sk = sn.col("s_suppkey");
-    let j1 = sn.hash_join(l1, vec![sk], vec![2], JoinType::Inner, true);
+    let sk = c(&sn, "s_suppkey");
+    let j1 = sn
+        .hash_join(l1, vec![sk], vec![2], JoinType::Inner, true)
+        .unwrap();
     // Orders lookup with status residual.
-    let ok = j1.col("l_orderkey");
+    let ok = c(&j1, "l_orderkey");
     let arity1 = j1.schema().arity();
     let status_col = arity1 + 2; // o_orderstatus in the concatenated row
     let j2 = j1
@@ -432,7 +458,7 @@ pub(crate) fn q21(db: &Database) -> Plan {
         )
         .expect("orders_pk");
     // EXISTS another supplier's lineitem on the same order.
-    let (j2_ok, j2_sk) = (j2.col("l_orderkey"), j2.col("l_suppkey"));
+    let (j2_ok, j2_sk) = (c(&j2, "l_orderkey"), c(&j2, "l_suppkey"));
     let arity2 = j2.schema().arity();
     let other_supp = col_cmp(CmpOp::Ne, j2_sk, arity2 + 2); // l2.l_suppkey
     let j3 = j2
@@ -447,7 +473,7 @@ pub(crate) fn q21(db: &Database) -> Plan {
         )
         .expect("lineitem_orderkey");
     // NOT EXISTS another supplier's *late* lineitem on the same order.
-    let (j3_ok, j3_sk) = (j3.col("l_orderkey"), j3.col("l_suppkey"));
+    let (j3_ok, j3_sk) = (c(&j3, "l_orderkey"), c(&j3, "l_suppkey"));
     let arity3 = j3.schema().arity();
     let late_other = Expr::And(vec![
         col_cmp(CmpOp::Ne, j3_sk, arity3 + 2),
@@ -464,7 +490,7 @@ pub(crate) fn q21(db: &Database) -> Plan {
             Some(late_other),
         )
         .expect("lineitem_orderkey");
-    let sname = j4.col("s_name");
+    let sname = c(&j4, "s_name");
     j4.hash_aggregate(vec![sname], vec![(AggExpr::count_star(), "numwait")])
         .sort(vec![(1, false), (0, true)])
         .limit(100)
@@ -496,7 +522,7 @@ pub(crate) fn q22(db: &Database) -> Plan {
         cust.filter(Expr::And(vec![gt(bal, 0.0f64), phone_pred(phone)]))
             .hash_aggregate(vec![], vec![(AggExpr::avg(Expr::Col(bal)), "avg_bal")])
     };
-    let bal_col = cust_f.col("c_acctbal");
+    let bal_col = c(&cust_f, "c_acctbal");
     let scalar_col = cust_f.schema().arity(); // avg sits after customer cols
     let rich = cust_f.nl_join(
         avg_bal,
@@ -504,7 +530,7 @@ pub(crate) fn q22(db: &Database) -> Plan {
         JoinType::Inner,
         true,
     );
-    let ck = rich.col("c_custkey");
+    let ck = c(&rich, "c_custkey");
     let no_orders = rich
         .inl_join(
             db,
@@ -516,7 +542,7 @@ pub(crate) fn q22(db: &Database) -> Plan {
             None,
         )
         .expect("orders_custkey");
-    let bal2 = no_orders.col("c_acctbal");
+    let bal2 = c(&no_orders, "c_acctbal");
     no_orders
         .hash_aggregate(
             vec![],

@@ -41,6 +41,7 @@ fn hash_plan(s: &SyntheticDb) -> Plan {
             JoinType::Inner,
             true,
         )
+        .unwrap()
         .build()
 }
 

@@ -27,6 +27,12 @@ cargo test -q --offline --workspace
 echo "==> bench smoke (no --bench flag: compile + skip)"
 cargo test -q --offline -p qp-bench --benches
 
+echo "==> parallel equivalence suite (rows/counters/total(Q) byte-identical to serial)"
+cargo test -q --offline --test parallel_equivalence
+
+echo "==> parallel_speedup smoke (equivalence at degrees 1/2/4; report-only, not a perf gate)"
+cargo test -q --offline -p qp-bench --bench parallel_speedup
+
 echo "==> observability overhead gate (counters must stay within budget of bare)"
 # Full measurement: exits non-zero if the untimed counters cost more than
 # QP_OBS_BUDGET_PCT (default 5 %) vs a bare run, and refreshes

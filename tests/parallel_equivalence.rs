@@ -1,0 +1,310 @@
+//! Parallel-vs-serial equivalence: the whole point of the `Exchange`
+//! design is that parallelism compresses wall-clock time *without
+//! touching the model of work*. These properties pin that down on
+//! arbitrary data and plan shapes, at parallelism 1, 2, and 4:
+//!
+//! * result rows are identical — same multiset, same order, since the
+//!   partition merge concatenates in partition order;
+//! * per-node getnext counters are identical index-for-index on the
+//!   original nodes, the appended `Exchange` nodes count zero, and
+//!   `total(Q)` is unchanged;
+//! * Proposition 4 (`pmax` never underestimates true progress) holds at
+//!   every checkpoint of a parallel run, against the *same* `total(Q)`;
+//! * seeded fault injection replays the same outcome for the same seed
+//!   and degree, and a mid-flight cancel lands in `Cancelled` — never a
+//!   panic, never a wrong answer.
+
+use qp_testkit::prop::collection;
+use qp_testkit::{prop_assert, prop_check};
+use queryprogress::exec::executor::QueryRun;
+use queryprogress::exec::expr::{CmpOp, Expr};
+use queryprogress::exec::plan::{JoinType, Plan, PlanBuilder};
+use queryprogress::exec::{
+    parallelize, run_query, CancelToken, Counters, ExecError, ExecEvent, FaultConfig, FaultPlan,
+    Observer, RunControls,
+};
+use queryprogress::progress::estimators::Pmax;
+use queryprogress::progress::monitor::run_with_progress;
+use queryprogress::stats::DbStats;
+use queryprogress::storage::{ColumnType, Database, Row, Schema, Value};
+use std::time::Duration;
+
+/// Builds a two-table database from arbitrary row contents.
+fn build_db(t_vals: &[(i64, i64)], u_vals: &[i64]) -> Database {
+    let mut db = Database::new();
+    db.create_table_with_rows(
+        "t",
+        Schema::of(&[("a", ColumnType::Int), ("b", ColumnType::Int)]),
+        t_vals
+            .iter()
+            .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)]),
+    )
+    .unwrap();
+    db.create_table_with_rows(
+        "u",
+        Schema::of(&[("x", ColumnType::Int)]),
+        u_vals.iter().map(|&x| vec![Value::Int(x)]),
+    )
+    .unwrap();
+    db.create_index("u_x", "u", &["x"], false).unwrap();
+    db
+}
+
+/// Plan shapes that all contain at least one parallelizable scan chain:
+/// bare filter-scan, index-nested-loops probe, hash join (both sides
+/// eligible), sort + aggregate over a scan, and a semi-join under a
+/// filter.
+fn build_plan(db: &Database, shape: u8, threshold: i64) -> Plan {
+    match shape % 5 {
+        0 => PlanBuilder::scan(db, "t")
+            .unwrap()
+            .filter(Expr::cmp(
+                CmpOp::Lt,
+                Expr::Col(0),
+                Expr::Lit(Value::Int(threshold)),
+            ))
+            .build(),
+        1 => PlanBuilder::scan(db, "t")
+            .unwrap()
+            .inl_join(db, "u", "u_x", vec![1], JoinType::Inner, false, None)
+            .unwrap()
+            .build(),
+        2 => PlanBuilder::scan(db, "t")
+            .unwrap()
+            .hash_join(
+                PlanBuilder::scan(db, "u").unwrap(),
+                vec![1],
+                vec![0],
+                JoinType::Inner,
+                false,
+            )
+            .unwrap()
+            .build(),
+        3 => PlanBuilder::scan(db, "t")
+            .unwrap()
+            .sort(vec![(1, true)])
+            .stream_aggregate(
+                vec![1],
+                vec![(queryprogress::exec::AggExpr::count_star(), "n")],
+            )
+            .build(),
+        _ => PlanBuilder::scan(db, "t")
+            .unwrap()
+            .hash_join(
+                PlanBuilder::scan(db, "u").unwrap(),
+                vec![0],
+                vec![0],
+                JoinType::LeftSemi,
+                true,
+            )
+            .unwrap()
+            .filter(Expr::cmp(
+                CmpOp::Ge,
+                Expr::Col(0),
+                Expr::Lit(Value::Int(threshold)),
+            ))
+            .build(),
+    }
+}
+
+/// Annotated copy of `build_plan` (parallelize must run *after* annotate).
+fn annotated_plan(db: &Database, stats: &DbStats, shape: u8, threshold: i64) -> Plan {
+    let mut plan = build_plan(db, shape, threshold);
+    queryprogress::exec::estimate::annotate(&mut plan, stats);
+    plan
+}
+
+/// A run's comparable outcome: rows, an error, or a caught panic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Outcome {
+    Rows(Vec<Row>),
+    Error(ExecError),
+    Panic(String),
+}
+
+/// Runs `plan` under `controls`, catching panics (injected ones resume on
+/// the caller by design) so outcomes compare with `==`.
+fn run_outcome(plan: &Plan, db: &Database, controls: RunControls) -> Outcome {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut run = QueryRun::with_controls(plan, db, controls)?;
+        run.run()
+    }));
+    match result {
+        Ok(Ok(rows)) => Outcome::Rows(rows),
+        Ok(Err(e)) => Outcome::Error(e),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic".into());
+            Outcome::Panic(msg)
+        }
+    }
+}
+
+prop_check! {
+    cases = 32,
+
+    /// Rows, per-node counters, and `total(Q)` are byte-identical to the
+    /// serial run at every parallelism degree; the appended `Exchange`
+    /// nodes stay at zero getnext calls (they are transparent under the
+    /// model of work).
+    fn parallel_run_matches_serial_exactly(
+        t_vals in collection::vec((0i64..40, 0i64..12), 1..120),
+        u_vals in collection::vec(0i64..12, 0..150),
+        shape in 0u8..5,
+        threshold in 0i64..40,
+    ) {
+        let db = build_db(&t_vals, &u_vals);
+        let stats = DbStats::build(&db);
+        let plan = annotated_plan(&db, &stats, shape, threshold);
+        let (serial, _) = run_query(&plan, &db, None).unwrap();
+        for degree in [1usize, 2, 4] {
+            let par = parallelize(&plan, degree);
+            let (out, _) = run_query(&par, &db, None).unwrap();
+            prop_assert!(
+                out.rows == serial.rows,
+                "rows diverge at parallelism {degree} (shape {shape})"
+            );
+            prop_assert!(
+                out.total_getnext == serial.total_getnext,
+                "total(Q) {} != serial {} at parallelism {degree}",
+                out.total_getnext,
+                serial.total_getnext
+            );
+            prop_assert!(
+                out.node_counts[..plan.len()] == serial.node_counts[..],
+                "per-node counters diverge at parallelism {degree}"
+            );
+            for (id, &c) in out.node_counts.iter().enumerate().skip(plan.len()) {
+                prop_assert!(c == 0, "Exchange node {id} counted {c} getnext calls");
+            }
+        }
+    }
+
+    /// Proposition 4 survives parallelism: at every checkpoint of a
+    /// parallel run, `pmax >= Curr/total(Q)`, with bounds bracketing the
+    /// (serial-identical) final total.
+    fn pmax_never_underestimates_under_parallelism(
+        t_vals in collection::vec((0i64..30, 0i64..10), 1..100),
+        u_vals in collection::vec(0i64..10, 0..120),
+        shape in 0u8..5,
+        threshold in 0i64..30,
+        degree_sel in 0usize..3,
+    ) {
+        let db = build_db(&t_vals, &u_vals);
+        let stats = DbStats::build(&db);
+        let plan = annotated_plan(&db, &stats, shape, threshold);
+        let par = parallelize(&plan, [1usize, 2, 4][degree_sel]);
+        let (out, trace) =
+            run_with_progress(&par, &db, Some(&stats), vec![Box::new(Pmax)], Some(3)).unwrap();
+        let total = out.total_getnext;
+        for snap in trace.snapshots() {
+            let prog = snap.curr as f64 / total.max(1) as f64;
+            prop_assert!(snap.lb <= total.max(1), "lb {} > total {}", snap.lb, total);
+            prop_assert!(snap.ub >= total, "ub {} < total {}", snap.ub, total);
+            let pmax = snap.estimates[0];
+            prop_assert!(
+                pmax + 1e-9 >= prog.min(1.0),
+                "pmax {} < prog {} at curr {}",
+                pmax,
+                prog,
+                snap.curr
+            );
+        }
+    }
+
+    /// Seeded fault injection is deterministic under parallelism: the
+    /// same seed and degree replay the exact same outcome — rows, error,
+    /// or panic — because partition fault schedules key on the
+    /// partition-local getnext clock, not wall-clock interleaving.
+    fn seeded_faults_replay_identically(
+        t_vals in collection::vec((0i64..30, 0i64..8), 1..80),
+        u_vals in collection::vec(0i64..8, 0..80),
+        shape in 0u8..5,
+        degree_sel in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let db = build_db(&t_vals, &u_vals);
+        let stats = DbStats::build(&db);
+        let plan = annotated_plan(&db, &stats, shape, 15);
+        let par = parallelize(&plan, [1usize, 2, 4][degree_sel]);
+        let cfg = FaultConfig {
+            horizon: 500,
+            exec_errors: 1,
+            storage_errors: 1,
+            panics: 1,
+            delays: 1,
+            delay: Duration::from_micros(50),
+        };
+        let controls = |faults: FaultPlan| RunControls {
+            faults: Some(faults),
+            ..RunControls::default()
+        };
+        let first = run_outcome(&par, &db, controls(FaultPlan::seeded(seed, &cfg)));
+        let second = run_outcome(&par, &db, controls(FaultPlan::seeded(seed, &cfg)));
+        prop_assert!(
+            first == second,
+            "seed {seed} diverged: {first:?} vs {second:?}"
+        );
+        // Whatever the faults did, a successful run is still the serial
+        // answer — faults either kill the query or leave it untouched.
+        if let Outcome::Rows(rows) = &first {
+            let (serial, _) = run_query(&plan, &db, None).unwrap();
+            prop_assert!(*rows == serial.rows, "fault survivor returned wrong rows");
+        }
+    }
+}
+
+/// Cancels the shared token once the query has done `at` getnext calls.
+struct CancelAt {
+    token: CancelToken,
+    at: u64,
+}
+
+impl Observer for CancelAt {
+    fn on_event(&mut self, _event: ExecEvent, counters: &Counters) {
+        if counters.total() >= self.at {
+            self.token.cancel();
+        }
+    }
+}
+
+/// A mid-flight cancel of a parallel query ends in `ExecError::Cancelled`
+/// — workers notice the shared token and unwind cleanly, no panic, no
+/// partial-result corruption.
+#[test]
+fn mid_flight_cancel_lands_in_cancelled() {
+    let t_vals: Vec<(i64, i64)> = (0..400).map(|i| (i % 37, i % 11)).collect();
+    let u_vals: Vec<i64> = (0..200).map(|i| i % 11).collect();
+    let db = build_db(&t_vals, &u_vals);
+    let stats = DbStats::build(&db);
+    for shape in 0u8..5 {
+        let plan = annotated_plan(&db, &stats, shape, 20);
+        let par = parallelize(&plan, 4);
+        let token = CancelToken::new();
+        let mut run = QueryRun::with_cancel(&par, &db, token.clone()).unwrap();
+        run.set_observer(Box::new(CancelAt { token, at: 25 }));
+        match run.run() {
+            Err(ExecError::Cancelled) => {}
+            other => panic!("shape {shape}: expected Cancelled, got {other:?}"),
+        }
+    }
+}
+
+/// Parallelizing twice (or parallelizing an already-parallel plan) is a
+/// no-op, so service-layer code can apply the pass unconditionally.
+#[test]
+fn parallelize_is_idempotent() {
+    let db = build_db(&[(1, 2), (3, 4), (5, 6)], &[1, 2, 3]);
+    let stats = DbStats::build(&db);
+    let plan = annotated_plan(&db, &stats, 2, 10);
+    let once = parallelize(&plan, 4);
+    let twice = parallelize(&once, 2);
+    assert_eq!(once.len(), twice.len());
+    let (a, _) = run_query(&once, &db, None).unwrap();
+    let (b, _) = run_query(&twice, &db, None).unwrap();
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(a.total_getnext, b.total_getnext);
+}

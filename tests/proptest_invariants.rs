@@ -62,6 +62,7 @@ fn build_plan(db: &Database, shape: u8, threshold: i64) -> Plan {
                 JoinType::Inner,
                 false,
             )
+            .unwrap()
             .build(),
         3 => PlanBuilder::scan(db, "t")
             .unwrap()
@@ -80,6 +81,7 @@ fn build_plan(db: &Database, shape: u8, threshold: i64) -> Plan {
                 JoinType::LeftSemi,
                 true,
             )
+            .unwrap()
             .filter(Expr::cmp(
                 CmpOp::Ge,
                 Expr::Col(0),
