@@ -265,7 +265,30 @@ impl ExecContext {
 
     /// Creates a context under full [`RunControls`].
     pub fn with_controls(n_nodes: usize, controls: RunControls) -> Arc<ExecContext> {
-        let has_faults = controls.faults.as_ref().is_some_and(|f| !f.is_empty());
+        ExecContext::build(n_nodes, controls, true)
+    }
+
+    /// Like [`ExecContext::with_controls`], but with the root-keyed live
+    /// fault schedule retired: only [`ExecContext::fault_proto`] is kept,
+    /// for `Exchange` builds to derive per-fork schedules from. Used for
+    /// plans containing `Exchange` nodes — every fault point is handed to
+    /// exactly one partition fork there, so letting the root context fire
+    /// the same points again (keyed to the interleaving-dependent shared
+    /// total) would double-inject them.
+    pub(crate) fn with_controls_faults_forked(
+        n_nodes: usize,
+        controls: RunControls,
+    ) -> Arc<ExecContext> {
+        ExecContext::build(n_nodes, controls, false)
+    }
+
+    fn build(n_nodes: usize, controls: RunControls, root_faults_live: bool) -> Arc<ExecContext> {
+        let live = if root_faults_live {
+            controls.faults.clone()
+        } else {
+            None
+        };
+        let has_faults = live.as_ref().is_some_and(|f| !f.is_empty());
         if let Some(obs) = &controls.obs {
             debug_assert_eq!(obs.len(), n_nodes, "QueryObs arity must match the plan");
         }
@@ -275,8 +298,8 @@ impl ExecContext {
             cancel: controls.cancel,
             deadline: controls.deadline,
             has_faults,
-            fault_proto: controls.faults.clone(),
-            faults: Mutex::new(controls.faults),
+            fault_proto: controls.faults,
+            faults: Mutex::new(live),
             fault_clock: None,
             obs: controls.obs,
         })

@@ -36,8 +36,18 @@ impl QueryRun {
         db: &Database,
         controls: RunControls,
     ) -> ExecResult<QueryRun> {
-        let ctx = ExecContext::with_controls(plan.len(), controls);
-        let root = build_node(plan, plan.root(), db, &ctx)?;
+        let forks = ForkLayout::of(plan);
+        // When the plan fans subtrees out, the *entire* fault schedule is
+        // distributed across the partition forks (each point to exactly
+        // one fork); the root context keeps only the pristine proto, so no
+        // point can fire twice — once in a fork at its remapped index and
+        // again at the root.
+        let ctx = if forks.total > 0 {
+            ExecContext::with_controls_faults_forked(plan.len(), controls)
+        } else {
+            ExecContext::with_controls(plan.len(), controls)
+        };
+        let root = build_node(plan, plan.root(), db, &ctx, &forks)?;
         Ok(QueryRun { ctx, root })
     }
 
@@ -101,14 +111,41 @@ pub fn run_query(
     Ok((out, obs))
 }
 
+/// Global numbering of `Exchange` partition forks across a plan: fork
+/// indices `offset[id]..offset[id] + partitions` belong to the exchange at
+/// node `id`, and `total` is the plan-wide fork count. A seeded fault
+/// schedule is distributed over this numbering — each point lands in
+/// exactly one fork of one exchange, so a seed injects each fault exactly
+/// once no matter how many exchanges the plan holds.
+struct ForkLayout {
+    offsets: Vec<usize>,
+    total: usize,
+}
+
+impl ForkLayout {
+    fn of(plan: &Plan) -> ForkLayout {
+        let mut offsets = vec![0; plan.len()];
+        let mut total = 0;
+        for (slot, node) in offsets.iter_mut().zip(plan.nodes()) {
+            if let PlanNode::Exchange { partitions } = &node.kind {
+                *slot = total;
+                total += (*partitions).max(1);
+            }
+        }
+        ForkLayout { offsets, total }
+    }
+}
+
 fn build_node(
     plan: &Plan,
     id: NodeId,
     db: &Database,
     ctx: &Arc<ExecContext>,
+    forks: &ForkLayout,
 ) -> ExecResult<Counted> {
     let data = plan.node(id);
-    let child = |i: usize| -> ExecResult<Counted> { build_node(plan, data.children[i], db, ctx) };
+    let child =
+        |i: usize| -> ExecResult<Counted> { build_node(plan, data.children[i], db, ctx, forks) };
     let op: Box<dyn Operator> = match &data.kind {
         PlanNode::SeqScan { table, .. } => Box::new(SeqScanOp::new(db.table(table)?)),
         PlanNode::IndexRangeScan {
@@ -219,7 +256,11 @@ fn build_node(
             }
             let mut parts = Vec::with_capacity(n);
             for p in 0..n {
-                let faults = ctx.fault_proto().map(|f| f.for_partition(p, n));
+                // Faults are distributed over the plan-wide fork numbering
+                // so each point fires in exactly one fork of one exchange.
+                let faults = ctx
+                    .fault_proto()
+                    .map(|f| f.for_partition(forks.offsets[id] + p, forks.total));
                 let fork = ExecContext::fork(ctx, faults);
                 parts.push(build_partition(plan, subtree_root, db, &fork, p, n)?);
             }

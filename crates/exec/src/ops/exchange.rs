@@ -17,13 +17,14 @@
 //! Failure semantics are deterministic per seed: if any worker panicked,
 //! the first panic in partition order is resumed on the caller; otherwise
 //! if any worker failed, the first error in partition order is returned.
-//! (A fault point from a seeded schedule may fire both inside a partition,
-//! remapped to its local clock, and at the root context at its original
-//! index — fault schedules are a chaos tool, and both firings replay at
-//! the same logical position on every run of the same seed.)
+//! Each fault point of a seeded schedule is handed to exactly one
+//! partition fork (distributed over the plan-wide fork numbering, with the
+//! root's own live schedule retired — see the executor's `ForkLayout`), so
+//! a point fires at most once per run, at the same partition-local clock
+//! position on every run of the same seed.
 
 use crate::context::{Counted, Operator};
-use crate::error::ExecResult;
+use crate::error::{ExecError, ExecResult};
 use qp_storage::{Row, Schema};
 
 pub struct ExchangeOp {
@@ -32,6 +33,12 @@ pub struct ExchangeOp {
     schema: Schema,
     merged: Vec<Row>,
     pos: usize,
+    /// Whether `open` has already consumed the partitions. Unlike every
+    /// other operator, an exchange cannot honor the re-open contract (its
+    /// partition trees are moved onto worker threads and dropped), so a
+    /// second `open` is a loud [`ExecError::BadPlan`] rather than a silent
+    /// empty result.
+    opened: bool,
 }
 
 impl ExchangeOp {
@@ -41,6 +48,7 @@ impl ExchangeOp {
             schema,
             merged: Vec::new(),
             pos: 0,
+            opened: false,
         }
     }
 }
@@ -58,6 +66,14 @@ fn drive(op: &mut Counted) -> ExecResult<Vec<Row>> {
 
 impl Operator for ExchangeOp {
     fn open(&mut self) -> ExecResult<()> {
+        if self.opened {
+            return Err(ExecError::BadPlan(
+                "Exchange cannot be re-opened: its partition subtrees are consumed by the first \
+                 open"
+                    .to_string(),
+            ));
+        }
+        self.opened = true;
         let parts = std::mem::take(&mut self.partitions);
         if parts.is_empty() {
             return Ok(());
@@ -112,5 +128,67 @@ impl Operator for ExchangeOp {
 
     fn schema(&self) -> &Schema {
         &self.schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExecContext;
+    use qp_storage::{ColumnType, Value};
+    use std::sync::Arc;
+
+    struct Emit {
+        n: u64,
+        produced: u64,
+        schema: Schema,
+    }
+
+    impl Operator for Emit {
+        fn open(&mut self) -> ExecResult<()> {
+            self.produced = 0;
+            Ok(())
+        }
+        fn next(&mut self) -> ExecResult<Option<Row>> {
+            if self.produced < self.n {
+                self.produced += 1;
+                Ok(Some(Row::new(vec![Value::Int(self.produced as i64)])))
+            } else {
+                Ok(None)
+            }
+        }
+        fn close(&mut self) {}
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+    }
+
+    #[test]
+    fn reopening_an_exchange_is_a_loud_error() {
+        let schema = Schema::of(&[("x", ColumnType::Int)]);
+        let ctx = ExecContext::new(1);
+        let part = Counted::new(
+            Box::new(Emit {
+                n: 3,
+                produced: 0,
+                schema: schema.clone(),
+            }),
+            0,
+            Arc::clone(&ctx),
+        );
+        let mut op = ExchangeOp::new(vec![part], schema);
+        op.open().unwrap();
+        let mut rows = 0;
+        while op.next().unwrap().is_some() {
+            rows += 1;
+        }
+        assert_eq!(rows, 3);
+        op.close();
+        // The partitions were consumed by the first open: a second open
+        // must fail loudly instead of silently yielding zero rows.
+        match op.open() {
+            Err(ExecError::BadPlan(msg)) => assert!(msg.contains("re-open"), "{msg}"),
+            other => panic!("expected BadPlan on re-open, got {other:?}"),
+        }
     }
 }

@@ -20,6 +20,18 @@
 //! the inserted exchanges copy their child's estimate, and the annotation
 //! forward pass assumes children precede parents, which appended nodes
 //! intentionally violate for their (earlier) parents.
+//!
+//! ## Why early-terminating ancestors block fan-out
+//!
+//! `Exchange::open` eagerly drains every partition to completion, so it is
+//! only equivalent to the serial plan when the serial plan would *also*
+//! have drained that subtree. An ancestor that can stop consuming early —
+//! a `Limit`, or a merge join's right input (abandoned the moment the left
+//! side exhausts) — makes the serial getnext counts data-dependent, and
+//! fanning the chain would both scan rows the serial run never touches and
+//! inflate `total(Q)` past the serial value. The rewrite therefore fans a
+//! chain only when the consumption analysis below proves the serial run
+//! drains it to exhaustion.
 
 use crate::plan::{NodeId, Plan, PlanNode, PlanNodeData};
 
@@ -56,10 +68,14 @@ pub fn parallelize(plan: &Plan, partitions: usize) -> Plan {
             parent[c] = Some(id);
         }
     }
+    let drained = drained_in_serial(plan);
     // Fan out each *maximal* eligible chain: a chain rooted where the
-    // parent is not itself part of an eligible chain.
+    // parent is not itself part of an eligible chain. The chain must also
+    // be provably drained by the serial run — Exchange drains eagerly, so
+    // fanning a chain some ancestor may abandon early (Limit, a merge
+    // join's right input) would change rows scanned and getnext counts.
     for id in 0..n {
-        let maximal = eligible[id] && parent[id].is_none_or(|p| !eligible[p]);
+        let maximal = eligible[id] && drained[id] && parent[id].is_none_or(|p| !eligible[p]);
         if !maximal {
             continue;
         }
@@ -77,6 +93,60 @@ pub fn parallelize(plan: &Plan, partitions: usize) -> Plan {
         }
     }
     out
+}
+
+/// For every node, whether a serial run that completes is *guaranteed* to
+/// pull the node's output to exhaustion, independent of the data.
+///
+/// The driver drains the root; below that, each operator determines how
+/// much of each child it consumes:
+///
+/// * blocking operators (`Sort`, `HashAggregate`), a hash join's build
+///   side, and a nested-loops join's materialized inner drain the child
+///   fully during `open`, no matter what happens above them;
+/// * pipelined pass-throughs (`Filter`, `Project`, `StreamAggregate`, a
+///   hash join's probe side, a join's streamed outer) drain the child iff
+///   they are themselves drained;
+/// * `Limit` stops after `n` rows, and a merge join abandons its right
+///   input the moment the left side exhausts — neither child is ever
+///   guaranteed.
+fn drained_in_serial(plan: &Plan) -> Vec<bool> {
+    let n = plan.len();
+    let mut drained = vec![false; n];
+    drained[plan.root()] = true;
+    // Builder ids are topological (children precede parents), so a reverse
+    // walk sees every parent before its children.
+    for id in (0..n).rev() {
+        let d = drained[id];
+        let data = plan.node(id);
+        match &data.kind {
+            PlanNode::Filter { .. }
+            | PlanNode::Project { .. }
+            | PlanNode::StreamAggregate { .. }
+            | PlanNode::IndexNestedLoopsJoin { .. } => drained[data.children[0]] = d,
+            PlanNode::Limit { .. } => drained[data.children[0]] = false,
+            PlanNode::Sort { .. } | PlanNode::HashAggregate { .. } | PlanNode::Exchange { .. } => {
+                drained[data.children[0]] = true
+            }
+            PlanNode::HashJoin { .. } => {
+                drained[data.children[0]] = true; // build side: drained at open
+                drained[data.children[1]] = d; // probe side: streamed
+            }
+            PlanNode::MergeJoin { .. } => {
+                // The left side is drained whenever the join is (every path
+                // to `None` first exhausts the left input), but the right
+                // side is abandoned as soon as the left runs out.
+                drained[data.children[0]] = d;
+                drained[data.children[1]] = false;
+            }
+            PlanNode::NestedLoopsJoin { .. } => {
+                drained[data.children[0]] = d; // streamed outer
+                drained[data.children[1]] = true; // inner: materialized at open
+            }
+            PlanNode::SeqScan { .. } | PlanNode::IndexRangeScan { .. } => {}
+        }
+    }
+    drained
 }
 
 #[cfg(test)]
@@ -180,5 +250,84 @@ mod tests {
         // Re-parallelizing is a no-op.
         let again = parallelize(&par, 2);
         assert_eq!(again.len(), par.len());
+    }
+
+    #[test]
+    fn chains_under_a_limit_are_not_fanned() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .filter(Expr::col_eq(0, 1i64))
+            .limit(5)
+            .build();
+        // Serially the Limit stops pulling after 5 rows; an eager Exchange
+        // would scan the whole table and inflate the getnext counters.
+        let par = parallelize(&plan, 4);
+        assert_eq!(par.len(), plan.len(), "Limit ancestor must block fan-out");
+    }
+
+    #[test]
+    fn blocking_sort_under_a_limit_still_fans_its_input() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .filter(Expr::col_eq(0, 1i64))
+            .sort(vec![(0, true)])
+            .limit(5)
+            .build();
+        // The sort drains its input at open no matter what the Limit above
+        // it does, so the chain below the sort is safe to fan.
+        let par = parallelize(&plan, 4);
+        assert_eq!(par.len(), plan.len() + 1);
+        let ex = plan.len();
+        assert_eq!(par.node(ex).children, vec![1], "exchange wraps the filter");
+        assert_eq!(par.node(2).children, vec![ex], "sort reads the exchange");
+    }
+
+    #[test]
+    fn merge_join_fans_left_input_only() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .merge_join(
+                PlanBuilder::scan(&db, "u").unwrap(),
+                vec![0],
+                vec![0],
+                JoinType::Inner,
+                true,
+            )
+            .unwrap()
+            .build();
+        // The join abandons its right input the moment the left exhausts,
+        // so only the left scan (always drained) may be fanned.
+        let par = parallelize(&plan, 2);
+        assert_eq!(par.len(), plan.len() + 1);
+        let ex = plan.len();
+        assert_eq!(par.node(ex).children, vec![0], "exchange wraps left scan");
+        let join = plan.root();
+        assert_eq!(par.node(join).children, vec![ex, 1]);
+    }
+
+    #[test]
+    fn limit_over_hash_join_fans_only_the_build_side() {
+        let db = db();
+        let plan = PlanBuilder::scan(&db, "t")
+            .unwrap()
+            .hash_join(
+                PlanBuilder::scan(&db, "u").unwrap(),
+                vec![0],
+                vec![0],
+                JoinType::Inner,
+                true,
+            )
+            .unwrap()
+            .limit(3)
+            .build();
+        // The build side is consumed entirely at open regardless of the
+        // Limit; the probe side is streamed and stops early with it.
+        let par = parallelize(&plan, 2);
+        assert_eq!(par.len(), plan.len() + 1);
+        let ex = plan.len();
+        assert_eq!(par.node(ex).children, vec![0], "exchange wraps build scan");
     }
 }

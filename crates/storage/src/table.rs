@@ -134,6 +134,10 @@ impl Table {
         let ns = stall.as_nanos().min(u64::MAX as u128) as u64;
         self.stall_ns
             .store(ns, std::sync::atomic::Ordering::Relaxed);
+        // Reset the phase so the schedule is deterministic from the moment
+        // of (re)configuration: the first sleep lands on the `every`-th
+        // read after this call, however many reads happened before it.
+        self.reads.store(0, std::sync::atomic::Ordering::Relaxed);
         self.stall_every
             .store(every, std::sync::atomic::Ordering::Relaxed);
     }
@@ -143,7 +147,9 @@ impl Table {
     fn stall_read(&self) {
         use std::sync::atomic::Ordering;
         let every = self.stall_every.load(Ordering::Relaxed);
-        let n = self.reads.fetch_add(1, Ordering::Relaxed);
+        // 1-based count: the `every`-th, `2·every`-th, … reads sleep, so
+        // the very first read never does (unless `every == 1`).
+        let n = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
         if every != 0 && n.is_multiple_of(every) {
             let ns = self.stall_ns.load(Ordering::Relaxed);
             std::thread::sleep(std::time::Duration::from_nanos(ns));

@@ -139,9 +139,12 @@ impl FaultPlan {
     /// index `at_getnext / n` — a worker produces roughly `1/n` of the
     /// rows, so remapped points stay inside the work a partition actually
     /// does. With `n = 1` this is the identity, and across `p = 0..n`
-    /// every point lands in exactly one partition, so a seed still pins
-    /// the logical position of every failure independent of thread
-    /// scheduling.
+    /// every point lands in **exactly one** partition, so a seed still
+    /// pins the logical position of every failure independent of thread
+    /// scheduling. Callers that fan out (the executor's `Exchange` build)
+    /// pass a *plan-wide* fork numbering for `p`/`n` and retire the
+    /// original schedule, so no point can fire both in a fork and at its
+    /// source.
     pub fn for_partition(&self, p: usize, n: usize) -> FaultPlan {
         let n = n.max(1) as u64;
         FaultPlan::from_points(

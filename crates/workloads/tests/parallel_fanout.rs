@@ -1,0 +1,68 @@
+//! Pins the parallelizer's eligibility analysis against the TPC-H plans
+//! the `parallel_speedup` experiment (and its ≥1.5× acceptance bar at 4
+//! workers on Q3) depends on.
+//!
+//! The analysis refuses to fan a scan chain that some ancestor may stop
+//! consuming early — a `Limit`, or a merge join's right input — because an
+//! eager `Exchange` would scan rows the serial run never pulls. Q3 and Q5
+//! end in `LIMIT`, but every scan chain sits below a blocking sort /
+//! aggregate / hash-join build that drains its input at open regardless of
+//! the limit, so they must keep fanning out. A regression here would
+//! silently serialize the benchmark and invalidate `BENCH_parallel.json`.
+
+use qp_datagen::{TpchConfig, TpchDb};
+use qp_exec::plan::PlanNode;
+use qp_exec::{parallelize, run_query};
+use qp_workloads::tpch::tpch_query;
+
+fn tiny_db() -> TpchDb {
+    TpchDb::generate(TpchConfig {
+        scale: 0.002,
+        z: 1.0,
+        seed: 7,
+    })
+}
+
+#[test]
+fn speedup_experiment_queries_still_fan_out() {
+    let t = tiny_db();
+    for q in [3usize, 5] {
+        let plan = tpch_query(q, &t);
+        let par = parallelize(&plan, 4);
+        let exchanges = par
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, PlanNode::Exchange { .. }))
+            .count();
+        assert!(
+            exchanges > 0,
+            "Q{q} no longer fans out — the parallel_speedup experiment would run serially"
+        );
+        // And the fanned plan still matches the serial run exactly.
+        let (serial, _) = run_query(&plan, &t.db, None).unwrap();
+        let (out, _) = run_query(&par, &t.db, None).unwrap();
+        assert_eq!(out.rows, serial.rows, "Q{q} rows diverge");
+        assert_eq!(
+            out.total_getnext, serial.total_getnext,
+            "Q{q} total(Q) diverges"
+        );
+    }
+}
+
+/// The flip side: a bare LIMIT over a streamed scan chain must *not* fan —
+/// serially it stops after `n` rows, and an eager Exchange would scan the
+/// whole table, inflating every per-node counter past the serial run.
+#[test]
+fn limit_over_streamed_chain_does_not_fan() {
+    let t = tiny_db();
+    let plan = qp_exec::plan::PlanBuilder::scan(&t.db, "lineitem")
+        .unwrap()
+        .limit(10)
+        .build();
+    let par = parallelize(&plan, 4);
+    assert_eq!(par.len(), plan.len(), "Limit chain must stay serial");
+    let (serial, _) = run_query(&plan, &t.db, None).unwrap();
+    assert_eq!(serial.rows.len(), 10);
+    // Serial getnext accounting: 10 scan rows + 10 limit rows.
+    assert_eq!(serial.total_getnext, 20);
+}

@@ -47,15 +47,19 @@ fn build_db(t_vals: &[(i64, i64)], u_vals: &[i64]) -> Database {
     )
     .unwrap();
     db.create_index("u_x", "u", &["x"], false).unwrap();
+    db.create_index("t_a", "t", &["a"], false).unwrap();
     db
 }
 
-/// Plan shapes that all contain at least one parallelizable scan chain:
+/// Plan shapes that exercise the parallelizer's eligibility analysis:
 /// bare filter-scan, index-nested-loops probe, hash join (both sides
-/// eligible), sort + aggregate over a scan, and a semi-join under a
-/// filter.
+/// eligible), sort + aggregate over a scan, a semi-join under a filter —
+/// plus the early-terminating ancestors that must *block* fan-out: a
+/// `Limit` over a filtered scan (the serial run stops pulling after `n`
+/// rows) and a merge join over index scans (the right input is abandoned
+/// the moment the left side exhausts).
 fn build_plan(db: &Database, shape: u8, threshold: i64) -> Plan {
-    match shape % 5 {
+    match shape % 7 {
         0 => PlanBuilder::scan(db, "t")
             .unwrap()
             .filter(Expr::cmp(
@@ -88,7 +92,7 @@ fn build_plan(db: &Database, shape: u8, threshold: i64) -> Plan {
                 vec![(queryprogress::exec::AggExpr::count_star(), "n")],
             )
             .build(),
-        _ => PlanBuilder::scan(db, "t")
+        4 => PlanBuilder::scan(db, "t")
             .unwrap()
             .hash_join(
                 PlanBuilder::scan(db, "u").unwrap(),
@@ -104,6 +108,44 @@ fn build_plan(db: &Database, shape: u8, threshold: i64) -> Plan {
                 Expr::Lit(Value::Int(threshold)),
             ))
             .build(),
+        // LIMIT over a streamed chain: the serial run stops pulling the
+        // scan after the limit fills, so the chain must not be fanned —
+        // an eager Exchange would scan the whole table and inflate the
+        // per-node getnext counters past the serial run's.
+        5 => PlanBuilder::scan(db, "t")
+            .unwrap()
+            .filter(Expr::cmp(
+                CmpOp::Lt,
+                Expr::Col(0),
+                Expr::Lit(Value::Int(threshold)),
+            ))
+            .limit((threshold as u64 / 2).max(1))
+            .build(),
+        // Merge join over pre-sorted index scans: the right input is
+        // abandoned as soon as the left exhausts, so only the left chain
+        // may be fanned; fanning the right would drain rows the serial
+        // run never pulls.
+        _ => {
+            use std::ops::Bound;
+            PlanBuilder::index_range_scan(db, "t", "t_a", Bound::Unbounded, Bound::Unbounded)
+                .unwrap()
+                .merge_join(
+                    PlanBuilder::index_range_scan(
+                        db,
+                        "u",
+                        "u_x",
+                        Bound::Unbounded,
+                        Bound::Unbounded,
+                    )
+                    .unwrap(),
+                    vec![0],
+                    vec![0],
+                    JoinType::Inner,
+                    false,
+                )
+                .unwrap()
+                .build()
+        }
     }
 }
 
@@ -153,7 +195,7 @@ prop_check! {
     fn parallel_run_matches_serial_exactly(
         t_vals in collection::vec((0i64..40, 0i64..12), 1..120),
         u_vals in collection::vec(0i64..12, 0..150),
-        shape in 0u8..5,
+        shape in 0u8..7,
         threshold in 0i64..40,
     ) {
         let db = build_db(&t_vals, &u_vals);
@@ -189,7 +231,7 @@ prop_check! {
     fn pmax_never_underestimates_under_parallelism(
         t_vals in collection::vec((0i64..30, 0i64..10), 1..100),
         u_vals in collection::vec(0i64..10, 0..120),
-        shape in 0u8..5,
+        shape in 0u8..7,
         threshold in 0i64..30,
         degree_sel in 0usize..3,
     ) {
@@ -222,7 +264,7 @@ prop_check! {
     fn seeded_faults_replay_identically(
         t_vals in collection::vec((0i64..30, 0i64..8), 1..80),
         u_vals in collection::vec(0i64..8, 0..80),
-        shape in 0u8..5,
+        shape in 0u8..7,
         degree_sel in 0usize..3,
         seed in 0u64..1_000_000,
     ) {
@@ -280,7 +322,7 @@ fn mid_flight_cancel_lands_in_cancelled() {
     let u_vals: Vec<i64> = (0..200).map(|i| i % 11).collect();
     let db = build_db(&t_vals, &u_vals);
     let stats = DbStats::build(&db);
-    for shape in 0u8..5 {
+    for shape in 0u8..7 {
         let plan = annotated_plan(&db, &stats, shape, 20);
         let par = parallelize(&plan, 4);
         let token = CancelToken::new();
@@ -307,4 +349,41 @@ fn parallelize_is_idempotent() {
     let (b, _) = run_query(&twice, &db, None).unwrap();
     assert_eq!(a.rows, b.rows);
     assert_eq!(a.total_getnext, b.total_getnext);
+}
+
+/// A scheduled fault point fires **exactly once** in a parallel run. The
+/// whole schedule is distributed over the plan-wide fork numbering and the
+/// root context's live copy is retired, so a point cannot fire both in a
+/// fork (at its remapped partition-local index) and again at the root (at
+/// its original index against the shared total clock). The observability
+/// layer counts every firing, making the invariant directly checkable.
+#[test]
+fn seeded_fault_fires_exactly_once_in_a_parallel_run() {
+    use queryprogress::exec::FaultKind;
+    use queryprogress::obs::QueryObs;
+
+    let t_vals: Vec<(i64, i64)> = (0..256).map(|i| (i % 19, i % 7)).collect();
+    let db = build_db(&t_vals, &[1, 2, 3]);
+    let plan = build_plan(&db, 0, 10); // filter over scan: fans out
+    let par = parallelize(&plan, 4);
+    assert!(par.len() > plan.len(), "shape must actually fan out");
+
+    // Index 0 maps to fork 0 at local index 0, so it fires on the first
+    // getnext of partition 0 — guaranteed reachable.
+    let obs = QueryObs::new(1, par.op_labels(), false, None);
+    let controls = RunControls {
+        faults: Some(FaultPlan::single(
+            0,
+            FaultKind::Delay(Duration::from_micros(50)),
+        )),
+        obs: Some(std::sync::Arc::clone(&obs)),
+        ..RunControls::default()
+    };
+    let mut run = QueryRun::with_controls(&par, &db, controls).unwrap();
+    run.run().unwrap();
+    let fired: u64 = (0..par.len()).map(|i| obs.node(i).faults).sum();
+    assert_eq!(
+        fired, 1,
+        "one scheduled delay must fire exactly once (not re-fired at the root)"
+    );
 }
