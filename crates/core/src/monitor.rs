@@ -302,6 +302,28 @@ pub fn run_with_progress(
     estimators: Vec<Box<dyn ProgressEstimator>>,
     stride: Option<u64>,
 ) -> qp_exec::ExecResult<(qp_exec::executor::QueryOutput, ProgressTrace)> {
+    run_with_progress_controls(
+        plan,
+        db,
+        stats,
+        estimators,
+        stride,
+        qp_exec::RunControls::default(),
+    )
+}
+
+/// Like [`run_with_progress`], but under caller-supplied
+/// [`qp_exec::RunControls`] — the entry point for checkpoint-level
+/// equivalence tests that need to vary the (results-neutral) morsel and
+/// batch sizing while watching every estimator reading.
+pub fn run_with_progress_controls(
+    plan: &qp_exec::Plan,
+    db: &qp_storage::Database,
+    stats: Option<&qp_stats::DbStats>,
+    estimators: Vec<Box<dyn ProgressEstimator>>,
+    stride: Option<u64>,
+    controls: qp_exec::RunControls,
+) -> qp_exec::ExecResult<(qp_exec::executor::QueryOutput, ProgressTrace)> {
     let meta = PlanMeta::from_plan(plan);
     let bounds = BoundsTracker::new(plan, stats);
     let stride = stride.unwrap_or_else(|| {
@@ -317,11 +339,15 @@ pub fn run_with_progress(
         meta, bounds, estimators, stride,
     )));
 
-    let (out, _) = qp_exec::run_query(
-        plan,
-        db,
-        Some(Box::new(SharedMonitor(Arc::clone(&monitor)))),
-    )?;
+    let mut run = qp_exec::executor::QueryRun::with_controls(plan, db, controls)?;
+    run.set_observer(Box::new(SharedMonitor(Arc::clone(&monitor))));
+    let rows = run.run()?;
+    let out = qp_exec::executor::QueryOutput {
+        node_counts: run.context().counters().snapshot(),
+        total_getnext: run.context().counters().total(),
+        rows,
+    };
+    drop(run.take_observer());
     let monitor = Arc::try_unwrap(monitor)
         .ok()
         .expect("executor dropped its observer handle")

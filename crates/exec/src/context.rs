@@ -211,6 +211,8 @@ pub struct RunControls {
     /// path; recording statements also compile out entirely without the
     /// `obs` cargo feature.
     pub obs: Option<Arc<QueryObs>>,
+    /// Morsel / batch sizing (results-neutral; see [`ExecTuning`]).
+    pub tuning: ExecTuning,
 }
 
 impl RunControls {
@@ -223,32 +225,74 @@ impl RunControls {
     }
 }
 
+/// Performance knobs for one query run. Neither knob may change results,
+/// counters, or estimator readings — the parallel-equivalence suite runs
+/// the whole matrix of sizes against the serial row-at-a-time run and
+/// asserts byte-identical output, so these are *schedule* parameters, not
+/// semantics parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecTuning {
+    /// Rows per work-stealing morsel for parallel scans (`0` = one
+    /// whole-input morsel, i.e. static single-chunk dispatch). Smaller
+    /// morsels adapt better to skewed per-row cost; larger ones amortize
+    /// the claim. See `qp_storage::MorselDispenser`.
+    pub morsel_rows: usize,
+    /// Rows moved per `next_batch` call on the hot producing path
+    /// (clamped to ≥ 1). Batch boundaries are where counters flush and
+    /// interrupts are checked, so a cancel/deadline lands within one
+    /// batch's worth of work instead of one tuple's.
+    pub batch_rows: usize,
+}
+
+impl Default for ExecTuning {
+    fn default() -> ExecTuning {
+        ExecTuning {
+            morsel_rows: 1024,
+            batch_rows: 256,
+        }
+    }
+}
+
 /// Shared execution state: counters, the registered observer, the
 /// cancellation flag, and the fault/deadline controls.
 ///
 /// A context is either the *root* of a query or a *fork* created for one
-/// partition of an `Exchange`: forks share the root's counters, observer,
-/// cancel token, deadline, and observability sink, but carry their own
-/// fault schedule keyed to a partition-local getnext clock (shared-total
-/// keys would make fault positions depend on thread interleaving).
+/// `Exchange` worker: forks share the root's counters, observer, cancel
+/// token, deadline, and observability sink, but carry their own fault
+/// schedule keyed to a morsel-local getnext clock (shared-total keys would
+/// make fault positions depend on thread interleaving, and worker-local
+/// keys would make them depend on which worker steals which morsel).
 pub struct ExecContext {
     counters: Arc<Counters>,
     observer: Arc<Mutex<Option<Box<dyn Observer>>>>,
+    /// Mirror of `observer.is_some()`, shared root↔forks — the hot-path
+    /// emit check, so unobserved runs never touch the observer mutex.
+    has_observer: Arc<AtomicBool>,
     cancel: CancelToken,
     deadline: Option<Instant>,
-    /// `true` iff `faults` holds a non-empty plan — read on the hot path
-    /// so the zero-fault case never touches the mutex.
+    /// `true` iff this context can ever fire a fault — a live plan in
+    /// `faults`, or (for forks) a non-empty morsel prototype that claims
+    /// will derive per-morsel plans from. Read on the hot path so the
+    /// zero-fault case never touches the mutex.
     has_faults: bool,
     faults: Mutex<Option<FaultPlan>>,
     /// Pristine copy of the fault schedule this query was started with
-    /// (root contexts only) — the source `Exchange` derives per-partition
+    /// (root contexts only) — the source `Exchange` derives per-exchange
     /// schedules from.
     fault_proto: Option<FaultPlan>,
-    /// Partition-local getnext clock (forks only): counts rows produced
-    /// under *this* context, and keys the fork's fault schedule so a seed
-    /// pins fault positions independent of thread scheduling.
+    /// This worker fork's share source (forks only): the *exchange-level*
+    /// schedule, from which [`ExecContext::install_morsel_faults`] derives
+    /// a per-morsel schedule at every claim. Shared by all workers of one
+    /// exchange — which worker claims a morsel must not matter.
+    morsel_proto: Option<Arc<FaultPlan>>,
+    /// Morsel-local getnext clock (forks only): counts rows produced
+    /// under *this* context since the last morsel claim, and keys the
+    /// fork's fault schedule so a seed pins fault positions independent
+    /// of thread scheduling *and* of work stealing.
     fault_clock: Option<AtomicU64>,
     obs: Option<Arc<QueryObs>>,
+    /// Morsel / batch sizing, inherited by forks.
+    tuning: ExecTuning,
 }
 
 impl ExecContext {
@@ -295,52 +339,113 @@ impl ExecContext {
         Arc::new(ExecContext {
             counters: Arc::new(Counters::new(n_nodes)),
             observer: Arc::new(Mutex::new(None)),
+            has_observer: Arc::new(AtomicBool::new(false)),
             cancel: controls.cancel,
             deadline: controls.deadline,
             has_faults,
             fault_proto: controls.faults,
             faults: Mutex::new(live),
+            morsel_proto: None,
             fault_clock: None,
             obs: controls.obs,
+            tuning: controls.tuning,
         })
     }
 
-    /// Creates a partition fork of `parent` for one `Exchange` worker:
-    /// counters, observer, cancel token, deadline, and observability sink
-    /// are shared (so every partition bumps the same per-node atomics);
-    /// the fork runs under its own `faults` schedule keyed to a fresh
-    /// partition-local getnext clock.
-    pub(crate) fn fork(parent: &ExecContext, faults: Option<FaultPlan>) -> Arc<ExecContext> {
-        let has_faults = faults.as_ref().is_some_and(|f| !f.is_empty());
+    /// Creates a worker fork of `parent` for one `Exchange` worker:
+    /// counters, observer, cancel token, deadline, tuning, and
+    /// observability sink are shared (so every worker bumps the same
+    /// per-node atomics); the fork fires faults from per-morsel schedules
+    /// derived from `morsel_proto` (the exchange-level share of the
+    /// query's plan) at every morsel claim, keyed to a fresh morsel-local
+    /// getnext clock — see [`ExecContext::install_morsel_faults`].
+    pub(crate) fn fork(
+        parent: &ExecContext,
+        morsel_proto: Option<Arc<FaultPlan>>,
+    ) -> Arc<ExecContext> {
+        let has_faults = morsel_proto.as_ref().is_some_and(|f| !f.is_empty());
         Arc::new(ExecContext {
             counters: Arc::clone(&parent.counters),
             observer: Arc::clone(&parent.observer),
+            has_observer: Arc::clone(&parent.has_observer),
             cancel: parent.cancel.clone(),
             deadline: parent.deadline,
             has_faults,
             fault_proto: None,
-            faults: Mutex::new(faults),
+            faults: Mutex::new(None),
+            morsel_proto,
             fault_clock: Some(AtomicU64::new(0)),
             obs: parent.obs.clone(),
+            tuning: parent.tuning,
         })
     }
 
     /// The pristine fault schedule this (root) context was created with,
-    /// from which `Exchange` derives per-partition schedules.
+    /// from which `Exchange` derives per-exchange schedules.
     pub(crate) fn fault_proto(&self) -> Option<&FaultPlan> {
         self.fault_proto.as_ref()
+    }
+
+    /// Installs the fault schedule for a freshly claimed morsel: derives
+    /// the morsel's share of this fork's exchange-level schedule (point
+    /// `at_getnext` goes to morsel `at_getnext % of`, remapped to the
+    /// morsel-local index `at_getnext / of`) and resets the fork's getnext
+    /// clock to zero.
+    ///
+    /// Called by morsel scan operators at every [`claim`]. Because the
+    /// derivation depends only on `(morsel, of)` — never on *which* worker
+    /// claimed — and each morsel is claimed exactly once, every fault
+    /// point fires in exactly one morsel at a replayable morsel-local
+    /// index, no matter how stealing interleaves.
+    ///
+    /// [`claim`]: qp_storage::MorselDispenser::claim
+    pub(crate) fn install_morsel_faults(&self, morsel: usize, of: usize) {
+        let Some(proto) = &self.morsel_proto else {
+            return;
+        };
+        let derived = proto.for_partition(morsel, of);
+        let mut faults = match self.faults.lock() {
+            Ok(g) => g,
+            // Same recovery as `check_faults`: an injected panic unwound
+            // through the mutex, but the plan state is still coherent.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *faults = if derived.is_empty() {
+            None
+        } else {
+            Some(derived)
+        };
+        if let Some(clock) = &self.fault_clock {
+            clock.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// The morsel / batch sizing this query runs under.
+    #[inline]
+    pub fn tuning(&self) -> ExecTuning {
+        self.tuning
     }
 
     /// Registers the observer (at most one; the progress monitor multiplexes
     /// multiple estimators internally).
     pub fn set_observer(&self, obs: Box<dyn Observer>) {
         *self.observer.lock().expect("observer lock") = Some(obs);
+        self.has_observer.store(true, Ordering::Release);
     }
 
     /// Removes and returns the observer (to inspect its findings after the
     /// run).
     pub fn take_observer(&self) -> Option<Box<dyn Observer>> {
-        self.observer.lock().expect("observer lock").take()
+        let taken = self.observer.lock().expect("observer lock").take();
+        self.has_observer.store(false, Ordering::Release);
+        taken
+    }
+
+    /// Whether an observer is currently registered (hot-path check for
+    /// both the per-row emit and the batch-path degrade decision).
+    #[inline]
+    fn observed(&self) -> bool {
+        self.has_observer.load(Ordering::Acquire)
     }
 
     /// Counter access.
@@ -455,6 +560,11 @@ impl ExecContext {
 
     #[inline]
     fn emit(&self, ev: ExecEvent) {
+        // Flag check first: the common unobserved run (benchmarks, the
+        // serial side of equivalence tests) never touches the mutex.
+        if !self.observed() {
+            return;
+        }
         if let Some(obs) = self.observer.lock().expect("observer lock").as_mut() {
             obs.on_event(ev, &self.counters);
         }
@@ -488,6 +598,30 @@ impl ExecContext {
             }
         }
         self.emit(ExecEvent::RowProduced(node));
+    }
+
+    /// Batched form of [`ExecContext::record_row`]: accounts `k` rows
+    /// produced by `node` with one atomic add per counter, then syncs the
+    /// observability mirror once at the batch boundary. The final values
+    /// of every counter are identical to `k` calls of `record_row`; only
+    /// the granularity at which a concurrent reader can observe them
+    /// changes (and the obs mirror flushes *more* often — every batch vs
+    /// every [`ExecContext::OBS_SYNC_EVERY`] rows).
+    ///
+    /// Callers guarantee no observer is registered — per-row
+    /// [`ExecEvent`]s are not emitted here ([`Counted::next_batch`]
+    /// degrades to the row path when one is).
+    #[cfg_attr(not(feature = "obs"), allow(unused_variables))]
+    fn record_rows(&self, node: NodeId, k: u64) {
+        let n = self.counters.per_node[node].fetch_add(k, Ordering::Relaxed) + k;
+        self.counters.total.fetch_add(k, Ordering::Relaxed);
+        if let Some(clock) = &self.fault_clock {
+            clock.fetch_add(k, Ordering::Relaxed);
+        }
+        #[cfg(feature = "obs")]
+        if let Some(obs) = &self.obs {
+            obs.set_rows(node, n);
+        }
     }
 
     /// Every `None` return (first exhaustion or a parent's re-poll) is a
@@ -524,6 +658,26 @@ pub trait Operator: Send {
     fn open(&mut self) -> ExecResult<()>;
     /// Produces the next row, or `None` when exhausted.
     fn next(&mut self) -> ExecResult<Option<Row>>;
+    /// Produces up to `max` rows into `out`, returning `false` exactly
+    /// when the operator is exhausted (no row will ever follow). A `true`
+    /// return with *zero* rows appended is legal and means "call again" —
+    /// morsel scans use it at morsel boundaries so one batch never spans
+    /// two morsels (which would smear fault/steal attribution).
+    ///
+    /// The default implementation loops [`Operator::next`], so every
+    /// operator is batch-drivable; hot paths (scans, filter, project)
+    /// override it to amortize per-row call overhead. Overrides must
+    /// produce the exact row sequence `next` would — batching is a
+    /// calling convention, not a semantics change.
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Row>) -> ExecResult<bool> {
+        for _ in 0..max {
+            match self.next()? {
+                Some(row) => out.push(row),
+                None => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
     /// Releases resources.
     fn close(&mut self);
     /// Output schema.
@@ -679,6 +833,21 @@ impl Counted {
         result
     }
 
+    /// True when any per-call instrumentation is live for this query —
+    /// observer events, opt-in timing, or a fault schedule keyed to exact
+    /// getnext indices. Batch driving degrades to the row-at-a-time path
+    /// then, so every instrument sees the identical per-row stream it
+    /// would see in a serial run (a fault scheduled at getnext `i` fires
+    /// after exactly `i` rows, not at the next batch boundary).
+    #[inline]
+    fn row_exact(&self) -> bool {
+        #[cfg(feature = "obs")]
+        if self.obs_timed {
+            return true;
+        }
+        self.ctx.has_faults || self.ctx.observed()
+    }
+
     /// Quiescent-point sync: mirrors the executor's producing count for
     /// this node into the shared [`QueryObs`] and flushes staged time.
     #[cfg(feature = "obs")]
@@ -732,6 +901,39 @@ impl Operator for Counted {
             return self.next_timed();
         }
         self.next_inner()
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Row>) -> ExecResult<bool> {
+        // Any live per-call instrumentation ⇒ take the exact row path,
+        // one row per call (the batch driver handles short batches).
+        if self.row_exact() {
+            return match self.next()? {
+                Some(row) => {
+                    out.push(row);
+                    Ok(true)
+                }
+                None => Ok(false),
+            };
+        }
+        // One interrupt check per batch: a cancel or deadline lands
+        // within one batch's worth of work (`ExecTuning::batch_rows`).
+        self.ctx.check_interrupts(self.node)?;
+        let before = out.len();
+        let more = self.inner.next_batch(max.max(1), out)?;
+        if self.counting {
+            let produced = (out.len() - before) as u64;
+            if produced > 0 {
+                self.ctx.record_rows(self.node, produced);
+            }
+            if !more {
+                self.ctx.record_none(self.node);
+                if !self.done {
+                    self.done = true;
+                    self.ctx.record_producer_done(self.node);
+                }
+            }
+        }
+        Ok(more)
     }
 
     fn close(&mut self) {
@@ -809,6 +1011,59 @@ mod tests {
         assert_eq!(ctx.counters().node(0), 3);
         assert_eq!(ctx.counters().total(), 3);
         assert!(ctx.counters().is_exhausted(0));
+        assert_eq!(
+            *events.lock().unwrap(),
+            vec![
+                ExecEvent::Open(0),
+                ExecEvent::RowProduced(0),
+                ExecEvent::RowProduced(0),
+                ExecEvent::RowProduced(0),
+                ExecEvent::Exhausted(0),
+            ]
+        );
+    }
+
+    #[test]
+    fn batch_path_counts_exactly_like_the_row_path() {
+        // Uninstrumented: next_batch takes the true batch path (the Emit
+        // source only implements next(), so the default adapter loops it)
+        // and must land the identical per-node count and total(Q),
+        // including the exhaustion bookkeeping.
+        let row_ctx = ExecContext::new(1);
+        let mut row_op = Counted::new(emit(10), 0, Arc::clone(&row_ctx));
+        row_op.open().unwrap();
+        while row_op.next().unwrap().is_some() {}
+
+        let batch_ctx = ExecContext::new(1);
+        let mut batch_op = Counted::new(emit(10), 0, Arc::clone(&batch_ctx));
+        batch_op.open().unwrap();
+        let mut rows = Vec::new();
+        while batch_op.next_batch(3, &mut rows).unwrap() {}
+        assert_eq!(rows.len(), 10);
+        assert_eq!(batch_ctx.counters().node(0), row_ctx.counters().node(0));
+        assert_eq!(batch_ctx.counters().total(), row_ctx.counters().total());
+        assert!(batch_ctx.counters().is_exhausted(0));
+    }
+
+    #[test]
+    fn batch_path_degrades_to_single_rows_under_an_observer() {
+        // With an observer registered, `row_exact()` forces one row per
+        // next_batch pull so the per-row event stream is byte-identical
+        // to a plain next() loop — same events, same order.
+        let ctx = ExecContext::new(1);
+        let events = Arc::new(Mutex::new(Vec::new()));
+        ctx.set_observer(Box::new(Probe {
+            events: Arc::clone(&events),
+        }));
+        let mut op = Counted::new(emit(3), 0, Arc::clone(&ctx));
+        op.open().unwrap();
+        let mut rows = Vec::new();
+        let mut pulls = 0;
+        while op.next_batch(64, &mut rows).unwrap() {
+            pulls += 1;
+        }
+        assert_eq!(rows.len(), 3);
+        assert_eq!(pulls, 3, "observer must force one row per pull");
         assert_eq!(
             *events.lock().unwrap(),
             vec![

@@ -3,11 +3,13 @@
 use crate::context::{CancelToken, Counted, ExecContext, Observer, Operator, RunControls};
 use crate::error::{ExecError, ExecResult};
 use crate::ops::{
-    ExchangeOp, FilterOp, HashAggregateOp, HashJoinOp, IndexNestedLoopsOp, IndexRangeScanOp,
-    LimitOp, MergeJoinOp, NestedLoopsOp, ProjectOp, SeqScanOp, SortOp, StreamAggregateOp,
+    ExchangeOp, ExchangeWorker, FilterOp, HashAggregateOp, HashJoinOp, IndexNestedLoopsOp,
+    IndexRangeScanOp, LimitOp, MergeJoinOp, MorselIndexScanOp, MorselSeqScanOp, NestedLoopsOp,
+    ProjectOp, SeqScanOp, SortOp, StreamAggregateOp, NO_MORSEL,
 };
 use crate::plan::{NodeId, Plan, PlanNode};
-use qp_storage::{Database, Row};
+use qp_storage::{Database, MorselDispenser, Row};
+use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
 
 /// A fully-instantiated query ready to run, with its execution context.
@@ -36,18 +38,18 @@ impl QueryRun {
         db: &Database,
         controls: RunControls,
     ) -> ExecResult<QueryRun> {
-        let forks = ForkLayout::of(plan);
+        let exchanges = ExchangeLayout::of(plan);
         // When the plan fans subtrees out, the *entire* fault schedule is
-        // distributed across the partition forks (each point to exactly
-        // one fork); the root context keeps only the pristine proto, so no
-        // point can fire twice — once in a fork at its remapped index and
-        // again at the root.
-        let ctx = if forks.total > 0 {
+        // distributed across the exchanges (each point to exactly one
+        // morsel of exactly one exchange); the root context keeps only the
+        // pristine proto, so no point can fire twice — once in a worker at
+        // its remapped morsel-local index and again at the root.
+        let ctx = if exchanges.total > 0 {
             ExecContext::with_controls_faults_forked(plan.len(), controls)
         } else {
             ExecContext::with_controls(plan.len(), controls)
         };
-        let root = build_node(plan, plan.root(), db, &ctx, &forks)?;
+        let root = build_node(plan, plan.root(), db, &ctx, &exchanges)?;
         Ok(QueryRun { ctx, root })
     }
 
@@ -68,12 +70,16 @@ impl QueryRun {
     }
 
     /// Runs the query to completion, returning all result rows.
+    ///
+    /// The root is driven in batches of [`crate::ExecTuning::batch_rows`];
+    /// with an observer or a fault plan attached the batch path degrades
+    /// to one row per pull, so instrumented runs see the identical per-row
+    /// event stream a plain `next()` loop would produce.
     pub fn run(&mut self) -> ExecResult<Vec<Row>> {
         self.root.open()?;
+        let batch = self.ctx.tuning().batch_rows.max(1);
         let mut rows = Vec::new();
-        while let Some(row) = self.root.next()? {
-            rows.push(row);
-        }
+        while self.root.next_batch(batch, &mut rows)? {}
         self.root.close();
         Ok(rows)
     }
@@ -111,28 +117,29 @@ pub fn run_query(
     Ok((out, obs))
 }
 
-/// Global numbering of `Exchange` partition forks across a plan: fork
-/// indices `offset[id]..offset[id] + partitions` belong to the exchange at
-/// node `id`, and `total` is the plan-wide fork count. A seeded fault
-/// schedule is distributed over this numbering — each point lands in
-/// exactly one fork of one exchange, so a seed injects each fault exactly
-/// once no matter how many exchanges the plan holds.
-struct ForkLayout {
-    offsets: Vec<usize>,
+/// Global numbering of `Exchange` nodes across a plan: `ordinals[id]` is
+/// the ordinal of the exchange at node `id` and `total` the plan-wide
+/// exchange count. A seeded fault schedule is distributed over this
+/// numbering first (each point to exactly one exchange), then over each
+/// exchange's *morsels* at claim time — never over workers, so exactly-
+/// once injection survives work stealing: which worker claims a morsel
+/// cannot change where a fault lands.
+struct ExchangeLayout {
+    ordinals: Vec<usize>,
     total: usize,
 }
 
-impl ForkLayout {
-    fn of(plan: &Plan) -> ForkLayout {
-        let mut offsets = vec![0; plan.len()];
+impl ExchangeLayout {
+    fn of(plan: &Plan) -> ExchangeLayout {
+        let mut ordinals = vec![0; plan.len()];
         let mut total = 0;
-        for (slot, node) in offsets.iter_mut().zip(plan.nodes()) {
-            if let PlanNode::Exchange { partitions } = &node.kind {
+        for (slot, node) in ordinals.iter_mut().zip(plan.nodes()) {
+            if let PlanNode::Exchange { .. } = &node.kind {
                 *slot = total;
-                total += (*partitions).max(1);
+                total += 1;
             }
         }
-        ForkLayout { offsets, total }
+        ExchangeLayout { ordinals, total }
     }
 }
 
@@ -141,11 +148,12 @@ fn build_node(
     id: NodeId,
     db: &Database,
     ctx: &Arc<ExecContext>,
-    forks: &ForkLayout,
+    exchanges: &ExchangeLayout,
 ) -> ExecResult<Counted> {
     let data = plan.node(id);
-    let child =
-        |i: usize| -> ExecResult<Counted> { build_node(plan, data.children[i], db, ctx, forks) };
+    let child = |i: usize| -> ExecResult<Counted> {
+        build_node(plan, data.children[i], db, ctx, exchanges)
+    };
     let op: Box<dyn Operator> = match &data.kind {
         PlanNode::SeqScan { table, .. } => Box::new(SeqScanOp::new(db.table(table)?)),
         PlanNode::IndexRangeScan {
@@ -245,7 +253,7 @@ fn build_node(
         PlanNode::Exchange { partitions } => {
             // The exchange is pure plumbing under the paper's accounting:
             // its wrapper is transparent (per-node counter stays 0), and
-            // each partition copy of the subtree bumps the original nodes'
+            // each worker copy of the subtree bumps the original nodes'
             // shared counters via a forked context.
             let n = (*partitions).max(1);
             let subtree_root = data.children[0];
@@ -254,17 +262,24 @@ fn build_node(
                     ctx.counters().add_producers(node, n as u64 - 1);
                 }
             }
-            let mut parts = Vec::with_capacity(n);
-            for p in 0..n {
-                // Faults are distributed over the plan-wide fork numbering
-                // so each point fires in exactly one fork of one exchange.
-                let faults = ctx
-                    .fault_proto()
-                    .map(|f| f.for_partition(forks.offsets[id] + p, forks.total));
-                let fork = ExecContext::fork(ctx, faults);
-                parts.push(build_partition(plan, subtree_root, db, &fork, p, n)?);
+            // One shared dispenser per exchange: workers steal morsels of
+            // the leaf's input from it instead of owning static ranges.
+            let dispenser = Arc::new(subtree_dispenser(plan, subtree_root, db, ctx)?);
+            // This exchange's share of the fault schedule, shared by all
+            // of its workers: points split per-*morsel* at claim time, so
+            // each point fires in exactly one morsel of one exchange no
+            // matter which worker claims it.
+            let exchange_faults = ctx
+                .fault_proto()
+                .map(|f| Arc::new(f.for_partition(exchanges.ordinals[id], exchanges.total)));
+            let mut workers = Vec::with_capacity(n);
+            for _ in 0..n {
+                let fork = ExecContext::fork(ctx, exchange_faults.clone());
+                let tag = Arc::new(AtomicUsize::new(NO_MORSEL));
+                let chain = build_partition(plan, subtree_root, db, &fork, &dispenser, &tag)?;
+                workers.push(ExchangeWorker { chain, tag });
             }
-            let op = ExchangeOp::new(parts, data.schema.clone());
+            let op = ExchangeOp::new(workers, data.schema.clone(), ctx.tuning().batch_rows);
             return Ok(Counted::transparent(Box::new(op), id, Arc::clone(ctx)));
         }
     };
@@ -283,41 +298,78 @@ fn subtree_nodes(plan: &Plan, id: NodeId) -> Vec<NodeId> {
     out
 }
 
-/// Instantiates partition `p` of `n` for an Exchange subtree: the same
-/// operator chain as the serial subtree, with the leaf restricted to the
-/// partition's disjoint slice, every wrapper counting into `fork`'s
-/// shared per-node atomics.
+/// Builds the shared [`MorselDispenser`] for an Exchange subtree by
+/// walking its Filter/Project chain down to the scan leaf: a heap scan's
+/// input length is known from the catalog up front; an index range scan
+/// learns its rid count at `open`, so its dispenser starts unbound and
+/// every worker binds it (first wins, the rest validate).
+fn subtree_dispenser(
+    plan: &Plan,
+    mut id: NodeId,
+    db: &Database,
+    ctx: &Arc<ExecContext>,
+) -> ExecResult<MorselDispenser> {
+    let morsel_rows = ctx.tuning().morsel_rows;
+    loop {
+        let data = plan.node(id);
+        match &data.kind {
+            PlanNode::Filter { .. } | PlanNode::Project { .. } => id = data.children[0],
+            PlanNode::SeqScan { table, .. } => {
+                return Ok(MorselDispenser::new(db.table(table)?.len(), morsel_rows))
+            }
+            PlanNode::IndexRangeScan { .. } => return Ok(MorselDispenser::unbound(morsel_rows)),
+            other => {
+                return Err(ExecError::BadPlan(format!(
+                    "Exchange subtree contains non-partitionable operator {}",
+                    other.op_name()
+                )))
+            }
+        }
+    }
+}
+
+/// Instantiates one worker chain for an Exchange subtree: the same
+/// operator chain as the serial subtree, with the leaf replaced by its
+/// morsel-stealing variant pulling from the exchange's shared `dispenser`
+/// and publishing claims through `tag`, every wrapper counting into
+/// `fork`'s shared per-node atomics.
 fn build_partition(
     plan: &Plan,
     id: NodeId,
     db: &Database,
     fork: &Arc<ExecContext>,
-    p: usize,
-    n: usize,
+    dispenser: &Arc<MorselDispenser>,
+    tag: &Arc<AtomicUsize>,
 ) -> ExecResult<Counted> {
     let data = plan.node(id);
     let op: Box<dyn Operator> = match &data.kind {
-        PlanNode::SeqScan { table, .. } => {
-            let t = db.table(table)?;
-            let (start, end) = t.partition_ranges(n)[p];
-            Box::new(SeqScanOp::with_range(t, start, end))
-        }
+        PlanNode::SeqScan { table, .. } => Box::new(MorselSeqScanOp::new(
+            db.table(table)?,
+            Arc::clone(dispenser),
+            Arc::clone(fork),
+            Arc::clone(tag),
+        )),
         PlanNode::IndexRangeScan {
             table,
             index,
             lo,
             hi,
             ..
-        } => Box::new(
-            IndexRangeScanOp::new(db.table(table)?, db.index(index)?, lo.clone(), hi.clone())
-                .with_partition(p, n),
-        ),
+        } => Box::new(MorselIndexScanOp::new(
+            db.table(table)?,
+            db.index(index)?,
+            lo.clone(),
+            hi.clone(),
+            Arc::clone(dispenser),
+            Arc::clone(fork),
+            Arc::clone(tag),
+        )),
         PlanNode::Filter { predicate } => Box::new(FilterOp::new(
-            build_partition(plan, data.children[0], db, fork, p, n)?,
+            build_partition(plan, data.children[0], db, fork, dispenser, tag)?,
             predicate.clone(),
         )),
         PlanNode::Project { exprs } => Box::new(ProjectOp::new(
-            build_partition(plan, data.children[0], db, fork, p, n)?,
+            build_partition(plan, data.children[0], db, fork, dispenser, tag)?,
             exprs.iter().map(|(e, _)| e.clone()).collect(),
             data.schema.clone(),
         )),

@@ -45,8 +45,8 @@ pub mod pipeline;
 pub mod plan;
 
 pub use context::{
-    fault_kind_code, fault_kind_name, CancelToken, Counters, ExecContext, ExecEvent, NodeId,
-    Observer, RunControls,
+    fault_kind_code, fault_kind_name, CancelToken, Counters, ExecContext, ExecEvent, ExecTuning,
+    NodeId, Observer, RunControls,
 };
 pub use error::{ExecError, ExecResult};
 // Fault-injection vocabulary, re-exported so downstream crates can drive

@@ -10,6 +10,9 @@ pub struct FilterOp {
     child: Counted,
     predicate: Expr,
     schema: Schema,
+    /// Reused per-batch staging for `next_batch` (child rows land here
+    /// before the predicate trims them into the caller's buffer).
+    scratch: Vec<Row>,
 }
 
 impl FilterOp {
@@ -19,6 +22,7 @@ impl FilterOp {
             child,
             predicate,
             schema,
+            scratch: Vec::new(),
         }
     }
 }
@@ -37,6 +41,22 @@ impl Operator for FilterOp {
         Ok(None)
     }
 
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Row>) -> ExecResult<bool> {
+        // Exactly one child batch per call — a selective predicate may
+        // yield an empty-but-more batch rather than pulling again, so an
+        // output batch never mixes rows from two scan morsels (the
+        // exchange merge attributes whole batches to the leaf's current
+        // morsel).
+        self.scratch.clear();
+        let more = self.child.next_batch(max, &mut self.scratch)?;
+        for row in self.scratch.drain(..) {
+            if self.predicate.eval_bool(&row)? {
+                out.push(row);
+            }
+        }
+        Ok(more)
+    }
+
     fn close(&mut self) {
         self.child.close();
     }
@@ -51,6 +71,8 @@ pub struct ProjectOp {
     child: Counted,
     exprs: Vec<Expr>,
     schema: Schema,
+    /// Reused per-batch staging for `next_batch`.
+    scratch: Vec<Row>,
 }
 
 impl ProjectOp {
@@ -59,7 +81,16 @@ impl ProjectOp {
             child,
             exprs,
             schema,
+            scratch: Vec::new(),
         }
+    }
+
+    fn project(&self, row: &Row) -> ExecResult<Row> {
+        let mut vals = Vec::with_capacity(self.exprs.len());
+        for e in &self.exprs {
+            vals.push(e.eval(row)?);
+        }
+        Ok(Row::new(vals))
     }
 }
 
@@ -72,11 +103,20 @@ impl Operator for ProjectOp {
         let Some(row) = self.child.next()? else {
             return Ok(None);
         };
-        let mut vals = Vec::with_capacity(self.exprs.len());
-        for e in &self.exprs {
-            vals.push(e.eval(&row)?);
+        Ok(Some(self.project(&row)?))
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Row>) -> ExecResult<bool> {
+        // One child batch per call; see `FilterOp::next_batch`. The
+        // scratch buffer is detached while projecting (an eval error
+        // abandons it — only spare capacity is lost on that cold path).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let more = self.child.next_batch(max, &mut scratch)?;
+        for row in scratch.drain(..) {
+            out.push(self.project(&row)?);
         }
-        Ok(Some(Row::new(vals)))
+        self.scratch = scratch;
+        Ok(more)
     }
 
     fn close(&mut self) {

@@ -14,9 +14,10 @@ mod sort;
 
 pub use aggregate::{HashAggregateOp, StreamAggregateOp};
 pub use exchange::ExchangeOp;
+pub(crate) use exchange::{ExchangeWorker, NO_MORSEL};
 pub use filter::{FilterOp, LimitOp, ProjectOp};
 pub use join_hash::HashJoinOp;
 pub use join_merge::MergeJoinOp;
 pub use join_nl::{IndexNestedLoopsOp, NestedLoopsOp};
-pub use scan::{IndexRangeScanOp, SeqScanOp};
+pub use scan::{IndexRangeScanOp, MorselIndexScanOp, MorselSeqScanOp, SeqScanOp};
 pub use sort::SortOp;

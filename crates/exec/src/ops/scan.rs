@@ -1,9 +1,11 @@
-//! Leaf operators: sequential heap scan and B+Tree range scan.
+//! Leaf operators: sequential heap scan and B+Tree range scan, plus their
+//! morsel-consuming variants for work-stealing parallel scans.
 
-use crate::context::Operator;
+use crate::context::{ExecContext, Operator};
 use crate::error::ExecResult;
-use qp_storage::{IndexMeta, Row, RowId, Schema, Table, Value};
+use qp_storage::{IndexMeta, MorselDispenser, Row, RowId, Schema, Table, Value};
 use std::ops::Bound;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Full scan of a heap table in insertion order — the order the paper's
@@ -55,6 +57,19 @@ impl Operator for SeqScanOp {
         } else {
             Ok(None)
         }
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Row>) -> ExecResult<bool> {
+        if self.pos >= self.end {
+            return Ok(false);
+        }
+        let take = max.min(self.end - self.pos);
+        out.reserve(take);
+        for rid in self.pos..self.pos + take {
+            out.push(self.table.row(rid as RowId).clone());
+        }
+        self.pos += take;
+        Ok(self.pos < self.end)
     }
 
     fn close(&mut self) {}
@@ -141,6 +156,229 @@ impl Operator for IndexRangeScanOp {
         } else {
             Ok(None)
         }
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Row>) -> ExecResult<bool> {
+        if self.pos >= self.rids.len() {
+            return Ok(false);
+        }
+        let take = max.min(self.rids.len() - self.pos);
+        out.reserve(take);
+        for &rid in &self.rids[self.pos..self.pos + take] {
+            out.push(self.table.row(rid).clone());
+        }
+        self.pos += take;
+        Ok(self.pos < self.rids.len())
+    }
+
+    fn close(&mut self) {
+        self.rids = Vec::new();
+    }
+
+    fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+}
+
+/// Shared per-worker morsel state: the current claim's position window and
+/// the worker's *tag* — the morsel index the downstream exchange reads to
+/// attribute produced batches for order-restoring merge.
+struct MorselCursor {
+    dispenser: Arc<MorselDispenser>,
+    ctx: Arc<ExecContext>,
+    tag: Arc<AtomicUsize>,
+    /// Next / one-past-last input position of the current morsel
+    /// (`pos == end` ⇒ claim before producing).
+    pos: usize,
+    end: usize,
+}
+
+impl MorselCursor {
+    fn new(
+        dispenser: Arc<MorselDispenser>,
+        ctx: Arc<ExecContext>,
+        tag: Arc<AtomicUsize>,
+    ) -> MorselCursor {
+        MorselCursor {
+            dispenser,
+            ctx,
+            tag,
+            pos: 0,
+            end: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+        self.end = 0;
+    }
+
+    /// Claims the next morsel: publishes its index as this worker's tag
+    /// and installs its derived fault schedule into the worker's context.
+    /// Returns `false` when the shared input is exhausted.
+    fn claim(&mut self) -> bool {
+        match self.dispenser.claim() {
+            Some(m) => {
+                // The tag is read by this worker's own drive loop between
+                // batches (same thread), so Relaxed suffices.
+                self.tag.store(m.index, Ordering::Relaxed);
+                self.ctx
+                    .install_morsel_faults(m.index, self.dispenser.morsel_count());
+                self.pos = m.start;
+                self.end = m.end;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Work-stealing heap scan: one of several workers pulling fixed-size
+/// [`qp_storage::Morsel`]s of a shared table from a shared
+/// [`MorselDispenser`]. Rows come out in input order *within* each
+/// claimed morsel; the downstream exchange restores the global serial
+/// order by merging batches in morsel-index order (tags are published per
+/// claim), so the parallel result stays byte-identical to [`SeqScanOp`].
+pub struct MorselSeqScanOp {
+    table: Arc<Table>,
+    cursor: MorselCursor,
+}
+
+impl MorselSeqScanOp {
+    pub(crate) fn new(
+        table: Arc<Table>,
+        dispenser: Arc<MorselDispenser>,
+        ctx: Arc<ExecContext>,
+        tag: Arc<AtomicUsize>,
+    ) -> MorselSeqScanOp {
+        MorselSeqScanOp {
+            table,
+            cursor: MorselCursor::new(dispenser, ctx, tag),
+        }
+    }
+}
+
+impl Operator for MorselSeqScanOp {
+    fn open(&mut self) -> ExecResult<()> {
+        self.cursor.reset();
+        Ok(())
+    }
+
+    fn next(&mut self) -> ExecResult<Option<Row>> {
+        loop {
+            if self.cursor.pos < self.cursor.end {
+                let row = self.table.row(self.cursor.pos as RowId).clone();
+                self.cursor.pos += 1;
+                return Ok(Some(row));
+            }
+            if !self.cursor.claim() {
+                return Ok(None);
+            }
+        }
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Row>) -> ExecResult<bool> {
+        // At most one claim per call, and a batch never crosses a morsel
+        // boundary: a fully-consumed morsel yields `Ok(true)` with no
+        // rows so the caller re-tags before the next batch.
+        if self.cursor.pos >= self.cursor.end && !self.cursor.claim() {
+            return Ok(false);
+        }
+        let take = max.min(self.cursor.end - self.cursor.pos);
+        out.reserve(take);
+        for rid in self.cursor.pos..self.cursor.pos + take {
+            out.push(self.table.row(rid as RowId).clone());
+        }
+        self.cursor.pos += take;
+        Ok(true)
+    }
+
+    fn close(&mut self) {}
+
+    fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+}
+
+/// Work-stealing index range scan: every worker walks the B+Tree range at
+/// `open` (identical immutable input ⇒ identical rid list), binds the
+/// shared dispenser to the list's length — first bind wins, the rest
+/// validate — then pulls morsels of the rid list exactly like
+/// [`MorselSeqScanOp`] pulls morsels of the heap.
+pub struct MorselIndexScanOp {
+    table: Arc<Table>,
+    index: Arc<IndexMeta>,
+    lo: Bound<Vec<Value>>,
+    hi: Bound<Vec<Value>>,
+    rids: Vec<RowId>,
+    cursor: MorselCursor,
+}
+
+impl MorselIndexScanOp {
+    pub(crate) fn new(
+        table: Arc<Table>,
+        index: Arc<IndexMeta>,
+        lo: Bound<Vec<Value>>,
+        hi: Bound<Vec<Value>>,
+        dispenser: Arc<MorselDispenser>,
+        ctx: Arc<ExecContext>,
+        tag: Arc<AtomicUsize>,
+    ) -> MorselIndexScanOp {
+        MorselIndexScanOp {
+            table,
+            index,
+            lo,
+            hi,
+            rids: Vec::new(),
+            cursor: MorselCursor::new(dispenser, ctx, tag),
+        }
+    }
+}
+
+impl Operator for MorselIndexScanOp {
+    fn open(&mut self) -> ExecResult<()> {
+        let lo = match &self.lo {
+            Bound::Unbounded => Bound::Unbounded,
+            Bound::Included(k) => Bound::Included(k.as_slice()),
+            Bound::Excluded(k) => Bound::Excluded(k.as_slice()),
+        };
+        self.rids = self
+            .index
+            .tree
+            .range(lo, self.hi.clone())
+            .map(|(_, rid)| rid)
+            .collect();
+        self.cursor.dispenser.bind(self.rids.len());
+        self.cursor.reset();
+        Ok(())
+    }
+
+    fn next(&mut self) -> ExecResult<Option<Row>> {
+        loop {
+            if self.cursor.pos < self.cursor.end {
+                let row = self.table.row(self.rids[self.cursor.pos]).clone();
+                self.cursor.pos += 1;
+                return Ok(Some(row));
+            }
+            if !self.cursor.claim() {
+                return Ok(None);
+            }
+        }
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Row>) -> ExecResult<bool> {
+        // See `MorselSeqScanOp::next_batch`: one claim per call, batches
+        // never cross morsel boundaries.
+        if self.cursor.pos >= self.cursor.end && !self.cursor.claim() {
+            return Ok(false);
+        }
+        let take = max.min(self.cursor.end - self.cursor.pos);
+        out.reserve(take);
+        for &rid in &self.rids[self.cursor.pos..self.cursor.pos + take] {
+            out.push(self.table.row(rid).clone());
+        }
+        self.cursor.pos += take;
+        Ok(true)
     }
 
     fn close(&mut self) {

@@ -4,10 +4,15 @@
 //! out every maximal *scan chain* — a `Filter`/`Project` chain over exactly
 //! one `SeqScan` or `IndexRangeScan` leaf — behind an `Exchange` node. That
 //! covers both probe-side scans and hash-join build sides, the two places
-//! the paper's plans spend their scan work. Exchange runs partition copies
-//! of the subtree over disjoint row ranges and concatenates their outputs
-//! in partition order, so the merged stream is byte-identical to the
-//! serial subtree's output.
+//! the paper's plans spend their scan work. Exchange runs worker copies of
+//! the subtree that claim fixed-size **morsels** (row ranges of
+//! [`crate::ExecTuning::morsel_rows`]) from a shared work-stealing
+//! dispenser — a worker that finishes its claim steals the next unclaimed
+//! morsel, so a skewed input cannot strand workers behind one hot range.
+//! Each worker tags its output segments with the morsel index and the
+//! merge reassembles segments in morsel order, so the merged stream is
+//! byte-identical to the serial subtree's output no matter which worker
+//! ran which morsel (see `ops::exchange` for the mechanics).
 //!
 //! ## Why ids must not move
 //!

@@ -154,13 +154,17 @@ impl QueryObs {
     }
 
     /// Syncs `node`'s producing-call mirror to `rows`, the executor's
-    /// own per-node count. Single writer (the query thread), and `rows`
-    /// is monotone there, so a relaxed store keeps readers monotone.
-    /// Called every few dozen producing calls and at every quiescent
-    /// point — this is the *only* shared write on the producing path.
+    /// own per-node count. Called at every batch boundary and at every
+    /// quiescent point — this is the *only* shared write on the
+    /// producing path. Under morsel-driven parallelism several workers
+    /// flush the same shared count concurrently, and their loads may
+    /// interleave with the stores, so the mirror takes `fetch_max`
+    /// rather than a plain store: a stale flush can then never move the
+    /// published value backwards, which keeps readers (`METRICS`, the
+    /// final summary) monotone.
     #[inline]
     pub fn set_rows(&self, node: usize, rows: u64) {
-        self.nodes[node].rows.store(rows, Ordering::Relaxed);
+        self.nodes[node].rows.fetch_max(rows, Ordering::Relaxed);
     }
 
     /// A getnext call on `node` returned `None` (exhaustion, or a
@@ -263,6 +267,52 @@ mod tests {
         b.add_time(0, 30);
         assert_eq!(a.node(0), b.node(0));
         assert_eq!(b.node(0).calls, 10);
+    }
+
+    #[test]
+    fn out_of_order_batch_flushes_never_regress_the_mirror() {
+        // Under work stealing, two workers can read the shared executor
+        // count (say 64, then 128) and flush in the opposite order. The
+        // mirror must keep the maximum, not the last writer's value.
+        let obs = QueryObs::new(0, vec!["SeqScan"], false, None);
+        obs.set_rows(0, 128);
+        obs.set_rows(0, 64); // stale flush from a slower worker
+        assert_eq!(obs.node(0).rows, 128);
+        obs.set_rows(0, 192);
+        assert_eq!(obs.node(0).rows, 192);
+    }
+
+    #[test]
+    fn concurrent_batch_flushes_stay_monotone_for_readers() {
+        // Four "workers" flush interleaved prefixes of a shared count
+        // while a reader polls; every observation must be monotone and
+        // the final value exact.
+        let obs = QueryObs::new(0, vec!["SeqScan"], false, None);
+        let shared = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let obs = Arc::clone(&obs);
+                let shared = Arc::clone(&shared);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        // Batch of rows lands on the shared executor
+                        // count, then the worker mirrors what it saw.
+                        let n = shared.fetch_add(3, Ordering::Relaxed) + 3;
+                        obs.set_rows(0, n);
+                    }
+                });
+            }
+            let obs = Arc::clone(&obs);
+            s.spawn(move || {
+                let mut last = 0;
+                for _ in 0..2000 {
+                    let rows = obs.node(0).rows;
+                    assert!(rows >= last, "mirror regressed: {rows} < {last}");
+                    last = rows;
+                }
+            });
+        });
+        assert_eq!(obs.node(0).rows, 4 * 1000 * 3);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! ```text
 //! HELLO             → OK protocol=2 verbs=<csv> fields=<csv>
 //!                          estimators=<csv>  (capability discovery)
-//! SUBMIT [TIMEOUT_MS=<n>] [PARALLELISM=<n>] [ESTIMATORS=<csv>] <sql>
+//! SUBMIT [TIMEOUT_MS=<n>] [PARALLELISM=<n>] [ESTIMATORS=<csv>]
+//!        [MORSEL_SIZE=<n>] <sql>
 //!                   → OK <id>
 //! STATUS <id>       → OK <id> <STATE> health=<ok|degraded|failed>
 //!                          [curr=<n> lb=<n> ub=<n|inf>
@@ -28,7 +29,9 @@ use qp_progress::shared::Health;
 
 /// Wire protocol version reported by `HELLO`. Version 2 added `HELLO`
 /// itself, structured `ERR <CODE> <msg>` replies, and the `PARALLELISM=`
-/// / `ESTIMATORS=` submit fields.
+/// / `ESTIMATORS=` submit fields. Within v2, new optional submit fields
+/// (`MORSEL_SIZE=`) are discoverable through the `fields=` capability
+/// list — clients gate on the advertised fields, not the version.
 pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Every verb the protocol accepts, in documentation order. The
@@ -43,7 +46,8 @@ pub const VERBS: [&str; 8] = [
 /// test). [`help_text`] is generated from this table.
 const VERB_USAGE: [&str; 8] = [
     "HELLO — protocol version and capability list",
-    "SUBMIT [TIMEOUT_MS=<n>] [PARALLELISM=<n>] [ESTIMATORS=<csv>] <sql> — run a query",
+    "SUBMIT [TIMEOUT_MS=<n>] [PARALLELISM=<n>] [ESTIMATORS=<csv>] [MORSEL_SIZE=<n>] <sql> — run \
+     a query",
     "STATUS <id> — one-line progress/health report",
     "LIST — all sessions with state and health",
     "CANCEL <id> — request cancellation",
@@ -54,7 +58,7 @@ const VERB_USAGE: [&str; 8] = [
 
 /// Optional `KEY=` fields accepted (in any order) at the front of a
 /// `SUBMIT` body, advertised by `HELLO`.
-pub const SUBMIT_FIELDS: [&str; 3] = ["TIMEOUT_MS", "PARALLELISM", "ESTIMATORS"];
+pub const SUBMIT_FIELDS: [&str; 4] = ["TIMEOUT_MS", "PARALLELISM", "ESTIMATORS", "MORSEL_SIZE"];
 
 /// Machine-readable error classes: every `ERR` reply is
 /// `ERR <CODE> <message>` with `<CODE>` from this enum, so clients can
@@ -121,8 +125,8 @@ pub enum Request {
     /// `HELLO` — capability discovery.
     Hello,
     /// `SUBMIT [TIMEOUT_MS=<n>] [PARALLELISM=<n>] [ESTIMATORS=<csv>]
-    /// <sql…>` — everything after the verb and the leading option fields
-    /// is the SQL text.
+    /// [MORSEL_SIZE=<n>] <sql…>` — everything after the verb and the
+    /// leading option fields is the SQL text.
     Submit {
         sql: String,
         /// Execution-time budget in milliseconds; `None` uses the
@@ -134,6 +138,9 @@ pub enum Request {
         /// Comma-separated estimator names for this session; `None` uses
         /// the service's default suite.
         estimators: Option<String>,
+        /// Rows per work-stealing morsel for parallel scans; `None` uses
+        /// the executor default. Results-neutral (scheduling only).
+        morsel_size: Option<usize>,
     },
     /// `STATUS <id>`
     Status(QueryId),
@@ -168,6 +175,7 @@ impl Request {
                         timeout_ms: fields.timeout_ms,
                         parallelism: fields.parallelism,
                         estimators: fields.estimators,
+                        morsel_size: fields.morsel_size,
                     })
                 }
             }
@@ -226,6 +234,19 @@ impl Request {
                 }
                 fields.parallelism = Some(n);
                 rest = sql;
+            } else if let Some(tail) = rest.strip_prefix("MORSEL_SIZE=") {
+                let (value, sql) = split_field(tail);
+                if fields.morsel_size.is_some() {
+                    return Err("duplicate MORSEL_SIZE field".into());
+                }
+                let n = value
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad MORSEL_SIZE value {value:?}: {e}"))?;
+                if n == 0 {
+                    return Err("MORSEL_SIZE must be at least 1".into());
+                }
+                fields.morsel_size = Some(n);
+                rest = sql;
             } else if let Some(tail) = rest.strip_prefix("ESTIMATORS=") {
                 let (value, sql) = split_field(tail);
                 if fields.estimators.is_some() {
@@ -249,6 +270,7 @@ struct SubmitFields {
     timeout_ms: Option<u64>,
     parallelism: Option<usize>,
     estimators: Option<String>,
+    morsel_size: Option<usize>,
 }
 
 /// Splits `value rest-of-line` at the first whitespace.
@@ -390,6 +412,7 @@ mod tests {
                 timeout_ms: None,
                 parallelism: None,
                 estimators: None,
+                morsel_size: None,
             }
         );
         assert_eq!(
@@ -464,6 +487,7 @@ mod tests {
                 timeout_ms: Some(2500),
                 parallelism: None,
                 estimators: None,
+                morsel_size: None,
             }
         );
         // Only recognised before the SQL: later occurrences are SQL.
@@ -474,6 +498,7 @@ mod tests {
                 timeout_ms: None,
                 parallelism: None,
                 estimators: None,
+                morsel_size: None,
             }
         );
     }
@@ -485,17 +510,20 @@ mod tests {
             timeout_ms: Some(100),
             parallelism: Some(4),
             estimators: Some("dne,pmax".into()),
+            morsel_size: Some(64),
         };
         assert_eq!(
             Request::parse(
-                "SUBMIT TIMEOUT_MS=100 PARALLELISM=4 ESTIMATORS=dne,pmax SELECT 1 FROM t"
+                "SUBMIT TIMEOUT_MS=100 PARALLELISM=4 ESTIMATORS=dne,pmax MORSEL_SIZE=64 SELECT 1 \
+                 FROM t"
             )
             .unwrap(),
             expected
         );
         assert_eq!(
             Request::parse(
-                "SUBMIT ESTIMATORS=dne,pmax PARALLELISM=4 TIMEOUT_MS=100 SELECT 1 FROM t"
+                "SUBMIT MORSEL_SIZE=64 ESTIMATORS=dne,pmax PARALLELISM=4 TIMEOUT_MS=100 SELECT 1 \
+                 FROM t"
             )
             .unwrap(),
             expected
@@ -505,6 +533,25 @@ mod tests {
         assert!(Request::parse("SUBMIT ESTIMATORS= SELECT 1 FROM t").is_err());
         assert!(Request::parse("SUBMIT PARALLELISM=2 PARALLELISM=2 SELECT 1 FROM t").is_err());
         assert!(Request::parse("SUBMIT PARALLELISM=2").is_err());
+    }
+
+    #[test]
+    fn submit_morsel_size_field_parses_and_validates() {
+        assert_eq!(
+            Request::parse("SUBMIT MORSEL_SIZE=128 SELECT 1 FROM t").unwrap(),
+            Request::Submit {
+                sql: "SELECT 1 FROM t".into(),
+                timeout_ms: None,
+                parallelism: None,
+                estimators: None,
+                morsel_size: Some(128),
+            }
+        );
+        assert!(Request::parse("SUBMIT MORSEL_SIZE=0 SELECT 1 FROM t").is_err());
+        assert!(Request::parse("SUBMIT MORSEL_SIZE=x SELECT 1 FROM t").is_err());
+        assert!(Request::parse("SUBMIT MORSEL_SIZE=1 MORSEL_SIZE=1 SELECT 1 FROM t").is_err());
+        // HELLO must advertise the field so clients can gate on it.
+        assert!(hello_line().contains("MORSEL_SIZE"));
     }
 
     #[test]

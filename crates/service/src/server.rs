@@ -221,12 +221,14 @@ fn handle_connection(
                 timeout_ms,
                 parallelism,
                 estimators,
+                morsel_size,
             }) => {
                 let opts = SubmitOptions {
                     timeout: timeout_ms.map(Duration::from_millis),
                     faults: None,
                     parallelism,
                     estimators,
+                    morsel_size,
                 };
                 match service.submit_with(&sql, opts) {
                     Ok(id) => format!("OK {id}"),

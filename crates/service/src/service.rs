@@ -155,6 +155,12 @@ pub struct SubmitOptions {
     /// submit time against the [`qp_progress::estimators`] registry);
     /// falls back to [`ESTIMATORS`] when `None`.
     pub estimators: Option<String>,
+    /// Rows per work-stealing morsel for this query's parallel scans
+    /// (`qp_exec::ExecTuning::morsel_rows`); falls back to the executor
+    /// default when `None`. Results-neutral by construction — the knob
+    /// only changes how work is scheduled. Rejected at submit time if
+    /// zero.
+    pub morsel_size: Option<usize>,
 }
 
 /// Why a `SUBMIT` was rejected.
@@ -218,6 +224,8 @@ struct Job {
     faults: Option<FaultPlan>,
     /// Validated estimator CSV (`None` = service default suite).
     estimators: Option<String>,
+    /// Per-query morsel size override (`None` = executor default).
+    morsel_size: Option<usize>,
 }
 
 struct ServiceInner {
@@ -328,6 +336,11 @@ impl QueryService {
                 "parallelism must be at least 1".into(),
             ));
         }
+        if opts.morsel_size == Some(0) {
+            return Err(SubmitError::BadRequest(
+                "morsel size must be at least 1".into(),
+            ));
+        }
         let estimator_names: Vec<&'static str> = match &opts.estimators {
             Some(csv) => qp_progress::parse_suite(csv)
                 .map_err(SubmitError::BadRequest)?
@@ -386,6 +399,7 @@ impl QueryService {
             plan,
             faults,
             estimators: opts.estimators,
+            morsel_size: opts.morsel_size,
         }) {
             Ok(()) => {
                 self.inner
@@ -550,6 +564,7 @@ fn run_job(inner: &ServiceInner, job: Job) {
         plan,
         faults,
         estimators,
+        morsel_size,
     } = job;
     if !session.begin_running() {
         // Cancelled while queued: the session is already terminal.
@@ -581,11 +596,16 @@ fn run_job(inner: &ServiceInner, job: Job) {
     // The deadline starts ticking now, not at submission: the budget is
     // execution time, checked at the executor's instrumented getnext
     // point — the same place cancellation is honoured.
+    let mut tuning = qp_exec::ExecTuning::default();
+    if let Some(morsel_rows) = morsel_size {
+        tuning.morsel_rows = morsel_rows;
+    }
     let controls = RunControls {
         cancel: session.cancel_token().clone(),
         deadline: session.timeout().map(|t| Instant::now() + t),
         faults,
         obs: session.obs().cloned(),
+        tuning,
     };
 
     // Panic isolation: a panicking plan (injected or real) must kill its

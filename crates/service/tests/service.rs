@@ -499,3 +499,82 @@ fn parallel_sessions_match_serial_and_pick_their_estimators() {
 
     server.shutdown();
 }
+
+#[test]
+fn morsel_size_field_round_trips_and_stays_results_neutral() {
+    use qp_service::{SubmitError, SubmitOptions};
+
+    let db = tpch(0.005);
+    let stats = Arc::new(DbStats::build(&db));
+    let service = Arc::new(QueryService::with_stats(
+        Arc::clone(&db),
+        Arc::clone(&stats),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    ));
+
+    // In-process: the morsel size is a scheduling knob only — any value,
+    // from one-row morsels to a single whole-table morsel, must leave
+    // rows and total(Q) byte-identical to the serial run.
+    let sql = "SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < 10";
+    let (rows, total) = run_serial(sql, &db, &stats);
+    for morsel_size in [1usize, 7, 1024, usize::MAX] {
+        let id = service
+            .submit_with(
+                sql,
+                SubmitOptions {
+                    parallelism: Some(4),
+                    morsel_size: Some(morsel_size),
+                    ..SubmitOptions::default()
+                },
+            )
+            .expect("admitted");
+        assert_eq!(service.wait(id), Some(QueryState::Finished));
+        let result = service.result(id).expect("retained");
+        assert_eq!(
+            result.rows.as_slice(),
+            rows.as_slice(),
+            "MORSEL_SIZE={morsel_size} rows differ"
+        );
+        assert_eq!(
+            result.total_getnext, total,
+            "MORSEL_SIZE={morsel_size} total(Q) differs"
+        );
+    }
+
+    // A zero morsel size is rejected synchronously — no session spent.
+    assert!(matches!(
+        service.submit_with(
+            sql,
+            SubmitOptions {
+                morsel_size: Some(0),
+                ..SubmitOptions::default()
+            },
+        ),
+        Err(SubmitError::BadRequest(_))
+    ));
+
+    // Over the wire: HELLO advertises MORSEL_SIZE so clients can gate on
+    // it, and a SUBMIT carrying the field round-trips to the serial
+    // answer. Bad values are an ERR at SUBMIT time.
+    let mut server = ProgressServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
+    let mut client = ServiceClient::connect(server.local_addr()).expect("connects");
+    let hello = client.hello().expect("hello");
+    assert!(hello.contains("MORSEL_SIZE"), "hello: {hello}");
+
+    let id = client
+        .submit_with_fields("PARALLELISM=4 MORSEL_SIZE=1", sql)
+        .unwrap()
+        .expect("admitted");
+    assert_eq!(service.wait(id), Some(QueryState::Finished));
+    let result = service.result(id).expect("retained");
+    assert_eq!(result.rows.as_slice(), rows.as_slice());
+    assert_eq!(result.total_getnext, total);
+
+    let err = client.submit_with_fields("MORSEL_SIZE=0", sql).unwrap();
+    assert!(err.is_err(), "MORSEL_SIZE=0 must be rejected");
+
+    server.shutdown();
+}

@@ -28,6 +28,7 @@
 pub mod btree;
 pub mod catalog;
 pub mod error;
+pub mod morsel;
 pub mod row;
 pub mod schema;
 pub mod table;
@@ -36,6 +37,7 @@ pub mod value;
 pub use btree::BTreeIndex;
 pub use catalog::{Database, IndexMeta};
 pub use error::{StorageError, StorageResult};
+pub use morsel::{Morsel, MorselDispenser};
 pub use row::Row;
 pub use schema::{Column, ColumnType, Schema};
 pub use table::{RowId, Table};

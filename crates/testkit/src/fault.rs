@@ -145,6 +145,13 @@ impl FaultPlan {
     /// pass a *plan-wide* fork numbering for `p`/`n` and retire the
     /// original schedule, so no point can fire both in a fork and at its
     /// source.
+    ///
+    /// The same split is applied **twice** under morsel-driven work
+    /// stealing: once per `Exchange` (worker ordinal `e` of `E`), then
+    /// again per claimed morsel (`m` of `M`) against the exchange-level
+    /// plan. Because every morsel is claimed exactly once, the composed
+    /// split still lands each point in exactly one (worker, morsel)
+    /// execution regardless of which worker steals which morsel.
     pub fn for_partition(&self, p: usize, n: usize) -> FaultPlan {
         let n = n.max(1) as u64;
         FaultPlan::from_points(
@@ -295,6 +302,29 @@ mod tests {
                 covered,
                 plan.points().len(),
                 "n={n} must partition the plan"
+            );
+        }
+    }
+
+    #[test]
+    fn two_level_partition_split_stays_exactly_once() {
+        // Morsel-driven stealing splits twice: worker `e` of `E` at the
+        // Exchange, then morsel `m` of `M` against the worker's plan. The
+        // composition must still land every point in exactly one
+        // (worker, morsel) cell, with per-point kinds preserved.
+        let plan = FaultPlan::seeded(23, &FaultConfig::default());
+        for (workers, morsels) in [(2usize, 3usize), (4, 1), (3, 7), (1, 5)] {
+            let mut covered = 0;
+            for e in 0..workers {
+                let worker_plan = plan.for_partition(e, workers);
+                for m in 0..morsels {
+                    covered += worker_plan.for_partition(m, morsels).points().len();
+                }
+            }
+            assert_eq!(
+                covered,
+                plan.points().len(),
+                "E={workers} M={morsels} must cover the plan exactly once"
             );
         }
     }

@@ -33,6 +33,10 @@ cargo test -q --offline --test parallel_equivalence
 echo "==> parallel_speedup smoke (equivalence at degrees 1/2/4; report-only, not a perf gate)"
 cargo test -q --offline -p qp-bench --bench parallel_speedup
 
+echo "==> parallel-gate (measured speedups; disk-bound >= 2.5x at 4 workers, cpu-bound >= 1.0x at"
+echo "    degrees 2/4 when the runner has more than one core; exits non-zero on violation)"
+cargo bench --offline -q -p qp-bench --bench parallel_speedup
+
 echo "==> observability overhead gate (counters must stay within budget of bare)"
 # Full measurement: exits non-zero if the untimed counters cost more than
 # QP_OBS_BUDGET_PCT (default 5 %) vs a bare run, and refreshes

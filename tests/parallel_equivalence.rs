@@ -13,21 +13,63 @@
 //! * seeded fault injection replays the same outcome for the same seed
 //!   and degree, and a mid-flight cancel lands in `Cancelled` — never a
 //!   panic, never a wrong answer.
+//!
+//! Morsel-driven work stealing widens the matrix: every property above
+//! must also hold at every **morsel size** (one-row morsels, small, large,
+//! and one whole-table morsel) and under batched `next_batch` driving,
+//! over uniform *and* Zipf-skewed data (z ∈ {0, 1, 2} — skew is what makes
+//! morsel runtimes uneven and forces actual stealing). The checkpoint
+//! stance matches PR 5: at parallelism 1 every estimator reading is
+//! byte-identical snapshot-for-snapshot regardless of morsel/batch sizing;
+//! at higher degrees checkpoint *interleaving* may differ (workers race to
+//! the stride boundary) but Proposition 4, the `[lb, ub]` bracket, and all
+//! final counts remain exact.
 
 use qp_testkit::prop::collection;
-use qp_testkit::{prop_assert, prop_check};
+use qp_testkit::{prop_assert, prop_check, TestRng};
+use queryprogress::datagen::Zipf;
 use queryprogress::exec::executor::QueryRun;
 use queryprogress::exec::expr::{CmpOp, Expr};
 use queryprogress::exec::plan::{JoinType, Plan, PlanBuilder};
 use queryprogress::exec::{
-    parallelize, run_query, CancelToken, Counters, ExecError, ExecEvent, FaultConfig, FaultPlan,
-    Observer, RunControls,
+    parallelize, run_query, CancelToken, Counters, ExecError, ExecEvent, ExecTuning, FaultConfig,
+    FaultPlan, Observer, RunControls,
 };
-use queryprogress::progress::estimators::Pmax;
-use queryprogress::progress::monitor::run_with_progress;
+use queryprogress::progress::estimators::{Dne, Pmax, Safe};
+use queryprogress::progress::monitor::{run_with_progress, run_with_progress_controls};
 use queryprogress::stats::DbStats;
 use queryprogress::storage::{ColumnType, Database, Row, Schema, Value};
 use std::time::Duration;
+
+/// The morsel-size axis of the matrix: one-row morsels (maximum stealing),
+/// a small and a large power of two, and a single whole-table morsel
+/// (degenerates to static assignment of the entire input to one worker).
+const MORSEL_SIZES: [usize; 4] = [1, 64, 1024, usize::MAX];
+
+/// Results-neutral tuning for one matrix cell: morsel size plus a
+/// deliberately odd batch size so batch boundaries never align with
+/// morsel boundaries.
+fn tuning(morsel_rows: usize) -> ExecTuning {
+    ExecTuning {
+        morsel_rows,
+        batch_rows: 7,
+    }
+}
+
+/// Zipf-skewed table contents: `len` rows of `t(a, b)` and `u(x)` drawn
+/// from Zipf(z) over small domains. `z = 0` is uniform; `z = 2` puts most
+/// of the mass on a handful of values, which concentrates filter/join
+/// work in a few morsels and forces the other workers to steal.
+fn skewed_vals(seed: u64, z: f64, len: usize) -> (Vec<(i64, i64)>, Vec<i64>) {
+    let mut rng = TestRng::seed_from_u64(seed);
+    let za = Zipf::new(40, z);
+    let zb = Zipf::new(12, z);
+    let t_vals = (0..len)
+        .map(|_| (za.sample(&mut rng) as i64, zb.sample(&mut rng) as i64))
+        .collect();
+    let u_vals = (0..len / 2).map(|_| zb.sample(&mut rng) as i64).collect();
+    (t_vals, u_vals)
+}
 
 /// Builds a two-table database from arbitrary row contents.
 fn build_db(t_vals: &[(i64, i64)], u_vals: &[i64]) -> Database {
@@ -225,23 +267,43 @@ prop_check! {
         }
     }
 
-    /// Proposition 4 survives parallelism: at every checkpoint of a
-    /// parallel run, `pmax >= Curr/total(Q)`, with bounds bracketing the
-    /// (serial-identical) final total.
+    /// Proposition 4 survives parallelism at every morsel size: at every
+    /// checkpoint of a parallel run, `pmax >= Curr/total(Q)`, with bounds
+    /// bracketing the (serial-identical) final total.
     fn pmax_never_underestimates_under_parallelism(
         t_vals in collection::vec((0i64..30, 0i64..10), 1..100),
         u_vals in collection::vec(0i64..10, 0..120),
         shape in 0u8..7,
         threshold in 0i64..30,
         degree_sel in 0usize..3,
+        morsel_sel in 0usize..4,
     ) {
         let db = build_db(&t_vals, &u_vals);
         let stats = DbStats::build(&db);
         let plan = annotated_plan(&db, &stats, shape, threshold);
         let par = parallelize(&plan, [1usize, 2, 4][degree_sel]);
-        let (out, trace) =
-            run_with_progress(&par, &db, Some(&stats), vec![Box::new(Pmax)], Some(3)).unwrap();
+        let controls = RunControls {
+            tuning: tuning(MORSEL_SIZES[morsel_sel]),
+            ..RunControls::default()
+        };
+        let (out, trace) = run_with_progress_controls(
+            &par,
+            &db,
+            Some(&stats),
+            vec![Box::new(Pmax)],
+            Some(3),
+            controls,
+        )
+        .unwrap();
         let total = out.total_getnext;
+        let (serial, _) = run_query(&plan, &db, None).unwrap();
+        prop_assert!(out.rows == serial.rows, "rows diverge from serial");
+        prop_assert!(
+            total == serial.total_getnext,
+            "total(Q) {} != serial {}",
+            total,
+            serial.total_getnext
+        );
         for snap in trace.snapshots() {
             let prog = snap.curr as f64 / total.max(1) as f64;
             prop_assert!(snap.lb <= total.max(1), "lb {} > total {}", snap.lb, total);
@@ -257,15 +319,17 @@ prop_check! {
         }
     }
 
-    /// Seeded fault injection is deterministic under parallelism: the
-    /// same seed and degree replay the exact same outcome — rows, error,
-    /// or panic — because partition fault schedules key on the
-    /// partition-local getnext clock, not wall-clock interleaving.
+    /// Seeded fault injection is deterministic under parallelism at every
+    /// morsel size: the same seed, degree, and morsel size replay the
+    /// exact same outcome — rows, error, or panic — because fault
+    /// schedules key on the morsel-local getnext clock, not wall-clock
+    /// interleaving or which worker stole the morsel.
     fn seeded_faults_replay_identically(
         t_vals in collection::vec((0i64..30, 0i64..8), 1..80),
         u_vals in collection::vec(0i64..8, 0..80),
         shape in 0u8..7,
         degree_sel in 0usize..3,
+        morsel_sel in 0usize..4,
         seed in 0u64..1_000_000,
     ) {
         let db = build_db(&t_vals, &u_vals);
@@ -282,6 +346,7 @@ prop_check! {
         };
         let controls = |faults: FaultPlan| RunControls {
             faults: Some(faults),
+            tuning: tuning(MORSEL_SIZES[morsel_sel]),
             ..RunControls::default()
         };
         let first = run_outcome(&par, &db, controls(FaultPlan::seeded(seed, &cfg)));
@@ -295,6 +360,132 @@ prop_check! {
         if let Outcome::Rows(rows) = &first {
             let (serial, _) = run_query(&plan, &db, None).unwrap();
             prop_assert!(*rows == serial.rows, "fault survivor returned wrong rows");
+        }
+    }
+}
+
+prop_check! {
+    cases = 12,
+
+    /// The tentpole matrix: seeds × degrees {1, 2, 4} × skew z ∈
+    /// {0, 1, 2} × morsel sizes {1, 64, 1024, whole-table}, driven through
+    /// the batched `next_batch` path (odd batch size 7). Every cell must
+    /// reproduce the serial run byte-for-byte: rows, per-node counters,
+    /// `total(Q)`, and zero getnext calls on the `Exchange` nodes. Skewed
+    /// data makes morsel runtimes uneven, so high-z cells actually steal.
+    fn morsel_matrix_matches_serial_exactly(
+        seed in 0u64..1_000_000,
+        shape in 0u8..7,
+        z_sel in 0usize..3,
+        threshold in 1i64..40,
+    ) {
+        let z = [0.0, 1.0, 2.0][z_sel];
+        let (t_vals, u_vals) = skewed_vals(seed, z, 120);
+        let db = build_db(&t_vals, &u_vals);
+        let stats = DbStats::build(&db);
+        let plan = annotated_plan(&db, &stats, shape, threshold);
+        let (serial, _) = run_query(&plan, &db, None).unwrap();
+        for degree in [1usize, 2, 4] {
+            let par = parallelize(&plan, degree);
+            for morsel in MORSEL_SIZES {
+                let controls = RunControls {
+                    tuning: tuning(morsel),
+                    ..RunControls::default()
+                };
+                let mut run = QueryRun::with_controls(&par, &db, controls).unwrap();
+                let rows = run.run().unwrap();
+                let counts = run.context().counters().snapshot();
+                let total = run.context().counters().total();
+                prop_assert!(
+                    rows == serial.rows,
+                    "rows diverge at degree {degree} morsel {morsel} z {z} (shape {shape})"
+                );
+                prop_assert!(
+                    total == serial.total_getnext,
+                    "total(Q) {} != serial {} at degree {degree} morsel {morsel}",
+                    total,
+                    serial.total_getnext
+                );
+                prop_assert!(
+                    counts[..plan.len()] == serial.node_counts[..],
+                    "per-node counters diverge at degree {degree} morsel {morsel} z {z}"
+                );
+                for (id, &c) in counts.iter().enumerate().skip(plan.len()) {
+                    prop_assert!(c == 0, "Exchange node {id} counted {c} getnext calls");
+                }
+            }
+        }
+    }
+
+    /// At parallelism 1 the checkpoint stream itself is deterministic, so
+    /// the claim sharpens to snapshot-for-snapshot **byte equality**: for
+    /// every morsel size and batch size, every `dne`/`pmax`/`safe`
+    /// reading, every `Curr`, and every `[lb, ub]` bound is bit-identical
+    /// to the default-tuning trace. Tuning is a schedule knob, not a
+    /// semantics knob.
+    fn degree_one_checkpoints_are_byte_identical_across_tuning(
+        seed in 0u64..1_000_000,
+        shape in 0u8..7,
+        z_sel in 0usize..3,
+        threshold in 1i64..40,
+    ) {
+        use queryprogress::progress::ProgressEstimator;
+        let z = [0.0, 1.0, 2.0][z_sel];
+        let (t_vals, u_vals) = skewed_vals(seed, z, 90);
+        let db = build_db(&t_vals, &u_vals);
+        let stats = DbStats::build(&db);
+        let plan = annotated_plan(&db, &stats, shape, threshold);
+        let suite = || -> Vec<Box<dyn ProgressEstimator>> {
+            vec![Box::new(Dne), Box::new(Pmax), Box::new(Safe)]
+        };
+        let (ref_out, ref_trace) =
+            run_with_progress(&plan, &db, Some(&stats), suite(), Some(3)).unwrap();
+        for morsel in MORSEL_SIZES {
+            for batch in [1usize, 7, 256] {
+                let controls = RunControls {
+                    tuning: ExecTuning {
+                        morsel_rows: morsel,
+                        batch_rows: batch,
+                    },
+                    ..RunControls::default()
+                };
+                let (out, trace) = run_with_progress_controls(
+                    &plan,
+                    &db,
+                    Some(&stats),
+                    suite(),
+                    Some(3),
+                    controls,
+                )
+                .unwrap();
+                prop_assert!(out.rows == ref_out.rows, "rows diverge at {morsel}/{batch}");
+                prop_assert!(
+                    out.total_getnext == ref_out.total_getnext,
+                    "total(Q) diverges at {morsel}/{batch}"
+                );
+                let (a, b) = (ref_trace.snapshots(), trace.snapshots());
+                prop_assert!(
+                    a.len() == b.len(),
+                    "checkpoint count {} != {} at {morsel}/{batch}",
+                    a.len(),
+                    b.len()
+                );
+                for (i, (sa, sb)) in a.iter().zip(b).enumerate() {
+                    prop_assert!(
+                        (sa.curr, sa.lb, sa.ub) == (sb.curr, sb.lb, sb.ub),
+                        "checkpoint {i} (curr, lb, ub) diverges at {morsel}/{batch}"
+                    );
+                    let bits =
+                        |e: &[f64]| e.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                    prop_assert!(
+                        bits(&sa.estimates) == bits(&sb.estimates),
+                        "checkpoint {i} estimator readings diverge at {morsel}/{batch}: \
+                         {:?} vs {:?}",
+                        sa.estimates,
+                        sb.estimates
+                    );
+                }
+            }
         }
     }
 }
@@ -325,12 +516,21 @@ fn mid_flight_cancel_lands_in_cancelled() {
     for shape in 0u8..7 {
         let plan = annotated_plan(&db, &stats, shape, 20);
         let par = parallelize(&plan, 4);
-        let token = CancelToken::new();
-        let mut run = QueryRun::with_cancel(&par, &db, token.clone()).unwrap();
-        run.set_observer(Box::new(CancelAt { token, at: 25 }));
-        match run.run() {
-            Err(ExecError::Cancelled) => {}
-            other => panic!("shape {shape}: expected Cancelled, got {other:?}"),
+        for morsel in MORSEL_SIZES {
+            let token = CancelToken::new();
+            let controls = RunControls {
+                cancel: token.clone(),
+                tuning: tuning(morsel),
+                ..RunControls::default()
+            };
+            let mut run = QueryRun::with_controls(&par, &db, controls).unwrap();
+            run.set_observer(Box::new(CancelAt { token, at: 25 }));
+            match run.run() {
+                Err(ExecError::Cancelled) => {}
+                other => {
+                    panic!("shape {shape} morsel {morsel}: expected Cancelled, got {other:?}")
+                }
+            }
         }
     }
 }
@@ -386,4 +586,63 @@ fn seeded_fault_fires_exactly_once_in_a_parallel_run() {
         fired, 1,
         "one scheduled delay must fire exactly once (not re-fired at the root)"
     );
+}
+
+/// Work-stealing determinism regression: seeded `Delay` faults act as
+/// adversarial worker-start jitter — they stall whichever worker draws
+/// them, reshuffling which worker claims which morsel between runs. Two
+/// runs with the same seed must nonetheless report identical rows,
+/// identical per-node getnext counters, identical `total(Q)`, and an
+/// identical per-node fault-fire census (via the observability counters):
+/// the *schedule* is allowed to differ, the *accounting* is not.
+#[test]
+fn adversarial_start_jitter_cannot_change_counters_or_fault_firing() {
+    use queryprogress::obs::QueryObs;
+    use std::sync::Arc;
+
+    // High skew concentrates matching rows in few morsels, so jitter
+    // actually changes the steal pattern between runs.
+    let (t_vals, u_vals) = skewed_vals(7, 2.0, 400);
+    let db = build_db(&t_vals, &u_vals);
+    let plan = build_plan(&db, 0, 10); // filter over scan: fans out
+    let par = parallelize(&plan, 4);
+    assert!(par.len() > plan.len(), "shape must actually fan out");
+
+    // Delay-only plan: jitter without changing results.
+    let cfg = FaultConfig {
+        horizon: 300,
+        exec_errors: 0,
+        storage_errors: 0,
+        panics: 0,
+        delays: 6,
+        delay: Duration::from_micros(200),
+    };
+    let run_once = |seed: u64| {
+        let obs = QueryObs::new(0, par.op_labels(), false, None);
+        let controls = RunControls {
+            faults: Some(FaultPlan::seeded(seed, &cfg)),
+            obs: Some(Arc::clone(&obs)),
+            tuning: tuning(16),
+            ..RunControls::default()
+        };
+        let mut run = QueryRun::with_controls(&par, &db, controls).unwrap();
+        let rows = run.run().unwrap();
+        let counts = run.context().counters().snapshot();
+        let total = run.context().counters().total();
+        let fault_census: Vec<u64> = (0..par.len()).map(|i| obs.node(i).faults).collect();
+        (rows, counts, total, fault_census)
+    };
+
+    let first = run_once(33);
+    let second = run_once(33);
+    assert_eq!(first, second, "same seed must replay the same accounting");
+
+    let fired: u64 = first.3.iter().sum();
+    assert!(fired > 0, "the jitter plan must actually fire delays");
+
+    // And the jittered runs still return the serial answer exactly.
+    let (serial, _) = run_query(&plan, &db, None).unwrap();
+    assert_eq!(first.0, serial.rows);
+    assert_eq!(first.2, serial.total_getnext);
+    assert_eq!(&first.1[..plan.len()], &serial.node_counts[..]);
 }
