@@ -30,12 +30,14 @@
 //! from the `qp_progress::estimators` registry (the same names the wire
 //! protocol's `ESTIMATORS=` field accepts); unknown names abort up front.
 
-use qp_bench::experiments::{ablations, chaos, extensions, figures, tables, theory, trace_export};
+use qp_bench::experiments::{
+    ablations, chaos, extensions, figures, pagecache, tables, theory, trace_export,
+};
 use qp_bench::Scale;
 
 /// `(name, what it reproduces)` — the full experiment table, also printed
 /// by `--list`.
-const EXPERIMENTS: [(&str, &str); 21] = [
+const EXPERIMENTS: [(&str, &str); 22] = [
     ("fig3", "Figure 3: estimator traces, scan-based query"),
     ("fig4", "Figure 4: estimator traces, TPC-H join query"),
     ("fig5", "Figure 5: estimator traces under skew"),
@@ -71,6 +73,10 @@ const EXPERIMENTS: [(&str, &str); 21] = [
     (
         "trace",
         "Observability: per-query estimator trajectories as JSONL (--csv <dir>)",
+    ),
+    (
+        "pagecache",
+        "Section 7: estimator error vs buffer-pool hit rate (paged backend)",
     ),
 ];
 
@@ -207,6 +213,13 @@ fn main() {
             }
             "trace" => {
                 let result = trace_export::trace(&scale, csv_dir.as_deref(), estimators);
+                print!("{}", result.render());
+                if !result.passed() {
+                    std::process::exit(1);
+                }
+            }
+            "pagecache" => {
+                let result = pagecache::pagecache(&scale);
                 print!("{}", result.render());
                 if !result.passed() {
                     std::process::exit(1);

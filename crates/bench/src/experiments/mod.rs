@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod chaos;
 pub mod extensions;
 pub mod figures;
+pub mod pagecache;
 pub mod tables;
 pub mod theory;
 pub mod trace_export;

@@ -19,6 +19,12 @@ use std::sync::Arc;
 /// One recorded instant.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
+    /// Wall-clock nanoseconds since the monitor was created. The paged
+    /// experiments use this to compute *time-fraction* true progress —
+    /// when GetNexts stop costing uniform time (buffer-pool misses), the
+    /// getnext fraction and the time fraction diverge, and this field is
+    /// what exposes the gap.
+    pub at_ns: u64,
     /// `Curr` at the instant.
     pub curr: u64,
     /// `LB` at the instant.
@@ -48,6 +54,8 @@ pub struct ProgressMonitor {
     /// Live checkpoint ring the `TRACE` endpoint reads while the query
     /// still runs.
     trace_sink: Option<Arc<TraceBuffer>>,
+    /// Monitor creation time; every snapshot stamps its offset from it.
+    started: std::time::Instant,
 }
 
 impl ProgressMonitor {
@@ -78,6 +86,7 @@ impl ProgressMonitor {
             degraded: false,
             recorder: None,
             trace_sink: None,
+            started: std::time::Instant::now(),
         }
     }
 
@@ -157,6 +166,7 @@ impl ProgressMonitor {
             }
         }
         let snap = Snapshot {
+            at_ns: self.started.elapsed().as_nanos() as u64,
             curr: self.curr,
             lb,
             ub,

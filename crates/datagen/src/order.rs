@@ -64,9 +64,9 @@ pub fn order_permutation(
         RowOrder::SortedAsc | RowOrder::SortedDesc => {
             let mut idx: Vec<usize> = (0..n).collect();
             idx.sort_by(|&a, &b| {
-                let va = table.row(a as u64).get(col);
-                let vb = table.row(b as u64).get(col);
-                va.cmp(vb).then(a.cmp(&b))
+                let ra = table.row(a as u64);
+                let rb = table.row(b as u64);
+                ra.get(col).cmp(rb.get(col)).then(a.cmp(&b))
             });
             if order == RowOrder::SortedDesc {
                 idx.reverse();

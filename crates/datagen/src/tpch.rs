@@ -162,6 +162,15 @@ impl SkewedFk {
 }
 
 impl TpchDb {
+    /// Bulk-loads the generated database into `dir` as page files (one
+    /// `.qpt` + WAL per table, plus a `MANIFEST`), each table written as
+    /// a single committed WAL transaction. Reopen with
+    /// [`qp_storage::paged::open_database`] to run the same queries
+    /// through the buffer pool.
+    pub fn save_paged(&self, dir: &std::path::Path) -> qp_storage::StorageResult<()> {
+        qp_storage::paged::save_database(&self.db, dir)
+    }
+
     /// Generates the database.
     pub fn generate(config: TpchConfig) -> TpchDb {
         let mut rng = seeded(config.seed);

@@ -315,7 +315,17 @@ fn subtree_dispenser(
         match &data.kind {
             PlanNode::Filter { .. } | PlanNode::Project { .. } => id = data.children[0],
             PlanNode::SeqScan { table, .. } => {
-                return Ok(MorselDispenser::new(db.table(table)?.len(), morsel_rows))
+                let t = db.table(table)?;
+                // Align morsels to page boundaries on paged tables so no
+                // two workers contend for (and re-fault) the same page.
+                let morsel_rows = match t.page_rows() {
+                    Some(per_page) if per_page > 0 => {
+                        let per_page = per_page as usize;
+                        morsel_rows.div_ceil(per_page).saturating_mul(per_page)
+                    }
+                    _ => morsel_rows,
+                };
+                return Ok(MorselDispenser::new(t.len(), morsel_rows));
             }
             PlanNode::IndexRangeScan { .. } => return Ok(MorselDispenser::unbound(morsel_rows)),
             other => {

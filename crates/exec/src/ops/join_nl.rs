@@ -208,7 +208,7 @@ impl Operator for IndexNestedLoopsOp {
                 let rid = self.matches[self.match_pos];
                 self.match_pos += 1;
                 let inner = self.inner_table.row(rid);
-                let combined = outer.concat(inner);
+                let combined = outer.concat(&inner);
                 if let Some(resid) = &self.residual {
                     if !resid.eval_bool(&combined)? {
                         continue;

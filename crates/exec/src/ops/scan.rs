@@ -51,7 +51,7 @@ impl Operator for SeqScanOp {
 
     fn next(&mut self) -> ExecResult<Option<Row>> {
         if self.pos < self.end {
-            let row = self.table.row(self.pos as RowId).clone();
+            let row = self.table.row(self.pos as RowId);
             self.pos += 1;
             Ok(Some(row))
         } else {
@@ -66,7 +66,7 @@ impl Operator for SeqScanOp {
         let take = max.min(self.end - self.pos);
         out.reserve(take);
         for rid in self.pos..self.pos + take {
-            out.push(self.table.row(rid as RowId).clone());
+            out.push(self.table.row(rid as RowId));
         }
         self.pos += take;
         Ok(self.pos < self.end)
@@ -150,7 +150,7 @@ impl Operator for IndexRangeScanOp {
 
     fn next(&mut self) -> ExecResult<Option<Row>> {
         if self.pos < self.rids.len() {
-            let row = self.table.row(self.rids[self.pos]).clone();
+            let row = self.table.row(self.rids[self.pos]);
             self.pos += 1;
             Ok(Some(row))
         } else {
@@ -165,7 +165,7 @@ impl Operator for IndexRangeScanOp {
         let take = max.min(self.rids.len() - self.pos);
         out.reserve(take);
         for &rid in &self.rids[self.pos..self.pos + take] {
-            out.push(self.table.row(rid).clone());
+            out.push(self.table.row(rid));
         }
         self.pos += take;
         Ok(self.pos < self.rids.len())
@@ -267,7 +267,7 @@ impl Operator for MorselSeqScanOp {
     fn next(&mut self) -> ExecResult<Option<Row>> {
         loop {
             if self.cursor.pos < self.cursor.end {
-                let row = self.table.row(self.cursor.pos as RowId).clone();
+                let row = self.table.row(self.cursor.pos as RowId);
                 self.cursor.pos += 1;
                 return Ok(Some(row));
             }
@@ -287,7 +287,7 @@ impl Operator for MorselSeqScanOp {
         let take = max.min(self.cursor.end - self.cursor.pos);
         out.reserve(take);
         for rid in self.cursor.pos..self.cursor.pos + take {
-            out.push(self.table.row(rid as RowId).clone());
+            out.push(self.table.row(rid as RowId));
         }
         self.cursor.pos += take;
         Ok(true)
@@ -356,7 +356,7 @@ impl Operator for MorselIndexScanOp {
     fn next(&mut self) -> ExecResult<Option<Row>> {
         loop {
             if self.cursor.pos < self.cursor.end {
-                let row = self.table.row(self.rids[self.cursor.pos]).clone();
+                let row = self.table.row(self.rids[self.cursor.pos]);
                 self.cursor.pos += 1;
                 return Ok(Some(row));
             }
@@ -375,7 +375,7 @@ impl Operator for MorselIndexScanOp {
         let take = max.min(self.cursor.end - self.cursor.pos);
         out.reserve(take);
         for &rid in &self.rids[self.cursor.pos..self.cursor.pos + take] {
-            out.push(self.table.row(rid).clone());
+            out.push(self.table.row(rid));
         }
         self.cursor.pos += take;
         Ok(true)

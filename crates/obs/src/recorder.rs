@@ -43,6 +43,9 @@ pub enum EventKind {
     /// Cooperative cancellation was observed by the executor. `a` = the
     /// getnext index, `b` = the plan node.
     CancelObserved = 6,
+    /// The buffer pool evicted a page to make room for a miss. `a` = the
+    /// owning pager's tag, `b` = the evicted page id.
+    PageEvicted = 7,
 }
 
 impl EventKind {
@@ -56,6 +59,7 @@ impl EventKind {
             EventKind::FaultInjected => "fault_injected",
             EventKind::DeadlineExceeded => "deadline_exceeded",
             EventKind::CancelObserved => "cancel_observed",
+            EventKind::PageEvicted => "page_evicted",
         }
     }
 
@@ -68,6 +72,7 @@ impl EventKind {
             4 => EventKind::FaultInjected,
             5 => EventKind::DeadlineExceeded,
             6 => EventKind::CancelObserved,
+            7 => EventKind::PageEvicted,
             _ => return None,
         })
     }
@@ -98,7 +103,7 @@ pub struct FlightRecorder {
     start: Instant,
     ring: RawRing,
     /// Events recorded per kind (index = discriminant), for METRICS.
-    per_kind: [AtomicU64; 7],
+    per_kind: [AtomicU64; 8],
 }
 
 /// Payload layout: `[t_micros, query, kind, a, b]`.

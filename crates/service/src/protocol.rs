@@ -46,7 +46,8 @@ pub const VERBS: [&str; 8] = [
 /// test). [`help_text`] is generated from this table.
 const VERB_USAGE: [&str; 8] = [
     "HELLO — protocol version and capability list",
-    "SUBMIT [TIMEOUT_MS=<n>] [PARALLELISM=<n>] [ESTIMATORS=<csv>] [MORSEL_SIZE=<n>] <sql> — run \
+    "SUBMIT [TIMEOUT_MS=<n>] [PARALLELISM=<n>] [ESTIMATORS=<csv>] [MORSEL_SIZE=<n>] \
+     [PAGE_CACHE_FRAMES=<n>] <sql> — run \
      a query",
     "STATUS <id> — one-line progress/health report",
     "LIST — all sessions with state and health",
@@ -58,7 +59,13 @@ const VERB_USAGE: [&str; 8] = [
 
 /// Optional `KEY=` fields accepted (in any order) at the front of a
 /// `SUBMIT` body, advertised by `HELLO`.
-pub const SUBMIT_FIELDS: [&str; 4] = ["TIMEOUT_MS", "PARALLELISM", "ESTIMATORS", "MORSEL_SIZE"];
+pub const SUBMIT_FIELDS: [&str; 5] = [
+    "TIMEOUT_MS",
+    "PARALLELISM",
+    "ESTIMATORS",
+    "MORSEL_SIZE",
+    "PAGE_CACHE_FRAMES",
+];
 
 /// Machine-readable error classes: every `ERR` reply is
 /// `ERR <CODE> <message>` with `<CODE>` from this enum, so clients can
@@ -125,8 +132,8 @@ pub enum Request {
     /// `HELLO` — capability discovery.
     Hello,
     /// `SUBMIT [TIMEOUT_MS=<n>] [PARALLELISM=<n>] [ESTIMATORS=<csv>]
-    /// [MORSEL_SIZE=<n>] <sql…>` — everything after the verb and the
-    /// leading option fields is the SQL text.
+    /// [MORSEL_SIZE=<n>] [PAGE_CACHE_FRAMES=<n>] <sql…>` — everything
+    /// after the verb and the leading option fields is the SQL text.
     Submit {
         sql: String,
         /// Execution-time budget in milliseconds; `None` uses the
@@ -141,6 +148,11 @@ pub enum Request {
         /// Rows per work-stealing morsel for parallel scans; `None` uses
         /// the executor default. Results-neutral (scheduling only).
         morsel_size: Option<usize>,
+        /// Buffer-pool frame count to resize the paged backend's cache
+        /// to before running; `None` leaves the pool as-is. Rejected
+        /// when the database has no paged tables. Results-neutral
+        /// (caching only) — it moves *time*, never rows.
+        page_cache_frames: Option<usize>,
     },
     /// `STATUS <id>`
     Status(QueryId),
@@ -176,6 +188,7 @@ impl Request {
                         parallelism: fields.parallelism,
                         estimators: fields.estimators,
                         morsel_size: fields.morsel_size,
+                        page_cache_frames: fields.page_cache_frames,
                     })
                 }
             }
@@ -247,6 +260,19 @@ impl Request {
                 }
                 fields.morsel_size = Some(n);
                 rest = sql;
+            } else if let Some(tail) = rest.strip_prefix("PAGE_CACHE_FRAMES=") {
+                let (value, sql) = split_field(tail);
+                if fields.page_cache_frames.is_some() {
+                    return Err("duplicate PAGE_CACHE_FRAMES field".into());
+                }
+                let n = value
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad PAGE_CACHE_FRAMES value {value:?}: {e}"))?;
+                if n == 0 {
+                    return Err("PAGE_CACHE_FRAMES must be at least 1".into());
+                }
+                fields.page_cache_frames = Some(n);
+                rest = sql;
             } else if let Some(tail) = rest.strip_prefix("ESTIMATORS=") {
                 let (value, sql) = split_field(tail);
                 if fields.estimators.is_some() {
@@ -271,6 +297,7 @@ struct SubmitFields {
     parallelism: Option<usize>,
     estimators: Option<String>,
     morsel_size: Option<usize>,
+    page_cache_frames: Option<usize>,
 }
 
 /// Splits `value rest-of-line` at the first whitespace.
@@ -413,6 +440,7 @@ mod tests {
                 parallelism: None,
                 estimators: None,
                 morsel_size: None,
+                page_cache_frames: None,
             }
         );
         assert_eq!(
@@ -488,6 +516,7 @@ mod tests {
                 parallelism: None,
                 estimators: None,
                 morsel_size: None,
+                page_cache_frames: None,
             }
         );
         // Only recognised before the SQL: later occurrences are SQL.
@@ -499,6 +528,7 @@ mod tests {
                 parallelism: None,
                 estimators: None,
                 morsel_size: None,
+                page_cache_frames: None,
             }
         );
     }
@@ -511,6 +541,7 @@ mod tests {
             parallelism: Some(4),
             estimators: Some("dne,pmax".into()),
             morsel_size: Some(64),
+            page_cache_frames: None,
         };
         assert_eq!(
             Request::parse(
@@ -545,6 +576,7 @@ mod tests {
                 parallelism: None,
                 estimators: None,
                 morsel_size: Some(128),
+                page_cache_frames: None,
             }
         );
         assert!(Request::parse("SUBMIT MORSEL_SIZE=0 SELECT 1 FROM t").is_err());
@@ -552,6 +584,28 @@ mod tests {
         assert!(Request::parse("SUBMIT MORSEL_SIZE=1 MORSEL_SIZE=1 SELECT 1 FROM t").is_err());
         // HELLO must advertise the field so clients can gate on it.
         assert!(hello_line().contains("MORSEL_SIZE"));
+    }
+
+    #[test]
+    fn submit_page_cache_frames_field_parses_and_validates() {
+        assert_eq!(
+            Request::parse("SUBMIT PAGE_CACHE_FRAMES=32 SELECT 1 FROM t").unwrap(),
+            Request::Submit {
+                sql: "SELECT 1 FROM t".into(),
+                timeout_ms: None,
+                parallelism: None,
+                estimators: None,
+                morsel_size: None,
+                page_cache_frames: Some(32),
+            }
+        );
+        assert!(Request::parse("SUBMIT PAGE_CACHE_FRAMES=0 SELECT 1 FROM t").is_err());
+        assert!(Request::parse("SUBMIT PAGE_CACHE_FRAMES=x SELECT 1 FROM t").is_err());
+        assert!(
+            Request::parse("SUBMIT PAGE_CACHE_FRAMES=1 PAGE_CACHE_FRAMES=1 SELECT 1 FROM t")
+                .is_err()
+        );
+        assert!(hello_line().contains("PAGE_CACHE_FRAMES"));
     }
 
     #[test]

@@ -222,6 +222,7 @@ fn handle_connection(
                 parallelism,
                 estimators,
                 morsel_size,
+                page_cache_frames,
             }) => {
                 let opts = SubmitOptions {
                     timeout: timeout_ms.map(Duration::from_millis),
@@ -229,6 +230,7 @@ fn handle_connection(
                     parallelism,
                     estimators,
                     morsel_size,
+                    page_cache_frames,
                 };
                 match service.submit_with(&sql, opts) {
                     Ok(id) => format!("OK {id}"),

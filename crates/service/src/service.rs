@@ -161,6 +161,13 @@ pub struct SubmitOptions {
     /// only changes how work is scheduled. Rejected at submit time if
     /// zero.
     pub morsel_size: Option<usize>,
+    /// Buffer-pool frame count to resize the paged backend's cache to
+    /// before this query runs. The pool is shared database-wide, so the
+    /// new capacity persists for later queries (it is a service-level
+    /// knob exposed per-submission for experiment scripting). Rejected
+    /// at submit time if zero or if no table here is paged. Caching
+    /// only — results are backend-identical by construction.
+    pub page_cache_frames: Option<usize>,
 }
 
 /// Why a `SUBMIT` was rejected.
@@ -262,6 +269,21 @@ impl QueryService {
         QueryService::with_stats(db, stats, config)
     }
 
+    /// Opens a paged database directory (as written by
+    /// `qp_storage::paged::save_database` or `TpchDb::save_paged`) and
+    /// starts a service over it: replays every table's WAL before first
+    /// read, shares one `frames`-frame buffer pool across all tables,
+    /// and rebuilds the MANIFEST's indexes. Pool counters surface in
+    /// `METRICS`; evictions land in the flight recorder.
+    pub fn open_paged(
+        dir: &std::path::Path,
+        frames: usize,
+        config: ServiceConfig,
+    ) -> Result<QueryService, qp_storage::StorageError> {
+        let db = qp_storage::paged::open_database(dir, frames)?;
+        Ok(QueryService::new(Arc::new(db), config))
+    }
+
     /// Like [`QueryService::new`] with caller-provided statistics (e.g. to
     /// share one `DbStats` across services, or to test stale stats).
     pub fn with_stats(
@@ -279,6 +301,15 @@ impl QueryService {
             recorder: Arc::new(FlightRecorder::new(config.recorder_capacity)),
             started: Instant::now(),
         });
+        // Paged databases report evictions into the service-wide flight
+        // recorder (query 0 = not attributable to one session: the pool
+        // is shared).
+        if let Some(pool) = inner.db.buffer_pool() {
+            let recorder = Arc::clone(&inner.recorder);
+            pool.set_on_evict(Some(Arc::new(move |tag, page| {
+                recorder.record(0, EventKind::PageEvicted, tag, page);
+            })));
+        }
         // Rendezvous + queue_depth: the channel itself is the wait queue.
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
@@ -340,6 +371,19 @@ impl QueryService {
             return Err(SubmitError::BadRequest(
                 "morsel size must be at least 1".into(),
             ));
+        }
+        if let Some(frames) = opts.page_cache_frames {
+            if frames == 0 {
+                return Err(SubmitError::BadRequest(
+                    "page cache frames must be at least 1".into(),
+                ));
+            }
+            let Some(pool) = self.inner.db.buffer_pool() else {
+                return Err(SubmitError::BadRequest(
+                    "PAGE_CACHE_FRAMES needs a paged database (this one is all in-memory)".into(),
+                ));
+            };
+            pool.set_capacity(frames);
         }
         let estimator_names: Vec<&'static str> = match &opts.estimators {
             Some(csv) => qp_progress::parse_suite(csv)

@@ -28,7 +28,7 @@ use std::collections::BTreeMap;
 
 /// Every flight-recorder event kind, in discriminant order (the `METRICS`
 /// exposition emits one `qp_recorder_events_total` sample per kind).
-const EVENT_KINDS: [EventKind; 7] = [
+const EVENT_KINDS: [EventKind; 8] = [
     EventKind::SessionSubmitted,
     EventKind::StateChanged,
     EventKind::SnapshotPublished,
@@ -36,6 +36,7 @@ const EVENT_KINDS: [EventKind; 7] = [
     EventKind::FaultInjected,
     EventKind::DeadlineExceeded,
     EventKind::CancelObserved,
+    EventKind::PageEvicted,
 ];
 
 /// Every lifecycle state, for the by-state session gauge (all states are
@@ -113,6 +114,58 @@ pub fn metrics_text(service: &QueryService) -> String {
         "Flight-recorder events lost to ring wraparound.",
     )
     .sample("qp_recorder_dropped_total", &[], recorder.dropped() as f64);
+
+    // Buffer-pool and WAL telemetry for paged databases. The pool is
+    // shared database-wide, so these are service-level series (they are
+    // what the pagecache experiment's per-hit-rate table comes from).
+    if let Some(pool) = service.database().buffer_pool() {
+        let s = pool.stats();
+        let pool_counters: [(&str, &str, u64); 3] = [
+            (
+                "qp_pagecache_hits_total",
+                "Buffer-pool page requests served from a resident frame.",
+                s.hits,
+            ),
+            (
+                "qp_pagecache_misses_total",
+                "Buffer-pool page requests that had to read the page file.",
+                s.misses,
+            ),
+            (
+                "qp_pagecache_evictions_total",
+                "Pages evicted to make room for a miss.",
+                s.evictions,
+            ),
+        ];
+        for (name, help, v) in pool_counters {
+            p.family(name, "counter", help).sample(name, &[], v as f64);
+        }
+        p.family(
+            "qp_pagecache_frames",
+            "gauge",
+            "Buffer-pool capacity in frames (SUBMIT PAGE_CACHE_FRAMES= resizes it).",
+        )
+        .sample("qp_pagecache_frames", &[], s.capacity as f64);
+        p.family(
+            "qp_pagecache_resident",
+            "gauge",
+            "Frames currently holding a page.",
+        )
+        .sample("qp_pagecache_resident", &[], s.resident as f64);
+    }
+    let (wal_bytes, wal_fsyncs) = qp_storage::wal_stats();
+    p.family(
+        "qp_wal_bytes_total",
+        "counter",
+        "Bytes appended to write-ahead logs, process-wide.",
+    )
+    .sample("qp_wal_bytes_total", &[], wal_bytes as f64);
+    p.family(
+        "qp_wal_fsyncs_total",
+        "counter",
+        "WAL fsync calls (one per committed transaction), process-wide.",
+    )
+    .sample("qp_wal_fsyncs_total", &[], wal_fsyncs as f64);
 
     // Per-operator counters, aggregated across every retained session's
     // QueryObs by operator kind. Sessions are never evicted, so these
@@ -259,6 +312,7 @@ fn event_line(e: &Event) -> Obj {
         EventKind::DeadlineExceeded | EventKind::CancelObserved => {
             o.u64("getnext", e.a).u64("node", e.b)
         }
+        EventKind::PageEvicted => o.u64("pager", e.a).u64("page", e.b),
     }
 }
 

@@ -37,9 +37,12 @@ impl TableStats {
     /// Builds statistics for a table with `buckets` histogram buckets per
     /// column.
     pub fn build(table: &Table, buckets: usize) -> TableStats {
+        // Materialize once through `scan` so stats work over any backend
+        // (heap or paged) without holding page pins across the pass.
+        let rows: Vec<_> = table.scan().map(|(_, r)| r).collect();
         let mut columns = Vec::with_capacity(table.schema().arity());
         for (ci, col) in table.schema().columns().iter().enumerate() {
-            let values: Vec<&Value> = table.rows().iter().map(|r| r.get(ci)).collect();
+            let values: Vec<&Value> = rows.iter().map(|r| r.get(ci)).collect();
             let histogram = Histogram::equi_depth(values.iter().copied(), buckets);
             let mut non_null: Vec<&Value> =
                 values.iter().copied().filter(|v| !v.is_null()).collect();

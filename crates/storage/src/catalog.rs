@@ -32,12 +32,28 @@ pub struct IndexMeta {
 pub struct Database {
     tables: BTreeMap<String, Arc<Table>>,
     indexes: BTreeMap<String, Arc<IndexMeta>>,
+    /// The buffer pool shared by every paged table of this database
+    /// (`None` for pure in-memory databases).
+    pool: Option<Arc<qp_pager::BufferPool>>,
 }
 
 impl Database {
     /// Creates an empty database.
     pub fn new() -> Database {
         Database::default()
+    }
+
+    /// Attaches the buffer pool that this database's paged tables read
+    /// through. Set by `paged::open_database`.
+    pub fn set_buffer_pool(&mut self, pool: Arc<qp_pager::BufferPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// The shared buffer pool, if any table here is paged. Services use
+    /// this to resize the pool (`SUBMIT PAGE_CACHE_FRAMES=`) and to
+    /// export hit/miss/eviction counters through METRICS.
+    pub fn buffer_pool(&self) -> Option<&Arc<qp_pager::BufferPool>> {
+        self.pool.as_ref()
     }
 
     /// Adds a fully-built table to the catalog.
@@ -141,6 +157,12 @@ impl Database {
         self.indexes
             .insert(index_name.to_string(), Arc::clone(&meta));
         Ok(meta)
+    }
+
+    /// All index metadata, in name order (used by the persistence layer
+    /// to record index definitions in the database MANIFEST).
+    pub fn index_metas(&self) -> impl Iterator<Item = &Arc<IndexMeta>> {
+        self.indexes.values()
     }
 
     /// Looks up an index by name.

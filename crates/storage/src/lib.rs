@@ -21,14 +21,19 @@
 //! * a [`Database`] catalog tying tables, indexes and their metadata
 //!   together.
 //!
-//! Everything is in-memory and single-threaded: the paper's *GetNext* model
-//! of work treats query execution as a **serial** sequence of `getnext`
-//! calls (Section 2.2), so a serial engine reproduces the model exactly.
+//! Tables come in two backends behind one interface: in-memory heaps
+//! (the default) and **paged** tables whose rows live in slotted page
+//! files read through a shared `qp-pager` buffer pool (see [`paged`]).
+//! Query results are byte-identical across backends; only the *cost* of
+//! a row read differs — which is the paper's Section 7 "uniformity of
+//! work per GetNext" caveat, finally measurable.
 
 pub mod btree;
 pub mod catalog;
+pub mod codec;
 pub mod error;
 pub mod morsel;
+pub mod paged;
 pub mod row;
 pub mod schema;
 pub mod table;
@@ -38,6 +43,7 @@ pub use btree::BTreeIndex;
 pub use catalog::{Database, IndexMeta};
 pub use error::{StorageError, StorageResult};
 pub use morsel::{Morsel, MorselDispenser};
+pub use qp_pager::{wal_stats, BufferPool, CrashPoint, PoolStats};
 pub use row::Row;
 pub use schema::{Column, ColumnType, Schema};
 pub use table::{RowId, Table};

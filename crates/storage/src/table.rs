@@ -1,28 +1,91 @@
-//! Heap tables.
+//! Tables: in-memory heaps and paged (disk-backed) row stores behind
+//! one scan/lookup interface.
 
+use crate::codec::decode_row;
 use crate::error::{StorageError, StorageResult};
 use crate::row::Row;
 use crate::schema::Schema;
 use crate::value::Value;
+use qp_pager::{read_cell, BufferPool, PageId, Pager};
+use std::sync::Arc;
 
 /// Position of a row within its table's heap. Stable: this engine is
 /// insert-only (the paper's experiments never update or delete during
 /// a measured query).
 pub type RowId = u64;
 
-/// An in-memory heap table: a schema plus a vector of rows in insertion
-/// order.
+/// How a table's rows are stored.
+///
+/// The executor never sees this: both backends sit behind the same
+/// `row`/`scan`/`len` interface and return identical rows, so query
+/// results, per-node counters, and `total(Q)` are byte-identical across
+/// backends (the parallel equivalence matrix asserts exactly that).
+/// What differs is the *cost* of a row read — a heap read is a `Vec`
+/// index, a paged read is a buffer-pool lookup that may miss to disk —
+/// which is the paper's Section 7 "uniformity of work per GetNext"
+/// caveat made concrete.
+enum Backend {
+    /// Rows in a `Vec`, insertion order.
+    Heap(Vec<Row>),
+    /// Rows in fixed-stride slotted pages behind a shared buffer pool.
+    Paged(PagedRows),
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Heap(rows) => write!(f, "Heap({} rows)", rows.len()),
+            Backend::Paged(p) => write!(
+                f,
+                "Paged({} rows, {} per page, file {:?})",
+                p.len,
+                p.rows_per_page,
+                p.pager.path()
+            ),
+        }
+    }
+}
+
+/// The paged backend: row `rid` lives in slot `rid % rows_per_page` of
+/// page `first_data_page + rid / rows_per_page`. The fixed stride makes
+/// the rid → page mapping pure arithmetic (no page directory), which is
+/// what lets morsels align to page boundaries for free.
+pub(crate) struct PagedRows {
+    pub(crate) pager: Arc<Pager>,
+    pub(crate) pool: Arc<BufferPool>,
+    pub(crate) first_data_page: PageId,
+    pub(crate) rows_per_page: u64,
+    pub(crate) len: u64,
+}
+
+impl PagedRows {
+    fn row(&self, rid: u64) -> Row {
+        let page = self.first_data_page + rid / self.rows_per_page;
+        let slot = (rid % self.rows_per_page) as usize;
+        let frame = self
+            .pool
+            .get(&self.pager, page)
+            .unwrap_or_else(|e| panic!("paged read of page {page}: {e}"));
+        let cell = read_cell(&frame, slot)
+            .unwrap_or_else(|| panic!("row {rid}: no cell {slot} in page {page}"));
+        decode_row(cell).unwrap_or_else(|e| panic!("row {rid}: {e}"))
+    }
+}
+
+/// A table: a schema plus rows in insertion order, stored in either the
+/// in-memory heap backend or the paged backend (see [`crate::paged`]).
 ///
 /// Insertion order matters: the paper studies how the **order in which
 /// tuples are retrieved from the driver node** affects estimator accuracy
-/// (Section 4.2, "predictive orders"), and a heap scan returns rows in
-/// exactly this order. The data generators in `qp-datagen` produce tables
-/// in controlled orders (random / sorted / skew-first / skew-last).
+/// (Section 4.2, "predictive orders"), and a table scan returns rows in
+/// exactly this order — both backends preserve it. The data generators in
+/// `qp-datagen` produce tables in controlled orders (random / sorted /
+/// skew-first / skew-last).
 #[derive(Debug)]
 pub struct Table {
     name: String,
     schema: Schema,
-    rows: Vec<Row>,
+    backend: Backend,
     /// Simulated storage latency: sleep `stall_ns` nanoseconds once per
     /// `stall_every` heap reads (0 = disabled, the default). The tables
     /// here are in-memory, but the paper's environment is disk-bound —
@@ -35,15 +98,62 @@ pub struct Table {
 }
 
 impl Table {
-    /// Creates an empty table.
+    /// Creates an empty heap table.
     pub fn new(name: impl Into<String>, schema: Schema) -> Table {
         Table {
             name: name.into(),
             schema,
-            rows: Vec::new(),
+            backend: Backend::Heap(Vec::new()),
             stall_every: std::sync::atomic::AtomicU64::new(0),
             stall_ns: std::sync::atomic::AtomicU64::new(0),
             reads: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a paged table over an already-loaded page file. Only the
+    /// `paged` module constructs these (via `open_database`/`open_table`).
+    pub(crate) fn paged(name: impl Into<String>, schema: Schema, rows: PagedRows) -> Table {
+        Table {
+            name: name.into(),
+            schema,
+            backend: Backend::Paged(rows),
+            stall_every: std::sync::atomic::AtomicU64::new(0),
+            stall_ns: std::sync::atomic::AtomicU64::new(0),
+            reads: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this table reads through the buffer pool.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.backend, Backend::Paged(_))
+    }
+
+    /// Rows per page for a paged table (`None` on heaps). Scan morsels
+    /// sized in multiples of this never split a page across workers.
+    pub fn page_rows(&self) -> Option<u64> {
+        match &self.backend {
+            Backend::Heap(_) => None,
+            Backend::Paged(p) => Some(p.rows_per_page),
+        }
+    }
+
+    fn heap_rows(&self) -> &Vec<Row> {
+        match &self.backend {
+            Backend::Heap(rows) => rows,
+            Backend::Paged(_) => panic!(
+                "table {}: operation requires the heap backend (paged tables are bulk-loaded and read-only)",
+                self.name
+            ),
+        }
+    }
+
+    fn heap_rows_mut(&mut self) -> &mut Vec<Row> {
+        match &mut self.backend {
+            Backend::Heap(rows) => rows,
+            Backend::Paged(_) => panic!(
+                "table {}: operation requires the heap backend (paged tables are bulk-loaded and read-only)",
+                self.name
+            ),
         }
     }
 
@@ -64,13 +174,16 @@ impl Table {
     /// catalogs").
     #[inline]
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.backend {
+            Backend::Heap(rows) => rows.len(),
+            Backend::Paged(p) => p.len as usize,
+        }
     }
 
     /// True if the table has no rows.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
     /// Appends a row after validating it against the schema.
@@ -92,8 +205,9 @@ impl Table {
                 )));
             }
         }
-        let rid = self.rows.len() as RowId;
-        self.rows.push(row);
+        let rows = self.heap_rows_mut();
+        let rid = rows.len() as RowId;
+        rows.push(row);
         Ok(rid)
     }
 
@@ -101,8 +215,9 @@ impl Table {
     /// construct rows straight from a typed generator.
     #[inline]
     pub fn insert_unchecked(&mut self, row: Row) -> RowId {
-        let rid = self.rows.len() as RowId;
-        self.rows.push(row);
+        let rows = self.heap_rows_mut();
+        let rid = rows.len() as RowId;
+        rows.push(row);
         rid
     }
 
@@ -116,14 +231,21 @@ impl Table {
         Ok(n)
     }
 
-    /// Row by id. Panics if out of range (row ids come from this table's
-    /// own indexes, so a miss is a logic error, not a user error).
+    /// Row by id, owned. A heap read is an `Arc` refcount bump; a paged
+    /// read pins the page in the buffer pool (possibly missing to disk)
+    /// and decodes the cell. Panics if out of range or if the page file
+    /// is corrupt (row ids come from this table's own indexes, so a miss
+    /// is a logic error, not a user error — and corruption is caught by
+    /// WAL recovery at open, not at read time).
     #[inline]
-    pub fn row(&self, rid: RowId) -> &Row {
+    pub fn row(&self, rid: RowId) -> Row {
         if self.stall_every.load(std::sync::atomic::Ordering::Relaxed) != 0 {
             self.stall_read();
         }
-        &self.rows[rid as usize]
+        match &self.backend {
+            Backend::Heap(rows) => rows[rid as usize].clone(),
+            Backend::Paged(p) => p.row(rid),
+        }
     }
 
     /// Enables (or, with `every = 0`, disables) the simulated read
@@ -156,15 +278,16 @@ impl Table {
         }
     }
 
-    /// All rows in heap (insertion) order.
+    /// All rows as a slice, heap backend only (paged rows do not live
+    /// contiguously in memory — iterate [`Table::scan`] instead).
     #[inline]
     pub fn rows(&self) -> &[Row] {
-        &self.rows
+        self.heap_rows()
     }
 
-    /// Iterator over `(rid, row)` in heap order.
-    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
-        self.rows.iter().enumerate().map(|(i, r)| (i as RowId, r))
+    /// Iterator over `(rid, row)` in insertion order, on any backend.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, Row)> + '_ {
+        (0..self.len() as RowId).map(move |rid| (rid, self.row(rid)))
     }
 
     /// Splits the heap into `n` contiguous, non-overlapping row-id ranges
@@ -175,7 +298,7 @@ impl Table {
     /// keep results byte-identical to a serial run.
     pub fn partition_ranges(&self, n: usize) -> Vec<(usize, usize)> {
         let n = n.max(1);
-        let len = self.rows.len();
+        let len = self.len();
         let (base, extra) = (len / n, len % n);
         let mut ranges = Vec::with_capacity(n);
         let mut start = 0;
@@ -192,12 +315,13 @@ impl Table {
     /// catalog rebuilds them. Used by the data generators to realize the
     /// paper's adversarial input orders.
     pub fn reorder(&mut self, perm: &[usize]) {
-        assert_eq!(perm.len(), self.rows.len(), "permutation length mismatch");
-        let mut new_rows = Vec::with_capacity(self.rows.len());
+        let rows = self.heap_rows_mut();
+        assert_eq!(perm.len(), rows.len(), "permutation length mismatch");
+        let mut new_rows = Vec::with_capacity(rows.len());
         for &p in perm {
-            new_rows.push(self.rows[p].clone());
+            new_rows.push(rows[p].clone());
         }
-        self.rows = new_rows;
+        *rows = new_rows;
     }
 }
 

@@ -1,0 +1,155 @@
+//! The crash-recovery matrix: a simulated power cut at every stage of
+//! the WAL commit protocol, for several seeds, proving that recovery
+//! restores the table file **byte-identical** to either the
+//! never-started or the fully-committed image — never anything between.
+//!
+//! The matrix exercises `append_rows` (the update path) on top of a
+//! clean `save_database` baseline:
+//!
+//! * rollback-class points (`BeforeWal`, `TornWal`, `WalNoCommit` — no
+//!   commit record reached the log) must leave the file bytes equal to
+//!   the pre-append image;
+//! * durable-class points (`AfterCommit`, `MidApply`, `BeforeTruncate` —
+//!   the commit record was fsynced) must recover to bytes equal to a
+//!   run that never crashed at all.
+//!
+//! Every case is driven by an explicit `(seed, CrashPoint)` pair, so a
+//! failure reproduces by name.
+
+use qp_storage::paged::{append_rows, open_database, open_table, save_database};
+use qp_storage::{BufferPool, ColumnType, CrashPoint, Database, Row, Schema, Table, Value};
+use qp_testkit::rng::TestRng;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const SEEDS: [u64; 3] = [0xC0FFEE, 42, 7_777_777];
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qp-crash-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn row(rng: &mut TestRng, i: u64) -> Row {
+    Row::new(vec![
+        Value::Int(i as i64),
+        Value::Int((rng.next_u64() % 1000) as i64),
+        Value::str(format!("payload-{}", rng.next_u64() % 97)),
+    ])
+}
+
+/// A two-table database seeded from `seed`, with enough rows to span
+/// several pages each.
+fn build_db(seed: u64) -> Database {
+    let mut rng = TestRng::seed_from_u64(seed);
+    let schema = Schema::of(&[
+        ("id", ColumnType::Int),
+        ("k", ColumnType::Int),
+        ("payload", ColumnType::Str),
+    ]);
+    let mut db = Database::new();
+    for (name, n) in [("alpha", 300u64), ("beta", 120u64)] {
+        let mut t = Table::new(name, schema.clone());
+        for i in 0..n {
+            t.insert_unchecked(row(&mut rng, i));
+        }
+        db.add_table(t).unwrap();
+    }
+    db
+}
+
+/// The rows a later append would add, derived from the same seed.
+fn extra_rows(seed: u64) -> Vec<Row> {
+    let mut rng = TestRng::seed_from_u64(seed ^ 0xA99E);
+    (1000..1137).map(|i| row(&mut rng, i)).collect()
+}
+
+fn file_bytes(dir: &Path, table: &str) -> Vec<u8> {
+    std::fs::read(dir.join(format!("{table}.qpt"))).expect("data file")
+}
+
+fn scan_rows(dir: &Path, table: &str) -> Vec<Row> {
+    let pool = Arc::new(BufferPool::new(8));
+    let t = open_table(dir, table, &pool).expect("open after recovery");
+    t.scan().map(|(_, r)| r).collect()
+}
+
+#[test]
+fn crash_matrix_recovers_byte_identical() {
+    for seed in SEEDS {
+        // Reference: the same baseline + append that never crashes.
+        let clean = tmp(&format!("clean-{seed}"));
+        save_database(&build_db(seed), &clean).unwrap();
+        let pre_bytes = file_bytes(&clean, "alpha");
+        let pre_rows = scan_rows(&clean, "alpha");
+        append_rows(&clean, "alpha", &extra_rows(seed), None).unwrap();
+        let post_bytes = file_bytes(&clean, "alpha");
+        let post_rows = scan_rows(&clean, "alpha");
+        assert_eq!(post_rows.len(), pre_rows.len() + extra_rows(seed).len());
+
+        for point in CrashPoint::ALL {
+            let dir = tmp(&format!("case-{seed}-{point:?}"));
+            save_database(&build_db(seed), &dir).unwrap();
+            assert_eq!(
+                file_bytes(&dir, "alpha"),
+                pre_bytes,
+                "seed {seed}: the bulk load itself must be deterministic"
+            );
+
+            let err = append_rows(&dir, "alpha", &extra_rows(seed), Some(point))
+                .expect_err("a simulated crash must surface as an error");
+            assert!(
+                err.to_string().contains("simulated crash"),
+                "seed {seed} {point:?}: unexpected error {err}"
+            );
+
+            // Recovery happens on the next open (WAL replay), after
+            // which the file must match one of the two legal images.
+            let rows = scan_rows(&dir, "alpha");
+            let bytes = file_bytes(&dir, "alpha");
+            if point.is_durable() {
+                assert_eq!(
+                    bytes, post_bytes,
+                    "seed {seed} {point:?}: committed txn must survive the crash"
+                );
+                assert_eq!(rows, post_rows, "seed {seed} {point:?}");
+            } else {
+                assert_eq!(
+                    bytes, pre_bytes,
+                    "seed {seed} {point:?}: uncommitted txn must roll back wholesale"
+                );
+                assert_eq!(rows, pre_rows, "seed {seed} {point:?}");
+            }
+
+            // A second open is a no-op: recovery is idempotent.
+            assert_eq!(file_bytes(&dir, "alpha"), bytes, "seed {seed} {point:?}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        // The untouched second table must be oblivious to all of this.
+        let other = scan_rows(&clean, "beta");
+        assert_eq!(other.len(), 120);
+        let _ = std::fs::remove_dir_all(&clean);
+    }
+}
+
+/// The whole-database open path also recovers: crash one table's append
+/// mid-apply, then `open_database` must replay it and serve consistent
+/// queries through the shared pool.
+#[test]
+fn open_database_replays_wal_on_startup() {
+    let seed = SEEDS[0];
+    let dir = tmp("open-db");
+    save_database(&build_db(seed), &dir).unwrap();
+    append_rows(&dir, "alpha", &extra_rows(seed), Some(CrashPoint::MidApply))
+        .expect_err("simulated crash");
+
+    let db = open_database(&dir, 16).expect("open with replay");
+    let alpha = db.table("alpha").unwrap();
+    assert!(alpha.is_paged());
+    assert_eq!(alpha.len(), 300 + extra_rows(seed).len());
+    // The pool served real page reads during the scan-driven len checks.
+    let t: Vec<Row> = alpha.scan().map(|(_, r)| r).collect();
+    assert_eq!(t.len(), alpha.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -46,6 +46,13 @@ cargo bench --offline -q -p qp-bench --bench obs_overhead
 echo "==> qp-service smoke (server + client example end to end)"
 cargo run --release --offline -q --example service_progress | grep -q "server stopped cleanly"
 
+echo "==> crash-recovery matrix (every WAL CrashPoint x 3 seeds; recovery must be byte-identical)"
+cargo test -q --offline -p qp-storage --test crash_recovery
+
+echo "==> pagecache smoke (disk-bound estimator regime; repro self-gates and exits non-zero)"
+pagecache_out=$(cargo run --release --offline -q -p qp-bench --bin repro -- --small pagecache)
+grep -q "PASS: hit rate falls" <<<"$pagecache_out"
+
 echo "==> chaos stage (seeded fault injection; repro exits non-zero on any violation)"
 for seed in 1 2 3; do
     # Capture rather than pipe into grep -q: early grep exit + pipefail

@@ -490,6 +490,72 @@ prop_check! {
     }
 }
 
+/// The paged-backend axis: the same matrix cells run over a database
+/// that lives in page files behind the LRU buffer pool must be
+/// **byte-identical** to the heap backend — same rows, same per-node
+/// getnext counters, same `total(Q)` — across seeds × skew × frame
+/// counts (including a 1-frame pool that thrashes on every scan) ×
+/// degrees × morsel sizes. The pool moves *time*, never rows: that is
+/// precisely what makes it an honest nonuniform-cost regime for the
+/// estimators rather than a semantics change.
+#[test]
+fn paged_backend_matches_heap_backend_exactly() {
+    let dir_root = std::env::temp_dir().join(format!("qp-par-paged-{}", std::process::id()));
+    for (seed, z) in [(3u64, 0.0), (911u64, 2.0)] {
+        let (t_vals, u_vals) = skewed_vals(seed, z, 150);
+        let heap_db = build_db(&t_vals, &u_vals);
+        let dir = dir_root.join(format!("s{seed}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        queryprogress::storage::paged::save_database(&heap_db, &dir).unwrap();
+        let heap_stats = DbStats::build(&heap_db);
+
+        for frames in [1usize, 64] {
+            let paged_db = queryprogress::storage::paged::open_database(&dir, frames).unwrap();
+            let paged_stats = DbStats::build(&paged_db);
+            for shape in 0u8..7 {
+                let heap_plan = annotated_plan(&heap_db, &heap_stats, shape, 15);
+                let (serial, _) = run_query(&heap_plan, &heap_db, None).unwrap();
+                let paged_plan = annotated_plan(&paged_db, &paged_stats, shape, 15);
+                for degree in [1usize, 2, 4] {
+                    let par = parallelize(&paged_plan, degree);
+                    for morsel in [1usize, 64, usize::MAX] {
+                        let controls = RunControls {
+                            tuning: tuning(morsel),
+                            ..RunControls::default()
+                        };
+                        let mut run = QueryRun::with_controls(&par, &paged_db, controls).unwrap();
+                        let rows = run.run().unwrap();
+                        let counts = run.context().counters().snapshot();
+                        let total = run.context().counters().total();
+                        let cell = format!(
+                            "seed {seed} z {z} frames {frames} shape {shape} \
+                             degree {degree} morsel {morsel}"
+                        );
+                        assert_eq!(rows, serial.rows, "rows diverge: {cell}");
+                        assert_eq!(total, serial.total_getnext, "total(Q) diverges: {cell}");
+                        assert_eq!(
+                            &counts[..paged_plan.len()],
+                            &serial.node_counts[..],
+                            "per-node counters diverge: {cell}"
+                        );
+                    }
+                }
+            }
+            // The tiny pool must have actually thrashed, or the axis
+            // proves nothing about nonuniform per-GetNext cost.
+            if frames == 1 {
+                let stats = paged_db.buffer_pool().unwrap().stats();
+                assert!(
+                    stats.evictions > 0,
+                    "1-frame pool never evicted (seed {seed})"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&dir_root);
+}
+
 /// Cancels the shared token once the query has done `at` getnext calls.
 struct CancelAt {
     token: CancelToken,
