@@ -31,13 +31,13 @@
 //! protocol's `ESTIMATORS=` field accepts); unknown names abort up front.
 
 use qp_bench::experiments::{
-    ablations, chaos, extensions, figures, pagecache, tables, theory, trace_export,
+    ablations, chaos, ensemble, extensions, figures, pagecache, tables, theory, trace_export,
 };
 use qp_bench::Scale;
 
 /// `(name, what it reproduces)` — the full experiment table, also printed
 /// by `--list`.
-const EXPERIMENTS: [(&str, &str); 22] = [
+const EXPERIMENTS: [(&str, &str); 23] = [
     ("fig3", "Figure 3: estimator traces, scan-based query"),
     ("fig4", "Figure 4: estimator traces, TPC-H join query"),
     ("fig5", "Figure 5: estimator traces under skew"),
@@ -77,6 +77,10 @@ const EXPERIMENTS: [(&str, &str); 22] = [
     (
         "pagecache",
         "Section 7: estimator error vs buffer-pool hit rate (paged backend)",
+    ),
+    (
+        "ensemble",
+        "Robustness: ensemble vs fixed estimators across the hostile-scenario matrix (--seed <n>)",
     ),
 ];
 
@@ -220,6 +224,13 @@ fn main() {
             }
             "pagecache" => {
                 let result = pagecache::pagecache(&scale);
+                print!("{}", result.render());
+                if !result.passed() {
+                    std::process::exit(1);
+                }
+            }
+            "ensemble" => {
+                let result = ensemble::ensemble(&scale, chaos_seed);
                 print!("{}", result.render());
                 if !result.passed() {
                     std::process::exit(1);

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod ensemble;
 pub mod extensions;
 pub mod figures;
 pub mod pagecache;

@@ -52,7 +52,7 @@ const MISS_PENALTY: Duration = Duration::from_micros(120);
 /// counts, a fault per probe once the pool is smaller than the customer
 /// table. The trailing aggregate + sort run on pool-free in-memory
 /// state, so the expensive GetNexts cluster in the probe phase.
-fn probe_plan(db: &Database) -> Plan {
+pub fn probe_plan(db: &Database) -> Plan {
     let ord = PlanBuilder::scan(db, "orders").expect("orders");
     let ck = ord.col("o_custkey").expect("o_custkey");
     let j = ord

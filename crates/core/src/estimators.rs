@@ -1,7 +1,10 @@
 //! The progress estimator tool-kit (Sections 4–6 of the paper).
 
 use crate::model::{mu_observed, PlanMeta};
+use crate::shared::{RegimeFlags, Trust};
 use qp_exec::pipeline::Source;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Everything an estimator may consult at a snapshot instant — the
 /// estimator-visible state of Figure 1: execution feedback (counts,
@@ -35,6 +38,17 @@ pub trait ProgressEstimator: Send {
     fn name(&self) -> &'static str;
     /// The estimate at this instant.
     fn estimate(&mut self, cx: &EstimatorContext<'_>) -> f64;
+    /// How much this estimator currently trusts its own output.
+    /// Estimators without self-diagnostics report [`Trust::Ok`]; the
+    /// monitor folds the maximum over the suite into every snapshot.
+    fn trust(&self) -> Trust {
+        Trust::Ok
+    }
+    /// Hands the estimator the shared regime-shift flags for the run.
+    /// The monitor calls this once at construction; estimators that
+    /// react to regime shifts (the [`Ensemble`]) keep the handle, the
+    /// rest ignore it.
+    fn attach_regime(&mut self, _flags: Arc<RegimeFlags>) {}
 }
 
 /// The trivial estimator: the midpoint of the trivial interval `(0, 1)`.
@@ -380,6 +394,245 @@ impl ProgressEstimator for Hybrid {
     }
 }
 
+/// The ensemble's member estimators, in weight order. A deliberate
+/// spread of failure modes: `dne` (best under predictive orders), `pmax`
+/// (never underestimates, wins at small μ), `safe` (worst-case optimal),
+/// `esttotal` (best when the optimizer happens to be right).
+pub const ENSEMBLE_MEMBERS: [&str; 4] = ["dne", "pmax", "safe", "esttotal"];
+
+/// EWMA smoothing factor for member error statistics: recent queries
+/// dominate, so the weighting adapts within a handful of runs.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Prior mean ratio error assumed before any trace has been observed —
+/// every member starts equally (un)trusted.
+const PRIOR_RATIO: f64 = 1.5;
+
+#[derive(Debug, Clone, Copy)]
+struct MemberStat {
+    /// EWMA of the member's average ratio error across completed runs.
+    ewma_ratio: f64,
+    /// Completed traces folded in.
+    n: u64,
+}
+
+/// Online per-estimator error statistics feeding the [`Ensemble`]'s
+/// König-style statistical weighting: after each completed run, the
+/// realized progress is known, so every member's checkpoint error can be
+/// scored ([`crate::metrics::error_stats`]) and folded into an EWMA. The
+/// next query's ensemble weights each member by the inverse of its
+/// recent ratio error — the estimator-selection idea of König et al.
+/// (the paper's reference for statistical combination), applied online.
+///
+/// One instance is typically shared process-wide ([`EnsembleStats::global`],
+/// fed by the service layer with every finished session's trace); tests
+/// and experiments that need isolation construct their own.
+#[derive(Debug, Default)]
+pub struct EnsembleStats {
+    inner: Mutex<HashMap<&'static str, MemberStat>>,
+}
+
+impl EnsembleStats {
+    /// A fresh, empty statistics registry.
+    pub fn new() -> EnsembleStats {
+        EnsembleStats::default()
+    }
+
+    /// The process-wide registry used by [`Ensemble::default`] — the
+    /// channel through which one query's outcome informs the next
+    /// query's weighting (the service feeds every completed session's
+    /// trace into it).
+    pub fn global() -> &'static EnsembleStats {
+        static GLOBAL: OnceLock<EnsembleStats> = OnceLock::new();
+        GLOBAL.get_or_init(EnsembleStats::new)
+    }
+
+    /// Folds a completed run's trace into the statistics: every ensemble
+    /// member present in the trace gets its average ratio error EWMA'd
+    /// in. Traces missing a member (custom suites) update what they have.
+    pub fn record_trace(&self, trace: &crate::monitor::ProgressTrace) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        for &name in &ENSEMBLE_MEMBERS {
+            let Some(stats) = crate::metrics::error_stats(trace, name) else {
+                continue;
+            };
+            let stat = inner.entry(name).or_insert(MemberStat {
+                ewma_ratio: PRIOR_RATIO,
+                n: 0,
+            });
+            stat.ewma_ratio = (1.0 - EWMA_ALPHA) * stat.ewma_ratio + EWMA_ALPHA * stats.avg_ratio;
+            stat.n += 1;
+        }
+    }
+
+    /// The weight for one member: inverse of its recent excess ratio
+    /// error (a member whose EWMA ratio is 1.0 — perfect — gets the
+    /// maximum weight; one sitting at 2× gets roughly a twentieth).
+    pub fn weight(&self, name: &str) -> f64 {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let ewma = inner.get(name).map_or(PRIOR_RATIO, |s| s.ewma_ratio);
+        1.0 / ((ewma - 1.0).max(0.0) + 0.05)
+    }
+
+    /// `(name, ewma_ratio, traces_seen)` rows for telemetry and
+    /// experiment tables, in [`ENSEMBLE_MEMBERS`] order.
+    pub fn snapshot(&self) -> Vec<(&'static str, f64, u64)> {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        ENSEMBLE_MEMBERS
+            .iter()
+            .map(|&name| {
+                let s = inner.get(name).copied().unwrap_or(MemberStat {
+                    ewma_ratio: PRIOR_RATIO,
+                    n: 0,
+                });
+                (name, s.ewma_ratio, s.n)
+            })
+            .collect()
+    }
+
+    /// Clears all statistics (test isolation on the global registry).
+    pub fn reset(&self) {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).clear();
+    }
+}
+
+/// The robust ensemble: a König-style statistically weighted combination
+/// of [`ENSEMBLE_MEMBERS`] with explicit **graceful degradation**.
+///
+/// In the benign regime it returns the *weighted median* of its members
+/// (weights = inverse recent ratio error from [`EnsembleStats`] — the
+/// robust form of the statistical combination, immune to one wildly
+/// wrong member), clamped into the proven-feasible interval
+/// `[Curr/UB, Curr/LB]` so the
+/// combination inherits the envelope guarantee of Property 6. When the
+/// members disagree sharply it reports [`Trust::Degraded`]. When a
+/// regime shift fires — a fault, buffer-pool thrash, or contradicted
+/// bounds (via [`RegimeFlags`] or `Curr > UB` seen directly) — it
+/// **falls back to the inner [`Safe`] estimator verbatim** and reports
+/// [`Trust::Fallback`]: Theorems 7/8 prove no switch rule can be
+/// provably correct, so under hostile conditions the only honest move is
+/// the worst-case-optimal estimator plus a visible flag. The fallback is
+/// sticky for the rest of the query, and because [`Safe`] is stateless
+/// the fallen-back output is byte-identical to running bare `safe`.
+#[derive(Debug, Default)]
+pub struct Ensemble {
+    dne: Dne,
+    pmax: Pmax,
+    safe: Safe,
+    esttotal: EstTotal,
+    /// `None` → use [`EnsembleStats::global`].
+    stats: Option<Arc<EnsembleStats>>,
+    regime: Option<Arc<RegimeFlags>>,
+    fallback: bool,
+    degraded: bool,
+}
+
+/// Member disagreement (max/min estimate ratio) beyond which the
+/// ensemble flags itself [`Trust::Degraded`].
+const SPREAD_LIMIT: f64 = 4.0;
+
+impl Ensemble {
+    /// An ensemble drawing weights from its own statistics registry
+    /// instead of the process-wide one (experiments, tests).
+    pub fn with_stats(stats: Arc<EnsembleStats>) -> Ensemble {
+        Ensemble {
+            stats: Some(stats),
+            ..Ensemble::default()
+        }
+    }
+
+    fn stats(&self) -> &EnsembleStats {
+        match &self.stats {
+            Some(s) => s,
+            None => EnsembleStats::global(),
+        }
+    }
+
+    /// `true` once the ensemble has abandoned weighting and delegates to
+    /// `safe` (sticky for the rest of the run).
+    pub fn fallen_back(&self) -> bool {
+        self.fallback
+    }
+}
+
+impl ProgressEstimator for Ensemble {
+    fn name(&self) -> &'static str {
+        "ensemble"
+    }
+
+    fn estimate(&mut self, cx: &EstimatorContext<'_>) -> f64 {
+        // Regime-shift detection: shared flags from the monitor/service,
+        // plus contradictions visible directly in the context. Sticky.
+        let flagged = self.regime.as_ref().is_some_and(|r| r.any());
+        if flagged || cx.curr > cx.ub_total || cx.lb_total > cx.ub_total {
+            self.fallback = true;
+        }
+        if self.fallback {
+            // Exact delegation: Safe is stateless, so this is the byte-
+            // identical output of a bare `safe` run from here on.
+            return self.safe.estimate(cx);
+        }
+
+        let members = [
+            ("dne", self.dne.estimate(cx)),
+            ("pmax", self.pmax.estimate(cx)),
+            ("safe", self.safe.estimate(cx)),
+            ("esttotal", self.esttotal.estimate(cx)),
+        ];
+        // Disagreement check: if the members span more than SPREAD_LIMIT×
+        // the regime is ambiguous — keep combining, but say so.
+        let lo_est = members.iter().map(|&(_, e)| e).fold(f64::MAX, f64::min);
+        let hi_est = members.iter().map(|&(_, e)| e).fold(0.0, f64::max);
+        if cx.curr > 0 && hi_est > SPREAD_LIMIT * lo_est.max(1e-3) {
+            self.degraded = true;
+        }
+
+        // The combination is the *weighted median* of the members in
+        // estimate space — the robust form of the König-style weighting.
+        // A weighted mean is poisoned by a single wildly wrong member
+        // (pmax legitimately sits near `Curr/LB` when true progress is
+        // still tiny, a 100×+ ratio error early in a run); the median
+        // ignores that outlier entirely, and as the online error
+        // statistics concentrate weight on whichever member has been
+        // right historically, it snaps to that member's answer.
+        let stats = self.stats();
+        let mut weighted: Vec<(f64, f64)> = members
+            .iter()
+            .map(|&(name, est)| (est, stats.weight(name)))
+            .collect();
+        weighted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let total_w: f64 = weighted.iter().map(|&(_, w)| w).sum();
+        let mut acc = 0.0;
+        let mut combined = lo_est;
+        for &(est, w) in &weighted {
+            acc += w;
+            combined = est;
+            if acc + 1e-12 >= total_w / 2.0 {
+                break;
+            }
+        }
+        // Clamp into the proven-feasible interval [Curr/UB, Curr/LB]
+        // (Property 6's envelope), like DneClamped.
+        let lo = cx.curr as f64 / cx.ub_total.max(1) as f64;
+        let hi = (cx.curr as f64 / cx.lb_total.max(1) as f64).min(1.0);
+        combined.clamp(lo.min(hi), hi)
+    }
+
+    fn trust(&self) -> Trust {
+        if self.fallback {
+            Trust::Fallback
+        } else if self.degraded {
+            Trust::Degraded
+        } else {
+            Trust::Ok
+        }
+    }
+
+    fn attach_regime(&mut self, flags: Arc<RegimeFlags>) {
+        self.regime = Some(flags);
+    }
+}
+
 /// The default estimator suite used by the experiment harness, in the
 /// order the paper discusses them.
 pub fn standard_suite() -> Vec<Box<dyn ProgressEstimator>> {
@@ -398,7 +651,7 @@ pub fn standard_suite() -> Vec<Box<dyn ProgressEstimator>> {
 /// This is the single source of truth for name→constructor resolution:
 /// the service's `SUBMIT ESTIMATORS=` field and the repro binary's
 /// `--estimators` flag both resolve through [`estimator_by_name`].
-pub const ESTIMATOR_NAMES: [&str; 9] = [
+pub const ESTIMATOR_NAMES: [&str; 10] = [
     "trivial",
     "dne",
     "dne-refined",
@@ -408,6 +661,7 @@ pub const ESTIMATOR_NAMES: [&str; 9] = [
     "esttotal",
     "dne-clamped",
     "hybrid",
+    "ensemble",
 ];
 
 /// Constructs a fresh estimator by its registered name (the same string
@@ -423,6 +677,7 @@ pub fn estimator_by_name(name: &str) -> Option<Box<dyn ProgressEstimator>> {
         "esttotal" => Box::new(EstTotal),
         "dne-clamped" => Box::new(DneClamped::default()),
         "hybrid" => Box::new(Hybrid::default()),
+        "ensemble" => Box::new(Ensemble::default()),
         _ => return None,
     })
 }
@@ -665,6 +920,119 @@ mod tests {
             assert!(p.done);
             assert_eq!(p.fraction, 1.0);
         }
+    }
+
+    #[test]
+    fn ensemble_stays_in_feasible_interval() {
+        let meta = single_scan_meta();
+        let produced = [30u64];
+        let cx = cx(&meta, &produced, &[false], 50, 200);
+        let mut e = Ensemble::with_stats(Arc::new(EnsembleStats::new()));
+        let est = e.estimate(&cx);
+        // Feasible interval is [30/200, 30/50].
+        assert!((0.15..=0.6).contains(&est), "est={est}");
+        assert_eq!(e.trust(), Trust::Ok);
+    }
+
+    #[test]
+    fn ensemble_falls_back_to_safe_on_regime_shift() {
+        let meta = single_scan_meta();
+        let produced = [30u64];
+        let cx1 = cx(&meta, &produced, &[false], 50, 200);
+        let flags = Arc::new(RegimeFlags::new());
+        // Seed history that trusts pmax heavily, so the benign-regime
+        // weighted median picks pmax's answer — visibly different from
+        // safe's, making the fallback switch observable below.
+        let stats = Arc::new(EnsembleStats::new());
+        let produced_m = [50u64];
+        let cxm = cx(&meta, &produced_m, &[false], 100, 100);
+        let snap = crate::monitor::Snapshot {
+            at_ns: 0,
+            curr: 50,
+            lb: 100,
+            ub: 100,
+            estimates: vec![Pmax.estimate(&cxm)],
+            trust: Trust::Ok,
+        };
+        let perfect = crate::monitor::ProgressTrace::from_parts(vec!["pmax"], vec![snap], 100);
+        for _ in 0..8 {
+            stats.record_trace(&perfect);
+        }
+        let mut e = Ensemble::with_stats(Arc::clone(&stats));
+        e.attach_regime(Arc::clone(&flags));
+        let before = e.estimate(&cx1);
+        assert_eq!(e.trust(), Trust::Ok);
+
+        // Fault fires → fallback, and the output is exactly Safe's.
+        flags.set(RegimeFlags::FAULT);
+        let after = e.estimate(&cx1);
+        assert_eq!(e.trust(), Trust::Fallback);
+        assert!(e.fallen_back());
+        assert_eq!(after.to_bits(), Safe.estimate(&cx1).to_bits());
+        assert_ne!(before.to_bits(), after.to_bits(), "weighted ≠ safe here");
+
+        // Sticky: flags never clear, and fallback persists regardless.
+        let produced2 = [40u64];
+        let cx2 = cx(&meta, &produced2, &[false], 60, 180);
+        assert_eq!(e.estimate(&cx2).to_bits(), Safe.estimate(&cx2).to_bits());
+        assert_eq!(e.trust(), Trust::Fallback);
+    }
+
+    #[test]
+    fn ensemble_detects_contradicted_bounds_without_flags() {
+        let meta = single_scan_meta();
+        // Curr (70) past UB (60): the envelope is contradicted.
+        let produced = [70u64];
+        let cx = cx(&meta, &produced, &[false], 40, 60);
+        let mut e = Ensemble::with_stats(Arc::new(EnsembleStats::new()));
+        let est = e.estimate(&cx);
+        assert_eq!(e.trust(), Trust::Fallback);
+        assert_eq!(est.to_bits(), Safe.estimate(&cx).to_bits());
+    }
+
+    #[test]
+    fn ensemble_degrades_on_member_disagreement() {
+        // Huge UB/LB gap: pmax (curr/LB) and safe (curr/√(LB·UB)) are
+        // far apart, so the members span more than SPREAD_LIMIT×.
+        let meta = single_scan_meta();
+        let produced = [50u64];
+        let cx = cx(&meta, &produced, &[false], 60, 6_000_000);
+        let mut e = Ensemble::with_stats(Arc::new(EnsembleStats::new()));
+        e.estimate(&cx);
+        assert_eq!(e.trust(), Trust::Degraded);
+    }
+
+    #[test]
+    fn ensemble_weights_follow_recorded_error() {
+        let stats = EnsembleStats::new();
+        assert!((stats.weight("dne") - stats.weight("pmax")).abs() < 1e-12);
+        // Manufacture a trace where pmax is perfect and esttotal is bad.
+        let meta = single_scan_meta();
+        let produced = [50u64];
+        let cxm = cx(&meta, &produced, &[false], 100, 100);
+        let snap = crate::monitor::Snapshot {
+            at_ns: 0,
+            curr: 50,
+            lb: 100,
+            ub: 100,
+            estimates: vec![Pmax.estimate(&cxm), 0.95],
+            trust: Trust::Ok,
+        };
+        let trace =
+            crate::monitor::ProgressTrace::from_parts(vec!["pmax", "esttotal"], vec![snap], 100);
+        stats.record_trace(&trace);
+        assert!(
+            stats.weight("pmax") > stats.weight("esttotal"),
+            "pmax {} vs esttotal {}",
+            stats.weight("pmax"),
+            stats.weight("esttotal")
+        );
+        let rows = stats.snapshot();
+        assert_eq!(rows.len(), ENSEMBLE_MEMBERS.len());
+        let pmax_row = rows.iter().find(|r| r.0 == "pmax").unwrap();
+        assert_eq!(pmax_row.2, 1, "one trace folded in");
+        stats.reset();
+        assert!((stats.weight("pmax") - stats.weight("esttotal")).abs() < 1e-12);
     }
 
     #[test]

@@ -51,11 +51,12 @@ pub mod shared;
 pub use bounds::BoundsTracker;
 pub use bytes_model::{BytesPmax, BytesSafe, RowWidths};
 pub use estimators::{
-    estimator_by_name, parse_suite, Dne, DneClamped, DneRefined, EstTotal, EstimatorContext,
-    Hybrid, Pmax, ProgressEstimator, Safe, Trivial, ESTIMATOR_NAMES,
+    estimator_by_name, parse_suite, Dne, DneClamped, DneRefined, Ensemble, EnsembleStats, EstTotal,
+    EstimatorContext, Hybrid, Pmax, ProgressEstimator, Safe, Trivial, ENSEMBLE_MEMBERS,
+    ESTIMATOR_NAMES,
 };
 pub use feedback::{FeedbackEstimator, FeedbackStore, PlanSignature};
 pub use metrics::{threshold_requirement_holds, ErrorStats};
 pub use model::{mu_from_counts, PlanMeta};
 pub use monitor::{ProgressMonitor, ProgressTrace, Snapshot};
-pub use shared::{clamp_snapshot, Health, ProgressCell, ProgressReading};
+pub use shared::{clamp_snapshot, Health, ProgressCell, ProgressReading, RegimeFlags, Trust};

@@ -11,7 +11,7 @@
 use crate::bounds::BoundsTracker;
 use crate::estimators::{EstimatorContext, ProgressEstimator};
 use crate::model::PlanMeta;
-use crate::shared::{clamp_snapshot, Health, ProgressCell};
+use crate::shared::{clamp_snapshot, Health, ProgressCell, RegimeFlags, Trust};
 use qp_exec::{Counters, ExecEvent, Observer};
 use qp_obs::{EventKind, FlightRecorder, TraceBuffer};
 use std::sync::Arc;
@@ -33,6 +33,9 @@ pub struct Snapshot {
     pub ub: u64,
     /// One estimate per registered estimator, in registration order.
     pub estimates: Vec<f64>,
+    /// Trust level of the estimate stream at this instant (monotone
+    /// within a run: once degraded or fallen back, it stays so).
+    pub trust: Trust,
 }
 
 /// Observer that drives the estimator suite during execution.
@@ -56,6 +59,19 @@ pub struct ProgressMonitor {
     trace_sink: Option<Arc<TraceBuffer>>,
     /// Monitor creation time; every snapshot stamps its offset from it.
     started: std::time::Instant,
+    /// Shared regime-shift flags: handed to every estimator at
+    /// construction (via `attach_regime`), raised by the monitor itself
+    /// on contradicted bounds, and by the outside world (the service's
+    /// fault/thrash probe) at any time.
+    regime: Arc<RegimeFlags>,
+    /// Optional external probe polled before every snapshot; returns
+    /// [`RegimeFlags`] bits to OR in (e.g. the service layer checking
+    /// the flight recorder for fired faults and the buffer pool for
+    /// thrash).
+    regime_probe: Option<Box<dyn Fn() -> u8 + Send>>,
+    /// Monotone trust level folded from regime flags, clamps, and the
+    /// estimators' own self-reports.
+    trust: Trust,
 }
 
 impl ProgressMonitor {
@@ -66,10 +82,14 @@ impl ProgressMonitor {
     pub fn new(
         meta: PlanMeta,
         bounds: BoundsTracker,
-        estimators: Vec<Box<dyn ProgressEstimator>>,
+        mut estimators: Vec<Box<dyn ProgressEstimator>>,
         stride: u64,
     ) -> ProgressMonitor {
         assert!(stride > 0, "stride must be positive");
+        let regime = Arc::new(RegimeFlags::new());
+        for e in &mut estimators {
+            e.attach_regime(Arc::clone(&regime));
+        }
         let names = estimators.iter().map(|e| e.name()).collect();
         let n = meta.n_nodes;
         ProgressMonitor {
@@ -87,7 +107,31 @@ impl ProgressMonitor {
             recorder: None,
             trace_sink: None,
             started: std::time::Instant::now(),
+            regime,
+            regime_probe: None,
+            trust: Trust::Ok,
         }
+    }
+
+    /// The run's shared regime-shift flags. Cloning the `Arc` lets any
+    /// other thread (the service's session bookkeeping, a test) raise a
+    /// regime bit that the estimators and the trust fold will observe at
+    /// the next snapshot.
+    pub fn regime(&self) -> Arc<RegimeFlags> {
+        Arc::clone(&self.regime)
+    }
+
+    /// Installs a probe polled immediately before every snapshot; the
+    /// returned bits are OR'd into the regime flags. The service layer
+    /// uses this to watch its flight recorder (fired faults) and buffer
+    /// pool (thrash) without the monitor depending on either.
+    pub fn set_regime_probe(&mut self, probe: Box<dyn Fn() -> u8 + Send>) {
+        self.regime_probe = Some(probe);
+    }
+
+    /// The current (monotone) trust level of the estimate stream.
+    pub fn trust(&self) -> Trust {
+        self.trust
     }
 
     /// Attaches a [`ProgressCell`] that every snapshot is also published
@@ -137,6 +181,12 @@ impl ProgressMonitor {
     }
 
     fn snapshot(&mut self) {
+        // Poll the external regime probe *before* estimating, so the
+        // estimators (and the trust fold below) see a fault or thrash
+        // signal at the same checkpoint it was detected.
+        if let Some(probe) = &self.regime_probe {
+            self.regime.set(probe());
+        }
         self.bounds.recompute(&self.produced, &self.exhausted);
         let cx = EstimatorContext {
             produced: &self.produced,
@@ -158,6 +208,7 @@ impl ProgressMonitor {
         // never reaches a reader (or a CSV export) unclamped.
         if clamp_snapshot(self.curr, &mut lb, &mut ub, &mut estimates) {
             self.degraded = true;
+            self.regime.set(RegimeFlags::CONTRADICTED);
             if let Some(cell) = &self.publisher {
                 cell.raise_health(Health::Degraded);
             }
@@ -165,12 +216,24 @@ impl ProgressMonitor {
                 rec.record(*query, EventKind::SnapshotClamped, self.curr, 0);
             }
         }
+        // Fold trust, monotonically: any regime bit degrades the stream,
+        // and a self-diagnosing estimator (the ensemble) can raise it
+        // further — all the way to Fallback once it delegates to safe.
+        let mut trust = self.trust;
+        if self.regime.any() {
+            trust = trust.max(Trust::Degraded);
+        }
+        for e in &self.estimators {
+            trust = trust.max(e.trust());
+        }
+        self.trust = trust;
         let snap = Snapshot {
             at_ns: self.started.elapsed().as_nanos() as u64,
             curr: self.curr,
             lb,
             ub,
             estimates,
+            trust,
         };
         if let Some(cell) = &self.publisher {
             cell.publish_snapshot(&snap);
@@ -235,6 +298,24 @@ pub struct ProgressTrace {
 }
 
 impl ProgressTrace {
+    /// Assembles a trace from raw parts — for tests and tools that score
+    /// hand-built checkpoint series through the same metrics pipeline as
+    /// live runs. Every snapshot's estimate vector must match `names`.
+    pub fn from_parts(
+        names: Vec<&'static str>,
+        snapshots: Vec<Snapshot>,
+        total: u64,
+    ) -> ProgressTrace {
+        for s in &snapshots {
+            assert_eq!(s.estimates.len(), names.len(), "estimate arity mismatch");
+        }
+        ProgressTrace {
+            names,
+            snapshots,
+            total,
+        }
+    }
+
     /// Estimator names (column order of [`Snapshot::estimates`]).
     pub fn names(&self) -> &[&'static str] {
         &self.names
@@ -334,6 +415,23 @@ pub fn run_with_progress_controls(
     stride: Option<u64>,
     controls: qp_exec::RunControls,
 ) -> qp_exec::ExecResult<(qp_exec::executor::QueryOutput, ProgressTrace)> {
+    run_with_progress_probed(plan, db, stats, estimators, stride, controls, None)
+}
+
+/// Like [`run_with_progress_controls`], but with an optional regime
+/// probe (see [`ProgressMonitor::set_regime_probe`]) installed before
+/// the run — the standalone mirror of the service's fault/thrash
+/// wiring, for benches and tests that drive hostile conditions without
+/// a `qp-service` session around them.
+pub fn run_with_progress_probed(
+    plan: &qp_exec::Plan,
+    db: &qp_storage::Database,
+    stats: Option<&qp_stats::DbStats>,
+    estimators: Vec<Box<dyn ProgressEstimator>>,
+    stride: Option<u64>,
+    controls: qp_exec::RunControls,
+    probe: Option<Box<dyn Fn() -> u8 + Send>>,
+) -> qp_exec::ExecResult<(qp_exec::executor::QueryOutput, ProgressTrace)> {
     let meta = PlanMeta::from_plan(plan);
     let bounds = BoundsTracker::new(plan, stats);
     let stride = stride.unwrap_or_else(|| {
@@ -345,9 +443,11 @@ pub fn run_with_progress_controls(
             .max(200);
         (hint / 200).max(1)
     });
-    let monitor = Arc::new(std::sync::Mutex::new(ProgressMonitor::new(
-        meta, bounds, estimators, stride,
-    )));
+    let mut inner = ProgressMonitor::new(meta, bounds, estimators, stride);
+    if let Some(probe) = probe {
+        inner.set_regime_probe(probe);
+    }
+    let monitor = Arc::new(std::sync::Mutex::new(inner));
 
     let mut run = qp_exec::executor::QueryRun::with_controls(plan, db, controls)?;
     run.set_observer(Box::new(SharedMonitor(Arc::clone(&monitor))));
@@ -600,6 +700,90 @@ mod tests {
         let bounds = crate::bounds::BoundsTracker::new(&plan, None);
         let mut monitor = ProgressMonitor::new(meta, bounds, vec![Box::new(Pmax)], 100);
         monitor.set_trace_sink(Arc::new(TraceBuffer::new(8, 3)));
+    }
+
+    #[test]
+    fn clean_runs_keep_trust_ok() {
+        let db = db();
+        let plan = scan_filter_plan(&db);
+        let (_, trace) = run_with_progress(
+            &plan,
+            &db,
+            None,
+            vec![Box::new(Dne), Box::new(Pmax), Box::new(Safe)],
+            Some(10),
+        )
+        .unwrap();
+        assert!(trace
+            .snapshots()
+            .iter()
+            .all(|s| s.trust == crate::shared::Trust::Ok));
+    }
+
+    #[test]
+    fn regime_flag_degrades_trust_and_ensemble_tracks_safe() {
+        use crate::estimators::{Ensemble, EnsembleStats};
+        use crate::shared::{RegimeFlags, Trust};
+        let db = db();
+        let plan = scan_filter_plan(&db);
+        let meta = PlanMeta::from_plan(&plan);
+        let bounds = crate::bounds::BoundsTracker::new(&plan, None);
+        let ensemble = Ensemble::with_stats(Arc::new(EnsembleStats::new()));
+        let monitor =
+            ProgressMonitor::new(meta, bounds, vec![Box::new(ensemble), Box::new(Safe)], 10);
+        let regime = monitor.regime();
+        // A fault fires before the first checkpoint (e.g. the service's
+        // probe saw the flight recorder) — raised from outside.
+        regime.set(RegimeFlags::FAULT);
+        let monitor = Arc::new(std::sync::Mutex::new(monitor));
+        qp_exec::run_query(
+            &plan,
+            &db,
+            Some(Box::new(SharedMonitor(Arc::clone(&monitor)))),
+        )
+        .unwrap();
+        let trace = Arc::try_unwrap(monitor)
+            .ok()
+            .unwrap()
+            .into_inner()
+            .unwrap()
+            .into_trace_with_final();
+        for s in trace.snapshots() {
+            // Trust never drops below Fallback (the ensemble delegated
+            // on the very first checkpoint) …
+            assert_eq!(s.trust, Trust::Fallback, "at curr {}", s.curr);
+            // … and the ensemble column is bitwise the safe column.
+            assert_eq!(
+                s.estimates[0].to_bits(),
+                s.estimates[1].to_bits(),
+                "ensemble diverged from safe at curr {}",
+                s.curr
+            );
+        }
+    }
+
+    #[test]
+    fn regime_probe_is_polled_at_snapshots() {
+        use crate::shared::{RegimeFlags, Trust};
+        let db = db();
+        let plan = scan_filter_plan(&db);
+        let meta = PlanMeta::from_plan(&plan);
+        let bounds = crate::bounds::BoundsTracker::new(&plan, None);
+        let mut monitor = ProgressMonitor::new(meta, bounds, vec![Box::new(Pmax)], 10);
+        monitor.set_regime_probe(Box::new(|| RegimeFlags::THRASH));
+        let regime = monitor.regime();
+        let monitor = Arc::new(std::sync::Mutex::new(monitor));
+        qp_exec::run_query(
+            &plan,
+            &db,
+            Some(Box::new(SharedMonitor(Arc::clone(&monitor)))),
+        )
+        .unwrap();
+        let mon = Arc::try_unwrap(monitor).ok().unwrap().into_inner().unwrap();
+        assert_eq!(mon.trust(), Trust::Degraded);
+        assert_eq!(regime.bits() & RegimeFlags::THRASH, RegimeFlags::THRASH);
+        let trace = mon.into_trace_with_final();
+        assert!(trace.snapshots().iter().all(|s| s.trust == Trust::Degraded));
     }
 
     #[test]

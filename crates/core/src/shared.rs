@@ -82,6 +82,137 @@ impl std::str::FromStr for Health {
     }
 }
 
+/// How much the *estimates* themselves can currently be trusted —
+/// orthogonal to [`Health`], which reports whether the published values
+/// were valid. A stream can be perfectly healthy (every snapshot in its
+/// envelope) while its estimates are garbage because the regime the
+/// estimators assumed no longer holds: bounds were contradicted
+/// mid-query, a fault fired, or the buffer pool started thrashing so
+/// GetNexts stopped costing uniform time.
+///
+/// Theorems 7 and 8 of the paper prove no estimator switch can be
+/// *provably* correct, so the honest output under a regime shift is not
+/// a cleverer number but a **flag**: the ensemble falls back to the
+/// worst-case-optimal `safe` estimator and says so. Like health, trust
+/// is monotone within a query (`Ok → Degraded → Fallback`): once the
+/// regime shifted, later calm does not retroactively certify the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Trust {
+    /// Estimates are operating in their assumed regime.
+    #[default]
+    Ok = 0,
+    /// The estimators disagree sharply or a snapshot needed clamping —
+    /// estimates are still published but should be read with suspicion.
+    Degraded = 1,
+    /// A regime shift was detected (fault, thrash, contradicted bounds);
+    /// the ensemble now delegates to `safe`, the only estimator with a
+    /// worst-case guarantee that survives hostile conditions (Thm 6).
+    Fallback = 2,
+}
+
+impl Trust {
+    /// Wire-protocol token (also used in `Display`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Trust::Ok => "ok",
+            Trust::Degraded => "degraded",
+            Trust::Fallback => "fallback",
+        }
+    }
+
+    fn from_u8(v: u8) -> Trust {
+        match v {
+            0 => Trust::Ok,
+            1 => Trust::Degraded,
+            _ => Trust::Fallback,
+        }
+    }
+}
+
+impl std::fmt::Display for Trust {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Trust {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Trust, String> {
+        match s {
+            "ok" => Ok(Trust::Ok),
+            "degraded" => Ok(Trust::Degraded),
+            "fallback" => Ok(Trust::Fallback),
+            other => Err(format!("unknown trust {other:?}")),
+        }
+    }
+}
+
+/// Shared, sticky regime-shift signals, settable from any thread.
+///
+/// The monitor sets [`RegimeFlags::CONTRADICTED`] when a snapshot needs
+/// clamping; the service layer sets [`RegimeFlags::FAULT`] when the
+/// flight recorder observes an injected fault and
+/// [`RegimeFlags::THRASH`] when buffer-pool misses dominate. Estimators
+/// that opted in via [`crate::estimators::ProgressEstimator::attach_regime`]
+/// read the bits at every snapshot. Bits are only ever set, never
+/// cleared — a regime shift invalidates the estimators' assumptions for
+/// the rest of the query, not just for the instant it was observed.
+#[derive(Debug, Default)]
+pub struct RegimeFlags {
+    bits: AtomicU8,
+}
+
+impl RegimeFlags {
+    /// An injected or real fault fired during execution.
+    pub const FAULT: u8 = 1;
+    /// The buffer pool is thrashing: GetNext cost is no longer uniform.
+    pub const THRASH: u8 = 2;
+    /// The bound envelope was contradicted (a snapshot needed clamping).
+    pub const CONTRADICTED: u8 = 4;
+
+    /// A fresh set of flags, all clear.
+    pub fn new() -> RegimeFlags {
+        RegimeFlags::default()
+    }
+
+    /// ORs `bits` in (sticky; never clears).
+    pub fn set(&self, bits: u8) {
+        if bits != 0 {
+            self.bits.fetch_or(bits, Ordering::Relaxed);
+        }
+    }
+
+    /// The current bit set.
+    pub fn bits(&self) -> u8 {
+        self.bits.load(Ordering::Relaxed)
+    }
+
+    /// `true` if any regime-shift signal has fired.
+    pub fn any(&self) -> bool {
+        self.bits() != 0
+    }
+
+    /// Human-readable rendering of a bit set (`"fault+thrash"`, `"-"`
+    /// when clear) for logs and experiment tables.
+    pub fn describe(bits: u8) -> String {
+        let mut parts = Vec::new();
+        if bits & Self::FAULT != 0 {
+            parts.push("fault");
+        }
+        if bits & Self::THRASH != 0 {
+            parts.push("thrash");
+        }
+        if bits & Self::CONTRADICTED != 0 {
+            parts.push("contradicted");
+        }
+        if parts.is_empty() {
+            "-".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
 /// A published progress point, as read back from a [`ProgressCell`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProgressReading {
@@ -96,6 +227,9 @@ pub struct ProgressReading {
     /// Trustworthiness of this (and, since health is monotone, every
     /// earlier) reading.
     pub health: Health,
+    /// Whether the *estimates* are still operating in their assumed
+    /// regime (monotone, like health).
+    pub trust: Trust,
 }
 
 /// Clamps one snapshot into the valid progress envelope, in place:
@@ -158,6 +292,9 @@ pub struct ProgressCell {
     /// ended — by the session layer marking a failure, and monotonicity
     /// (fetch_max) makes those writers commute.
     health: AtomicU8,
+    /// Monotone trust flag; same outside-the-seqlock rationale as
+    /// `health`.
+    trust: AtomicU8,
     names: Vec<&'static str>,
 }
 
@@ -171,6 +308,7 @@ impl ProgressCell {
             ub: AtomicU64::new(u64::MAX),
             estimates: names.iter().map(|_| AtomicU64::new(0)).collect(),
             health: AtomicU8::new(Health::Ok as u8),
+            trust: AtomicU8::new(Trust::Ok as u8),
             names,
         }
     }
@@ -229,8 +367,21 @@ impl ProgressCell {
         Health::from_u8(self.health.load(Ordering::Relaxed))
     }
 
-    /// Convenience: publish a monitor snapshot.
+    /// Raises the trust flag (monotone: never lowers it). Raised by the
+    /// publishing monitor when a regime shift is detected or an
+    /// estimator reports degraded trust.
+    pub fn raise_trust(&self, t: Trust) {
+        self.trust.fetch_max(t as u8, Ordering::Relaxed);
+    }
+
+    /// The current trust flag.
+    pub fn trust(&self) -> Trust {
+        Trust::from_u8(self.trust.load(Ordering::Relaxed))
+    }
+
+    /// Convenience: publish a monitor snapshot (including its trust).
     pub fn publish_snapshot(&self, snap: &Snapshot) {
+        self.raise_trust(snap.trust);
         self.publish(snap.curr, snap.lb, snap.ub, &snap.estimates);
     }
 
@@ -257,6 +408,7 @@ impl ProgressCell {
                     .map(|b| f64::from_bits(b.load(Ordering::Relaxed)))
                     .collect(),
                 health: self.health(),
+                trust: self.trust(),
             };
             fence(Ordering::Acquire);
             if self.seq.load(Ordering::Relaxed) == v1 {
@@ -335,6 +487,51 @@ mod tests {
         let r = cell.read().unwrap();
         assert_eq!(r.estimates, vec![0.0]);
         assert_eq!(r.health, Health::Degraded);
+    }
+
+    #[test]
+    fn trust_is_monotone_and_independent_of_health() {
+        let cell = ProgressCell::new(vec!["ensemble"]);
+        cell.publish(10, 100, 200, &[0.1]);
+        assert_eq!(cell.trust(), Trust::Ok);
+        assert_eq!(cell.read().unwrap().trust, Trust::Ok);
+        cell.raise_trust(Trust::Fallback);
+        assert_eq!(cell.trust(), Trust::Fallback);
+        // Monotone: a later Degraded does not lower it …
+        cell.raise_trust(Trust::Degraded);
+        assert_eq!(cell.trust(), Trust::Fallback);
+        // … and a clean publish does not reset it.
+        cell.publish(20, 100, 200, &[0.2]);
+        let r = cell.read().unwrap();
+        assert_eq!(r.trust, Trust::Fallback);
+        // Health never moved: trust is a separate axis.
+        assert_eq!(r.health, Health::Ok);
+    }
+
+    #[test]
+    fn trust_tokens_round_trip() {
+        for t in [Trust::Ok, Trust::Degraded, Trust::Fallback] {
+            assert_eq!(t.as_str().parse::<Trust>().unwrap(), t);
+        }
+        assert!("bogus".parse::<Trust>().is_err());
+    }
+
+    #[test]
+    fn regime_flags_are_sticky_and_describable() {
+        let flags = RegimeFlags::new();
+        assert!(!flags.any());
+        assert_eq!(RegimeFlags::describe(flags.bits()), "-");
+        flags.set(RegimeFlags::FAULT);
+        flags.set(RegimeFlags::THRASH);
+        flags.set(0); // no-op
+        assert!(flags.any());
+        assert_eq!(flags.bits(), RegimeFlags::FAULT | RegimeFlags::THRASH);
+        assert_eq!(RegimeFlags::describe(flags.bits()), "fault+thrash");
+        flags.set(RegimeFlags::CONTRADICTED);
+        assert_eq!(
+            RegimeFlags::describe(flags.bits()),
+            "fault+thrash+contradicted"
+        );
     }
 
     #[test]

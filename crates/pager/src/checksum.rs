@@ -1,0 +1,99 @@
+//! Page-level checksums: an FNV-1a trailer over the payload region.
+//!
+//! Every page image that reaches a data file through the write paths
+//! that own content — [`crate::WalTxn::log_page`] staging and
+//! [`crate::Pager::write_page`] — carries a checksum of its first
+//! `PAGE_PAYLOAD_END` bytes in the trailing 8 bytes. [`crate::Pager::read_page`]
+//! recomputes it and surfaces a mismatch as a typed
+//! [`crate::PagerError::Corrupt`], never a panic — a flipped bit on
+//! disk is an error the caller can report, not undefined behaviour.
+//!
+//! A trailer of all-zero bytes means *unstamped* and is accepted: fresh
+//! pages from `allocate` are zeroed, and freelist chaining writes raw
+//! link pages that never carry content. A computed checksum that lands
+//! on 0 is remapped to the FNV offset basis so 0 stays unambiguous.
+
+use crate::page::{PAGE_PAYLOAD_END, PAGE_SIZE};
+
+/// FNV-1a over `bytes` — shared by WAL records and page trailers.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The checksum of a page's payload region (`[..PAGE_PAYLOAD_END]`).
+/// Never returns 0 — that value is reserved for "unstamped".
+pub fn page_checksum(buf: &[u8; PAGE_SIZE]) -> u64 {
+    match fnv1a(&buf[..PAGE_PAYLOAD_END]) {
+        0 => 0xcbf29ce484222325,
+        sum => sum,
+    }
+}
+
+/// Writes the payload checksum into the page's trailing 8 bytes.
+pub fn stamp_page(buf: &mut [u8; PAGE_SIZE]) {
+    let sum = page_checksum(buf);
+    buf[PAGE_PAYLOAD_END..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Whether a page image's trailer is consistent with its payload.
+/// An all-zero trailer (unstamped page) is always accepted.
+pub fn verify_page(buf: &[u8; PAGE_SIZE]) -> bool {
+    let stored = u64::from_le_bytes(buf[PAGE_PAYLOAD_END..].try_into().unwrap());
+    stored == 0 || stored == page_checksum(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_then_verify_round_trips() {
+        let mut buf = [0x3Cu8; PAGE_SIZE];
+        stamp_page(&mut buf);
+        assert!(verify_page(&buf));
+        assert_ne!(
+            u64::from_le_bytes(buf[PAGE_PAYLOAD_END..].try_into().unwrap()),
+            0
+        );
+    }
+
+    #[test]
+    fn zero_trailer_is_unstamped_and_accepted() {
+        let buf = [0u8; PAGE_SIZE];
+        assert!(verify_page(&buf));
+        let mut content = [0u8; PAGE_SIZE];
+        content[17] = 0x42; // content without a stamp still reads
+        assert!(verify_page(&content));
+    }
+
+    #[test]
+    fn any_payload_bit_flip_fails_verification() {
+        let mut buf = [0u8; PAGE_SIZE];
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        stamp_page(&mut buf);
+        for pos in [0usize, 1, 500, PAGE_PAYLOAD_END - 1] {
+            let mut flipped = buf;
+            flipped[pos] ^= 1 << (pos % 8);
+            assert!(!verify_page(&flipped), "flip at {pos} went undetected");
+        }
+        // Flipping the trailer itself is also caught (it no longer
+        // matches the payload, and a zeroed trailer needs 64 flips).
+        let mut flipped = buf;
+        flipped[PAGE_PAYLOAD_END] ^= 0x80;
+        assert!(!verify_page(&flipped));
+    }
+
+    #[test]
+    fn checksum_never_returns_the_unstamped_sentinel() {
+        // Not a search for a preimage of 0 — just the remap contract.
+        let buf = [0u8; PAGE_SIZE];
+        assert_ne!(page_checksum(&buf), 0);
+    }
+}

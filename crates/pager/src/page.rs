@@ -10,17 +10,27 @@
 //! header is).
 //!
 //! ```text
-//! 0        2        4            4+4n                 cell_start    4096
-//! +--------+--------+-------------+--- free space ---+-------------+
-//! | nslots | cstart | slot dir    |                  | cell data   |
-//! +--------+--------+-------------+------------------+-------------+
+//! 0        2        4            4+4n              cell_start  4088  4096
+//! +--------+--------+-------------+--- free space ---+---------+----+
+//! | nslots | cstart | slot dir    |                  | cells   | ck |
+//! +--------+--------+-------------+------------------+---------+----+
 //! ```
 //!
 //! Each slot is `(u16 offset, u16 len)`; all integers little-endian.
+//! The trailing [`PAGE_CHECKSUM_LEN`] bytes are reserved for the
+//! page-level checksum (see [`crate::checksum`]) — cells never reach
+//! past [`PAGE_PAYLOAD_END`].
 
 /// Size of every page, header included. 4 KiB matches the OS page size
 /// and the classic DBMS default; `Pager` I/O is always whole pages.
 pub const PAGE_SIZE: usize = 4096;
+
+/// Bytes of the trailing per-page checksum (FNV-1a, little-endian).
+pub const PAGE_CHECKSUM_LEN: usize = 8;
+
+/// End of the usable payload region: cells live in `[..PAGE_PAYLOAD_END]`,
+/// the checksum trailer in `[PAGE_PAYLOAD_END..]`.
+pub const PAGE_PAYLOAD_END: usize = PAGE_SIZE - PAGE_CHECKSUM_LEN;
 
 const HEADER: usize = 4;
 const SLOT: usize = 4;
@@ -47,7 +57,7 @@ impl SlottedPage {
         let mut page = SlottedPage {
             buf: Box::new([0u8; PAGE_SIZE]),
         };
-        page.set_cell_start(PAGE_SIZE as u16);
+        page.set_cell_start(PAGE_PAYLOAD_END as u16);
         page
     }
 
@@ -81,7 +91,7 @@ impl SlottedPage {
         // A zeroed page (fresh from `allocate`) reads cell_start = 0;
         // treat it as the empty page rather than "payload fills all".
         if c == 0 {
-            PAGE_SIZE
+            PAGE_PAYLOAD_END
         } else {
             c
         }
@@ -139,7 +149,7 @@ pub fn read_cell(buf: &[u8; PAGE_SIZE], slot: usize) -> Option<&[u8]> {
     let dir = HEADER + SLOT * slot;
     let off = u16_at(dir);
     let len = u16_at(dir + 2);
-    if off < HEADER + SLOT * nslots || off + len > PAGE_SIZE {
+    if off < HEADER + SLOT * nslots || off + len > PAGE_PAYLOAD_END {
         return None;
     }
     Some(&buf[off..off + len])
@@ -175,8 +185,9 @@ mod tests {
         while p.push(&cell).is_some() {
             pushed += 1;
         }
-        // 100-byte cells + 4-byte slots into 4092 payload bytes.
-        assert_eq!(pushed, (PAGE_SIZE - HEADER) / (100 + SLOT));
+        // 100-byte cells + 4-byte slots into the payload region (the
+        // checksum trailer is off limits).
+        assert_eq!(pushed, (PAGE_PAYLOAD_END - HEADER) / (100 + SLOT));
         assert!(!p.fits(100));
         // A smaller cell can still squeeze in.
         assert!(p.fits(10));
@@ -188,7 +199,22 @@ mod tests {
         let p = SlottedPage::from_bytes([0u8; PAGE_SIZE]);
         assert_eq!(p.slot_count(), 0);
         assert_eq!(p.cell(0), None);
-        assert_eq!(p.free_space(), PAGE_SIZE - HEADER);
+        assert_eq!(p.free_space(), PAGE_PAYLOAD_END - HEADER);
+    }
+
+    #[test]
+    fn cells_never_reach_into_the_checksum_trailer() {
+        let mut p = SlottedPage::new();
+        while p.push(&[0xEE_u8; 32]).is_some() {}
+        let trailer = &p.bytes()[PAGE_PAYLOAD_END..];
+        assert_eq!(trailer, &[0u8; PAGE_CHECKSUM_LEN]);
+        // A cell whose directory entry points into the trailer is
+        // corruption, surfaced as None.
+        let mut bytes = *p.bytes();
+        let off = (PAGE_PAYLOAD_END - 16) as u16;
+        bytes[4..6].copy_from_slice(&off.to_le_bytes());
+        bytes[6..8].copy_from_slice(&32u16.to_le_bytes());
+        assert_eq!(SlottedPage::from_bytes(bytes).cell(0), None);
     }
 
     #[test]

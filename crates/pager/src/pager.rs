@@ -21,6 +21,7 @@
 //! the torn-page failure WAL recovery must survive. A `Delay` point
 //! stalls the operation. Same seed, same ops, same failures.
 
+use crate::checksum::{stamp_page, verify_page};
 use crate::page::PAGE_SIZE;
 use qp_testkit::{FaultKind, FaultPlan};
 use std::fs::{File, OpenOptions};
@@ -216,8 +217,11 @@ impl Pager {
         }
     }
 
-    /// Reads page `id` into `buf`. Reading past the end of the file is
-    /// corruption (the caller followed a dangling page reference).
+    /// Reads page `id` into `buf`, verifying its checksum trailer.
+    /// Reading past the end of the file is corruption (the caller
+    /// followed a dangling page reference), and so is a payload that no
+    /// longer matches its stamp (a flipped bit, a torn write) — both
+    /// surface as [`PagerError::Corrupt`], never a panic.
     pub fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<(), PagerError> {
         self.apply_fault(false, id, &[])?;
         if id >= self.page_count() {
@@ -227,13 +231,22 @@ impl Pager {
             )));
         }
         self.file.read_exact_at(buf, offset(id))?;
+        if !verify_page(buf) {
+            return Err(PagerError::Corrupt(format!(
+                "page {id} of {}: checksum mismatch",
+                self.path.display()
+            )));
+        }
         Ok(())
     }
 
-    /// Writes page `id`. Not durable until [`Pager::sync`].
+    /// Writes page `id`, stamping its checksum trailer on the way out.
+    /// Not durable until [`Pager::sync`].
     pub fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<(), PagerError> {
-        self.apply_fault(true, id, buf)?;
-        self.file.write_all_at(buf, offset(id))?;
+        let mut stamped = *buf;
+        stamp_page(&mut stamped);
+        self.apply_fault(true, id, &stamped)?;
+        self.file.write_all_at(&stamped, offset(id))?;
         Ok(())
     }
 
@@ -304,6 +317,7 @@ fn offset(id: PageId) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::page::PAGE_PAYLOAD_END;
     use qp_testkit::FaultPoint;
 
     fn tmp(name: &str) -> PathBuf {
@@ -330,9 +344,11 @@ mod tests {
         assert_eq!(pager.page_count(), 3);
         let mut buf = [0u8; PAGE_SIZE];
         pager.read_page(a, &mut buf).unwrap();
-        assert_eq!(buf, img_a);
+        assert_eq!(buf[..PAGE_PAYLOAD_END], img_a[..PAGE_PAYLOAD_END]);
+        // The write path stamped the trailer.
+        assert_ne!(buf[PAGE_PAYLOAD_END..], [0u8; 8]);
         pager.read_page(b, &mut buf).unwrap();
-        assert_eq!(buf, img_b);
+        assert_eq!(buf[..PAGE_PAYLOAD_END], img_b[..PAGE_PAYLOAD_END]);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -398,10 +414,39 @@ mod tests {
         let mut buf = [0u8; PAGE_SIZE];
         let err = pager.read_page(id, &mut buf).unwrap_err();
         assert!(matches!(err, PagerError::Io(_)), "short read errors: {err}");
-        // The torn write really tore: front half new, back half old.
-        pager.read_page(id, &mut buf).unwrap();
-        assert_eq!(buf[..PAGE_SIZE / 2], [0xFFu8; PAGE_SIZE / 2]);
-        assert_eq!(buf[PAGE_SIZE / 2..], [0x5Au8; PAGE_SIZE / 2]);
+        // The torn write really tore: front half new, back half old on
+        // disk — and the checksum trailer (still the old page's stamp)
+        // no longer matches, so the read surfaces typed corruption.
+        let raw = std::fs::read(&path).unwrap();
+        let on_disk = &raw[PAGE_SIZE..2 * PAGE_SIZE];
+        assert_eq!(on_disk[..PAGE_SIZE / 2], [0xFFu8; PAGE_SIZE / 2]);
+        assert_eq!(
+            on_disk[PAGE_SIZE / 2..PAGE_PAYLOAD_END],
+            [0x5Au8; PAGE_PAYLOAD_END - PAGE_SIZE / 2]
+        );
+        let err = pager.read_page(id, &mut buf).unwrap_err();
+        assert!(
+            matches!(err, PagerError::Corrupt(_)),
+            "torn page must read as corruption: {err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_on_disk_reads_as_typed_corruption() {
+        let path = tmp("bitflip.qpt");
+        let pager = Pager::create(&path).unwrap();
+        let id = pager.allocate().unwrap();
+        pager.write_page(id, &[0xC3u8; PAGE_SIZE]).unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[PAGE_SIZE + 1234] ^= 0x04;
+        std::fs::write(&path, &raw).unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        let err = pager.read_page(id, &mut buf).unwrap_err();
+        match err {
+            PagerError::Corrupt(m) => assert!(m.contains("checksum"), "{m}"),
+            other => panic!("expected Corrupt, got {other}"),
+        }
         std::fs::remove_file(&path).unwrap();
     }
 

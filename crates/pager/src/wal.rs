@@ -28,6 +28,7 @@
 //! The crash-recovery matrix in the workspace tests replays every point
 //! and compares post-recovery files byte-for-byte against clean runs.
 
+use crate::checksum::{fnv1a, stamp_page};
 use crate::page::PAGE_SIZE;
 use crate::pager::{PageId, PagerError};
 use std::fs::{File, OpenOptions};
@@ -94,15 +95,6 @@ impl CrashPoint {
             CrashPoint::AfterCommit | CrashPoint::MidApply | CrashPoint::BeforeTruncate
         )
     }
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
 }
 
 fn crashed(point: CrashPoint) -> PagerError {
@@ -220,10 +212,14 @@ pub struct WalTxn<'a> {
 }
 
 impl WalTxn<'_> {
-    /// Stages a full page image. Logging the same page twice keeps the
-    /// later image (last-writer-wins, like the redo replay).
+    /// Stages a full page image, stamping its checksum trailer so the
+    /// commit apply and any later redo replay write identical stamped
+    /// bytes. Logging the same page twice keeps the later image
+    /// (last-writer-wins, like the redo replay).
     pub fn log_page(&mut self, id: PageId, image: &[u8; PAGE_SIZE]) {
-        self.pages.push((id, Box::new(*image)));
+        let mut stamped = Box::new(*image);
+        stamp_page(&mut stamped);
+        self.pages.push((id, stamped));
     }
 
     /// Number of staged pages.
@@ -335,6 +331,14 @@ mod tests {
         [fill; PAGE_SIZE]
     }
 
+    /// What `log_page(page(fill))` puts on disk: the image with its
+    /// checksum trailer stamped.
+    fn stamped(fill: u8) -> [u8; PAGE_SIZE] {
+        let mut p = page(fill);
+        stamp_page(&mut p);
+        p
+    }
+
     fn read_page_at(path: &Path, id: u64) -> [u8; PAGE_SIZE] {
         let f = File::open(path).unwrap();
         let mut buf = [0u8; PAGE_SIZE];
@@ -352,8 +356,8 @@ mod tests {
         txn.log_page(0, &page(0x10));
         txn.log_page(1, &page(0x20));
         txn.commit(&data, None).unwrap();
-        assert_eq!(read_page_at(&data, 0), page(0x10));
-        assert_eq!(read_page_at(&data, 1), page(0x20));
+        assert_eq!(read_page_at(&data, 0), stamped(0x10));
+        assert_eq!(read_page_at(&data, 1), stamped(0x20));
         assert_eq!(std::fs::metadata(&walp).unwrap().len(), 0);
         // Recovery on a clean pair is a no-op.
         assert!(!wal.recover(&data).unwrap());
@@ -407,8 +411,8 @@ mod tests {
             txn.log_page(1, &page(0xCD));
             assert!(txn.commit(&data, Some(point)).is_err());
             assert!(wal.recover(&data).unwrap(), "{point:?} must replay");
-            assert_eq!(read_page_at(&data, 0), page(0xAB), "{point:?}");
-            assert_eq!(read_page_at(&data, 1), page(0xCD), "{point:?}");
+            assert_eq!(read_page_at(&data, 0), stamped(0xAB), "{point:?}");
+            assert_eq!(read_page_at(&data, 1), stamped(0xCD), "{point:?}");
             assert_eq!(std::fs::metadata(&walp).unwrap().len(), 0);
         }
     }
@@ -431,7 +435,7 @@ mod tests {
         assert!(wal.recover(&data).unwrap());
         std::fs::write(&walp, &wal_bytes).unwrap();
         assert!(wal.recover(&data).unwrap(), "replaying again is safe");
-        assert_eq!(read_page_at(&data, 0), page(0x77));
+        assert_eq!(read_page_at(&data, 0), stamped(0x77));
     }
 
     #[test]
@@ -444,7 +448,7 @@ mod tests {
         txn.log_page(0, &page(0x11));
         txn.log_page(0, &page(0x22));
         txn.commit(&data, None).unwrap();
-        assert_eq!(read_page_at(&data, 0), page(0x22));
+        assert_eq!(read_page_at(&data, 0), stamped(0x22));
     }
 
     #[test]

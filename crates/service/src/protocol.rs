@@ -11,6 +11,7 @@
 //!        [MORSEL_SIZE=<n>] <sql>
 //!                   → OK <id>
 //! STATUS <id>       → OK <id> <STATE> health=<ok|degraded|failed>
+//!                          trust=<ok|degraded|fallback>
 //!                          [curr=<n> lb=<n> ub=<n|inf>
 //!                           dne=<f> pmax=<f> safe=<f>] [rows=<n> total=<n>]
 //!                          [error=<quoted>]
@@ -25,7 +26,7 @@
 
 use crate::service::StatusReport;
 use crate::session::QueryId;
-use qp_progress::shared::Health;
+use qp_progress::shared::{Health, Trust};
 
 /// Wire protocol version reported by `HELLO`. Version 2 added `HELLO`
 /// itself, structured `ERR <CODE> <msg>` replies, and the `PARALLELISM=`
@@ -316,7 +317,10 @@ pub fn err_line(code: ErrCode, message: &str) -> String {
 /// The `OK …` line for a status report (the whole answer — single line, so
 /// a poller can read exactly one line per probe).
 pub fn status_line(report: &StatusReport) -> String {
-    let mut out = format!("OK {} {} health={}", report.id, report.state, report.health);
+    let mut out = format!(
+        "OK {} {} health={} trust={}",
+        report.id, report.state, report.health, report.trust
+    );
     if let Some(p) = &report.progress {
         out.push_str(&format!(" curr={} lb={}", p.curr, p.lb));
         if p.ub == u64::MAX {
@@ -344,6 +348,8 @@ pub struct ParsedStatus {
     pub state: crate::session::QueryState,
     /// Progress-stream health; `None` only for pre-health servers.
     pub health: Option<Health>,
+    /// Estimate-stream trust; `None` only for pre-trust servers.
+    pub trust: Option<Trust>,
     pub curr: Option<u64>,
     pub lb: Option<u64>,
     /// `None` until published; `Some(u64::MAX)` renders the paper's "∞".
@@ -380,6 +386,7 @@ impl ParsedStatus {
             id,
             state,
             health: None,
+            trust: None,
             curr: None,
             lb: None,
             ub: None,
@@ -396,6 +403,7 @@ impl ParsedStatus {
                 // Matched before the estimate fallback: the value is a
                 // token, not an f64.
                 "health" => parsed.health = Some(value.parse()?),
+                "trust" => parsed.trust = Some(value.parse()?),
                 "curr" => parsed.curr = Some(int()?),
                 "lb" => parsed.lb = Some(int()?),
                 "ub" => {
@@ -643,6 +651,7 @@ mod tests {
             id: QueryId(7),
             state: QueryState::Running,
             health: Health::Degraded,
+            trust: Trust::Fallback,
             estimators: crate::service::ESTIMATORS.to_vec(),
             progress: Some(qp_progress::shared::ProgressReading {
                 curr: 1200,
@@ -650,6 +659,7 @@ mod tests {
                 ub: u64::MAX,
                 estimates: vec![0.31, 0.3, 0.25],
                 health: Health::Degraded,
+                trust: Trust::Fallback,
             }),
             rows: None,
             total_getnext: None,
@@ -660,6 +670,7 @@ mod tests {
         assert_eq!(parsed.id, QueryId(7));
         assert_eq!(parsed.state, QueryState::Running);
         assert_eq!(parsed.health, Some(Health::Degraded));
+        assert_eq!(parsed.trust, Some(Trust::Fallback));
         assert_eq!(parsed.curr, Some(1200));
         assert_eq!(parsed.ub, Some(u64::MAX));
         assert_eq!(parsed.estimate("pmax"), Some(0.3));
@@ -672,6 +683,7 @@ mod tests {
             id: QueryId(3),
             state: QueryState::TimedOut,
             health: Health::Degraded,
+            trust: Trust::Ok,
             estimators: crate::service::ESTIMATORS.to_vec(),
             progress: None,
             rows: None,
@@ -681,6 +693,7 @@ mod tests {
         let parsed = ParsedStatus::parse(&status_line(&report)).unwrap();
         assert_eq!(parsed.state, QueryState::TimedOut);
         assert_eq!(parsed.health, Some(Health::Degraded));
+        assert_eq!(parsed.trust, Some(Trust::Ok));
         assert_eq!(parsed.curr, None);
     }
 

@@ -15,7 +15,10 @@
 //! [`ServiceClient::connect_with_retry`] adds the client half of
 //! resilience: capped exponential backoff with deterministic jitter
 //! (seeded via `qp-testkit`), for servers that are still binding or
-//! briefly at their connection cap.
+//! briefly at their connection cap. Clients built that way also retry
+//! *idempotent* requests (`HELLO`/`STATUS`/`LIST`/`METRICS`/`TRACE`)
+//! once over a fresh connection after a transient transport error;
+//! `SUBMIT` and `CANCEL` are never auto-resent.
 
 use crate::protocol::{err_line, hello_line, status_line, ErrCode, ParsedStatus, Request};
 use crate::service::{QueryService, SubmitError, SubmitOptions};
@@ -292,6 +295,10 @@ fn handle_connection(
 pub struct ServiceClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// When set, idempotent requests may reconnect here and resend once
+    /// after a transient transport error. See [`enable_reconnect`]
+    /// (ServiceClient::enable_reconnect).
+    reconnect: Option<(SocketAddr, RetryPolicy)>,
 }
 
 /// Retry schedule for [`ServiceClient::connect_with_retry`]: capped
@@ -329,13 +336,19 @@ impl ServiceClient {
         Ok(ServiceClient {
             reader: BufReader::new(stream),
             writer,
+            reconnect: None,
         })
     }
 
     /// [`connect`](ServiceClient::connect) retried under `policy` —
     /// for servers that are still binding, or briefly at their
-    /// connection cap. Only the *connection* is retried; requests are
-    /// never auto-resent (a replayed `SUBMIT` would double-run a query).
+    /// connection cap. The returned client has
+    /// [`enable_reconnect`](ServiceClient::enable_reconnect) active
+    /// under the same policy: idempotent read-only requests (`HELLO`,
+    /// `STATUS`, `LIST`, `METRICS`, `TRACE`) are resent once over a
+    /// fresh connection after a transient transport error. Mutating
+    /// requests are never auto-resent (a replayed `SUBMIT` would
+    /// double-run a query).
     pub fn connect_with_retry(
         addr: impl ToSocketAddrs + Clone,
         policy: &RetryPolicy,
@@ -347,11 +360,74 @@ impl ServiceClient {
                 std::thread::sleep(backoff.next_delay());
             }
             match ServiceClient::connect(addr.clone()) {
-                Ok(client) => return Ok(client),
+                Ok(mut client) => {
+                    client.enable_reconnect(policy.clone())?;
+                    return Ok(client);
+                }
                 Err(e) => last_err = Some(e),
             }
         }
         Err(last_err.unwrap_or_else(|| std::io::Error::other("connect_with_retry: zero attempts")))
+    }
+
+    /// Arms idempotent-request retry: after a transient transport error
+    /// (reset, EOF, broken pipe) on a read-only request, the client
+    /// reconnects to the peer under `policy` — same capped, seeded
+    /// backoff as [`connect_with_retry`](ServiceClient::connect_with_retry)
+    /// — and resends that request once. Safe precisely because those
+    /// verbs are idempotent: asking twice cannot change server state.
+    /// `SUBMIT`/`CANCEL`/`SHUTDOWN` always fail straight through.
+    pub fn enable_reconnect(&mut self, policy: RetryPolicy) -> std::io::Result<()> {
+        let peer = self.writer.peer_addr()?;
+        self.reconnect = Some((peer, policy));
+        Ok(())
+    }
+
+    /// Forcibly closes the underlying socket *without* telling the
+    /// server — a chaos hook for exercising the reconnect path in tests.
+    pub fn sever(&self) {
+        let _ = self.writer.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// A transport error worth a reconnect-and-resend: the kinds a
+    /// dropped TCP connection produces. Protocol-level `ERR` replies
+    /// never come through here.
+    fn is_transient(e: &std::io::Error) -> bool {
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::UnexpectedEof
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::NotConnected
+        )
+    }
+
+    /// Replaces the dead connection with a fresh one to the remembered
+    /// peer, retried under the remembered policy.
+    fn reestablish(&mut self) -> std::io::Result<()> {
+        let (peer, policy) = self
+            .reconnect
+            .clone()
+            .expect("reestablish requires enable_reconnect");
+        let fresh = ServiceClient::connect_with_retry(peer, &policy)?;
+        self.reader = fresh.reader;
+        self.writer = fresh.writer;
+        Ok(())
+    }
+
+    /// [`round_trip`](ServiceClient::round_trip) for idempotent
+    /// requests: one reconnect-and-resend on a transient transport
+    /// error when [`enable_reconnect`](ServiceClient::enable_reconnect)
+    /// is armed.
+    fn idempotent_round_trip(&mut self, request: &str) -> std::io::Result<String> {
+        match self.round_trip(request) {
+            Err(e) if self.reconnect.is_some() && Self::is_transient(&e) => {
+                self.reestablish()?;
+                self.round_trip(request)
+            }
+            other => other,
+        }
     }
 
     fn round_trip(&mut self, request: &str) -> std::io::Result<String> {
@@ -394,7 +470,7 @@ impl ServiceClient {
     /// `HELLO` — returns the capability line (sans the `OK ` prefix),
     /// e.g. `protocol=2 verbs=… fields=… estimators=…`.
     pub fn hello(&mut self) -> std::io::Result<String> {
-        let line = self.round_trip("HELLO")?;
+        let line = self.idempotent_round_trip("HELLO")?;
         Ok(line.strip_prefix("OK ").unwrap_or(&line).to_string())
     }
 
@@ -418,12 +494,25 @@ impl ServiceClient {
 
     /// `STATUS` — returns the parsed report.
     pub fn status(&mut self, id: QueryId) -> std::io::Result<Result<ParsedStatus, String>> {
-        let line = self.round_trip(&format!("STATUS {id}"))?;
+        let line = self.idempotent_round_trip(&format!("STATUS {id}"))?;
         Ok(ParsedStatus::parse(&line))
     }
 
     /// Reads an `OK <n>`-framed multi-line response body (or the `ERR`).
+    /// All block verbs are idempotent reads, so a transient transport
+    /// error — even one mid-body — retries the whole request once over
+    /// a fresh connection when reconnect is armed.
     fn read_block(&mut self, request: &str) -> std::io::Result<Result<Vec<String>, String>> {
+        match self.read_block_once(request) {
+            Err(e) if self.reconnect.is_some() && Self::is_transient(&e) => {
+                self.reestablish()?;
+                self.read_block_once(request)
+            }
+            other => other,
+        }
+    }
+
+    fn read_block_once(&mut self, request: &str) -> std::io::Result<Result<Vec<String>, String>> {
         let head = self.round_trip(request)?;
         let Some(n) = head
             .strip_prefix("OK ")

@@ -44,9 +44,9 @@ use crate::sync::lock_or_recover;
 use qp_exec::executor::QueryRun;
 use qp_exec::{ExecError, FaultConfig, FaultPlan, Plan, RunControls};
 use qp_obs::{EventKind, FlightRecorder, QueryObs, TraceBuffer};
-use qp_progress::estimators::{Dne, Pmax, ProgressEstimator, Safe};
+use qp_progress::estimators::{Dne, EnsembleStats, Pmax, ProgressEstimator, Safe};
 use qp_progress::monitor::{ProgressMonitor, SharedMonitor};
-use qp_progress::shared::{ProgressCell, ProgressReading};
+use qp_progress::shared::{ProgressCell, ProgressReading, RegimeFlags};
 use qp_progress::{BoundsTracker, PlanMeta};
 use qp_stats::DbStats;
 use qp_storage::Database;
@@ -212,6 +212,11 @@ pub struct StatusReport {
     /// the first published reading (a query can fail before its first
     /// snapshot).
     pub health: qp_progress::shared::Health,
+    /// Whether the estimates are still operating in their assumed
+    /// regime (`ok`), the estimators disagree or the regime shifted
+    /// (`degraded`), or the ensemble has delegated to `safe`
+    /// (`fallback`). Monotone within a session, like health.
+    pub trust: qp_progress::shared::Trust,
     /// This session's estimator names, index-aligned with
     /// [`ProgressReading::estimates`].
     pub estimators: Vec<&'static str>,
@@ -477,6 +482,7 @@ impl QueryService {
             id,
             state: session.state(),
             health: session.progress_cell().health(),
+            trust: session.progress_cell().trust(),
             estimators: session.progress_cell().names().to_vec(),
             progress: session.progress(),
             rows: result.as_ref().map(|r| r.rows.len() as u64),
@@ -635,6 +641,32 @@ fn run_job(inner: &ServiceInner, job: Job) {
     if let Some(trace) = session.trace_buffer() {
         monitor.set_trace_sink(Arc::clone(trace));
     }
+    // Regime probe: polled by the monitor before every snapshot. Fired
+    // faults (this query's own, via its QueryObs counters) and buffer-
+    // pool thrash (more evictions since this query started than the pool
+    // holds frames — the working set is churning) raise the shared
+    // regime flags, degrading published trust and telling the ensemble
+    // to fall back to `safe`.
+    {
+        let obs = session.obs().cloned();
+        let pool = inner.db.buffer_pool().cloned();
+        let baseline_evictions = pool.as_ref().map(|p| p.stats().evictions);
+        monitor.set_regime_probe(Box::new(move || {
+            let mut bits = 0u8;
+            if let Some(obs) = &obs {
+                if obs.snapshot().iter().any(|n| n.faults > 0) {
+                    bits |= RegimeFlags::FAULT;
+                }
+            }
+            if let (Some(pool), Some(base)) = (&pool, baseline_evictions) {
+                let stats = pool.stats();
+                if stats.evictions.saturating_sub(base) > stats.capacity as u64 {
+                    bits |= RegimeFlags::THRASH;
+                }
+            }
+            bits
+        }));
+    }
     let monitor = Arc::new(Mutex::new(monitor));
 
     // The deadline starts ticking now, not at submission: the budget is
@@ -668,10 +700,15 @@ fn run_job(inner: &ServiceInner, job: Job) {
         Ok(Ok((rows, total_getnext))) => {
             // Final snapshot: the published trace ends exactly at 100%.
             if let Ok(monitor) = Arc::try_unwrap(monitor) {
-                monitor
+                let trace = monitor
                     .into_inner()
                     .unwrap_or_else(|poisoned| poisoned.into_inner())
                     .into_trace_with_final();
+                // Session-history feed: now that total(Q) is known, score
+                // every ensemble member's checkpoint error and fold it
+                // into the process-wide statistics — this run's outcome
+                // re-weights the *next* query's ensemble.
+                EnsembleStats::global().record_trace(&trace);
             }
             session.finish(QueryResult {
                 rows: Arc::new(rows),

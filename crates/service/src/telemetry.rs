@@ -233,6 +233,7 @@ pub fn trace_jsonl(service: &QueryService, id: QueryId) -> Option<Vec<String>> {
         .str("id", &id.to_string())
         .str("state", session.state().as_str())
         .str("health", &session.progress_cell().health().to_string())
+        .str("trust", session.progress_cell().trust().as_str())
         .str("sql", session.sql());
     if let Some(result) = session.result() {
         meta = meta
@@ -381,6 +382,7 @@ mod tests {
             values[0].get("state").and_then(|v| v.as_str()),
             Some("FINISHED")
         );
+        assert_eq!(values[0].get("trust").and_then(|v| v.as_str()), Some("ok"));
         let kinds: Vec<_> = values
             .iter()
             .filter_map(|v| v.get("type").and_then(|t| t.as_str()))

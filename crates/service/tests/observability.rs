@@ -17,7 +17,7 @@ use qp_datagen::{TpchConfig, TpchDb};
 use qp_exec::{FaultConfig, FaultKind, FaultPlan};
 use qp_obs::json::{parse, Value};
 use qp_obs::EventKind;
-use qp_progress::Health;
+use qp_progress::{Health, Trust};
 use qp_service::{
     telemetry, ProgressServer, QueryId, QueryService, QueryState, ServiceClient, ServiceConfig,
     SubmitOptions, ESTIMATORS,
@@ -210,6 +210,62 @@ fn list_health_flags_isolate_the_fault_killed_session() {
     }
     assert!(errors >= 1, "the injected error must be counted");
     assert!(faults >= 1, "the fired fault must be counted");
+
+    client.shutdown().expect("clean shutdown");
+    server.shutdown();
+}
+
+/// HELLO advertises the ensemble estimator; a query submitted over TCP
+/// with `ESTIMATORS=ensemble` runs it; and the trust token flows end to
+/// end — `ok` on a clean run on both STATUS and the TRACE meta line,
+/// `fallback` once a fault fires mid-query.
+#[test]
+fn hello_advertises_ensemble_and_trust_flows_over_tcp() {
+    let db = tpch();
+    let service = service_with(&db, ServiceConfig::default());
+    let mut server = ProgressServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
+    let mut client = ServiceClient::connect(server.local_addr()).expect("connects");
+
+    let hello = client.hello().expect("hello");
+    assert!(
+        hello.contains("ensemble"),
+        "HELLO must advertise the ensemble: {hello}"
+    );
+
+    // Clean run, submitted over the wire with the ensemble suite.
+    let id = client
+        .submit_with_fields("ESTIMATORS=ensemble", "SELECT COUNT(*) AS n FROM lineitem")
+        .unwrap()
+        .expect("admitted");
+    assert_eq!(service.wait(id), Some(QueryState::Finished));
+    let status = client.status(id).unwrap().expect("status");
+    assert_eq!(status.trust, Some(Trust::Ok), "clean run stays trusted");
+    assert!(
+        status.estimates.iter().any(|(n, _)| n == "ensemble"),
+        "STATUS must carry the ensemble estimate: {status:?}"
+    );
+
+    // A fired (non-fatal) fault shifts the regime: the ensemble falls
+    // back to safe and says so on STATUS and in the TRACE meta line.
+    let shaky = service
+        .submit_with(
+            "SELECT COUNT(*) AS n FROM lineitem",
+            SubmitOptions {
+                faults: Some(FaultPlan::single(
+                    5,
+                    FaultKind::Delay(Duration::from_millis(1)),
+                )),
+                estimators: Some("ensemble,safe".into()),
+                ..SubmitOptions::default()
+            },
+        )
+        .expect("admitted");
+    assert_eq!(service.wait(shaky), Some(QueryState::Finished));
+    let status = client.status(shaky).unwrap().expect("status");
+    assert_eq!(status.trust, Some(Trust::Fallback), "fault ⇒ fallback");
+    let lines = client.trace(shaky).expect("io").expect("TRACE serves");
+    let meta = parse(&lines[0]).expect("meta parses");
+    assert_eq!(meta.get("trust").and_then(Value::as_str), Some("fallback"));
 
     client.shutdown().expect("clean shutdown");
     server.shutdown();

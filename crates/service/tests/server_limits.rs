@@ -144,6 +144,51 @@ fn shutdown_cancels_running_queries_after_grace() {
     );
 }
 
+/// A dropped-then-restored connection: with reconnect armed (as
+/// `connect_with_retry` clients are), idempotent STATUS/METRICS/TRACE
+/// requests resend over a fresh connection and yield the same answer.
+/// A plain `connect` client just surfaces the transport error.
+#[test]
+fn idempotent_requests_survive_a_dropped_connection() {
+    let service = Arc::new(QueryService::new(tiny_db(), ServiceConfig::default()));
+    let mut server = ProgressServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
+    let addr = server.local_addr();
+
+    let mut client =
+        ServiceClient::connect_with_retry(addr, &RetryPolicy::default()).expect("connects");
+    let id = client
+        .submit("SELECT COUNT(*) AS n FROM region")
+        .unwrap()
+        .expect("admitted");
+    assert_eq!(service.wait(id), Some(QueryState::Finished));
+    let before = client.status(id).unwrap().expect("status");
+    assert_eq!(before.state, QueryState::Finished);
+
+    // Kill the TCP connection out from under the client. The next
+    // STATUS reconnects, resends once, and reports the same terminal
+    // answer — one consistent result, not a duplicate side effect.
+    client.sever();
+    let after = client.status(id).unwrap().expect("status after reconnect");
+    assert_eq!(after.state, before.state);
+    assert_eq!(after.rows, before.rows);
+    assert_eq!(after.curr, before.curr);
+
+    // Block-framed reads ride the same path, even severed mid-session.
+    client.sever();
+    let metrics = client.metrics().unwrap().expect("metrics after reconnect");
+    assert!(metrics.contains("qp_sessions_submitted_total"));
+    client.sever();
+    let trace = client.trace(id).unwrap().expect("trace after reconnect");
+    assert!(!trace.is_empty());
+
+    // Without reconnect armed, the same drop is a hard transport error.
+    let mut plain = ServiceClient::connect(addr).expect("connects");
+    plain.sever();
+    assert!(plain.status(id).is_err(), "plain client must not retry");
+
+    server.shutdown();
+}
+
 /// `shutdown()` with everything already terminal returns without waiting
 /// out the grace period.
 #[test]

@@ -141,8 +141,9 @@ fn wal_path(dir: &Path, table: &str) -> std::path::PathBuf {
 
 /// Rows-per-page stride for rows whose widest encoding is `max_len`.
 fn stride_for(max_len: usize) -> StorageResult<u64> {
-    // SlottedPage: 4-byte header + 4 bytes of slot directory per cell.
-    let usable = PAGE_SIZE - 4;
+    // SlottedPage: 4-byte header + 4 bytes of slot directory per cell;
+    // cells stop at PAGE_PAYLOAD_END (the checksum trailer is reserved).
+    let usable = qp_pager::PAGE_PAYLOAD_END - 4;
     if max_len + 4 > usable {
         return Err(StorageError::SchemaMismatch(format!(
             "row encodes to {max_len} bytes; the page format fits at most {} ",

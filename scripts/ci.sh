@@ -61,4 +61,11 @@ for seed in 1 2 3; do
     grep -q "PASS: all sessions terminal" <<<"$chaos_out"
 done
 
+echo "==> ensemble-gate (hostile-scenario matrix; ensemble must win/tie a majority, stay within"
+echo "    safe's worst case, and fall back byte-identically to safe; exits non-zero on violation)"
+for seed in 1 3; do
+    ensemble_out=$(cargo run --release --offline -q -p qp-bench --bin repro -- --small ensemble --seed "$seed")
+    grep -q "PASS: ensemble wins or ties" <<<"$ensemble_out"
+done
+
 echo "CI OK"
