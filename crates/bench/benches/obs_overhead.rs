@@ -5,18 +5,24 @@
 //! `qp-obs` design (relaxed atomics on the already-instrumented getnext
 //! interrupt point, timing opt-in) exists to keep the tax ignorable.
 //! This bench *enforces* that: it runs the same TPC-H join pipeline in
-//! three configurations —
+//! four configurations —
 //!
-//! * `bare`      — no observability attached (`RunControls::obs = None`);
-//! * `counters`  — per-operator counters, untimed (the service default);
-//! * `timed`     — counters plus two `Instant::now()` reads per getnext.
+//! * `bare` — no observability attached (`RunControls::obs = None`);
+//! * `counters` — per-operator counters, untimed;
+//! * `spans` — counters plus the hierarchical span sink (the service
+//!   default: every session gets query/pipeline/operator spans, a
+//!   handful of lock-free ring writes per operator lifetime — not per
+//!   getnext);
+//! * `timed` — counters plus two `Instant::now()` reads *and* a
+//!   latency-histogram record per getnext.
 //!
-//! Samples are interleaved (bare, counters, timed, bare, ...) so clock
-//! drift and thermal effects hit all three alike. The *counters* median
-//! must stay within `QP_OBS_BUDGET_PCT` percent (default 5) of bare, or
-//! the bench exits non-zero — this is the CI overhead gate. The timed
-//! mode is reported for information and not gated (its cost is why
-//! timing is opt-in).
+//! Samples are interleaved (bare, counters, spans, timed, bare, ...) so
+//! clock drift and thermal effects hit all four alike. The *counters*
+//! and *spans* medians must each stay within `QP_OBS_BUDGET_PCT`
+//! percent (default 5) of bare, or the bench exits non-zero — this is
+//! the CI overhead gate, and it is what keeps spans default-on. The
+//! timed mode is reported for information and not gated (its per-call
+//! cost is why timing is opt-in).
 //!
 //! Results land in `BENCH_overhead.json` at the workspace root, the
 //! first point of the repo's performance trajectory.
@@ -26,10 +32,11 @@
 
 use qp_datagen::{TpchConfig, TpchDb};
 use qp_exec::executor::QueryRun;
-use qp_exec::{Plan, RunControls};
+use qp_exec::{Plan, RunControls, SpanAttach};
 use qp_obs::json::Obj;
-use qp_obs::QueryObs;
+use qp_obs::{QueryObs, SpanSink};
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which observability configuration a run uses.
@@ -37,6 +44,7 @@ use std::time::Instant;
 enum Mode {
     Bare,
     Counters,
+    Spans,
     Timed,
 }
 
@@ -45,12 +53,13 @@ impl Mode {
         match self {
             Mode::Bare => "bare",
             Mode::Counters => "counters",
+            Mode::Spans => "spans",
             Mode::Timed => "timed",
         }
     }
 }
 
-const MODES: [Mode; 3] = [Mode::Bare, Mode::Counters, Mode::Timed];
+const MODES: [Mode; 4] = [Mode::Bare, Mode::Counters, Mode::Spans, Mode::Timed];
 
 /// One timed execution of the pipeline; returns (nanoseconds, total
 /// getnext calls, rows summed over the per-node obs counters — 0 when
@@ -61,11 +70,20 @@ const MODES: [Mode; 3] = [Mode::Bare, Mode::Counters, Mode::Timed];
 fn run_once(plan: &Plan, db: &qp_storage::Database, mode: Mode) -> (u64, u64, u64) {
     let obs = match mode {
         Mode::Bare => None,
-        Mode::Counters => Some(QueryObs::new(0, plan.op_labels(), false, None)),
+        Mode::Counters | Mode::Spans => Some(QueryObs::new(0, plan.op_labels(), false, None)),
         Mode::Timed => Some(QueryObs::new(0, plan.op_labels(), true, None)),
     };
+    // The service attaches one shared sink per process; a fresh one per
+    // run keeps samples independent. Capacity matches the service
+    // default, far above the handful of marks one pipeline produces.
+    let spans = (mode == Mode::Spans).then(|| SpanAttach {
+        sink: Arc::new(SpanSink::new(4096)),
+        query: 0,
+        parent: 0,
+    });
     let controls = RunControls {
         obs: obs.clone(),
+        spans,
         ..RunControls::default()
     };
     let started = Instant::now();
@@ -103,7 +121,7 @@ fn main() {
         // claims — just prove the three configurations agree on the work
         // done and that counters count every call.
         let (_, bare_total, _) = run_once(&plan, &t.db, Mode::Bare);
-        for mode in [Mode::Counters, Mode::Timed] {
+        for mode in [Mode::Counters, Mode::Spans, Mode::Timed] {
             let (_, total, counted) = run_once(&plan, &t.db, mode);
             assert_eq!(total, bare_total, "{mode:?} changed the work done");
             assert_eq!(
@@ -126,7 +144,7 @@ fn main() {
     for mode in MODES {
         run_once(&plan, &t.db, mode);
     }
-    let mut ns: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut ns: [Vec<u64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
     let mut total_getnext = 0;
     for _ in 0..SAMPLES {
         for (i, mode) in MODES.iter().enumerate() {
@@ -144,14 +162,16 @@ fn main() {
 
     let bare = median(&mut ns[0]);
     let counters = median(&mut ns[1]);
-    let timed = median(&mut ns[2]);
+    let spans = median(&mut ns[2]);
+    let timed = median(&mut ns[3]);
     let pct = |m: u64| (m as f64 - bare as f64) / bare as f64 * 100.0;
     let counters_pct = pct(counters);
+    let spans_pct = pct(spans);
     let timed_pct = pct(timed);
 
     println!("obs_overhead: TPC-H Q3, scale {scale}, {SAMPLES} interleaved samples");
     println!("  getnext calls per run: {total_getnext}");
-    for (mode, m) in MODES.iter().zip([bare, counters, timed]) {
+    for (mode, m) in MODES.iter().zip([bare, counters, spans, timed]) {
         println!(
             "  {:<10} median {:>12.3} ms{}",
             mode.name(),
@@ -164,7 +184,7 @@ fn main() {
         );
     }
 
-    let pass = counters_pct <= budget_pct;
+    let pass = counters_pct <= budget_pct && spans_pct <= budget_pct;
     let json = Obj::new()
         .str("bench", "obs_overhead")
         .str("query", "tpch-q3")
@@ -173,8 +193,10 @@ fn main() {
         .u64("getnext_per_run", total_getnext)
         .u64("bare_median_ns", bare)
         .u64("counters_median_ns", counters)
+        .u64("spans_median_ns", spans)
         .u64("timed_median_ns", timed)
         .f64("counters_overhead_pct", counters_pct)
+        .f64("spans_overhead_pct", spans_pct)
         .f64("timed_overhead_pct", timed_pct)
         .f64("budget_pct", budget_pct)
         .str("gate", if pass { "pass" } else { "fail" })
@@ -187,9 +209,13 @@ fn main() {
 
     if !pass {
         eprintln!(
-            "OVERHEAD GATE FAILED: counters cost {counters_pct:.2} % > budget {budget_pct} %"
+            "OVERHEAD GATE FAILED: counters {counters_pct:.2} % / spans {spans_pct:.2} % \
+             vs budget {budget_pct} %"
         );
         std::process::exit(1);
     }
-    println!("  gate: counters {counters_pct:+.2} % <= {budget_pct} % budget — PASS");
+    println!(
+        "  gate: counters {counters_pct:+.2} %, spans {spans_pct:+.2} % \
+         <= {budget_pct} % budget — PASS"
+    );
 }

@@ -31,13 +31,13 @@
 //! protocol's `ESTIMATORS=` field accepts); unknown names abort up front.
 
 use qp_bench::experiments::{
-    ablations, chaos, ensemble, extensions, figures, pagecache, tables, theory, trace_export,
+    ablations, audit, chaos, ensemble, extensions, figures, pagecache, tables, theory, trace_export,
 };
 use qp_bench::Scale;
 
 /// `(name, what it reproduces)` — the full experiment table, also printed
 /// by `--list`.
-const EXPERIMENTS: [(&str, &str); 23] = [
+const EXPERIMENTS: [(&str, &str); 24] = [
     ("fig3", "Figure 3: estimator traces, scan-based query"),
     ("fig4", "Figure 4: estimator traces, TPC-H join query"),
     ("fig5", "Figure 5: estimator traces under skew"),
@@ -73,6 +73,10 @@ const EXPERIMENTS: [(&str, &str); 23] = [
     (
         "trace",
         "Observability: per-query estimator trajectories as JSONL (--csv <dir>)",
+    ),
+    (
+        "audit",
+        "Observability: AUDIT-over-TCP postmortems vs offline TRACE re-score, 3 seeds",
     ),
     (
         "pagecache",
@@ -217,6 +221,13 @@ fn main() {
             }
             "trace" => {
                 let result = trace_export::trace(&scale, csv_dir.as_deref(), estimators);
+                print!("{}", result.render());
+                if !result.passed() {
+                    std::process::exit(1);
+                }
+            }
+            "audit" => {
+                let result = audit::audit(&scale);
                 print!("{}", result.render());
                 if !result.passed() {
                     std::process::exit(1);

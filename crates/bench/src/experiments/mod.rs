@@ -1,6 +1,7 @@
 //! Experiment implementations, grouped as in the paper's evaluation.
 
 pub mod ablations;
+pub mod audit;
 pub mod chaos;
 pub mod ensemble;
 pub mod extensions;

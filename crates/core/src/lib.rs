@@ -56,7 +56,7 @@ pub use estimators::{
     ESTIMATOR_NAMES,
 };
 pub use feedback::{FeedbackEstimator, FeedbackStore, PlanSignature};
-pub use metrics::{threshold_requirement_holds, ErrorStats};
+pub use metrics::{score_checkpoints, threshold_requirement_holds, ErrorStats, PointScore};
 pub use model::{mu_from_counts, PlanMeta};
 pub use monitor::{ProgressMonitor, ProgressTrace, Snapshot};
 pub use shared::{clamp_snapshot, Health, ProgressCell, ProgressReading, RegimeFlags, Trust};

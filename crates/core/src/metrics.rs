@@ -105,6 +105,66 @@ pub fn safe_guarantee(lb: u64, ub: u64) -> f64 {
     (ub.max(1) as f64 / lb.max(1) as f64).sqrt()
 }
 
+/// One estimator's postmortem score over raw `(curr, estimate)`
+/// checkpoints — the scoring kernel behind the service's `AUDIT` verb.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointScore {
+    /// Checkpoints scored (`curr > 0`).
+    pub points: u64,
+    /// Maximum ratio error (≥ 1).
+    pub max_ratio: f64,
+    /// Average ratio error over the scored checkpoints.
+    pub avg_ratio: f64,
+    /// Checkpoints where the estimate underestimated true progress by
+    /// more than epsilon — Property-4 violations for estimators that
+    /// claim never to underestimate (`pmax`).
+    pub p4_violations: u64,
+}
+
+/// Scores one estimator's `(curr, estimate)` checkpoints against the
+/// now-known `total(Q)` — the replay a finished session's TraceBuffer
+/// goes through for its postmortem. Checkpoints at `curr == 0` are
+/// skipped (ratio error is undefined at zero progress); a NaN estimate
+/// scores like `0` (floored at epsilon by [`ratio_error`], i.e. a huge
+/// but finite penalty). Returns `None` when nothing is scorable.
+///
+/// Determinism contract: this function is pure f64 arithmetic over its
+/// inputs, so scoring the live `TraceBuffer` in-process and re-scoring
+/// the same checkpoints parsed back from `TRACE` JSONL produce
+/// *bit-identical* results — `repro -- audit` gates on exactly that.
+pub fn score_checkpoints(points: &[(u64, f64)], total: u64) -> Option<PointScore> {
+    if total == 0 {
+        return None;
+    }
+    let mut n = 0u64;
+    let mut max_ratio = 1.0f64;
+    let mut sum_ratio = 0.0f64;
+    let mut p4 = 0u64;
+    for &(curr, est) in points {
+        if curr == 0 {
+            continue;
+        }
+        let progress = curr as f64 / total as f64;
+        let e = if est.is_nan() { 0.0 } else { est };
+        let r = ratio_error(e, progress);
+        max_ratio = max_ratio.max(r);
+        sum_ratio += r;
+        n += 1;
+        if e < progress - 1e-9 {
+            p4 += 1;
+        }
+    }
+    if n == 0 {
+        return None;
+    }
+    Some(PointScore {
+        points: n,
+        max_ratio,
+        avg_ratio: sum_ratio / n as f64,
+        p4_violations: p4,
+    })
+}
+
 /// Renders error stats as the percentage strings the paper's Table 1 uses.
 pub fn percent(x: f64) -> String {
     format!("{:.2}%", x * 100.0)
@@ -175,6 +235,30 @@ mod tests {
     fn unknown_estimator_yields_none() {
         let t = trace();
         assert!(error_stats(&t, "nope").is_none());
+    }
+
+    #[test]
+    fn score_checkpoints_matches_hand_arithmetic() {
+        // total = 100; points at curr 0 (skipped), 25, 50, 100.
+        let pts = [(0u64, 0.9), (25, 0.5), (50, 0.5), (100, 0.5)];
+        let s = score_checkpoints(&pts, 100).unwrap();
+        assert_eq!(s.points, 3);
+        // ratios: 2.0 (0.5 vs 0.25), 1.0, 2.0 (0.5 vs 1.0).
+        assert!((s.max_ratio - 2.0).abs() < 1e-12, "{s:?}");
+        assert!((s.avg_ratio - 5.0 / 3.0).abs() < 1e-12, "{s:?}");
+        // Underestimates: only the last point (0.5 < 1.0).
+        assert_eq!(s.p4_violations, 1);
+    }
+
+    #[test]
+    fn score_checkpoints_degenerate_inputs() {
+        assert!(score_checkpoints(&[], 100).is_none());
+        assert!(score_checkpoints(&[(5, 0.5)], 0).is_none());
+        assert!(score_checkpoints(&[(0, 0.5)], 100).is_none());
+        // NaN estimates are penalized like zero, not propagated.
+        let s = score_checkpoints(&[(50, f64::NAN)], 100).unwrap();
+        assert!(s.max_ratio.is_finite() && s.max_ratio > 1e6, "{s:?}");
+        assert_eq!(s.p4_violations, 1);
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! their final row, so bound finalization never fires early.
 
 use crate::error::{ExecError, ExecResult};
-use qp_obs::QueryObs;
+use qp_obs::{QueryObs, SpanKind, SpanSink};
 use qp_storage::{Row, Schema, StorageError};
 use qp_testkit::fault::{FaultKind, FaultPlan};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -188,6 +188,21 @@ impl CancelToken {
     }
 }
 
+/// Where this query's hierarchical spans go: the sink, the session id
+/// they are tagged with, and the span the query nests under (a session
+/// span begun by the service, or 0 for a root query). Span recording is
+/// cold-path only — marks land at open/close and fork boundaries, never
+/// per row — so it stays on even in `--no-default-features` builds.
+#[derive(Debug, Clone)]
+pub struct SpanAttach {
+    /// The shared span sink.
+    pub sink: Arc<SpanSink>,
+    /// Session id spans are tagged with (`QueryId::0`, or 0 standalone).
+    pub query: u64,
+    /// Parent span id the query span nests under (0 = root).
+    pub parent: u64,
+}
+
 /// External controls a query runs under: the kill switch, an optional
 /// wall-clock deadline, and an optional deterministic fault schedule.
 ///
@@ -211,6 +226,9 @@ pub struct RunControls {
     /// path; recording statements also compile out entirely without the
     /// `obs` cargo feature.
     pub obs: Option<Arc<QueryObs>>,
+    /// Hierarchical span recording (query → pipeline → exchange →
+    /// worker → operator); `None` records nothing.
+    pub spans: Option<SpanAttach>,
     /// Morsel / batch sizing (results-neutral; see [`ExecTuning`]).
     pub tuning: ExecTuning,
 }
@@ -291,6 +309,18 @@ pub struct ExecContext {
     /// of thread scheduling *and* of work stealing.
     fault_clock: Option<AtomicU64>,
     obs: Option<Arc<QueryObs>>,
+    /// Span sink shared by the root and every fork (`None` = no spans).
+    spans: Option<Arc<SpanSink>>,
+    /// Session id spans are tagged with.
+    span_query: u64,
+    /// The span id newly opened operators nest under. The root query
+    /// sets it to the pipeline span; each Exchange worker re-points its
+    /// fork's copy at the worker's own span before building the
+    /// partition chain — which is exactly what makes operator spans
+    /// nest under the worker that ran them. Atomic because the fork is
+    /// created on the coordinating thread but re-pointed on the worker
+    /// thread.
+    span_parent: AtomicU64,
     /// Morsel / batch sizing, inherited by forks.
     tuning: ExecTuning,
 }
@@ -336,6 +366,10 @@ impl ExecContext {
         if let Some(obs) = &controls.obs {
             debug_assert_eq!(obs.len(), n_nodes, "QueryObs arity must match the plan");
         }
+        let (spans, span_query, span_parent) = match controls.spans {
+            Some(attach) => (Some(attach.sink), attach.query, attach.parent),
+            None => (None, 0, 0),
+        };
         Arc::new(ExecContext {
             counters: Arc::new(Counters::new(n_nodes)),
             observer: Arc::new(Mutex::new(None)),
@@ -348,6 +382,9 @@ impl ExecContext {
             morsel_proto: None,
             fault_clock: None,
             obs: controls.obs,
+            spans,
+            span_query,
+            span_parent: AtomicU64::new(span_parent),
             tuning: controls.tuning,
         })
     }
@@ -376,6 +413,12 @@ impl ExecContext {
             morsel_proto,
             fault_clock: Some(AtomicU64::new(0)),
             obs: parent.obs.clone(),
+            spans: parent.spans.clone(),
+            span_query: parent.span_query,
+            // Inherit the parent's current span; the Exchange worker
+            // re-points this at its own worker span before any operator
+            // in the partition chain opens.
+            span_parent: AtomicU64::new(parent.span_parent.load(Ordering::Relaxed)),
             tuning: parent.tuning,
         })
     }
@@ -462,6 +505,28 @@ impl ExecContext {
     /// The observability sink this query reports into, if any.
     pub fn obs(&self) -> Option<&Arc<QueryObs>> {
         self.obs.as_ref()
+    }
+
+    /// The span sink this query records into, if any.
+    pub fn span_sink(&self) -> Option<&Arc<SpanSink>> {
+        self.spans.as_ref()
+    }
+
+    /// The session id spans are tagged with.
+    pub fn span_query(&self) -> u64 {
+        self.span_query
+    }
+
+    /// The span id newly opened operators currently nest under.
+    pub fn span_parent(&self) -> u64 {
+        self.span_parent.load(Ordering::Relaxed)
+    }
+
+    /// Re-points the operator-parent span (the executor sets the
+    /// pipeline span here; each Exchange worker sets its worker span on
+    /// its own fork before building the partition chain).
+    pub fn set_span_parent(&self, span: u64) {
+        self.span_parent.store(span, Ordering::Relaxed);
     }
 
     /// The single interrupt point of the execution model: cancellation,
@@ -706,6 +771,14 @@ pub struct Counted {
     /// plumbing, not a getnext producer, so the paper's accounting stays
     /// byte-identical to the serial plan.
     counting: bool,
+    /// This wrapper's open operator span (0 = none). Begun at the
+    /// *first* open only — re-opened operators (a nested-loop inner per
+    /// outer row) must not mint a span per rescan — and ended exactly
+    /// once, at close or drop, whichever comes first.
+    span: u64,
+    /// Whether the operator span was ever begun (sticky across close,
+    /// so a reopened operator doesn't begin a second span).
+    span_begun: bool,
     /// Whether this query runs with opt-in per-call timing — the *only*
     /// observability state `next` consults. `false` both when
     /// observability is absent and when it is untimed, so the untimed
@@ -777,6 +850,8 @@ impl Counted {
             node,
             done: false,
             counting,
+            span: 0,
+            span_begun: false,
             #[cfg(feature = "obs")]
             obs_timed: ctx.obs.as_ref().is_some_and(|o| o.timed()),
             ctx,
@@ -788,6 +863,47 @@ impl Counted {
     /// The plan node this operator instantiates.
     pub fn node_id(&self) -> NodeId {
         self.node
+    }
+
+    /// The execution context this wrapper runs under (an `Exchange`
+    /// reads its workers' forked contexts through this).
+    pub(crate) fn ctx(&self) -> &Arc<ExecContext> {
+        &self.ctx
+    }
+
+    /// Begins this wrapper's operator span on the first open. The
+    /// parent is read from the context *at open time*: on a worker fork
+    /// that is the worker span the Exchange pointed the fork at.
+    fn begin_span(&mut self) {
+        if self.span_begun || !self.counting {
+            return;
+        }
+        if let Some(sink) = &self.ctx.spans {
+            self.span = sink.begin(
+                self.ctx.span_query,
+                self.ctx.span_parent(),
+                SpanKind::Operator,
+                self.node as u64,
+            );
+            self.span_begun = true;
+        }
+    }
+
+    /// Ends the operator span exactly once (close or drop).
+    fn end_span(&mut self) {
+        if self.span == 0 {
+            return;
+        }
+        if let Some(sink) = &self.ctx.spans {
+            sink.end(
+                self.ctx.span_query,
+                self.span,
+                self.ctx.span_parent(),
+                SpanKind::Operator,
+                self.node as u64,
+            );
+        }
+        self.span = 0;
     }
 
     /// The uninstrumented getnext body (also the timed region of the
@@ -824,8 +940,12 @@ impl Counted {
     fn next_timed(&mut self) -> ExecResult<Option<Row>> {
         let started = Instant::now();
         let result = self.next_inner();
+        let d = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         let buf = self.obs.as_mut().expect("timed implies obs");
-        buf.ns += started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        // Per-call latency lands in the node's histogram immediately
+        // (atomic buckets — no staging needed); cum_ns stays batched.
+        buf.sink.record_latency(self.node, d);
+        buf.ns += d;
         buf.calls += 1;
         if buf.calls >= ObsBuffer::FLUSH_EVERY || !matches!(&result, Ok(Some(_))) {
             self.flush_obs();
@@ -864,19 +984,21 @@ impl Counted {
     }
 }
 
-#[cfg(feature = "obs")]
 impl Drop for Counted {
     /// Errors and panics unwind without `close`; dropping the operator
     /// tree is the last flush point, so even fault-killed queries leave
-    /// exact counters behind.
+    /// exact counters — and closed spans — behind.
     fn drop(&mut self) {
+        #[cfg(feature = "obs")]
         self.flush_obs();
+        self.end_span();
     }
 }
 
 impl Operator for Counted {
     fn open(&mut self) -> ExecResult<()> {
         self.ctx.check_interrupts(self.node)?;
+        self.begin_span();
         if self.counting {
             self.ctx.record_open(self.node);
         }
@@ -939,6 +1061,7 @@ impl Operator for Counted {
     fn close(&mut self) {
         #[cfg(feature = "obs")]
         self.flush_obs();
+        self.end_span();
         self.inner.close();
     }
 

@@ -16,6 +16,12 @@ use std::sync::Arc;
 pub struct QueryRun {
     ctx: Arc<ExecContext>,
     root: Counted,
+    /// Query-level span (0 when no span sink is attached) and the parent
+    /// it was begun under — the session span when the service submits.
+    query_span: u64,
+    query_parent: u64,
+    /// The root pipeline span every serial operator nests under.
+    pipeline_span: u64,
 }
 
 impl QueryRun {
@@ -49,8 +55,28 @@ impl QueryRun {
         } else {
             ExecContext::with_controls(plan.len(), controls)
         };
+        // Open the query-level spans *before* instantiating the tree:
+        // Exchange forks snapshot the current span parent at build time,
+        // so the pipeline span must already be in place for worker spans
+        // to nest under it.
+        let (query_span, query_parent, pipeline_span) = match ctx.span_sink() {
+            Some(sink) => {
+                let parent = ctx.span_parent();
+                let q = sink.begin(ctx.span_query(), parent, qp_obs::SpanKind::Query, 0);
+                let p = sink.begin(ctx.span_query(), q, qp_obs::SpanKind::Pipeline, 0);
+                ctx.set_span_parent(p);
+                (q, parent, p)
+            }
+            None => (0, 0, 0),
+        };
         let root = build_node(plan, plan.root(), db, &ctx, &exchanges)?;
-        Ok(QueryRun { ctx, root })
+        Ok(QueryRun {
+            ctx,
+            root,
+            query_span,
+            query_parent,
+            pipeline_span,
+        })
     }
 
     /// Registers an observer (e.g. a progress monitor) before running.
@@ -76,12 +102,54 @@ impl QueryRun {
     /// to one row per pull, so instrumented runs see the identical per-row
     /// event stream a plain `next()` loop would produce.
     pub fn run(&mut self) -> ExecResult<Vec<Row>> {
+        let result = self.drive();
+        // Spans close on *both* exits: a cancelled or faulted run still
+        // leaves a well-formed tree in the sink (the operators' own spans
+        // close via `Counted`'s Drop as the tree unwinds).
+        self.end_query_spans();
+        result
+    }
+
+    fn drive(&mut self) -> ExecResult<Vec<Row>> {
         self.root.open()?;
         let batch = self.ctx.tuning().batch_rows.max(1);
         let mut rows = Vec::new();
         while self.root.next_batch(batch, &mut rows)? {}
         self.root.close();
         Ok(rows)
+    }
+
+    fn end_query_spans(&mut self) {
+        let Some(sink) = self.ctx.span_sink() else {
+            return;
+        };
+        if self.pipeline_span != 0 {
+            sink.end(
+                self.ctx.span_query(),
+                self.pipeline_span,
+                self.query_span,
+                qp_obs::SpanKind::Pipeline,
+                0,
+            );
+            self.pipeline_span = 0;
+        }
+        if self.query_span != 0 {
+            sink.end(
+                self.ctx.span_query(),
+                self.query_span,
+                self.query_parent,
+                qp_obs::SpanKind::Query,
+                0,
+            );
+            self.query_span = 0;
+        }
+    }
+}
+
+impl Drop for QueryRun {
+    fn drop(&mut self) {
+        // Idempotent: a normal `run()` already zeroed both ids.
+        self.end_query_spans();
     }
 }
 

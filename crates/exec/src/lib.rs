@@ -46,7 +46,7 @@ pub mod plan;
 
 pub use context::{
     fault_kind_code, fault_kind_name, CancelToken, Counters, ExecContext, ExecEvent, ExecTuning,
-    NodeId, Observer, RunControls,
+    NodeId, Observer, RunControls, SpanAttach,
 };
 pub use error::{ExecError, ExecResult};
 // Fault-injection vocabulary, re-exported so downstream crates can drive

@@ -128,16 +128,64 @@ impl Operator for ExchangeOp {
             return Ok(());
         }
         let batch_rows = self.batch_rows;
+        // Span bookkeeping rides the first worker's forked context (all
+        // forks share the query's sink). The parent is read *before* any
+        // worker thread re-points its fork at its own worker span: forks
+        // inherited the pipeline span current at build time.
+        let span_ctx = Arc::clone(workers[0].chain.ctx());
+        let exchange_parent = span_ctx.span_parent();
+        let exchange_span = match span_ctx.span_sink() {
+            Some(sink) => sink.begin(
+                span_ctx.span_query(),
+                exchange_parent,
+                qp_obs::SpanKind::Exchange,
+                workers.len() as u64,
+            ),
+            None => 0,
+        };
         // (tag after the run, result) per worker, in spawn order.
         let results: Vec<(usize, Result<ExecResult<Segments>, _>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = workers
                 .into_iter()
-                .map(|worker| {
+                .enumerate()
+                .map(|(w, worker)| {
                     scope.spawn(move || {
                         let ExchangeWorker { mut chain, tag } = worker;
+                        // Each worker opens its own span under the
+                        // exchange and re-points its fork so the chain's
+                        // operator spans nest under the worker — ended
+                        // unconditionally, even when `drive` fails.
+                        let wctx = Arc::clone(chain.ctx());
+                        let wspan = match wctx.span_sink() {
+                            Some(sink) if exchange_span != 0 => {
+                                let s = sink.begin(
+                                    wctx.span_query(),
+                                    exchange_span,
+                                    qp_obs::SpanKind::Worker,
+                                    w as u64,
+                                );
+                                wctx.set_span_parent(s);
+                                s
+                            }
+                            _ => 0,
+                        };
                         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             drive(&mut chain, &tag, batch_rows)
                         }));
+                        // Close the chain's operator spans before the
+                        // worker span: on failure the tree unwinds here.
+                        drop(chain);
+                        if wspan != 0 {
+                            if let Some(sink) = wctx.span_sink() {
+                                sink.end(
+                                    wctx.span_query(),
+                                    wspan,
+                                    exchange_span,
+                                    qp_obs::SpanKind::Worker,
+                                    w as u64,
+                                );
+                            }
+                        }
                         // A failed worker claims no further morsels, so
                         // the tag still names the morsel it died on.
                         (tag.load(Ordering::Relaxed), result)
@@ -149,6 +197,19 @@ impl Operator for ExchangeOp {
                 .map(|h| h.join().expect("worker panics are caught inside"))
                 .collect()
         });
+        // The exchange span covers the parallel region; it closes before
+        // failure surfacing so a faulted run still leaves it well-formed.
+        if exchange_span != 0 {
+            if let Some(sink) = span_ctx.span_sink() {
+                sink.end(
+                    span_ctx.span_query(),
+                    exchange_span,
+                    exchange_parent,
+                    qp_obs::SpanKind::Exchange,
+                    0,
+                );
+            }
+        }
         let mut failures: Vec<(usize, usize, Failure)> = Vec::new();
         let mut segments: Segments = Vec::new();
         for (w, (tag, result)) in results.into_iter().enumerate() {

@@ -1,0 +1,154 @@
+//! Estimator-accuracy postmortems — the record type behind `AUDIT`.
+//!
+//! While a query runs, nobody knows `total(Q)`, so nobody knows how
+//! wrong the progress estimators were. The moment it *finishes*, the
+//! truth is on the table: the service replays the session's
+//! [`crate::trace_buf::TraceBuffer`] against the now-known total and
+//! scores every estimator in the suite. A [`Postmortem`] is the result
+//! of that replay — per-estimator max/avg ratio error, Property-4
+//! violations (an estimator that promised never to underestimate, and
+//! did), plus the session's trust trajectory — retained in a bounded
+//! deque and served over the `AUDIT [<id>]` wire verb as JSONL.
+//!
+//! This crate only defines the record and its rendering; the *scoring*
+//! lives in `qp_progress::metrics::score_checkpoints` (it owns the
+//! ratio-error definition), and the lifecycle hook lives in the
+//! service. Floats render through [`crate::json::Obj`], whose `f64`
+//! output is Rust's shortest round-trip `Display` — so a score computed
+//! in-process and one recomputed offline from the same `TRACE` JSONL
+//! agree *byte-for-byte*, which the `repro -- audit` gate checks.
+
+use crate::json::Obj;
+
+/// One estimator's score over a finished session's trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorScore {
+    /// The estimator's registry name (`dne`, `pmax`, `safe`, ...).
+    pub name: String,
+    /// Checkpoints scored (those with `curr > 0`).
+    pub points: u64,
+    /// Maximum ratio error `max(e/p, p/e)` over the trace (≥ 1).
+    pub max_ratio: f64,
+    /// Average ratio error over the scored checkpoints.
+    pub avg_ratio: f64,
+    /// Checkpoints where the estimate *under*-estimated true progress
+    /// (beyond epsilon) — violations of the paper's Property 4 when the
+    /// estimator claims that guarantee (`pmax`).
+    pub p4_violations: u64,
+}
+
+/// The full postmortem of one finished session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Postmortem {
+    /// The session (`QueryId::0`).
+    pub query: u64,
+    /// The now-known `total(Q)` in getnext calls.
+    pub total: u64,
+    /// Wall-clock run time (queue time excluded), milliseconds.
+    pub wall_ms: u64,
+    /// The session's final trust flag (`ok`/`degraded`/`fallback`).
+    pub final_trust: String,
+    /// How many times the published trust flag changed mid-run.
+    pub trust_transitions: u64,
+    /// Per-estimator scores, in the session suite's registration order.
+    pub scores: Vec<EstimatorScore>,
+}
+
+impl Postmortem {
+    /// The worst finite `max_ratio` across the suite (1.0 when no
+    /// estimator scored) — the headline "how wrong did it get" number
+    /// carried on the `SlowQuery` flight-recorder event.
+    pub fn worst_ratio(&self) -> f64 {
+        self.scores
+            .iter()
+            .map(|s| s.max_ratio)
+            .filter(|r| r.is_finite())
+            .fold(1.0, f64::max)
+    }
+
+    /// Renders the postmortem as JSONL: one flat object per estimator,
+    /// every line self-describing (`type`/`query` repeated) so a stream
+    /// of many sessions' audits stays greppable.
+    pub fn to_jsonl(&self) -> Vec<String> {
+        self.scores
+            .iter()
+            .map(|s| {
+                Obj::new()
+                    .str("type", "audit")
+                    .u64("query", self.query)
+                    .str("estimator", &s.name)
+                    .u64("total", self.total)
+                    .u64("points", s.points)
+                    .f64("max_ratio", s.max_ratio)
+                    .f64("avg_ratio", s.avg_ratio)
+                    .u64("p4_violations", s.p4_violations)
+                    .str("final_trust", &self.final_trust)
+                    .u64("trust_transitions", self.trust_transitions)
+                    .u64("wall_ms", self.wall_ms)
+                    .finish()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+
+    fn sample() -> Postmortem {
+        Postmortem {
+            query: 3,
+            total: 1500,
+            wall_ms: 12,
+            final_trust: "degraded".to_owned(),
+            trust_transitions: 1,
+            scores: vec![
+                EstimatorScore {
+                    name: "dne".to_owned(),
+                    points: 7,
+                    max_ratio: 1.25,
+                    avg_ratio: 1.1,
+                    p4_violations: 2,
+                },
+                EstimatorScore {
+                    name: "pmax".to_owned(),
+                    points: 7,
+                    max_ratio: 2.0,
+                    avg_ratio: 1.5,
+                    p4_violations: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back_field_for_field() {
+        let pm = sample();
+        let lines = pm.to_jsonl();
+        assert_eq!(lines.len(), 2);
+        let v = parse(&lines[1]).unwrap();
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("audit"));
+        assert_eq!(v.get("query").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("estimator").and_then(Value::as_str), Some("pmax"));
+        assert_eq!(v.get("total").and_then(Value::as_u64), Some(1500));
+        assert_eq!(v.get("max_ratio").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(v.get("p4_violations").and_then(Value::as_u64), Some(0));
+        assert_eq!(
+            v.get("final_trust").and_then(Value::as_str),
+            Some("degraded")
+        );
+        assert_eq!(v.get("trust_transitions").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("wall_ms").and_then(Value::as_u64), Some(12));
+    }
+
+    #[test]
+    fn worst_ratio_skips_non_finite_scores() {
+        let mut pm = sample();
+        assert_eq!(pm.worst_ratio(), 2.0);
+        pm.scores[0].max_ratio = f64::INFINITY;
+        assert_eq!(pm.worst_ratio(), 2.0);
+        pm.scores.clear();
+        assert_eq!(pm.worst_ratio(), 1.0);
+    }
+}

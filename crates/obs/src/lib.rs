@@ -29,6 +29,20 @@
 //!   lock-free while the query runs — the data source for the
 //!   `TRACE <id>` verb.
 //!
+//! Three deep-observability layers on the same primitives:
+//!
+//! * [`span::SpanSink`] — hierarchical begin/end spans (session → query
+//!   → pipeline → exchange → worker → operator) through a lock-free
+//!   ring, so the *shape* of an execution — including Exchange fan-out —
+//!   is reconstructable after the fact.
+//! * [`hist::LatencyHistogram`] — wait-free HDR-style log-bucketed
+//!   latency histograms with mergeable atomic buckets and p50/p95/p99
+//!   extraction, for per-operator call timing (opt-in), per-verb server
+//!   request handling, and session queue/run latency.
+//! * [`audit::Postmortem`] — the per-session estimator-accuracy record
+//!   scored when a query finishes and `total(Q)` becomes known; the
+//!   payload behind the `AUDIT [<id>]` wire verb.
+//!
 //! Plus two wire-format helpers: [`prom`] (Prometheus text exposition
 //! for `METRICS`) and [`json`] (flat-object JSONL writer and validating
 //! reader for `TRACE` and `repro -- trace`).
@@ -37,14 +51,20 @@
 //! estimators. Callers pass in operator-kind labels, session ids, and
 //! state codes; the service layer owns their meaning.
 
+pub mod audit;
+pub mod hist;
 pub mod json;
 pub mod prom;
 pub mod recorder;
 pub mod ring;
+pub mod span;
 pub mod stats;
 pub mod trace_buf;
 
+pub use audit::{EstimatorScore, Postmortem};
+pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use recorder::{Event, EventKind, FlightRecorder};
 pub use ring::{RawRecord, RawRing};
+pub use span::{Span, SpanEvent, SpanKind, SpanSink};
 pub use stats::{NodeStats, NodeStatsSnapshot, QueryObs};
 pub use trace_buf::{TraceBuffer, TracePoint};

@@ -49,6 +49,36 @@ impl PromText {
         self
     }
 
+    /// Emits one full histogram series: cumulative `{le="..."}` buckets
+    /// (callers supply exact inclusive edges, e.g. from
+    /// [`crate::hist::HistogramSnapshot::le_buckets`]), the implicit
+    /// `le="+Inf"` bucket at `count`, and the `_sum`/`_count` samples.
+    /// `labels` are repeated on every sample of the series, per the
+    /// exposition format. Call [`family`](PromText::family) with kind
+    /// `histogram` once per metric name before the first series.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        le_buckets: &[(u64, u64)],
+        sum: u64,
+        count: u64,
+    ) -> &mut Self {
+        let bucket_name = format!("{name}_bucket");
+        for (le, cum) in le_buckets {
+            let le_text = le.to_string();
+            let mut with_le = labels.to_vec();
+            with_le.push(("le", le_text.as_str()));
+            self.sample(&bucket_name, &with_le, *cum as f64);
+        }
+        let mut with_le = labels.to_vec();
+        with_le.push(("le", "+Inf"));
+        self.sample(&bucket_name, &with_le, count as f64);
+        self.sample(&format!("{name}_sum"), labels, sum as f64);
+        self.sample(&format!("{name}_count"), labels, count as f64);
+        self
+    }
+
     /// The finished payload.
     pub fn finish(self) -> String {
         self.buf
@@ -110,6 +140,48 @@ mod tests {
             p.finish(),
             "qp_op{op=\"Seq\\\"Scan\\\\x\",node=\"0\"} 1.5\n"
         );
+    }
+
+    #[test]
+    fn histogram_series_render_cumulative_buckets() {
+        let mut p = PromText::new();
+        p.family("qp_run_latency_ns", "histogram", "Run latency");
+        p.histogram("qp_run_latency_ns", &[], &[(1023, 2), (4095, 5)], 12345, 7);
+        let text = p.finish();
+        assert!(text.contains("# TYPE qp_run_latency_ns histogram\n"));
+        assert!(text.contains("qp_run_latency_ns_bucket{le=\"1023\"} 2\n"));
+        assert!(text.contains("qp_run_latency_ns_bucket{le=\"4095\"} 5\n"));
+        assert!(text.contains("qp_run_latency_ns_bucket{le=\"+Inf\"} 7\n"));
+        assert!(text.contains("qp_run_latency_ns_sum 12345\n"));
+        assert!(text.contains("qp_run_latency_ns_count 7\n"));
+    }
+
+    #[test]
+    fn histogram_series_repeat_labels_before_le() {
+        let mut p = PromText::new();
+        p.histogram("qp_req", &[("verb", "SUBMIT")], &[(1023, 1)], 9, 1);
+        let text = p.finish();
+        assert!(text.contains("qp_req_bucket{verb=\"SUBMIT\",le=\"1023\"} 1\n"));
+        assert!(text.contains("qp_req_bucket{verb=\"SUBMIT\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("qp_req_sum{verb=\"SUBMIT\"} 9\n"));
+        assert!(text.contains("qp_req_count{verb=\"SUBMIT\"} 1\n"));
+    }
+
+    #[test]
+    fn histogram_from_a_real_snapshot_is_exact() {
+        use crate::hist::LatencyHistogram;
+        let h = LatencyHistogram::new();
+        for v in [500u64, 1023, 1024, 100_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut p = PromText::new();
+        p.histogram("qp_h", &[], &snap.le_buckets(), snap.sum, snap.count);
+        let text = p.finish();
+        // 500 and 1023 are ≤ the first exported edge (2^10−1), exactly.
+        assert!(text.contains("qp_h_bucket{le=\"1023\"} 2\n"), "{text}");
+        assert!(text.contains("qp_h_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("qp_h_count 4\n"));
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub enum EventKind {
     /// The buffer pool evicted a page to make room for a miss. `a` = the
     /// owning pager's tag, `b` = the evicted page id.
     PageEvicted = 7,
+    /// A session's run latency exceeded the service's slow-query
+    /// threshold. `a` = the worst estimator max-ratio error from the
+    /// postmortem in milli-units (`ratio × 1000`, saturating), `b` = the
+    /// final trust flag's code.
+    SlowQuery = 8,
 }
 
 impl EventKind {
@@ -60,6 +65,7 @@ impl EventKind {
             EventKind::DeadlineExceeded => "deadline_exceeded",
             EventKind::CancelObserved => "cancel_observed",
             EventKind::PageEvicted => "page_evicted",
+            EventKind::SlowQuery => "slow_query",
         }
     }
 
@@ -73,6 +79,7 @@ impl EventKind {
             5 => EventKind::DeadlineExceeded,
             6 => EventKind::CancelObserved,
             7 => EventKind::PageEvicted,
+            8 => EventKind::SlowQuery,
             _ => return None,
         })
     }
@@ -103,7 +110,7 @@ pub struct FlightRecorder {
     start: Instant,
     ring: RawRing,
     /// Events recorded per kind (index = discriminant), for METRICS.
-    per_kind: [AtomicU64; 8],
+    per_kind: [AtomicU64; 9],
 }
 
 /// Payload layout: `[t_micros, query, kind, a, b]`.
@@ -182,6 +189,8 @@ mod tests {
             EventKind::FaultInjected,
             EventKind::DeadlineExceeded,
             EventKind::CancelObserved,
+            EventKind::PageEvicted,
+            EventKind::SlowQuery,
         ] {
             assert_eq!(EventKind::from_code(kind as u64), Some(kind));
             assert!(!kind.as_str().is_empty());

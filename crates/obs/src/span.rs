@@ -1,0 +1,303 @@
+//! Hierarchical execution spans through a lock-free sink.
+//!
+//! The flight recorder answers *what happened*; spans answer *where the
+//! time went*. A [`SpanSink`] records begin/end marks for the execution
+//! hierarchy
+//!
+//! ```text
+//! session → query → pipeline → exchange → worker → operator
+//! ```
+//!
+//! through the same fixed-capacity lock-free ring as the
+//! [`crate::recorder::FlightRecorder`], so recording is wait-free from
+//! any partition worker and the newest spans of a dying session always
+//! survive for a postmortem. Span ids are allocated from one atomic
+//! counter (ids start at 1; parent id 0 means "root"), so a begin/end
+//! pair is matched by id even when the marks interleave arbitrarily
+//! across threads.
+//!
+//! The sink is attached to execution via `RunControls` in qp-exec;
+//! forked partition workers inherit their parent context's current span
+//! and re-point it at their own worker span, which is what makes
+//! operator spans inside an Exchange nest under the worker that ran
+//! them rather than under the coordinating pipeline.
+
+use crate::ring::RawRing;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// What level of the execution hierarchy a span covers. Discriminants
+/// are the wire encoding (stable in the ring and JSON dumps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A session's whole life: submit → terminal state. `aux` = 0.
+    Session = 0,
+    /// One query execution on a worker thread. `aux` = 0.
+    Query = 1,
+    /// The root pipeline driving the plan. `aux` = 0.
+    Pipeline = 2,
+    /// An Exchange operator's fan-out. `aux` = the worker count.
+    Exchange = 3,
+    /// One partition worker inside an Exchange. `aux` = the ordinal.
+    Worker = 4,
+    /// One operator node's open→close life. `aux` = the plan node id.
+    Operator = 5,
+}
+
+impl SpanKind {
+    /// Stable token used in JSON dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Session => "session",
+            SpanKind::Query => "query",
+            SpanKind::Pipeline => "pipeline",
+            SpanKind::Exchange => "exchange",
+            SpanKind::Worker => "worker",
+            SpanKind::Operator => "operator",
+        }
+    }
+
+    fn from_code(code: u64) -> Option<SpanKind> {
+        Some(match code {
+            0 => SpanKind::Session,
+            1 => SpanKind::Query,
+            2 => SpanKind::Pipeline,
+            3 => SpanKind::Exchange,
+            4 => SpanKind::Worker,
+            5 => SpanKind::Operator,
+            _ => return None,
+        })
+    }
+}
+
+/// One begin or end mark, as read back from the sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Global sequence number in the sink.
+    pub seq: u64,
+    /// Microseconds since the sink was created (monotonic clock).
+    pub t_micros: u64,
+    /// The session the span belongs to (`QueryId::0`).
+    pub query: u64,
+    /// This span's id (unique across the sink's life, never 0).
+    pub span: u64,
+    /// The enclosing span's id, or 0 for a root span.
+    pub parent: u64,
+    /// Hierarchy level.
+    pub kind: SpanKind,
+    /// `false` = begin mark, `true` = end mark.
+    pub end: bool,
+    /// Kind-specific payload (see [`SpanKind`]).
+    pub aux: u64,
+}
+
+/// A begin/end pair matched by span id (`end_us` is `None` while the
+/// span is still open or its end mark was lost to ring wraparound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub query: u64,
+    pub span: u64,
+    pub parent: u64,
+    pub kind: SpanKind,
+    pub begin_us: u64,
+    pub end_us: Option<u64>,
+    pub aux: u64,
+}
+
+/// Bounded lock-free sink of span marks. See the module docs.
+#[derive(Debug)]
+pub struct SpanSink {
+    start: Instant,
+    /// Payload layout: `[t_micros, query, span, parent, code, aux]`
+    /// where `code = kind·2 + end`.
+    ring: RawRing,
+    /// Next span id; 0 is reserved for "no parent".
+    next_id: AtomicU64,
+}
+
+/// Payload words per mark.
+const WIDTH: usize = 6;
+
+impl SpanSink {
+    /// A sink retaining the newest `capacity` begin/end marks.
+    pub fn new(capacity: usize) -> SpanSink {
+        SpanSink {
+            start: Instant::now(),
+            ring: RawRing::new(capacity, WIDTH),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Opens a span and returns its id; wait-free.
+    pub fn begin(&self, query: u64, parent: u64, kind: SpanKind, aux: u64) -> u64 {
+        let span = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.push(query, span, parent, kind, false, aux);
+        span
+    }
+
+    /// Closes span `span`; wait-free. The parent/kind/aux are repeated
+    /// so an end mark is interpretable even when its begin mark was
+    /// lost to wraparound.
+    pub fn end(&self, query: u64, span: u64, parent: u64, kind: SpanKind, aux: u64) {
+        self.push(query, span, parent, kind, true, aux);
+    }
+
+    fn push(&self, query: u64, span: u64, parent: u64, kind: SpanKind, end: bool, aux: u64) {
+        let t = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let code = (kind as u64) * 2 + end as u64;
+        self.ring.push(&[t, query, span, parent, code, aux]);
+    }
+
+    /// Total marks ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.ring.pushed()
+    }
+
+    /// Marks lost to ring wraparound (monotone).
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// The surviving mark tail, oldest first.
+    pub fn tail(&self) -> Vec<SpanEvent> {
+        self.ring
+            .tail()
+            .into_iter()
+            .filter_map(|rec| {
+                Some(SpanEvent {
+                    seq: rec.seq,
+                    t_micros: rec.payload[0],
+                    query: rec.payload[1],
+                    span: rec.payload[2],
+                    parent: rec.payload[3],
+                    kind: SpanKind::from_code(rec.payload[4] / 2)?,
+                    end: rec.payload[4] % 2 == 1,
+                    aux: rec.payload[5],
+                })
+            })
+            .collect()
+    }
+
+    /// The surviving marks of one session, oldest first.
+    pub fn tail_for(&self, query: u64) -> Vec<SpanEvent> {
+        self.tail()
+            .into_iter()
+            .filter(|e| e.query == query)
+            .collect()
+    }
+
+    /// One session's spans with begin/end marks paired by id, in span-id
+    /// order. An end whose begin was overwritten is dropped; a begin
+    /// with no end yet has `end_us = None`.
+    pub fn spans_for(&self, query: u64) -> Vec<Span> {
+        let mut spans: Vec<Span> = Vec::new();
+        for e in self.tail_for(query) {
+            if !e.end {
+                spans.push(Span {
+                    query: e.query,
+                    span: e.span,
+                    parent: e.parent,
+                    kind: e.kind,
+                    begin_us: e.t_micros,
+                    end_us: None,
+                    aux: e.aux,
+                });
+            } else if let Some(s) = spans.iter_mut().find(|s| s.span == e.span) {
+                s.end_us = Some(e.t_micros);
+            }
+        }
+        spans.sort_by_key(|s| s.span);
+        spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn kinds_round_trip_through_codes() {
+        for kind in [
+            SpanKind::Session,
+            SpanKind::Query,
+            SpanKind::Pipeline,
+            SpanKind::Exchange,
+            SpanKind::Worker,
+            SpanKind::Operator,
+        ] {
+            assert_eq!(SpanKind::from_code(kind as u64), Some(kind));
+            assert!(!kind.as_str().is_empty());
+        }
+        assert_eq!(SpanKind::from_code(99), None);
+    }
+
+    #[test]
+    fn begin_end_pairs_reassemble_into_a_tree() {
+        let sink = SpanSink::new(64);
+        let session = sink.begin(7, 0, SpanKind::Session, 0);
+        let query = sink.begin(7, session, SpanKind::Query, 0);
+        let pipeline = sink.begin(7, query, SpanKind::Pipeline, 0);
+        let op = sink.begin(7, pipeline, SpanKind::Operator, 3);
+        sink.end(7, op, pipeline, SpanKind::Operator, 3);
+        sink.end(7, pipeline, query, SpanKind::Pipeline, 0);
+        sink.end(7, query, session, SpanKind::Query, 0);
+        let spans = sink.spans_for(7);
+        assert_eq!(spans.len(), 4);
+        // Every non-root parent id is a span in the same session.
+        for s in &spans {
+            if s.parent != 0 {
+                assert!(spans.iter().any(|p| p.span == s.parent), "{s:?}");
+            }
+            if let Some(end) = s.end_us {
+                assert!(end >= s.begin_us);
+            }
+        }
+        // The session span is still open; the operator span closed.
+        assert!(spans
+            .iter()
+            .any(|s| s.kind == SpanKind::Session && s.end_us.is_none()));
+        let op_span = spans.iter().find(|s| s.kind == SpanKind::Operator).unwrap();
+        assert!(op_span.end_us.is_some());
+        assert_eq!(op_span.aux, 3);
+        assert_eq!(op_span.parent, pipeline);
+    }
+
+    #[test]
+    fn ids_are_unique_across_threads() {
+        let sink = Arc::new(SpanSink::new(4096));
+        let mut handles = Vec::new();
+        for w in 0..4u64 {
+            let sink = Arc::clone(&sink);
+            handles.push(std::thread::spawn(move || {
+                (0..200)
+                    .map(|i| sink.begin(w, 0, SpanKind::Worker, i))
+                    .collect::<Vec<u64>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let before = all.len();
+        all.dedup();
+        assert_eq!(all.len(), before, "span ids must never collide");
+        assert!(!all.contains(&0), "id 0 is reserved for root");
+    }
+
+    #[test]
+    fn wraparound_keeps_the_newest_marks() {
+        let sink = SpanSink::new(4);
+        for i in 0..10 {
+            sink.begin(1, 0, SpanKind::Operator, i);
+        }
+        assert_eq!(sink.recorded(), 10);
+        assert_eq!(sink.dropped(), 6);
+        let tail = sink.tail();
+        assert_eq!(tail.len(), 4);
+        assert_eq!(tail.last().unwrap().aux, 9);
+        // A begin lost to wraparound drops its end from spans_for.
+        assert_eq!(sink.spans_for(1).len(), 4);
+    }
+}

@@ -22,6 +22,7 @@
 //! two `Instant::now()` reads per getnext, which is *not* free on
 //! cheap operators.
 
+use crate::hist::LatencyHistogram;
 use crate::recorder::{EventKind, FlightRecorder};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -86,6 +87,10 @@ pub struct QueryObs {
     nodes: Box<[NodeStats]>,
     timed: bool,
     recorder: Option<Arc<FlightRecorder>>,
+    /// Per-node `next()` latency distributions. Allocated only for
+    /// timed runs (per-call timing is already the opt-in cost; the
+    /// histogram adds three relaxed `fetch_add`s on top).
+    hists: Option<Box<[LatencyHistogram]>>,
 }
 
 impl QueryObs {
@@ -99,12 +104,14 @@ impl QueryObs {
         recorder: Option<Arc<FlightRecorder>>,
     ) -> Arc<QueryObs> {
         let nodes = (0..labels.len()).map(|_| NodeStats::default()).collect();
+        let hists = timed.then(|| (0..labels.len()).map(|_| LatencyHistogram::new()).collect());
         Arc::new(QueryObs {
             query,
             labels,
             nodes,
             timed,
             recorder,
+            hists,
         })
     }
 
@@ -181,6 +188,20 @@ impl QueryObs {
         if ns > 0 {
             self.nodes[node].cum_ns.fetch_add(ns, Ordering::Relaxed);
         }
+    }
+
+    /// Records one call's duration into `node`'s latency histogram.
+    /// No-op on untimed runs (no histograms are allocated).
+    #[inline]
+    pub fn record_latency(&self, node: usize, ns: u64) {
+        if let Some(hists) = &self.hists {
+            hists[node].record(ns);
+        }
+    }
+
+    /// `node`'s per-call latency histogram, when timing is enabled.
+    pub fn node_hist(&self, node: usize) -> Option<&LatencyHistogram> {
+        self.hists.as_ref().map(|h| &h[node])
     }
 
     /// A getnext call (or `open`) on `node` returned an error.
@@ -313,6 +334,20 @@ mod tests {
             });
         });
         assert_eq!(obs.node(0).rows, 4 * 1000 * 3);
+    }
+
+    #[test]
+    fn latency_histograms_exist_only_on_timed_runs() {
+        let untimed = QueryObs::new(0, vec!["SeqScan"], false, None);
+        untimed.record_latency(0, 500); // silently dropped
+        assert!(untimed.node_hist(0).is_none());
+        let timed = QueryObs::new(0, vec!["SeqScan", "Filter"], true, None);
+        timed.record_latency(1, 500);
+        timed.record_latency(1, 2_000);
+        let h = timed.node_hist(1).unwrap().snapshot();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 2_500);
+        assert!(timed.node_hist(0).unwrap().snapshot().count == 0);
     }
 
     #[test]

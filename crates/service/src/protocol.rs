@@ -20,6 +20,9 @@
 //! METRICS           → OK <n>   then n lines of Prometheus text exposition
 //! TRACE <id>        → OK <n>   then n JSONL lines (meta, operators,
 //!                              checkpoints, flight-recorder events)
+//! AUDIT [<id>]      → OK <n>   then n JSONL lines of estimator-accuracy
+//!                              postmortems (all retained sessions, or
+//!                              just <id>)
 //! SHUTDOWN          → OK bye   (server stops accepting)
 //! anything invalid  → ERR <CODE> <message>
 //! ```
@@ -39,13 +42,13 @@ pub const PROTOCOL_VERSION: u32 = 2;
 /// unknown-verb error, the `HELLO` capability list, [`help_text`], and
 /// the README's verb table are all checked against this list, so adding
 /// a verb here is the single source of truth.
-pub const VERBS: [&str; 8] = [
-    "HELLO", "SUBMIT", "STATUS", "LIST", "CANCEL", "METRICS", "TRACE", "SHUTDOWN",
+pub const VERBS: [&str; 9] = [
+    "HELLO", "SUBMIT", "STATUS", "LIST", "CANCEL", "METRICS", "TRACE", "AUDIT", "SHUTDOWN",
 ];
 
 /// One-line usage per verb, index-aligned with [`VERBS`] (checked by
 /// test). [`help_text`] is generated from this table.
-const VERB_USAGE: [&str; 8] = [
+const VERB_USAGE: [&str; 9] = [
     "HELLO — protocol version and capability list",
     "SUBMIT [TIMEOUT_MS=<n>] [PARALLELISM=<n>] [ESTIMATORS=<csv>] [MORSEL_SIZE=<n>] \
      [PAGE_CACHE_FRAMES=<n>] <sql> — run \
@@ -55,6 +58,7 @@ const VERB_USAGE: [&str; 8] = [
     "CANCEL <id> — request cancellation",
     "METRICS — Prometheus text exposition",
     "TRACE <id> — JSONL trajectory and events",
+    "AUDIT [<id>] — JSONL estimator-accuracy postmortems of finished sessions",
     "SHUTDOWN — stop accepting connections",
 ];
 
@@ -165,6 +169,9 @@ pub enum Request {
     Metrics,
     /// `TRACE <id>` — JSONL dump of one session's trajectory and events.
     Trace(QueryId),
+    /// `AUDIT [<id>]` — JSONL estimator-accuracy postmortems: every
+    /// retained finished session, or just `<id>`.
+    Audit(Option<QueryId>),
     /// `SHUTDOWN`
     Shutdown,
 }
@@ -197,6 +204,11 @@ impl Request {
             "STATUS" => Ok(Request::Status(rest.parse()?)),
             "CANCEL" => Ok(Request::Cancel(rest.parse()?)),
             "TRACE" => Ok(Request::Trace(rest.parse()?)),
+            "AUDIT" => Ok(Request::Audit(if rest.is_empty() {
+                None
+            } else {
+                Some(rest.parse()?)
+            })),
             "LIST" => Request::expect_bare("LIST", rest, Request::List),
             "METRICS" => Request::expect_bare("METRICS", rest, Request::Metrics),
             "SHUTDOWN" => Request::expect_bare("SHUTDOWN", rest, Request::Shutdown),
@@ -465,6 +477,11 @@ mod tests {
             Request::parse("trace q4").unwrap(),
             Request::Trace(QueryId(4))
         );
+        assert_eq!(Request::parse("AUDIT").unwrap(), Request::Audit(None));
+        assert_eq!(
+            Request::parse("audit q9").unwrap(),
+            Request::Audit(Some(QueryId(9)))
+        );
         assert_eq!(Request::parse("SHUTDOWN").unwrap(), Request::Shutdown);
     }
 
@@ -509,6 +526,8 @@ mod tests {
         assert!(Request::parse("LIST extra").is_err());
         assert!(Request::parse("METRICS now").is_err());
         assert!(Request::parse("TRACE notanid").is_err());
+        assert!(Request::parse("AUDIT notanid").is_err());
+        assert!(Request::parse("AUDIT q1 extra").is_err());
         assert!(Request::parse("EXPLAIN q1").is_err());
         assert!(Request::parse("SUBMIT TIMEOUT_MS=abc SELECT 1 FROM t").is_err());
         assert!(Request::parse("SUBMIT TIMEOUT_MS=100").is_err());

@@ -16,9 +16,12 @@
 //! resilience: capped exponential backoff with deterministic jitter
 //! (seeded via `qp-testkit`), for servers that are still binding or
 //! briefly at their connection cap. Clients built that way also retry
-//! *idempotent* requests (`HELLO`/`STATUS`/`LIST`/`METRICS`/`TRACE`)
-//! once over a fresh connection after a transient transport error;
-//! `SUBMIT` and `CANCEL` are never auto-resent.
+//! *idempotent* requests (`HELLO`/`STATUS`/`LIST`/`METRICS`/`TRACE`/
+//! `AUDIT`) once over a fresh connection after a transient transport
+//! error; `SUBMIT` and `CANCEL` are never auto-resent.
+//!
+//! Every served request is timed into the service's per-verb latency
+//! histograms (`METRICS` exposes them as `qp_request_latency_ns`).
 
 use crate::protocol::{err_line, hello_line, status_line, ErrCode, ParsedStatus, Request};
 use crate::service::{QueryService, SubmitError, SubmitOptions};
@@ -178,6 +181,26 @@ fn submit_err_code(e: &SubmitError) -> ErrCode {
     }
 }
 
+/// Position of a parsed request's verb in [`crate::protocol::VERBS`]
+/// (the per-verb latency histogram index).
+fn verb_index(req: &Request) -> usize {
+    let verb = match req {
+        Request::Hello => "HELLO",
+        Request::Submit { .. } => "SUBMIT",
+        Request::Status(_) => "STATUS",
+        Request::List => "LIST",
+        Request::Cancel(_) => "CANCEL",
+        Request::Metrics => "METRICS",
+        Request::Trace(_) => "TRACE",
+        Request::Audit(_) => "AUDIT",
+        Request::Shutdown => "SHUTDOWN",
+    };
+    crate::protocol::VERBS
+        .iter()
+        .position(|v| *v == verb)
+        .expect("every request variant has a VERBS entry")
+}
+
 fn handle_connection(
     stream: TcpStream,
     service: &Arc<QueryService>,
@@ -216,7 +239,18 @@ fn handle_connection(
             }
             Err(e) => return Err(e),
         }
-        let response = match Request::parse(&line) {
+        let served_at = Instant::now();
+        let parsed = Request::parse(&line);
+        let verb = parsed.as_ref().ok().map(verb_index);
+        let record = |started: Instant| {
+            if let Some(i) = verb {
+                service.record_verb_latency(
+                    i,
+                    started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                );
+            }
+        };
+        let response = match parsed {
             Err(msg) => err_line(ErrCode::BadRequest, &msg),
             Ok(Request::Hello) => hello_line(),
             Ok(Request::Submit {
@@ -273,6 +307,25 @@ fn handle_connection(
                 }
                 None => err_line(ErrCode::UnknownQuery, &format!("unknown query {id}")),
             },
+            Ok(Request::Audit(id)) => match crate::telemetry::audit_jsonl(service, id) {
+                Some(lines) => {
+                    // Bare AUDIT with nothing finished yet legally
+                    // answers `OK 0`; only an unknown/expired id errors.
+                    let mut out = format!("OK {}", lines.len());
+                    for l in &lines {
+                        out.push('\n');
+                        out.push_str(l);
+                    }
+                    out
+                }
+                None => {
+                    let id = id.expect("bare AUDIT always renders");
+                    err_line(
+                        ErrCode::UnknownQuery,
+                        &format!("no retained postmortem for {id}"),
+                    )
+                }
+            },
             Ok(Request::Cancel(id)) => match service.cancel(id) {
                 Some(found) => format!("OK {id} {found}"),
                 None => err_line(ErrCode::UnknownQuery, &format!("unknown query {id}")),
@@ -280,10 +333,12 @@ fn handle_connection(
             Ok(Request::Shutdown) => {
                 writeln!(writer, "OK bye")?;
                 writer.flush()?;
+                record(served_at);
                 stop.store(true, Ordering::Relaxed);
                 return Ok(());
             }
         };
+        record(served_at);
         writeln!(writer, "{response}")?;
         writer.flush()?;
     }
@@ -345,7 +400,7 @@ impl ServiceClient {
     /// connection cap. The returned client has
     /// [`enable_reconnect`](ServiceClient::enable_reconnect) active
     /// under the same policy: idempotent read-only requests (`HELLO`,
-    /// `STATUS`, `LIST`, `METRICS`, `TRACE`) are resent once over a
+    /// `STATUS`, `LIST`, `METRICS`, `TRACE`, `AUDIT`) are resent once over a
     /// fresh connection after a transient transport error. Mutating
     /// requests are never auto-resent (a replayed `SUBMIT` would
     /// double-run a query).
@@ -567,6 +622,15 @@ impl ServiceClient {
     /// `TRACE <id>` — returns the session's JSONL lines.
     pub fn trace(&mut self, id: QueryId) -> std::io::Result<Result<Vec<String>, String>> {
         self.read_block(&format!("TRACE {id}"))
+    }
+
+    /// `AUDIT [<id>]` — estimator-accuracy postmortem JSONL for one
+    /// finished session, or for every retained one when `id` is `None`.
+    pub fn audit(&mut self, id: Option<QueryId>) -> std::io::Result<Result<Vec<String>, String>> {
+        match id {
+            Some(id) => self.read_block(&format!("AUDIT {id}")),
+            None => self.read_block("AUDIT"),
+        }
     }
 
     /// `CANCEL` — returns the state the cancel found the query in.

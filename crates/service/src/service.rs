@@ -42,15 +42,18 @@
 use crate::session::{QueryId, QueryResult, QueryState, Session, SessionTelemetry};
 use crate::sync::lock_or_recover;
 use qp_exec::executor::QueryRun;
-use qp_exec::{ExecError, FaultConfig, FaultPlan, Plan, RunControls};
-use qp_obs::{EventKind, FlightRecorder, QueryObs, TraceBuffer};
+use qp_exec::{ExecError, FaultConfig, FaultPlan, Plan, RunControls, SpanAttach};
+use qp_obs::{
+    EstimatorScore, EventKind, FlightRecorder, LatencyHistogram, Postmortem, QueryObs, SpanSink,
+    TraceBuffer,
+};
 use qp_progress::estimators::{Dne, EnsembleStats, Pmax, ProgressEstimator, Safe};
 use qp_progress::monitor::{ProgressMonitor, SharedMonitor};
 use qp_progress::shared::{ProgressCell, ProgressReading, RegimeFlags};
-use qp_progress::{BoundsTracker, PlanMeta};
+use qp_progress::{score_checkpoints, BoundsTracker, PlanMeta};
 use qp_stats::DbStats;
 use qp_storage::Database;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
@@ -118,6 +121,17 @@ pub struct ServiceConfig {
     /// fanned across this many partitions via [`qp_exec::parallelize`].
     /// `1` (the default) leaves plans serial.
     pub default_parallelism: usize,
+    /// Sessions whose *run* latency (queue time excluded) exceeds this
+    /// threshold leave a `SlowQuery` event in the flight recorder,
+    /// carrying the final trust flag and the worst estimator ratio error
+    /// from the postmortem. `None` (the default) disables the log.
+    pub slow_query_threshold: Option<Duration>,
+    /// How many finished sessions' estimator-accuracy postmortems the
+    /// `AUDIT` verb can look back over.
+    pub audit_retain: usize,
+    /// Capacity of the service-wide hierarchical span sink (newest span
+    /// marks retained across all sessions).
+    pub span_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -134,6 +148,9 @@ impl Default for ServiceConfig {
             trace_capacity: 4096,
             timed_obs: false,
             default_parallelism: 1,
+            slow_query_threshold: None,
+            audit_retain: 32,
+            span_capacity: 4096,
         }
     }
 }
@@ -249,6 +266,21 @@ struct ServiceInner {
     /// Service-wide flight recorder: session lifecycles, snapshot
     /// publishes, fault injections — all sessions, one bounded ring.
     recorder: Arc<FlightRecorder>,
+    /// Service-wide span sink: session → query → pipeline → exchange →
+    /// worker → operator begin/end marks, all sessions, one bounded ring.
+    spans: Arc<SpanSink>,
+    /// End-to-end latency histograms: admission → worker pickup, and
+    /// worker pickup → terminal state.
+    queue_hist: LatencyHistogram,
+    run_hist: LatencyHistogram,
+    /// Per-verb server request latency, index-aligned with
+    /// [`crate::protocol::VERBS`].
+    verb_hists: Box<[LatencyHistogram]>,
+    /// Most recent finished sessions' estimator postmortems, oldest
+    /// first, bounded by `audit_retain`.
+    postmortems: Mutex<VecDeque<Postmortem>>,
+    audit_retain: usize,
+    slow_query_threshold: Option<Duration>,
     started: Instant,
 }
 
@@ -304,6 +336,15 @@ impl QueryService {
             next_id: AtomicU64::new(1),
             stride: config.stride,
             recorder: Arc::new(FlightRecorder::new(config.recorder_capacity)),
+            spans: Arc::new(SpanSink::new(config.span_capacity)),
+            queue_hist: LatencyHistogram::new(),
+            run_hist: LatencyHistogram::new(),
+            verb_hists: (0..crate::protocol::VERBS.len())
+                .map(|_| LatencyHistogram::new())
+                .collect(),
+            postmortems: Mutex::new(VecDeque::new()),
+            audit_retain: config.audit_retain.max(1),
+            slow_query_threshold: config.slow_query_threshold,
             started: Instant::now(),
         });
         // Paged databases report evictions into the service-wide flight
@@ -423,6 +464,7 @@ impl QueryService {
                 estimator_names.len(),
             ))),
             recorder: Some(Arc::clone(&self.inner.recorder)),
+            spans: Some(Arc::clone(&self.inner.spans)),
         };
         let session = Arc::new(Session::with_telemetry(
             id,
@@ -457,12 +499,14 @@ impl QueryService {
                 Ok(id)
             }
             Err(TrySendError::Full(_)) => {
+                session.end_session_span();
                 lock_or_recover(&self.inner.sessions).remove(&id);
                 Err(SubmitError::Saturated {
                     queue_depth: self.queue_depth,
                 })
             }
             Err(TrySendError::Disconnected(_)) => {
+                session.end_session_span();
                 lock_or_recover(&self.inner.sessions).remove(&id);
                 Err(SubmitError::ShuttingDown)
             }
@@ -503,6 +547,51 @@ impl QueryService {
     /// The service-wide flight recorder (postmortems, `METRICS`, `TRACE`).
     pub fn recorder(&self) -> &Arc<FlightRecorder> {
         &self.inner.recorder
+    }
+
+    /// The service-wide hierarchical span sink.
+    pub fn span_sink(&self) -> &Arc<SpanSink> {
+        &self.inner.spans
+    }
+
+    /// Queue latency histogram (admission → worker pickup), nanoseconds.
+    pub fn queue_hist(&self) -> &LatencyHistogram {
+        &self.inner.queue_hist
+    }
+
+    /// Run latency histogram (worker pickup → terminal), nanoseconds.
+    pub fn run_hist(&self) -> &LatencyHistogram {
+        &self.inner.run_hist
+    }
+
+    /// Per-verb server request latency histograms, index-aligned with
+    /// [`crate::protocol::VERBS`].
+    pub fn verb_hists(&self) -> &[LatencyHistogram] {
+        &self.inner.verb_hists
+    }
+
+    /// Records one served request's latency against its verb.
+    pub fn record_verb_latency(&self, verb_index: usize, ns: u64) {
+        if let Some(hist) = self.inner.verb_hists.get(verb_index) {
+            hist.record(ns);
+        }
+    }
+
+    /// The retained estimator-accuracy postmortems, oldest first.
+    pub fn postmortems(&self) -> Vec<Postmortem> {
+        lock_or_recover(&self.inner.postmortems)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The retained postmortem of one finished session, if still within
+    /// the `audit_retain` window.
+    pub fn postmortem(&self, id: QueryId) -> Option<Postmortem> {
+        lock_or_recover(&self.inner.postmortems)
+            .iter()
+            .find(|p| p.query == id.0)
+            .cloned()
     }
 
     /// Seconds since the service started (the `METRICS` uptime gauge).
@@ -620,6 +709,9 @@ fn run_job(inner: &ServiceInner, job: Job) {
         // Cancelled while queued: the session is already terminal.
         return;
     }
+    inner
+        .queue_hist
+        .record(duration_ns(session.submitted_at().elapsed()));
 
     let meta = PlanMeta::from_plan(&plan);
     let bounds = BoundsTracker::new(&plan, Some(&inner.stats));
@@ -681,6 +773,11 @@ fn run_job(inner: &ServiceInner, job: Job) {
         deadline: session.timeout().map(|t| Instant::now() + t),
         faults,
         obs: session.obs().cloned(),
+        spans: Some(SpanAttach {
+            sink: Arc::clone(&inner.spans),
+            query: session.id().0,
+            parent: session.session_span(),
+        }),
         tuning,
     };
 
@@ -688,6 +785,7 @@ fn run_job(inner: &ServiceInner, job: Job) {
     // query, not its worker. Unwind safety: the closure's shared state is
     // the monitor mutex (poison-recovered everywhere) and the session
     // (only transitioned below, after the catch).
+    let run_started = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         QueryRun::with_controls(&plan, &inner.db, controls).and_then(|mut run| {
             run.set_observer(Box::new(SharedMonitor(Arc::clone(&monitor))));
@@ -695,10 +793,16 @@ fn run_job(inner: &ServiceInner, job: Job) {
             Ok((rows, run.context().counters().total()))
         })
     }));
+    let run_elapsed = run_started.elapsed();
+    inner.run_hist.record(duration_ns(run_elapsed));
 
-    match outcome {
+    // The worst estimator ratio error this session exhibited, known only
+    // when a postmortem could be scored (the query finished).
+    let mut worst_ratio = 1.0f64;
+    let terminal: Box<dyn FnOnce()> = match outcome {
         Ok(Ok((rows, total_getnext))) => {
             // Final snapshot: the published trace ends exactly at 100%.
+            let mut trust_transitions = 0u64;
             if let Ok(monitor) = Arc::try_unwrap(monitor) {
                 let trace = monitor
                     .into_inner()
@@ -709,15 +813,116 @@ fn run_job(inner: &ServiceInner, job: Job) {
                 // into the process-wide statistics — this run's outcome
                 // re-weights the *next* query's ensemble.
                 EnsembleStats::global().record_trace(&trace);
+                trust_transitions = trace
+                    .snapshots()
+                    .windows(2)
+                    .filter(|w| w[0].trust != w[1].trust)
+                    .count() as u64;
             }
-            session.finish(QueryResult {
-                rows: Arc::new(rows),
+            // Postmortem: replay the session's checkpoint ring against the
+            // now-known total(Q). This runs *after* into_trace_with_final
+            // pushed the final 100% checkpoint, so the buffer scored here
+            // is exactly what a later `TRACE` serves.
+            if let Some(pm) = build_postmortem(
+                &session,
                 total_getnext,
-            });
+                run_elapsed.as_millis().min(u64::MAX as u128) as u64,
+                trust_transitions,
+            ) {
+                worst_ratio = pm.worst_ratio();
+                let mut retained = lock_or_recover(&inner.postmortems);
+                retained.push_back(pm);
+                while retained.len() > inner.audit_retain {
+                    retained.pop_front();
+                }
+            }
+            let session = Arc::clone(&session);
+            Box::new(move || {
+                session.finish(QueryResult {
+                    rows: Arc::new(rows),
+                    total_getnext,
+                })
+            })
         }
-        Ok(Err(ExecError::Cancelled)) => session.mark_cancelled(),
-        Ok(Err(ExecError::DeadlineExceeded)) => session.mark_timed_out(),
-        Ok(Err(e)) => session.fail(e.to_string()),
-        Err(payload) => session.fail(format!("panicked: {}", panic_message(&*payload))),
+        Ok(Err(ExecError::Cancelled)) => {
+            let session = Arc::clone(&session);
+            Box::new(move || session.mark_cancelled())
+        }
+        Ok(Err(ExecError::DeadlineExceeded)) => {
+            let session = Arc::clone(&session);
+            Box::new(move || session.mark_timed_out())
+        }
+        Ok(Err(e)) => {
+            let session = Arc::clone(&session);
+            Box::new(move || session.fail(e.to_string()))
+        }
+        Err(payload) => {
+            let session = Arc::clone(&session);
+            Box::new(move || session.fail(format!("panicked: {}", panic_message(&*payload))))
+        }
+    };
+
+    // Slow-query log: a run-latency outlier leaves a flight-recorder
+    // event carrying the headline accuracy number (worst ratio error,
+    // milli-units) and the final trust flag. Recorded *before* the
+    // terminal transition below, so anyone woken by the state change
+    // already sees the event in the session's tail.
+    if let Some(threshold) = inner.slow_query_threshold {
+        if run_elapsed > threshold {
+            inner.recorder.record(
+                session.id().0,
+                EventKind::SlowQuery,
+                (worst_ratio * 1000.0) as u64,
+                session.progress_cell().trust() as u64,
+            );
+        }
     }
+    terminal();
+}
+
+/// Saturating nanoseconds of a `Duration` (histogram input domain).
+fn duration_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Scores a finished session's checkpoint ring against the final
+/// `total(Q)`. Returns `None` when the session recorded no scorable
+/// checkpoint (e.g. an empty query) — there is nothing to audit then.
+fn build_postmortem(
+    session: &Session,
+    total_getnext: u64,
+    wall_ms: u64,
+    trust_transitions: u64,
+) -> Option<Postmortem> {
+    let buffer = session.trace_buffer()?;
+    let names = session.progress_cell().names().to_vec();
+    let tail = buffer.tail();
+    let scores: Vec<EstimatorScore> = names
+        .iter()
+        .enumerate()
+        .filter_map(|(i, name)| {
+            let points: Vec<(u64, f64)> = tail
+                .iter()
+                .map(|p| (p.curr, p.estimates.get(i).copied().unwrap_or(f64::NAN)))
+                .collect();
+            score_checkpoints(&points, total_getnext).map(|s| EstimatorScore {
+                name: (*name).to_string(),
+                points: s.points,
+                max_ratio: s.max_ratio,
+                avg_ratio: s.avg_ratio,
+                p4_violations: s.p4_violations,
+            })
+        })
+        .collect();
+    if scores.is_empty() {
+        return None;
+    }
+    Some(Postmortem {
+        query: session.id().0,
+        total: total_getnext,
+        wall_ms,
+        final_trust: session.progress_cell().trust().as_str().to_string(),
+        trust_transitions,
+        scores,
+    })
 }

@@ -26,12 +26,13 @@
 
 use crate::sync::{lock_or_recover, wait_or_recover};
 use qp_exec::CancelToken;
-use qp_obs::{EventKind, FlightRecorder, QueryObs, TraceBuffer};
+use qp_obs::{EventKind, FlightRecorder, QueryObs, SpanKind, SpanSink, TraceBuffer};
 use qp_progress::shared::{Health, ProgressCell, ProgressReading};
 use qp_storage::Row;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Service-wide identifier of one submitted query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -168,6 +169,11 @@ pub(crate) struct SessionTelemetry {
     pub obs: Option<Arc<QueryObs>>,
     pub trace: Option<Arc<TraceBuffer>>,
     pub recorder: Option<Arc<FlightRecorder>>,
+    /// Hierarchical span sink: when attached, the session opens a
+    /// `Session` span at construction (= admission) and closes it at its
+    /// terminal transition, so queue time is visible as the gap between
+    /// the session span's start and its child query span's start.
+    pub spans: Option<Arc<SpanSink>>,
 }
 
 /// One submitted query: identity, kill switch, live progress slot, and
@@ -184,6 +190,15 @@ pub struct Session {
     /// session must not time out merely for waiting in the queue.
     timeout: Option<Duration>,
     telemetry: SessionTelemetry,
+    /// When the session was admitted — queue latency is measured from
+    /// here to `begin_running`.
+    submitted_at: Instant,
+    /// The session-level span id (0 when no sink is attached).
+    span: u64,
+    /// Guards the span's end mark: terminal transitions and submit-time
+    /// rejections may race in principle, and the end must be recorded
+    /// exactly once.
+    span_ended: AtomicBool,
     core: Mutex<SessionCore>,
     turnstile: Condvar,
 }
@@ -207,6 +222,10 @@ impl Session {
         timeout: Option<Duration>,
         telemetry: SessionTelemetry,
     ) -> Session {
+        let span = telemetry
+            .spans
+            .as_ref()
+            .map_or(0, |sink| sink.begin(id.0, 0, SpanKind::Session, 0));
         Session {
             id,
             sql,
@@ -214,6 +233,9 @@ impl Session {
             progress,
             timeout,
             telemetry,
+            submitted_at: Instant::now(),
+            span,
+            span_ended: AtomicBool::new(false),
             core: Mutex::new(SessionCore {
                 state: QueryState::Queued,
                 result: None,
@@ -256,6 +278,29 @@ impl Session {
     /// The live progress-checkpoint ring, when the service attached one.
     pub fn trace_buffer(&self) -> Option<&Arc<TraceBuffer>> {
         self.telemetry.trace.as_ref()
+    }
+
+    /// When the session was admitted (queue latency baseline).
+    pub fn submitted_at(&self) -> Instant {
+        self.submitted_at
+    }
+
+    /// The session-level span id every query span nests under (0 when no
+    /// span sink is attached).
+    pub fn session_span(&self) -> u64 {
+        self.span
+    }
+
+    /// Marks the session span's end. Idempotent; called at the terminal
+    /// transition, and by the service when a submission is rejected after
+    /// the session was already constructed.
+    pub(crate) fn end_session_span(&self) {
+        if self.span == 0 || self.span_ended.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        if let Some(sink) = &self.telemetry.spans {
+            sink.end(self.id.0, self.span, 0, SpanKind::Session, 0);
+        }
     }
 
     /// Records a lifecycle transition into the flight recorder, if one is
@@ -342,6 +387,7 @@ impl Session {
             core.state = QueryState::Cancelled;
             drop(core);
             self.record_state(QueryState::Queued, QueryState::Cancelled);
+            self.end_session_span();
             self.turnstile.notify_all();
         }
         found
@@ -360,6 +406,9 @@ impl Session {
         core.error = error;
         drop(core);
         self.record_state(from, to);
+        if to.is_terminal() {
+            self.end_session_span();
+        }
         self.turnstile.notify_all();
     }
 }

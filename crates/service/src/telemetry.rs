@@ -28,7 +28,7 @@ use std::collections::BTreeMap;
 
 /// Every flight-recorder event kind, in discriminant order (the `METRICS`
 /// exposition emits one `qp_recorder_events_total` sample per kind).
-const EVENT_KINDS: [EventKind; 8] = [
+const EVENT_KINDS: [EventKind; 9] = [
     EventKind::SessionSubmitted,
     EventKind::StateChanged,
     EventKind::SnapshotPublished,
@@ -37,6 +37,7 @@ const EVENT_KINDS: [EventKind; 8] = [
     EventKind::DeadlineExceeded,
     EventKind::CancelObserved,
     EventKind::PageEvicted,
+    EventKind::SlowQuery,
 ];
 
 /// Every lifecycle state, for the by-state session gauge (all states are
@@ -217,7 +218,145 @@ pub fn metrics_text(service: &QueryService) -> String {
         }
     }
 
+    // Span-sink health: recorded/dropped marks across all sessions.
+    let spans = service.span_sink();
+    p.family(
+        "qp_span_marks_total",
+        "counter",
+        "Span begin/end marks recorded across all sessions.",
+    )
+    .sample("qp_span_marks_total", &[], spans.recorded() as f64);
+    p.family(
+        "qp_span_marks_dropped_total",
+        "counter",
+        "Span marks lost to ring wraparound.",
+    )
+    .sample("qp_span_marks_dropped_total", &[], spans.dropped() as f64);
+
+    // End-to-end latency histograms (exact cumulative buckets; edges are
+    // the histogram's own power-of-two boundaries).
+    let queue = service.queue_hist().snapshot();
+    p.family(
+        "qp_queue_latency_ns",
+        "histogram",
+        "Admission-to-worker-pickup latency per session, nanoseconds.",
+    )
+    .histogram(
+        "qp_queue_latency_ns",
+        &[],
+        &queue.le_buckets(),
+        queue.sum,
+        queue.count,
+    );
+    let run = service.run_hist().snapshot();
+    p.family(
+        "qp_run_latency_ns",
+        "histogram",
+        "Worker-pickup-to-terminal latency per session, nanoseconds.",
+    )
+    .histogram(
+        "qp_run_latency_ns",
+        &[],
+        &run.le_buckets(),
+        run.sum,
+        run.count,
+    );
+
+    // Per-verb server request latency (populated once the TCP front-end
+    // has served requests; zero-count series are elided).
+    p.family(
+        "qp_request_latency_ns",
+        "histogram",
+        "Server request handling latency by verb, nanoseconds.",
+    );
+    for (verb, hist) in crate::protocol::VERBS.iter().zip(service.verb_hists()) {
+        let snap = hist.snapshot();
+        if snap.count == 0 {
+            continue;
+        }
+        p.histogram(
+            "qp_request_latency_ns",
+            &[("verb", verb)],
+            &snap.le_buckets(),
+            snap.sum,
+            snap.count,
+        );
+    }
+
+    // Per-operator getnext latency, merged across every *timed* session
+    // (opt-in via ServiceConfig::timed_obs, like qp_exec_ns_total).
+    let mut op_hists: BTreeMap<&'static str, qp_obs::LatencyHistogram> = BTreeMap::new();
+    for session in service.sessions_snapshot() {
+        let Some(obs) = session.obs() else { continue };
+        for (node, &label) in obs.labels().iter().enumerate() {
+            if let Some(h) = obs.node_hist(node) {
+                op_hists.entry(label).or_default().merge_from(h);
+            }
+        }
+    }
+    if !op_hists.is_empty() {
+        p.family(
+            "qp_getnext_latency_ns",
+            "histogram",
+            "Per-getnext latency by operator kind (timed sessions only), nanoseconds.",
+        );
+        for (op, hist) in &op_hists {
+            let snap = hist.snapshot();
+            p.histogram(
+                "qp_getnext_latency_ns",
+                &[("op", op)],
+                &snap.le_buckets(),
+                snap.sum,
+                snap.count,
+            );
+        }
+    }
+
+    // Postmortem headline numbers for the retained audit window.
+    let postmortems = service.postmortems();
+    p.family(
+        "qp_audit_retained",
+        "gauge",
+        "Finished sessions with a retained estimator postmortem.",
+    )
+    .sample("qp_audit_retained", &[], postmortems.len() as f64);
+    if !postmortems.is_empty() {
+        p.family(
+            "qp_audit_max_ratio",
+            "gauge",
+            "Maximum estimator ratio error per retained session postmortem.",
+        );
+        for pm in &postmortems {
+            let query = format!("q{}", pm.query);
+            for score in &pm.scores {
+                p.sample(
+                    "qp_audit_max_ratio",
+                    &[("query", &query), ("estimator", &score.name)],
+                    score.max_ratio,
+                );
+            }
+        }
+    }
+
     p.finish()
+}
+
+/// Renders the `AUDIT [<id>]` JSONL payload: one flat object per
+/// (session, estimator), newest session last. With an id, only that
+/// session's postmortem — `None` when it is unknown or fell out of the
+/// retention window. Without an id, every retained postmortem (an empty
+/// vec is a legal answer: nothing has finished yet).
+pub fn audit_jsonl(service: &QueryService, id: Option<QueryId>) -> Option<Vec<String>> {
+    match id {
+        Some(id) => service.postmortem(id).map(|pm| pm.to_jsonl()),
+        None => Some(
+            service
+                .postmortems()
+                .iter()
+                .flat_map(|pm| pm.to_jsonl())
+                .collect(),
+        ),
+    }
 }
 
 /// Renders the `TRACE <id>` JSONL payload: `meta`, `operator`,
@@ -314,6 +453,20 @@ fn event_line(e: &Event) -> Obj {
             o.u64("getnext", e.a).u64("node", e.b)
         }
         EventKind::PageEvicted => o.u64("pager", e.a).u64("page", e.b),
+        EventKind::SlowQuery => o
+            .u64("worst_ratio_milli", e.a)
+            .str("trust", trust_name(e.b)),
+    }
+}
+
+/// Decodes the trust code a `SlowQuery` event carries (the discriminants
+/// of [`qp_progress::shared::Trust`]).
+fn trust_name(code: u64) -> &'static str {
+    match code {
+        0 => "ok",
+        1 => "degraded",
+        2 => "fallback",
+        _ => "unknown",
     }
 }
 

@@ -22,14 +22,42 @@ prop_check! {
     /// Structured-ish lines — a known verb with arbitrary argument text —
     /// exercise each verb's argument validation without panicking.
     fn request_parse_never_panics_on_verb_like_lines(
-        verb in 0usize..7,
+        verb in 0usize..8,
         arg_bytes in collection::vec(32u8..127, 0..60),
     ) {
         let verb = ["SUBMIT", "STATUS", "LIST", "CANCEL", "SHUTDOWN",
-                    "submit", "BOGUS"][verb];
+                    "submit", "BOGUS", "AUDIT"][verb];
         let arg = String::from_utf8_lossy(&arg_bytes);
         let _ = Request::parse(&format!("{verb} {arg}"));
         let _ = Request::parse(&format!("{verb}{arg}"));
+    }
+
+    /// `AUDIT` argument validation is total: a well-formed id parses to
+    /// the same target `STATUS` would, anything else is a clean error,
+    /// and the bare verb always means "all retained postmortems".
+    fn audit_parses_ids_like_status(
+        id in 0u64..1_000_000,
+        junk_bytes in collection::vec(33u8..127, 1..20),
+    ) {
+        match Request::parse(&format!("AUDIT q{id}")) {
+            Ok(Request::Audit(Some(parsed))) => {
+                prop_assert!(parsed.0 == id, "id mangled: {parsed:?}");
+            }
+            other => prop_assert!(false, "AUDIT q{id} parsed as {other:?}"),
+        }
+        prop_assert!(
+            matches!(Request::parse("AUDIT"), Ok(Request::Audit(None))),
+            "bare AUDIT must mean every retained postmortem"
+        );
+        let junk = String::from_utf8_lossy(&junk_bytes).to_string();
+        if junk.parse::<u64>().is_err() && !(junk.starts_with('q')
+            && junk[1..].parse::<u64>().is_ok())
+        {
+            prop_assert!(
+                Request::parse(&format!("AUDIT {junk}")).is_err(),
+                "AUDIT accepted junk id {junk:?}"
+            );
+        }
     }
 
     /// `SUBMIT` round-trip: whatever survives parsing preserves the SQL

@@ -122,8 +122,14 @@ fn shutdown_cancels_running_queries_after_grace() {
             ..ServiceConfig::default()
         },
     );
+    // Four-way cross product (~30M tuples at this scale): far too much
+    // work to finish inside the grace window even on a fast machine, so
+    // the straggler is genuinely still RUNNING when the grace expires.
     let heavy = service
-        .submit("SELECT COUNT(*) AS n FROM supplier, lineitem WHERE s_acctbal > l_extendedprice")
+        .submit(
+            "SELECT COUNT(*) AS n FROM supplier, nation, region, lineitem \
+             WHERE s_acctbal > l_extendedprice",
+        )
         .expect("admitted");
     assert!(wait_until(Duration::from_secs(20), || {
         service.status(heavy).unwrap().state == QueryState::Running
