@@ -31,13 +31,14 @@
 //! protocol's `ESTIMATORS=` field accepts); unknown names abort up front.
 
 use qp_bench::experiments::{
-    ablations, audit, chaos, ensemble, extensions, figures, pagecache, tables, theory, trace_export,
+    ablations, audit, chaos, ensemble, extensions, figures, load, pagecache, tables, theory,
+    trace_export,
 };
 use qp_bench::Scale;
 
 /// `(name, what it reproduces)` — the full experiment table, also printed
 /// by `--list`.
-const EXPERIMENTS: [(&str, &str); 24] = [
+const EXPERIMENTS: [(&str, &str); 25] = [
     ("fig3", "Figure 3: estimator traces, scan-based query"),
     ("fig4", "Figure 4: estimator traces, TPC-H join query"),
     ("fig5", "Figure 5: estimator traces under skew"),
@@ -85,6 +86,10 @@ const EXPERIMENTS: [(&str, &str); 24] = [
     (
         "ensemble",
         "Robustness: ensemble vs fixed estimators across the hostile-scenario matrix (--seed <n>)",
+    ),
+    (
+        "load",
+        "Service: thousands of concurrent monitoring sessions vs the event-loop front end (--seed <n>)",
     ),
 ];
 
@@ -242,6 +247,13 @@ fn main() {
             }
             "ensemble" => {
                 let result = ensemble::ensemble(&scale, chaos_seed);
+                print!("{}", result.render());
+                if !result.passed() {
+                    std::process::exit(1);
+                }
+            }
+            "load" => {
+                let result = load::load(&scale, small, chaos_seed);
                 print!("{}", result.render());
                 if !result.passed() {
                     std::process::exit(1);

@@ -6,6 +6,7 @@ pub mod chaos;
 pub mod ensemble;
 pub mod extensions;
 pub mod figures;
+pub mod load;
 pub mod pagecache;
 pub mod tables;
 pub mod theory;

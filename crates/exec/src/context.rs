@@ -229,6 +229,16 @@ pub struct RunControls {
     /// Hierarchical span recording (query → pipeline → exchange →
     /// worker → operator); `None` records nothing.
     pub spans: Option<SpanAttach>,
+    /// Shared-scan registry: when set, serial full-table scans attach
+    /// to the table's in-flight [`qp_storage::ScanShare`] epoch instead
+    /// of reading the base data themselves. Results-neutral by
+    /// construction — every attacher replays the exact solo row
+    /// sequence — so counters and `total(Q)` are unchanged; only the
+    /// number of physical passes drops. `None` (the default) scans
+    /// directly. Callers running fault schedules should leave this
+    /// unset: sharing changes *which* session performs each physical
+    /// read, which is exactly what read-fault plans key on.
+    pub scan_share: Option<Arc<qp_storage::ScanShare>>,
     /// Morsel / batch sizing (results-neutral; see [`ExecTuning`]).
     pub tuning: ExecTuning,
 }
@@ -321,6 +331,8 @@ pub struct ExecContext {
     /// created on the coordinating thread but re-pointed on the worker
     /// thread.
     span_parent: AtomicU64,
+    /// Shared-scan registry (`None` = scan base data directly).
+    scan_share: Option<Arc<qp_storage::ScanShare>>,
     /// Morsel / batch sizing, inherited by forks.
     tuning: ExecTuning,
 }
@@ -385,6 +397,7 @@ impl ExecContext {
             spans,
             span_query,
             span_parent: AtomicU64::new(span_parent),
+            scan_share: controls.scan_share,
             tuning: controls.tuning,
         })
     }
@@ -419,8 +432,14 @@ impl ExecContext {
             // re-points this at its own worker span before any operator
             // in the partition chain opens.
             span_parent: AtomicU64::new(parent.span_parent.load(Ordering::Relaxed)),
+            scan_share: parent.scan_share.clone(),
             tuning: parent.tuning,
         })
+    }
+
+    /// The shared-scan registry this query attaches scans to, if any.
+    pub fn scan_share(&self) -> Option<&Arc<qp_storage::ScanShare>> {
+        self.scan_share.as_ref()
     }
 
     /// The pristine fault schedule this (root) context was created with,

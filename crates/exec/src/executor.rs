@@ -5,7 +5,7 @@ use crate::error::{ExecError, ExecResult};
 use crate::ops::{
     ExchangeOp, ExchangeWorker, FilterOp, HashAggregateOp, HashJoinOp, IndexNestedLoopsOp,
     IndexRangeScanOp, LimitOp, MergeJoinOp, MorselIndexScanOp, MorselSeqScanOp, NestedLoopsOp,
-    ProjectOp, SeqScanOp, SortOp, StreamAggregateOp, NO_MORSEL,
+    ProjectOp, SeqScanOp, SharedSeqScanOp, SortOp, StreamAggregateOp, NO_MORSEL,
 };
 use crate::plan::{NodeId, Plan, PlanNode};
 use qp_storage::{Database, MorselDispenser, Row};
@@ -223,7 +223,15 @@ fn build_node(
         build_node(plan, data.children[i], db, ctx, exchanges)
     };
     let op: Box<dyn Operator> = match &data.kind {
-        PlanNode::SeqScan { table, .. } => Box::new(SeqScanOp::new(db.table(table)?)),
+        // Serial full scans route through the shared-scan registry when
+        // the context carries one (row-for-row identical to a direct
+        // scan; see `SharedSeqScanOp`). Parallel plans use the morsel
+        // variants below instead — work stealing already amortizes the
+        // pass across that query's own workers.
+        PlanNode::SeqScan { table, .. } => match ctx.scan_share() {
+            Some(share) => Box::new(SharedSeqScanOp::new(db.table(table)?, Arc::clone(share))),
+            None => Box::new(SeqScanOp::new(db.table(table)?)),
+        },
         PlanNode::IndexRangeScan {
             table,
             index,

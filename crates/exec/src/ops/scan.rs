@@ -3,7 +3,9 @@
 
 use crate::context::{ExecContext, Operator};
 use crate::error::ExecResult;
-use qp_storage::{IndexMeta, MorselDispenser, Row, RowId, Schema, Table, Value};
+use qp_storage::{
+    IndexMeta, MorselDispenser, Row, RowId, ScanShare, Schema, SharedCursor, Table, Value,
+};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -73,6 +75,68 @@ impl Operator for SeqScanOp {
     }
 
     fn close(&mut self) {}
+
+    fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+}
+
+/// Full heap scan through a [`ScanShare`] registry: attaches to the
+/// table's in-flight shared-scan epoch (or starts one) and replays the
+/// insertion-order row sequence from its own cursor. Row-for-row
+/// equivalent to [`SeqScanOp`] — same rows, same order, same getnext
+/// counts — but N concurrent scans of one table cost ~1 physical pass.
+pub struct SharedSeqScanOp {
+    table: Arc<Table>,
+    share: Arc<ScanShare>,
+    cursor: Option<SharedCursor>,
+}
+
+impl SharedSeqScanOp {
+    pub fn new(table: Arc<Table>, share: Arc<ScanShare>) -> SharedSeqScanOp {
+        SharedSeqScanOp {
+            table,
+            share,
+            cursor: None,
+        }
+    }
+
+    fn cursor(&mut self) -> &mut SharedCursor {
+        // Attach lazily at first pull, not at build: a plan node that
+        // never opens (short-circuited pipeline) must not hold an epoch
+        // alive, and `open` semantics want a rewind either way.
+        self.cursor
+            .get_or_insert_with(|| self.share.attach(&self.table))
+    }
+}
+
+impl Operator for SharedSeqScanOp {
+    fn open(&mut self) -> ExecResult<()> {
+        self.cursor().reset();
+        Ok(())
+    }
+
+    fn next(&mut self) -> ExecResult<Option<Row>> {
+        Ok(self.cursor().next())
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Row>) -> ExecResult<bool> {
+        let cursor = self.cursor();
+        out.reserve(max.min(cursor.len()));
+        for _ in 0..max {
+            match cursor.next() {
+                Some(row) => out.push(row),
+                None => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
+
+    fn close(&mut self) {
+        // Detach promptly: a finished scan must not pin the epoch (and
+        // its row cache) until the operator tree drops.
+        self.cursor = None;
+    }
 
     fn schema(&self) -> &Schema {
         self.table.schema()

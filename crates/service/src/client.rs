@@ -1,0 +1,1013 @@
+//! The blocking line-protocol client, redesigned around typed requests
+//! and responses (protocol v3).
+//!
+//! The wire format is unchanged — every request renders to the same
+//! line a v2 client would send, and every reply parses from the same
+//! line a v2 server would emit — but the API surface is now enums:
+//! build a [`ClientRequest`] (with [`SubmitRequest`]'s builder instead
+//! of hand-composed `KEY=` strings), send it through
+//! [`ServiceClient::request`], and match on the typed
+//! [`ClientResponse`] ([`StatusLine`], [`AuditLine`],
+//! [`MetricsSnapshot`], …). The pre-v3 convenience methods
+//! (`submit`/`status`/`metrics`/…) remain as thin wrappers.
+//!
+//! Resilience: [`ServiceClient::connect_with_retry`] retries under a
+//! capped, deterministically-jittered backoff and arms idempotent
+//! resend; [`ServiceClient::connect_with_retry_to`] accepts a small
+//! *address list* and rotates through it deterministically — attempt
+//! `i` dials `addrs[i % len]`, and a mid-session reconnect resumes the
+//! rotation at the address after the one that died — so a client rides
+//! out one dead endpoint without configuration changes. Idempotent
+//! read-only requests (`HELLO`/`STATUS`/`LIST`/`METRICS`/`TRACE`/
+//! `AUDIT`) are resent once over a fresh connection after a transient
+//! transport error; `SUBMIT` and `CANCEL` are never auto-resent.
+
+use crate::protocol::{ErrCode, StatusLine};
+use crate::session::{QueryId, QueryState};
+use qp_progress::shared::Health;
+use qp_testkit::fault::Backoff;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One `LIST` row as the client decodes it: session id, state, health.
+pub type ListRow = (QueryId, QueryState, Health);
+
+/// Retry schedule for [`ServiceClient::connect_with_retry`]: capped
+/// exponential backoff with deterministic jitter, so chaos runs replay
+/// identically from one seed.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total connection attempts (≥ 1).
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff delay.
+    pub cap: Duration,
+    /// Seed for the jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            seed: 0,
+        }
+    }
+}
+
+/// A `SUBMIT` under construction: the SQL plus the optional `KEY=`
+/// fields, typed. Renders to the exact v2-compatible wire line.
+///
+/// ```no_run
+/// # use qp_service::SubmitRequest;
+/// let req = SubmitRequest::new("SELECT COUNT(*) AS n FROM lineitem")
+///     .timeout_ms(5_000)
+///     .parallelism(4)
+///     .estimators("dne,pmax")
+///     .morsel_size(1024);
+/// assert!(req.render().starts_with("SUBMIT "));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitRequest {
+    sql: String,
+    timeout_ms: Option<u64>,
+    parallelism: Option<usize>,
+    estimators: Option<String>,
+    morsel_size: Option<usize>,
+    page_cache_frames: Option<usize>,
+}
+
+impl SubmitRequest {
+    /// A plain `SUBMIT <sql>` with every option at the server default.
+    pub fn new(sql: impl Into<String>) -> SubmitRequest {
+        SubmitRequest {
+            sql: sql.into(),
+            timeout_ms: None,
+            parallelism: None,
+            estimators: None,
+            morsel_size: None,
+            page_cache_frames: None,
+        }
+    }
+
+    /// Execution-time budget (`TIMEOUT_MS=`).
+    pub fn timeout_ms(mut self, ms: u64) -> SubmitRequest {
+        self.timeout_ms = Some(ms);
+        self
+    }
+
+    /// Intra-query parallelism degree (`PARALLELISM=`).
+    pub fn parallelism(mut self, degree: usize) -> SubmitRequest {
+        self.parallelism = Some(degree);
+        self
+    }
+
+    /// Estimator suite CSV (`ESTIMATORS=`), e.g. `"dne,pmax"`.
+    pub fn estimators(mut self, csv: impl Into<String>) -> SubmitRequest {
+        self.estimators = Some(csv.into());
+        self
+    }
+
+    /// Rows per work-stealing morsel (`MORSEL_SIZE=`).
+    pub fn morsel_size(mut self, rows: usize) -> SubmitRequest {
+        self.morsel_size = Some(rows);
+        self
+    }
+
+    /// Buffer-pool frame count (`PAGE_CACHE_FRAMES=`).
+    pub fn page_cache_frames(mut self, frames: usize) -> SubmitRequest {
+        self.page_cache_frames = Some(frames);
+        self
+    }
+
+    /// The wire line, fields in canonical order (any order parses; this
+    /// one round-trips through [`protocol::Request::parse`](crate::protocol::Request::parse), which a test pins).
+    pub fn render(&self) -> String {
+        let mut line = String::from("SUBMIT");
+        if let Some(ms) = self.timeout_ms {
+            line.push_str(&format!(" TIMEOUT_MS={ms}"));
+        }
+        if let Some(n) = self.parallelism {
+            line.push_str(&format!(" PARALLELISM={n}"));
+        }
+        if let Some(csv) = &self.estimators {
+            line.push_str(&format!(" ESTIMATORS={csv}"));
+        }
+        if let Some(n) = self.morsel_size {
+            line.push_str(&format!(" MORSEL_SIZE={n}"));
+        }
+        if let Some(n) = self.page_cache_frames {
+            line.push_str(&format!(" PAGE_CACHE_FRAMES={n}"));
+        }
+        line.push(' ');
+        line.push_str(&self.sql);
+        line
+    }
+}
+
+/// A typed request — the client-side mirror of the server's
+/// [`protocol::Request`](crate::protocol::Request), minus parsing concerns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientRequest {
+    /// `HELLO` — capability discovery.
+    Hello,
+    /// `SUBMIT …` — run a query (see [`SubmitRequest`]).
+    Submit(SubmitRequest),
+    /// `STATUS <id>` — one-line progress report.
+    Status(QueryId),
+    /// `LIST` — all sessions.
+    List,
+    /// `CANCEL <id>` — request cancellation.
+    Cancel(QueryId),
+    /// `METRICS` — Prometheus text exposition.
+    Metrics,
+    /// `TRACE <id>` — JSONL trajectory.
+    Trace(QueryId),
+    /// `AUDIT [<id>]` — estimator postmortems.
+    Audit(Option<QueryId>),
+    /// `SHUTDOWN` — stop the server.
+    Shutdown,
+}
+
+impl ClientRequest {
+    /// The wire line this request sends.
+    pub fn render(&self) -> String {
+        match self {
+            ClientRequest::Hello => "HELLO".into(),
+            ClientRequest::Submit(s) => s.render(),
+            ClientRequest::Status(id) => format!("STATUS {id}"),
+            ClientRequest::List => "LIST".into(),
+            ClientRequest::Cancel(id) => format!("CANCEL {id}"),
+            ClientRequest::Metrics => "METRICS".into(),
+            ClientRequest::Trace(id) => format!("TRACE {id}"),
+            ClientRequest::Audit(Some(id)) => format!("AUDIT {id}"),
+            ClientRequest::Audit(None) => "AUDIT".into(),
+            ClientRequest::Shutdown => "SHUTDOWN".into(),
+        }
+    }
+
+    /// Whether asking twice cannot change server state — the resend
+    /// gate for reconnect-armed clients.
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(
+            self,
+            ClientRequest::Submit(_) | ClientRequest::Cancel(_) | ClientRequest::Shutdown
+        )
+    }
+
+    /// Whether the reply is `OK <n>`-framed with `n` body lines.
+    fn expects_block(&self) -> bool {
+        matches!(
+            self,
+            ClientRequest::List
+                | ClientRequest::Metrics
+                | ClientRequest::Trace(_)
+                | ClientRequest::Audit(_)
+        )
+    }
+}
+
+/// A structured `ERR <CODE> <message>` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The raw wire token after `ERR `.
+    pub code: String,
+    /// The human-readable tail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Splits `BAD_REQUEST some message` (the line after `ERR `).
+    fn parse(tail: &str) -> WireError {
+        let (code, message) = match tail.split_once(' ') {
+            Some((c, m)) => (c.to_string(), m.to_string()),
+            None => (tail.to_string(), String::new()),
+        };
+        WireError { code, message }
+    }
+
+    /// The typed code, when the token is a known [`ErrCode`].
+    pub fn code(&self) -> Option<ErrCode> {
+        ErrCode::from_wire(&self.code)
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.code, self.message)
+    }
+}
+
+/// The parsed `HELLO` capability line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloInfo {
+    /// `protocol=` — the server's wire version.
+    pub protocol: u32,
+    /// `caps=` — advertised capabilities (empty from a v2 server).
+    pub caps: Vec<String>,
+    /// `verbs=` — every verb the server parses.
+    pub verbs: Vec<String>,
+    /// `fields=` — optional `SUBMIT` fields.
+    pub fields: Vec<String>,
+    /// `estimators=` — registered estimator names.
+    pub estimators: Vec<String>,
+}
+
+impl HelloInfo {
+    /// Parses the capability line (with or without its `OK ` prefix).
+    /// Unknown keys are ignored — the forward-compatibility contract.
+    pub fn parse(line: &str) -> Result<HelloInfo, String> {
+        let line = line.strip_prefix("OK ").unwrap_or(line);
+        let mut info = HelloInfo {
+            protocol: 0,
+            caps: Vec::new(),
+            verbs: Vec::new(),
+            fields: Vec::new(),
+            estimators: Vec::new(),
+        };
+        let csv = |v: &str| -> Vec<String> {
+            v.split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        };
+        for word in line.split_whitespace() {
+            let Some((key, value)) = word.split_once('=') else {
+                continue;
+            };
+            match key {
+                "protocol" => {
+                    info.protocol = value
+                        .parse()
+                        .map_err(|e| format!("bad protocol version {value:?}: {e}"))?
+                }
+                "caps" => info.caps = csv(value),
+                "verbs" => info.verbs = csv(value),
+                "fields" => info.fields = csv(value),
+                "estimators" => info.estimators = csv(value),
+                _ => {}
+            }
+        }
+        if info.protocol == 0 {
+            return Err(format!("hello line {line:?} carries no protocol version"));
+        }
+        Ok(info)
+    }
+
+    /// Whether the server advertised capability `cap` (e.g. `"ASYNC"`).
+    pub fn has_cap(&self, cap: &str) -> bool {
+        self.caps.iter().any(|c| c == cap)
+    }
+}
+
+/// One parsed `AUDIT` JSONL line: a finished session's accuracy score
+/// for one estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditLine {
+    /// The scored session.
+    pub query: QueryId,
+    /// The estimator's registry name.
+    pub estimator: String,
+    /// The session's now-known `total(Q)` in getnext calls.
+    pub total: u64,
+    /// Checkpoints scored.
+    pub points: u64,
+    /// Worst ratio error `max(e/p, p/e)` over the trace.
+    pub max_ratio: f64,
+    /// Mean ratio error over the scored checkpoints.
+    pub avg_ratio: f64,
+    /// Property-4 (never-underestimate) violations.
+    pub p4_violations: u64,
+    /// The session's final trust flag.
+    pub final_trust: String,
+    /// Mid-run trust flips.
+    pub trust_transitions: u64,
+    /// Run wall-clock, milliseconds.
+    pub wall_ms: u64,
+}
+
+impl AuditLine {
+    /// Parses one `{"type":"audit",…}` JSONL line.
+    pub fn parse(line: &str) -> Result<AuditLine, String> {
+        let v = qp_obs::json::parse(line)?;
+        if v.get("type").and_then(|t| t.as_str()) != Some("audit") {
+            return Err(format!("not an audit line: {line:?}"));
+        }
+        let u64_field = |key: &str| {
+            v.get(key)
+                .and_then(|f| f.as_u64())
+                .ok_or_else(|| format!("audit line missing {key}: {line:?}"))
+        };
+        let f64_field = |key: &str| {
+            v.get(key)
+                .and_then(|f| f.as_f64())
+                .ok_or_else(|| format!("audit line missing {key}: {line:?}"))
+        };
+        let str_field = |key: &str| {
+            v.get(key)
+                .and_then(|f| f.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("audit line missing {key}: {line:?}"))
+        };
+        Ok(AuditLine {
+            query: QueryId(u64_field("query")?),
+            estimator: str_field("estimator")?,
+            total: u64_field("total")?,
+            points: u64_field("points")?,
+            max_ratio: f64_field("max_ratio")?,
+            avg_ratio: f64_field("avg_ratio")?,
+            p4_violations: u64_field("p4_violations")?,
+            final_trust: str_field("final_trust")?,
+            trust_transitions: u64_field("trust_transitions")?,
+            wall_ms: u64_field("wall_ms")?,
+        })
+    }
+}
+
+/// A parsed `METRICS` payload: every sample line of the Prometheus text
+/// exposition, name (with label set) → value, plus the raw text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    samples: Vec<(String, f64)>,
+    raw: String,
+}
+
+impl MetricsSnapshot {
+    /// Parses Prometheus text exposition (`# `-comment lines skipped;
+    /// each sample line splits at its last space).
+    pub fn parse(text: &str) -> MetricsSnapshot {
+        let mut samples = Vec::new();
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((name, value)) = line.rsplit_once(' ') {
+                if let Ok(value) = value.parse::<f64>() {
+                    samples.push((name.to_string(), value));
+                }
+            }
+        }
+        MetricsSnapshot {
+            samples,
+            raw: text.to_string(),
+        }
+    }
+
+    /// The value of the sample named exactly `name` — including its
+    /// label set, e.g. `qp_request_latency_ns_count{verb="STATUS"}`.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// All samples whose name starts with `prefix`, in exposition order.
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, f64)> {
+        self.samples
+            .iter()
+            .filter(move |(n, _)| n.starts_with(prefix))
+            .map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// The raw exposition text.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+}
+
+/// A typed reply to a [`ClientRequest`]. `Err` replies arrive as
+/// [`ClientResponse::Err`], not as an `io::Error` — the transport
+/// succeeded; the server declined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientResponse {
+    /// `HELLO` → the parsed capability line.
+    Hello(HelloInfo),
+    /// `SUBMIT` → the admitted query's id.
+    Submitted(QueryId),
+    /// `STATUS` → the parsed report.
+    Status(StatusLine),
+    /// `LIST` → `(id, state, health)` triples.
+    List(Vec<ListRow>),
+    /// `CANCEL` → the state the cancel found the query in.
+    Cancelled { id: QueryId, state: QueryState },
+    /// `METRICS` → the parsed exposition.
+    Metrics(MetricsSnapshot),
+    /// `TRACE` → raw JSONL lines (heterogeneous record types).
+    Trace(Vec<String>),
+    /// `AUDIT` → typed postmortem lines.
+    Audit(Vec<AuditLine>),
+    /// `SHUTDOWN` → the server's farewell.
+    Bye,
+    /// Any `ERR <CODE> <message>` reply.
+    Err(WireError),
+}
+
+/// A blocking line-protocol client (used by the examples, the tests,
+/// the load generator, and the CI smoke run; also a reference for
+/// writing clients in other languages).
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// When set, idempotent requests may reconnect (rotating through
+    /// the address list) and resend once after a transient transport
+    /// error. See [`enable_reconnect`](ServiceClient::enable_reconnect).
+    reconnect: Option<ReconnectState>,
+}
+
+#[derive(Debug, Clone)]
+struct ReconnectState {
+    /// The full dial rotation; attempt `i` uses `addrs[i % len]`.
+    addrs: Vec<SocketAddr>,
+    policy: RetryPolicy,
+    /// Index of the address the live connection came from; a
+    /// reconnect resumes the rotation at the next one.
+    connected: usize,
+}
+
+impl ServiceClient {
+    /// Connects to a running [`ProgressServer`](crate::ProgressServer).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ServiceClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(ServiceClient {
+            reader: BufReader::new(stream),
+            writer,
+            reconnect: None,
+        })
+    }
+
+    /// [`connect`](ServiceClient::connect) retried under `policy` —
+    /// for servers that are still binding, or briefly at their
+    /// connection cap. The returned client has
+    /// [`enable_reconnect`](ServiceClient::enable_reconnect) active
+    /// under the same policy: idempotent read-only requests (`HELLO`,
+    /// `STATUS`, `LIST`, `METRICS`, `TRACE`, `AUDIT`) are resent once
+    /// over a fresh connection after a transient transport error.
+    /// Mutating requests are never auto-resent (a replayed `SUBMIT`
+    /// would double-run a query).
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<ServiceClient> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        ServiceClient::connect_with_retry_to(&addrs, policy)
+    }
+
+    /// [`connect_with_retry`](ServiceClient::connect_with_retry) over an
+    /// explicit address list with deterministic rotation: attempt `i`
+    /// dials `addrs[i % addrs.len()]`, so one dead endpoint costs one
+    /// backoff delay, not the whole retry budget. Reconnects armed by
+    /// this constructor resume the rotation at the address *after* the
+    /// one whose connection died.
+    pub fn connect_with_retry_to(
+        addrs: &[SocketAddr],
+        policy: &RetryPolicy,
+    ) -> std::io::Result<ServiceClient> {
+        let (mut client, connected) = ServiceClient::dial_rotating(addrs, policy, 0)?;
+        client.reconnect = Some(ReconnectState {
+            addrs: addrs.to_vec(),
+            policy: policy.clone(),
+            connected,
+        });
+        Ok(client)
+    }
+
+    /// The rotating dial shared by first connect and reconnect: attempt
+    /// `i` (0-based) dials `addrs[(start + i) % len]` with the policy's
+    /// backoff between attempts. Returns the client and the index that
+    /// answered.
+    fn dial_rotating(
+        addrs: &[SocketAddr],
+        policy: &RetryPolicy,
+        start: usize,
+    ) -> std::io::Result<(ServiceClient, usize)> {
+        if addrs.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "connect_with_retry_to: empty address list",
+            ));
+        }
+        let mut backoff = Backoff::new(policy.seed, policy.base, policy.cap);
+        let mut last_err = None;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff.next_delay());
+            }
+            let index = (start + attempt as usize) % addrs.len();
+            match ServiceClient::connect(addrs[index]) {
+                Ok(client) => return Ok((client, index)),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("connect_with_retry: zero attempts")))
+    }
+
+    /// Arms idempotent-request retry: after a transient transport error
+    /// (reset, EOF, broken pipe) on a read-only request, the client
+    /// reconnects to the peer under `policy` — same capped, seeded
+    /// backoff as [`connect_with_retry`](ServiceClient::connect_with_retry)
+    /// — and resends that request once. Safe precisely because those
+    /// verbs are idempotent: asking twice cannot change server state.
+    /// `SUBMIT`/`CANCEL`/`SHUTDOWN` always fail straight through.
+    pub fn enable_reconnect(&mut self, policy: RetryPolicy) -> std::io::Result<()> {
+        let peer = self.writer.peer_addr()?;
+        self.reconnect = Some(ReconnectState {
+            addrs: vec![peer],
+            policy,
+            connected: 0,
+        });
+        Ok(())
+    }
+
+    /// Forcibly closes the underlying socket *without* telling the
+    /// server — a chaos hook for exercising the reconnect path in tests.
+    pub fn sever(&self) {
+        let _ = self.writer.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// A transport error worth a reconnect-and-resend: the kinds a
+    /// dropped TCP connection produces. Protocol-level `ERR` replies
+    /// never come through here.
+    fn is_transient(e: &std::io::Error) -> bool {
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::UnexpectedEof
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::NotConnected
+        )
+    }
+
+    /// Replaces the dead connection with a fresh one, resuming the
+    /// address rotation at the entry after the one that died.
+    fn reestablish(&mut self) -> std::io::Result<()> {
+        let state = self
+            .reconnect
+            .clone()
+            .expect("reestablish requires enable_reconnect");
+        let start = (state.connected + 1) % state.addrs.len();
+        let (fresh, connected) = ServiceClient::dial_rotating(&state.addrs, &state.policy, start)?;
+        self.reader = fresh.reader;
+        self.writer = fresh.writer;
+        if let Some(s) = &mut self.reconnect {
+            s.connected = connected;
+        }
+        Ok(())
+    }
+
+    /// Sends a typed request and parses the typed response — the v3
+    /// API's single entry point. Idempotent requests ride the
+    /// reconnect-and-resend path when it is armed.
+    pub fn request(&mut self, req: &ClientRequest) -> std::io::Result<ClientResponse> {
+        let line = req.render();
+        if req.expects_block() {
+            let lines = match self.read_block(&line)? {
+                Ok(lines) => lines,
+                Err(e) => return Ok(ClientResponse::Err(WireError::parse(&e))),
+            };
+            return Self::decode_block(req, lines).map_err(Self::decode_err);
+        }
+        let reply = if req.is_idempotent() {
+            self.idempotent_round_trip(&line)?
+        } else {
+            self.round_trip(&line)?
+        };
+        Self::decode_line(req, &reply).map_err(Self::decode_err)
+    }
+
+    fn decode_err(message: String) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+    }
+
+    /// Decodes a single-line reply for `req`.
+    fn decode_line(req: &ClientRequest, line: &str) -> Result<ClientResponse, String> {
+        if let Some(tail) = line.strip_prefix("ERR ") {
+            return Ok(ClientResponse::Err(WireError::parse(tail)));
+        }
+        match req {
+            ClientRequest::Hello => Ok(ClientResponse::Hello(HelloInfo::parse(line)?)),
+            ClientRequest::Submit(_) => {
+                let id = line
+                    .strip_prefix("OK ")
+                    .ok_or_else(|| format!("malformed SUBMIT reply {line:?}"))?;
+                Ok(ClientResponse::Submitted(id.parse()?))
+            }
+            ClientRequest::Status(_) => Ok(ClientResponse::Status(StatusLine::parse(line)?)),
+            ClientRequest::Cancel(id) => {
+                let state = line
+                    .strip_prefix(&format!("OK {id} "))
+                    .ok_or_else(|| format!("malformed CANCEL reply {line:?}"))?;
+                Ok(ClientResponse::Cancelled {
+                    id: *id,
+                    state: state.parse()?,
+                })
+            }
+            ClientRequest::Shutdown => {
+                if line == "OK bye" {
+                    Ok(ClientResponse::Bye)
+                } else {
+                    Err(format!("malformed SHUTDOWN reply {line:?}"))
+                }
+            }
+            block => Err(format!("{block:?} expects a block reply")),
+        }
+    }
+
+    /// Decodes an `OK <n>`-framed body for `req`.
+    fn decode_block(req: &ClientRequest, lines: Vec<String>) -> Result<ClientResponse, String> {
+        match req {
+            ClientRequest::List => {
+                let mut sessions = Vec::with_capacity(lines.len());
+                for line in lines {
+                    sessions.push(Self::parse_list_row(&line)?);
+                }
+                Ok(ClientResponse::List(sessions))
+            }
+            ClientRequest::Metrics => {
+                let mut text = lines.join("\n");
+                text.push('\n');
+                Ok(ClientResponse::Metrics(MetricsSnapshot::parse(&text)))
+            }
+            ClientRequest::Trace(_) => Ok(ClientResponse::Trace(lines)),
+            ClientRequest::Audit(_) => {
+                let mut parsed = Vec::with_capacity(lines.len());
+                for line in &lines {
+                    parsed.push(AuditLine::parse(line)?);
+                }
+                Ok(ClientResponse::Audit(parsed))
+            }
+            other => Err(format!("{other:?} expects a single-line reply")),
+        }
+    }
+
+    fn parse_list_row(line: &str) -> Result<ListRow, String> {
+        let mut words = line.split_whitespace();
+        let bad = || format!("malformed LIST row {line:?}");
+        let id = words.next().ok_or_else(bad)?.parse()?;
+        let state = words.next().ok_or_else(bad)?.parse()?;
+        let health = words
+            .next()
+            .and_then(|w| w.strip_prefix("health="))
+            .ok_or_else(bad)?
+            .parse()?;
+        Ok((id, state, health))
+    }
+
+    /// [`round_trip`](ServiceClient::round_trip) for idempotent
+    /// requests: one reconnect-and-resend on a transient transport
+    /// error when [`enable_reconnect`](ServiceClient::enable_reconnect)
+    /// is armed.
+    fn idempotent_round_trip(&mut self, request: &str) -> std::io::Result<String> {
+        match self.round_trip(request) {
+            Err(e) if self.reconnect.is_some() && Self::is_transient(&e) => {
+                self.reestablish()?;
+                self.round_trip(request)
+            }
+            other => other,
+        }
+    }
+
+    fn round_trip(&mut self, request: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{request}")?;
+        self.writer.flush()?;
+        self.read_line()
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// `SUBMIT` — returns the new query id.
+    pub fn submit(&mut self, sql: &str) -> std::io::Result<Result<QueryId, String>> {
+        let line = self.round_trip(&format!("SUBMIT {sql}"))?;
+        Self::parse_submit_reply(line)
+    }
+
+    /// `SUBMIT TIMEOUT_MS=<n>` — submit with an execution deadline.
+    pub fn submit_with_timeout(
+        &mut self,
+        sql: &str,
+        timeout: Duration,
+    ) -> std::io::Result<Result<QueryId, String>> {
+        let line = self.round_trip(&format!(
+            "SUBMIT TIMEOUT_MS={} {sql}",
+            timeout.as_millis().min(u64::MAX as u128)
+        ))?;
+        Self::parse_submit_reply(line)
+    }
+
+    /// Typed `SUBMIT` — renders the builder and returns the new id.
+    pub fn submit_req(&mut self, req: &SubmitRequest) -> std::io::Result<Result<QueryId, String>> {
+        let line = self.round_trip(&req.render())?;
+        Self::parse_submit_reply(line)
+    }
+
+    /// `HELLO` — returns the capability line (sans the `OK ` prefix),
+    /// e.g. `protocol=3 caps=… verbs=… fields=… estimators=…`.
+    pub fn hello(&mut self) -> std::io::Result<String> {
+        let line = self.idempotent_round_trip("HELLO")?;
+        Ok(line.strip_prefix("OK ").unwrap_or(&line).to_string())
+    }
+
+    /// `HELLO`, typed: the parsed [`HelloInfo`].
+    pub fn hello_info(&mut self) -> std::io::Result<Result<HelloInfo, String>> {
+        let line = self.idempotent_round_trip("HELLO")?;
+        Ok(HelloInfo::parse(&line))
+    }
+
+    /// `SUBMIT <fields> <sql>` with caller-composed option fields, e.g.
+    /// `PARALLELISM=4 ESTIMATORS=dne,pmax` (the pre-v3 escape hatch;
+    /// prefer [`SubmitRequest`]).
+    pub fn submit_with_fields(
+        &mut self,
+        fields: &str,
+        sql: &str,
+    ) -> std::io::Result<Result<QueryId, String>> {
+        let line = self.round_trip(&format!("SUBMIT {fields} {sql}"))?;
+        Self::parse_submit_reply(line)
+    }
+
+    fn parse_submit_reply(line: String) -> std::io::Result<Result<QueryId, String>> {
+        Ok(match line.strip_prefix("OK ") {
+            Some(id) => id.parse().map_err(|e: String| e),
+            None => Err(line.strip_prefix("ERR ").unwrap_or(&line).to_string()),
+        })
+    }
+
+    /// `STATUS` — returns the parsed report.
+    pub fn status(&mut self, id: QueryId) -> std::io::Result<Result<StatusLine, String>> {
+        let line = self.idempotent_round_trip(&format!("STATUS {id}"))?;
+        Ok(StatusLine::parse(&line))
+    }
+
+    /// Reads an `OK <n>`-framed multi-line response body (or the `ERR`).
+    /// All block verbs are idempotent reads, so a transient transport
+    /// error — even one mid-body — retries the whole request once over
+    /// a fresh connection when reconnect is armed.
+    fn read_block(&mut self, request: &str) -> std::io::Result<Result<Vec<String>, String>> {
+        match self.read_block_once(request) {
+            Err(e) if self.reconnect.is_some() && Self::is_transient(&e) => {
+                self.reestablish()?;
+                self.read_block_once(request)
+            }
+            other => other,
+        }
+    }
+
+    fn read_block_once(&mut self, request: &str) -> std::io::Result<Result<Vec<String>, String>> {
+        let head = self.round_trip(request)?;
+        let Some(n) = head
+            .strip_prefix("OK ")
+            .and_then(|n| n.parse::<usize>().ok())
+        else {
+            return Ok(Err(head.strip_prefix("ERR ").unwrap_or(&head).to_string()));
+        };
+        let mut lines = Vec::with_capacity(n);
+        for _ in 0..n {
+            lines.push(self.read_line()?);
+        }
+        Ok(Ok(lines))
+    }
+
+    /// `LIST` — returns `(id, state, health)` triples.
+    pub fn list(&mut self) -> std::io::Result<Result<Vec<ListRow>, String>> {
+        let rows = match self.read_block("LIST")? {
+            Ok(rows) => rows,
+            Err(e) => return Ok(Err(e)),
+        };
+        let mut sessions = Vec::with_capacity(rows.len());
+        for line in rows {
+            match Self::parse_list_row(&line) {
+                Ok(row) => sessions.push(row),
+                Err(e) => return Ok(Err(e)),
+            }
+        }
+        Ok(Ok(sessions))
+    }
+
+    /// `METRICS` — returns the Prometheus text exposition payload.
+    pub fn metrics(&mut self) -> std::io::Result<Result<String, String>> {
+        Ok(self.read_block("METRICS")?.map(|lines| {
+            let mut text = lines.join("\n");
+            text.push('\n');
+            text
+        }))
+    }
+
+    /// `METRICS`, typed: the parsed [`MetricsSnapshot`].
+    pub fn metrics_snapshot(&mut self) -> std::io::Result<Result<MetricsSnapshot, String>> {
+        Ok(self.metrics()?.map(|text| MetricsSnapshot::parse(&text)))
+    }
+
+    /// `TRACE <id>` — returns the session's JSONL lines.
+    pub fn trace(&mut self, id: QueryId) -> std::io::Result<Result<Vec<String>, String>> {
+        self.read_block(&format!("TRACE {id}"))
+    }
+
+    /// `AUDIT [<id>]` — estimator-accuracy postmortem JSONL for one
+    /// finished session, or for every retained one when `id` is `None`.
+    pub fn audit(&mut self, id: Option<QueryId>) -> std::io::Result<Result<Vec<String>, String>> {
+        match id {
+            Some(id) => self.read_block(&format!("AUDIT {id}")),
+            None => self.read_block("AUDIT"),
+        }
+    }
+
+    /// `CANCEL` — returns the state the cancel found the query in.
+    pub fn cancel(&mut self, id: QueryId) -> std::io::Result<Result<QueryState, String>> {
+        let line = self.round_trip(&format!("CANCEL {id}"))?;
+        Ok(match line.strip_prefix(&format!("OK {id} ")) {
+            Some(state) => state.parse().map_err(|e: String| e),
+            None => Err(line.strip_prefix("ERR ").unwrap_or(&line).to_string()),
+        })
+    }
+
+    /// `SHUTDOWN` — asks the server to stop accepting connections.
+    pub fn shutdown(&mut self) -> std::io::Result<()> {
+        let line = self.round_trip("SHUTDOWN")?;
+        debug_assert_eq!(line, "OK bye");
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Request;
+
+    /// The builder's canonical rendering round-trips through the
+    /// server-side parser with every field intact.
+    #[test]
+    fn submit_builder_round_trips_through_the_parser() {
+        let req = SubmitRequest::new("SELECT 1 FROM t")
+            .timeout_ms(250)
+            .parallelism(4)
+            .estimators("dne,pmax")
+            .morsel_size(64)
+            .page_cache_frames(32);
+        match Request::parse(&req.render()).expect("builder output parses") {
+            Request::Submit {
+                sql,
+                timeout_ms,
+                parallelism,
+                estimators,
+                morsel_size,
+                page_cache_frames,
+            } => {
+                assert_eq!(sql, "SELECT 1 FROM t");
+                assert_eq!(timeout_ms, Some(250));
+                assert_eq!(parallelism, Some(4));
+                assert_eq!(estimators.as_deref(), Some("dne,pmax"));
+                assert_eq!(morsel_size, Some(64));
+                assert_eq!(page_cache_frames, Some(32));
+            }
+            other => panic!("parsed as {other:?}"),
+        }
+        assert_eq!(
+            SubmitRequest::new("SELECT 1 FROM t").render(),
+            "SUBMIT SELECT 1 FROM t"
+        );
+    }
+
+    #[test]
+    fn every_request_renders_a_line_the_server_parses() {
+        let reqs = [
+            ClientRequest::Hello,
+            ClientRequest::Submit(SubmitRequest::new("SELECT 1 FROM t")),
+            ClientRequest::Status(QueryId(3)),
+            ClientRequest::List,
+            ClientRequest::Cancel(QueryId(3)),
+            ClientRequest::Metrics,
+            ClientRequest::Trace(QueryId(3)),
+            ClientRequest::Audit(None),
+            ClientRequest::Audit(Some(QueryId(3))),
+            ClientRequest::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.render();
+            assert!(
+                Request::parse(&line).is_ok(),
+                "{req:?} renders unparseable {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hello_info_parses_v3_and_v2_lines() {
+        let v3 = HelloInfo::parse(&crate::protocol::hello_line()).expect("v3 parses");
+        assert_eq!(v3.protocol, crate::protocol::PROTOCOL_VERSION);
+        assert!(v3.has_cap("ASYNC") && v3.has_cap("SHARED_SCAN"));
+        assert!(v3.verbs.iter().any(|v| v == "SUBMIT"));
+        // A v2 hello has no caps key; everything else still parses.
+        let v2 = HelloInfo::parse(
+            "OK protocol=2 verbs=HELLO,SUBMIT fields=TIMEOUT_MS \
+                                   estimators=dne",
+        )
+        .expect("v2 parses");
+        assert_eq!(v2.protocol, 2);
+        assert!(v2.caps.is_empty() && !v2.has_cap("ASYNC"));
+    }
+
+    #[test]
+    fn wire_error_decodes_typed_codes() {
+        let e = WireError::parse("SATURATED queue full (depth 16)");
+        assert_eq!(e.code(), Some(ErrCode::Saturated));
+        assert_eq!(e.message, "queue full (depth 16)");
+        assert_eq!(WireError::parse("WHAT").code(), None);
+    }
+
+    #[test]
+    fn metrics_snapshot_reads_labeled_samples() {
+        let snap = MetricsSnapshot::parse(
+            "# HELP qp_x A counter.\n# TYPE qp_x counter\nqp_x 3\n\
+             qp_request_latency_ns_count{verb=\"STATUS\"} 17\n",
+        );
+        assert_eq!(snap.value("qp_x"), Some(3.0));
+        assert_eq!(
+            snap.value("qp_request_latency_ns_count{verb=\"STATUS\"}"),
+            Some(17.0)
+        );
+        assert_eq!(snap.with_prefix("qp_request_latency_ns").count(), 1);
+    }
+
+    #[test]
+    fn audit_line_parses_a_postmortem_record() {
+        let line = qp_obs::Postmortem {
+            query: 9,
+            total: 1200,
+            wall_ms: 15,
+            final_trust: "ok".into(),
+            trust_transitions: 0,
+            scores: vec![qp_obs::EstimatorScore {
+                name: "dne".into(),
+                points: 5,
+                max_ratio: 1.5,
+                avg_ratio: 1.2,
+                p4_violations: 0,
+            }],
+        }
+        .to_jsonl()
+        .remove(0);
+        let parsed = AuditLine::parse(&line).expect("audit line parses");
+        assert_eq!(parsed.query, QueryId(9));
+        assert_eq!(parsed.estimator, "dne");
+        assert_eq!(parsed.total, 1200);
+        assert_eq!(parsed.max_ratio, 1.5);
+        assert_eq!(parsed.final_trust, "ok");
+    }
+}

@@ -18,10 +18,13 @@
 //! * Cooperative cancellation: a [`qp_exec::CancelToken`] per session,
 //!   checked by the executor between getnext calls — the "kill the
 //!   hopeless query" half of the DBA loop.
-//! * [`server::ProgressServer`] — a std-only TCP server speaking the
-//!   line protocol of [`protocol`] (`SUBMIT` / `STATUS` / `LIST` /
-//!   `CANCEL` / `METRICS` / `TRACE` / `SHUTDOWN`), with
-//!   [`server::ServiceClient`] as the matching blocking client.
+//! * [`server::ProgressServer`] — a std-only nonblocking TCP server
+//!   speaking the line protocol of [`protocol`] (`SUBMIT` / `STATUS` /
+//!   `LIST` / `CANCEL` / `METRICS` / `TRACE` / `SHUTDOWN`): one
+//!   acceptor plus N [`reactor`] event-loop threads multiplex thousands
+//!   of connections, with [`client::ServiceClient`] as the matching
+//!   blocking client and [`client::ClientRequest`] /
+//!   [`client::ClientResponse`] as its typed (protocol v3) API.
 //! * Observability ([`telemetry`], built on `qp-obs`): a service-wide
 //!   flight recorder of structured events, per-operator getnext counters
 //!   on every session, Prometheus-style exposition over `METRICS`, and a
@@ -33,18 +36,24 @@
 //! and `total(Q)` are identical to single-threaded runs — a property the
 //! integration tests pin down.
 
+pub mod client;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod service;
 pub mod session;
 mod sync;
 pub mod telemetry;
 
-pub use protocol::{
-    err_line, hello_line, help_text, ErrCode, ParsedStatus, Request, PROTOCOL_VERSION,
-    SUBMIT_FIELDS, VERBS,
+pub use client::{
+    AuditLine, ClientRequest, ClientResponse, HelloInfo, ListRow, MetricsSnapshot, RetryPolicy,
+    ServiceClient, SubmitRequest, WireError,
 };
-pub use server::{ProgressServer, RetryPolicy, ServerConfig, ServiceClient};
+pub use protocol::{
+    err_line, hello_line, help_text, ErrCode, ParsedStatus, Request, StatusLine, CAPABILITIES,
+    PROTOCOL_VERSION, SUBMIT_FIELDS, VERBS,
+};
+pub use server::{ProgressServer, ServerConfig};
 pub use service::{
     QueryService, ServiceConfig, StatusReport, SubmitError, SubmitOptions, ESTIMATORS,
 };

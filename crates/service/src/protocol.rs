@@ -5,7 +5,7 @@
 //! for the full grammar. Summary:
 //!
 //! ```text
-//! HELLO             → OK protocol=2 verbs=<csv> fields=<csv>
+//! HELLO             → OK protocol=3 caps=<csv> verbs=<csv> fields=<csv>
 //!                          estimators=<csv>  (capability discovery)
 //! SUBMIT [TIMEOUT_MS=<n>] [PARALLELISM=<n>] [ESTIMATORS=<csv>]
 //!        [MORSEL_SIZE=<n>] <sql>
@@ -33,10 +33,19 @@ use qp_progress::shared::{Health, Trust};
 
 /// Wire protocol version reported by `HELLO`. Version 2 added `HELLO`
 /// itself, structured `ERR <CODE> <msg>` replies, and the `PARALLELISM=`
-/// / `ESTIMATORS=` submit fields. Within v2, new optional submit fields
-/// (`MORSEL_SIZE=`) are discoverable through the `fields=` capability
-/// list — clients gate on the advertised fields, not the version.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// / `ESTIMATORS=` submit fields. Version 3 added the `caps=` capability
+/// list (`ASYNC`: the nonblocking event-loop front end; `SHARED_SCAN`:
+/// concurrent identical scans share one physical pass) — every v2 line
+/// is still answered identically, so v2 clients that ignore unknown
+/// `HELLO` keys keep working unchanged (pinned by a compatibility
+/// test). Within a version, new optional submit fields are discoverable
+/// through the `fields=` capability list — clients gate on the
+/// advertised fields and capabilities, not the version.
+pub const PROTOCOL_VERSION: u32 = 3;
+
+/// Server capabilities advertised by `HELLO` (`caps=<csv>`): behaviours
+/// a client may rely on that are not visible as verbs or fields.
+pub const CAPABILITIES: [&str; 2] = ["ASYNC", "SHARED_SCAN"];
 
 /// Every verb the protocol accepts, in documentation order. The
 /// unknown-verb error, the `HELLO` capability list, [`help_text`], and
@@ -87,6 +96,9 @@ pub enum ErrCode {
     ShuttingDown,
     /// No session with the given id.
     UnknownQuery,
+    /// A request line exceeded the server's line-length cap (the framer
+    /// discards the tail and resynchronises at the next newline).
+    TooLarge,
 }
 
 impl ErrCode {
@@ -98,7 +110,24 @@ impl ErrCode {
             ErrCode::Saturated => "SATURATED",
             ErrCode::ShuttingDown => "SHUTTING_DOWN",
             ErrCode::UnknownQuery => "UNKNOWN_QUERY",
+            ErrCode::TooLarge => "TOO_LARGE",
         }
+    }
+
+    /// Every code, in documentation order (the client-side decoder and
+    /// the README's error table are checked against this list).
+    pub const ALL: [ErrCode; 6] = [
+        ErrCode::BadRequest,
+        ErrCode::Plan,
+        ErrCode::Saturated,
+        ErrCode::ShuttingDown,
+        ErrCode::UnknownQuery,
+        ErrCode::TooLarge,
+    ];
+
+    /// Decodes a wire token back into its code.
+    pub fn from_wire(token: &str) -> Option<ErrCode> {
+        ErrCode::ALL.into_iter().find(|c| c.as_str() == token)
     }
 }
 
@@ -112,8 +141,9 @@ impl std::fmt::Display for ErrCode {
 /// line so `telnet`-ing `HELLO` shows everything the server speaks.
 pub fn hello_line() -> String {
     format!(
-        "OK protocol={} verbs={} fields={} estimators={}",
+        "OK protocol={} caps={} verbs={} fields={} estimators={}",
         PROTOCOL_VERSION,
+        CAPABILITIES.join(","),
         VERBS.join(","),
         SUBMIT_FIELDS.join(","),
         qp_progress::ESTIMATOR_NAMES.join(",")
@@ -353,9 +383,10 @@ pub fn status_line(report: &StatusReport) -> String {
     out
 }
 
-/// A client-side parse of a [`status_line`].
+/// A client-side parse of a [`status_line`] — the typed `STATUS` result
+/// of the v3 client API.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ParsedStatus {
+pub struct StatusLine {
     pub id: QueryId,
     pub state: crate::session::QueryState,
     /// Progress-stream health; `None` only for pre-health servers.
@@ -372,9 +403,12 @@ pub struct ParsedStatus {
     pub total_getnext: Option<u64>,
 }
 
-impl ParsedStatus {
+/// Pre-v3 name for [`StatusLine`], kept so existing clients compile.
+pub type ParsedStatus = StatusLine;
+
+impl StatusLine {
     /// Parses `OK q3 RUNNING curr=1200 lb=4000 ub=9000 dne=0.31 …`.
-    pub fn parse(line: &str) -> Result<ParsedStatus, String> {
+    pub fn parse(line: &str) -> Result<StatusLine, String> {
         let mut words = line.split_whitespace();
         match words.next() {
             Some("OK") => {}
@@ -394,7 +428,7 @@ impl ParsedStatus {
             .next()
             .ok_or_else(|| "status line missing state".to_string())?
             .parse()?;
-        let mut parsed = ParsedStatus {
+        let mut parsed = StatusLine {
             id,
             state,
             health: None,
@@ -648,8 +682,19 @@ mod tests {
         for name in qp_progress::ESTIMATOR_NAMES {
             assert!(line.contains(name), "hello line omits estimator {name}");
         }
+        for cap in CAPABILITIES {
+            assert!(line.contains(cap), "hello line omits capability {cap}");
+        }
         // Single line, like every non-block reply.
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn err_codes_round_trip_through_the_wire_token() {
+        for code in ErrCode::ALL {
+            assert_eq!(ErrCode::from_wire(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrCode::from_wire("NOPE"), None);
     }
 
     #[test]

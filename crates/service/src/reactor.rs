@@ -1,0 +1,326 @@
+//! A `libc`-free readiness layer for the nonblocking TCP front end.
+//!
+//! std exposes no selector (`epoll`/`kqueue`), and the workspace policy
+//! forbids external crates — so readiness here is a *sweep*: every
+//! registered socket is nonblocking, and one [`poll`] pass asks each of
+//! them (via a zero-copy `MSG_PEEK`) whether bytes or EOF are waiting.
+//! That is exactly the level-triggered contract of `poll(2)` — a socket
+//! stays "ready" until its bytes are consumed — at O(connections) cost
+//! per sweep instead of O(ready), which on the target box (thousands of
+//! mostly-idle connections, single-digit event-loop threads) is a
+//! microsecond-per-connection syscall tax the load gate measures.
+//!
+//! The other half of the module is the per-connection state the event
+//! loop multiplexes over:
+//!
+//! * [`LineFramer`] — an incremental line-framing state machine. Bytes
+//!   arrive in arbitrary chunks; frames come out *identically however
+//!   the stream was split* (pinned by a property test). Oversized lines
+//!   and NUL bytes become typed [`Frame`] errors, never a disconnect —
+//!   the connection resynchronises at the next newline.
+//! * [`Conn`] — one connection's socket, framer, and bounded write
+//!   buffer, with nonblocking `fill`/`flush` halves.
+//!
+//! The write path never blocks either: responses are queued into
+//! [`Conn::queue`] and drained by [`Conn::flush`] as the socket accepts
+//! them; a peer that stops reading past the buffer cap is a slow
+//! consumer and is disconnected by the server, not waited on.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// One framed event out of a [`LineFramer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete request line (without its `\n`; a single trailing `\r`
+    /// is stripped so `telnet` CRLF input works).
+    Line(String),
+    /// The line under construction exceeded `max_line` bytes before a
+    /// newline arrived. The overlong tail is discarded up to (and
+    /// including) the next newline, after which framing resumes.
+    TooLong,
+    /// The line contained a NUL byte — never legal in this protocol, and
+    /// a classic sign of a confused (binary) client.
+    Nul,
+}
+
+/// Incremental line framing over an arbitrarily-chunked byte stream.
+///
+/// Feed bytes with [`push`](LineFramer::push), drain frames with
+/// [`pop`](LineFramer::pop). Processing is byte-at-a-time internally, so
+/// the emitted frame sequence is invariant under re-chunking — the
+/// property the framing test suite pins.
+#[derive(Debug)]
+pub struct LineFramer {
+    max_line: usize,
+    partial: Vec<u8>,
+    pending: VecDeque<Frame>,
+    /// Discarding the tail of an oversized line until the next newline.
+    discarding: bool,
+    /// The current line contained a NUL; it frames as [`Frame::Nul`].
+    poisoned: bool,
+}
+
+impl LineFramer {
+    /// A framer that rejects lines longer than `max_line` bytes
+    /// (exclusive of the terminating newline).
+    pub fn new(max_line: usize) -> LineFramer {
+        assert!(max_line > 0, "max_line must be positive");
+        LineFramer {
+            max_line,
+            partial: Vec::new(),
+            pending: VecDeque::new(),
+            discarding: false,
+            poisoned: false,
+        }
+    }
+
+    /// Appends one chunk of the byte stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            if self.discarding {
+                if b == b'\n' {
+                    self.discarding = false;
+                }
+                continue;
+            }
+            if b == b'\n' {
+                let frame = if self.poisoned {
+                    Frame::Nul
+                } else {
+                    if self.partial.last() == Some(&b'\r') {
+                        self.partial.pop();
+                    }
+                    Frame::Line(String::from_utf8_lossy(&self.partial).into_owned())
+                };
+                self.pending.push_back(frame);
+                self.partial.clear();
+                self.poisoned = false;
+                continue;
+            }
+            if b == 0 {
+                self.poisoned = true;
+                continue;
+            }
+            if self.partial.len() >= self.max_line {
+                self.pending.push_back(Frame::TooLong);
+                self.partial.clear();
+                self.poisoned = false;
+                self.discarding = true;
+                continue;
+            }
+            self.partial.push(b);
+        }
+    }
+
+    /// The next framed event, if one is complete.
+    pub fn pop(&mut self) -> Option<Frame> {
+        self.pending.pop_front()
+    }
+
+    /// Bytes buffered for the line under construction.
+    pub fn buffered(&self) -> usize {
+        self.partial.len()
+    }
+}
+
+/// One readiness observation from a [`poll`] sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The caller-chosen token identifying the connection.
+    pub token: usize,
+    /// Bytes are waiting to be read.
+    pub readable: bool,
+    /// The peer closed (EOF) or the socket is in error.
+    pub hup: bool,
+}
+
+/// One level-triggered readiness sweep over `conns` — the `poll(2)`
+/// analogue. Sockets must be nonblocking. Readiness is probed with a
+/// one-byte `peek` (`MSG_PEEK`: nothing is consumed); a socket with
+/// nothing waiting contributes no event. The caller decides how to wait
+/// when the sweep comes back empty (the event loop sleeps its
+/// `poll_interval`).
+pub fn poll<'a>(conns: impl IntoIterator<Item = (usize, &'a TcpStream)>, events: &mut Vec<Event>) {
+    events.clear();
+    let mut probe = [0u8; 1];
+    for (token, stream) in conns {
+        match stream.peek(&mut probe) {
+            Ok(0) => events.push(Event {
+                token,
+                readable: false,
+                hup: true,
+            }),
+            Ok(_) => events.push(Event {
+                token,
+                readable: true,
+                hup: false,
+            }),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => events.push(Event {
+                token,
+                readable: false,
+                hup: true,
+            }),
+        }
+    }
+}
+
+/// Per-sweep read ceiling per connection: fairness, not correctness — a
+/// firehosing client gets its surplus bytes on the next sweep instead of
+/// starving every other connection this one.
+const READ_QUANTUM: usize = 64 * 1024;
+
+/// One multiplexed connection: nonblocking socket, framing state, and a
+/// pending-output buffer the event loop drains opportunistically.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    /// The inbound framing state machine; the event loop `pop`s it after
+    /// every [`fill`](Conn::fill).
+    pub framer: LineFramer,
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Last instant a complete request arrived (idle-reaping clock).
+    pub last_activity: Instant,
+    /// Close once the output buffer drains (set after `SHUTDOWN`'s
+    /// farewell, or when the server is stopping).
+    pub closing: bool,
+}
+
+impl Conn {
+    /// Adopts an accepted stream: switches it nonblocking and disables
+    /// Nagle (single-line request/response traffic).
+    pub fn new(stream: TcpStream, max_line: usize) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true).ok();
+        Ok(Conn {
+            stream,
+            framer: LineFramer::new(max_line),
+            out: Vec::new(),
+            out_pos: 0,
+            last_activity: Instant::now(),
+            closing: false,
+        })
+    }
+
+    /// The underlying socket (for [`poll`] sweeps).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Nonblocking read: moves whatever the socket has (up to the
+    /// fairness quantum) into the framer. `Ok(false)` means the peer
+    /// closed cleanly; transport errors surface as `Err`.
+    pub fn fill(&mut self) -> io::Result<bool> {
+        let mut buf = [0u8; 4096];
+        let mut taken = 0;
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Ok(false),
+                Ok(n) => {
+                    self.framer.push(&buf[..n]);
+                    taken += n;
+                    if taken >= READ_QUANTUM {
+                        return Ok(true);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(true),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Queues `text` plus the protocol's line terminator for writing.
+    pub fn queue(&mut self, text: &str) {
+        self.out.extend_from_slice(text.as_bytes());
+        self.out.push(b'\n');
+    }
+
+    /// Nonblocking write: drains as much pending output as the socket
+    /// accepts right now. `WouldBlock` is not an error — the remainder
+    /// stays queued for the next sweep.
+    pub fn flush(&mut self) -> io::Result<()> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        Ok(())
+    }
+
+    /// `true` when nothing remains queued for writing.
+    pub fn flushed(&self) -> bool {
+        self.out_pos == self.out.len()
+    }
+
+    /// Bytes currently queued for writing (slow-consumer accounting).
+    pub fn out_len(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(framer: &mut LineFramer) -> Vec<Frame> {
+        std::iter::from_fn(|| framer.pop()).collect()
+    }
+
+    #[test]
+    fn frames_lines_and_strips_cr() {
+        let mut f = LineFramer::new(64);
+        f.push(b"HELLO\r\nSTATUS q1\npartial");
+        assert_eq!(
+            frames(&mut f),
+            vec![Frame::Line("HELLO".into()), Frame::Line("STATUS q1".into())]
+        );
+        assert_eq!(f.buffered(), "partial".len());
+        f.push(b"\n");
+        assert_eq!(frames(&mut f), vec![Frame::Line("partial".into())]);
+    }
+
+    #[test]
+    fn oversized_line_frames_once_and_resyncs() {
+        let mut f = LineFramer::new(8);
+        f.push(b"0123456789abcdef\nNEXT\n");
+        assert_eq!(
+            frames(&mut f),
+            vec![Frame::TooLong, Frame::Line("NEXT".into())]
+        );
+    }
+
+    #[test]
+    fn nul_poisons_exactly_one_line() {
+        let mut f = LineFramer::new(64);
+        f.push(b"bad\0line\nGOOD\n");
+        assert_eq!(frames(&mut f), vec![Frame::Nul, Frame::Line("GOOD".into())]);
+    }
+
+    #[test]
+    fn chunking_is_invisible() {
+        let stream = b"HELLO\nSUBMIT SELECT 1 FROM t\n\0\nxxxxxxxxxxxxxxxxxxxxx\nBYE\n";
+        let mut oneshot = LineFramer::new(16);
+        oneshot.push(stream);
+        let want = frames(&mut oneshot);
+        for split in 0..stream.len() {
+            let mut f = LineFramer::new(16);
+            f.push(&stream[..split]);
+            f.push(&stream[split..]);
+            assert_eq!(frames(&mut f), want, "split at {split}");
+        }
+    }
+}

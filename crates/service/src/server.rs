@@ -1,58 +1,73 @@
-//! A std-only TCP front door for [`QueryService`], plus the matching
-//! blocking client.
+//! The nonblocking TCP front door for [`QueryService`].
 //!
-//! One thread accepts connections; each connection gets its own handler
-//! thread speaking the line protocol of [`crate::protocol`]. `SHUTDOWN`
-//! (or [`ProgressServer::shutdown`]) stops the accept loop, closes the
-//! service to new work, and joins every thread — tests and the CI smoke
-//! run rely on a clean, port-releasing stop.
+//! Architecture: one acceptor thread plus `event_loops` event-loop
+//! threads. The acceptor deals accepted sockets round-robin to the
+//! loops; each loop multiplexes its shard of connections with the
+//! `libc`-free readiness sweep from [`crate::reactor`] — per-connection
+//! read/write buffers, a line-framing state machine, and nonblocking
+//! `fill`/`flush` halves — so thousands of mostly-idle connections cost
+//! a peek syscall per sweep each instead of a parked thread each.
 //!
-//! Resource limits ([`ServerConfig`]): at most `max_connections` handler
-//! threads exist at once — excess connections wait in the OS accept
-//! backlog — and a connection idle longer than `idle_timeout` is closed,
-//! so abandoned sockets can't pin the server at its cap forever.
+//! Request handling itself never blocks the loop: every verb is either
+//! a registry/telemetry read or (`SUBMIT`) a bounded `try_send` into
+//! the service's worker queue — query execution happens on the worker
+//! pool, never on an event-loop thread. Responses are queued into the
+//! connection's write buffer and drained as the socket accepts them.
 //!
-//! [`ServiceClient::connect_with_retry`] adds the client half of
-//! resilience: capped exponential backoff with deterministic jitter
-//! (seeded via `qp-testkit`), for servers that are still binding or
-//! briefly at their connection cap. Clients built that way also retry
-//! *idempotent* requests (`HELLO`/`STATUS`/`LIST`/`METRICS`/`TRACE`/
-//! `AUDIT`) once over a fresh connection after a transient transport
-//! error; `SUBMIT` and `CANCEL` are never auto-resent.
+//! Resource limits ([`ServerConfig`]): at most `max_connections` live
+//! connections — excess stays in the OS accept backlog; a connection
+//! idle longer than `idle_timeout` is closed; a request line longer
+//! than `max_line_bytes` is answered with `ERR TOO_LARGE` (the framer
+//! resynchronises at the next newline — malformed input never costs a
+//! silent disconnect); a peer that stops reading past
+//! `max_outbuf_bytes` of queued responses is a slow consumer and is
+//! disconnected.
 //!
 //! Every served request is timed into the service's per-verb latency
 //! histograms (`METRICS` exposes them as `qp_request_latency_ns`).
 
-use crate::protocol::{err_line, hello_line, status_line, ErrCode, ParsedStatus, Request};
+use crate::protocol::{err_line, hello_line, status_line, ErrCode, Request};
+use crate::reactor::{self, Conn, Frame};
 use crate::service::{QueryService, SubmitError, SubmitOptions};
-use crate::session::{QueryId, QueryState};
-use qp_progress::shared::Health;
-use qp_testkit::fault::Backoff;
-use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// One `LIST` row as the client decodes it: session id, state, health.
-pub type ListRow = (QueryId, QueryState, Health);
-
-/// Resource limits for a [`ProgressServer`].
+/// Resource limits and loop tuning for a [`ProgressServer`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Maximum simultaneous connections (= handler threads). Excess
-    /// clients are left in the OS accept backlog until a slot frees up.
+    /// Maximum simultaneous live connections across all event loops.
+    /// Excess clients are left in the OS accept backlog until a slot
+    /// frees up.
     pub max_connections: usize,
-    /// A connection with no complete request for this long is closed.
+    /// A connection with no complete request for this long (and nothing
+    /// left to write) is closed.
     pub idle_timeout: Duration,
+    /// Event-loop threads multiplexing the connections.
+    pub event_loops: usize,
+    /// Longest accepted request line; longer lines answer
+    /// `ERR TOO_LARGE` and are discarded to the next newline.
+    pub max_line_bytes: usize,
+    /// Queued-response cap per connection; a peer that stops reading
+    /// past it is disconnected (slow consumer), not waited on.
+    pub max_outbuf_bytes: usize,
+    /// Sleep between sweeps when a loop finds no work (the latency
+    /// floor for an idle connection's next request).
+    pub poll_interval: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
-            max_connections: 64,
+            max_connections: 4096,
             idle_timeout: Duration::from_secs(30),
+            event_loops: 2,
+            max_line_bytes: 16 * 1024,
+            max_outbuf_bytes: 4 * 1024 * 1024,
+            poll_interval: Duration::from_millis(1),
         }
     }
 }
@@ -64,6 +79,7 @@ pub struct ProgressServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    loop_threads: Vec<JoinHandle<()>>,
 }
 
 impl ProgressServer {
@@ -76,31 +92,48 @@ impl ProgressServer {
     }
 
     /// Binds `addr` and starts accepting connections against `service`,
-    /// with explicit connection limits.
+    /// with explicit limits.
     pub fn bind_with(
         addr: impl ToSocketAddrs,
         service: Arc<QueryService>,
         config: ServerConfig,
     ) -> std::io::Result<ProgressServer> {
         assert!(config.max_connections > 0, "need at least one connection");
+        assert!(config.event_loops > 0, "need at least one event loop");
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         // Poll-accept so the stop flag is honoured promptly without
         // needing a self-connection to unblock.
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
+        let live = Arc::new(AtomicUsize::new(0));
+        let mut intakes = Vec::with_capacity(config.event_loops);
+        let mut loop_threads = Vec::with_capacity(config.event_loops);
+        for i in 0..config.event_loops {
+            let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
+            intakes.push(tx);
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let live = Arc::clone(&live);
+            let config = config.clone();
+            loop_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("qp-loop-{i}"))
+                    .spawn(move || event_loop(&service, &stop, &live, &config, &rx))?,
+            );
+        }
         let accept_thread = {
             let stop = Arc::clone(&stop);
-            let service = Arc::clone(&service);
             std::thread::Builder::new()
                 .name("qp-accept".into())
-                .spawn(move || accept_loop(&listener, &service, &stop, &config))?
+                .spawn(move || accept_loop(&listener, &stop, &live, &config, &intakes))?
         };
         Ok(ProgressServer {
             service,
             addr: local,
             stop,
             accept_thread: Some(accept_thread),
+            loop_threads,
         })
     }
 
@@ -114,11 +147,15 @@ impl ProgressServer {
         &self.service
     }
 
-    /// Stops accepting, shuts the service down, and joins all threads.
-    /// Idempotent; also invoked by `Drop`.
+    /// Stops accepting, flushes and closes every connection, shuts the
+    /// service down, and joins all threads. Idempotent; also invoked by
+    /// `Drop`.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.loop_threads.drain(..) {
             let _ = t.join();
         }
         self.service.shutdown();
@@ -133,41 +170,178 @@ impl Drop for ProgressServer {
 
 fn accept_loop(
     listener: &TcpListener,
-    service: &Arc<QueryService>,
     stop: &Arc<AtomicBool>,
+    live: &Arc<AtomicUsize>,
     config: &ServerConfig,
+    intakes: &[Sender<TcpStream>],
 ) {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_loop = 0usize;
     while !stop.load(Ordering::Relaxed) {
-        handlers.retain(|h| !h.is_finished());
-        if handlers.len() >= config.max_connections {
+        if live.load(Ordering::Relaxed) >= config.max_connections {
             // At the cap: leave new connections in the OS backlog and
-            // wait for a handler (or the idle reaper) to free a slot.
+            // wait for a close (or the idle reaper) to free a slot.
             std::thread::sleep(Duration::from_millis(2));
             continue;
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let service = Arc::clone(service);
-                let stop = Arc::clone(stop);
-                let idle_timeout = config.idle_timeout;
-                if let Ok(h) = std::thread::Builder::new()
-                    .name("qp-conn".into())
-                    .spawn(move || {
-                        let _ = handle_connection(stream, &service, &stop, idle_timeout);
-                    })
-                {
-                    handlers.push(h);
+                live.fetch_add(1, Ordering::Relaxed);
+                if intakes[next_loop % intakes.len()].send(stream).is_err() {
+                    live.fetch_sub(1, Ordering::Relaxed);
                 }
+                next_loop = next_loop.wrapping_add(1);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
             }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => break,
         }
     }
-    for h in handlers {
-        let _ = h.join();
+}
+
+/// How long a stopping loop keeps trying to flush farewell bytes before
+/// force-closing connections whose peers have stopped reading.
+const STOP_FLUSH_GRACE: Duration = Duration::from_millis(500);
+
+fn event_loop(
+    service: &Arc<QueryService>,
+    stop: &Arc<AtomicBool>,
+    live: &Arc<AtomicUsize>,
+    config: &ServerConfig,
+    intake: &Receiver<TcpStream>,
+) {
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events: Vec<reactor::Event> = Vec::new();
+    let mut stopping_since: Option<Instant> = None;
+    loop {
+        let stopping = stop.load(Ordering::Relaxed);
+        if stopping && stopping_since.is_none() {
+            stopping_since = Some(Instant::now());
+        }
+        // Intake: adopt freshly-accepted sockets (not while stopping —
+        // those are closed unserved, like the old accept-loop cutoff).
+        while let Ok(stream) = intake.try_recv() {
+            if stopping {
+                live.fetch_sub(1, Ordering::Relaxed);
+                continue;
+            }
+            match Conn::new(stream, config.max_line_bytes) {
+                Ok(conn) => {
+                    let slot = free.pop().unwrap_or_else(|| {
+                        conns.push(None);
+                        conns.len() - 1
+                    });
+                    conns[slot] = Some(conn);
+                }
+                Err(_) => {
+                    live.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        // Readiness sweep: read, frame, respond.
+        reactor::poll(
+            conns
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| c.as_ref().map(|c| (i, c.stream()))),
+            &mut events,
+        );
+        let mut progressed = !events.is_empty();
+        for ev in std::mem::take(&mut events) {
+            let mut dead = false;
+            if let Some(conn) = conns[ev.token].as_mut() {
+                if ev.hup {
+                    dead = true;
+                } else {
+                    match conn.fill() {
+                        Ok(true) => {}
+                        Ok(false) | Err(_) => dead = true,
+                    }
+                    if !dead {
+                        conn.last_activity = Instant::now();
+                        while let Some(frame) = conn.framer.pop() {
+                            let served_at = Instant::now();
+                            let reply = respond(service, config, &frame);
+                            conn.queue(&reply.text);
+                            if let Some(i) = reply.verb {
+                                service.record_verb_latency(
+                                    i,
+                                    served_at.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                                );
+                            }
+                            if reply.shutdown {
+                                // Farewell queued; close once it drains
+                                // and tell every loop to wind down.
+                                conn.closing = true;
+                                stop.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                        dead = conn.flush().is_err();
+                    }
+                }
+            }
+            if dead {
+                close_slot(&mut conns, &mut free, live, ev.token);
+            }
+        }
+
+        // Write / reap sweep: drain pending output, enforce the
+        // slow-consumer cap and the idle timeout, close drained
+        // `closing` connections.
+        for i in 0..conns.len() {
+            let mut dead = false;
+            if let Some(conn) = conns[i].as_mut() {
+                if !conn.flushed() {
+                    let before = conn.out_len();
+                    if conn.flush().is_err() {
+                        dead = true;
+                    } else if conn.out_len() != before {
+                        progressed = true;
+                    }
+                }
+                if !dead {
+                    let force_stop =
+                        stopping && stopping_since.is_some_and(|t| t.elapsed() >= STOP_FLUSH_GRACE);
+                    dead = (conn.flushed() && (conn.closing || stopping))
+                        || force_stop
+                        || conn.out_len() > config.max_outbuf_bytes
+                        || (conn.flushed() && conn.last_activity.elapsed() >= config.idle_timeout);
+                }
+            } else {
+                continue;
+            }
+            if dead {
+                close_slot(&mut conns, &mut free, live, i);
+            }
+        }
+
+        if stopping && conns.iter().all(Option::is_none) {
+            // Drain any sockets still queued so the live count stays
+            // honest, then exit.
+            while let Ok(_stream) = intake.try_recv() {
+                live.fetch_sub(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        if !progressed {
+            std::thread::sleep(config.poll_interval);
+        }
+    }
+}
+
+fn close_slot(
+    conns: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    live: &Arc<AtomicUsize>,
+    slot: usize,
+) {
+    if conns[slot].take().is_some() {
+        free.push(slot);
+        live.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -201,451 +375,130 @@ fn verb_index(req: &Request) -> usize {
         .expect("every request variant has a VERBS entry")
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    service: &Arc<QueryService>,
-    stop: &Arc<AtomicBool>,
-    idle_timeout: Duration,
-) -> std::io::Result<()> {
-    stream.set_nodelay(true).ok();
-    // Bounded read timeout so a stuck client cannot pin the handler past
-    // server shutdown, and so idleness is noticed between requests.
-    stream
-        .set_read_timeout(Some(Duration::from_millis(100)))
-        .ok();
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    let mut last_activity = Instant::now();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // client hung up
-            Ok(_) => last_activity = Instant::now(),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if stop.load(Ordering::Relaxed) {
-                    return Ok(());
-                }
-                if last_activity.elapsed() >= idle_timeout {
-                    // Idle reaping: close so the slot goes back to the
-                    // accept loop instead of being pinned by an
-                    // abandoned socket.
-                    return Ok(());
-                }
-                continue;
-            }
-            Err(e) => return Err(e),
+/// One computed reply: the text to queue (possibly multi-line,
+/// `OK <n>`-framed), the verb's histogram index when the request parsed,
+/// and whether this was `SHUTDOWN`.
+struct Reply {
+    text: String,
+    verb: Option<usize>,
+    shutdown: bool,
+}
+
+impl Reply {
+    fn err(code: ErrCode, msg: &str) -> Reply {
+        Reply {
+            text: err_line(code, msg),
+            verb: None,
+            shutdown: false,
         }
-        let served_at = Instant::now();
-        let parsed = Request::parse(&line);
-        let verb = parsed.as_ref().ok().map(verb_index);
-        let record = |started: Instant| {
-            if let Some(i) = verb {
-                service.record_verb_latency(
-                    i,
-                    started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
-                );
-            }
-        };
-        let response = match parsed {
-            Err(msg) => err_line(ErrCode::BadRequest, &msg),
-            Ok(Request::Hello) => hello_line(),
-            Ok(Request::Submit {
-                sql,
-                timeout_ms,
+    }
+}
+
+/// Serves one framed event. Every branch answers with exactly one
+/// `OK …` / `ERR <CODE> …` head line (block verbs append their body) —
+/// the audit invariant that malformed input never goes unanswered.
+fn respond(service: &Arc<QueryService>, config: &ServerConfig, frame: &Frame) -> Reply {
+    let line = match frame {
+        Frame::Line(line) => line,
+        Frame::TooLong => {
+            return Reply::err(
+                ErrCode::TooLarge,
+                &format!("request line exceeds {} bytes", config.max_line_bytes),
+            )
+        }
+        Frame::Nul => return Reply::err(ErrCode::BadRequest, "request line contains NUL"),
+    };
+    let parsed = Request::parse(line);
+    let verb = parsed.as_ref().ok().map(verb_index);
+    let mut shutdown = false;
+    let text = match parsed {
+        Err(msg) => err_line(ErrCode::BadRequest, &msg),
+        Ok(Request::Hello) => hello_line(),
+        Ok(Request::Submit {
+            sql,
+            timeout_ms,
+            parallelism,
+            estimators,
+            morsel_size,
+            page_cache_frames,
+        }) => {
+            let opts = SubmitOptions {
+                timeout: timeout_ms.map(Duration::from_millis),
+                faults: None,
                 parallelism,
                 estimators,
                 morsel_size,
                 page_cache_frames,
-            }) => {
-                let opts = SubmitOptions {
-                    timeout: timeout_ms.map(Duration::from_millis),
-                    faults: None,
-                    parallelism,
-                    estimators,
-                    morsel_size,
-                    page_cache_frames,
-                };
-                match service.submit_with(&sql, opts) {
-                    Ok(id) => format!("OK {id}"),
-                    Err(e) => err_line(submit_err_code(&e), &e.to_string()),
-                }
+            };
+            match service.submit_with(&sql, opts) {
+                Ok(id) => format!("OK {id}"),
+                Err(e) => err_line(submit_err_code(&e), &e.to_string()),
             }
-            Ok(Request::Status(id)) => match service.status(id) {
-                Some(report) => status_line(&report),
-                None => err_line(ErrCode::UnknownQuery, &format!("unknown query {id}")),
-            },
-            Ok(Request::List) => {
-                let sessions = service.list();
-                let mut out = format!("OK {}", sessions.len());
-                for (id, state, health) in sessions {
-                    out.push_str(&format!("\n{id} {state} health={health}"));
-                }
-                out
+        }
+        Ok(Request::Status(id)) => match service.status(id) {
+            Some(report) => status_line(&report),
+            None => err_line(ErrCode::UnknownQuery, &format!("unknown query {id}")),
+        },
+        Ok(Request::List) => {
+            let sessions = service.list();
+            let mut out = format!("OK {}", sessions.len());
+            for (id, state, health) in sessions {
+                out.push_str(&format!("\n{id} {state} health={health}"));
             }
-            Ok(Request::Metrics) => {
-                let text = crate::telemetry::metrics_text(service);
-                let lines: Vec<&str> = text.lines().collect();
+            out
+        }
+        Ok(Request::Metrics) => {
+            let text = crate::telemetry::metrics_text(service);
+            let lines: Vec<&str> = text.lines().collect();
+            let mut out = format!("OK {}", lines.len());
+            for l in lines {
+                out.push('\n');
+                out.push_str(l);
+            }
+            out
+        }
+        Ok(Request::Trace(id)) => match crate::telemetry::trace_jsonl(service, id) {
+            Some(lines) => {
                 let mut out = format!("OK {}", lines.len());
-                for l in lines {
+                for l in &lines {
                     out.push('\n');
                     out.push_str(l);
                 }
                 out
             }
-            Ok(Request::Trace(id)) => match crate::telemetry::trace_jsonl(service, id) {
-                Some(lines) => {
-                    let mut out = format!("OK {}", lines.len());
-                    for l in &lines {
-                        out.push('\n');
-                        out.push_str(l);
-                    }
-                    out
+            None => err_line(ErrCode::UnknownQuery, &format!("unknown query {id}")),
+        },
+        Ok(Request::Audit(id)) => match crate::telemetry::audit_jsonl(service, id) {
+            Some(lines) => {
+                // Bare AUDIT with nothing finished yet legally answers
+                // `OK 0`; only an unknown/expired id errors.
+                let mut out = format!("OK {}", lines.len());
+                for l in &lines {
+                    out.push('\n');
+                    out.push_str(l);
                 }
-                None => err_line(ErrCode::UnknownQuery, &format!("unknown query {id}")),
-            },
-            Ok(Request::Audit(id)) => match crate::telemetry::audit_jsonl(service, id) {
-                Some(lines) => {
-                    // Bare AUDIT with nothing finished yet legally
-                    // answers `OK 0`; only an unknown/expired id errors.
-                    let mut out = format!("OK {}", lines.len());
-                    for l in &lines {
-                        out.push('\n');
-                        out.push_str(l);
-                    }
-                    out
-                }
-                None => {
-                    let id = id.expect("bare AUDIT always renders");
-                    err_line(
-                        ErrCode::UnknownQuery,
-                        &format!("no retained postmortem for {id}"),
-                    )
-                }
-            },
-            Ok(Request::Cancel(id)) => match service.cancel(id) {
-                Some(found) => format!("OK {id} {found}"),
-                None => err_line(ErrCode::UnknownQuery, &format!("unknown query {id}")),
-            },
-            Ok(Request::Shutdown) => {
-                writeln!(writer, "OK bye")?;
-                writer.flush()?;
-                record(served_at);
-                stop.store(true, Ordering::Relaxed);
-                return Ok(());
+                out
             }
-        };
-        record(served_at);
-        writeln!(writer, "{response}")?;
-        writer.flush()?;
-    }
-}
-
-/// A blocking line-protocol client (used by the example, the tests, and
-/// the CI smoke run; also a reference for writing clients in other
-/// languages).
-pub struct ServiceClient {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-    /// When set, idempotent requests may reconnect here and resend once
-    /// after a transient transport error. See [`enable_reconnect`]
-    /// (ServiceClient::enable_reconnect).
-    reconnect: Option<(SocketAddr, RetryPolicy)>,
-}
-
-/// Retry schedule for [`ServiceClient::connect_with_retry`]: capped
-/// exponential backoff with deterministic jitter, so chaos runs replay
-/// identically from one seed.
-#[derive(Debug, Clone)]
-pub struct RetryPolicy {
-    /// Total connection attempts (≥ 1).
-    pub attempts: u32,
-    /// Backoff before the second attempt; doubles each retry.
-    pub base: Duration,
-    /// Upper bound on any single backoff delay.
-    pub cap: Duration,
-    /// Seed for the jitter sequence.
-    pub seed: u64,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> RetryPolicy {
-        RetryPolicy {
-            attempts: 5,
-            base: Duration::from_millis(10),
-            cap: Duration::from_millis(500),
-            seed: 0,
-        }
-    }
-}
-
-impl ServiceClient {
-    /// Connects to a running [`ProgressServer`].
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ServiceClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let writer = stream.try_clone()?;
-        Ok(ServiceClient {
-            reader: BufReader::new(stream),
-            writer,
-            reconnect: None,
-        })
-    }
-
-    /// [`connect`](ServiceClient::connect) retried under `policy` —
-    /// for servers that are still binding, or briefly at their
-    /// connection cap. The returned client has
-    /// [`enable_reconnect`](ServiceClient::enable_reconnect) active
-    /// under the same policy: idempotent read-only requests (`HELLO`,
-    /// `STATUS`, `LIST`, `METRICS`, `TRACE`, `AUDIT`) are resent once over a
-    /// fresh connection after a transient transport error. Mutating
-    /// requests are never auto-resent (a replayed `SUBMIT` would
-    /// double-run a query).
-    pub fn connect_with_retry(
-        addr: impl ToSocketAddrs + Clone,
-        policy: &RetryPolicy,
-    ) -> std::io::Result<ServiceClient> {
-        let mut backoff = Backoff::new(policy.seed, policy.base, policy.cap);
-        let mut last_err = None;
-        for attempt in 0..policy.attempts.max(1) {
-            if attempt > 0 {
-                std::thread::sleep(backoff.next_delay());
+            None => {
+                let id = id.expect("bare AUDIT always renders");
+                err_line(
+                    ErrCode::UnknownQuery,
+                    &format!("no retained postmortem for {id}"),
+                )
             }
-            match ServiceClient::connect(addr.clone()) {
-                Ok(mut client) => {
-                    client.enable_reconnect(policy.clone())?;
-                    return Ok(client);
-                }
-                Err(e) => last_err = Some(e),
-            }
+        },
+        Ok(Request::Cancel(id)) => match service.cancel(id) {
+            Some(found) => format!("OK {id} {found}"),
+            None => err_line(ErrCode::UnknownQuery, &format!("unknown query {id}")),
+        },
+        Ok(Request::Shutdown) => {
+            shutdown = true;
+            "OK bye".to_string()
         }
-        Err(last_err.unwrap_or_else(|| std::io::Error::other("connect_with_retry: zero attempts")))
-    }
-
-    /// Arms idempotent-request retry: after a transient transport error
-    /// (reset, EOF, broken pipe) on a read-only request, the client
-    /// reconnects to the peer under `policy` — same capped, seeded
-    /// backoff as [`connect_with_retry`](ServiceClient::connect_with_retry)
-    /// — and resends that request once. Safe precisely because those
-    /// verbs are idempotent: asking twice cannot change server state.
-    /// `SUBMIT`/`CANCEL`/`SHUTDOWN` always fail straight through.
-    pub fn enable_reconnect(&mut self, policy: RetryPolicy) -> std::io::Result<()> {
-        let peer = self.writer.peer_addr()?;
-        self.reconnect = Some((peer, policy));
-        Ok(())
-    }
-
-    /// Forcibly closes the underlying socket *without* telling the
-    /// server — a chaos hook for exercising the reconnect path in tests.
-    pub fn sever(&self) {
-        let _ = self.writer.shutdown(std::net::Shutdown::Both);
-    }
-
-    /// A transport error worth a reconnect-and-resend: the kinds a
-    /// dropped TCP connection produces. Protocol-level `ERR` replies
-    /// never come through here.
-    fn is_transient(e: &std::io::Error) -> bool {
-        matches!(
-            e.kind(),
-            std::io::ErrorKind::UnexpectedEof
-                | std::io::ErrorKind::ConnectionReset
-                | std::io::ErrorKind::ConnectionAborted
-                | std::io::ErrorKind::BrokenPipe
-                | std::io::ErrorKind::NotConnected
-        )
-    }
-
-    /// Replaces the dead connection with a fresh one to the remembered
-    /// peer, retried under the remembered policy.
-    fn reestablish(&mut self) -> std::io::Result<()> {
-        let (peer, policy) = self
-            .reconnect
-            .clone()
-            .expect("reestablish requires enable_reconnect");
-        let fresh = ServiceClient::connect_with_retry(peer, &policy)?;
-        self.reader = fresh.reader;
-        self.writer = fresh.writer;
-        Ok(())
-    }
-
-    /// [`round_trip`](ServiceClient::round_trip) for idempotent
-    /// requests: one reconnect-and-resend on a transient transport
-    /// error when [`enable_reconnect`](ServiceClient::enable_reconnect)
-    /// is armed.
-    fn idempotent_round_trip(&mut self, request: &str) -> std::io::Result<String> {
-        match self.round_trip(request) {
-            Err(e) if self.reconnect.is_some() && Self::is_transient(&e) => {
-                self.reestablish()?;
-                self.round_trip(request)
-            }
-            other => other,
-        }
-    }
-
-    fn round_trip(&mut self, request: &str) -> std::io::Result<String> {
-        writeln!(self.writer, "{request}")?;
-        self.writer.flush()?;
-        self.read_line()
-    }
-
-    fn read_line(&mut self) -> std::io::Result<String> {
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        Ok(line.trim_end().to_string())
-    }
-
-    /// `SUBMIT` — returns the new query id.
-    pub fn submit(&mut self, sql: &str) -> std::io::Result<Result<QueryId, String>> {
-        let line = self.round_trip(&format!("SUBMIT {sql}"))?;
-        Self::parse_submit_reply(line)
-    }
-
-    /// `SUBMIT TIMEOUT_MS=<n>` — submit with an execution deadline.
-    pub fn submit_with_timeout(
-        &mut self,
-        sql: &str,
-        timeout: Duration,
-    ) -> std::io::Result<Result<QueryId, String>> {
-        let line = self.round_trip(&format!(
-            "SUBMIT TIMEOUT_MS={} {sql}",
-            timeout.as_millis().min(u64::MAX as u128)
-        ))?;
-        Self::parse_submit_reply(line)
-    }
-
-    /// `HELLO` — returns the capability line (sans the `OK ` prefix),
-    /// e.g. `protocol=2 verbs=… fields=… estimators=…`.
-    pub fn hello(&mut self) -> std::io::Result<String> {
-        let line = self.idempotent_round_trip("HELLO")?;
-        Ok(line.strip_prefix("OK ").unwrap_or(&line).to_string())
-    }
-
-    /// `SUBMIT <fields> <sql>` with caller-composed option fields, e.g.
-    /// `PARALLELISM=4 ESTIMATORS=dne,pmax`.
-    pub fn submit_with_fields(
-        &mut self,
-        fields: &str,
-        sql: &str,
-    ) -> std::io::Result<Result<QueryId, String>> {
-        let line = self.round_trip(&format!("SUBMIT {fields} {sql}"))?;
-        Self::parse_submit_reply(line)
-    }
-
-    fn parse_submit_reply(line: String) -> std::io::Result<Result<QueryId, String>> {
-        Ok(match line.strip_prefix("OK ") {
-            Some(id) => id.parse().map_err(|e: String| e),
-            None => Err(line.strip_prefix("ERR ").unwrap_or(&line).to_string()),
-        })
-    }
-
-    /// `STATUS` — returns the parsed report.
-    pub fn status(&mut self, id: QueryId) -> std::io::Result<Result<ParsedStatus, String>> {
-        let line = self.idempotent_round_trip(&format!("STATUS {id}"))?;
-        Ok(ParsedStatus::parse(&line))
-    }
-
-    /// Reads an `OK <n>`-framed multi-line response body (or the `ERR`).
-    /// All block verbs are idempotent reads, so a transient transport
-    /// error — even one mid-body — retries the whole request once over
-    /// a fresh connection when reconnect is armed.
-    fn read_block(&mut self, request: &str) -> std::io::Result<Result<Vec<String>, String>> {
-        match self.read_block_once(request) {
-            Err(e) if self.reconnect.is_some() && Self::is_transient(&e) => {
-                self.reestablish()?;
-                self.read_block_once(request)
-            }
-            other => other,
-        }
-    }
-
-    fn read_block_once(&mut self, request: &str) -> std::io::Result<Result<Vec<String>, String>> {
-        let head = self.round_trip(request)?;
-        let Some(n) = head
-            .strip_prefix("OK ")
-            .and_then(|n| n.parse::<usize>().ok())
-        else {
-            return Ok(Err(head.strip_prefix("ERR ").unwrap_or(&head).to_string()));
-        };
-        let mut lines = Vec::with_capacity(n);
-        for _ in 0..n {
-            lines.push(self.read_line()?);
-        }
-        Ok(Ok(lines))
-    }
-
-    /// `LIST` — returns `(id, state, health)` triples.
-    pub fn list(&mut self) -> std::io::Result<Result<Vec<ListRow>, String>> {
-        let rows = match self.read_block("LIST")? {
-            Ok(rows) => rows,
-            Err(e) => return Ok(Err(e)),
-        };
-        let mut sessions = Vec::with_capacity(rows.len());
-        for line in rows {
-            let parse = || -> Result<ListRow, String> {
-                let mut words = line.split_whitespace();
-                let bad = || format!("malformed LIST row {line:?}");
-                let id = words.next().ok_or_else(bad)?.parse()?;
-                let state = words.next().ok_or_else(bad)?.parse()?;
-                let health = words
-                    .next()
-                    .and_then(|w| w.strip_prefix("health="))
-                    .ok_or_else(bad)?
-                    .parse()?;
-                Ok((id, state, health))
-            };
-            match parse() {
-                Ok(row) => sessions.push(row),
-                Err(e) => return Ok(Err(e)),
-            }
-        }
-        Ok(Ok(sessions))
-    }
-
-    /// `METRICS` — returns the Prometheus text exposition payload.
-    pub fn metrics(&mut self) -> std::io::Result<Result<String, String>> {
-        Ok(self.read_block("METRICS")?.map(|lines| {
-            let mut text = lines.join("\n");
-            text.push('\n');
-            text
-        }))
-    }
-
-    /// `TRACE <id>` — returns the session's JSONL lines.
-    pub fn trace(&mut self, id: QueryId) -> std::io::Result<Result<Vec<String>, String>> {
-        self.read_block(&format!("TRACE {id}"))
-    }
-
-    /// `AUDIT [<id>]` — estimator-accuracy postmortem JSONL for one
-    /// finished session, or for every retained one when `id` is `None`.
-    pub fn audit(&mut self, id: Option<QueryId>) -> std::io::Result<Result<Vec<String>, String>> {
-        match id {
-            Some(id) => self.read_block(&format!("AUDIT {id}")),
-            None => self.read_block("AUDIT"),
-        }
-    }
-
-    /// `CANCEL` — returns the state the cancel found the query in.
-    pub fn cancel(&mut self, id: QueryId) -> std::io::Result<Result<QueryState, String>> {
-        let line = self.round_trip(&format!("CANCEL {id}"))?;
-        Ok(match line.strip_prefix(&format!("OK {id} ")) {
-            Some(state) => state.parse().map_err(|e: String| e),
-            None => Err(line.strip_prefix("ERR ").unwrap_or(&line).to_string()),
-        })
-    }
-
-    /// `SHUTDOWN` — asks the server to stop accepting connections.
-    pub fn shutdown(&mut self) -> std::io::Result<()> {
-        let line = self.round_trip("SHUTDOWN")?;
-        debug_assert_eq!(line, "OK bye");
-        Ok(())
+    };
+    Reply {
+        text,
+        verb,
+        shutdown,
     }
 }

@@ -132,6 +132,14 @@ pub struct ServiceConfig {
     /// Capacity of the service-wide hierarchical span sink (newest span
     /// marks retained across all sessions).
     pub span_capacity: usize,
+    /// Shared-scan reuse: serial full-table scans from concurrent
+    /// sessions attach to one in-flight producer per table (N identical
+    /// scans ≈ 1 physical pass). Results-neutral — every session still
+    /// observes its exact solo row sequence and counters (pinned by the
+    /// shared-scan equivalence suite). Fault-injected sessions always
+    /// scan directly regardless of this flag, because fault schedules
+    /// key on which session performs each physical read.
+    pub shared_scan: bool,
 }
 
 impl Default for ServiceConfig {
@@ -151,6 +159,7 @@ impl Default for ServiceConfig {
             slow_query_threshold: None,
             audit_retain: 32,
             span_capacity: 4096,
+            shared_scan: true,
         }
     }
 }
@@ -276,6 +285,9 @@ struct ServiceInner {
     /// Per-verb server request latency, index-aligned with
     /// [`crate::protocol::VERBS`].
     verb_hists: Box<[LatencyHistogram]>,
+    /// Shared-scan registry handed to every non-fault session's
+    /// executor; `None` when [`ServiceConfig::shared_scan`] is off.
+    scan_share: Option<Arc<qp_storage::ScanShare>>,
     /// Most recent finished sessions' estimator postmortems, oldest
     /// first, bounded by `audit_retain`.
     postmortems: Mutex<VecDeque<Postmortem>>,
@@ -342,6 +354,9 @@ impl QueryService {
             verb_hists: (0..crate::protocol::VERBS.len())
                 .map(|_| LatencyHistogram::new())
                 .collect(),
+            scan_share: config
+                .shared_scan
+                .then(|| Arc::new(qp_storage::ScanShare::new())),
             postmortems: Mutex::new(VecDeque::new()),
             audit_retain: config.audit_retain.max(1),
             slow_query_threshold: config.slow_query_threshold,
@@ -570,6 +585,12 @@ impl QueryService {
         &self.inner.verb_hists
     }
 
+    /// The shared-scan registry sessions attach through (`None` when
+    /// [`ServiceConfig::shared_scan`] is disabled).
+    pub fn scan_share(&self) -> Option<&Arc<qp_storage::ScanShare>> {
+        self.inner.scan_share.as_ref()
+    }
+
     /// Records one served request's latency against its verb.
     pub fn record_verb_latency(&self, verb_index: usize, ns: u64) {
         if let Some(hist) = self.inner.verb_hists.get(verb_index) {
@@ -771,13 +792,19 @@ fn run_job(inner: &ServiceInner, job: Job) {
     let controls = RunControls {
         cancel: session.cancel_token().clone(),
         deadline: session.timeout().map(|t| Instant::now() + t),
-        faults,
         obs: session.obs().cloned(),
         spans: Some(SpanAttach {
             sink: Arc::clone(&inner.spans),
             query: session.id().0,
             parent: session.session_span(),
         }),
+        // Fault-free sessions share scans; fault plans key on physical
+        // read order, so those sessions always scan directly.
+        scan_share: match &faults {
+            None => inner.scan_share.clone(),
+            Some(_) => None,
+        },
+        faults,
         tuning,
     };
 

@@ -154,6 +154,42 @@ pub fn metrics_text(service: &QueryService) -> String {
         )
         .sample("qp_pagecache_resident", &[], s.resident as f64);
     }
+    // Shared-scan effectiveness: how often concurrent sessions rode one
+    // physical table pass instead of paying their own.
+    if let Some(share) = service.scan_share() {
+        use std::sync::atomic::Ordering::Relaxed;
+        let s = share.stats();
+        let scan_counters: [(&str, &str, u64); 5] = [
+            (
+                "qp_sharedscan_attaches_total",
+                "Scans attached through the shared-scan registry.",
+                s.attaches.load(Relaxed),
+            ),
+            (
+                "qp_sharedscan_shared_attaches_total",
+                "Attaches that joined an epoch already in flight (table passes avoided).",
+                s.shared_attaches.load(Relaxed),
+            ),
+            (
+                "qp_sharedscan_groups_total",
+                "Shared-scan epochs started (one per physical pass).",
+                s.groups.load(Relaxed),
+            ),
+            (
+                "qp_sharedscan_rows_produced_total",
+                "Rows physically read from tables by shared-scan producers.",
+                s.rows_produced.load(Relaxed),
+            ),
+            (
+                "qp_sharedscan_rows_served_total",
+                "Rows replayed to attached scans (>= produced when sharing pays off).",
+                s.rows_served.load(Relaxed),
+            ),
+        ];
+        for (name, help, v) in scan_counters {
+            p.family(name, "counter", help).sample(name, &[], v as f64);
+        }
+    }
     let (wal_bytes, wal_fsyncs) = qp_storage::wal_stats();
     p.family(
         "qp_wal_bytes_total",

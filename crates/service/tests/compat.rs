@@ -1,0 +1,170 @@
+//! Protocol v2 → v3 compatibility, pinned at the byte level.
+//!
+//! The v3 redesign (typed client API, capability advertisement, the
+//! event-loop front end) must not strand deployed v2 clients: every v2
+//! request line is still answered with a v2-shape reply. These tests
+//! speak *raw lines* — exactly the bytes a pre-v3 binary would write —
+//! so a client-library change can never mask a wire regression. Plus
+//! the retry satellite: `connect_with_retry_to` rotates through an
+//! address list deterministically, skipping dead endpoints.
+
+use qp_datagen::{TpchConfig, TpchDb};
+use qp_service::{ProgressServer, QueryService, RetryPolicy, ServiceClient, ServiceConfig};
+use qp_storage::Database;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_db() -> Arc<Database> {
+    let t = TpchDb::generate(TpchConfig {
+        scale: 0.002,
+        z: 1.0,
+        seed: 42,
+    });
+    Arc::new(t.db)
+}
+
+fn serve() -> (ProgressServer, SocketAddr, Arc<QueryService>) {
+    let service = Arc::new(QueryService::new(tiny_db(), ServiceConfig::default()));
+    let server = ProgressServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
+    let addr = server.local_addr();
+    (server, addr, service)
+}
+
+/// A raw line-oriented session, as any v2 client binary produces.
+struct RawClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl RawClient {
+    fn connect(addr: SocketAddr) -> RawClient {
+        let stream = TcpStream::connect(addr).expect("connects");
+        stream.set_read_timeout(Some(Duration::from_secs(20))).ok();
+        RawClient {
+            writer: stream.try_clone().expect("clone"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn round_trip(&mut self, line: &str) -> String {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+        self.writer.flush().expect("flush");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("reply");
+        reply.trim_end().to_string()
+    }
+}
+
+/// The complete v2 session shape — HELLO, SUBMIT (with and without v2
+/// option fields), STATUS polling to completion, CANCEL — runs
+/// unchanged against the v3 server.
+#[test]
+fn v2_submit_status_cancel_lines_complete_against_a_v3_server() {
+    let (mut server, addr, service) = serve();
+    let mut c = RawClient::connect(addr);
+
+    // v2 HELLO: clients parsed `protocol=` and `verbs=` as key=value
+    // words and ignored keys they didn't know — so `caps=` must arrive
+    // as just another word, not a new line shape.
+    let hello = c.round_trip("HELLO");
+    assert!(hello.starts_with("OK "), "got: {hello}");
+    assert!(hello.contains("protocol="), "got: {hello}");
+    assert!(hello.contains("verbs="), "got: {hello}");
+
+    // v2 SUBMIT, bare and with the v2 option fields.
+    let reply = c.round_trip("SUBMIT SELECT COUNT(*) AS n FROM nation");
+    let id = reply.strip_prefix("OK ").expect("admitted").to_string();
+    assert!(id.starts_with('q'), "got: {reply}");
+    let reply =
+        c.round_trip("SUBMIT TIMEOUT_MS=60000 PARALLELISM=2 SELECT COUNT(*) AS n FROM lineitem");
+    let id2 = reply.strip_prefix("OK ").expect("admitted").to_string();
+
+    // v2 STATUS: poll the first query to a terminal state; every reply
+    // is a single OK line starting `OK <id> <STATE>`.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let reply = c.round_trip(&format!("STATUS {id}"));
+        let tail = reply
+            .strip_prefix(&format!("OK {id} "))
+            .unwrap_or_else(|| panic!("v2 STATUS shape broken: {reply}"));
+        let state = tail.split_whitespace().next().expect("state token");
+        if state == "FINISHED" {
+            assert!(tail.contains("rows="), "final status lacks rows=: {reply}");
+            assert!(
+                tail.contains("total="),
+                "final status lacks total=: {reply}"
+            );
+            break;
+        }
+        assert!(
+            matches!(state, "QUEUED" | "RUNNING"),
+            "unexpected state in: {reply}"
+        );
+        assert!(
+            std::time::Instant::now() < deadline,
+            "query never finished; last: {reply}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // v2 CANCEL: `OK <id> <STATE>` whether it was still running or not.
+    let reply = c.round_trip(&format!("CANCEL {id2}"));
+    assert!(
+        reply.starts_with(&format!("OK {id2} ")),
+        "v2 CANCEL shape broken: {reply}"
+    );
+    service.wait(
+        id2.trim_start_matches('q')
+            .parse::<u64>()
+            .map(qp_service::QueryId)
+            .expect("id"),
+    );
+    server.shutdown();
+}
+
+/// An ephemeral port that refuses connections (bound, then freed).
+fn dead_addr() -> SocketAddr {
+    let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = l.local_addr().expect("addr");
+    drop(l);
+    addr
+}
+
+/// `connect_with_retry_to` rotates deterministically: attempt `i` dials
+/// `addrs[i % len]`, so a list with dead entries ahead of a live one
+/// still connects, and an all-dead list fails after exactly `attempts`.
+#[test]
+fn retry_rotates_through_the_address_list() {
+    let (mut server, addr, _service) = serve();
+    let policy = RetryPolicy {
+        attempts: 3,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(5),
+        seed: 7,
+    };
+
+    // Two dead addresses first: attempts 0 and 1 fail, attempt 2 lands
+    // on the live server.
+    let addrs = [dead_addr(), dead_addr(), addr];
+    let mut client =
+        ServiceClient::connect_with_retry_to(&addrs, &policy).expect("rotation reaches the server");
+    let hello = client.hello().expect("hello");
+    assert!(hello.contains("protocol=3"), "got: {hello}");
+
+    // All dead: the rotation gives up after `attempts` dials.
+    match ServiceClient::connect_with_retry_to(&[dead_addr(), dead_addr()], &policy) {
+        Ok(_) => panic!("connected to nothing"),
+        Err(e) => assert_ne!(e.kind(), std::io::ErrorKind::InvalidInput),
+    }
+
+    // Empty list: rejected up front, not an infinite loop.
+    match ServiceClient::connect_with_retry_to(&[], &policy) {
+        Ok(_) => panic!("connected with an empty list"),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidInput),
+    }
+    server.shutdown();
+}

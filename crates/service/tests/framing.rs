@@ -1,0 +1,236 @@
+//! Line framing under hostile input: chunking invariance as a property,
+//! and hostile lines over real TCP becoming *typed* `ERR` replies —
+//! never a reply-less disconnect.
+//!
+//! The reactor front end reads whatever the kernel hands it, so the
+//! framer must produce the same frames no matter how the byte stream is
+//! sliced. And because thousands of sessions share one event loop, a
+//! single bad line must poison exactly one reply, not the connection.
+
+use qp_datagen::{TpchConfig, TpchDb};
+use qp_service::reactor::{Frame, LineFramer};
+use qp_service::{ProgressServer, QueryService, ServerConfig, ServiceConfig};
+use qp_storage::Database;
+use qp_testkit::prop::collection;
+use qp_testkit::{prop_assert, prop_check};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Every frame `bytes` produces when pushed in one piece.
+fn frames_of(bytes: &[u8], max_line: usize) -> Vec<Frame> {
+    let mut framer = LineFramer::new(max_line);
+    framer.push(bytes);
+    let mut out = Vec::new();
+    while let Some(f) = framer.pop() {
+        out.push(f);
+    }
+    out
+}
+
+prop_check! {
+    cases = 512,
+
+    /// Slicing the byte stream at arbitrary boundaries — popping frames
+    /// between slices or not — never changes the framing.
+    fn chunk_boundaries_are_invisible(
+        bytes in collection::vec(0u8..=255, 0..200),
+        cuts in collection::vec(0usize..200, 0..8),
+    ) {
+        let reference = frames_of(&bytes, 48);
+
+        // Variant 1: push every chunk, then pop everything.
+        let mut cuts: Vec<usize> = cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut framer = LineFramer::new(48);
+        let mut prev = 0;
+        for &cut in cuts.iter().chain(std::iter::once(&bytes.len())) {
+            framer.push(&bytes[prev..cut]);
+            prev = cut;
+        }
+        let mut batched = Vec::new();
+        while let Some(f) = framer.pop() {
+            batched.push(f);
+        }
+        prop_assert!(batched == reference, "batched pops diverged: {batched:?} vs {reference:?}");
+
+        // Variant 2: pop eagerly after every chunk (the event loop's
+        // actual access pattern).
+        let mut framer = LineFramer::new(48);
+        let mut eager = Vec::new();
+        let mut prev = 0;
+        for &cut in cuts.iter().chain(std::iter::once(&bytes.len())) {
+            framer.push(&bytes[prev..cut]);
+            while let Some(f) = framer.pop() {
+                eager.push(f);
+            }
+            prev = cut;
+        }
+        prop_assert!(eager == reference, "eager pops diverged: {eager:?} vs {reference:?}");
+    }
+
+    /// An oversized line frames as one `TooLong` and the framer
+    /// resynchronises at the next newline: the following line is intact.
+    fn oversized_lines_resync_at_the_next_newline(
+        pad in 49usize..400,
+        tail_bytes in collection::vec(33u8..127, 1..20),
+    ) {
+        let tail = String::from_utf8_lossy(&tail_bytes).to_string();
+        let mut bytes = vec![b'A'; pad];
+        bytes.push(b'\n');
+        bytes.extend_from_slice(tail.as_bytes());
+        bytes.push(b'\n');
+        let frames = frames_of(&bytes, 48);
+        prop_assert!(
+            frames == vec![Frame::TooLong, Frame::Line(tail.clone())],
+            "got {frames:?}"
+        );
+    }
+
+    /// A NUL byte poisons exactly its own line; neighbours are intact.
+    fn nul_poisons_only_its_own_line(
+        before_bytes in collection::vec(33u8..127, 0..20),
+        after_bytes in collection::vec(33u8..127, 0..20),
+    ) {
+        let before = String::from_utf8_lossy(&before_bytes).to_string();
+        let after = String::from_utf8_lossy(&after_bytes).to_string();
+        let mut bytes = before.as_bytes().to_vec();
+        bytes.push(0);
+        bytes.push(b'\n');
+        bytes.extend_from_slice(after.as_bytes());
+        bytes.push(b'\n');
+        let frames = frames_of(&bytes, 4096);
+        prop_assert!(
+            frames == vec![Frame::Nul, Frame::Line(after.clone())],
+            "got {frames:?}"
+        );
+    }
+}
+
+fn tiny_db() -> Arc<Database> {
+    let t = TpchDb::generate(TpchConfig {
+        scale: 0.002,
+        z: 1.0,
+        seed: 42,
+    });
+    Arc::new(t.db)
+}
+
+fn serve() -> (ProgressServer, std::net::SocketAddr) {
+    let service = Arc::new(QueryService::new(tiny_db(), ServiceConfig::default()));
+    let server = ProgressServer::bind_with(
+        "127.0.0.1:0",
+        service,
+        ServerConfig {
+            max_line_bytes: 256,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binds");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+/// Hostile lines over real TCP each earn a typed `ERR` with the right
+/// code, and the same connection keeps answering afterwards.
+#[test]
+fn hostile_lines_get_typed_errs_and_the_session_survives() {
+    let (mut server, addr) = serve();
+    let stream = TcpStream::connect(addr).expect("connects");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let send = |w: &mut TcpStream, bytes: &[u8]| {
+        w.write_all(bytes).expect("write");
+        w.flush().expect("flush");
+    };
+    let read_line = |r: &mut BufReader<TcpStream>| {
+        let mut line = String::new();
+        r.read_line(&mut line).expect("a reply, not a disconnect");
+        line.trim_end().to_string()
+    };
+
+    // Oversized: past the 256-byte cap → TOO_LARGE, tail discarded.
+    send(&mut writer, &[b'A'; 400]);
+    send(&mut writer, b"\n");
+    let reply = read_line(&mut reader);
+    assert!(reply.starts_with("ERR TOO_LARGE"), "got: {reply}");
+
+    // NUL byte → BAD_REQUEST.
+    send(&mut writer, b"STAT\0US q1\n");
+    let reply = read_line(&mut reader);
+    assert!(reply.starts_with("ERR BAD_REQUEST"), "got: {reply}");
+
+    // Unknown verb → BAD_REQUEST.
+    send(&mut writer, b"FROBNICATE now\n");
+    let reply = read_line(&mut reader);
+    assert!(reply.starts_with("ERR BAD_REQUEST"), "got: {reply}");
+
+    // Valid verb, missing session → UNKNOWN_QUERY.
+    send(&mut writer, b"STATUS q999\n");
+    let reply = read_line(&mut reader);
+    assert!(reply.starts_with("ERR UNKNOWN_QUERY"), "got: {reply}");
+
+    // The connection is still perfectly usable.
+    send(&mut writer, b"HELLO\n");
+    let reply = read_line(&mut reader);
+    assert!(reply.starts_with("OK protocol=3"), "got: {reply}");
+    server.shutdown();
+}
+
+/// A seeded storm of garbage lines — interleaved with valid requests,
+/// written in tiny chunks — earns exactly one reply per line, in order.
+#[test]
+fn garbage_storm_gets_one_reply_per_line_in_order() {
+    let (mut server, addr) = serve();
+    let stream = TcpStream::connect(addr).expect("connects");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    // Deterministic garbage: printable, newline-free, non-verb lines.
+    let mut rng = 0xC0FFEEu64;
+    let mut step = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut batch = String::new();
+    let mut expect: Vec<&str> = Vec::new();
+    for i in 0..64 {
+        if i % 8 == 7 {
+            batch.push_str("HELLO\n");
+            expect.push("OK");
+        } else {
+            // Leading digit: no verb starts with one, so the line can
+            // never collide with a real request.
+            batch.push('9');
+            let len = 1 + (step() % 40) as usize;
+            for _ in 0..len {
+                batch.push((b'a' + (step() % 26) as u8) as char);
+            }
+            batch.push('\n');
+            expect.push("ERR");
+        }
+    }
+    // Dribble the batch out in 7-byte chunks so request boundaries never
+    // align with socket writes.
+    for chunk in batch.as_bytes().chunks(7) {
+        writer.write_all(chunk).expect("write");
+        writer.flush().expect("flush");
+    }
+    for (i, want) in expect.iter().enumerate() {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .unwrap_or_else(|e| panic!("reply {i} missing: {e}"));
+        assert!(
+            line.starts_with(want),
+            "reply {i}: wanted {want}…, got {line:?}"
+        );
+    }
+    server.shutdown();
+}

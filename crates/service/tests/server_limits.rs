@@ -43,6 +43,7 @@ fn idle_connections_are_reaped_and_later_clients_served() {
         ServerConfig {
             max_connections: 2,
             idle_timeout: Duration::from_millis(250),
+            ..ServerConfig::default()
         },
     )
     .expect("binds");

@@ -476,7 +476,7 @@ fn parallel_sessions_match_serial_and_pick_their_estimators() {
     let mut server = ProgressServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("binds");
     let mut client = ServiceClient::connect(server.local_addr()).expect("connects");
     let hello = client.hello().expect("hello");
-    assert!(hello.contains("protocol=2"), "hello: {hello}");
+    assert!(hello.contains("protocol=3"), "hello: {hello}");
     assert!(hello.contains("PARALLELISM"), "hello: {hello}");
     assert!(hello.contains("pmax"), "hello: {hello}");
 

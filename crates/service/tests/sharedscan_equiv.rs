@@ -1,0 +1,174 @@
+//! Shared-scan equivalence: attaching N concurrent identical scans to
+//! one in-flight producer must be invisible in every per-session
+//! observable — row counts, `total(Q)`, progress counters, estimates.
+//!
+//! The paper's counters (Section 2.2) define progress per *session*:
+//! `total(Q)` counts the getnext calls the session's plan performs, not
+//! the physical reads the storage layer deduplicates. So a shared scan
+//! is only correct if each attached session sees the exact row sequence
+//! a solo run would — these tests pin that end-to-end through the
+//! service, across seeds × concurrency degrees × heap/paged backends,
+//! including a session cancelling mid-flight while its siblings stay
+//! attached.
+
+use qp_datagen::{TpchConfig, TpchDb};
+use qp_service::protocol::status_line;
+use qp_service::{QueryId, QueryService, QueryState, ServiceConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SCAN_SQL: &str = "SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity > 10";
+
+fn tiny(seed: u64) -> TpchDb {
+    TpchDb::generate(TpchConfig {
+        scale: 0.002,
+        z: 1.0,
+        seed,
+    })
+}
+
+fn config(shared: bool, workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        shared_scan: shared,
+        ..ServiceConfig::default()
+    }
+}
+
+/// The session's full final status line minus its id — state, health,
+/// trust, curr/lb/ub, every estimate, rows, and total(Q). Equivalence
+/// means these bytes match a solo run exactly.
+fn final_tail(service: &QueryService, id: QueryId) -> String {
+    let report = service.status(id).expect("session retained");
+    let line = status_line(&report);
+    line.strip_prefix(&format!("OK {id} "))
+        .unwrap_or(&line)
+        .to_string()
+}
+
+/// One query, scan sharing off: the ground truth for `sql` at `seed`.
+fn solo_tail(seed: u64, sql: &str) -> String {
+    let t = tiny(seed);
+    let service = QueryService::new(Arc::new(t.db), config(false, 1));
+    let id = service.submit(sql).expect("admitted");
+    assert_eq!(service.wait(id), Some(QueryState::Finished));
+    final_tail(&service, id)
+}
+
+/// N identical queries submitted together with sharing on; every
+/// session's final status must be byte-identical to the solo run.
+#[test]
+fn concurrent_identical_scans_match_solo_across_seeds_and_degrees() {
+    for seed in [7, 19] {
+        let solo = solo_tail(seed, SCAN_SQL);
+        for degree in [2usize, 4] {
+            let t = tiny(seed);
+            let service = QueryService::new(Arc::new(t.db), config(true, degree));
+            let ids: Vec<QueryId> = (0..degree)
+                .map(|_| service.submit(SCAN_SQL).expect("admitted"))
+                .collect();
+            for id in &ids {
+                assert_eq!(service.wait(*id), Some(QueryState::Finished));
+            }
+            for id in &ids {
+                assert_eq!(
+                    final_tail(&service, *id),
+                    solo,
+                    "seed {seed} degree {degree}: {id} diverged from solo"
+                );
+            }
+        }
+    }
+}
+
+/// The same equivalence over the paged backend: sharing layered on the
+/// buffer pool must not change any session's counters either.
+#[test]
+fn paged_concurrent_scans_match_paged_solo() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("qp-sharedscan-equiv-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let t = tiny(11);
+    t.save_paged(&dir).expect("bulk load");
+
+    let solo_service =
+        QueryService::open_paged(&dir, 16, config(false, 1)).expect("paged open (solo)");
+    let id = solo_service.submit(SCAN_SQL).expect("admitted");
+    assert_eq!(solo_service.wait(id), Some(QueryState::Finished));
+    let solo = final_tail(&solo_service, id);
+    drop(solo_service);
+
+    let service = QueryService::open_paged(&dir, 16, config(true, 3)).expect("paged open (shared)");
+    let ids: Vec<QueryId> = (0..3)
+        .map(|_| service.submit(SCAN_SQL).expect("admitted"))
+        .collect();
+    for id in &ids {
+        assert_eq!(service.wait(*id), Some(QueryState::Finished));
+    }
+    for id in &ids {
+        assert_eq!(final_tail(&service, *id), solo, "{id} diverged from solo");
+    }
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One session cancelling mid-flight detaches cleanly: the survivors
+/// still finish byte-identical to solo, and the cancelled session lands
+/// in a terminal state without disturbing the epoch.
+#[test]
+fn cancelling_one_attached_session_leaves_the_others_solo_identical() {
+    let seed = 23;
+    let solo = solo_tail(seed, SCAN_SQL);
+    let t = tiny(seed);
+    let service = QueryService::new(Arc::new(t.db), config(true, 3));
+    let a = service.submit(SCAN_SQL).expect("admitted");
+    let victim = service.submit(SCAN_SQL).expect("admitted");
+    let b = service.submit(SCAN_SQL).expect("admitted");
+    // Cancel immediately — depending on timing the victim dies queued,
+    // mid-attach, or (rarely) finished; all are legal terminal states.
+    service.cancel(victim);
+    for id in [a, b] {
+        assert_eq!(service.wait(id), Some(QueryState::Finished), "{id}");
+        assert_eq!(final_tail(&service, id), solo, "{id} diverged from solo");
+    }
+    let victim_state = service.wait(victim).expect("victim retained");
+    assert!(
+        matches!(victim_state, QueryState::Cancelled | QueryState::Finished),
+        "victim ended {victim_state:?}"
+    );
+    if victim_state == QueryState::Finished {
+        assert_eq!(final_tail(&service, victim), solo);
+    }
+}
+
+/// Sharing genuinely engages under concurrency: with several identical
+/// scans in flight, at least one attach joins an existing epoch and
+/// serves more rows than were physically produced. (Overlap is
+/// timing-dependent per attempt, so this retries a few times; the
+/// per-session equivalence above never depends on timing.)
+#[test]
+fn concurrent_scans_actually_share_an_epoch() {
+    use std::sync::atomic::Ordering::Relaxed;
+    for attempt in 0..5 {
+        let t = tiny(31 + attempt);
+        let service = QueryService::new(Arc::new(t.db), config(true, 4));
+        let ids: Vec<QueryId> = (0..4)
+            .map(|_| service.submit(SCAN_SQL).expect("admitted"))
+            .collect();
+        for id in &ids {
+            assert_eq!(service.wait(*id), Some(QueryState::Finished));
+        }
+        let stats = service.scan_share().expect("sharing enabled").stats();
+        let shared = stats.shared_attaches.load(Relaxed);
+        let produced = stats.rows_produced.load(Relaxed);
+        let served = stats.rows_served.load(Relaxed);
+        if shared > 0 {
+            assert!(
+                served > produced,
+                "shared attaches without deduplicated rows: served={served} produced={produced}"
+            );
+            return;
+        }
+    }
+    panic!("4-way identical scans never overlapped in 5 attempts");
+}

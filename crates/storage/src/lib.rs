@@ -19,7 +19,11 @@
 //!   (the substrate for `index-seek` and index-nested-loops join, the
 //!   operator at the heart of the paper's lower-bound argument), and
 //! * a [`Database`] catalog tying tables, indexes and their metadata
-//!   together.
+//!   together, and
+//! * a [`sharedscan::ScanShare`] registry letting concurrent full-table
+//!   scans attach to one in-flight producer (N identical scans ≈ 1
+//!   physical pass) while each attacher still observes the exact solo
+//!   row sequence — the paper's per-session getnext accounting intact.
 //!
 //! Tables come in two backends behind one interface: in-memory heaps
 //! (the default) and **paged** tables whose rows live in slotted page
@@ -36,6 +40,7 @@ pub mod morsel;
 pub mod paged;
 pub mod row;
 pub mod schema;
+pub mod sharedscan;
 pub mod table;
 pub mod value;
 
@@ -46,5 +51,6 @@ pub use morsel::{Morsel, MorselDispenser};
 pub use qp_pager::{wal_stats, BufferPool, CrashPoint, PoolStats};
 pub use row::Row;
 pub use schema::{Column, ColumnType, Schema};
+pub use sharedscan::{ScanShare, ScanShareStats, SharedCursor};
 pub use table::{RowId, Table};
 pub use value::Value;

@@ -1,0 +1,355 @@
+//! Shared-scan reuse: concurrent full-table scans attach to one
+//! in-flight row producer instead of each paying their own pass over
+//! the base data.
+//!
+//! The circulating-scan idea (one disk arm, many consumers) is standard
+//! in shared-work systems; here it matters because the service front
+//! end now multiplexes thousands of sessions, and a popular table would
+//! otherwise be re-read once per session — on the paged backend, once
+//! *per disk pass*. The contract that makes sharing admissible in this
+//! codebase is stricter than mere result equality, though: the paper's
+//! accounting model (Section 2.2) defines progress in per-session
+//! getnext counts, so every attached session must observe *exactly* the
+//! row sequence a solo scan would — same rows, same order, same length
+//! — or its counters, estimator readings, and `total(Q)` drift.
+//!
+//! The design is therefore **attach-and-replay**, not row routing:
+//!
+//! * A [`ScanShare`] registry maps a live table (by `Arc` identity) to
+//!   its current [`ScanGroup`] — one *epoch* of sharing. Attaching
+//!   yields a [`SharedCursor`]; dropping the cursor detaches, and the
+//!   epoch ends (its entry is removed, its cache freed) when the last
+//!   attacher leaves. The next scan of that table starts a fresh epoch.
+//! * The group materializes the table once, chunk by chunk, on demand:
+//!   whichever cursor first needs chunk `i` produces it (a short burst
+//!   of `Table::row` reads) under the group's production lock and
+//!   publishes it as an `Arc<[Row]>` chunk every attacher replays.
+//!   Physical reads happen once per epoch — N identical scans cost ~1
+//!   pass — while every cursor logically sees the full insertion-order
+//!   sequence from row 0, regardless of when it attached.
+//! * Late attachers replay already-produced chunks from the cache and
+//!   only wait (briefly, on the production lock) at the frontier. A
+//!   cursor dropped mid-scan — a cancelled session — just decrements
+//!   the attach count; production continues only as long as someone
+//!   still needs rows.
+//!
+//! Memory is bounded by the epoch lifecycle: a group caches at most one
+//! table's rows, and only while at least one scan is in flight.
+
+use crate::row::Row;
+use crate::table::{RowId, Table};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Rows per produced chunk. Purely a producer granularity / lock-hold
+/// knob: replay order is row-by-row, so the chunk size is invisible to
+/// attachers (and to counters).
+const CHUNK_ROWS: usize = 1024;
+
+/// Monotone counters describing sharing effectiveness, exposed over the
+/// service `METRICS` endpoint. All relaxed: totals, not invariants.
+#[derive(Debug, Default)]
+pub struct ScanShareStats {
+    /// Cursors handed out (one per attaching scan).
+    pub attaches: AtomicU64,
+    /// Attaches that joined an epoch already in flight — each one is a
+    /// table pass avoided.
+    pub shared_attaches: AtomicU64,
+    /// Epochs started (groups created).
+    pub groups: AtomicU64,
+    /// Rows physically read from tables by producers.
+    pub rows_produced: AtomicU64,
+    /// Rows replayed to cursors (≥ `rows_produced` whenever sharing
+    /// actually deduplicated work).
+    pub rows_served: AtomicU64,
+}
+
+/// One epoch of shared scanning over one table: the chunk cache, the
+/// production frontier, and the attach count that scopes its lifetime.
+#[derive(Debug)]
+pub struct ScanGroup {
+    table: Arc<Table>,
+    /// Total rows this epoch serves (latched at creation; tables are
+    /// frozen, so this equals `table.len()` for the epoch's lifetime).
+    len: usize,
+    /// Produced chunks, in order. The `Mutex` is also the production
+    /// lock: whoever holds it and finds the needed chunk missing reads
+    /// it from the table, so exactly one attacher performs each
+    /// physical read burst.
+    chunks: Mutex<Vec<Arc<[Row]>>>,
+    attachers: AtomicUsize,
+}
+
+impl ScanGroup {
+    fn new(table: Arc<Table>) -> ScanGroup {
+        let len = table.len();
+        ScanGroup {
+            table,
+            len,
+            chunks: Mutex::new(Vec::new()),
+            attachers: AtomicUsize::new(0),
+        }
+    }
+
+    /// The chunk containing row `index * CHUNK_ROWS`, producing it (and
+    /// any earlier unproduced chunks) from the table if this cursor is
+    /// first past the frontier.
+    fn chunk(&self, index: usize, stats: &ScanShareStats) -> Arc<[Row]> {
+        let mut chunks = match self.chunks.lock() {
+            Ok(g) => g,
+            // A poisoning panic can only have happened mid-`Vec::push`;
+            // the produced prefix is still coherent, so keep serving.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        while chunks.len() <= index {
+            let start = chunks.len() * CHUNK_ROWS;
+            let end = (start + CHUNK_ROWS).min(self.len);
+            let rows: Vec<Row> = (start..end)
+                .map(|rid| self.table.row(rid as RowId))
+                .collect();
+            stats
+                .rows_produced
+                .fetch_add((end - start) as u64, Ordering::Relaxed);
+            chunks.push(rows.into());
+        }
+        Arc::clone(&chunks[index])
+    }
+}
+
+/// The process-wide sharing registry: at most one live [`ScanGroup`]
+/// per table. Held by the service and threaded into executors through
+/// `RunControls`; sessions that must not share (fault-injected runs,
+/// whose schedules are keyed to physical read order) simply run without
+/// one.
+#[derive(Debug, Default)]
+pub struct ScanShare {
+    /// Live epochs, keyed by table identity (`Arc` pointer — tables are
+    /// interned in the `Database` catalog, so identity is stable).
+    groups: Mutex<HashMap<usize, Arc<ScanGroup>>>,
+    stats: ScanShareStats,
+}
+
+impl ScanShare {
+    /// An empty registry.
+    pub fn new() -> ScanShare {
+        ScanShare::default()
+    }
+
+    /// Sharing-effectiveness counters.
+    pub fn stats(&self) -> &ScanShareStats {
+        &self.stats
+    }
+
+    /// Attaches a scan of `table`: joins the table's in-flight epoch if
+    /// one exists, otherwise starts a new one. The returned cursor
+    /// replays the full insertion-order row sequence from row 0.
+    pub fn attach(self: &Arc<ScanShare>, table: &Arc<Table>) -> SharedCursor {
+        let key = Arc::as_ptr(table) as usize;
+        let mut groups = match self.groups.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        self.stats.attaches.fetch_add(1, Ordering::Relaxed);
+        let group = match groups.get(&key) {
+            Some(group) => {
+                self.stats.shared_attaches.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(group)
+            }
+            None => {
+                self.stats.groups.fetch_add(1, Ordering::Relaxed);
+                let group = Arc::new(ScanGroup::new(Arc::clone(table)));
+                groups.insert(key, Arc::clone(&group));
+                group
+            }
+        };
+        group.attachers.fetch_add(1, Ordering::Relaxed);
+        drop(groups);
+        SharedCursor {
+            share: Arc::clone(self),
+            group,
+            key,
+            pos: 0,
+            chunk: None,
+            chunk_index: 0,
+        }
+    }
+
+    /// Ends `group`'s epoch if it is still the registered one (a fresh
+    /// epoch for the same table must not be evicted by a stale detach).
+    fn retire(&self, key: usize, group: &Arc<ScanGroup>) {
+        let mut groups = match self.groups.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(current) = groups.get(&key) {
+            if Arc::ptr_eq(current, group) {
+                groups.remove(&key);
+            }
+        }
+    }
+}
+
+/// One attached scan: an independent replay position over its group's
+/// chunk sequence. Detaches (and possibly retires the epoch) on drop.
+#[derive(Debug)]
+pub struct SharedCursor {
+    share: Arc<ScanShare>,
+    group: Arc<ScanGroup>,
+    key: usize,
+    /// Next row index to serve, in `[0, group.len]`.
+    pos: usize,
+    /// Cached current chunk (avoids a registry lock per row).
+    chunk: Option<Arc<[Row]>>,
+    chunk_index: usize,
+}
+
+impl SharedCursor {
+    /// Rewinds to row 0 (operator `open` semantics — re-opened scans
+    /// replay from the start, exactly like a solo scan would).
+    pub fn reset(&mut self) {
+        self.pos = 0;
+        self.chunk = None;
+    }
+
+    /// Total rows this scan will produce.
+    pub fn len(&self) -> usize {
+        self.group.len
+    }
+
+    /// Whether the underlying table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.group.len == 0
+    }
+}
+
+impl Iterator for SharedCursor {
+    type Item = Row;
+
+    /// The next row in insertion order, or `None` at the end.
+    fn next(&mut self) -> Option<Row> {
+        if self.pos >= self.group.len {
+            return None;
+        }
+        let index = self.pos / CHUNK_ROWS;
+        if self.chunk.is_none() || self.chunk_index != index {
+            self.chunk = Some(self.group.chunk(index, &self.share.stats));
+            self.chunk_index = index;
+        }
+        let row = self.chunk.as_ref().expect("chunk just installed")[self.pos % CHUNK_ROWS].clone();
+        self.pos += 1;
+        self.share.stats.rows_served.fetch_add(1, Ordering::Relaxed);
+        Some(row)
+    }
+}
+
+impl Drop for SharedCursor {
+    fn drop(&mut self) {
+        if self.group.attachers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.share.retire(self.key, &self.group);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+    use crate::value::Value;
+
+    fn table(rows: usize) -> Arc<Table> {
+        let mut t = Table::new("t", Schema::of(&[("x", ColumnType::Int)]));
+        for i in 0..rows {
+            t.insert_unchecked(Row::new(vec![Value::Int(i as i64)]));
+        }
+        Arc::new(t)
+    }
+
+    fn drain(mut cursor: SharedCursor) -> Vec<Row> {
+        std::iter::from_fn(|| cursor.next()).collect()
+    }
+
+    #[test]
+    fn replay_matches_a_direct_scan() {
+        let t = table(2500);
+        let share = Arc::new(ScanShare::new());
+        let direct: Vec<Row> = (0..t.len()).map(|rid| t.row(rid as RowId)).collect();
+        assert_eq!(drain(share.attach(&t)), direct);
+    }
+
+    #[test]
+    fn concurrent_attachers_each_see_the_full_sequence_for_one_pass() {
+        let t = table(5000);
+        let share = Arc::new(ScanShare::new());
+        let direct: Vec<Row> = (0..t.len()).map(|rid| t.row(rid as RowId)).collect();
+        // Attach everyone before anyone runs: a drained cursor retires
+        // the epoch, so attach-after-finish would start a second pass.
+        let cursors: Vec<_> = (0..4).map(|_| share.attach(&t)).collect();
+        let handles: Vec<_> = cursors
+            .into_iter()
+            .map(|cursor| std::thread::spawn(move || drain(cursor)))
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), direct);
+        }
+        let stats = share.stats();
+        assert_eq!(stats.attaches.load(Ordering::Relaxed), 4);
+        assert_eq!(stats.groups.load(Ordering::Relaxed), 1);
+        // One physical pass served four logical ones.
+        assert_eq!(stats.rows_produced.load(Ordering::Relaxed), 5000);
+        assert_eq!(stats.rows_served.load(Ordering::Relaxed), 4 * 5000);
+    }
+
+    #[test]
+    fn epochs_retire_when_the_last_attacher_leaves() {
+        let t = table(100);
+        let share = Arc::new(ScanShare::new());
+        let a = share.attach(&t);
+        let b = share.attach(&t);
+        assert_eq!(share.stats().shared_attaches.load(Ordering::Relaxed), 1);
+        drop(a);
+        drop(b);
+        // The epoch is gone: a new attach starts (and pays for) a fresh
+        // pass instead of replaying a stale cache.
+        drop(share.attach(&t));
+        assert_eq!(share.stats().groups.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn dropping_mid_scan_detaches_without_disturbing_others() {
+        let t = table(3000);
+        let share = Arc::new(ScanShare::new());
+        let mut quitter = share.attach(&t);
+        let survivor = share.attach(&t);
+        for _ in 0..10 {
+            quitter.next();
+        }
+        drop(quitter);
+        let direct: Vec<Row> = (0..t.len()).map(|rid| t.row(rid as RowId)).collect();
+        assert_eq!(drain(survivor), direct);
+    }
+
+    #[test]
+    fn reset_replays_from_row_zero() {
+        let t = table(50);
+        let share = Arc::new(ScanShare::new());
+        let mut cursor = share.attach(&t);
+        for _ in 0..30 {
+            cursor.next();
+        }
+        cursor.reset();
+        let direct: Vec<Row> = (0..t.len()).map(|rid| t.row(rid as RowId)).collect();
+        assert_eq!(drain(cursor), direct);
+        // The replay cost no second physical pass.
+        assert_eq!(share.stats().rows_produced.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn empty_table_attaches_and_ends_immediately() {
+        let t = table(0);
+        let share = Arc::new(ScanShare::new());
+        let mut cursor = share.attach(&t);
+        assert!(cursor.is_empty());
+        assert_eq!(cursor.next(), None);
+    }
+}

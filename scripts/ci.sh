@@ -74,4 +74,12 @@ for seed in 1 3; do
     grep -q "PASS: ensemble wins or ties" <<<"$ensemble_out"
 done
 
+echo "==> load-smoke (event-loop front end under hundreds of concurrent sessions; zero protocol"
+echo "    errors, bounded STATUS/queue latency; repro self-gates and exits non-zero on violation)"
+load_out=$(cargo run --release --offline -q -p qp-bench --bin repro -- --small load)
+grep -q "PASS: .* connections served with zero protocol errors" <<<"$load_out"
+
+echo "==> BENCH_service.json gate (the load run must have recorded a passing verdict)"
+grep -q '"gate":"pass"' BENCH_service.json
+
 echo "CI OK"
